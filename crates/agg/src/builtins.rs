@@ -1,0 +1,627 @@
+//! Built-in aggregate functions: the distributive and algebraic core.
+
+use crate::error::{AggError, Result};
+use crate::traits::{downcast_state, AggClass, AggState, Aggregate};
+use mdj_storage::{DataType, Value};
+use std::any::Any;
+
+fn bad_input(function: &str, v: &Value) -> AggError {
+    AggError::BadInput {
+        function: function.to_string(),
+        got: v.type_name().to_string(),
+    }
+}
+
+// ---------------------------------------------------------------- count
+
+/// `count(*)` (counts every matching tuple) or `count(col)` (counts non-NULL
+/// values). Distributive; rolls up as `sum` (Theorem 4.5's worked example).
+#[derive(Debug, Clone, Copy)]
+pub struct Count {
+    /// True for `count(*)`.
+    pub star: bool,
+}
+
+#[derive(Debug, Default)]
+pub struct CountState {
+    star: bool,
+    n: i64,
+}
+
+impl AggState for CountState {
+    fn update(&mut self, v: &Value) -> Result<()> {
+        if self.star || !v.is_null() {
+            self.n += 1;
+        }
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &dyn AggState) -> Result<()> {
+        let o = downcast_state::<CountState>(other, "CountState")?;
+        self.n += o.n;
+        Ok(())
+    }
+
+    fn finalize(&self) -> Value {
+        Value::Int(self.n)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Aggregate for Count {
+    fn name(&self) -> &str {
+        if self.star {
+            "count(*)"
+        } else {
+            "count"
+        }
+    }
+
+    fn class(&self) -> AggClass {
+        AggClass::Distributive
+    }
+
+    fn init(&self) -> Box<dyn AggState> {
+        Box::new(CountState {
+            star: self.star,
+            n: 0,
+        })
+    }
+
+    fn output_type(&self, _input: DataType) -> DataType {
+        DataType::Int
+    }
+
+    fn rollup_name(&self) -> Option<&'static str> {
+        Some("sum")
+    }
+}
+
+// ---------------------------------------------------------------- sum
+
+/// `sum(col)`. Integer inputs keep an exact integer total until a float
+/// appears. Empty input → NULL (SQL semantics: preserves the MD-join's
+/// outer-join behaviour).
+#[derive(Debug, Clone, Copy)]
+pub struct Sum;
+
+#[derive(Debug, Default)]
+pub struct SumState {
+    int_sum: i64,
+    float_sum: f64,
+    any_float: bool,
+    seen: u64,
+}
+
+impl AggState for SumState {
+    fn update(&mut self, v: &Value) -> Result<()> {
+        match v {
+            Value::Null => Ok(()),
+            Value::Int(i) => {
+                self.int_sum = self.int_sum.wrapping_add(*i);
+                self.seen += 1;
+                Ok(())
+            }
+            Value::Float(f) => {
+                self.float_sum += f;
+                self.any_float = true;
+                self.seen += 1;
+                Ok(())
+            }
+            other => Err(bad_input("sum", other)),
+        }
+    }
+
+    fn merge(&mut self, other: &dyn AggState) -> Result<()> {
+        let o = downcast_state::<SumState>(other, "SumState")?;
+        self.int_sum = self.int_sum.wrapping_add(o.int_sum);
+        self.float_sum += o.float_sum;
+        self.any_float |= o.any_float;
+        self.seen += o.seen;
+        Ok(())
+    }
+
+    fn finalize(&self) -> Value {
+        if self.seen == 0 {
+            Value::Null
+        } else if self.any_float {
+            Value::Float(self.int_sum as f64 + self.float_sum)
+        } else {
+            Value::Int(self.int_sum)
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Aggregate for Sum {
+    fn name(&self) -> &str {
+        "sum"
+    }
+
+    fn class(&self) -> AggClass {
+        AggClass::Distributive
+    }
+
+    fn init(&self) -> Box<dyn AggState> {
+        Box::<SumState>::default()
+    }
+
+    fn output_type(&self, input: DataType) -> DataType {
+        input
+    }
+
+    fn rollup_name(&self) -> Option<&'static str> {
+        Some("sum")
+    }
+}
+
+// ---------------------------------------------------------------- avg
+
+/// `avg(col)`. Algebraic: state is (sum, count).
+#[derive(Debug, Clone, Copy)]
+pub struct Avg;
+
+#[derive(Debug, Default)]
+pub struct AvgState {
+    sum: f64,
+    n: u64,
+}
+
+impl AggState for AvgState {
+    fn update(&mut self, v: &Value) -> Result<()> {
+        match v {
+            Value::Null => Ok(()),
+            _ => {
+                let f = v.as_float().ok_or_else(|| bad_input("avg", v))?;
+                self.sum += f;
+                self.n += 1;
+                Ok(())
+            }
+        }
+    }
+
+    fn merge(&mut self, other: &dyn AggState) -> Result<()> {
+        let o = downcast_state::<AvgState>(other, "AvgState")?;
+        self.sum += o.sum;
+        self.n += o.n;
+        Ok(())
+    }
+
+    fn finalize(&self) -> Value {
+        if self.n == 0 {
+            Value::Null
+        } else {
+            Value::Float(self.sum / self.n as f64)
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Aggregate for Avg {
+    fn name(&self) -> &str {
+        "avg"
+    }
+
+    fn class(&self) -> AggClass {
+        AggClass::Algebraic
+    }
+
+    fn init(&self) -> Box<dyn AggState> {
+        Box::<AvgState>::default()
+    }
+
+    fn output_type(&self, _input: DataType) -> DataType {
+        DataType::Float
+    }
+}
+
+// ---------------------------------------------------------------- min / max
+
+/// `min(col)` / `max(col)` over the total order of [`Value`] (numerics compare
+/// numerically across Int/Float). Distributive.
+#[derive(Debug, Clone, Copy)]
+pub struct MinMax {
+    /// True for `max`, false for `min`.
+    pub is_max: bool,
+}
+
+#[derive(Debug)]
+pub struct MinMaxState {
+    is_max: bool,
+    best: Option<Value>,
+}
+
+impl AggState for MinMaxState {
+    fn update(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        let better = match &self.best {
+            None => true,
+            Some(cur) => {
+                if self.is_max {
+                    v > cur
+                } else {
+                    v < cur
+                }
+            }
+        };
+        if better {
+            self.best = Some(v.clone());
+        }
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &dyn AggState) -> Result<()> {
+        let o = downcast_state::<MinMaxState>(other, "MinMaxState")?;
+        if let Some(v) = &o.best {
+            self.update(v)?;
+        }
+        Ok(())
+    }
+
+    fn finalize(&self) -> Value {
+        self.best.clone().unwrap_or(Value::Null)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Aggregate for MinMax {
+    fn name(&self) -> &str {
+        if self.is_max {
+            "max"
+        } else {
+            "min"
+        }
+    }
+
+    fn class(&self) -> AggClass {
+        AggClass::Distributive
+    }
+
+    fn init(&self) -> Box<dyn AggState> {
+        Box::new(MinMaxState {
+            is_max: self.is_max,
+            best: None,
+        })
+    }
+
+    fn output_type(&self, input: DataType) -> DataType {
+        input
+    }
+
+    fn rollup_name(&self) -> Option<&'static str> {
+        Some(if self.is_max { "max" } else { "min" })
+    }
+}
+
+// ---------------------------------------------------------------- first / last
+
+/// `first(col)` / `last(col)`: the first / most recent non-NULL value in
+/// *scan order*. Order-dependent by design (useful with sorted detail
+/// relations, e.g. PIPESORT pipelines); merge concatenates in partition
+/// order, which matches the partitioned evaluators' chunk order.
+#[derive(Debug, Clone, Copy)]
+pub struct FirstLast {
+    /// True for `last`, false for `first`.
+    pub is_last: bool,
+}
+
+#[derive(Debug)]
+pub struct FirstLastState {
+    is_last: bool,
+    value: Option<Value>,
+}
+
+impl AggState for FirstLastState {
+    fn update(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        if self.is_last || self.value.is_none() {
+            self.value = Some(v.clone());
+        }
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &dyn AggState) -> Result<()> {
+        let o = downcast_state::<FirstLastState>(other, "FirstLastState")?;
+        if let Some(v) = &o.value {
+            if self.is_last || self.value.is_none() {
+                self.value = Some(v.clone());
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize(&self) -> Value {
+        self.value.clone().unwrap_or(Value::Null)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Aggregate for FirstLast {
+    fn name(&self) -> &str {
+        if self.is_last {
+            "last"
+        } else {
+            "first"
+        }
+    }
+
+    fn class(&self) -> AggClass {
+        AggClass::Distributive
+    }
+
+    fn init(&self) -> Box<dyn AggState> {
+        Box::new(FirstLastState {
+            is_last: self.is_last,
+            value: None,
+        })
+    }
+
+    fn output_type(&self, input: DataType) -> DataType {
+        input
+    }
+}
+
+// ---------------------------------------------------------------- variance / stddev
+
+/// Population variance / standard deviation. Algebraic via the mergeable
+/// (count, mean, M2) formulation (Chan–Golub–LeVeque).
+#[derive(Debug, Clone, Copy)]
+pub struct Variance {
+    /// True → report sqrt (stddev_pop); false → report variance_pop.
+    pub sqrt: bool,
+}
+
+#[derive(Debug, Default)]
+pub struct VarianceState {
+    sqrt: bool,
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl AggState for VarianceState {
+    fn update(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        let x = v.as_float().ok_or_else(|| bad_input("var", v))?;
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &dyn AggState) -> Result<()> {
+        let o = downcast_state::<VarianceState>(other, "VarianceState")?;
+        if o.n == 0 {
+            return Ok(());
+        }
+        if self.n == 0 {
+            self.n = o.n;
+            self.mean = o.mean;
+            self.m2 = o.m2;
+            return Ok(());
+        }
+        let (na, nb) = (self.n as f64, o.n as f64);
+        let delta = o.mean - self.mean;
+        let n = na + nb;
+        self.m2 += o.m2 + delta * delta * na * nb / n;
+        self.mean += delta * nb / n;
+        self.n += o.n;
+        Ok(())
+    }
+
+    fn finalize(&self) -> Value {
+        if self.n == 0 {
+            return Value::Null;
+        }
+        let var = self.m2 / self.n as f64;
+        Value::Float(if self.sqrt { var.sqrt() } else { var })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Aggregate for Variance {
+    fn name(&self) -> &str {
+        if self.sqrt {
+            "stddev"
+        } else {
+            "var"
+        }
+    }
+
+    fn class(&self) -> AggClass {
+        AggClass::Algebraic
+    }
+
+    fn init(&self) -> Box<dyn AggState> {
+        Box::new(VarianceState {
+            sqrt: self.sqrt,
+            ..Default::default()
+        })
+    }
+
+    fn output_type(&self, _input: DataType) -> DataType {
+        DataType::Float
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(agg: &dyn Aggregate, vals: &[Value]) -> Value {
+        let mut s = agg.init();
+        for v in vals {
+            s.update(v).unwrap();
+        }
+        s.finalize()
+    }
+
+    fn ints(v: &[i64]) -> Vec<Value> {
+        v.iter().map(|&i| Value::Int(i)).collect()
+    }
+
+    #[test]
+    fn count_star_vs_count_col() {
+        let vals = vec![Value::Int(1), Value::Null, Value::Int(3)];
+        assert_eq!(run(&Count { star: true }, &vals), Value::Int(3));
+        assert_eq!(run(&Count { star: false }, &vals), Value::Int(2));
+    }
+
+    #[test]
+    fn sum_stays_integer_until_float() {
+        assert_eq!(run(&Sum, &ints(&[1, 2, 3])), Value::Int(6));
+        let vals = vec![Value::Int(1), Value::Float(0.5)];
+        assert_eq!(run(&Sum, &vals), Value::Float(1.5));
+    }
+
+    #[test]
+    fn sum_of_empty_or_all_null_is_null() {
+        assert_eq!(run(&Sum, &[]), Value::Null);
+        assert_eq!(run(&Sum, &[Value::Null, Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn sum_rejects_strings() {
+        let mut s = Sum.init();
+        assert!(s.update(&Value::str("x")).is_err());
+    }
+
+    #[test]
+    fn avg_ignores_nulls() {
+        let vals = vec![Value::Int(2), Value::Null, Value::Int(4)];
+        assert_eq!(run(&Avg, &vals), Value::Float(3.0));
+        assert_eq!(run(&Avg, &[]), Value::Null);
+    }
+
+    #[test]
+    fn min_max_over_mixed_numerics_and_strings() {
+        let vals = vec![Value::Int(3), Value::Float(2.5), Value::Int(7)];
+        assert_eq!(run(&MinMax { is_max: false }, &vals), Value::Float(2.5));
+        assert_eq!(run(&MinMax { is_max: true }, &vals), Value::Int(7));
+        let names = vec![Value::str("NY"), Value::str("CA"), Value::str("NJ")];
+        assert_eq!(run(&MinMax { is_max: false }, &names), Value::str("CA"));
+    }
+
+    #[test]
+    fn variance_and_stddev() {
+        let vals = ints(&[2, 4, 4, 4, 5, 5, 7, 9]);
+        assert_eq!(run(&Variance { sqrt: false }, &vals), Value::Float(4.0));
+        assert_eq!(run(&Variance { sqrt: true }, &vals), Value::Float(2.0));
+    }
+
+    #[test]
+    fn first_last_follow_scan_order() {
+        let vals = vec![Value::Null, Value::Int(7), Value::Int(9), Value::Null, Value::Int(3)];
+        assert_eq!(run(&FirstLast { is_last: false }, &vals), Value::Int(7));
+        assert_eq!(run(&FirstLast { is_last: true }, &vals), Value::Int(3));
+        assert_eq!(run(&FirstLast { is_last: false }, &[]), Value::Null);
+    }
+
+    #[test]
+    fn first_last_merge_respects_partition_order() {
+        let mut a = FirstLast { is_last: true }.init();
+        a.update(&Value::Int(1)).unwrap();
+        let mut b = FirstLast { is_last: true }.init();
+        b.update(&Value::Int(2)).unwrap();
+        a.merge(b.as_ref()).unwrap();
+        assert_eq!(a.finalize(), Value::Int(2));
+        let mut a = FirstLast { is_last: false }.init();
+        a.update(&Value::Int(1)).unwrap();
+        let mut b = FirstLast { is_last: false }.init();
+        b.update(&Value::Int(2)).unwrap();
+        a.merge(b.as_ref()).unwrap();
+        assert_eq!(a.finalize(), Value::Int(1));
+        // Empty-left merge adopts the right value.
+        let mut a = FirstLast { is_last: false }.init();
+        let mut b = FirstLast { is_last: false }.init();
+        b.update(&Value::Int(5)).unwrap();
+        a.merge(b.as_ref()).unwrap();
+        assert_eq!(a.finalize(), Value::Int(5));
+    }
+
+    #[test]
+    fn merge_equals_sequential_for_each_builtin() {
+        let aggs: Vec<Box<dyn Aggregate>> = vec![
+            Box::new(Count { star: false }),
+            Box::new(Sum),
+            Box::new(Avg),
+            Box::new(MinMax { is_max: false }),
+            Box::new(MinMax { is_max: true }),
+            Box::new(Variance { sqrt: false }),
+        ];
+        let left = ints(&[1, 5, 3]);
+        let right = ints(&[10, 2]);
+        for agg in &aggs {
+            let mut a = agg.init();
+            for v in &left {
+                a.update(v).unwrap();
+            }
+            let mut b = agg.init();
+            for v in &right {
+                b.update(v).unwrap();
+            }
+            a.merge(b.as_ref()).unwrap();
+            let all: Vec<Value> = left.iter().chain(&right).cloned().collect();
+            let expect = run(agg.as_ref(), &all);
+            let got = a.finalize();
+            match (&expect, &got) {
+                (Value::Float(x), Value::Float(y)) => {
+                    assert!((x - y).abs() < 1e-9, "{}: {x} vs {y}", agg.name())
+                }
+                _ => assert_eq!(expect, got, "{}", agg.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn merge_into_empty_state() {
+        let mut a = Variance { sqrt: false }.init();
+        let mut b = Variance { sqrt: false }.init();
+        for v in ints(&[1, 2, 3]) {
+            b.update(&v).unwrap();
+        }
+        a.merge(b.as_ref()).unwrap();
+        let expect = run(&Variance { sqrt: false }, &ints(&[1, 2, 3]));
+        assert_eq!(a.finalize(), expect);
+    }
+
+    #[test]
+    fn rollup_names() {
+        assert_eq!(Count { star: true }.rollup_name(), Some("sum"));
+        assert_eq!(Sum.rollup_name(), Some("sum"));
+        assert_eq!(MinMax { is_max: true }.rollup_name(), Some("max"));
+        assert_eq!(Avg.rollup_name(), None);
+    }
+
+    #[test]
+    fn merge_wrong_type_fails() {
+        let mut a = Sum.init();
+        let b = Avg.init();
+        assert!(a.merge(b.as_ref()).is_err());
+    }
+}

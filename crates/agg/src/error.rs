@@ -1,0 +1,58 @@
+//! Aggregate errors.
+
+use std::fmt;
+
+pub type Result<T, E = AggError> = std::result::Result<T, E>;
+
+/// Errors from aggregate construction and state manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggError {
+    /// Unknown aggregate function name.
+    UnknownFunction(String),
+    /// The aggregate received a value it cannot consume (e.g. `sum` over a
+    /// string).
+    BadInput { function: String, got: String },
+    /// `merge` was called with a state of a different concrete type.
+    MergeTypeMismatch { expected: &'static str },
+    /// The aggregate spec string could not be parsed.
+    BadSpec(String),
+    /// Roll-up adaptation requested for a non-distributive aggregate
+    /// (Theorem 4.5 covers distributive aggregates only).
+    NotRollupable(String),
+}
+
+impl fmt::Display for AggError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggError::UnknownFunction(name) => write!(f, "unknown aggregate function `{name}`"),
+            AggError::BadInput { function, got } => {
+                write!(f, "aggregate `{function}` cannot consume a {got} value")
+            }
+            AggError::MergeTypeMismatch { expected } => {
+                write!(f, "cannot merge aggregate states: expected {expected}")
+            }
+            AggError::BadSpec(s) => write!(f, "cannot parse aggregate spec `{s}`"),
+            AggError::NotRollupable(name) => write!(
+                f,
+                "aggregate `{name}` is not distributive; Theorem 4.5 roll-up does not apply"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AggError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_function() {
+        assert!(AggError::UnknownFunction("xyz".into())
+            .to_string()
+            .contains("xyz"));
+        assert!(AggError::NotRollupable("median".into())
+            .to_string()
+            .contains("median"));
+    }
+}

@@ -1,0 +1,447 @@
+//! Holistic aggregates (unbounded state) and their algebraic approximations.
+//!
+//! Footnote 2 of the paper: Algorithm 3.1 as given works for distributive and
+//! algebraic aggregates; holistic aggregates need state whose size depends on
+//! the data, and "some holistic aggregates can be made algebraic by using
+//! approximation, e.g. approximate medians \[MRL98\]". We provide both exact
+//! holistic implementations and an MRL-style approximate median with bounded
+//! state.
+
+use crate::error::{AggError, Result};
+use crate::traits::{downcast_state, AggClass, AggState, Aggregate};
+use mdj_storage::{DataType, Value};
+use std::any::Any;
+use std::collections::HashMap;
+
+fn bad_input(function: &str, v: &Value) -> AggError {
+    AggError::BadInput {
+        function: function.to_string(),
+        got: v.type_name().to_string(),
+    }
+}
+
+// ---------------------------------------------------------------- median (exact)
+
+/// Exact median: buffers every non-NULL numeric value. Holistic. Even-sized
+/// inputs report the mean of the two middle values.
+#[derive(Debug, Clone, Copy)]
+pub struct Median;
+
+#[derive(Debug, Default)]
+pub struct MedianState {
+    vals: Vec<f64>,
+}
+
+impl AggState for MedianState {
+    fn update(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        self.vals
+            .push(v.as_float().ok_or_else(|| bad_input("median", v))?);
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &dyn AggState) -> Result<()> {
+        let o = downcast_state::<MedianState>(other, "MedianState")?;
+        self.vals.extend_from_slice(&o.vals);
+        Ok(())
+    }
+
+    fn finalize(&self) -> Value {
+        if self.vals.is_empty() {
+            return Value::Null;
+        }
+        let mut v = self.vals.clone();
+        v.sort_by(f64::total_cmp);
+        let n = v.len();
+        let m = if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            (v[n / 2 - 1] + v[n / 2]) / 2.0
+        };
+        Value::Float(m)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Aggregate for Median {
+    fn name(&self) -> &str {
+        "median"
+    }
+
+    fn class(&self) -> AggClass {
+        AggClass::Holistic
+    }
+
+    fn init(&self) -> Box<dyn AggState> {
+        Box::<MedianState>::default()
+    }
+
+    fn output_type(&self, _input: DataType) -> DataType {
+        DataType::Float
+    }
+}
+
+// ---------------------------------------------------------------- approx median
+
+/// Approximate median with bounded state, in the spirit of the approximate
+/// quantile literature the paper cites \[MRL98\]: the state is a uniform
+/// reservoir sample of the stream (deterministic xorshift PRNG, so results
+/// are reproducible run-to-run), and the reported value is the sample
+/// median. Sampling error is O(1/√k), independent of arrival order. State is
+/// O(k), so the aggregate is algebraic and usable where holistic state is
+/// unacceptable.
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxMedian {
+    /// Reservoir capacity (state bound). 1024 is a good default.
+    pub capacity: usize,
+}
+
+impl Default for ApproxMedian {
+    fn default() -> Self {
+        ApproxMedian { capacity: 1024 }
+    }
+}
+
+/// Minimal xorshift64* PRNG: deterministic, dependency-free, plenty for
+/// reservoir sampling.
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new() -> Self {
+        XorShift(0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+#[derive(Debug)]
+pub struct ApproxMedianState {
+    capacity: usize,
+    reservoir: Vec<f64>,
+    seen: u64,
+    rng: XorShift,
+}
+
+impl AggState for ApproxMedianState {
+    fn update(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        let x = v.as_float().ok_or_else(|| bad_input("approx_median", v))?;
+        self.seen += 1;
+        if self.reservoir.len() < self.capacity {
+            self.reservoir.push(x);
+        } else {
+            // Algorithm R: replace a random slot with probability k/seen.
+            let j = self.rng.below(self.seen);
+            if (j as usize) < self.capacity {
+                self.reservoir[j as usize] = x;
+            }
+        }
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &dyn AggState) -> Result<()> {
+        let o = downcast_state::<ApproxMedianState>(other, "ApproxMedianState")?;
+        if o.seen == 0 {
+            return Ok(());
+        }
+        if self.seen == 0 {
+            self.reservoir = o.reservoir.clone();
+            self.seen = o.seen;
+            return Ok(());
+        }
+        // Merge two reservoirs into one of the same capacity: fill each slot
+        // from A with probability seenA/(seenA+seenB), else from B, drawing
+        // without replacement.
+        let mut a = self.reservoir.clone();
+        let mut b = o.reservoir.clone();
+        let (na, nb) = (self.seen, o.seen);
+        let mut merged = Vec::with_capacity(self.capacity);
+        while merged.len() < self.capacity && (!a.is_empty() || !b.is_empty()) {
+            let from_a = if a.is_empty() {
+                false
+            } else if b.is_empty() {
+                true
+            } else {
+                self.rng.below(na + nb) < na
+            };
+            let src = if from_a { &mut a } else { &mut b };
+            let i = self.rng.below(src.len() as u64) as usize;
+            merged.push(src.swap_remove(i));
+        }
+        self.reservoir = merged;
+        self.seen += o.seen;
+        Ok(())
+    }
+
+    fn finalize(&self) -> Value {
+        if self.reservoir.is_empty() {
+            return Value::Null;
+        }
+        let mut v = self.reservoir.clone();
+        v.sort_by(f64::total_cmp);
+        let n = v.len();
+        let m = if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            (v[n / 2 - 1] + v[n / 2]) / 2.0
+        };
+        Value::Float(m)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Aggregate for ApproxMedian {
+    fn name(&self) -> &str {
+        "approx_median"
+    }
+
+    fn class(&self) -> AggClass {
+        AggClass::Algebraic
+    }
+
+    fn init(&self) -> Box<dyn AggState> {
+        Box::new(ApproxMedianState {
+            capacity: self.capacity.max(2),
+            reservoir: Vec::new(),
+            seen: 0,
+            rng: XorShift::new(),
+        })
+    }
+
+    fn output_type(&self, _input: DataType) -> DataType {
+        DataType::Float
+    }
+}
+
+// ---------------------------------------------------------------- mode
+
+/// Most-frequent value (`mode`), one of the paper's motivating "aggregate
+/// functions more complex than the standard set". Holistic. Ties break toward
+/// the smaller value (total order) for determinism.
+#[derive(Debug, Clone, Copy)]
+pub struct Mode;
+
+#[derive(Debug, Default)]
+pub struct ModeState {
+    counts: HashMap<Value, u64>,
+}
+
+impl AggState for ModeState {
+    fn update(&mut self, v: &Value) -> Result<()> {
+        if !v.is_null() {
+            *self.counts.entry(v.clone()).or_insert(0) += 1;
+        }
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &dyn AggState) -> Result<()> {
+        let o = downcast_state::<ModeState>(other, "ModeState")?;
+        for (v, c) in &o.counts {
+            *self.counts.entry(v.clone()).or_insert(0) += c;
+        }
+        Ok(())
+    }
+
+    fn finalize(&self) -> Value {
+        self.counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(v, _)| v.clone())
+            .unwrap_or(Value::Null)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Aggregate for Mode {
+    fn name(&self) -> &str {
+        "mode"
+    }
+
+    fn class(&self) -> AggClass {
+        AggClass::Holistic
+    }
+
+    fn init(&self) -> Box<dyn AggState> {
+        Box::<ModeState>::default()
+    }
+
+    fn output_type(&self, input: DataType) -> DataType {
+        input
+    }
+}
+
+// ---------------------------------------------------------------- count distinct
+
+/// `count_distinct(col)`. Holistic (keeps the distinct set).
+#[derive(Debug, Clone, Copy)]
+pub struct CountDistinct;
+
+#[derive(Debug, Default)]
+pub struct CountDistinctState {
+    seen: std::collections::HashSet<Value>,
+}
+
+impl AggState for CountDistinctState {
+    fn update(&mut self, v: &Value) -> Result<()> {
+        if !v.is_null() {
+            self.seen.insert(v.clone());
+        }
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &dyn AggState) -> Result<()> {
+        let o = downcast_state::<CountDistinctState>(other, "CountDistinctState")?;
+        self.seen.extend(o.seen.iter().cloned());
+        Ok(())
+    }
+
+    fn finalize(&self) -> Value {
+        Value::Int(self.seen.len() as i64)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Aggregate for CountDistinct {
+    fn name(&self) -> &str {
+        "count_distinct"
+    }
+
+    fn class(&self) -> AggClass {
+        AggClass::Holistic
+    }
+
+    fn init(&self) -> Box<dyn AggState> {
+        Box::<CountDistinctState>::default()
+    }
+
+    fn output_type(&self, _input: DataType) -> DataType {
+        DataType::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(agg: &dyn Aggregate, vals: &[Value]) -> Value {
+        let mut s = agg.init();
+        for v in vals {
+            s.update(v).unwrap();
+        }
+        s.finalize()
+    }
+
+    fn ints(v: &[i64]) -> Vec<Value> {
+        v.iter().map(|&i| Value::Int(i)).collect()
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(run(&Median, &ints(&[5, 1, 3])), Value::Float(3.0));
+        assert_eq!(run(&Median, &ints(&[4, 1, 3, 2])), Value::Float(2.5));
+        assert_eq!(run(&Median, &[]), Value::Null);
+    }
+
+    #[test]
+    fn median_merge_matches_concat() {
+        let mut a = Median.init();
+        for v in ints(&[1, 9, 5]) {
+            a.update(&v).unwrap();
+        }
+        let mut b = Median.init();
+        for v in ints(&[3, 7]) {
+            b.update(&v).unwrap();
+        }
+        a.merge(b.as_ref()).unwrap();
+        assert_eq!(a.finalize(), Value::Float(5.0));
+    }
+
+    #[test]
+    fn approx_median_is_close_on_uniform_data() {
+        let agg = ApproxMedian { capacity: 64 };
+        let mut s = agg.init();
+        for i in 0..10_000i64 {
+            s.update(&Value::Int(i)).unwrap();
+        }
+        let got = s.finalize().as_float().unwrap();
+        let true_median = 4999.5;
+        let rel = (got - true_median).abs() / 10_000.0;
+        assert!(rel < 0.15, "approx median {got} too far from {true_median}");
+    }
+
+    #[test]
+    fn approx_median_exact_when_under_capacity() {
+        let agg = ApproxMedian { capacity: 1024 };
+        let mut s = agg.init();
+        for v in ints(&[10, 20, 30]) {
+            s.update(&v).unwrap();
+        }
+        assert_eq!(s.finalize(), Value::Float(20.0));
+    }
+
+    #[test]
+    fn mode_picks_most_frequent_with_deterministic_ties() {
+        let vals = ints(&[1, 2, 2, 3, 3]);
+        // 2 and 3 tie; smaller wins.
+        assert_eq!(run(&Mode, &vals), Value::Int(2));
+        assert_eq!(run(&Mode, &ints(&[7, 7, 1])), Value::Int(7));
+        assert_eq!(run(&Mode, &[]), Value::Null);
+    }
+
+    #[test]
+    fn mode_works_on_strings() {
+        let vals = vec![Value::str("NY"), Value::str("NY"), Value::str("CA")];
+        assert_eq!(run(&Mode, &vals), Value::str("NY"));
+    }
+
+    #[test]
+    fn count_distinct_dedups_across_merge() {
+        let mut a = CountDistinct.init();
+        for v in ints(&[1, 2, 2]) {
+            a.update(&v).unwrap();
+        }
+        let mut b = CountDistinct.init();
+        for v in ints(&[2, 3]) {
+            b.update(&v).unwrap();
+        }
+        a.merge(b.as_ref()).unwrap();
+        assert_eq!(a.finalize(), Value::Int(3));
+    }
+
+    #[test]
+    fn holistic_classification() {
+        assert_eq!(Median.class(), AggClass::Holistic);
+        assert_eq!(Mode.class(), AggClass::Holistic);
+        assert_eq!(CountDistinct.class(), AggClass::Holistic);
+        assert_eq!(ApproxMedian::default().class(), AggClass::Algebraic);
+    }
+}

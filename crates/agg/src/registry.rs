@@ -1,0 +1,185 @@
+//! Aggregate-function registry: name → implementation, with UDAF support.
+
+use crate::builtins::{Avg, Count, FirstLast, MinMax, Sum, Variance};
+use crate::error::{AggError, Result};
+use crate::holistic::{ApproxMedian, CountDistinct, Median, Mode};
+use crate::traits::AggRef;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A registry of aggregate functions. Clone-cheap (functions are shared).
+///
+/// `Registry::standard()` holds the builtins; user-defined aggregates
+/// (the UDAF path of [JM98, WZ00a] the paper discusses) are added with
+/// [`Registry::register`].
+#[derive(Debug, Clone)]
+pub struct Registry {
+    by_name: HashMap<String, AggRef>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        Registry {
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// The standard registry: count, count(*), sum, avg, min, max, var,
+    /// stddev, first, last, median, approx_median, mode, count_distinct.
+    pub fn standard() -> Self {
+        let mut r = Registry::empty();
+        r.register(Arc::new(Count { star: false }));
+        r.register_as("count(*)", Arc::new(Count { star: true }));
+        r.register(Arc::new(Sum));
+        r.register(Arc::new(Avg));
+        r.register(Arc::new(MinMax { is_max: false }));
+        r.register(Arc::new(MinMax { is_max: true }));
+        r.register(Arc::new(Variance { sqrt: false }));
+        r.register(Arc::new(Variance { sqrt: true }));
+        r.register(Arc::new(FirstLast { is_last: false }));
+        r.register(Arc::new(FirstLast { is_last: true }));
+        r.register(Arc::new(Median));
+        r.register(Arc::new(ApproxMedian::default()));
+        r.register(Arc::new(Mode));
+        r.register(Arc::new(CountDistinct));
+        r
+    }
+
+    /// Register under the aggregate's own name (lower-cased).
+    pub fn register(&mut self, agg: AggRef) {
+        let name = agg.name().to_ascii_lowercase();
+        self.by_name.insert(name, agg);
+    }
+
+    /// Register under an explicit name.
+    pub fn register_as(&mut self, name: &str, agg: AggRef) {
+        self.by_name.insert(name.to_ascii_lowercase(), agg);
+    }
+
+    /// Look up by name (case-insensitive).
+    pub fn get(&self, name: &str) -> Result<AggRef> {
+        self.by_name
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| AggError::UnknownFunction(name.to_string()))
+    }
+
+    /// Whether a name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Registered names (sorted).
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.by_name.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{AggClass, AggState, Aggregate};
+    use mdj_storage::{DataType, Value};
+    use std::any::Any;
+
+    #[test]
+    fn standard_registry_has_builtins() {
+        let r = Registry::standard();
+        for name in [
+            "count",
+            "count(*)",
+            "sum",
+            "avg",
+            "min",
+            "max",
+            "var",
+            "stddev",
+            "first",
+            "last",
+            "median",
+            "approx_median",
+            "mode",
+            "count_distinct",
+        ] {
+            assert!(r.contains(name), "missing {name}");
+        }
+        assert!(!r.contains("nope"));
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let r = Registry::standard();
+        assert!(r.get("SUM").is_ok());
+        assert!(r.get("Avg").is_ok());
+        assert!(matches!(r.get("bogus"), Err(AggError::UnknownFunction(_))));
+    }
+
+    /// A toy UDAF: product of values.
+    #[derive(Debug)]
+    struct Product;
+
+    #[derive(Debug)]
+    struct ProductState(f64, u64);
+
+    impl AggState for ProductState {
+        fn update(&mut self, v: &Value) -> crate::Result<()> {
+            if let Some(f) = v.as_float() {
+                self.0 *= f;
+                self.1 += 1;
+            }
+            Ok(())
+        }
+        fn merge(&mut self, other: &dyn AggState) -> crate::Result<()> {
+            let o = crate::traits::downcast_state::<ProductState>(other, "ProductState")?;
+            self.0 *= o.0;
+            self.1 += o.1;
+            Ok(())
+        }
+        fn finalize(&self) -> Value {
+            if self.1 == 0 {
+                Value::Null
+            } else {
+                Value::Float(self.0)
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    impl Aggregate for Product {
+        fn name(&self) -> &str {
+            "product"
+        }
+        fn class(&self) -> AggClass {
+            AggClass::Distributive
+        }
+        fn init(&self) -> Box<dyn AggState> {
+            Box::new(ProductState(1.0, 0))
+        }
+        fn output_type(&self, _input: DataType) -> DataType {
+            DataType::Float
+        }
+    }
+
+    #[test]
+    fn udaf_registration_and_use() {
+        let mut r = Registry::standard();
+        r.register(Arc::new(Product));
+        let agg = r.get("product").unwrap();
+        let mut s = agg.init();
+        for v in [Value::Int(2), Value::Int(3), Value::Int(4)] {
+            s.update(&v).unwrap();
+        }
+        assert_eq!(s.finalize(), Value::Float(24.0));
+    }
+}

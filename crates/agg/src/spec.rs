@@ -1,0 +1,208 @@
+//! Aggregate specifications: the elements of the MD-join's `l` list.
+//!
+//! An [`AggSpec`] names a function, its input column (or `*`), and an output
+//! alias. Definition 3.1 names output columns `fᵢ_R_cᵢ`; we default to the
+//! identifier-friendly `{func}_{column}` (e.g. `sum_sale`, `count_star`) and
+//! let queries override with an alias, which series of MD-joins need to keep
+//! same-function columns distinct (e.g. `avg_sale_ny` vs `avg_sale_nj` in
+//! Example 2.2).
+
+use crate::error::{AggError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What an aggregate consumes from each matching detail tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggInput {
+    /// `count(*)`-style: every matching tuple, no column read.
+    Star,
+    /// A named detail column.
+    Column(String),
+}
+
+impl AggInput {
+    pub fn column(&self) -> Option<&str> {
+        match self {
+            AggInput::Star => None,
+            AggInput::Column(c) => Some(c),
+        }
+    }
+}
+
+/// One element of the MD-join's aggregate list `l`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AggSpec {
+    /// Function name resolved against a [`crate::Registry`].
+    pub function: String,
+    pub input: AggInput,
+    /// Output column name override.
+    pub alias: Option<String>,
+}
+
+impl AggSpec {
+    pub fn new(function: impl Into<String>, input: AggInput) -> Self {
+        AggSpec {
+            function: function.into(),
+            input,
+            alias: None,
+        }
+    }
+
+    /// `sum(sale)`-style convenience constructor.
+    pub fn on_column(function: impl Into<String>, column: impl Into<String>) -> Self {
+        AggSpec::new(function, AggInput::Column(column.into()))
+    }
+
+    /// `count(*)` convenience constructor.
+    pub fn count_star() -> Self {
+        AggSpec::new("count(*)", AggInput::Star)
+    }
+
+    /// Set the output alias.
+    pub fn with_alias(mut self, alias: impl Into<String>) -> Self {
+        self.alias = Some(alias.into());
+        self
+    }
+
+    /// The output column name: the alias if set, otherwise `{func}_{col}`
+    /// with the column's unqualified base name (`count_star` for `*`).
+    pub fn output_name(&self) -> String {
+        if let Some(a) = &self.alias {
+            return a.clone();
+        }
+        let func = self
+            .function
+            .trim_end_matches("(*)")
+            .replace(['(', ')', '*'], "");
+        match &self.input {
+            AggInput::Star => format!("{func}_star"),
+            AggInput::Column(c) => {
+                let base = c.rsplit_once('.').map(|(_, b)| b).unwrap_or(c);
+                format!("{func}_{base}")
+            }
+        }
+    }
+
+    /// Parse `func(col)`, `func(*)`, optionally `… as alias`
+    /// (case-insensitive `as`).
+    pub fn parse(s: &str) -> Result<AggSpec> {
+        let s = s.trim();
+        let (call, alias) = match split_as(s) {
+            Some((c, a)) => (c.trim(), Some(a.trim().to_string())),
+            None => (s, None),
+        };
+        let open = call.find('(').ok_or_else(|| AggError::BadSpec(s.into()))?;
+        if !call.ends_with(')') {
+            return Err(AggError::BadSpec(s.into()));
+        }
+        let func = call[..open].trim();
+        let arg = call[open + 1..call.len() - 1].trim();
+        if func.is_empty() {
+            return Err(AggError::BadSpec(s.into()));
+        }
+        let (function, input) = if arg == "*" {
+            (format!("{}(*)", func.to_ascii_lowercase()), AggInput::Star)
+        } else if arg.is_empty() {
+            return Err(AggError::BadSpec(s.into()));
+        } else {
+            (func.to_ascii_lowercase(), AggInput::Column(arg.to_string()))
+        };
+        Ok(AggSpec {
+            function,
+            input,
+            alias,
+        })
+    }
+}
+
+/// Split `expr as alias` at a top-level, case-insensitive ` as `.
+fn split_as(s: &str) -> Option<(&str, &str)> {
+    let lower = s.to_ascii_lowercase();
+    let mut depth = 0usize;
+    let bytes = lower.as_bytes();
+    let mut i = 0;
+    while i + 4 <= bytes.len() {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => depth = depth.saturating_sub(1),
+            b' ' if depth == 0 && lower[i..].starts_with(" as ") => {
+                return Some((&s[..i], &s[i + 4..]));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+impl fmt::Display for AggSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let func = self.function.trim_end_matches("(*)");
+        match &self.input {
+            AggInput::Star => write!(f, "{func}(*)")?,
+            AggInput::Column(c) => write!(f, "{func}({c})")?,
+        }
+        if let Some(a) = &self.alias {
+            write!(f, " as {a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_names() {
+        assert_eq!(AggSpec::on_column("sum", "sale").output_name(), "sum_sale");
+        assert_eq!(AggSpec::count_star().output_name(), "count_star");
+        assert_eq!(
+            AggSpec::on_column("avg", "Sales.sale").output_name(),
+            "avg_sale"
+        );
+        assert_eq!(
+            AggSpec::on_column("sum", "sale")
+                .with_alias("total")
+                .output_name(),
+            "total"
+        );
+    }
+
+    #[test]
+    fn parse_simple_and_star() {
+        assert_eq!(
+            AggSpec::parse("sum(sale)").unwrap(),
+            AggSpec::on_column("sum", "sale")
+        );
+        assert_eq!(AggSpec::parse("count(*)").unwrap(), AggSpec::count_star());
+        assert_eq!(
+            AggSpec::parse("AVG(Sales.sale)").unwrap(),
+            AggSpec::on_column("avg", "Sales.sale")
+        );
+    }
+
+    #[test]
+    fn parse_with_alias() {
+        let s = AggSpec::parse("avg(sale) as avg_ny").unwrap();
+        assert_eq!(s.alias.as_deref(), Some("avg_ny"));
+        assert_eq!(s.output_name(), "avg_ny");
+        let s = AggSpec::parse("count(*) AS n").unwrap();
+        assert_eq!(s.output_name(), "n");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["sum", "sum()", "(sale)", "sum(sale", "sum sale)"] {
+            assert!(AggSpec::parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in ["sum(sale)", "count(*)", "avg(sale) as a"] {
+            let spec = AggSpec::parse(s).unwrap();
+            assert_eq!(AggSpec::parse(&spec.to_string()).unwrap(), spec);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! The `Aggregate` / `AggState` traits: the UDAF surface of the framework.
+
+use crate::error::Result;
+use mdj_storage::{DataType, Value};
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+/// Gray et al.'s aggregate classification, as used throughout Section 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggClass {
+    /// Partial results over a partition combine exactly into the total with
+    /// the same function (count, sum, min, max).
+    Distributive,
+    /// A bounded intermediate state combines exactly (avg via (sum, count)).
+    Algebraic,
+    /// State is unbounded in general (median, mode, count-distinct).
+    Holistic,
+}
+
+/// Per-group mutable state of one aggregate: the "scratchpad" of the UDAF
+/// literature the paper cites.
+pub trait AggState: fmt::Debug + Send {
+    /// Fold one detail value into the state. NULL handling is per-aggregate
+    /// (SQL rules: every builtin except `count(*)` skips NULL).
+    fn update(&mut self, v: &Value) -> Result<()>;
+
+    /// Combine another state of the same concrete type into `self`
+    /// (Theorem 4.1: partition-parallel partial states are merged).
+    fn merge(&mut self, other: &dyn AggState) -> Result<()>;
+
+    /// Report the aggregate's current value. Empty-input semantics follow SQL
+    /// (`count` → 0, everything else → NULL), which gives the MD-join its
+    /// outer-join behaviour: base rows matching no detail tuple still appear,
+    /// with NULL aggregates.
+    fn finalize(&self) -> Value;
+
+    /// Downcasting hook for `merge`.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// An aggregate function (factory for [`AggState`]s). Implement this trait to
+/// add a user-defined aggregate; register it in a [`crate::Registry`].
+pub trait Aggregate: fmt::Debug + Send + Sync {
+    /// Canonical lower-case name (`"sum"`, `"avg"`, …).
+    fn name(&self) -> &str;
+
+    /// Classification, which gates Theorem 4.5 (distributive only) and lets a
+    /// planner reason about memory (holistic states are unbounded).
+    fn class(&self) -> AggClass;
+
+    /// Fresh state for a new group.
+    fn init(&self) -> Box<dyn AggState>;
+
+    /// Output type given the input column type.
+    fn output_type(&self, input: DataType) -> DataType;
+
+    /// Theorem 4.5 adaptation: the function `l'` applied over this aggregate's
+    /// *finalized output column* when rolling a finer cuboid up into a coarser
+    /// one ("a count in l becomes a sum in l'"). `None` for non-distributive
+    /// aggregates.
+    fn rollup_name(&self) -> Option<&'static str> {
+        None
+    }
+}
+
+/// Shared handle to an aggregate function.
+pub type AggRef = Arc<dyn Aggregate>;
+
+/// Helper for implementing `merge`: downcast `other` to `T` or fail.
+pub fn downcast_state<'a, T: 'static>(
+    other: &'a dyn AggState,
+    expected: &'static str,
+) -> Result<&'a T> {
+    other
+        .as_any()
+        .downcast_ref::<T>()
+        .ok_or(crate::AggError::MergeTypeMismatch { expected })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtins::{Count, Sum};
+
+    #[test]
+    fn downcast_state_rejects_wrong_type() {
+        let sum_state = Sum.init();
+        let count_state = Count { star: true }.init();
+        let err = downcast_state::<crate::builtins::SumState>(count_state.as_ref(), "SumState");
+        assert!(err.is_err());
+        let ok = downcast_state::<crate::builtins::SumState>(sum_state.as_ref(), "SumState");
+        assert!(ok.is_ok());
+    }
+}

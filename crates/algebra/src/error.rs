@@ -1,0 +1,83 @@
+//! Error type for planning and execution.
+
+use std::fmt;
+
+pub type Result<T, E = AlgebraError> = std::result::Result<T, E>;
+
+/// Errors from plan construction, optimization, or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgebraError {
+    Storage(mdj_storage::StorageError),
+    Expr(mdj_expr::ExprError),
+    Agg(mdj_agg::AggError),
+    Core(mdj_core::CoreError),
+    Naive(mdj_naive::NaiveError),
+    /// A rewrite's precondition did not hold.
+    RuleNotApplicable { rule: &'static str, reason: String },
+    /// Plan is malformed (e.g. empty union).
+    InvalidPlan(String),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::Storage(e) => write!(f, "storage error: {e}"),
+            AlgebraError::Expr(e) => write!(f, "expression error: {e}"),
+            AlgebraError::Agg(e) => write!(f, "aggregate error: {e}"),
+            AlgebraError::Core(e) => write!(f, "md-join error: {e}"),
+            AlgebraError::Naive(e) => write!(f, "relational operator error: {e}"),
+            AlgebraError::RuleNotApplicable { rule, reason } => {
+                write!(f, "rule `{rule}` not applicable: {reason}")
+            }
+            AlgebraError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+impl From<mdj_storage::StorageError> for AlgebraError {
+    fn from(e: mdj_storage::StorageError) -> Self {
+        AlgebraError::Storage(e)
+    }
+}
+
+impl From<mdj_expr::ExprError> for AlgebraError {
+    fn from(e: mdj_expr::ExprError) -> Self {
+        AlgebraError::Expr(e)
+    }
+}
+
+impl From<mdj_agg::AggError> for AlgebraError {
+    fn from(e: mdj_agg::AggError) -> Self {
+        AlgebraError::Agg(e)
+    }
+}
+
+impl From<mdj_core::CoreError> for AlgebraError {
+    fn from(e: mdj_core::CoreError) -> Self {
+        AlgebraError::Core(e)
+    }
+}
+
+impl From<mdj_naive::NaiveError> for AlgebraError {
+    fn from(e: mdj_naive::NaiveError) -> Self {
+        AlgebraError::Naive(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: AlgebraError = mdj_core::CoreError::BadConfig("x".into()).into();
+        assert!(e.to_string().contains("md-join"));
+        let e = AlgebraError::RuleNotApplicable {
+            rule: "split",
+            reason: "θ mentions both detail tables".into(),
+        };
+        assert!(e.to_string().contains("split"));
+    }
+}

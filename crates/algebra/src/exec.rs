@@ -1,0 +1,270 @@
+//! Plan execution.
+
+use crate::error::{AlgebraError, Result};
+use crate::plan::{BaseShape, Plan};
+use mdj_core::basevalues;
+use mdj_core::generalized::{md_join_multi, Block};
+use mdj_core::{md_join, ExecContext};
+use mdj_storage::{Catalog, Relation, Row};
+
+/// Execute a logical plan against a catalog.
+///
+/// MD-join nodes run Algorithm 3.1 with the context's probe strategy;
+/// generalized MD-join nodes evaluate all blocks in one scan.
+pub fn execute(plan: &Plan, catalog: &Catalog, ctx: &ExecContext) -> Result<Relation> {
+    match plan {
+        Plan::Table(name) => Ok(catalog.get(name)?.as_ref().clone()),
+        Plan::Inline(rel) => Ok(rel.as_ref().clone()),
+        Plan::Select { input, pred } => {
+            let rel = execute(input, catalog, ctx)?;
+            // σ predicates are usually written over the detail side, but
+            // predicates produced for *base* plans (Observation 4.1 inputs)
+            // use base-side references; accept both.
+            if pred.uses_side(mdj_expr::Side::Base) {
+                let bound = pred.bind(Some(rel.schema()), None)?;
+                let mut out = Relation::empty(rel.schema().clone());
+                for row in rel.iter() {
+                    if bound.eval_bool(row.values(), &[])? {
+                        out.push_unchecked(row.clone());
+                    }
+                }
+                Ok(out)
+            } else {
+                Ok(mdj_naive::ops::select(&rel, pred)?)
+            }
+        }
+        Plan::Project { input, cols } => {
+            let rel = execute(input, catalog, ctx)?;
+            let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+            Ok(rel.project(&names)?)
+        }
+        Plan::Base { input, shape } => {
+            let rel = execute(input, catalog, ctx)?;
+            let dims: Vec<&str> = shape.dims().iter().map(String::as_str).collect();
+            let out = match shape {
+                BaseShape::GroupBy(_) => basevalues::group_by(&rel, &dims)?,
+                BaseShape::Cube(_) => basevalues::cube(&rel, &dims)?,
+                BaseShape::Rollup(_) => basevalues::rollup(&rel, &dims)?,
+                BaseShape::GroupingSets(_, sets) => {
+                    let sets: Vec<Vec<&str>> = sets
+                        .iter()
+                        .map(|s| s.iter().map(String::as_str).collect())
+                        .collect();
+                    basevalues::grouping_sets(&rel, &dims, &sets)?
+                }
+                BaseShape::Unpivot(_) => basevalues::unpivot(&rel, &dims)?,
+            };
+            Ok(out)
+        }
+        Plan::Union(parts) => {
+            let mut iter = parts.iter();
+            let first = iter
+                .next()
+                .ok_or_else(|| AlgebraError::InvalidPlan("union of zero plans".into()))?;
+            let mut acc = execute(first, catalog, ctx)?;
+            for p in iter {
+                let next = execute(p, catalog, ctx)?;
+                acc = acc.union(&next)?;
+            }
+            Ok(acc)
+        }
+        Plan::MdJoin {
+            base,
+            detail,
+            aggs,
+            theta,
+        } => {
+            let b = execute(base, catalog, ctx)?;
+            let r = execute(detail, catalog, ctx)?;
+            Ok(md_join(&b, &r, aggs, theta, ctx)?)
+        }
+        Plan::GenMdJoin {
+            base,
+            detail,
+            blocks,
+        } => {
+            let b = execute(base, catalog, ctx)?;
+            let r = execute(detail, catalog, ctx)?;
+            let core_blocks: Vec<Block> = blocks
+                .iter()
+                .map(|blk| Block::new(blk.theta.clone(), blk.aggs.clone()))
+                .collect();
+            Ok(md_join_multi(&b, &r, &core_blocks, ctx)?)
+        }
+        Plan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            keep_right,
+        } => {
+            let l = execute(left, catalog, ctx)?;
+            let r = execute(right, catalog, ctx)?;
+            let lk: Vec<&str> = left_keys.iter().map(String::as_str).collect();
+            let rk: Vec<&str> = right_keys.iter().map(String::as_str).collect();
+            let joined = mdj_naive::join::hash_join(&l, &r, &lk, &rk)?;
+            // Keep left columns + the requested right columns.
+            let keep_idx: Vec<usize> = {
+                let mut idx: Vec<usize> = (0..l.schema().len()).collect();
+                for name in keep_right {
+                    let i = r.schema().index_of(name)?;
+                    idx.push(l.schema().len() + i);
+                }
+                idx
+            };
+            let schema = joined.schema().project(&keep_idx);
+            let rows = joined
+                .iter()
+                .map(|row| Row::new(row.key(&keep_idx)))
+                .collect();
+            Ok(Relation::from_rows(schema, rows))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdj_agg::AggSpec;
+    use mdj_expr::builder::*;
+    use mdj_storage::{DataType, Schema, Value};
+
+    fn catalog() -> Catalog {
+        let schema = Schema::from_pairs(&[
+            ("cust", DataType::Int),
+            ("month", DataType::Int),
+            ("state", DataType::Str),
+            ("sale", DataType::Float),
+        ]);
+        let mk = |c: i64, m: i64, st: &str, s: f64| {
+            Row::from_values(vec![
+                Value::Int(c),
+                Value::Int(m),
+                Value::str(st),
+                Value::Float(s),
+            ])
+        };
+        let rel = Relation::from_rows(
+            schema,
+            vec![
+                mk(1, 1, "NY", 10.0),
+                mk(1, 2, "NY", 20.0),
+                mk(2, 1, "NJ", 30.0),
+                mk(2, 2, "CT", 40.0),
+            ],
+        );
+        let mut c = Catalog::new();
+        c.register("Sales", rel);
+        c
+    }
+
+    #[test]
+    fn end_to_end_group_by_md_join() {
+        let plan = Plan::table("Sales").group_by_base(&["cust"]).md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::on_column("sum", "sale")],
+            eq(col_b("cust"), col_r("cust")),
+        );
+        let out = execute(&plan, &catalog(), &ExecContext::new()).unwrap();
+        assert_eq!(out.len(), 2);
+        let c1 = out.rows().iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        assert_eq!(c1[1], Value::Float(30.0));
+    }
+
+    #[test]
+    fn select_pushes_into_detail() {
+        let plan = Plan::table("Sales").group_by_base(&["cust"]).md_join(
+            Plan::table("Sales").select(eq(col_r("state"), lit("NY"))),
+            vec![AggSpec::count_star()],
+            eq(col_b("cust"), col_r("cust")),
+        );
+        let out = execute(&plan, &catalog(), &ExecContext::new()).unwrap();
+        let c2 = out.rows().iter().find(|r| r[0] == Value::Int(2)).unwrap();
+        assert_eq!(c2[1], Value::Int(0)); // outer semantics
+    }
+
+    #[test]
+    fn cube_base_execution() {
+        let plan = Plan::table("Sales")
+            .cube_base(&["cust", "month"])
+            .md_join(
+                Plan::table("Sales"),
+                vec![AggSpec::on_column("sum", "sale")],
+                mdj_core::basevalues::cube_match_theta(&["cust", "month"]),
+            );
+        let out = execute(&plan, &catalog(), &ExecContext::new()).unwrap();
+        // distinct pairs 4 + custs 2 + months 2 + apex 1 = 9
+        assert_eq!(out.len(), 9);
+        let apex = out
+            .rows()
+            .iter()
+            .find(|r| r[0].is_all() && r[1].is_all())
+            .unwrap();
+        assert_eq!(apex[2], Value::Float(100.0));
+    }
+
+    #[test]
+    fn union_and_project() {
+        let p = Plan::Union(vec![
+            Plan::table("Sales").select(eq(col_r("cust"), lit(1i64))),
+            Plan::table("Sales").select(eq(col_r("cust"), lit(2i64))),
+        ])
+        .project(&["cust", "sale"]);
+        let out = execute(&p, &catalog(), &ExecContext::new()).unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(out.schema().names(), vec!["cust", "sale"]);
+    }
+
+    #[test]
+    fn gen_md_join_node() {
+        let blocks = vec![
+            crate::plan::PlanBlock::new(
+                vec![AggSpec::on_column("sum", "sale").with_alias("s1")],
+                and(eq(col_b("cust"), col_r("cust")), eq(col_r("month"), lit(1i64))),
+            ),
+            crate::plan::PlanBlock::new(
+                vec![AggSpec::on_column("sum", "sale").with_alias("s2")],
+                and(eq(col_b("cust"), col_r("cust")), eq(col_r("month"), lit(2i64))),
+            ),
+        ];
+        let plan = Plan::GenMdJoin {
+            base: Box::new(Plan::table("Sales").group_by_base(&["cust"])),
+            detail: Box::new(Plan::table("Sales")),
+            blocks,
+        };
+        let out = execute(&plan, &catalog(), &ExecContext::new()).unwrap();
+        let c1 = out.rows().iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        assert_eq!(c1[1], Value::Float(10.0));
+        assert_eq!(c1[2], Value::Float(20.0));
+    }
+
+    #[test]
+    fn join_node_keeps_selected_right_columns() {
+        let left = Plan::table("Sales").group_by_base(&["cust"]).md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::on_column("sum", "sale").with_alias("total")],
+            eq(col_b("cust"), col_r("cust")),
+        );
+        let right = Plan::table("Sales").group_by_base(&["cust"]).md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::count_star().with_alias("n")],
+            eq(col_b("cust"), col_r("cust")),
+        );
+        let plan = Plan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            left_keys: vec!["cust".into()],
+            right_keys: vec!["cust".into()],
+            keep_right: vec!["n".into()],
+        };
+        let out = execute(&plan, &catalog(), &ExecContext::new()).unwrap();
+        assert_eq!(out.schema().names(), vec!["cust", "total", "n"]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let plan = Plan::table("Nope");
+        assert!(execute(&plan, &catalog(), &ExecContext::new()).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Plan pretty-printing (`EXPLAIN`-style).
+
+use crate::plan::{BaseShape, Plan};
+use std::fmt::Write;
+
+/// Render a plan as an indented tree.
+pub fn explain(plan: &Plan) -> String {
+    let mut out = String::new();
+    walk(plan, 0, &mut out);
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn walk(plan: &Plan, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match plan {
+        Plan::Table(name) => {
+            let _ = writeln!(out, "Table {name}");
+        }
+        Plan::Inline(rel) => {
+            let _ = writeln!(out, "Inline [{} rows] {}", rel.len(), rel.schema());
+        }
+        Plan::Select { input, pred } => {
+            let _ = writeln!(out, "Select {pred}");
+            walk(input, depth + 1, out);
+        }
+        Plan::Project { input, cols } => {
+            let _ = writeln!(out, "Project [{}]", cols.join(", "));
+            walk(input, depth + 1, out);
+        }
+        Plan::Base { input, shape } => {
+            let desc = match shape {
+                BaseShape::GroupBy(d) => format!("GroupBy({})", d.join(", ")),
+                BaseShape::Cube(d) => format!("Cube({})", d.join(", ")),
+                BaseShape::Rollup(d) => format!("Rollup({})", d.join(", ")),
+                BaseShape::GroupingSets(d, s) => {
+                    format!("GroupingSets({}; {} sets)", d.join(", "), s.len())
+                }
+                BaseShape::Unpivot(d) => format!("Unpivot({})", d.join(", ")),
+            };
+            let _ = writeln!(out, "BaseValues {desc}");
+            walk(input, depth + 1, out);
+        }
+        Plan::Union(parts) => {
+            let _ = writeln!(out, "Union [{} inputs]", parts.len());
+            for p in parts {
+                walk(p, depth + 1, out);
+            }
+        }
+        Plan::MdJoin {
+            base,
+            detail,
+            aggs,
+            theta,
+        } => {
+            let l: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+            let _ = writeln!(out, "MDJoin l=[{}] θ={theta}", l.join(", "));
+            walk(base, depth + 1, out);
+            walk(detail, depth + 1, out);
+        }
+        Plan::GenMdJoin {
+            base,
+            detail,
+            blocks,
+        } => {
+            let _ = writeln!(out, "GenMDJoin [{} blocks]", blocks.len());
+            for blk in blocks {
+                indent(depth + 1, out);
+                let l: Vec<String> = blk.aggs.iter().map(|a| a.to_string()).collect();
+                let _ = writeln!(out, "block l=[{}] θ={}", l.join(", "), blk.theta);
+            }
+            walk(base, depth + 1, out);
+            walk(detail, depth + 1, out);
+        }
+        Plan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            keep_right,
+        } => {
+            let _ = writeln!(
+                out,
+                "Join on [{}]=[{}] keep_right=[{}]",
+                left_keys.join(", "),
+                right_keys.join(", "),
+                keep_right.join(", ")
+            );
+            walk(left, depth + 1, out);
+            walk(right, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdj_agg::AggSpec;
+    use mdj_expr::builder::*;
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = Plan::table("Sales").group_by_base(&["cust"]).md_join(
+            Plan::table("Sales").select(eq(col_r("state"), lit("NY"))),
+            vec![AggSpec::on_column("avg", "sale")],
+            eq(col_b("cust"), col_r("cust")),
+        );
+        let s = explain(&plan);
+        assert!(s.contains("MDJoin"));
+        assert!(s.contains("BaseValues GroupBy(cust)"));
+        assert!(s.contains("Select (R.state = 'NY')"));
+        // Indentation present.
+        assert!(s.lines().any(|l| l.starts_with("    ")));
+    }
+}

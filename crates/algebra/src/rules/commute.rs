@@ -1,0 +1,175 @@
+//! Theorem 4.3 — commuting consecutive MD-joins.
+//!
+//! `MD(MD(B, R₁, l₁, θ₁), R₂, l₂, θ₂) = MD(MD(B, R₂, l₂, θ₂), R₁, l₁, θ₁)`
+//! when θ₁ involves only attributes of `B` and `R₁`, and θ₂ only attributes
+//! of `B` and `R₂` — i.e. neither θ reads the other stage's aggregate
+//! outputs. The commuted plan's rows carry the same values; only the
+//! aggregate column order changes.
+
+use crate::error::{AlgebraError, Result};
+use crate::plan::Plan;
+use mdj_expr::analysis::theta_independent_of;
+
+/// Swap the two topmost MD-joins of `plan`.
+///
+/// Errors with [`AlgebraError::RuleNotApplicable`] if the plan's root is not
+/// two stacked MD-joins or if the outer θ depends on the inner stage's
+/// outputs (or vice versa, which cannot happen in a well-formed plan but is
+/// checked anyway).
+pub fn commute_md_joins(plan: &Plan) -> Result<Plan> {
+    let Plan::MdJoin {
+        base: outer_base,
+        detail: detail2,
+        aggs: l2,
+        theta: theta2,
+    } = plan
+    else {
+        return Err(AlgebraError::RuleNotApplicable {
+            rule: "commute",
+            reason: "root is not an MD-join".into(),
+        });
+    };
+    let Plan::MdJoin {
+        base,
+        detail: detail1,
+        aggs: l1,
+        theta: theta1,
+    } = outer_base.as_ref()
+    else {
+        return Err(AlgebraError::RuleNotApplicable {
+            rule: "commute",
+            reason: "base is not an MD-join".into(),
+        });
+    };
+    let out1: Vec<String> = l1.iter().map(|a| a.output_name()).collect();
+    let out2: Vec<String> = l2.iter().map(|a| a.output_name()).collect();
+    if !theta_independent_of(theta2, &out1) {
+        return Err(AlgebraError::RuleNotApplicable {
+            rule: "commute",
+            reason: format!("outer θ `{theta2}` reads inner outputs {out1:?}"),
+        });
+    }
+    if !theta_independent_of(theta1, &out2) {
+        return Err(AlgebraError::RuleNotApplicable {
+            rule: "commute",
+            reason: format!("inner θ `{theta1}` reads outer outputs {out2:?}"),
+        });
+    }
+    Ok(Plan::MdJoin {
+        base: Box::new(Plan::MdJoin {
+            base: base.clone(),
+            detail: detail2.clone(),
+            aggs: l2.clone(),
+            theta: theta2.clone(),
+        }),
+        detail: detail1.clone(),
+        aggs: l1.clone(),
+        theta: theta1.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use mdj_agg::AggSpec;
+    use mdj_core::ExecContext;
+    use mdj_expr::builder::*;
+    use mdj_storage::{Catalog, DataType, Relation, Row, Schema, Value};
+
+    fn catalog() -> Catalog {
+        let schema = Schema::from_pairs(&[
+            ("cust", DataType::Int),
+            ("state", DataType::Str),
+            ("sale", DataType::Float),
+        ]);
+        let rel = Relation::from_rows(
+            schema,
+            vec![
+                Row::from_values(vec![Value::Int(1), Value::str("NY"), Value::Float(10.0)]),
+                Row::from_values(vec![Value::Int(1), Value::str("NJ"), Value::Float(20.0)]),
+                Row::from_values(vec![Value::Int(2), Value::str("NY"), Value::Float(40.0)]),
+            ],
+        );
+        let mut c = Catalog::new();
+        c.register("Sales", rel);
+        c
+    }
+
+    fn two_stage() -> Plan {
+        let b = Plan::table("Sales").group_by_base(&["cust"]);
+        b.md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::on_column("avg", "sale").with_alias("avg_ny")],
+            and(
+                eq(col_b("cust"), col_r("cust")),
+                eq(col_r("state"), lit("NY")),
+            ),
+        )
+        .md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::on_column("avg", "sale").with_alias("avg_nj")],
+            and(
+                eq(col_b("cust"), col_r("cust")),
+                eq(col_r("state"), lit("NJ")),
+            ),
+        )
+    }
+
+    #[test]
+    fn theorem_4_3_commute_preserves_semantics() {
+        let plan = two_stage();
+        let commuted = commute_md_joins(&plan).unwrap();
+        let cat = catalog();
+        let ctx = ExecContext::new();
+        let a = execute(&plan, &cat, &ctx).unwrap();
+        let b = execute(&commuted, &cat, &ctx).unwrap();
+        // Columns permute: compare after projecting to a common order.
+        let cols = ["cust", "avg_ny", "avg_nj"];
+        assert!(a
+            .project(&cols)
+            .unwrap()
+            .same_multiset(&b.project(&cols).unwrap()));
+        // The commuted plan really did swap the stages.
+        match &commuted {
+            Plan::MdJoin { aggs, .. } => assert_eq!(aggs[0].output_name(), "avg_ny"),
+            _ => panic!("shape"),
+        }
+    }
+
+    #[test]
+    fn dependent_stages_refuse_to_commute() {
+        let b = Plan::table("Sales").group_by_base(&["cust"]);
+        let plan = b
+            .md_join(
+                Plan::table("Sales"),
+                vec![AggSpec::on_column("avg", "sale")],
+                eq(col_b("cust"), col_r("cust")),
+            )
+            .md_join(
+                Plan::table("Sales"),
+                vec![AggSpec::count_star().with_alias("above")],
+                and(
+                    eq(col_b("cust"), col_r("cust")),
+                    gt(col_r("sale"), col_b("avg_sale")),
+                ),
+            );
+        let err = commute_md_joins(&plan);
+        assert!(matches!(
+            err,
+            Err(AlgebraError::RuleNotApplicable { rule: "commute", .. })
+        ));
+    }
+
+    #[test]
+    fn non_chain_refuses() {
+        let plan = Plan::table("Sales");
+        assert!(commute_md_joins(&plan).is_err());
+        let single = Plan::table("Sales").group_by_base(&["cust"]).md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::count_star()],
+            eq(col_b("cust"), col_r("cust")),
+        );
+        assert!(commute_md_joins(&single).is_err());
+    }
+}

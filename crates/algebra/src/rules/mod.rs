@@ -1,0 +1,13 @@
+//! The paper's algebraic transformations as rewrite rules.
+
+pub mod coalesce;
+pub mod commute;
+pub mod partition;
+pub mod pushdown;
+pub mod split;
+
+pub use coalesce::coalesce_chains;
+pub use commute::commute_md_joins;
+pub use partition::{partition_inline, partition_by_ranges};
+pub use pushdown::{push_base_ranges_to_detail, pushdown_detail_selection};
+pub use split::split_into_join;

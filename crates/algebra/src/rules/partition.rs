@@ -1,0 +1,267 @@
+//! Theorem 4.1 as a plan rewrite: `MD(B, R, l, θ) = ⋃ᵢ MD(Bᵢ, R, l, θ)`.
+//!
+//! Two variants:
+//!
+//! * [`partition_inline`] — materialize `B`, chunk it arbitrarily, and emit a
+//!   union of MD-joins over inline fragments (the in-memory plan of Section
+//!   4.1.1; executing fragments on different workers gives Section 4.1.2's
+//!   parallelism).
+//! * [`partition_by_ranges`] — range-partition `B` on one column and, via
+//!   Observation 4.1, push each range to the detail input as well, so every
+//!   fragment scans only its slice of `R` ("group-wise processing", the
+//!   month 1–3 / 4–8 / 9–12 example of Section 4.2).
+
+use crate::error::{AlgebraError, Result};
+use crate::exec::execute;
+use crate::plan::Plan;
+use mdj_core::ExecContext;
+use mdj_expr::analysis::equi_pairs;
+use mdj_expr::builder::{and, col_r, ge, le, lit};
+use mdj_storage::partition::{self, ValueRange};
+use mdj_storage::Catalog;
+
+/// Materialize the base plan and rewrite into a union of `m` fragment
+/// MD-joins (arbitrary chunking: valid for any θ).
+pub fn partition_inline(
+    plan: &Plan,
+    m: usize,
+    catalog: &Catalog,
+    ctx: &ExecContext,
+) -> Result<Plan> {
+    let Plan::MdJoin {
+        base,
+        detail,
+        aggs,
+        theta,
+    } = plan
+    else {
+        return Err(AlgebraError::RuleNotApplicable {
+            rule: "partition",
+            reason: "root is not an MD-join".into(),
+        });
+    };
+    if m == 0 {
+        return Err(AlgebraError::InvalidPlan("partition count 0".into()));
+    }
+    let b = execute(base, catalog, ctx)?;
+    let parts = partition::chunk(&b, m);
+    let fragments = parts
+        .into_iter()
+        .map(|p| Plan::MdJoin {
+            base: Box::new(Plan::inline(p)),
+            detail: detail.clone(),
+            aggs: aggs.clone(),
+            theta: theta.clone(),
+        })
+        .collect();
+    Ok(Plan::Union(fragments))
+}
+
+/// Range-partition the base on `column` and push each range to the detail
+/// side via Observation 4.1. Requires θ to equate `B.column` with some
+/// detail column; errors otherwise. Base rows outside every range are
+/// dropped, so the ranges must cover `B`'s domain for a lossless rewrite
+/// ([`mdj_storage::partition::ranges_are_disjoint`] + coverage are the
+/// caller's responsibility; the benches construct covering ranges).
+pub fn partition_by_ranges(
+    plan: &Plan,
+    column: &str,
+    ranges: &[ValueRange],
+    catalog: &Catalog,
+    ctx: &ExecContext,
+) -> Result<Plan> {
+    let Plan::MdJoin {
+        base,
+        detail,
+        aggs,
+        theta,
+    } = plan
+    else {
+        return Err(AlgebraError::RuleNotApplicable {
+            rule: "partition",
+            reason: "root is not an MD-join".into(),
+        });
+    };
+    let Some(pair) = equi_pairs(theta)
+        .into_iter()
+        .find(|p| p.base_col == column)
+    else {
+        return Err(AlgebraError::RuleNotApplicable {
+            rule: "partition",
+            reason: format!("θ `{theta}` does not equate B.{column} with a detail column"),
+        });
+    };
+    if !partition::ranges_are_disjoint(ranges) {
+        return Err(AlgebraError::InvalidPlan(
+            "range partition requires disjoint ranges".into(),
+        ));
+    }
+    let b = execute(base, catalog, ctx)?;
+    let parts = partition::by_ranges(&b, column, ranges)?;
+    let fragments = parts
+        .into_iter()
+        .zip(ranges)
+        .map(|(part, range)| {
+            // Observation 4.1: the fragment's range, restated over R.
+            let detail_pred = and(
+                ge(col_r(pair.detail_col.clone()), lit(range.lo.clone())),
+                le(col_r(pair.detail_col.clone()), lit(range.hi.clone())),
+            );
+            Plan::MdJoin {
+                base: Box::new(Plan::inline(part)),
+                detail: Box::new(detail.as_ref().clone().select(detail_pred)),
+                aggs: aggs.clone(),
+                theta: theta.clone(),
+            }
+        })
+        .collect();
+    Ok(Plan::Union(fragments))
+}
+
+/// Convenience: build covering integer ranges `[lo, hi]` split into `m`
+/// near-equal spans (for month/year-style dimensions).
+pub fn int_ranges(lo: i64, hi: i64, m: usize) -> Vec<ValueRange> {
+    let m = m.max(1) as i64;
+    let span = (hi - lo + 1).max(1);
+    let step = (span + m - 1) / m;
+    let mut out = Vec::new();
+    let mut start = lo;
+    while start <= hi {
+        let end = (start + step - 1).min(hi);
+        out.push(ValueRange::new(start, end));
+        start = end + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdj_agg::AggSpec;
+    use mdj_expr::builder::{col_b, eq};
+    use mdj_storage::{DataType, Relation, Row, Schema, Value};
+
+    fn catalog() -> Catalog {
+        let schema = Schema::from_pairs(&[("month", DataType::Int), ("sale", DataType::Int)]);
+        let rel = Relation::from_rows(
+            schema,
+            (0..48)
+                .map(|i| Row::from_values([i % 12 + 1, i]))
+                .collect(),
+        );
+        let mut c = Catalog::new();
+        c.register("Sales", rel);
+        c
+    }
+
+    fn month_plan() -> Plan {
+        Plan::table("Sales").group_by_base(&["month"]).md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::on_column("sum", "sale")],
+            eq(col_b("month"), col_r("month")),
+        )
+    }
+
+    #[test]
+    fn inline_partition_equals_direct() {
+        let cat = catalog();
+        let ctx = ExecContext::new();
+        let plan = month_plan();
+        let direct = execute(&plan, &cat, &ctx).unwrap();
+        for m in [1, 2, 3, 5, 12, 100] {
+            let part = partition_inline(&plan, m, &cat, &ctx).unwrap();
+            let out = execute(&part, &cat, &ctx).unwrap();
+            assert!(direct.same_multiset(&out), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn range_partition_equals_direct_and_prunes_detail() {
+        let cat = catalog();
+        let ctx = ExecContext::new();
+        let plan = month_plan();
+        let direct = execute(&plan, &cat, &ctx).unwrap();
+        // The paper's example split: months 1–3, 4–8, 9–12.
+        let ranges = [
+            ValueRange::new(1i64, 3i64),
+            ValueRange::new(4i64, 8i64),
+            ValueRange::new(9i64, 12i64),
+        ];
+        let part = partition_by_ranges(&plan, "month", &ranges, &cat, &ctx).unwrap();
+        // Every fragment's detail is a Select (Observation 4.1 applied).
+        match &part {
+            Plan::Union(frags) => {
+                assert_eq!(frags.len(), 3);
+                for f in frags {
+                    match f {
+                        Plan::MdJoin { detail, .. } => {
+                            assert!(matches!(detail.as_ref(), Plan::Select { .. }))
+                        }
+                        _ => panic!("fragment shape"),
+                    }
+                }
+            }
+            _ => panic!("expected union"),
+        }
+        let out = execute(&part, &cat, &ctx).unwrap();
+        assert!(direct.same_multiset(&out));
+    }
+
+    #[test]
+    fn range_partition_requires_matching_equality() {
+        let cat = catalog();
+        let ctx = ExecContext::new();
+        let plan = Plan::table("Sales").group_by_base(&["month"]).md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::count_star()],
+            mdj_expr::builder::gt(col_b("month"), col_r("month")),
+        );
+        let err = partition_by_ranges(
+            &plan,
+            "month",
+            &[ValueRange::new(1i64, 12i64)],
+            &cat,
+            &ctx,
+        );
+        assert!(matches!(
+            err,
+            Err(AlgebraError::RuleNotApplicable { .. })
+        ));
+    }
+
+    #[test]
+    fn overlapping_ranges_rejected() {
+        let cat = catalog();
+        let ctx = ExecContext::new();
+        let err = partition_by_ranges(
+            &month_plan(),
+            "month",
+            &[ValueRange::new(1i64, 6i64), ValueRange::new(6i64, 12i64)],
+            &cat,
+            &ctx,
+        );
+        assert!(matches!(err, Err(AlgebraError::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn int_ranges_cover_domain() {
+        let rs = int_ranges(1, 12, 3);
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[0], ValueRange::new(1i64, 4i64));
+        assert_eq!(rs[2].hi, Value::Int(12));
+        assert!(partition::ranges_are_disjoint(&rs));
+        let rs = int_ranges(1, 12, 5);
+        let total: i64 = rs
+            .iter()
+            .map(|r| r.hi.as_int().unwrap() - r.lo.as_int().unwrap() + 1)
+            .sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn non_md_join_rejected() {
+        let cat = catalog();
+        let ctx = ExecContext::new();
+        assert!(partition_inline(&Plan::table("Sales"), 2, &cat, &ctx).is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! Theorem 4.2 and Observation 4.1 — selection pushdown.
+//!
+//! **Theorem 4.2**: if `θ = θ₁ AND θ₂` with `θ₂` over `R` only, then
+//! `MD(B, R, l, θ) = MD(B, σ_{θ₂}(R), l, θ₁)`. Detail tuples failing `θ₂` can
+//! never join, so filtering them early is free — and enables an indexed scan
+//! of `R` when a matching clustered index exists (Example 4.1).
+//!
+//! **Observation 4.1**: a selection on `B` whose predicate only references
+//! columns that θ *equates* with detail columns can additionally be *copied*
+//! to `R` (with the column references substituted). Note the base selection
+//! must stay — it determines which rows appear in the output — but the copied
+//! detail selection prunes the scan.
+
+use crate::plan::{Plan, PlanBlock};
+use mdj_expr::analysis::{conjuncts, split_theta};
+use mdj_expr::builder::and_all;
+use mdj_expr::rewrite::base_predicate_to_detail;
+use mdj_expr::{Expr, Side};
+
+/// Apply Theorem 4.2 everywhere: each MD-join's detail-only conjuncts move
+/// into a `Select` on the detail plan. Generalized MD-joins push only the
+/// conjuncts shared by *every* block (the scan is shared).
+pub fn pushdown_detail_selection(plan: Plan) -> Plan {
+    plan.transform_up(&|node| match node {
+        Plan::MdJoin {
+            base,
+            detail,
+            aggs,
+            theta,
+        } => {
+            let split = split_theta(&theta);
+            match split.detail_predicate() {
+                Some(pred) => Plan::MdJoin {
+                    base,
+                    detail: Box::new(detail.select(pred)),
+                    aggs,
+                    theta: split.residual(),
+                },
+                None => Plan::MdJoin {
+                    base,
+                    detail,
+                    aggs,
+                    theta,
+                },
+            }
+        }
+        Plan::GenMdJoin {
+            base,
+            detail,
+            blocks,
+        } => {
+            // Find detail-only conjuncts present in every block.
+            let per_block: Vec<Vec<Expr>> = blocks
+                .iter()
+                .map(|b| split_theta(&b.theta).detail_only)
+                .collect();
+            let common: Vec<Expr> = match per_block.first() {
+                None => Vec::new(),
+                Some(first) => first
+                    .iter()
+                    .filter(|c| per_block.iter().all(|set| set.contains(c)))
+                    .cloned()
+                    .collect(),
+            };
+            if common.is_empty() {
+                return Plan::GenMdJoin {
+                    base,
+                    detail,
+                    blocks,
+                };
+            }
+            let new_blocks: Vec<PlanBlock> = blocks
+                .into_iter()
+                .map(|b| {
+                    let kept =
+                        and_all(conjuncts(&b.theta).into_iter().filter(|c| !common.contains(c)));
+                    PlanBlock::new(b.aggs, kept)
+                })
+                .collect();
+            Plan::GenMdJoin {
+                base,
+                detail: Box::new(detail.select(and_all(common))),
+                blocks: new_blocks,
+            }
+        }
+        other => other,
+    })
+}
+
+/// Apply Observation 4.1 everywhere: when an MD-join's base is
+/// `σ_pred(B)` and every base column in `pred` has an equality partner in θ,
+/// copy the substituted predicate onto the detail input.
+pub fn push_base_ranges_to_detail(plan: Plan) -> Plan {
+    plan.transform_up(&|node| match node {
+        Plan::MdJoin {
+            base,
+            detail,
+            aggs,
+            theta,
+        } => {
+            if let Plan::Select { input, pred } = base.as_ref() {
+                if let Some(detail_pred) = base_predicate_to_detail(pred, &theta) {
+                    // The rewritten predicate references the detail side only.
+                    debug_assert!(!detail_pred.uses_side(Side::Base));
+                    // Idempotence: skip if the copy is already in place.
+                    let already = matches!(
+                        detail.as_ref(),
+                        Plan::Select { pred: p, .. } if *p == detail_pred
+                    );
+                    if !already {
+                        return Plan::MdJoin {
+                            base: Box::new(Plan::Select {
+                                input: input.clone(),
+                                pred: pred.clone(),
+                            }),
+                            detail: Box::new(detail.select(detail_pred)),
+                            aggs,
+                            theta,
+                        };
+                    }
+                }
+            }
+            Plan::MdJoin {
+                base,
+                detail,
+                aggs,
+                theta,
+            }
+        }
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use mdj_agg::AggSpec;
+    use mdj_core::ExecContext;
+    use mdj_expr::builder::*;
+    use mdj_storage::{Catalog, DataType, Relation, Row, Schema, Value};
+
+    fn catalog() -> Catalog {
+        let schema = Schema::from_pairs(&[
+            ("prod", DataType::Int),
+            ("year", DataType::Int),
+            ("sale", DataType::Float),
+        ]);
+        let mk = |p: i64, y: i64, s: f64| {
+            Row::from_values(vec![Value::Int(p), Value::Int(y), Value::Float(s)])
+        };
+        let rel = Relation::from_rows(
+            schema,
+            vec![
+                mk(1, 1994, 10.0),
+                mk(1, 1996, 20.0),
+                mk(1, 1999, 40.0),
+                mk(2, 1998, 80.0),
+                mk(2, 1999, 160.0),
+            ],
+        );
+        let mut c = Catalog::new();
+        c.register("Sales", rel);
+        c
+    }
+
+    fn example_4_1_plan() -> Plan {
+        // θ₁: Sales.prod = prod AND 1994 <= year <= 1996
+        Plan::table("Sales").group_by_base(&["prod"]).md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::on_column("sum", "sale").with_alias("sum_94_96")],
+            and_all([
+                eq(col_r("prod"), col_b("prod")),
+                ge(col_r("year"), lit(1994i64)),
+                le(col_r("year"), lit(1996i64)),
+            ]),
+        )
+    }
+
+    #[test]
+    fn theorem_4_2_shape() {
+        let plan = pushdown_detail_selection(example_4_1_plan());
+        // The detail input must now be a Select, and θ only the equality.
+        match &plan {
+            Plan::MdJoin { detail, theta, .. } => {
+                assert!(matches!(detail.as_ref(), Plan::Select { .. }));
+                assert_eq!(theta.to_string(), "(R.prod = B.prod)");
+            }
+            _ => panic!("unexpected shape"),
+        }
+    }
+
+    #[test]
+    fn theorem_4_2_preserves_semantics() {
+        let original = example_4_1_plan();
+        let pushed = pushdown_detail_selection(original.clone());
+        let cat = catalog();
+        let ctx = ExecContext::new();
+        let a = execute(&original, &cat, &ctx).unwrap();
+        let b = execute(&pushed, &cat, &ctx).unwrap();
+        assert!(a.same_multiset(&b));
+        // Sanity: prod 1 sums 10+20 in 1994–1996.
+        let p1 = a.rows().iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        assert_eq!(p1[1], Value::Float(30.0));
+        // Prod 2 has no 94–96 sales → NULL (outer semantics preserved!).
+        let p2 = a.rows().iter().find(|r| r[0] == Value::Int(2)).unwrap();
+        assert_eq!(p2[1], Value::Null);
+    }
+
+    #[test]
+    fn no_detail_only_conjuncts_is_identity() {
+        let plan = Plan::table("Sales").group_by_base(&["prod"]).md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::count_star()],
+            eq(col_b("prod"), col_r("prod")),
+        );
+        let out = pushdown_detail_selection(plan.clone());
+        assert_eq!(out, plan);
+    }
+
+    #[test]
+    fn gen_md_join_pushes_only_common_conjuncts() {
+        let shared = eq(col_r("prod"), lit(1i64));
+        let blocks = vec![
+            PlanBlock::new(
+                vec![AggSpec::on_column("sum", "sale").with_alias("a")],
+                and_all([
+                    eq(col_b("prod"), col_r("prod")),
+                    shared.clone(),
+                    eq(col_r("year"), lit(1994i64)),
+                ]),
+            ),
+            PlanBlock::new(
+                vec![AggSpec::on_column("sum", "sale").with_alias("b")],
+                and_all([
+                    eq(col_b("prod"), col_r("prod")),
+                    shared.clone(),
+                    eq(col_r("year"), lit(1999i64)),
+                ]),
+            ),
+        ];
+        let plan = Plan::GenMdJoin {
+            base: Box::new(Plan::table("Sales").group_by_base(&["prod"])),
+            detail: Box::new(Plan::table("Sales")),
+            blocks,
+        };
+        let pushed = pushdown_detail_selection(plan.clone());
+        match &pushed {
+            Plan::GenMdJoin { detail, blocks, .. } => {
+                // Only the shared conjunct moved.
+                assert!(matches!(detail.as_ref(), Plan::Select { .. }));
+                for blk in blocks {
+                    let s = blk.theta.to_string();
+                    assert!(s.contains("year"), "per-block conjunct kept: {s}");
+                    assert!(!s.contains("R.prod = 1"), "shared conjunct moved: {s}");
+                }
+            }
+            _ => panic!("unexpected shape"),
+        }
+        // Semantics preserved.
+        let cat = catalog();
+        let ctx = ExecContext::new();
+        let a = execute(&plan, &cat, &ctx).unwrap();
+        let b = execute(&pushed, &cat, &ctx).unwrap();
+        assert!(a.same_multiset(&b));
+    }
+
+    #[test]
+    fn observation_4_1_copies_base_range() {
+        // σ_{B.prod >= 2}(B), θ has a prod equality → the substituted range
+        // is copied onto the detail input; the base selection stays.
+        let plan = Plan::MdJoin {
+            base: Box::new(
+                Plan::table("Sales")
+                    .group_by_base(&["prod"])
+                    .select(ge(col_b("prod"), lit(2i64))),
+            ),
+            detail: Box::new(Plan::table("Sales")),
+            aggs: vec![AggSpec::on_column("sum", "sale")],
+            theta: eq(col_b("prod"), col_r("prod")),
+        };
+        let rewritten = push_base_ranges_to_detail(plan.clone());
+        match &rewritten {
+            Plan::MdJoin { base, detail, .. } => {
+                assert!(matches!(base.as_ref(), Plan::Select { .. }));
+                match detail.as_ref() {
+                    Plan::Select { pred, .. } => {
+                        assert_eq!(pred, &ge(col_r("prod"), lit(2i64)));
+                    }
+                    _ => panic!("detail selection missing"),
+                }
+            }
+            _ => panic!("unexpected shape"),
+        }
+        // Semantics preserved (Observation 4.1 equivalence).
+        let cat = catalog();
+        let ctx = ExecContext::new();
+        let a = execute(&plan, &cat, &ctx).unwrap();
+        let b = execute(&rewritten, &cat, &ctx).unwrap();
+        assert!(a.same_multiset(&b));
+        assert_eq!(a.len(), 1); // only prod 2 survives the base selection
+    }
+
+    #[test]
+    fn observation_4_1_not_applicable_without_equality() {
+        // θ equates nothing with B.prod → rule is an identity.
+        let plan = Plan::MdJoin {
+            base: Box::new(
+                Plan::table("Sales")
+                    .group_by_base(&["prod"])
+                    .select(ge(col_b("prod"), lit(2i64))),
+            ),
+            detail: Box::new(Plan::table("Sales")),
+            aggs: vec![AggSpec::count_star()],
+            theta: gt(col_r("sale"), col_b("prod")),
+        };
+        assert_eq!(push_base_ranges_to_detail(plan.clone()), plan);
+    }
+}

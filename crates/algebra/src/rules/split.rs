@@ -1,0 +1,187 @@
+//! Theorem 4.4 — splitting a chain into an equijoin of independent MD-joins.
+//!
+//! `MD(MD(B, R₁, l₁, θ₁), R₂, l₂, θ₂) = MD(B, R₁, l₁, θ₁) ⋈ π'(MD(B, R₂, l₂, θ₂))`
+//!
+//! Because an MD-join never changes the rows of `B`, both sides carry
+//! identical `B` columns and the equijoin on them is 1:1 (provided `B`'s rows
+//! are distinct — the theorem's implicit precondition, satisfied by every
+//! base-values builder). The practical payoff is Section 4.3's distribution
+//! example: ship `B` to each detail table's site, run local MD-joins in
+//! parallel, equijoin the small results.
+
+use crate::error::{AlgebraError, Result};
+use crate::plan::Plan;
+use mdj_agg::Registry;
+use mdj_expr::analysis::theta_independent_of;
+use mdj_storage::Catalog;
+
+/// Split the two topmost MD-joins of `plan` into an equijoin. Needs the
+/// catalog/registry to compute `B`'s column list (the join keys).
+pub fn split_into_join(plan: &Plan, catalog: &Catalog, registry: &Registry) -> Result<Plan> {
+    let Plan::MdJoin {
+        base: outer_base,
+        detail: detail2,
+        aggs: l2,
+        theta: theta2,
+    } = plan
+    else {
+        return Err(AlgebraError::RuleNotApplicable {
+            rule: "split",
+            reason: "root is not an MD-join".into(),
+        });
+    };
+    let Plan::MdJoin {
+        base,
+        detail: detail1,
+        aggs: l1,
+        theta: theta1,
+    } = outer_base.as_ref()
+    else {
+        return Err(AlgebraError::RuleNotApplicable {
+            rule: "split",
+            reason: "base is not an MD-join".into(),
+        });
+    };
+    let out1: Vec<String> = l1.iter().map(|a| a.output_name()).collect();
+    if !theta_independent_of(theta2, &out1) {
+        return Err(AlgebraError::RuleNotApplicable {
+            rule: "split",
+            reason: format!("outer θ `{theta2}` reads inner outputs {out1:?}"),
+        });
+    }
+    let b_schema = base.schema(catalog, registry)?;
+    let keys: Vec<String> = b_schema.fields().iter().map(|f| f.name.clone()).collect();
+    let left = Plan::MdJoin {
+        base: base.clone(),
+        detail: detail1.clone(),
+        aggs: l1.clone(),
+        theta: theta1.clone(),
+    };
+    let right = Plan::MdJoin {
+        base: base.clone(),
+        detail: detail2.clone(),
+        aggs: l2.clone(),
+        theta: theta2.clone(),
+    };
+    Ok(Plan::Join {
+        left: Box::new(left),
+        right: Box::new(right),
+        left_keys: keys.clone(),
+        right_keys: keys,
+        keep_right: l2.iter().map(|a| a.output_name()).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use mdj_agg::AggSpec;
+    use mdj_core::ExecContext;
+    use mdj_expr::builder::*;
+    use mdj_storage::{DataType, Relation, Row, Schema, Value};
+
+    fn catalog() -> Catalog {
+        let sales_schema = Schema::from_pairs(&[
+            ("cust", DataType::Int),
+            ("month", DataType::Int),
+            ("sale", DataType::Float),
+        ]);
+        let sales = Relation::from_rows(
+            sales_schema,
+            vec![
+                Row::from_values(vec![Value::Int(1), Value::Int(1), Value::Float(10.0)]),
+                Row::from_values(vec![Value::Int(1), Value::Int(2), Value::Float(20.0)]),
+                Row::from_values(vec![Value::Int(2), Value::Int(1), Value::Float(40.0)]),
+            ],
+        );
+        let pay_schema = Schema::from_pairs(&[
+            ("cust", DataType::Int),
+            ("month", DataType::Int),
+            ("amount", DataType::Float),
+        ]);
+        let payments = Relation::from_rows(
+            pay_schema,
+            vec![
+                Row::from_values(vec![Value::Int(1), Value::Int(1), Value::Float(5.0)]),
+                Row::from_values(vec![Value::Int(2), Value::Int(1), Value::Float(7.0)]),
+            ],
+        );
+        let mut c = Catalog::new();
+        c.register("Sales", sales);
+        c.register("Payments", payments);
+        c
+    }
+
+    /// Example 3.3: total sales and payments per (cust, month).
+    fn example_3_3() -> Plan {
+        let b = Plan::table("Sales").group_by_base(&["cust", "month"]);
+        b.md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::on_column("sum", "sale")],
+            and(
+                eq(col_r("cust"), col_b("cust")),
+                eq(col_r("month"), col_b("month")),
+            ),
+        )
+        .md_join(
+            Plan::table("Payments"),
+            vec![AggSpec::on_column("sum", "amount")],
+            and(
+                eq(col_r("cust"), col_b("cust")),
+                eq(col_r("month"), col_b("month")),
+            ),
+        )
+    }
+
+    #[test]
+    fn theorem_4_4_split_preserves_semantics() {
+        let chain = example_3_3();
+        let cat = catalog();
+        let reg = Registry::standard();
+        let split = split_into_join(&chain, &cat, &reg).unwrap();
+        assert!(matches!(split, Plan::Join { .. }));
+        let ctx = ExecContext::new();
+        let a = execute(&chain, &cat, &ctx).unwrap();
+        let b = execute(&split, &cat, &ctx).unwrap();
+        assert!(a.same_multiset(&b));
+        // Spot check: cust 1 month 2 has sales 20, payments NULL.
+        let row = a
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::Int(1) && r[1] == Value::Int(2))
+            .unwrap();
+        assert_eq!(row[2], Value::Float(20.0));
+        assert_eq!(row[3], Value::Null);
+    }
+
+    #[test]
+    fn split_refuses_dependent_stages() {
+        let b = Plan::table("Sales").group_by_base(&["cust"]);
+        let plan = b
+            .md_join(
+                Plan::table("Sales"),
+                vec![AggSpec::on_column("avg", "sale")],
+                eq(col_b("cust"), col_r("cust")),
+            )
+            .md_join(
+                Plan::table("Sales"),
+                vec![AggSpec::count_star().with_alias("above")],
+                and(
+                    eq(col_b("cust"), col_r("cust")),
+                    gt(col_r("sale"), col_b("avg_sale")),
+                ),
+            );
+        let err = split_into_join(&plan, &catalog(), &Registry::standard());
+        assert!(matches!(
+            err,
+            Err(AlgebraError::RuleNotApplicable { rule: "split", .. })
+        ));
+    }
+
+    #[test]
+    fn split_refuses_non_chain() {
+        let err = split_into_join(&Plan::table("Sales"), &catalog(), &Registry::standard());
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! `mdjsh` — an interactive shell for the MD-join SQL surface.
+//!
+//! Starts with generated `Sales` and `Payments` tables; additional tables
+//! load from CSV at startup or via the `\load` meta-command. Queries use the
+//! full Section 5 surface: `GROUP BY` (with grouping variables),
+//! `ANALYZE BY cube/rollup/unpivot/grouping sets/<table>`, `HAVING`,
+//! `ORDER BY`, `LIMIT`.
+//!
+//! ```text
+//! cargo run -p mdj-app --bin mdjsh --release [-- rows [csv ...]]
+//!
+//! mdj> \tables
+//! mdj> select prod, month, sum(sale) from Sales analyze by cube(prod, month) limit 5
+//! mdj> \explain select cust, avg(sale) from Sales group by cust
+//! mdj> \load T path/to/table.csv prod:int,month:int
+//! mdj> \quit
+//! ```
+
+use mdj_sql::SqlEngine;
+use mdj_storage::{csv, Catalog, DataType, Field, Relation, Schema};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rows: usize = args
+        .first()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+    let sales = mdj_datagen::sales(&mdj_datagen::SalesConfig::default().with_rows(rows));
+    let payments =
+        mdj_datagen::payments(&mdj_datagen::PaymentsConfig::default().with_rows(rows));
+    let mut catalog = Catalog::new();
+    catalog.register("Sales", sales);
+    catalog.register("Payments", payments);
+    let mut engine = SqlEngine::new(catalog);
+
+    println!("mdjsh — MD-join SQL shell ({rows}-row Sales/Payments loaded)");
+    println!("Meta: \\tables  \\schema <t>  \\explain <query>  \\load <name> <csv> <schema>  \\quit");
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("mdj> ");
+        let _ = std::io::stdout().flush();
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let input = line.trim();
+        if input.is_empty() {
+            continue;
+        }
+        if let Some(meta) = input.strip_prefix('\\') {
+            if !meta_command(meta, &mut engine) {
+                break;
+            }
+            continue;
+        }
+        run_query(&engine, input);
+    }
+}
+
+/// Handle a meta command; returns false to exit the shell.
+fn meta_command(meta: &str, engine: &mut SqlEngine) -> bool {
+    let mut parts = meta.split_whitespace();
+    match parts.next() {
+        Some("quit") | Some("q") | Some("exit") => return false,
+        Some("tables") => {
+            for name in engine.catalog.names() {
+                let rel = engine.catalog.get(name).expect("listed name resolves");
+                println!("  {name}  ({} rows) {}", rel.len(), rel.schema());
+            }
+        }
+        Some("schema") => match parts.next() {
+            Some(name) => match engine.catalog.get(name) {
+                Ok(rel) => println!("  {}", rel.schema()),
+                Err(e) => println!("error: {e}"),
+            },
+            None => println!("usage: \\schema <table>"),
+        },
+        Some("explain") => {
+            let rest: Vec<&str> = parts.collect();
+            match engine.explain(&rest.join(" ")) {
+                Ok(plan) => print!("{plan}"),
+                Err(e) => println!("error: {e}"),
+            }
+        }
+        Some("load") => {
+            let (name, path, schema_spec) = (parts.next(), parts.next(), parts.next());
+            match (name, path, schema_spec) {
+                (Some(name), Some(path), Some(spec)) => match load_csv(path, spec) {
+                    Ok(rel) => {
+                        println!("loaded {name}: {} rows", rel.len());
+                        engine.register(name.to_string(), rel);
+                    }
+                    Err(e) => println!("error: {e}"),
+                },
+                _ => println!("usage: \\load <name> <file.csv> col:type,col:type  (types: int,float,str,bool)"),
+            }
+        }
+        other => println!("unknown meta command {other:?}"),
+    }
+    true
+}
+
+fn load_csv(path: &str, schema_spec: &str) -> Result<Relation, Box<dyn std::error::Error>> {
+    let fields: Vec<Field> = schema_spec
+        .split(',')
+        .map(|part| {
+            let (name, ty) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad column spec `{part}` (want name:type)"))?;
+            let dtype = match ty {
+                "int" => DataType::Int,
+                "float" => DataType::Float,
+                "str" => DataType::Str,
+                "bool" => DataType::Bool,
+                other => return Err(format!("unknown type `{other}`").into()),
+            };
+            Ok::<Field, Box<dyn std::error::Error>>(Field::new(name, dtype))
+        })
+        .collect::<Result<_, _>>()?;
+    let text = std::fs::read_to_string(path)?;
+    Ok(csv::read_str(&text, &Schema::new(fields))?)
+}
+
+fn run_query(engine: &SqlEngine, query: &str) {
+    let t0 = std::time::Instant::now();
+    match engine.query(query) {
+        Ok(rel) => {
+            let n = rel.len();
+            let shown = 40.min(n);
+            let head = Relation::from_rows(
+                rel.schema().clone(),
+                rel.rows().iter().take(shown).cloned().collect(),
+            );
+            print!("{head}");
+            if shown < n {
+                println!("… {} more rows", n - shown);
+            }
+            println!("({n} rows, {:?})", t0.elapsed());
+        }
+        Err(e) => println!("error: {e}"),
+    }
+}

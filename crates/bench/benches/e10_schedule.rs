@@ -1,0 +1,74 @@
+//! E10 (Theorem 4.3): the O(k²) series-coalescing scheduler and the executed
+//! cost of scheduled vs unscheduled chains.
+//!
+//! Expected shape: scheduling itself is microseconds even at k=16; executing
+//! the coalesced plan beats the k-scan chain roughly in proportion to the
+//! number of fused stages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdj_agg::AggSpec;
+use mdj_algebra::rules::coalesce_chains;
+use mdj_algebra::{execute, Plan};
+use mdj_bench::{bench_sales, ctx};
+use mdj_expr::builder::*;
+use mdj_storage::Catalog;
+
+/// A k-stage chain; stage i depends on stage i-2 when `dependent` is set
+/// (so roughly half the stages fuse).
+fn chain(k: usize, dependent: bool) -> Plan {
+    let mut plan = Plan::table("Sales").group_by_base(&["cust"]);
+    for i in 0..k {
+        let theta = if dependent && i >= 2 {
+            and_all([
+                eq(col_b("cust"), col_r("cust")),
+                eq(col_r("month"), lit((i % 12 + 1) as i64)),
+                gt(col_b(format!("c{}", i - 2)), lit(-1i64)),
+            ])
+        } else {
+            and(
+                eq(col_b("cust"), col_r("cust")),
+                eq(col_r("month"), lit((i % 12 + 1) as i64)),
+            )
+        };
+        plan = plan.md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::count_star().with_alias(format!("c{i}"))],
+            theta,
+        );
+    }
+    plan
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_schedule");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let ctx = ctx();
+    let mut catalog = Catalog::new();
+    catalog.register("Sales", bench_sales(20_000, 500));
+
+    for k in [2usize, 4, 8, 16] {
+        let independent = chain(k, false);
+        group.bench_with_input(BenchmarkId::new("schedule_only", k), &independent, |bch, p| {
+            bch.iter(|| coalesce_chains(p.clone()))
+        });
+        group.bench_with_input(BenchmarkId::new("exec_chain", k), &independent, |bch, p| {
+            bch.iter(|| execute(p, &catalog, &ctx).unwrap())
+        });
+        let coalesced = coalesce_chains(independent.clone());
+        group.bench_with_input(BenchmarkId::new("exec_coalesced", k), &coalesced, |bch, p| {
+            bch.iter(|| execute(p, &catalog, &ctx).unwrap())
+        });
+        let dependent = coalesce_chains(chain(k, true));
+        group.bench_with_input(
+            BenchmarkId::new("exec_coalesced_dependent", k),
+            &dependent,
+            |bch, p| bch.iter(|| execute(p, &catalog, &ctx).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E1 (Figure 1 / Example 2.1): cube computation strategies.
+//!
+//! Expected shape (paper: [AAD+96]/[RS96] beat naive per-cuboid scans, which
+//! beat the wildcard-θ single MD-join): wildcard ≫ per-cuboid > pipesort ≈
+//! rollup-chain, with partitioned close to rollup-chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdj_agg::AggSpec;
+use mdj_bench::{bench_sales, ctx};
+use mdj_cube::naive::{cube_per_cuboid, cube_via_wildcard_theta};
+use mdj_cube::partitioned::cube_partitioned;
+use mdj_cube::pipesort::cube_pipesort;
+use mdj_cube::rollup_chain::cube_rollup_chain;
+use mdj_cube::CubeSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_cube");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let spec = CubeSpec::new(
+        &["prod", "month", "state"],
+        vec![AggSpec::on_column("sum", "sale"), AggSpec::count_star()],
+    );
+    let ctx = ctx();
+    for rows in [2_000usize, 10_000] {
+        let r = bench_sales(rows, 200);
+        if rows <= 2_000 {
+            group.bench_with_input(BenchmarkId::new("wildcard_theta", rows), &r, |b, r| {
+                b.iter(|| cube_via_wildcard_theta(r, &spec, &ctx).unwrap())
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("per_cuboid", rows), &r, |b, r| {
+            b.iter(|| cube_per_cuboid(r, &spec, &ctx).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rollup_chain", rows), &r, |b, r| {
+            b.iter(|| cube_rollup_chain(r, &spec, &ctx).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pipesort", rows), &r, |b, r| {
+            b.iter(|| cube_pipesort(r, &spec, &ctx).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("partitioned_rs96", rows), &r, |b, r| {
+            b.iter(|| cube_partitioned(r, &spec, 0, &ctx).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

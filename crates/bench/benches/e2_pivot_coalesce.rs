@@ -1,0 +1,50 @@
+//! E2 (Example 2.2 / Theorem 4.3): the tri-state pivot — a series of three
+//! MD-joins vs the coalesced generalized MD-join vs the classical multi-block
+//! plan.
+//!
+//! Expected shape: coalesced (1 scan) < sequential (3 scans) < classical
+//! (4 subqueries + 3 outer joins).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdj_agg::Registry;
+use mdj_bench::{bench_sales, ctx, tristate_blocks};
+use mdj_core::generalized::md_join_multi;
+use mdj_core::md_join;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_pivot_coalesce");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let ctx = ctx();
+    let registry = Registry::standard();
+    for rows in [20_000usize, 100_000] {
+        let r = bench_sales(rows, rows / 100);
+        let b = r.distinct_on(&["cust"]).unwrap();
+        let blocks = tristate_blocks();
+        group.bench_with_input(BenchmarkId::new("coalesced_1_scan", rows), &r, |bch, r| {
+            bch.iter(|| md_join_multi(&b, r, &blocks, &ctx).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_3_scans", rows), &r, |bch, r| {
+            bch.iter(|| {
+                let mut acc = b.clone();
+                for blk in &blocks {
+                    acc = md_join(&acc, r, &blk.aggs, &blk.theta, &ctx).unwrap();
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("classical_hash", rows), &r, |bch, r| {
+            bch.iter(|| mdj_naive::plans::example_2_2(r, &registry).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("classical_sort_based", rows),
+            &r,
+            |bch, r| bch.iter(|| mdj_naive::plans::example_2_2_sort_based(r, &registry).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

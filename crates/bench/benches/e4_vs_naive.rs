@@ -1,0 +1,71 @@
+//! E4 (Section 5's performance claim, Example 2.5): the MD-join evaluation
+//! of "count sales between neighbor months' averages" vs the multi-block
+//! relational plan a commercial DBMS would execute.
+//!
+//! Expected shape: order-of-magnitude-class separation at scale (the paper
+//! reports "an order of magnitude faster" for the EMF prototype).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdj_agg::{AggSpec, Registry};
+use mdj_bench::{bench_sales, ctx};
+use mdj_core::generalized::{md_join_multi, Block};
+use mdj_core::md_join;
+use mdj_expr::builder::*;
+use mdj_naive::ops::select;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_vs_naive");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let ctx = ctx();
+    let registry = Registry::standard();
+    for rows in [10_000usize, 50_000] {
+        let r = bench_sales(rows, 200);
+        group.bench_with_input(BenchmarkId::new("md_join", rows), &r, |bch, r| {
+            bch.iter(|| {
+                // σ_{year=1997}(Sales) once (Theorem 4.2).
+                let r97 = select(r, &eq(col_r("year"), lit(1997i64))).unwrap();
+                let b = r97.distinct_on(&["prod", "month"]).unwrap();
+                // X and Y coalesce into one scan (independent θs).
+                let xy = vec![
+                    Block::new(
+                        and(eq(col_r("prod"), col_b("prod")),
+                            eq(col_r("month"), sub(col_b("month"), lit(1i64)))),
+                        vec![AggSpec::on_column("avg", "sale").with_alias("avg_x")],
+                    ),
+                    Block::new(
+                        and(eq(col_r("prod"), col_b("prod")),
+                            eq(col_r("month"), add(col_b("month"), lit(1i64)))),
+                        vec![AggSpec::on_column("avg", "sale").with_alias("avg_y")],
+                    ),
+                ];
+                let step1 = md_join_multi(&b, &r97, &xy, &ctx).unwrap();
+                let theta_z = and_all([
+                    eq(col_r("prod"), col_b("prod")),
+                    eq(col_r("month"), col_b("month")),
+                    gt(col_r("sale"), col_b("avg_x")),
+                    lt(col_r("sale"), col_b("avg_y")),
+                ]);
+                md_join(
+                    &step1,
+                    &r97,
+                    &[AggSpec::count_star().with_alias("cnt")],
+                    &theta_z,
+                    &ctx,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("classical_hash", rows), &r, |bch, r| {
+            bch.iter(|| mdj_naive::plans::example_2_5(r, 1997, &registry).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("classical_sort_based", rows), &r, |bch, r| {
+            bch.iter(|| mdj_naive::plans::example_2_5_sort_based(r, 1997, &registry).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

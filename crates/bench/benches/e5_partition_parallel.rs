@@ -1,0 +1,48 @@
+//! E5 (Theorem 4.1): base-table partitioning and intra-operator parallelism.
+//!
+//! Expected shape: partitioned (m scans) costs ≈ m× the single scan —
+//! "a well-defined increase in the number of scans of R" — while parallel
+//! execution scales down with threads until the per-thread scan dominates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdj_agg::AggSpec;
+use mdj_bench::{bench_sales, ctx};
+use mdj_core::parallel::{md_join_parallel, md_join_parallel_detail};
+use mdj_core::partitioned::md_join_partitioned;
+use mdj_core::md_join;
+use mdj_expr::builder::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_partition_parallel");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let ctx = ctx();
+    let r = bench_sales(100_000, 2_000);
+    let b = r.distinct_on(&["cust", "month"]).unwrap();
+    let l = [AggSpec::on_column("sum", "sale"), AggSpec::count_star()];
+    let theta = and(eq(col_b("cust"), col_r("cust")), eq(col_b("month"), col_r("month")));
+
+    group.bench_function("direct_1_scan", |bch| {
+        bch.iter(|| md_join(&b, &r, &l, &theta, &ctx).unwrap())
+    });
+    for m in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("partitioned_m_scans", m), &m, |bch, &m| {
+            bch.iter(|| md_join_partitioned(&b, &r, &l, &theta, m, &ctx).unwrap())
+        });
+    }
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("parallel_base", threads), &threads, |bch, &t| {
+            bch.iter(|| md_join_parallel(&b, &r, &l, &theta, t, &ctx).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("parallel_detail_merge", threads),
+            &threads,
+            |bch, &t| bch.iter(|| md_join_parallel_detail(&b, &r, &l, &theta, t, &ctx).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

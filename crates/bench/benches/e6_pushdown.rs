@@ -1,0 +1,67 @@
+//! E6 (Theorem 4.2 / Observation 4.1 / Example 4.1): selection pushdown to a
+//! clustered index.
+//!
+//! Expected shape: the full-scan plan is flat in selectivity; the pushed plan
+//! scales with the fraction of matching tuples; the clustered-index plan
+//! additionally avoids even reading non-matching tuples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdj_agg::AggSpec;
+use mdj_bench::{bench_sales, ctx};
+use mdj_core::md_join;
+use mdj_expr::builder::*;
+use mdj_storage::{Relation, SortedIndex, Value};
+use std::ops::Bound;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_pushdown");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let ctx = ctx();
+    let r = bench_sales(100_000, 1_000);
+    let b = r.distinct_on(&["prod"]).unwrap();
+    let l = [AggSpec::on_column("sum", "sale")];
+    // Clustered index on year (Example 4.1's date index).
+    let index = SortedIndex::build_on(&r, &["year"]).unwrap();
+
+    // Selectivity sweep: 1 year (1/6) vs 3 years (1/2) of 1994..=1999.
+    for (label, lo, hi) in [("year_1999", 1999i64, 1999i64), ("years_94_96", 1994, 1996)] {
+        let theta_full = and_all([
+            eq(col_r("prod"), col_b("prod")),
+            ge(col_r("year"), lit(lo)),
+            le(col_r("year"), lit(hi)),
+        ]);
+        let theta_residual = eq(col_r("prod"), col_b("prod"));
+        group.bench_with_input(BenchmarkId::new("full_scan", label), &r, |bch, r| {
+            bch.iter(|| md_join(&b, r, &l, &theta_full, &ctx).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pushed_sigma", label), &r, |bch, r| {
+            bch.iter(|| {
+                let sigma = mdj_naive::ops::select(
+                    r,
+                    &and(ge(col_r("year"), lit(lo)), le(col_r("year"), lit(hi))),
+                )
+                .unwrap();
+                md_join(&b, &sigma, &l, &theta_residual, &ctx).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("clustered_index", label), &r, |bch, r| {
+            bch.iter(|| {
+                let ids = index.range_first(
+                    Bound::Included(&Value::Int(lo)),
+                    Bound::Included(&Value::Int(hi)),
+                );
+                let slice = Relation::from_rows(
+                    r.schema().clone(),
+                    ids.iter().map(|&i| r.rows()[i].clone()).collect(),
+                );
+                md_join(&b, &slice, &l, &theta_residual, &ctx).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E7 (Theorem 4.4 / Example 3.3): a chain over two fact tables vs the split
+//! equijoin of independent MD-joins, sequentially and with one thread per
+//! "site" (the paper's distributed Sales example).
+//!
+//! Expected shape: split ≈ sequential when run serially (same total work,
+//! plus a cheap equijoin on B's key); two-site parallel split approaches the
+//! slower of the two MD-joins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdj_agg::AggSpec;
+use mdj_bench::{bench_payments, bench_sales, ctx};
+use mdj_core::md_join;
+use mdj_expr::builder::*;
+use mdj_storage::Relation;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_split_join");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let ctx = ctx();
+    let sales = bench_sales(80_000, 1_000);
+    let payments = bench_payments(80_000, 1_000);
+    let b = sales.distinct_on(&["cust", "month"]).unwrap();
+    let theta = and(eq(col_r("cust"), col_b("cust")), eq(col_r("month"), col_b("month")));
+    let l_sales = [AggSpec::on_column("sum", "sale")];
+    let l_pay = [AggSpec::on_column("sum", "amount")];
+
+    group.bench_function("sequential_chain", |bch| {
+        bch.iter(|| {
+            let s1 = md_join(&b, &sales, &l_sales, &theta, &ctx).unwrap();
+            md_join(&s1, &payments, &l_pay, &theta, &ctx).unwrap()
+        })
+    });
+    group.bench_function("split_then_join", |bch| {
+        bch.iter(|| {
+            let left = md_join(&b, &sales, &l_sales, &theta, &ctx).unwrap();
+            let right = md_join(&b, &payments, &l_pay, &theta, &ctx).unwrap();
+            join_on_b(&left, &right)
+        })
+    });
+    group.bench_function("split_two_sites_parallel", |bch| {
+        bch.iter(|| {
+            let (left, right) = crossbeam::thread::scope(|scope| {
+                let h1 = scope.spawn(|_| md_join(&b, &sales, &l_sales, &theta, &ctx).unwrap());
+                let h2 = scope.spawn(|_| md_join(&b, &payments, &l_pay, &theta, &ctx).unwrap());
+                (h1.join().unwrap(), h2.join().unwrap())
+            })
+            .unwrap();
+            join_on_b(&left, &right)
+        })
+    });
+    group.finish();
+}
+
+fn join_on_b(left: &Relation, right: &Relation) -> Relation {
+    let joined =
+        mdj_naive::join::hash_join(left, right, &["cust", "month"], &["cust", "month"]).unwrap();
+    let idx: Vec<usize> = (0..left.schema().len())
+        .chain([left.schema().len() + 2])
+        .collect();
+    let schema = joined.schema().project(&idx);
+    let rows = joined
+        .iter()
+        .map(|row| mdj_storage::Row::new(row.key(&idx)))
+        .collect();
+    Relation::from_rows(schema, rows)
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

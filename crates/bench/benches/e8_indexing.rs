@@ -1,0 +1,41 @@
+//! E8 (Section 4.5): nested-loop Algorithm 3.1 vs Rel(t) hash probing as the
+//! base table grows.
+//!
+//! Expected shape: nested loop degrades linearly in |B| (every detail tuple
+//! examines all of B); the hash probe stays flat. The crossover sits at very
+//! small |B|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdj_agg::AggSpec;
+use mdj_bench::bench_sales;
+use mdj_core::{md_join, ExecContext, ProbeStrategy};
+use mdj_expr::builder::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_indexing");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let r = bench_sales(10_000, 5_000);
+    let l = [AggSpec::on_column("sum", "sale")];
+    let theta = and(eq(col_b("cust"), col_r("cust")), eq(col_b("month"), col_r("month")));
+    for b_rows in [16usize, 128, 1024] {
+        let b_full = r.distinct_on(&["cust", "month"]).unwrap();
+        let b = mdj_storage::Relation::from_rows(
+            b_full.schema().clone(),
+            b_full.rows().iter().take(b_rows).cloned().collect(),
+        );
+        let nl = ExecContext::new().with_strategy(ProbeStrategy::NestedLoop);
+        let hp = ExecContext::new().with_strategy(ProbeStrategy::HashProbe);
+        group.bench_with_input(BenchmarkId::new("nested_loop", b.len()), &b, |bch, b| {
+            bch.iter(|| md_join(b, &r, &l, &theta, &nl).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("hash_probe", b.len()), &b, |bch, b| {
+            bch.iter(|| md_join(b, &r, &l, &theta, &hp).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

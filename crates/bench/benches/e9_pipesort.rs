@@ -1,0 +1,48 @@
+//! E9 (Figure 2): PIPESORT pipelined paths vs per-cuboid recomputation and
+//! roll-up chains, as dimensionality grows.
+//!
+//! Expected shape: per-cuboid grows with 2ⁿ scans of the detail table;
+//! pipesort and rollup-chain read it once and pay only for intermediate
+//! sorts/aggregations, so the gap widens with n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdj_agg::AggSpec;
+use mdj_bench::{bench_sales, ctx};
+use mdj_cube::naive::cube_per_cuboid;
+use mdj_cube::pipesort::cube_pipesort;
+use mdj_cube::rollup_chain::cube_rollup_chain;
+use mdj_cube::CubeSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_pipesort");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let ctx = ctx();
+    let r = bench_sales(30_000, 500);
+    let dim_sets: [&[&str]; 3] = [
+        &["prod", "month"],
+        &["prod", "month", "state"],
+        &["prod", "month", "state", "year"],
+    ];
+    for dims in dim_sets {
+        let spec = CubeSpec::new(
+            dims,
+            vec![AggSpec::on_column("sum", "sale"), AggSpec::count_star()],
+        );
+        let n = dims.len();
+        group.bench_with_input(BenchmarkId::new("per_cuboid", n), &r, |bch, r| {
+            bch.iter(|| cube_per_cuboid(r, &spec, &ctx).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pipesort", n), &r, |bch, r| {
+            bch.iter(|| cube_pipesort(r, &spec, &ctx).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rollup_chain", n), &r, |bch, r| {
+            bch.iter(|| cube_rollup_chain(r, &spec, &ctx).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

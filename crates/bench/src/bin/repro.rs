@@ -1,0 +1,699 @@
+//! `repro` — regenerate every experiment table from DESIGN.md in one run.
+//!
+//! Prints Markdown tables (wall time, work counters, and the shape check for
+//! each experiment) suitable for pasting into EXPERIMENTS.md:
+//!
+//! ```text
+//! cargo run -p mdj-bench --bin repro --release [--quick]
+//! ```
+
+use mdj_agg::{AggSpec, Registry};
+use mdj_algebra::rules::{coalesce::detail_scan_count, coalesce_chains};
+use mdj_algebra::{execute, Plan};
+use mdj_bench::{bench_payments, bench_sales, tristate_blocks};
+use mdj_core::basevalues::{cube, cube_match_theta};
+use mdj_core::generalized::{md_join_multi, Block};
+use mdj_core::partitioned::md_join_partitioned;
+use mdj_core::{md_join, ExecContext, ProbeStrategy};
+use mdj_cube::naive::{cube_per_cuboid, cube_via_wildcard_theta};
+use mdj_cube::partitioned::cube_partitioned;
+use mdj_cube::pipesort::{build_pipelines, cube_pipesort, sort_count};
+use mdj_cube::rollup_chain::cube_rollup_chain;
+use mdj_cube::CubeSpec;
+use mdj_expr::builder::*;
+use mdj_storage::{Catalog, Relation, ScanStats, SortedIndex, Value};
+use std::ops::Bound;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn time<T>(mut f: impl FnMut() -> T) -> (Duration, T) {
+    // Warm once, then report the best of three (stable on shared machines).
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let v = f();
+        let dt = t0.elapsed();
+        if dt < best {
+            best = dt;
+            out = Some(v);
+        }
+    }
+    (best, out.expect("ran at least once"))
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+fn header(title: &str, cols: &[&str]) {
+    println!("\n### {title}\n");
+    println!("| {} |", cols.join(" | "));
+    println!(
+        "|{}|",
+        cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { 1 } else { 4 };
+    println!("# MD-join reproduction — experiment tables");
+    println!("\n(quick = {quick}; sizes scale with the flag — shapes are invariant)");
+    e1(scale);
+    e2(scale);
+    e3(scale);
+    e4(scale);
+    e5(scale);
+    e6(scale);
+    e7(scale);
+    e8(scale);
+    e9(scale);
+    e10(scale);
+    println!("\nAll experiments completed; every equivalence assertion held.");
+}
+
+fn e1(scale: usize) {
+    let ctx = ExecContext::new();
+    let spec = CubeSpec::new(
+        &["prod", "month", "state"],
+        vec![AggSpec::on_column("sum", "sale"), AggSpec::count_star()],
+    );
+    header(
+        "E1 — Fig. 1 / Ex. 2.1: cube computation strategies (sum+count over prod×month×state)",
+        &[
+            "|R|",
+            "wildcard-θ (ms)",
+            "per-cuboid (ms)",
+            "rollup-chain (ms)",
+            "pipesort (ms)",
+            "partitioned (ms)",
+            "cells",
+        ],
+    );
+    for rows in [2_000 * scale, 8_000 * scale] {
+        let r = bench_sales(rows, 200);
+        let (t_wild, a) = time(|| cube_via_wildcard_theta(&r, &spec, &ctx).unwrap());
+        let (t_per, b) = time(|| cube_per_cuboid(&r, &spec, &ctx).unwrap());
+        let (t_roll, c) = time(|| cube_rollup_chain(&r, &spec, &ctx).unwrap());
+        let (t_pipe, d) = time(|| cube_pipesort(&r, &spec, &ctx).unwrap());
+        let (t_part, e) = time(|| cube_partitioned(&r, &spec, 0, &ctx).unwrap());
+        assert!(
+            a.approx_same_multiset(&b, 1e-9)
+                && b.approx_same_multiset(&c, 1e-9)
+                && c.approx_same_multiset(&d, 1e-9)
+                && d.approx_same_multiset(&e, 1e-9)
+        );
+        println!(
+            "| {rows} | {} | {} | {} | {} | {} | {} |",
+            ms(t_wild),
+            ms(t_per),
+            ms(t_roll),
+            ms(t_pipe),
+            ms(t_part),
+            a.len()
+        );
+    }
+}
+
+fn e2(scale: usize) {
+    let registry = Registry::standard();
+    header(
+        "E2 — Ex. 2.2 / Thm 4.3: tri-state pivot (3 MD-joins coalesced to 1 scan)",
+        &[
+            "|R|",
+            "coalesced 1-scan (ms)",
+            "sequential 3-scans (ms)",
+            "classical hash (ms)",
+            "classical sort-based (ms)",
+            "scans coalesced/seq",
+        ],
+    );
+    for rows in [10_000 * scale, 50_000 * scale] {
+        let r = bench_sales(rows, rows / 100);
+        let b = r.distinct_on(&["cust"]).unwrap();
+        let blocks = tristate_blocks();
+        let stats = Arc::new(ScanStats::new());
+        let sctx = ExecContext::new().with_stats(stats.clone());
+        let (t_co, out1) = time(|| md_join_multi(&b, &r, &blocks, &sctx).unwrap());
+        let coalesced_scans = stats.scans() / 3;
+        stats.reset();
+        let (t_seq, out2) = time(|| {
+            let mut acc = b.clone();
+            for blk in &blocks {
+                acc = md_join(&acc, &r, &blk.aggs, &blk.theta, &sctx).unwrap();
+            }
+            acc
+        });
+        let seq_scans = stats.scans() / 3;
+        let (t_cls, out3) = time(|| mdj_naive::plans::example_2_2(&r, &registry).unwrap());
+        let (t_sort, out4) =
+            time(|| mdj_naive::plans::example_2_2_sort_based(&r, &registry).unwrap());
+        assert!(out1.approx_same_multiset(&out2, 1e-9));
+        let cols = ["cust", "avg_ny", "avg_nj", "avg_ct"];
+        assert!(out1
+            .project(&cols)
+            .unwrap()
+            .approx_same_multiset(&out3.project(&cols).unwrap(), 1e-9));
+        assert!(out3.approx_same_multiset(&out4, 1e-9));
+        println!(
+            "| {rows} | {} | {} | {} | {} | {coalesced_scans}/{seq_scans} |",
+            ms(t_co),
+            ms(t_seq),
+            ms(t_cls),
+            ms(t_sort)
+        );
+    }
+}
+
+fn e3(scale: usize) {
+    let ctx = ExecContext::new();
+    let registry = Registry::standard();
+    let dims = ["prod", "month", "state"];
+    header(
+        "E3 — Ex. 2.3 / 3.2: count above cube-cell average",
+        &[
+            "|R|",
+            "MD unoptimized wildcard-θ (ms)",
+            "MD optimized Thm 4.1 + §4.5 (ms)",
+            "classical 8×(group-by + join) (ms)",
+            "cells",
+        ],
+    );
+    for rows in [500 * scale, 2_000 * scale] {
+        let r = bench_sales(rows, 100);
+        // Unoptimized: literal Example 3.2 against the merged cube base.
+        let (t_raw, raw) = time(|| {
+            let b = cube(&r, &dims).unwrap();
+            let theta1 = cube_match_theta(&dims);
+            let step1 =
+                md_join(&b, &r, &[AggSpec::on_column("avg", "sale")], &theta1, &ctx).unwrap();
+            let theta2 = and(cube_match_theta(&dims), gt(col_r("sale"), col_b("avg_sale")));
+            md_join(
+                &step1,
+                &r,
+                &[AggSpec::count_star().with_alias("cnt")],
+                &theta2,
+                &ctx,
+            )
+            .unwrap()
+        });
+        // Optimized: Theorem 4.1 splits the cube base per cuboid so every
+        // MD-join hash-probes (§4.5).
+        let (t_md, md) = time(|| e3_optimized(&r, &dims, &ctx));
+        let (t_cls, cls) = time(|| mdj_naive::plans::example_2_3(&r, &registry).unwrap());
+        let raw_p = raw.project(&["prod", "month", "state", "cnt"]).unwrap();
+        assert!(raw_p.approx_same_multiset(&cls, 1e-9));
+        assert!(md.approx_same_multiset(&cls, 1e-9));
+        println!(
+            "| {rows} | {} | {} | {} | {} |",
+            ms(t_raw),
+            ms(t_md),
+            ms(t_cls),
+            md.len()
+        );
+    }
+}
+
+/// Example 2.3's optimized plan: per-cuboid MD-join pairs (avg then count),
+/// hash-probed, unioned with ALL padding.
+fn e3_optimized(r: &Relation, dims: &[&str; 3], ctx: &ExecContext) -> Relation {
+    let n = dims.len();
+    let mut out: Option<Relation> = None;
+    for mask in (0..(1u32 << n)).rev() {
+        let kept: Vec<&str> = dims
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, d)| *d)
+            .collect();
+        let b = r.distinct_on(&kept).unwrap();
+        let theta = mdj_core::basevalues::cuboid_theta(&kept);
+        let avg = md_join(&b, r, &[AggSpec::on_column("avg", "sale")], &theta, ctx).unwrap();
+        let theta2 = and(
+            mdj_core::basevalues::cuboid_theta(&kept),
+            gt(col_r("sale"), col_b("avg_sale")),
+        );
+        let cnt = md_join(
+            &avg,
+            r,
+            &[AggSpec::count_star().with_alias("cnt")],
+            &theta2,
+            ctx,
+        )
+        .unwrap();
+        // Pad to (prod, month, state, cnt) with ALL for rolled-up dims.
+        let mut fields: Vec<mdj_storage::Field> = dims
+            .iter()
+            .map(|d| mdj_storage::Field::new(*d, mdj_storage::DataType::Any))
+            .collect();
+        fields.push(mdj_storage::Field::new("cnt", mdj_storage::DataType::Int));
+        let mut padded = Relation::empty(mdj_storage::Schema::new(fields));
+        let cnt_col = cnt.schema().index_of("cnt").unwrap();
+        for row in cnt.iter() {
+            let mut vals = Vec::with_capacity(n + 1);
+            for d in dims.iter() {
+                match kept.iter().position(|k| k == d) {
+                    Some(i) => vals.push(row[i].clone()),
+                    None => vals.push(Value::All),
+                }
+            }
+            vals.push(row[cnt_col].clone());
+            padded.push_unchecked(mdj_storage::Row::new(vals));
+        }
+        out = Some(match out {
+            None => padded,
+            Some(acc) => acc.union(&padded).unwrap(),
+        });
+    }
+    out.expect("at least the apex cuboid")
+}
+
+fn e4(scale: usize) {
+    let ctx = ExecContext::new();
+    let registry = Registry::standard();
+    header(
+        "E4 — §5 / Ex. 2.5: MD-join vs commercial-style multi-block plan",
+        &[
+            "|R|",
+            "MD-join (ms)",
+            "multi-block hash (ms)",
+            "multi-block sort-based (ms)",
+            "speedup vs sort-based",
+        ],
+    );
+    for rows in [10_000 * scale, 40_000 * scale] {
+        let r = bench_sales(rows, 200);
+        let (t_md, md) = time(|| {
+            let r97 = mdj_naive::ops::select(&r, &eq(col_r("year"), lit(1997i64))).unwrap();
+            let b = r97.distinct_on(&["prod", "month"]).unwrap();
+            let xy = vec![
+                Block::new(
+                    and(
+                        eq(col_r("prod"), col_b("prod")),
+                        eq(col_r("month"), sub(col_b("month"), lit(1i64))),
+                    ),
+                    vec![AggSpec::on_column("avg", "sale").with_alias("avg_x")],
+                ),
+                Block::new(
+                    and(
+                        eq(col_r("prod"), col_b("prod")),
+                        eq(col_r("month"), add(col_b("month"), lit(1i64))),
+                    ),
+                    vec![AggSpec::on_column("avg", "sale").with_alias("avg_y")],
+                ),
+            ];
+            let step1 = md_join_multi(&b, &r97, &xy, &ctx).unwrap();
+            let theta_z = and_all([
+                eq(col_r("prod"), col_b("prod")),
+                eq(col_r("month"), col_b("month")),
+                gt(col_r("sale"), col_b("avg_x")),
+                lt(col_r("sale"), col_b("avg_y")),
+            ]);
+            md_join(
+                &step1,
+                &r97,
+                &[AggSpec::count_star().with_alias("cnt")],
+                &theta_z,
+                &ctx,
+            )
+            .unwrap()
+        });
+        let (t_cls, cls) = time(|| mdj_naive::plans::example_2_5(&r, 1997, &registry).unwrap());
+        let (t_sort, srt) =
+            time(|| mdj_naive::plans::example_2_5_sort_based(&r, 1997, &registry).unwrap());
+        let cols = ["prod", "month", "cnt"];
+        assert!(md
+            .project(&cols)
+            .unwrap()
+            .approx_same_multiset(&cls.project(&cols).unwrap(), 1e-9));
+        assert!(cls.approx_same_multiset(&srt, 1e-9));
+        println!(
+            "| {rows} | {} | {} | {} | {:.1}× |",
+            ms(t_md),
+            ms(t_cls),
+            ms(t_sort),
+            t_sort.as_secs_f64() / t_md.as_secs_f64().max(1e-12)
+        );
+    }
+}
+
+fn e5(scale: usize) {
+    let r = bench_sales(50_000 * scale, 2_000);
+    let b = r.distinct_on(&["cust", "month"]).unwrap();
+    let l = [AggSpec::on_column("sum", "sale"), AggSpec::count_star()];
+    let theta = and(
+        eq(col_b("cust"), col_r("cust")),
+        eq(col_b("month"), col_r("month")),
+    );
+    header(
+        "E5 — Thm 4.1: partitioned evaluation and intra-operator parallelism \
+         (single-core host: parallel time is *simulated* as the slowest \
+         fragment, per the substitution note in DESIGN.md)",
+        &["plan", "time (ms)", "scans of R", "tuples scanned"],
+    );
+    let stats = Arc::new(ScanStats::new());
+    let sctx = ExecContext::new().with_stats(stats.clone());
+    let (t, base_out) = time(|| md_join(&b, &r, &l, &theta, &sctx).unwrap());
+    println!(
+        "| direct (1 scan) | {} | {} | {} |",
+        ms(t),
+        stats.scans() / 3,
+        stats.tuples_scanned() / 3
+    );
+    // Sequential multi-scan evaluation (the in-memory plan of §4.1.1).
+    for m in [2usize, 4, 8] {
+        stats.reset();
+        let (t, out) = time(|| md_join_partitioned(&b, &r, &l, &theta, m, &sctx).unwrap());
+        assert!(base_out.approx_same_multiset(&out, 1e-9));
+        println!(
+            "| partitioned m={m} (sequential) | {} | {} | {} |",
+            ms(t),
+            stats.scans() / 3,
+            stats.tuples_scanned() / 3
+        );
+    }
+    // §4.1.2 parallelism, simulated: time each B-fragment independently and
+    // report the critical path (the max), since this host has one core.
+    for m in [2usize, 4, 8] {
+        let parts = mdj_storage::partition::chunk(&b, m);
+        let mut worst = Duration::ZERO;
+        let mut pieces: Vec<Relation> = Vec::new();
+        for part in &parts {
+            let (t, piece) = time(|| md_join(part, &r, &l, &theta, &ExecContext::new()).unwrap());
+            worst = worst.max(t);
+            pieces.push(piece);
+        }
+        let merged = pieces
+            .into_iter()
+            .reduce(|a, c| a.union(&c).unwrap())
+            .unwrap();
+        assert!(base_out.approx_same_multiset(&merged, 1e-9));
+        println!(
+            "| parallel B-partition, {m} sites (simulated max) | {} | {m}×full | {} |",
+            ms(worst),
+            r.len() * m
+        );
+    }
+    // Obs 4.1: range-partition on month and push each range to R — every
+    // site scans only its slice, so even the *total* work drops.
+    for m in [2usize, 4] {
+        let ranges = mdj_algebra::rules::partition::int_ranges(1, 12, m);
+        let b_parts = mdj_storage::partition::by_ranges(&b, "month", &ranges).unwrap();
+        let mut worst = Duration::ZERO;
+        let mut total_tuples = 0usize;
+        let mut pieces: Vec<Relation> = Vec::new();
+        for (part, range) in b_parts.iter().zip(&ranges) {
+            let slice = r.filter(|t| range.contains(&t[3]));
+            total_tuples += slice.len();
+            let (t, piece) =
+                time(|| md_join(part, &slice, &l, &theta, &ExecContext::new()).unwrap());
+            worst = worst.max(t);
+            pieces.push(piece);
+        }
+        let merged = pieces
+            .into_iter()
+            .reduce(|a, c| a.union(&c).unwrap())
+            .unwrap();
+        assert!(base_out.approx_same_multiset(&merged, 1e-9));
+        println!(
+            "| parallel range-partition + Obs 4.1, {m} sites (simulated max) | {} | {m}×slice | {total_tuples} |",
+            ms(worst)
+        );
+    }
+}
+
+fn e6(scale: usize) {
+    let r = bench_sales(50_000 * scale, 1_000);
+    let b = r.distinct_on(&["prod"]).unwrap();
+    let l = [AggSpec::on_column("sum", "sale")];
+    let index = SortedIndex::build_on(&r, &["year"]).unwrap();
+    header(
+        "E6 — Thm 4.2 / Obs 4.1 / Ex. 4.1: selection pushdown to a clustered index",
+        &[
+            "predicate",
+            "no pushdown (ablation, ms)",
+            "operator prefilter (ms)",
+            "pushed σ materialized (ms)",
+            "clustered index (ms)",
+            "tuples full/slice",
+        ],
+    );
+    for (label, lo, hi) in [
+        ("year = 1999", 1999i64, 1999i64),
+        ("1994 ≤ year ≤ 1996", 1994, 1996),
+    ] {
+        let theta_full = and_all([
+            eq(col_r("prod"), col_b("prod")),
+            ge(col_r("year"), lit(lo)),
+            le(col_r("year"), lit(hi)),
+        ]);
+        let theta_res = eq(col_r("prod"), col_b("prod"));
+        // Ablation: Theorem 4.2 disabled — the year range is re-checked per
+        // candidate base row instead of filtering the scan.
+        let no_push = ExecContext::new().without_prefilter();
+        let (t_raw, out_raw) = time(|| md_join(&b, &r, &l, &theta_full, &no_push).unwrap());
+        // Operator-level Theorem 4.2 (the default): detail-only conjuncts
+        // prefilter each scanned tuple.
+        let stats = Arc::new(ScanStats::new());
+        let sctx = ExecContext::new().with_stats(stats.clone());
+        let (t_full, out_full) = time(|| md_join(&b, &r, &l, &theta_full, &sctx).unwrap());
+        let full_tuples = stats.tuples_scanned() / 3;
+        // Theorem 4.2 as a materialized σ (what a plan-level rewrite does).
+        let (t_push, out_push) = time(|| {
+            let sigma = mdj_naive::ops::select(
+                &r,
+                &and(ge(col_r("year"), lit(lo)), le(col_r("year"), lit(hi))),
+            )
+            .unwrap();
+            md_join(&b, &sigma, &l, &theta_res, &ExecContext::new()).unwrap()
+        });
+        // Example 4.1: the σ served by a clustered index — only the matching
+        // run of tuples is even read.
+        let mut slice_tuples = 0u64;
+        let (t_idx, out_idx) = time(|| {
+            let ids = index.range_first(
+                Bound::Included(&Value::Int(lo)),
+                Bound::Included(&Value::Int(hi)),
+            );
+            slice_tuples = ids.len() as u64;
+            let slice = Relation::from_rows(
+                r.schema().clone(),
+                ids.iter().map(|&i| r.rows()[i].clone()).collect(),
+            );
+            md_join(&b, &slice, &l, &theta_res, &ExecContext::new()).unwrap()
+        });
+        assert!(out_raw.approx_same_multiset(&out_full, 1e-9));
+        assert!(out_full.approx_same_multiset(&out_push, 1e-9));
+        assert!(out_push.approx_same_multiset(&out_idx, 1e-9));
+        println!(
+            "| {label} | {} | {} | {} | {} | {full_tuples}/{slice_tuples} |",
+            ms(t_raw),
+            ms(t_full),
+            ms(t_push),
+            ms(t_idx)
+        );
+    }
+}
+
+fn e7(scale: usize) {
+    let ctx = ExecContext::new();
+    let sales = bench_sales(40_000 * scale, 1_000);
+    let payments = bench_payments(40_000 * scale, 1_000);
+    let b = sales.distinct_on(&["cust", "month"]).unwrap();
+    let theta = and(
+        eq(col_r("cust"), col_b("cust")),
+        eq(col_r("month"), col_b("month")),
+    );
+    let l_sales = [AggSpec::on_column("sum", "sale")];
+    let l_pay = [AggSpec::on_column("sum", "amount")];
+    let join_on_b = |left: &Relation, right: &Relation| {
+        let joined =
+            mdj_naive::join::hash_join(left, right, &["cust", "month"], &["cust", "month"])
+                .unwrap();
+        let idx: Vec<usize> = (0..left.schema().len())
+            .chain([left.schema().len() + 2])
+            .collect();
+        let schema = joined.schema().project(&idx);
+        let rows = joined
+            .iter()
+            .map(|row| mdj_storage::Row::new(row.key(&idx)))
+            .collect();
+        Relation::from_rows(schema, rows)
+    };
+    header(
+        "E7 — Thm 4.4 / Ex. 3.3: split into equijoin of MD-joins (multi-fact)",
+        &["plan", "time (ms)"],
+    );
+    let (t_seq, seq) = time(|| {
+        let s1 = md_join(&b, &sales, &l_sales, &theta, &ctx).unwrap();
+        md_join(&s1, &payments, &l_pay, &theta, &ctx).unwrap()
+    });
+    println!("| sequential chain | {} |", ms(t_seq));
+    let (t_split, split) = time(|| {
+        let left = md_join(&b, &sales, &l_sales, &theta, &ctx).unwrap();
+        let right = md_join(&b, &payments, &l_pay, &theta, &ctx).unwrap();
+        join_on_b(&left, &right)
+    });
+    assert!(seq.approx_same_multiset(&split, 1e-9));
+    println!("| split + equijoin (serial) | {} |", ms(t_split));
+    // Two sites, simulated on this single-core host: each site's MD-join is
+    // timed independently; the distributed wall-clock is the slower site
+    // plus the equijoin of the two small results.
+    let (t_left, left) = time(|| md_join(&b, &sales, &l_sales, &theta, &ctx).unwrap());
+    let (t_right, right) = time(|| md_join(&b, &payments, &l_pay, &theta, &ctx).unwrap());
+    let (t_join, par) = time(|| join_on_b(&left, &right));
+    assert!(seq.approx_same_multiset(&par, 1e-9));
+    println!(
+        "| split, two sites in parallel (simulated max + join) | {} |",
+        ms(t_left.max(t_right) + t_join)
+    );
+}
+
+fn e8(scale: usize) {
+    let r = bench_sales(10_000 * scale, 5_000);
+    let l = [AggSpec::on_column("sum", "sale")];
+    let theta = and(
+        eq(col_b("cust"), col_r("cust")),
+        eq(col_b("month"), col_r("month")),
+    );
+    header(
+        "E8 — §4.5: Rel(t) probing — nested loop vs hash index on B",
+        &["|B|", "nested loop (ms)", "hash probe (ms)", "probes NL/hash"],
+    );
+    let b_full = r.distinct_on(&["cust", "month"]).unwrap();
+    for b_rows in [16usize, 128, 1024, 8192] {
+        let b = Relation::from_rows(
+            b_full.schema().clone(),
+            b_full.rows().iter().take(b_rows).cloned().collect(),
+        );
+        let stats = Arc::new(ScanStats::new());
+        let nl = ExecContext::new()
+            .with_strategy(ProbeStrategy::NestedLoop)
+            .with_stats(stats.clone());
+        let (t_nl, out_nl) = time(|| md_join(&b, &r, &l, &theta, &nl).unwrap());
+        let nl_probes = stats.probes() / 3;
+        stats.reset();
+        let hp = ExecContext::new()
+            .with_strategy(ProbeStrategy::HashProbe)
+            .with_stats(stats.clone());
+        let (t_hp, out_hp) = time(|| md_join(&b, &r, &l, &theta, &hp).unwrap());
+        let hp_probes = stats.probes() / 3;
+        assert!(out_nl.approx_same_multiset(&out_hp, 1e-9));
+        println!(
+            "| {} | {} | {} | {nl_probes}/{hp_probes} |",
+            b.len(),
+            ms(t_nl),
+            ms(t_hp)
+        );
+    }
+}
+
+fn e9(scale: usize) {
+    let ctx = ExecContext::new();
+    let r = bench_sales(15_000 * scale, 500);
+    header(
+        "E9 — Fig. 2: PIPESORT pipelines vs per-cuboid vs rollup-chain",
+        &[
+            "dims",
+            "cuboids",
+            "sorts (pipesort)",
+            "per-cuboid (ms)",
+            "pipesort (ms)",
+            "rollup-chain (ms)",
+        ],
+    );
+    let dim_sets: [&[&str]; 3] = [
+        &["prod", "month"],
+        &["prod", "month", "state"],
+        &["prod", "month", "state", "year"],
+    ];
+    for dims in dim_sets {
+        let spec = CubeSpec::new(
+            dims,
+            vec![AggSpec::on_column("sum", "sale"), AggSpec::count_star()],
+        );
+        let pipelines = build_pipelines(&spec);
+        let (t_per, a) = time(|| cube_per_cuboid(&r, &spec, &ctx).unwrap());
+        let (t_pipe, b) = time(|| cube_pipesort(&r, &spec, &ctx).unwrap());
+        let (t_roll, c) = time(|| cube_rollup_chain(&r, &spec, &ctx).unwrap());
+        assert!(a.approx_same_multiset(&b, 1e-9) && b.approx_same_multiset(&c, 1e-9));
+        println!(
+            "| {} | {} | {} | {} | {} | {} |",
+            dims.len(),
+            spec.lattice().cuboid_count(),
+            sort_count(&pipelines),
+            ms(t_per),
+            ms(t_pipe),
+            ms(t_roll)
+        );
+    }
+}
+
+fn e10(scale: usize) {
+    let ctx = ExecContext::new();
+    let mut catalog = Catalog::new();
+    catalog.register("Sales", bench_sales(10_000 * scale, 500));
+    header(
+        "E10 — Thm 4.3: series scheduling (O(k²)) and executed scan counts",
+        &[
+            "k",
+            "deps",
+            "scans before",
+            "scans after",
+            "schedule (µs)",
+            "exec chain (ms)",
+            "exec coalesced (ms)",
+        ],
+    );
+    for k in [2usize, 4, 8, 16] {
+        for dependent in [false, true] {
+            let plan = e10_chain(k, dependent);
+            let before = detail_scan_count(&plan);
+            let (t_sched, coalesced) = time(|| coalesce_chains(plan.clone()));
+            let after = detail_scan_count(&coalesced);
+            let (t_chain, a) = time(|| execute(&plan, &catalog, &ctx).unwrap());
+            let (t_co, b) = time(|| execute(&coalesced, &catalog, &ctx).unwrap());
+            // Column order may differ after coalescing; compare projected.
+            let names: Vec<String> = (0..k).map(|i| format!("c{i}")).collect();
+            let mut cols = vec!["cust".to_string()];
+            cols.extend(names);
+            let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            assert!(a
+                .project(&refs)
+                .unwrap()
+                .approx_same_multiset(&b.project(&refs).unwrap(), 1e-9));
+            println!(
+                "| {k} | {} | {before} | {after} | {:.1} | {} | {} |",
+                if dependent { "i→i−2" } else { "none" },
+                t_sched.as_secs_f64() * 1e6,
+                ms(t_chain),
+                ms(t_co)
+            );
+        }
+    }
+}
+
+fn e10_chain(k: usize, dependent: bool) -> Plan {
+    let mut plan = Plan::table("Sales").group_by_base(&["cust"]);
+    for i in 0..k {
+        let theta = if dependent && i >= 2 {
+            and_all([
+                eq(col_b("cust"), col_r("cust")),
+                eq(col_r("month"), lit((i % 12 + 1) as i64)),
+                gt(col_b(format!("c{}", i - 2)), lit(-1i64)),
+            ])
+        } else {
+            and(
+                eq(col_b("cust"), col_r("cust")),
+                eq(col_r("month"), lit((i % 12 + 1) as i64)),
+            )
+        };
+        plan = plan.md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::count_star().with_alias(format!("c{i}"))],
+            theta,
+        );
+    }
+    plan
+}

@@ -1,0 +1,69 @@
+//! Shared fixtures for the benchmark suite and the `repro` harness.
+//!
+//! Every experiment Eₙ from DESIGN.md gets one Criterion bench file plus one
+//! row-printing function in the `repro` binary; both use these builders so
+//! the data is identical across runs.
+
+use mdj_agg::AggSpec;
+use mdj_core::ExecContext;
+use mdj_datagen::{payments, sales, PaymentsConfig, SalesConfig};
+use mdj_storage::Relation;
+
+/// Standard Sales table for benches: seeded, mild product skew.
+pub fn bench_sales(rows: usize, customers: usize) -> Relation {
+    sales(
+        &SalesConfig::default()
+            .with_rows(rows)
+            .with_customers(customers)
+            .with_products(20)
+            .with_states(10)
+            .with_years(1994, 1999)
+            .with_product_skew(0.5)
+            .with_seed(20010402), // ICDE 2001 ;-)
+    )
+}
+
+/// Standard Payments table aligned with [`bench_sales`].
+pub fn bench_payments(rows: usize, customers: usize) -> Relation {
+    payments(
+        &PaymentsConfig::default()
+            .with_rows(rows)
+            .with_customers(customers)
+            .with_seed(20010403),
+    )
+}
+
+/// The tri-state grouping-variable blocks of Example 2.2.
+pub fn tristate_blocks() -> Vec<mdj_core::generalized::Block> {
+    use mdj_expr::builder::*;
+    ["NY", "NJ", "CT"]
+        .iter()
+        .map(|st| {
+            mdj_core::generalized::Block::new(
+                and(
+                    eq(col_r("cust"), col_b("cust")),
+                    eq(col_r("state"), lit(*st)),
+                ),
+                vec![AggSpec::on_column("avg", "sale")
+                    .with_alias(format!("avg_{}", st.to_lowercase()))],
+            )
+        })
+        .collect()
+}
+
+/// Default context (auto probing, no stats).
+pub fn ctx() -> ExecContext {
+    ExecContext::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(bench_sales(100, 10), bench_sales(100, 10));
+        assert_eq!(bench_payments(100, 10), bench_payments(100, 10));
+        assert_eq!(tristate_blocks().len(), 3);
+    }
+}

@@ -1,0 +1,316 @@
+//! Base-values table builders — every group-definition shape from Section 2.
+//!
+//! The point of the MD-join is that *any* relation can serve as `B`: a plain
+//! `select distinct` (group-by), a cube with `ALL` values (Example 2.1), a
+//! restricted collection of group-bys (grouping sets / unpivot marginals), a
+//! roll-up chain, or an externally supplied table of "crucial/representative
+//! points" (Example 2.4 — just pass that relation straight in). These
+//! builders produce such tables; the aggregation that follows is always the
+//! same operator.
+
+use crate::error::Result;
+use mdj_expr::builder::{and_all, col_b, col_r, eq, lit, or};
+use mdj_expr::Expr;
+use mdj_storage::{Relation, Row, Value};
+use std::collections::HashSet;
+
+/// Group-by base table: `select distinct attrs from r` (Example 3.1's `B`).
+pub fn group_by(r: &Relation, attrs: &[&str]) -> Result<Relation> {
+    Ok(r.distinct_on(attrs)?)
+}
+
+/// All subsets of `0..n` as bitmasks, from full set down to empty.
+fn masks(n: usize) -> impl Iterator<Item = u32> {
+    (0..(1u32 << n)).rev()
+}
+
+/// Generic grouping-set materialization: for each listed subset of `dims`,
+/// the distinct values of kept dimensions, with `ALL` in the rolled-up ones.
+fn materialize_sets(r: &Relation, dims: &[&str], keep_masks: &[u32]) -> Result<Relation> {
+    let idx = r.schema().indices_of(dims)?;
+    let schema = r.schema().project(&idx);
+    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+    let mut out = Relation::empty(schema);
+    for &mask in keep_masks {
+        for row in r.iter() {
+            let key: Vec<Value> = idx
+                .iter()
+                .enumerate()
+                .map(|(d, &col)| {
+                    if mask & (1 << d) != 0 {
+                        row[col].clone()
+                    } else {
+                        Value::All
+                    }
+                })
+                .collect();
+            if seen.insert(key.clone()) {
+                out.push_unchecked(Row::new(key));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The data-cube base table of Example 2.1: all `2^n` group-bys of `dims`
+/// merged into one relation using `ALL` (Gray et al.). Ordered coarse-to-fine
+/// free; rows are unique.
+pub fn cube(r: &Relation, dims: &[&str]) -> Result<Relation> {
+    let keep: Vec<u32> = masks(dims.len()).collect();
+    materialize_sets(r, dims, &keep)
+}
+
+/// SQL99 `ROLLUP(dims)`: the n+1 prefix group-bys
+/// `(d₁..d_n), (d₁..d_{n-1}), …, ()`.
+pub fn rollup(r: &Relation, dims: &[&str]) -> Result<Relation> {
+    let n = dims.len();
+    let keep: Vec<u32> = (0..=n)
+        .rev()
+        .map(|k| ((1u64 << k) - 1) as u32)
+        .collect();
+    materialize_sets(r, dims, &keep)
+}
+
+/// SQL99 `GROUPING SETS`: a user-controlled collection of group-bys. Each set
+/// lists the dimensions *kept*; the rest become `ALL`. The paper's marginals
+/// example: `Grouping Sets ((prod), (month), (state))`.
+pub fn grouping_sets(r: &Relation, dims: &[&str], sets: &[Vec<&str>]) -> Result<Relation> {
+    let keep: Vec<u32> = sets
+        .iter()
+        .map(|set| {
+            let mut mask = 0u32;
+            for name in set {
+                // Raises UnknownColumn via indices_of below if bogus; position
+                // within dims is what matters here.
+                if let Some(d) = dims.iter().position(|x| x == name) {
+                    mask |= 1 << d;
+                }
+            }
+            mask
+        })
+        .collect();
+    // Validate set members really are dims.
+    for set in sets {
+        for name in set {
+            if !dims.contains(name) {
+                return Err(mdj_storage::StorageError::UnknownColumn {
+                    name: (*name).to_string(),
+                    schema: format!("grouping dims {dims:?}"),
+                }
+                .into());
+            }
+        }
+    }
+    materialize_sets(r, dims, &keep)
+}
+
+/// The unpivot base table of \[GFC98\] as discussed in Example 2.1: the
+/// one-dimensional marginals, i.e. `GROUPING SETS ((d₁), (d₂), …, (d_n))`.
+pub fn unpivot(r: &Relation, dims: &[&str]) -> Result<Relation> {
+    let sets: Vec<Vec<&str>> = dims.iter().map(|d| vec![*d]).collect();
+    grouping_sets(r, dims, &sets)
+}
+
+/// θ matching a cube/rollup/grouping-sets base table against detail tuples:
+/// for each dimension, `B.d = ALL OR B.d = R.d`. An `ALL` cell aggregates
+/// every detail value of that dimension — precisely the roll-up meaning of
+/// `ALL` in \[GBLP96\]. (The optimized cube algorithms in `mdj-cube` avoid this
+/// OR-form by partitioning per cuboid, per Theorem 4.1.)
+pub fn cube_match_theta(dims: &[&str]) -> Expr {
+    and_all(dims.iter().map(|d| {
+        or(
+            eq(col_b(*d), lit(Value::All)),
+            eq(col_b(*d), col_r(*d)),
+        )
+    }))
+}
+
+/// θ for one specific cuboid (the kept dimensions get equality tests; rolled
+/// up dimensions are unconstrained). Used by the per-cuboid evaluation plans.
+pub fn cuboid_theta(kept: &[&str]) -> Expr {
+    and_all(kept.iter().map(|d| eq(col_b(*d), col_r(*d))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdj_storage::{DataType, Schema};
+
+    fn rel() -> Relation {
+        let schema = Schema::from_pairs(&[
+            ("prod", DataType::Int),
+            ("month", DataType::Int),
+            ("state", DataType::Str),
+            ("sale", DataType::Float),
+        ]);
+        Relation::from_rows(
+            schema,
+            vec![
+                Row::from_values(vec![
+                    Value::Int(1),
+                    Value::Int(1),
+                    Value::str("NY"),
+                    Value::Float(1.0),
+                ]),
+                Row::from_values(vec![
+                    Value::Int(1),
+                    Value::Int(2),
+                    Value::str("NY"),
+                    Value::Float(2.0),
+                ]),
+                Row::from_values(vec![
+                    Value::Int(2),
+                    Value::Int(1),
+                    Value::str("CA"),
+                    Value::Float(3.0),
+                ]),
+            ],
+        )
+    }
+
+    #[test]
+    fn group_by_is_distinct() {
+        let b = group_by(&rel(), &["prod"]).unwrap();
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn cube_counts() {
+        // Distinct combos: (prod,month,state): 3; (prod,month): 3; (prod,state): 2;
+        // (month,state): 3; (prod): 2; (month): 2; (state): 2; (): 1. Total 18.
+        let b = cube(&rel(), &["prod", "month", "state"]).unwrap();
+        assert_eq!(b.len(), 18);
+        // Apex row present.
+        assert!(b
+            .iter()
+            .any(|r| r.values().iter().all(|v| v.is_all())));
+        // No duplicates.
+        let uniq: HashSet<_> = b.iter().cloned().collect();
+        assert_eq!(uniq.len(), b.len());
+    }
+
+    #[test]
+    fn cube_of_two_dims() {
+        let b = cube(&rel(), &["prod", "month"]).unwrap();
+        // (p,m): 3; (p,ALL): 2; (ALL,m): 2; (ALL,ALL): 1 → 8
+        assert_eq!(b.len(), 8);
+    }
+
+    #[test]
+    fn rollup_prefixes_only() {
+        let b = rollup(&rel(), &["prod", "month"]).unwrap();
+        // (p,m): 3; (p,ALL): 2; (ALL,ALL): 1 → 6; no (ALL,m) rows.
+        assert_eq!(b.len(), 6);
+        assert!(!b
+            .iter()
+            .any(|r| r[0].is_all() && !r[1].is_all()));
+    }
+
+    #[test]
+    fn grouping_sets_marginals() {
+        let b = grouping_sets(
+            &rel(),
+            &["prod", "month", "state"],
+            &[vec!["prod"], vec!["month"], vec!["state"]],
+        )
+        .unwrap();
+        // prods: 2 + months: 2 + states: 2 = 6 rows.
+        assert_eq!(b.len(), 6);
+        for row in b.iter() {
+            let all_count = row.values().iter().filter(|v| v.is_all()).count();
+            assert_eq!(all_count, 2);
+        }
+    }
+
+    #[test]
+    fn unpivot_equals_singleton_grouping_sets() {
+        let a = unpivot(&rel(), &["prod", "month"]).unwrap();
+        let b = grouping_sets(&rel(), &["prod", "month"], &[vec!["prod"], vec!["month"]])
+            .unwrap();
+        assert!(a.same_multiset(&b));
+    }
+
+    #[test]
+    fn grouping_sets_rejects_unknown_dims() {
+        let err = grouping_sets(&rel(), &["prod"], &[vec!["bogus"]]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn grouping_sets_with_duplicate_sets_dedups() {
+        let b = grouping_sets(&rel(), &["prod"], &[vec!["prod"], vec!["prod"]]).unwrap();
+        assert_eq!(b.len(), 2); // distinct prods once
+    }
+
+    #[test]
+    fn cube_match_theta_semantics() {
+        use crate::context::ExecContext;
+        use crate::mdjoin::md_join;
+        use mdj_agg::AggSpec;
+        let r = rel();
+        let b = cube(&r, &["prod", "month"]).unwrap();
+        let out = md_join(
+            &b,
+            &r,
+            &[AggSpec::on_column("sum", "sale")],
+            &cube_match_theta(&["prod", "month"]),
+            &ExecContext::new(),
+        )
+        .unwrap();
+        // Apex = total of all sales.
+        let apex = out
+            .rows()
+            .iter()
+            .find(|row| row[0].is_all() && row[1].is_all())
+            .unwrap();
+        assert_eq!(apex[2], Value::Float(6.0));
+        // (prod=1, ALL) = 1.0 + 2.0.
+        let p1 = out
+            .rows()
+            .iter()
+            .find(|row| row[0] == Value::Int(1) && row[1].is_all())
+            .unwrap();
+        assert_eq!(p1[2], Value::Float(3.0));
+        // Finest cell (1, 2) = 2.0.
+        let cell = out
+            .rows()
+            .iter()
+            .find(|row| row[0] == Value::Int(1) && row[1] == Value::Int(2))
+            .unwrap();
+        assert_eq!(cell[2], Value::Float(2.0));
+    }
+
+    #[test]
+    fn cuboid_theta_is_group_theta() {
+        assert_eq!(
+            cuboid_theta(&["prod", "state"]),
+            and_all([
+                eq(col_b("prod"), col_r("prod")),
+                eq(col_b("state"), col_r("state"))
+            ])
+        );
+        assert_eq!(cuboid_theta(&[]), Expr::always_true());
+    }
+
+    #[test]
+    fn external_table_is_just_a_relation() {
+        // Example 2.4: a precomputed table of cube points is usable directly.
+        let csv = "prod,month\n1,ALL\nALL,2\n";
+        let schema = Schema::from_pairs(&[("prod", DataType::Int), ("month", DataType::Int)]);
+        let b = mdj_storage::csv::read_str(csv, &schema).unwrap();
+        use crate::context::ExecContext;
+        use crate::mdjoin::md_join;
+        use mdj_agg::AggSpec;
+        let out = md_join(
+            &b,
+            &rel(),
+            &[AggSpec::on_column("sum", "sale")],
+            &cube_match_theta(&["prod", "month"]),
+            &ExecContext::new(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        let r1 = &out.rows()[0];
+        assert_eq!(r1[2], Value::Float(3.0)); // prod 1, any month
+    }
+}

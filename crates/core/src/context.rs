@@ -1,0 +1,120 @@
+//! Execution context: aggregate registry, probe strategy, and scan accounting.
+
+use mdj_agg::Registry;
+use mdj_storage::ScanStats;
+
+/// How the inner loop of Algorithm 3.1 locates `Rel(t)` — the base rows a
+/// detail tuple may update (Section 4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeStrategy {
+    /// Analyze θ: if it yields `B.col = f(R-row)` bindings, hash-index `B`
+    /// on those columns; otherwise fall back to the nested loop.
+    #[default]
+    Auto,
+    /// Always examine every row of `B` per detail tuple (the literal
+    /// Algorithm 3.1 inner loop).
+    NestedLoop,
+    /// Require the hash probe; planning fails if θ has no usable bindings.
+    HashProbe,
+}
+
+/// Shared, immutable evaluation context.
+///
+/// The default context uses the standard aggregate registry, the `Auto`
+/// strategy, and no stats collection.
+#[derive(Debug)]
+pub struct ExecContext {
+    pub registry: Registry,
+    pub strategy: ProbeStrategy,
+    /// Apply Theorem 4.2 inside the operator: evaluate detail-only conjuncts
+    /// of θ once per scanned tuple, before any base-row work. On by default;
+    /// turn off only for ablation measurements (experiment E6).
+    pub prefilter: bool,
+    /// When set, operators record scans/tuples/probes/updates here.
+    pub stats: Option<std::sync::Arc<ScanStats>>,
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext {
+            registry: Registry::default(),
+            strategy: ProbeStrategy::default(),
+            prefilter: true,
+            stats: None,
+        }
+    }
+}
+
+impl ExecContext {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_strategy(mut self, strategy: ProbeStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    pub fn with_registry(mut self, registry: Registry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    pub fn with_stats(mut self, stats: std::sync::Arc<ScanStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Disable the operator-level Theorem 4.2 prefilter (ablation knob).
+    pub fn without_prefilter(mut self) -> Self {
+        self.prefilter = false;
+        self
+    }
+
+    pub(crate) fn record_scan(&self, tuples: u64) {
+        if let Some(s) = &self.stats {
+            s.record_scan();
+            s.record_tuples(tuples);
+        }
+    }
+
+    pub(crate) fn record_probes(&self, n: u64) {
+        if let Some(s) = &self.stats {
+            s.record_probes(n);
+        }
+    }
+
+    pub(crate) fn record_updates(&self, n: u64) {
+        if let Some(s) = &self.stats {
+            s.record_updates(n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn builder_and_recording() {
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ExecContext::new()
+            .with_strategy(ProbeStrategy::NestedLoop)
+            .with_stats(stats.clone());
+        ctx.record_scan(10);
+        ctx.record_probes(5);
+        ctx.record_updates(2);
+        assert_eq!(stats.scans(), 1);
+        assert_eq!(stats.tuples_scanned(), 10);
+        assert_eq!(stats.probes(), 5);
+        assert_eq!(stats.updates(), 2);
+    }
+
+    #[test]
+    fn recording_without_stats_is_a_noop() {
+        let ctx = ExecContext::new();
+        ctx.record_scan(10); // must not panic
+        assert!(ctx.stats.is_none());
+    }
+}

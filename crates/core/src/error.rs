@@ -1,0 +1,76 @@
+//! Unified error type for MD-join evaluation.
+
+use std::fmt;
+
+pub type Result<T, E = CoreError> = std::result::Result<T, E>;
+
+/// Errors surfaced while planning or evaluating an MD-join.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    Storage(mdj_storage::StorageError),
+    Expr(mdj_expr::ExprError),
+    Agg(mdj_agg::AggError),
+    /// An aggregate output column collides with a `B` column or another
+    /// aggregate output.
+    DuplicateColumn(String),
+    /// A configuration value is out of range (e.g. zero partitions).
+    BadConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CoreError::Expr(e) => write!(f, "expression error: {e}"),
+            CoreError::Agg(e) => write!(f, "aggregate error: {e}"),
+            CoreError::DuplicateColumn(c) => {
+                write!(f, "duplicate output column `{c}` in MD-join result")
+            }
+            CoreError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            CoreError::Expr(e) => Some(e),
+            CoreError::Agg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mdj_storage::StorageError> for CoreError {
+    fn from(e: mdj_storage::StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<mdj_expr::ExprError> for CoreError {
+    fn from(e: mdj_expr::ExprError) -> Self {
+        CoreError::Expr(e)
+    }
+}
+
+impl From<mdj_agg::AggError> for CoreError {
+    fn from(e: mdj_agg::AggError) -> Self {
+        CoreError::Agg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = mdj_agg::AggError::UnknownFunction("x".into()).into();
+        assert!(e.to_string().contains("aggregate"));
+        let e: CoreError = mdj_storage::StorageError::UnknownRelation("T".into()).into();
+        assert!(e.to_string().contains("storage"));
+        let e = CoreError::DuplicateColumn("sum_sale".into());
+        assert!(e.to_string().contains("sum_sale"));
+    }
+}

@@ -1,0 +1,254 @@
+//! The generalized MD-join of Section 4.3:
+//! `MD(B, R, (l₁, …, l_k), (θ₁, …, θ_k))`.
+//!
+//! A series of MD-joins whose θs are mutually independent (no θ references a
+//! column produced by an earlier MD-join in the series) and whose detail
+//! relation is the same can be coalesced into one operator that defines, for
+//! each base tuple, `k` subsets of `R` — and therefore evaluates in a single
+//! scan instead of `k` scans. The scheduling that decides *which* MD-joins
+//! coalesce lives in `mdj-algebra`; this module is the single-scan evaluator.
+
+use crate::context::ExecContext;
+use crate::error::{CoreError, Result};
+use crate::mdjoin::{bind_aggs, BoundAgg};
+use crate::probe::ProbePlan;
+use mdj_agg::{AggSpec, AggState};
+use mdj_expr::Expr;
+use mdj_storage::{Relation, Row, Schema, Value};
+
+/// One (θ, l) block of a generalized MD-join.
+#[derive(Debug, Clone)]
+pub struct Block {
+    pub theta: Expr,
+    pub aggs: Vec<AggSpec>,
+}
+
+impl Block {
+    pub fn new(theta: Expr, aggs: Vec<AggSpec>) -> Self {
+        Block { theta, aggs }
+    }
+}
+
+/// Evaluate a generalized MD-join in one scan of `R`.
+///
+/// Output schema: `B`'s columns, then block 1's aggregate columns, then
+/// block 2's, etc. Blocks may not produce colliding column names.
+pub fn md_join_multi(
+    b: &Relation,
+    r: &Relation,
+    blocks: &[Block],
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    if blocks.is_empty() {
+        return Err(CoreError::BadConfig(
+            "generalized MD-join needs at least one block".into(),
+        ));
+    }
+    // Bind every block and build its probe plan.
+    let mut bound_blocks: Vec<(ProbePlan, Vec<BoundAgg>)> = Vec::with_capacity(blocks.len());
+    for blk in blocks {
+        let bound = bind_aggs(&blk.aggs, r.schema(), &ctx.registry)?;
+        let plan = ProbePlan::build_opts(b, r.schema(), &blk.theta, ctx.strategy, ctx.prefilter)?;
+        bound_blocks.push((plan, bound));
+    }
+    // Collision check across B and all blocks.
+    {
+        let mut names: Vec<String> = b
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        for (_, bound) in &bound_blocks {
+            for ba in bound {
+                if names.iter().any(|n| n == &ba.output.name) {
+                    return Err(CoreError::DuplicateColumn(ba.output.name.clone()));
+                }
+                names.push(ba.output.name.clone());
+            }
+        }
+    }
+
+    // states[block][base_row][agg]
+    let mut states: Vec<Vec<Vec<Box<dyn AggState>>>> = bound_blocks
+        .iter()
+        .map(|(_, bound)| {
+            b.iter()
+                .map(|_| bound.iter().map(|ba| ba.agg.init()).collect())
+                .collect()
+        })
+        .collect();
+
+    ctx.record_scan(r.len() as u64);
+    let mut matches: Vec<usize> = Vec::new();
+    let mut key_scratch: Vec<mdj_storage::Value> = Vec::new();
+    for t in r.iter() {
+        for (bi, (plan, bound)) in bound_blocks.iter().enumerate() {
+            plan.matches(b, t.values(), ctx, &mut matches, &mut key_scratch)?;
+            if matches.is_empty() {
+                continue;
+            }
+            ctx.record_updates((matches.len() * bound.len()) as u64);
+            let block_states = &mut states[bi];
+            for &row_id in &matches {
+                for (j, ba) in bound.iter().enumerate() {
+                    let v = match ba.input_col {
+                        Some(c) => &t[c],
+                        None => &Value::Null,
+                    };
+                    block_states[row_id][j].update(v)?;
+                }
+            }
+        }
+    }
+
+    let mut fields = b.schema().fields().to_vec();
+    for (_, bound) in &bound_blocks {
+        fields.extend(bound.iter().map(|ba| ba.output.clone()));
+    }
+    let schema = Schema::new(fields);
+    let mut out = Relation::empty(schema);
+    for (i, row) in b.iter().enumerate() {
+        let mut vals = row.values().to_vec();
+        for block_states in &states {
+            vals.extend(block_states[i].iter().map(|s| s.finalize()));
+        }
+        out.push_unchecked(Row::new(vals));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdjoin::md_join;
+    use mdj_expr::builder::*;
+    use mdj_storage::DataType;
+
+    fn sales() -> Relation {
+        let schema = Schema::from_pairs(&[
+            ("cust", DataType::Int),
+            ("state", DataType::Str),
+            ("sale", DataType::Float),
+        ]);
+        Relation::from_rows(
+            schema,
+            vec![
+                Row::from_values(vec![Value::Int(1), Value::str("NY"), Value::Float(10.0)]),
+                Row::from_values(vec![Value::Int(1), Value::str("NJ"), Value::Float(20.0)]),
+                Row::from_values(vec![Value::Int(1), Value::str("CT"), Value::Float(30.0)]),
+                Row::from_values(vec![Value::Int(2), Value::str("NY"), Value::Float(40.0)]),
+                Row::from_values(vec![Value::Int(2), Value::str("PA"), Value::Float(50.0)]),
+            ],
+        )
+    }
+
+    fn state_block(state: &str) -> Block {
+        Block::new(
+            and(
+                eq(col_r("cust"), col_b("cust")),
+                eq(col_r("state"), lit(state)),
+            ),
+            vec![AggSpec::on_column("avg", "sale")
+                .with_alias(format!("avg_{}", state.to_lowercase()))],
+        )
+    }
+
+    #[test]
+    fn example_2_2_tristate_in_one_scan() {
+        // The paper's pivot query: per customer, avg sale in NY, NJ, CT.
+        let s = sales();
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let out = md_join_multi(
+            &b,
+            &s,
+            &[state_block("NY"), state_block("NJ"), state_block("CT")],
+            &ExecContext::new(),
+        )
+        .unwrap();
+        assert_eq!(
+            out.schema().names(),
+            vec!["cust", "avg_ny", "avg_nj", "avg_ct"]
+        );
+        let c1 = out.rows().iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        assert_eq!(c1[1], Value::Float(10.0));
+        assert_eq!(c1[2], Value::Float(20.0));
+        assert_eq!(c1[3], Value::Float(30.0));
+        let c2 = out.rows().iter().find(|r| r[0] == Value::Int(2)).unwrap();
+        assert_eq!(c2[1], Value::Float(40.0));
+        assert_eq!(c2[2], Value::Null); // no NJ purchases: outer semantics
+        assert_eq!(c2[3], Value::Null);
+    }
+
+    #[test]
+    fn multi_equals_sequence_of_single_md_joins() {
+        let s = sales();
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let multi = md_join_multi(
+            &b,
+            &s,
+            &[state_block("NY"), state_block("NJ")],
+            &ExecContext::new(),
+        )
+        .unwrap();
+        // Sequential: B → MD(NY) → MD(NJ).
+        let step1 = md_join(
+            &b,
+            &s,
+            &state_block("NY").aggs,
+            &state_block("NY").theta,
+            &ExecContext::new(),
+        )
+        .unwrap();
+        let step2 = md_join(
+            &step1,
+            &s,
+            &state_block("NJ").aggs,
+            &state_block("NJ").theta,
+            &ExecContext::new(),
+        )
+        .unwrap();
+        assert!(multi.same_multiset(&step2));
+    }
+
+    #[test]
+    fn single_scan_recorded() {
+        use mdj_storage::ScanStats;
+        use std::sync::Arc;
+        let s = sales();
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ExecContext::new().with_stats(stats.clone());
+        md_join_multi(
+            &b,
+            &s,
+            &[state_block("NY"), state_block("NJ"), state_block("CT")],
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(stats.scans(), 1);
+        assert_eq!(stats.tuples_scanned(), s.len() as u64);
+    }
+
+    #[test]
+    fn colliding_block_outputs_rejected() {
+        let s = sales();
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let blk = Block::new(
+            eq(col_b("cust"), col_r("cust")),
+            vec![AggSpec::on_column("sum", "sale")],
+        );
+        let err = md_join_multi(&b, &s, &[blk.clone(), blk], &ExecContext::new());
+        assert!(matches!(err, Err(CoreError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn empty_block_list_rejected() {
+        let s = sales();
+        let b = s.distinct_on(&["cust"]).unwrap();
+        assert!(matches!(
+            md_join_multi(&b, &s, &[], &ExecContext::new()),
+            Err(CoreError::BadConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,37 @@
+//! # mdj-core
+//!
+//! The MD-join operator (Chatziantoniou & Johnson, ICDE 2001).
+//!
+//! `MD(B, R, l, θ)` (Definition 3.1) aggregates a detail relation `R` onto a
+//! base-values relation `B`: every tuple `b ∈ B` yields exactly one output
+//! tuple carrying `b`'s attributes plus, for each aggregate `fᵢ(cᵢ)` in `l`,
+//! the aggregate of `cᵢ` over `RNG(b, R, θ) = { r ∈ R | θ(b, r) }`.
+//!
+//! This crate provides:
+//!
+//! * [`md_join`] — Algorithm 3.1: scan `R` once, probe `B` per tuple, update
+//!   aggregate state; output cardinality equals `|B|` (outer-join semantics).
+//! * [`generalized::md_join_multi`] — the *generalized* MD-join of Section
+//!   4.3, `MD(B, R, (l₁..l_k), (θ₁..θ_k))`, evaluating a coalesced series of
+//!   MD-joins in a single scan.
+//! * [`probe`] — Section 4.5 index selection: θ is analyzed for
+//!   `B.col = f(R-row)` bindings and a hash index on `B` replaces the inner
+//!   nested loop with a `Rel(t)` lookup.
+//! * [`partitioned`] / [`parallel`] — Theorem 4.1 evaluation plans:
+//!   memory-bounded multi-scan evaluation and intra-operator parallelism.
+//! * [`basevalues`] — builders for every base-table shape in Section 2:
+//!   group-by distinct, cube-by with `ALL`, roll-up, grouping sets, unpivot
+//!   marginals, and externally supplied tables (Example 2.4).
+
+pub mod basevalues;
+pub mod context;
+pub mod error;
+pub mod generalized;
+pub mod mdjoin;
+pub mod parallel;
+pub mod partitioned;
+pub mod probe;
+
+pub use context::{ExecContext, ProbeStrategy};
+pub use error::{CoreError, Result};
+pub use mdjoin::{md_join, output_schema, MdJoin};

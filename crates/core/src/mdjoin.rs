@@ -1,0 +1,482 @@
+//! Algorithm 3.1 — the MD-join evaluator.
+
+use crate::context::ExecContext;
+use crate::error::{CoreError, Result};
+use crate::probe::ProbePlan;
+use mdj_agg::{AggInput, AggSpec, AggState, Registry};
+use mdj_expr::Expr;
+use mdj_storage::{DataType, Field, Relation, Row, Schema, Value};
+
+/// One aggregate of `l`, bound to its implementation and input column.
+pub(crate) struct BoundAgg {
+    pub agg: mdj_agg::traits::AggRef,
+    /// Detail column position; `None` for `count(*)`-style star input.
+    pub input_col: Option<usize>,
+    pub output: Field,
+}
+
+/// Bind the aggregate list `l` against the detail schema.
+pub(crate) fn bind_aggs(
+    l: &[AggSpec],
+    r_schema: &Schema,
+    registry: &Registry,
+) -> Result<Vec<BoundAgg>> {
+    l.iter()
+        .map(|spec| {
+            let agg = registry.get(&spec.function)?;
+            let (input_col, input_type) = match &spec.input {
+                AggInput::Star => (None, DataType::Int),
+                AggInput::Column(c) => {
+                    let idx = r_schema.index_of(c)?;
+                    (Some(idx), r_schema.field(idx).dtype)
+                }
+            };
+            Ok(BoundAgg {
+                output: Field::new(spec.output_name(), agg.output_type(input_type)),
+                agg,
+                input_col,
+            })
+        })
+        .collect()
+}
+
+fn check_no_duplicates(b_schema: &Schema, bound: &[BoundAgg]) -> Result<()> {
+    let mut names: Vec<&str> = b_schema.fields().iter().map(|f| f.name.as_str()).collect();
+    for ba in bound {
+        if names.contains(&ba.output.name.as_str()) {
+            return Err(CoreError::DuplicateColumn(ba.output.name.clone()));
+        }
+        names.push(&ba.output.name);
+    }
+    Ok(())
+}
+
+/// The output schema of `MD(B, R, l, θ)`: `B`'s columns followed by one
+/// column per aggregate (Definition 3.1's `B, f₁_R_c₁, …, f_n_R_c_n`).
+pub fn output_schema(
+    b_schema: &Schema,
+    r_schema: &Schema,
+    l: &[AggSpec],
+    registry: &Registry,
+) -> Result<Schema> {
+    let bound = bind_aggs(l, r_schema, registry)?;
+    check_no_duplicates(b_schema, &bound)?;
+    let mut fields = b_schema.fields().to_vec();
+    fields.extend(bound.into_iter().map(|ba| ba.output));
+    Ok(Schema::new(fields))
+}
+
+/// Evaluate `MD(B, R, l, θ)` with Algorithm 3.1.
+///
+/// Scans `R` once; for each detail tuple the probe plan yields the candidate
+/// base rows (`Rel(t)`), whose aggregate states are updated. Every base row
+/// produces exactly one output row — base rows with no matches report each
+/// aggregate's empty value (SQL semantics: `count` → 0, others → NULL). This
+/// is the outer-join behaviour Definition 3.1 prescribes ("the row count of
+/// the result of the MD-join is the same as the row count of B").
+pub fn md_join(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    let bound = bind_aggs(l, r.schema(), &ctx.registry)?;
+    check_no_duplicates(b.schema(), &bound)?;
+    let plan = ProbePlan::build_opts(b, r.schema(), theta, ctx.strategy, ctx.prefilter)?;
+
+    // states[i][j]: aggregate j of base row i.
+    let mut states: Vec<Vec<Box<dyn AggState>>> = b
+        .iter()
+        .map(|_| bound.iter().map(|ba| ba.agg.init()).collect())
+        .collect();
+
+    ctx.record_scan(r.len() as u64);
+    let mut matches: Vec<usize> = Vec::new();
+    let mut key_scratch: Vec<mdj_storage::Value> = Vec::new();
+    for t in r.iter() {
+        plan.matches(b, t.values(), ctx, &mut matches, &mut key_scratch)?;
+        if matches.is_empty() {
+            continue;
+        }
+        ctx.record_updates((matches.len() * bound.len()) as u64);
+        for &bi in &matches {
+            let row_states = &mut states[bi];
+            for (j, ba) in bound.iter().enumerate() {
+                let v = match ba.input_col {
+                    Some(c) => &t[c],
+                    None => &Value::Null, // star input: value unused
+                };
+                row_states[j].update(v)?;
+            }
+        }
+    }
+
+    let mut fields = b.schema().fields().to_vec();
+    fields.extend(bound.iter().map(|ba| ba.output.clone()));
+    let schema = Schema::new(fields);
+    let mut out = Relation::empty(schema);
+    for (row, row_states) in b.iter().zip(states) {
+        let mut vals = row.values().to_vec();
+        vals.extend(row_states.iter().map(|s| s.finalize()));
+        out.push_unchecked(Row::new(vals));
+    }
+    Ok(out)
+}
+
+/// Fluent builder over [`md_join`], convenient for examples and tests:
+///
+/// ```
+/// use mdj_core::{MdJoin, ExecContext};
+/// use mdj_expr::builder::*;
+/// use mdj_storage::{Relation, Row, Schema, DataType, Value};
+///
+/// let sales = Relation::from_rows(
+///     Schema::from_pairs(&[("cust", DataType::Int), ("sale", DataType::Float)]),
+///     vec![Row::new(vec![Value::Int(1), Value::Float(10.0)]),
+///          Row::new(vec![Value::Int(1), Value::Float(30.0)])],
+/// );
+/// let b = sales.distinct_on(&["cust"]).unwrap();
+/// let out = MdJoin::new(eq(col_b("cust"), col_r("cust")))
+///     .agg("avg(sale)")
+///     .unwrap()
+///     .run(&b, &sales, &ExecContext::new())
+///     .unwrap();
+/// assert_eq!(out.rows()[0][1], Value::Float(20.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MdJoin {
+    theta: Expr,
+    aggs: Vec<AggSpec>,
+}
+
+impl MdJoin {
+    /// Start a builder with the θ-condition.
+    pub fn new(theta: Expr) -> Self {
+        MdJoin {
+            theta,
+            aggs: Vec::new(),
+        }
+    }
+
+    /// Add an aggregate from a spec string (`"sum(sale)"`,
+    /// `"avg(sale) as a"`, `"count(*)"`).
+    pub fn agg(mut self, spec: &str) -> Result<Self> {
+        self.aggs.push(AggSpec::parse(spec)?);
+        Ok(self)
+    }
+
+    /// Add an already-built [`AggSpec`].
+    pub fn agg_spec(mut self, spec: AggSpec) -> Self {
+        self.aggs.push(spec);
+        self
+    }
+
+    /// The aggregate list.
+    pub fn aggs(&self) -> &[AggSpec] {
+        &self.aggs
+    }
+
+    /// The θ-condition.
+    pub fn theta(&self) -> &Expr {
+        &self.theta
+    }
+
+    /// Evaluate against `b` and `r`.
+    pub fn run(&self, b: &Relation, r: &Relation, ctx: &ExecContext) -> Result<Relation> {
+        md_join(b, r, &self.aggs, &self.theta, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ProbeStrategy;
+    use mdj_expr::builder::*;
+
+    /// Small Sales table used across the tests:
+    /// (cust, month, state, sale)
+    fn sales() -> Relation {
+        let schema = Schema::from_pairs(&[
+            ("cust", DataType::Int),
+            ("month", DataType::Int),
+            ("state", DataType::Str),
+            ("sale", DataType::Float),
+        ]);
+        let rows = vec![
+            Row::from_values(vec![
+                Value::Int(1),
+                Value::Int(1),
+                Value::str("NY"),
+                Value::Float(10.0),
+            ]),
+            Row::from_values(vec![
+                Value::Int(1),
+                Value::Int(1),
+                Value::str("NY"),
+                Value::Float(30.0),
+            ]),
+            Row::from_values(vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::str("NJ"),
+                Value::Float(100.0),
+            ]),
+            Row::from_values(vec![
+                Value::Int(2),
+                Value::Int(1),
+                Value::str("CT"),
+                Value::Float(7.0),
+            ]),
+        ];
+        Relation::from_rows(schema, rows)
+    }
+
+    #[test]
+    fn definition_3_1_schema_and_cardinality() {
+        let s = sales();
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let out = md_join(
+            &b,
+            &s,
+            &[AggSpec::on_column("sum", "sale"), AggSpec::count_star()],
+            &eq(col_b("cust"), col_r("cust")),
+            &ExecContext::new(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), b.len()); // |output| = |B|
+        assert_eq!(out.schema().names(), vec!["cust", "sum_sale", "count_star"]);
+    }
+
+    #[test]
+    fn aggregates_over_rng() {
+        let s = sales();
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let out = md_join(
+            &b,
+            &s,
+            &[
+                AggSpec::on_column("sum", "sale"),
+                AggSpec::on_column("avg", "sale"),
+                AggSpec::on_column("min", "sale"),
+                AggSpec::on_column("max", "sale"),
+            ],
+            &eq(col_b("cust"), col_r("cust")),
+            &ExecContext::new(),
+        )
+        .unwrap();
+        let cust1 = out.rows().iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        assert_eq!(cust1[1], Value::Float(140.0));
+        assert_eq!(cust1[2], Value::Float(140.0 / 3.0));
+        assert_eq!(cust1[3], Value::Float(10.0));
+        assert_eq!(cust1[4], Value::Float(100.0));
+    }
+
+    #[test]
+    fn outer_join_semantics_unmatched_base_rows() {
+        // Example 2.2's point: customers with no NY purchases still appear.
+        let s = sales();
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = and(eq(col_b("cust"), col_r("cust")), eq(col_r("state"), lit("NY")));
+        let out = md_join(
+            &b,
+            &s,
+            &[
+                AggSpec::on_column("avg", "sale").with_alias("avg_ny"),
+                AggSpec::count_star().with_alias("cnt_ny"),
+            ],
+            &theta,
+            &ExecContext::new(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        let cust2 = out.rows().iter().find(|r| r[0] == Value::Int(2)).unwrap();
+        assert_eq!(cust2[1], Value::Null); // avg of empty set
+        assert_eq!(cust2[2], Value::Int(0)); // count of empty set
+        let cust1 = out.rows().iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        assert_eq!(cust1[1], Value::Float(20.0));
+        assert_eq!(cust1[2], Value::Int(2));
+    }
+
+    #[test]
+    fn empty_base_and_empty_detail() {
+        let s = sales();
+        let empty_b = Relation::empty(s.distinct_on(&["cust"]).unwrap().schema().clone());
+        let out = md_join(
+            &empty_b,
+            &s,
+            &[AggSpec::count_star()],
+            &eq(col_b("cust"), col_r("cust")),
+            &ExecContext::new(),
+        )
+        .unwrap();
+        assert!(out.is_empty());
+
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let empty_r = Relation::empty(s.schema().clone());
+        let out = md_join(
+            &b,
+            &empty_r,
+            &[AggSpec::count_star()],
+            &eq(col_b("cust"), col_r("cust")),
+            &ExecContext::new(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.rows().iter().all(|r| r[1] == Value::Int(0)));
+    }
+
+    #[test]
+    fn tuple_may_update_many_base_rows() {
+        // θ non-equijoin: every base row with month <= t.month matches
+        // (a running total — impossible for plain GROUP BY, fine for MD-join).
+        let s = sales();
+        let b = s.distinct_on(&["month"]).unwrap();
+        let theta = le(col_b("month"), col_r("month"));
+        let out = md_join(
+            &b,
+            &s,
+            &[AggSpec::on_column("sum", "sale").with_alias("running")],
+            &theta,
+            &ExecContext::new(),
+        )
+        .unwrap();
+        let m1 = out.rows().iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        let m2 = out.rows().iter().find(|r| r[0] == Value::Int(2)).unwrap();
+        assert_eq!(m1[1], Value::Float(147.0)); // all sales (months >= 1)
+        assert_eq!(m2[1], Value::Float(100.0)); // only month-2 sales
+    }
+
+    #[test]
+    fn strategies_agree() {
+        let s = sales();
+        let b = s.distinct_on(&["cust", "month"]).unwrap();
+        let theta = and(
+            eq(col_b("cust"), col_r("cust")),
+            eq(col_b("month"), col_r("month")),
+        );
+        let l = [AggSpec::on_column("sum", "sale"), AggSpec::count_star()];
+        let nl = md_join(
+            &b,
+            &s,
+            &l,
+            &theta,
+            &ExecContext::new().with_strategy(ProbeStrategy::NestedLoop),
+        )
+        .unwrap();
+        let hp = md_join(
+            &b,
+            &s,
+            &l,
+            &theta,
+            &ExecContext::new().with_strategy(ProbeStrategy::HashProbe),
+        )
+        .unwrap();
+        assert!(nl.same_multiset(&hp));
+    }
+
+    #[test]
+    fn duplicate_output_column_rejected() {
+        let s = sales();
+        let b = s.distinct_on(&["cust"]).unwrap();
+        // Alias collides with B's column.
+        let err = md_join(
+            &b,
+            &s,
+            &[AggSpec::on_column("sum", "sale").with_alias("cust")],
+            &eq(col_b("cust"), col_r("cust")),
+            &ExecContext::new(),
+        );
+        assert!(matches!(err, Err(CoreError::DuplicateColumn(_))));
+        // Two aggregates with the same default name collide too.
+        let err = md_join(
+            &b,
+            &s,
+            &[
+                AggSpec::on_column("sum", "sale"),
+                AggSpec::on_column("sum", "sale"),
+            ],
+            &eq(col_b("cust"), col_r("cust")),
+            &ExecContext::new(),
+        );
+        assert!(matches!(err, Err(CoreError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn output_schema_matches_run() {
+        let s = sales();
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let l = [AggSpec::on_column("avg", "sale")];
+        let reg = Registry::standard();
+        let schema = output_schema(b.schema(), s.schema(), &l, &reg).unwrap();
+        let out = md_join(
+            &b,
+            &s,
+            &l,
+            &eq(col_b("cust"), col_r("cust")),
+            &ExecContext::new(),
+        )
+        .unwrap();
+        assert_eq!(out.schema(), &schema);
+        assert_eq!(schema.field(1).dtype, DataType::Float);
+    }
+
+    #[test]
+    fn base_rows_need_not_be_distinct() {
+        // Definition 3.1: each tuple b ∈ B contributes an output tuple —
+        // duplicates in B are preserved.
+        let s = sales();
+        let b = Relation::from_rows(
+            Schema::from_pairs(&[("cust", DataType::Int)]),
+            vec![Row::from_values([1i64]), Row::from_values([1i64])],
+        );
+        let out = md_join(
+            &b,
+            &s,
+            &[AggSpec::count_star()],
+            &eq(col_b("cust"), col_r("cust")),
+            &ExecContext::new(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.rows()[0], out.rows()[1]);
+    }
+
+    #[test]
+    fn builder_api() {
+        let s = sales();
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let out = MdJoin::new(eq(col_b("cust"), col_r("cust")))
+            .agg("sum(sale) as total")
+            .unwrap()
+            .agg("count(*)")
+            .unwrap()
+            .run(&b, &s, &ExecContext::new())
+            .unwrap();
+        assert_eq!(out.schema().names(), vec!["cust", "total", "count_star"]);
+    }
+
+    #[test]
+    fn stats_recorded() {
+        use mdj_storage::ScanStats;
+        use std::sync::Arc;
+        let s = sales();
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ExecContext::new()
+            .with_strategy(ProbeStrategy::NestedLoop)
+            .with_stats(stats.clone());
+        md_join(
+            &b,
+            &s,
+            &[AggSpec::count_star()],
+            &eq(col_b("cust"), col_r("cust")),
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(stats.scans(), 1);
+        assert_eq!(stats.tuples_scanned(), 4);
+        assert_eq!(stats.probes(), 8); // 4 tuples × |B|=2
+        assert_eq!(stats.updates(), 4); // each tuple matches exactly one base row
+    }
+}

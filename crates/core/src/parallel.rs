@@ -1,0 +1,218 @@
+//! Theorem 4.1 — intra-operator parallelism (Section 4.1.2).
+//!
+//! Two parallel plans:
+//!
+//! * [`md_join_parallel`] — the paper's plan: partition `B` across workers;
+//!   each worker runs a full MD-join of its `Bᵢ` fragment against `R` and the
+//!   fragments are unioned. No shared mutable state, no merging.
+//! * [`md_join_parallel_detail`] — the dual plan enabled by mergeable
+//!   aggregate states (the UDAF `merge` callback of \[JM98\]): partition `R`
+//!   across workers, each maintains states for *all* of `B`, and partial
+//!   states merge at the end. Useful when `B` is small and `R` is huge; the
+//!   benches ablate the two.
+
+use crate::context::ExecContext;
+use crate::error::{CoreError, Result};
+use crate::mdjoin::{bind_aggs, md_join};
+use crate::probe::ProbePlan;
+use mdj_agg::{AggSpec, AggState};
+use mdj_expr::Expr;
+use mdj_storage::{partition, Relation, Row, Schema, Value};
+
+/// Parallel MD-join, partitioning `B` across `threads` workers
+/// (Section 4.1.2). Each worker scans all of `R`.
+pub fn md_join_parallel(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    threads: usize,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    if threads == 0 {
+        return Err(CoreError::BadConfig("thread count must be ≥ 1".into()));
+    }
+    let parts = partition::chunk(b, threads);
+    let results: Vec<Result<Relation>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|part| scope.spawn(move |_| md_join(part, r, l, theta, ctx)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+
+    let mut pieces = results.into_iter().collect::<Result<Vec<_>>>()?;
+    let first = pieces.remove(0);
+    pieces.into_iter().try_fold(first, |acc, next| {
+        acc.union(&next).map_err(CoreError::from)
+    })
+}
+
+/// Parallel MD-join partitioning the *detail* table: each worker scans an
+/// `Rⱼ` slice, keeping aggregate state for every base row; partial states are
+/// merged pairwise at the end. Requires only that the aggregates implement
+/// `merge` (all builtins do).
+pub fn md_join_parallel_detail(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    threads: usize,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    if threads == 0 {
+        return Err(CoreError::BadConfig("thread count must be ≥ 1".into()));
+    }
+    let bound = bind_aggs(l, r.schema(), &ctx.registry)?;
+    let plan = ProbePlan::build_opts(b, r.schema(), theta, ctx.strategy, ctx.prefilter)?;
+    let r_parts = partition::chunk(r, threads);
+
+    type States = Vec<Vec<Box<dyn AggState>>>;
+    let worker = |slice: &Relation| -> Result<States> {
+        let mut states: States = b
+            .iter()
+            .map(|_| bound.iter().map(|ba| ba.agg.init()).collect())
+            .collect();
+        ctx.record_scan(slice.len() as u64);
+        let mut matches = Vec::new();
+        let mut key_scratch: Vec<Value> = Vec::new();
+        for t in slice.iter() {
+            plan.matches(b, t.values(), ctx, &mut matches, &mut key_scratch)?;
+            for &row_id in &matches {
+                for (j, ba) in bound.iter().enumerate() {
+                    let v = match ba.input_col {
+                        Some(c) => &t[c],
+                        None => &Value::Null,
+                    };
+                    states[row_id][j].update(v)?;
+                }
+            }
+        }
+        Ok(states)
+    };
+
+    let partials: Vec<Result<States>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = r_parts
+            .iter()
+            .map(|slice| scope.spawn(move |_| worker(slice)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+
+    let mut partials = partials.into_iter().collect::<Result<Vec<States>>>()?;
+    let mut total = partials.remove(0);
+    for part in partials {
+        for (row_states, part_states) in total.iter_mut().zip(part) {
+            for (s, p) in row_states.iter_mut().zip(part_states) {
+                s.merge(p.as_ref())?;
+            }
+        }
+    }
+
+    let mut fields = b.schema().fields().to_vec();
+    fields.extend(bound.iter().map(|ba| ba.output.clone()));
+    let mut out = Relation::empty(Schema::new(fields));
+    for (row, row_states) in b.iter().zip(total) {
+        let mut vals = row.values().to_vec();
+        vals.extend(row_states.iter().map(|s| s.finalize()));
+        out.push_unchecked(Row::new(vals));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdj_expr::builder::*;
+    use mdj_storage::DataType;
+
+    fn sales(n: i64) -> Relation {
+        let schema = Schema::from_pairs(&[("cust", DataType::Int), ("sale", DataType::Int)]);
+        Relation::from_rows(
+            schema,
+            (0..n)
+                .map(|i| Row::from_values([i % 13, i]))
+                .collect(),
+        )
+    }
+
+    fn check_equivalence(
+        f: impl Fn(&Relation, &Relation, &[AggSpec], &Expr, usize, &ExecContext) -> Result<Relation>,
+    ) {
+        let s = sales(500);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let l = [
+            AggSpec::on_column("sum", "sale"),
+            AggSpec::on_column("avg", "sale"),
+            AggSpec::count_star(),
+            AggSpec::on_column("min", "sale"),
+            AggSpec::on_column("max", "sale"),
+        ];
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let direct = md_join(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let par = f(&b, &s, &l, &theta, threads, &ExecContext::new()).unwrap();
+            assert!(direct.same_multiset(&par), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn base_partitioned_parallel_equals_direct() {
+        check_equivalence(md_join_parallel);
+    }
+
+    #[test]
+    fn detail_partitioned_parallel_equals_direct() {
+        check_equivalence(md_join_parallel_detail);
+    }
+
+    #[test]
+    fn detail_parallel_handles_holistic_merge() {
+        let s = sales(300);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let l = [
+            AggSpec::on_column("median", "sale"),
+            AggSpec::on_column("mode", "cust"),
+            AggSpec::on_column("count_distinct", "sale"),
+        ];
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let direct = md_join(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
+        let par = md_join_parallel_detail(&b, &s, &l, &theta, 4, &ExecContext::new()).unwrap();
+        assert!(direct.same_multiset(&par));
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let s = sales(10);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = eq(col_b("cust"), col_r("cust"));
+        for f in [md_join_parallel, md_join_parallel_detail] {
+            assert!(matches!(
+                f(&b, &s, &[AggSpec::count_star()], &theta, 0, &ExecContext::new()),
+                Err(CoreError::BadConfig(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn non_equijoin_theta_parallelizes_too() {
+        // Theorem 4.1 holds for arbitrary θ.
+        let s = sales(100);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = le(col_b("cust"), col_r("sale"));
+        let l = [AggSpec::count_star()];
+        let direct = md_join(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
+        let p1 = md_join_parallel(&b, &s, &l, &theta, 3, &ExecContext::new()).unwrap();
+        let p2 = md_join_parallel_detail(&b, &s, &l, &theta, 3, &ExecContext::new()).unwrap();
+        assert!(direct.same_multiset(&p1));
+        assert!(direct.same_multiset(&p2));
+    }
+}

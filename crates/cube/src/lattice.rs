@@ -1,0 +1,148 @@
+//! The cuboid search lattice: one node per subset of the cube dimensions.
+//!
+//! Cuboids are bitmasks over the dimension list (bit `i` set ⇒ dimension `i`
+//! kept). The full mask is the finest cuboid (the base group-by); mask 0 is
+//! the apex (grand total). PIPESORT walks this lattice level by level
+//! (\[AAD+96\], Figure 2 of the MD-join paper).
+
+/// A cuboid identified by its kept-dimension bitmask.
+pub type Mask = u32;
+
+/// The cuboid lattice over `n` dimensions (`n ≤ 20` guarded).
+#[derive(Debug, Clone)]
+pub struct Lattice {
+    n: usize,
+}
+
+impl Lattice {
+    /// # Panics
+    /// Panics if `n > 20` (2^n cuboids would be absurd for this engine).
+    pub fn new(n: usize) -> Self {
+        assert!(n <= 20, "cube dimensionality {n} too large");
+        Lattice { n }
+    }
+
+    pub fn dims(&self) -> usize {
+        self.n
+    }
+
+    /// The finest cuboid (all dimensions kept).
+    pub fn full(&self) -> Mask {
+        ((1u64 << self.n) - 1) as Mask
+    }
+
+    /// Number of cuboids (2^n).
+    pub fn cuboid_count(&self) -> usize {
+        1usize << self.n
+    }
+
+    /// All masks, finest (most bits) first, then by ascending value within a
+    /// level — a valid coarse-from-fine computation order.
+    pub fn masks_fine_to_coarse(&self) -> Vec<Mask> {
+        let mut v: Vec<Mask> = (0..self.cuboid_count() as Mask).collect();
+        v.sort_by_key(|m| std::cmp::Reverse((m.count_ones(), std::cmp::Reverse(*m))));
+        v
+    }
+
+    /// Level = number of kept dimensions.
+    pub fn level(&self, mask: Mask) -> u32 {
+        mask.count_ones()
+    }
+
+    /// Direct parents of `mask`: cuboids with exactly one more dimension.
+    pub fn parents(&self, mask: Mask) -> Vec<Mask> {
+        (0..self.n)
+            .filter(|i| mask & (1 << i) == 0)
+            .map(|i| mask | (1 << i))
+            .collect()
+    }
+
+    /// Direct children of `mask`: cuboids with exactly one fewer dimension.
+    pub fn children(&self, mask: Mask) -> Vec<Mask> {
+        (0..self.n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| mask & !(1 << i))
+            .collect()
+    }
+
+    /// Whether `coarse` can be rolled up from `fine` (subset relation).
+    pub fn rolls_up_from(&self, coarse: Mask, fine: Mask) -> bool {
+        coarse & fine == coarse && coarse != fine
+    }
+
+    /// Masks at a given level.
+    pub fn level_masks(&self, level: u32) -> Vec<Mask> {
+        (0..self.cuboid_count() as Mask)
+            .filter(|m| m.count_ones() == level)
+            .collect()
+    }
+
+    /// The kept-dimension indices of `mask`, ascending.
+    pub fn kept_dims(&self, mask: Mask) -> Vec<usize> {
+        (0..self.n).filter(|i| mask & (1 << i) != 0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_levels() {
+        let l = Lattice::new(3);
+        assert_eq!(l.cuboid_count(), 8);
+        assert_eq!(l.full(), 0b111);
+        assert_eq!(l.level(0b101), 2);
+        assert_eq!(l.level_masks(1), vec![0b001, 0b010, 0b100]);
+    }
+
+    #[test]
+    fn parents_and_children() {
+        let l = Lattice::new(3);
+        assert_eq!(l.parents(0b001), vec![0b011, 0b101]);
+        assert_eq!(l.children(0b011), vec![0b010, 0b001]);
+        assert!(l.parents(l.full()).is_empty());
+        assert!(l.children(0).is_empty());
+    }
+
+    #[test]
+    fn fine_to_coarse_order_is_valid() {
+        let l = Lattice::new(3);
+        let order = l.masks_fine_to_coarse();
+        assert_eq!(order.len(), 8);
+        assert_eq!(order[0], 0b111);
+        assert_eq!(*order.last().unwrap(), 0);
+        // Every cuboid appears after at least one of its parents.
+        for (i, &m) in order.iter().enumerate() {
+            if m != l.full() {
+                let has_earlier_parent = order[..i]
+                    .iter()
+                    .any(|&p| l.rolls_up_from(m, p));
+                assert!(has_earlier_parent, "mask {m:b} has no earlier parent");
+            }
+        }
+    }
+
+    #[test]
+    fn rollup_relation() {
+        let l = Lattice::new(3);
+        assert!(l.rolls_up_from(0b001, 0b011));
+        assert!(l.rolls_up_from(0b000, 0b111));
+        assert!(!l.rolls_up_from(0b011, 0b001));
+        assert!(!l.rolls_up_from(0b011, 0b011));
+        assert!(!l.rolls_up_from(0b110, 0b011));
+    }
+
+    #[test]
+    fn kept_dims() {
+        let l = Lattice::new(4);
+        assert_eq!(l.kept_dims(0b1010), vec![1, 3]);
+        assert!(l.kept_dims(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn too_many_dims_panics() {
+        let _ = Lattice::new(21);
+    }
+}

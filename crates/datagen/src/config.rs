@@ -1,0 +1,140 @@
+//! Generator configurations.
+
+/// Configuration for the `Sales` generator. Defaults mirror the paper's
+/// examples: a handful of years around 1994–1999, US states, integer customer
+/// and product ids.
+#[derive(Debug, Clone)]
+pub struct SalesConfig {
+    /// Number of fact rows to generate.
+    pub rows: usize,
+    /// Distinct customers (`cust` ∈ 1..=customers).
+    pub customers: usize,
+    /// Distinct products (`prod` ∈ 1..=products).
+    pub products: usize,
+    /// Distinct states drawn from [`crate::sales::STATES`] (≤ 50).
+    pub states: usize,
+    /// Inclusive year range.
+    pub year_min: i64,
+    pub year_max: i64,
+    /// Zipf exponent for product popularity (0 = uniform).
+    pub product_skew: f64,
+    /// PRNG seed: same config + seed ⇒ identical data.
+    pub seed: u64,
+}
+
+impl Default for SalesConfig {
+    fn default() -> Self {
+        SalesConfig {
+            rows: 10_000,
+            customers: 100,
+            products: 50,
+            states: 10,
+            year_min: 1994,
+            year_max: 1999,
+            product_skew: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+impl SalesConfig {
+    pub fn with_rows(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    pub fn with_customers(mut self, customers: usize) -> Self {
+        self.customers = customers;
+        self
+    }
+
+    pub fn with_products(mut self, products: usize) -> Self {
+        self.products = products;
+        self
+    }
+
+    pub fn with_states(mut self, states: usize) -> Self {
+        self.states = states;
+        self
+    }
+
+    pub fn with_years(mut self, min: i64, max: i64) -> Self {
+        self.year_min = min;
+        self.year_max = max;
+        self
+    }
+
+    pub fn with_product_skew(mut self, theta: f64) -> Self {
+        self.product_skew = theta;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Configuration for the `Payments` generator (Example 3.3's second fact
+/// table).
+#[derive(Debug, Clone)]
+pub struct PaymentsConfig {
+    pub rows: usize,
+    pub customers: usize,
+    pub year_min: i64,
+    pub year_max: i64,
+    pub seed: u64,
+}
+
+impl Default for PaymentsConfig {
+    fn default() -> Self {
+        PaymentsConfig {
+            rows: 10_000,
+            customers: 100,
+            year_min: 1994,
+            year_max: 1999,
+            seed: 43,
+        }
+    }
+}
+
+impl PaymentsConfig {
+    pub fn with_rows(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    pub fn with_customers(mut self, customers: usize) -> Self {
+        self.customers = customers;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = SalesConfig::default()
+            .with_rows(5)
+            .with_customers(2)
+            .with_products(3)
+            .with_states(4)
+            .with_years(1990, 1991)
+            .with_product_skew(1.0)
+            .with_seed(7);
+        assert_eq!(c.rows, 5);
+        assert_eq!(c.customers, 2);
+        assert_eq!(c.products, 3);
+        assert_eq!(c.states, 4);
+        assert_eq!((c.year_min, c.year_max), (1990, 1991));
+        assert_eq!(c.product_skew, 1.0);
+        assert_eq!(c.seed, 7);
+    }
+}

@@ -1,0 +1,68 @@
+//! The `Payments` fact-table generator (Example 3.3's second detail table).
+
+use crate::config::PaymentsConfig;
+use mdj_storage::{DataType, Relation, Row, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `Payments(cust, day, month, year, amount)` — schema verbatim from
+/// Example 3.3.
+pub fn payments_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("cust", DataType::Int),
+        ("day", DataType::Int),
+        ("month", DataType::Int),
+        ("year", DataType::Int),
+        ("amount", DataType::Float),
+    ])
+}
+
+/// Generate a `Payments` relation, deterministic given the config.
+pub fn payments(config: &PaymentsConfig) -> Relation {
+    assert!(config.customers > 0, "need at least one customer");
+    assert!(config.year_min <= config.year_max, "bad year range");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rel = Relation::empty(payments_schema());
+    for _ in 0..config.rows {
+        let cust = rng.gen_range(1..=config.customers as i64);
+        let day = rng.gen_range(1..=28i64);
+        let month = rng.gen_range(1..=12i64);
+        let year = rng.gen_range(config.year_min..=config.year_max);
+        let amount = (rng.gen_range(1.0f64..2000.0) * 100.0).round() / 100.0;
+        rel.push_unchecked(Row::new(vec![
+            Value::Int(cust),
+            Value::Int(day),
+            Value::Int(month),
+            Value::Int(year),
+            Value::Float(amount),
+        ]));
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let c = PaymentsConfig::default().with_rows(300);
+        let a = payments(&c);
+        assert_eq!(a.len(), 300);
+        assert_eq!(a, payments(&c));
+        assert_eq!(
+            a.schema().names(),
+            vec!["cust", "day", "month", "year", "amount"]
+        );
+    }
+
+    #[test]
+    fn customers_within_range() {
+        let c = PaymentsConfig::default().with_rows(500).with_customers(7);
+        let p = payments(&c);
+        for row in p.iter() {
+            let cust = row[0].as_int().unwrap();
+            assert!((1..=7).contains(&cust));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The `Sales` fact-table generator.
+
+use crate::config::SalesConfig;
+use crate::zipf::Zipf;
+use mdj_storage::{DataType, Relation, Row, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Two-letter state codes used for the `state` dimension, listed with the
+/// paper's tri-state area (Example 2.2) first so small `states` settings keep
+/// NY/NJ/CT available.
+pub const STATES: [&str; 50] = [
+    "NY", "NJ", "CT", "CA", "IL", "TX", "FL", "PA", "OH", "GA", "NC", "MI", "WA", "AZ", "MA",
+    "TN", "IN", "MO", "MD", "WI", "CO", "MN", "SC", "AL", "LA", "KY", "OR", "OK", "PR", "IA",
+    "UT", "NV", "AR", "MS", "KS", "NM", "NE", "ID", "WV", "HI", "NH", "ME", "MT", "RI", "DE",
+    "SD", "ND", "AK", "VT", "WY",
+];
+
+/// The `Sales` schema used across the reproduction:
+/// `(cust, prod, day, month, year, state, sale)`.
+pub fn sales_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("cust", DataType::Int),
+        ("prod", DataType::Int),
+        ("day", DataType::Int),
+        ("month", DataType::Int),
+        ("year", DataType::Int),
+        ("state", DataType::Str),
+        ("sale", DataType::Float),
+    ])
+}
+
+/// Generate a `Sales` relation. Deterministic given the config (seed
+/// included): repeated calls produce identical relations.
+pub fn sales(config: &SalesConfig) -> Relation {
+    assert!(config.customers > 0, "need at least one customer");
+    assert!(config.products > 0, "need at least one product");
+    assert!(
+        (1..=STATES.len()).contains(&config.states),
+        "states must be in 1..=50"
+    );
+    assert!(config.year_min <= config.year_max, "bad year range");
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let product_dist = Zipf::new(config.products, config.product_skew);
+    let state_values: Vec<Value> = STATES[..config.states]
+        .iter()
+        .map(|s| Value::str(*s))
+        .collect();
+
+    let mut rel = Relation::empty(sales_schema());
+    for _ in 0..config.rows {
+        let cust = rng.gen_range(1..=config.customers as i64);
+        let prod = product_dist.sample(&mut rng) as i64;
+        let day = rng.gen_range(1..=28i64);
+        let month = rng.gen_range(1..=12i64);
+        let year = rng.gen_range(config.year_min..=config.year_max);
+        let state = state_values[rng.gen_range(0..state_values.len())].clone();
+        // Sale amounts: log-uniform-ish positive values, two decimals.
+        let sale = (rng.gen_range(1.0f64..1000.0) * 100.0).round() / 100.0;
+        rel.push_unchecked(Row::new(vec![
+            Value::Int(cust),
+            Value::Int(prod),
+            Value::Int(day),
+            Value::Int(month),
+            Value::Int(year),
+            state,
+            Value::Float(sale),
+        ]));
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let c = SalesConfig::default().with_rows(500);
+        let a = sales(&c);
+        let b = sales(&c);
+        assert_eq!(a, b);
+        let c2 = c.clone().with_seed(7);
+        let d = sales(&c2);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn respects_cardinalities() {
+        let c = SalesConfig::default()
+            .with_rows(2000)
+            .with_customers(5)
+            .with_products(3)
+            .with_states(2)
+            .with_years(1997, 1997);
+        let r = sales(&c);
+        assert_eq!(r.len(), 2000);
+        let custs = r.distinct_on(&["cust"]).unwrap();
+        assert!(custs.len() <= 5);
+        let prods = r.distinct_on(&["prod"]).unwrap();
+        assert!(prods.len() <= 3);
+        let states = r.distinct_on(&["state"]).unwrap();
+        assert!(states.len() <= 2);
+        for row in r.iter() {
+            assert_eq!(row[4], Value::Int(1997));
+            let m = row[3].as_int().unwrap();
+            assert!((1..=12).contains(&m));
+            assert!(row[6].as_float().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_products() {
+        let uniform = sales(&SalesConfig::default().with_rows(5000).with_products(100));
+        let skewed = sales(
+            &SalesConfig::default()
+                .with_rows(5000)
+                .with_products(100)
+                .with_product_skew(1.2),
+        );
+        let count_prod1 = |r: &Relation| {
+            r.iter()
+                .filter(|row| row[1] == Value::Int(1))
+                .count()
+        };
+        assert!(count_prod1(&skewed) > 3 * count_prod1(&uniform).max(1));
+    }
+
+    #[test]
+    fn tri_state_area_present_with_three_states() {
+        let r = sales(&SalesConfig::default().with_rows(1000).with_states(3));
+        let states: Vec<String> = r
+            .distinct_on(&["state"])
+            .unwrap()
+            .iter()
+            .map(|row| row[0].to_string())
+            .collect();
+        for s in ["NY", "NJ", "CT"] {
+            assert!(states.contains(&s.to_string()), "missing {s}");
+        }
+    }
+}

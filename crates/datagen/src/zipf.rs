@@ -1,0 +1,107 @@
+//! A small Zipf(θ) sampler over `1..=n` via inverse-CDF lookup.
+//!
+//! Real sales data is skewed — a few products dominate. The benches use Zipf
+//! skew to exercise the hash-probe and partitioning paths under realistic
+//! key distributions. θ = 0 degenerates to uniform.
+
+use rand::Rng;
+
+/// Precomputed inverse-CDF Zipf sampler.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// cdf[i] = P(X <= i+1); monotone, last element 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `1..=n` with exponent `theta >= 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        assert!(theta >= 0.0, "Zipf exponent must be non-negative");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against floating-point drift.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf: weights }
+    }
+
+    /// Number of distinct values.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one value in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf has no NaN"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for c in counts {
+            let rel = (c as f64 - 2000.0).abs() / 2000.0;
+            assert!(rel < 0.15, "uniform bucket off: {c}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_theta_one() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut first = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) == 1 {
+                first += 1;
+            }
+        }
+        // P(1) = 1/H_100 ≈ 0.192; allow slack.
+        let p = first as f64 / n as f64;
+        assert!(p > 0.15 && p < 0.25, "P(1) = {p}");
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipf::new(7, 1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let s = z.sample(&mut rng);
+            assert!((1..=7).contains(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_domain_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,569 @@
+//! θ-condition analysis: the decompositions behind Theorems 4.2/4.3/4.4,
+//! Observation 4.1, and Section 4.5 index selection.
+
+use crate::ast::{BinOp, ColRef, Expr, Side};
+use mdj_storage::Value;
+use std::ops::Bound;
+
+/// Flatten a conjunction into its conjuncts (`a AND b AND c` → `[a, b, c]`).
+/// Non-conjunctive expressions are a single conjunct. The constant `true`
+/// flattens to no conjuncts.
+pub fn conjuncts(expr: &Expr) -> Vec<Expr> {
+    fn walk(e: &Expr, out: &mut Vec<Expr>) {
+        match e {
+            Expr::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
+                walk(lhs, out);
+                walk(rhs, out);
+            }
+            Expr::Lit(Value::Bool(true)) => {}
+            other => out.push(other.clone()),
+        }
+    }
+    let mut out = Vec::new();
+    walk(expr, &mut out);
+    out
+}
+
+/// Which sides an expression touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sides {
+    pub base: bool,
+    pub detail: bool,
+}
+
+/// Classify an expression by the sides it references.
+pub fn sides(expr: &Expr) -> Sides {
+    Sides {
+        base: expr.uses_side(Side::Base),
+        detail: expr.uses_side(Side::Detail),
+    }
+}
+
+/// A θ split by side, per Theorem 4.2: `θ = θ₁ AND θ₂` where `θ₂` involves
+/// only attributes of `R` (pushable into `σ_{θ₂}(R)`). We also separate
+/// base-only conjuncts (pushable into a selection on `B`) and constant
+/// conjuncts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThetaSplit {
+    /// Conjuncts over both sides — the residual θ₁ that the MD-join must test.
+    pub mixed: Vec<Expr>,
+    /// Conjuncts over `R` only (Theorem 4.2: push to a selection on `R`).
+    pub detail_only: Vec<Expr>,
+    /// Conjuncts over `B` only (push to a selection on `B`).
+    pub base_only: Vec<Expr>,
+    /// Conjuncts referencing no columns at all.
+    pub constant: Vec<Expr>,
+}
+
+impl ThetaSplit {
+    /// Recombine the residual condition that remains on the MD-join after
+    /// detail-only conjuncts are pushed (base-only and constant conjuncts are
+    /// kept too unless the caller pushes them as well).
+    pub fn residual(&self) -> Expr {
+        crate::builder::and_all(
+            self.mixed
+                .iter()
+                .chain(&self.base_only)
+                .chain(&self.constant)
+                .cloned(),
+        )
+    }
+
+    /// The pushable detail-side selection predicate, if any.
+    pub fn detail_predicate(&self) -> Option<Expr> {
+        if self.detail_only.is_empty() {
+            None
+        } else {
+            Some(crate::builder::and_all(self.detail_only.iter().cloned()))
+        }
+    }
+}
+
+/// Split θ into side classes (Theorem 4.2 precondition).
+pub fn split_theta(theta: &Expr) -> ThetaSplit {
+    let mut split = ThetaSplit {
+        mixed: Vec::new(),
+        detail_only: Vec::new(),
+        base_only: Vec::new(),
+        constant: Vec::new(),
+    };
+    for c in conjuncts(theta) {
+        let s = sides(&c);
+        match (s.base, s.detail) {
+            (true, true) => split.mixed.push(c),
+            (false, true) => split.detail_only.push(c),
+            (true, false) => split.base_only.push(c),
+            (false, false) => split.constant.push(c),
+        }
+    }
+    split
+}
+
+/// An equality conjunct `B.b = R.r` between bare columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EquiPair {
+    pub base_col: String,
+    pub detail_col: String,
+}
+
+/// Extract `B.x = R.y` pairs from θ's conjuncts. These drive:
+/// * Section 4.5: build a hash index on `B`'s columns `{x}` and probe it with
+///   values `t[y]` from each detail tuple — `Rel(t)` lookup;
+/// * Observation 4.1: a range selection on `B.x` rewrites to the same range on
+///   `R.y`.
+pub fn equi_pairs(theta: &Expr) -> Vec<EquiPair> {
+    let mut out = Vec::new();
+    for c in conjuncts(theta) {
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        } = &c
+        {
+            match (lhs.as_ref(), rhs.as_ref()) {
+                (Expr::Col(a), Expr::Col(b)) if a.side != b.side => {
+                    let (bc, rc) = if a.side == Side::Base { (a, b) } else { (b, a) };
+                    out.push(EquiPair {
+                        base_col: bc.name.clone(),
+                        detail_col: rc.name.clone(),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// A *probe binding*: `B.col = f(R-row)` where `f` references only the detail
+/// side. Generalizes [`equi_pairs`] to computed keys, which Section 4.5 needs
+/// for Example 2.5's θ (`B.month = R.month + 1` — index `B` on `month`, probe
+/// with `t.month + 1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeBinding {
+    pub base_col: String,
+    /// Detail-only expression producing the probe value.
+    pub detail_expr: Expr,
+}
+
+/// Try to rewrite one side of an equality into `B.col = <detail-only expr>`.
+///
+/// Handles the bare column and one level of `+`/`-` isolation, so θs written
+/// either way round probe equally well (`B.month = R.month + 1` and
+/// `R.month = B.month - 1` both bind `month`):
+///
+/// * `B.col`            = D  →  `B.col = D`
+/// * `B.col + e`        = D  →  `B.col = D - e`
+/// * `B.col - e`        = D  →  `B.col = D + e`
+/// * `e + B.col`        = D  →  `B.col = D - e`
+/// * `e - B.col`        = D  →  `B.col = e - D`
+///
+/// where `e` and `D` reference only the detail side (or constants).
+fn isolate_base_col(base_side: &Expr, detail_side: &Expr) -> Option<ProbeBinding> {
+    if detail_side.uses_side(Side::Base) {
+        return None;
+    }
+    let bin = |op: BinOp, lhs: &Expr, rhs: &Expr| Expr::Binary {
+        op,
+        lhs: Box::new(lhs.clone()),
+        rhs: Box::new(rhs.clone()),
+    };
+    match base_side {
+        Expr::Col(ColRef {
+            side: Side::Base,
+            name,
+        }) => Some(ProbeBinding {
+            base_col: name.clone(),
+            detail_expr: detail_side.clone(),
+        }),
+        Expr::Binary { op, lhs, rhs } if matches!(op, BinOp::Add | BinOp::Sub) => {
+            match (lhs.as_ref(), rhs.as_ref()) {
+                (
+                    Expr::Col(ColRef {
+                        side: Side::Base,
+                        name,
+                    }),
+                    e,
+                ) if !e.uses_side(Side::Base) => {
+                    let inverse = if *op == BinOp::Add { BinOp::Sub } else { BinOp::Add };
+                    Some(ProbeBinding {
+                        base_col: name.clone(),
+                        detail_expr: bin(inverse, detail_side, e),
+                    })
+                }
+                (
+                    e,
+                    Expr::Col(ColRef {
+                        side: Side::Base,
+                        name,
+                    }),
+                ) if !e.uses_side(Side::Base) => {
+                    let detail_expr = if *op == BinOp::Add {
+                        bin(BinOp::Sub, detail_side, e) // e + B.col = D
+                    } else {
+                        bin(BinOp::Sub, e, detail_side) // e - B.col = D
+                    };
+                    Some(ProbeBinding {
+                        base_col: name.clone(),
+                        detail_expr,
+                    })
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Extract probe bindings from θ. A conjunct qualifies when one side of an
+/// equality resolves (possibly after one `+`/`-` isolation step) to a bare
+/// `B` column with the rest of the conjunct referencing only `R`. Remaining
+/// conjuncts become the residual predicate re-checked per candidate.
+pub fn probe_bindings(theta: &Expr) -> (Vec<ProbeBinding>, Vec<Expr>) {
+    let mut bindings = Vec::new();
+    let mut residual = Vec::new();
+    for c in conjuncts(theta) {
+        let mut matched = false;
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        } = &c
+        {
+            for (a, b) in [(lhs, rhs), (rhs, lhs)] {
+                if let Some(binding) = isolate_base_col(a, b) {
+                    bindings.push(binding);
+                    matched = true;
+                    break;
+                }
+            }
+        }
+        if !matched {
+            residual.push(c);
+        }
+    }
+    (bindings, residual)
+}
+
+/// A one-column range extracted from detail-only conjuncts, for clustered
+/// index scans (Example 4.1: `Sales.year >= 1994 AND Sales.year <= 1996`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnRange {
+    pub column: String,
+    pub lower: Bound<Value>,
+    pub upper: Bound<Value>,
+}
+
+/// Extract the tightest range on `column` implied by the given detail-only
+/// conjuncts, returning the conjuncts that did not contribute. Supports
+/// `R.col (op) literal` and `literal (op) R.col` for `=, <, <=, >, >=`.
+pub fn extract_range(conjs: &[Expr], column: &str) -> (Option<ColumnRange>, Vec<Expr>) {
+    let mut lower: Bound<Value> = Bound::Unbounded;
+    let mut upper: Bound<Value> = Bound::Unbounded;
+    let mut rest = Vec::new();
+    let mut any = false;
+
+    let tighten_lower = |cur: &mut Bound<Value>, new: Bound<Value>| {
+        let newer = match (&*cur, &new) {
+            (Bound::Unbounded, _) => true,
+            (_, Bound::Unbounded) => false,
+            (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) => {
+                match b.cmp(a) {
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Less => false,
+                    std::cmp::Ordering::Equal => {
+                        matches!(new, Bound::Excluded(_)) && matches!(cur, Bound::Included(_))
+                    }
+                }
+            }
+        };
+        if newer {
+            *cur = new;
+        }
+    };
+    let tighten_upper = |cur: &mut Bound<Value>, new: Bound<Value>| {
+        let newer = match (&*cur, &new) {
+            (Bound::Unbounded, _) => true,
+            (_, Bound::Unbounded) => false,
+            (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) => {
+                match b.cmp(a) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => {
+                        matches!(new, Bound::Excluded(_)) && matches!(cur, Bound::Included(_))
+                    }
+                }
+            }
+        };
+        if newer {
+            *cur = new;
+        }
+    };
+
+    for c in conjs {
+        let mut used = false;
+        if let Expr::Binary { op, lhs, rhs } = c {
+            // Normalize to `col (op) lit`.
+            let norm = match (lhs.as_ref(), rhs.as_ref()) {
+                (
+                    Expr::Col(ColRef {
+                        side: Side::Detail,
+                        name,
+                    }),
+                    Expr::Lit(v),
+                ) if name == column => Some((*op, v.clone())),
+                (
+                    Expr::Lit(v),
+                    Expr::Col(ColRef {
+                        side: Side::Detail,
+                        name,
+                    }),
+                ) if name == column => Some((op.flip(), v.clone())),
+                _ => None,
+            };
+            if let Some((op, v)) = norm {
+                used = true;
+                any = true;
+                match op {
+                    BinOp::Eq => {
+                        tighten_lower(&mut lower, Bound::Included(v.clone()));
+                        tighten_upper(&mut upper, Bound::Included(v));
+                    }
+                    BinOp::Lt => tighten_upper(&mut upper, Bound::Excluded(v)),
+                    BinOp::Le => tighten_upper(&mut upper, Bound::Included(v)),
+                    BinOp::Gt => tighten_lower(&mut lower, Bound::Excluded(v)),
+                    BinOp::Ge => tighten_lower(&mut lower, Bound::Included(v)),
+                    _ => {
+                        any = matches!((&lower, &upper), (Bound::Unbounded, Bound::Unbounded))
+                            .then_some(false)
+                            .unwrap_or(any);
+                        used = false;
+                    }
+                }
+            }
+        }
+        if !used {
+            rest.push(c.clone());
+        }
+    }
+    let range = if any {
+        Some(ColumnRange {
+            column: column.to_string(),
+            lower,
+            upper,
+        })
+    } else {
+        None
+    };
+    (range, rest)
+}
+
+/// θ-independence test for Theorem 4.3: two MD-joins over base `B` commute
+/// when each θ references only `B`'s *original* columns plus its own detail
+/// table — i.e. neither θ mentions aggregate columns produced by the other.
+/// `produced_by_first` is the set of column names the first MD-join appends.
+pub fn theta_independent_of(theta: &Expr, produced_by_first: &[String]) -> bool {
+    let mut independent = true;
+    theta.visit_cols(&mut |c| {
+        if c.side == Side::Base && produced_by_first.iter().any(|p| p == &c.name) {
+            independent = false;
+        }
+    });
+    independent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn conjuncts_flatten_nested_ands() {
+        let e = and(
+            and(eq(col_b("a"), col_r("a")), gt(col_r("x"), lit(1i64))),
+            lt(col_r("x"), lit(9i64)),
+        );
+        assert_eq!(conjuncts(&e).len(), 3);
+        assert!(conjuncts(&Expr::always_true()).is_empty());
+        // OR is opaque — a single conjunct.
+        let e = or(lit(true), lit(false));
+        assert_eq!(conjuncts(&e).len(), 1);
+    }
+
+    #[test]
+    fn split_theta_classifies_sides() {
+        // Example 4.1's θ₁: Sales.prod=prod AND year>=1994 AND year<=1996
+        let theta = and_all([
+            eq(col_r("prod"), col_b("prod")),
+            ge(col_r("year"), lit(1994i64)),
+            le(col_r("year"), lit(1996i64)),
+        ]);
+        let s = split_theta(&theta);
+        assert_eq!(s.mixed.len(), 1);
+        assert_eq!(s.detail_only.len(), 2);
+        assert!(s.base_only.is_empty());
+        assert!(s.detail_predicate().is_some());
+        let resid = s.residual();
+        assert_eq!(conjuncts(&resid).len(), 1);
+    }
+
+    #[test]
+    fn equi_pairs_found_in_both_orders() {
+        let theta = and(
+            eq(col_b("cust"), col_r("c")),
+            eq(col_r("month"), col_b("m")),
+        );
+        let pairs = equi_pairs(&theta);
+        assert_eq!(
+            pairs,
+            vec![
+                EquiPair {
+                    base_col: "cust".into(),
+                    detail_col: "c".into()
+                },
+                EquiPair {
+                    base_col: "m".into(),
+                    detail_col: "month".into()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn equi_pairs_ignore_same_side_and_computed() {
+        let theta = and(
+            eq(col_r("a"), col_r("b")),
+            eq(col_b("m"), add(col_r("month"), lit(1i64))),
+        );
+        assert!(equi_pairs(&theta).is_empty());
+    }
+
+    #[test]
+    fn probe_bindings_capture_computed_keys() {
+        // Example 2.5 previous-month θ.
+        let theta = and(
+            eq(col_r("cust"), col_b("cust")),
+            eq(col_b("month"), add(col_r("month"), lit(1i64))),
+        );
+        let (bindings, residual) = probe_bindings(&theta);
+        assert_eq!(bindings.len(), 2);
+        assert!(residual.is_empty());
+        assert_eq!(bindings[0].base_col, "cust");
+        assert_eq!(bindings[1].base_col, "month");
+        assert_eq!(
+            bindings[1].detail_expr,
+            add(col_r("month"), lit(1i64))
+        );
+    }
+
+    #[test]
+    fn probe_bindings_isolate_shifted_base_columns() {
+        // R.month = B.month - 1  =>  B.month = R.month + 1 (probe-able).
+        let theta = eq(col_r("month"), sub(col_b("month"), lit(1i64)));
+        let (bindings, residual) = probe_bindings(&theta);
+        assert_eq!(bindings.len(), 1);
+        assert!(residual.is_empty());
+        assert_eq!(bindings[0].base_col, "month");
+        assert_eq!(bindings[0].detail_expr, add(col_r("month"), lit(1i64)));
+        // B.month + 1 = R.month  =>  B.month = R.month - 1.
+        let theta = eq(add(col_b("month"), lit(1i64)), col_r("month"));
+        let (bindings, _) = probe_bindings(&theta);
+        assert_eq!(bindings[0].detail_expr, sub(col_r("month"), lit(1i64)));
+        // 12 - B.month = R.month  =>  B.month = 12 - R.month.
+        let theta = eq(sub(lit(12i64), col_b("month")), col_r("month"));
+        let (bindings, _) = probe_bindings(&theta);
+        assert_eq!(bindings[0].detail_expr, sub(lit(12i64), col_r("month")));
+    }
+
+    #[test]
+    fn isolation_refuses_base_on_both_sides() {
+        // B.x + B.y = R.m: not isolatable.
+        let theta = eq(add(col_b("x"), col_b("y")), col_r("m"));
+        let (bindings, residual) = probe_bindings(&theta);
+        assert!(bindings.is_empty());
+        assert_eq!(residual.len(), 1);
+    }
+
+    #[test]
+    fn probe_bindings_leave_inequalities_residual() {
+        let theta = and(
+            eq(col_b("prod"), col_r("prod")),
+            gt(col_r("sale"), col_b("avg_sale")),
+        );
+        let (bindings, residual) = probe_bindings(&theta);
+        assert_eq!(bindings.len(), 1);
+        assert_eq!(residual.len(), 1);
+    }
+
+    #[test]
+    fn probe_binding_rejects_base_referencing_value() {
+        // B.x = B.y + 1 is not probe-able.
+        let theta = eq(col_b("x"), add(col_b("y"), lit(1i64)));
+        let (bindings, residual) = probe_bindings(&theta);
+        assert!(bindings.is_empty());
+        assert_eq!(residual.len(), 1);
+    }
+
+    #[test]
+    fn extract_range_example_4_1() {
+        let theta = and_all([
+            eq(col_r("prod"), col_b("prod")),
+            ge(col_r("year"), lit(1994i64)),
+            le(col_r("year"), lit(1996i64)),
+        ]);
+        let s = split_theta(&theta);
+        let (range, rest) = extract_range(&s.detail_only, "year");
+        let range = range.unwrap();
+        assert_eq!(range.lower, Bound::Included(Value::Int(1994)));
+        assert_eq!(range.upper, Bound::Included(Value::Int(1996)));
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn extract_range_tightens_and_handles_flipped_literals() {
+        let conjs = vec![
+            gt(lit(10i64), col_r("x")), // x < 10
+            ge(col_r("x"), lit(2i64)),
+            lt(col_r("x"), lit(8i64)), // tighter upper
+        ];
+        let (range, rest) = extract_range(&conjs, "x");
+        let range = range.unwrap();
+        assert_eq!(range.lower, Bound::Included(Value::Int(2)));
+        assert_eq!(range.upper, Bound::Excluded(Value::Int(8)));
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn extract_range_equality_pins_both_bounds() {
+        let conjs = vec![eq(col_r("year"), lit(1999i64))];
+        let (range, _) = extract_range(&conjs, "year");
+        let range = range.unwrap();
+        assert_eq!(range.lower, Bound::Included(Value::Int(1999)));
+        assert_eq!(range.upper, Bound::Included(Value::Int(1999)));
+    }
+
+    #[test]
+    fn extract_range_keeps_unrelated_conjuncts() {
+        let conjs = vec![ge(col_r("year"), lit(1994i64)), gt(col_r("sale"), lit(0i64))];
+        let (range, rest) = extract_range(&conjs, "year");
+        assert!(range.is_some());
+        assert_eq!(rest.len(), 1);
+    }
+
+    #[test]
+    fn theta_independence() {
+        // Example 3.2: θ₂ references avg_sale produced by the first MD-join.
+        let theta2 = and(
+            group_theta(&["prod", "month", "state"]),
+            gt(col_r("sale"), col_b("avg_sale")),
+        );
+        assert!(!theta_independent_of(&theta2, &["avg_sale".to_string()]));
+        // Example 2.2's θ₂ is independent of θ₁'s output.
+        let theta = and(eq(col_r("cust"), col_b("cust")), eq(col_r("state"), lit("CT")));
+        assert!(theta_independent_of(&theta, &["avg_sale_ny".to_string()]));
+    }
+}

@@ -1,0 +1,130 @@
+//! Terse constructors for building expressions in code, tests, and examples.
+//!
+//! ```
+//! use mdj_expr::builder::*;
+//! // θ of Example 2.5's "previous month" grouping variable:
+//! //   Sales.cust = cust AND Sales.month = month - 1
+//! let theta = and(
+//!     eq(col_r("cust"), col_b("cust")),
+//!     eq(col_r("month"), sub(col_b("month"), lit(1i64))),
+//! );
+//! assert!(theta.to_string().contains("R.month"));
+//! ```
+
+use crate::ast::{BinOp, ColRef, Expr};
+use mdj_storage::Value;
+
+/// Reference a column of the base-values table `B`.
+pub fn col_b(name: impl Into<String>) -> Expr {
+    Expr::Col(ColRef::base(name))
+}
+
+/// Reference a column of the detail table `R`.
+pub fn col_r(name: impl Into<String>) -> Expr {
+    Expr::Col(ColRef::detail(name))
+}
+
+/// A literal value.
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Lit(v.into())
+}
+
+fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
+}
+
+pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Add, lhs, rhs)
+}
+
+pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Sub, lhs, rhs)
+}
+
+pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Mul, lhs, rhs)
+}
+
+pub fn div(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Div, lhs, rhs)
+}
+
+pub fn modulo(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Mod, lhs, rhs)
+}
+
+pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Eq, lhs, rhs)
+}
+
+pub fn ne(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Ne, lhs, rhs)
+}
+
+pub fn lt(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Lt, lhs, rhs)
+}
+
+pub fn le(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Le, lhs, rhs)
+}
+
+pub fn gt(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Gt, lhs, rhs)
+}
+
+pub fn ge(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Ge, lhs, rhs)
+}
+
+pub fn and(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::And, lhs, rhs)
+}
+
+pub fn or(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Or, lhs, rhs)
+}
+
+pub fn not(e: Expr) -> Expr {
+    Expr::Not(Box::new(e))
+}
+
+/// Conjoin many predicates; empty input yields the constant `true`.
+pub fn and_all(exprs: impl IntoIterator<Item = Expr>) -> Expr {
+    let mut iter = exprs.into_iter();
+    match iter.next() {
+        None => Expr::always_true(),
+        Some(first) => iter.fold(first, and),
+    }
+}
+
+/// The θ of a plain group-by MD-join: `B.a = R.a` for every listed attribute.
+/// (Example 3.2's θ₁: `Sales.prod=prod and Sales.month=month and
+/// Sales.state=state`.)
+pub fn group_theta(attrs: &[&str]) -> Expr {
+    and_all(attrs.iter().map(|a| eq(col_b(*a), col_r(*a))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_all_handles_empty_and_many() {
+        assert_eq!(and_all([]), Expr::always_true());
+        let e = and_all([eq(col_b("a"), col_r("a")), eq(col_b("b"), col_r("b"))]);
+        assert_eq!(e.to_string(), "((B.a = R.a) AND (B.b = R.b))");
+    }
+
+    #[test]
+    fn group_theta_builds_equality_chain() {
+        let t = group_theta(&["prod", "month", "state"]);
+        let s = t.to_string();
+        assert!(s.contains("(B.prod = R.prod)"));
+        assert!(s.contains("(B.state = R.state)"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Expression errors.
+
+use std::fmt;
+
+pub type Result<T, E = ExprError> = std::result::Result<T, E>;
+
+/// Errors from binding or evaluating expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// A column reference failed to resolve against the schema of its side.
+    Bind { side: &'static str, inner: String },
+    /// A runtime type error (e.g. adding a string to an int).
+    Type { op: String, lhs: String, rhs: String },
+    /// Division or modulo by zero.
+    DivideByZero,
+    /// An expression referenced a side that is not available in this context
+    /// (e.g. a detail column inside a base-only selection predicate).
+    SideUnavailable(&'static str),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Bind { side, inner } => write!(f, "cannot bind {side} column: {inner}"),
+            ExprError::Type { op, lhs, rhs } => {
+                write!(f, "type error: cannot apply `{op}` to {lhs} and {rhs}")
+            }
+            ExprError::DivideByZero => write!(f, "division by zero"),
+            ExprError::SideUnavailable(s) => {
+                write!(f, "expression references unavailable side {s}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ExprError::Type {
+            op: "+".into(),
+            lhs: "str".into(),
+            rhs: "int".into(),
+        };
+        assert!(e.to_string().contains('+'));
+        assert!(ExprError::DivideByZero.to_string().contains("zero"));
+    }
+}

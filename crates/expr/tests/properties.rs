@@ -1,0 +1,179 @@
+//! Property-based tests: the θ decompositions are *semantic* equivalences,
+//! not just syntactic rearrangements.
+
+use mdj_expr::analysis::{conjuncts, extract_range, probe_bindings, split_theta};
+use mdj_expr::builder::*;
+use mdj_expr::{BinOp, Expr};
+use mdj_storage::{DataType, Schema, Value};
+use proptest::prelude::*;
+
+fn b_schema() -> Schema {
+    Schema::from_pairs(&[("x", DataType::Int), ("y", DataType::Int)])
+}
+
+fn r_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("x", DataType::Int),
+        ("y", DataType::Int),
+        ("v", DataType::Int),
+    ])
+}
+
+/// Random conjunctions mixing equalities (bare and shifted), inequalities,
+/// and detail-only predicates.
+fn theta_strategy() -> impl Strategy<Value = Expr> {
+    let conjunct = prop_oneof![
+        Just(eq(col_b("x"), col_r("x"))),
+        Just(eq(col_b("y"), col_r("y"))),
+        Just(eq(col_b("y"), add(col_r("y"), lit(1i64)))),
+        Just(eq(col_r("y"), sub(col_b("y"), lit(1i64)))),
+        (-5i64..5).prop_map(|c| gt(col_r("v"), lit(c))),
+        (-5i64..5).prop_map(|c| le(col_r("v"), lit(c))),
+        (-5i64..5).prop_map(|c| ge(col_b("x"), lit(c))),
+        Just(lt(col_b("x"), col_r("v"))),
+    ];
+    proptest::collection::vec(conjunct, 1..5).prop_map(and_all)
+}
+
+fn row_strategy(n: usize) -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec((-4i64..4).prop_map(Value::Int), n..=n)
+}
+
+fn eval(theta: &Expr, b: &[Value], r: &[Value]) -> bool {
+    theta
+        .bind(Some(&b_schema()), Some(&r_schema()))
+        .unwrap()
+        .eval_bool(b, r)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// split_theta: residual ∧ detail-predicate ≡ original θ.
+    #[test]
+    fn split_theta_is_semantic_identity(
+        theta in theta_strategy(),
+        b in row_strategy(2),
+        r in row_strategy(3),
+    ) {
+        let split = split_theta(&theta);
+        let recombined = match split.detail_predicate() {
+            Some(d) => and(split.residual(), d),
+            None => split.residual(),
+        };
+        prop_assert_eq!(eval(&theta, &b, &r), eval(&recombined, &b, &r));
+    }
+
+    /// probe_bindings: (⋀ B.col = fᵢ(r)) ∧ residual ≡ original θ.
+    #[test]
+    fn probe_bindings_are_semantic_identity(
+        theta in theta_strategy(),
+        b in row_strategy(2),
+        r in row_strategy(3),
+    ) {
+        let (bindings, residual) = probe_bindings(&theta);
+        let rebuilt = and_all(
+            bindings
+                .iter()
+                .map(|bi| eq(col_b(bi.base_col.clone()), bi.detail_expr.clone()))
+                .chain(residual.iter().cloned()),
+        );
+        prop_assert_eq!(eval(&theta, &b, &r), eval(&rebuilt, &b, &r));
+    }
+
+    /// Binding detail expressions never reference the base side.
+    #[test]
+    fn probe_bindings_detail_exprs_are_detail_only(theta in theta_strategy()) {
+        let (bindings, _) = probe_bindings(&theta);
+        for bi in bindings {
+            prop_assert!(!bi.detail_expr.uses_side(mdj_expr::Side::Base));
+        }
+    }
+
+    /// extract_range: (range membership) ∧ rest ≡ original conjunct set.
+    #[test]
+    fn extract_range_is_semantic_identity(
+        bounds in proptest::collection::vec((prop_oneof![
+            Just(BinOp::Lt), Just(BinOp::Le), Just(BinOp::Gt), Just(BinOp::Ge), Just(BinOp::Eq)
+        ], -4i64..4), 1..4),
+        v in -6i64..6,
+    ) {
+        let conjs: Vec<Expr> = bounds
+            .iter()
+            .map(|(op, c)| Expr::Binary {
+                op: *op,
+                lhs: Box::new(col_r("v")),
+                rhs: Box::new(lit(*c)),
+            })
+            .collect();
+        let (range, rest) = extract_range(&conjs, "v");
+        let val = Value::Int(v);
+        let original: bool = conjs.iter().all(|c| {
+            c.bind(None, Some(&r_schema()))
+                .unwrap()
+                .eval_bool(&[], &[Value::Int(0), Value::Int(0), val.clone()])
+                .unwrap()
+        });
+        let in_range = match &range {
+            None => true,
+            Some(rg) => {
+                let lower_ok = match &rg.lower {
+                    std::ops::Bound::Unbounded => true,
+                    std::ops::Bound::Included(l) => val >= *l,
+                    std::ops::Bound::Excluded(l) => val > *l,
+                };
+                let upper_ok = match &rg.upper {
+                    std::ops::Bound::Unbounded => true,
+                    std::ops::Bound::Included(u) => val <= *u,
+                    std::ops::Bound::Excluded(u) => val < *u,
+                };
+                lower_ok && upper_ok
+            }
+        };
+        let rest_ok: bool = rest.iter().all(|c| {
+            c.bind(None, Some(&r_schema()))
+                .unwrap()
+                .eval_bool(&[], &[Value::Int(0), Value::Int(0), val.clone()])
+                .unwrap()
+        });
+        prop_assert_eq!(original, in_range && rest_ok);
+    }
+
+    /// conjuncts/and_all: flattening then conjoining is semantically the
+    /// identity.
+    #[test]
+    fn conjuncts_roundtrip(
+        theta in theta_strategy(),
+        b in row_strategy(2),
+        r in row_strategy(3),
+    ) {
+        let rebuilt = and_all(conjuncts(&theta));
+        prop_assert_eq!(eval(&theta, &b, &r), eval(&rebuilt, &b, &r));
+    }
+
+    /// Comparison flip law: a (op) b ≡ b (flip op) a.
+    #[test]
+    fn comparison_flip_law(
+        op in prop_oneof![
+            Just(BinOp::Lt), Just(BinOp::Le), Just(BinOp::Gt), Just(BinOp::Ge),
+            Just(BinOp::Eq), Just(BinOp::Ne)
+        ],
+        a in -5i64..5,
+        c in -5i64..5,
+    ) {
+        let forward = Expr::Binary {
+            op,
+            lhs: Box::new(lit(a)),
+            rhs: Box::new(lit(c)),
+        };
+        let flipped = Expr::Binary {
+            op: op.flip(),
+            lhs: Box::new(lit(c)),
+            rhs: Box::new(lit(a)),
+        };
+        let f = forward.bind(None, None).unwrap().eval_bool(&[], &[]).unwrap();
+        let g = flipped.bind(None, None).unwrap().eval_bool(&[], &[]).unwrap();
+        prop_assert_eq!(f, g);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for the naive evaluator.
+
+use std::fmt;
+
+pub type Result<T, E = NaiveError> = std::result::Result<T, E>;
+
+/// Errors from the classical relational operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NaiveError {
+    Storage(mdj_storage::StorageError),
+    Expr(mdj_expr::ExprError),
+    Agg(mdj_agg::AggError),
+    /// Join key lists have different lengths.
+    KeyArity { left: usize, right: usize },
+}
+
+impl fmt::Display for NaiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NaiveError::Storage(e) => write!(f, "storage error: {e}"),
+            NaiveError::Expr(e) => write!(f, "expression error: {e}"),
+            NaiveError::Agg(e) => write!(f, "aggregate error: {e}"),
+            NaiveError::KeyArity { left, right } => {
+                write!(f, "join key arity mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NaiveError {}
+
+impl From<mdj_storage::StorageError> for NaiveError {
+    fn from(e: mdj_storage::StorageError) -> Self {
+        NaiveError::Storage(e)
+    }
+}
+
+impl From<mdj_expr::ExprError> for NaiveError {
+    fn from(e: mdj_expr::ExprError) -> Self {
+        NaiveError::Expr(e)
+    }
+}
+
+impl From<mdj_agg::AggError> for NaiveError {
+    fn from(e: mdj_agg::AggError) -> Self {
+        NaiveError::Agg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: NaiveError = mdj_storage::StorageError::UnknownRelation("x".into()).into();
+        assert!(e.to_string().contains("storage"));
+        let e = NaiveError::KeyArity { left: 2, right: 1 };
+        assert!(e.to_string().contains("mismatch"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Join operators: hash equi-join, left outer join, theta join.
+
+use crate::error::{NaiveError, Result};
+use mdj_expr::Expr;
+use mdj_storage::{HashIndex, Relation, Row, Schema, Value};
+
+fn check_keys(lk: &[&str], rk: &[&str]) -> Result<()> {
+    if lk.len() != rk.len() {
+        return Err(NaiveError::KeyArity {
+            left: lk.len(),
+            right: rk.len(),
+        });
+    }
+    Ok(())
+}
+
+fn joined_schema(left: &Schema, right: &Schema) -> Schema {
+    left.concat(right)
+}
+
+/// Inner hash equi-join on the named keys. NULL keys never match
+/// (SQL semantics). Output columns: left's then right's.
+pub fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[&str],
+    right_keys: &[&str],
+) -> Result<Relation> {
+    check_keys(left_keys, right_keys)?;
+    let lk = left.schema().indices_of(left_keys)?;
+    let index = HashIndex::build_on(right, right_keys)?;
+    let mut out = Relation::empty(joined_schema(left.schema(), right.schema()));
+    for lrow in left.iter() {
+        let key = lrow.key(&lk);
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        for &ri in index.get(&key) {
+            out.push_unchecked(lrow.concat(&right.rows()[ri]));
+        }
+    }
+    Ok(out)
+}
+
+/// Left outer hash equi-join: unmatched left rows appear once, with the
+/// right columns NULL. This is the glue of the paper's Example 2.2 discussion
+/// ("four outer joins to attach the sales to the customer in NY, NJ, CT").
+pub fn left_outer_join(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[&str],
+    right_keys: &[&str],
+) -> Result<Relation> {
+    check_keys(left_keys, right_keys)?;
+    let lk = left.schema().indices_of(left_keys)?;
+    let index = HashIndex::build_on(right, right_keys)?;
+    let mut out = Relation::empty(joined_schema(left.schema(), right.schema()));
+    let null_pad = Row::new(vec![Value::Null; right.schema().len()]);
+    for lrow in left.iter() {
+        let key = lrow.key(&lk);
+        let bucket = if key.iter().any(Value::is_null) {
+            &[][..]
+        } else {
+            index.get(&key)
+        };
+        if bucket.is_empty() {
+            out.push_unchecked(lrow.concat(&null_pad));
+        } else {
+            for &ri in bucket {
+                out.push_unchecked(lrow.concat(&right.rows()[ri]));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// General theta join (nested loop): the predicate sees the left row as the
+/// *base* side and the right row as the *detail* side.
+pub fn theta_join(left: &Relation, right: &Relation, pred: &Expr) -> Result<Relation> {
+    let bound = pred.bind(Some(left.schema()), Some(right.schema()))?;
+    let mut out = Relation::empty(joined_schema(left.schema(), right.schema()));
+    for lrow in left.iter() {
+        for rrow in right.iter() {
+            if bound.eval_bool(lrow.values(), rrow.values())? {
+                out.push_unchecked(lrow.concat(rrow));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdj_expr::builder::*;
+    use mdj_storage::DataType;
+
+    fn custs() -> Relation {
+        Relation::from_rows(
+            Schema::from_pairs(&[("cust", DataType::Int)]),
+            vec![
+                Row::from_values([1i64]),
+                Row::from_values([2i64]),
+                Row::from_values([3i64]),
+            ],
+        )
+    }
+
+    fn sales() -> Relation {
+        Relation::from_rows(
+            Schema::from_pairs(&[("scust", DataType::Int), ("sale", DataType::Int)]),
+            vec![
+                Row::from_values([1i64, 10]),
+                Row::from_values([1i64, 20]),
+                Row::from_values([2i64, 30]),
+            ],
+        )
+    }
+
+    #[test]
+    fn inner_join_matches_only() {
+        let out = hash_join(&custs(), &sales(), &["cust"], &["scust"]).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.schema().names(), vec!["cust", "scust", "sale"]);
+    }
+
+    #[test]
+    fn left_outer_pads_unmatched() {
+        let out = left_outer_join(&custs(), &sales(), &["cust"], &["scust"]).unwrap();
+        assert_eq!(out.len(), 4); // cust 1 ×2, cust 2 ×1, cust 3 padded
+        let c3 = out.rows().iter().find(|r| r[0] == Value::Int(3)).unwrap();
+        assert_eq!(c3[1], Value::Null);
+        assert_eq!(c3[2], Value::Null);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let mut left = custs();
+        left.rows_mut().push(Row::new(vec![Value::Null]));
+        let inner = hash_join(&left, &sales(), &["cust"], &["scust"]).unwrap();
+        assert_eq!(inner.len(), 3);
+        let outer = left_outer_join(&left, &sales(), &["cust"], &["scust"]).unwrap();
+        // NULL left row survives as padded.
+        assert_eq!(outer.len(), 5);
+    }
+
+    #[test]
+    fn key_arity_checked() {
+        let err = hash_join(&custs(), &sales(), &["cust"], &["scust", "sale"]);
+        assert!(matches!(err, Err(NaiveError::KeyArity { .. })));
+    }
+
+    #[test]
+    fn theta_join_inequality() {
+        // cust < sale/10
+        let out = theta_join(
+            &custs(),
+            &sales(),
+            &lt(col_b("cust"), div(col_r("sale"), lit(10i64))),
+        )
+        .unwrap();
+        // sale 10 → 1.0: no cust < 1; sale 20 → 2: cust 1; sale 30 → 3: custs 1,2.
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn join_empty_sides() {
+        let empty = Relation::empty(sales().schema().clone());
+        assert_eq!(
+            hash_join(&custs(), &empty, &["cust"], &["scust"]).unwrap().len(),
+            0
+        );
+        let outer = left_outer_join(&custs(), &empty, &["cust"], &["scust"]).unwrap();
+        assert_eq!(outer.len(), 3); // all padded
+    }
+}

@@ -1,0 +1,99 @@
+//! Single-relation operators: selection, projection over expressions.
+
+use crate::error::Result;
+use mdj_expr::{Expr, Side};
+use mdj_storage::{DataType, Field, Relation, Row, Schema};
+
+/// σ — filter rows by a detail-side predicate. Column references must use
+/// [`Side::Detail`] (there is no base side in a one-relation context).
+pub fn select(r: &Relation, pred: &Expr) -> Result<Relation> {
+    let bound = pred.bind(None, Some(r.schema()))?;
+    let mut out = Relation::empty(r.schema().clone());
+    for row in r.iter() {
+        if bound.eval_bool(&[], row.values())? {
+            out.push_unchecked(row.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// π with computation — each output column is `(name, expr)` where `expr`
+/// references the input with [`Side::Detail`]. Output types are `Any` unless
+/// the expression is a bare column reference (whose type is preserved).
+pub fn project_exprs(r: &Relation, cols: &[(&str, Expr)]) -> Result<Relation> {
+    let bound: Vec<_> = cols
+        .iter()
+        .map(|(_, e)| e.bind(None, Some(r.schema())))
+        .collect::<std::result::Result<_, _>>()?;
+    let fields: Vec<Field> = cols
+        .iter()
+        .map(|(name, e)| {
+            let dtype = match e {
+                Expr::Col(c) if c.side == Side::Detail => r
+                    .schema()
+                    .index_of(&c.name)
+                    .map(|i| r.schema().field(i).dtype)
+                    .unwrap_or(DataType::Any),
+                _ => DataType::Any,
+            };
+            Field::new(*name, dtype)
+        })
+        .collect();
+    let mut out = Relation::empty(Schema::new(fields));
+    for row in r.iter() {
+        let vals = bound
+            .iter()
+            .map(|b| b.eval_detail(row.values()))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        out.push_unchecked(Row::new(vals));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdj_expr::builder::*;
+    use mdj_storage::{DataType, Value};
+
+    fn rel() -> Relation {
+        let schema = Schema::from_pairs(&[("x", DataType::Int), ("y", DataType::Int)]);
+        Relation::from_rows(
+            schema,
+            (0..10).map(|i| Row::from_values([i, i * i])).collect(),
+        )
+    }
+
+    #[test]
+    fn select_filters() {
+        let out = select(&rel(), &gt(col_r("x"), lit(6i64))).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn select_true_keeps_everything() {
+        let out = select(&rel(), &Expr::always_true()).unwrap();
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn project_computes() {
+        let out = project_exprs(
+            &rel(),
+            &[
+                ("x", col_r("x")),
+                ("x_plus_y", add(col_r("x"), col_r("y"))),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.schema().names(), vec!["x", "x_plus_y"]);
+        assert_eq!(out.schema().field(0).dtype, DataType::Int);
+        assert_eq!(out.schema().field(1).dtype, DataType::Any);
+        assert_eq!(out.rows()[3][1], Value::Int(12));
+    }
+
+    #[test]
+    fn project_unknown_column_errors() {
+        assert!(project_exprs(&rel(), &[("z", col_r("z"))]).is_err());
+    }
+}

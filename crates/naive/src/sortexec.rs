@@ -1,0 +1,223 @@
+//! A sort-based executor profile — the closest in-memory model of the
+//! commercial engines the paper benchmarked against (Section 5).
+//!
+//! Year-2001 executors evaluated multi-block decision-support SQL with
+//! sort-based operators: every group-by sorts its input, every join is a
+//! sort-merge join that re-sorts both sides, and every operator materializes
+//! its output. No hash aggregation, no shared scans, no order propagation
+//! between blocks. The hash-based operators in [`crate::groupby`] /
+//! [`crate::join`] are a *best-case* classical baseline; this module is the
+//! *representative-case* one. The E2/E4 experiments report both.
+
+use crate::error::Result;
+use mdj_agg::{AggInput, AggSpec, AggState, Registry};
+use mdj_storage::{DataType, Field, Relation, Row, Schema, Value};
+
+/// Sort-based group-by: sort a copy of the input on the keys, then aggregate
+/// run-by-run in one pass.
+pub fn sort_group_by(
+    r: &Relation,
+    keys: &[&str],
+    specs: &[AggSpec],
+    registry: &Registry,
+) -> Result<Relation> {
+    let mut sorted = r.clone(); // materialize (the 2001 way)
+    sorted.sort_by(keys)?;
+    let key_idx = sorted.schema().indices_of(keys)?;
+    let mut bound: Vec<(mdj_agg::traits::AggRef, Option<usize>, Field)> = Vec::new();
+    for spec in specs {
+        let agg = registry.get(&spec.function)?;
+        let (col, input_type) = match &spec.input {
+            AggInput::Star => (None, DataType::Int),
+            AggInput::Column(c) => {
+                let i = sorted.schema().index_of(c)?;
+                (Some(i), sorted.schema().field(i).dtype)
+            }
+        };
+        bound.push((
+            agg.clone(),
+            col,
+            Field::new(spec.output_name(), agg.output_type(input_type)),
+        ));
+    }
+    let mut fields: Vec<Field> = key_idx
+        .iter()
+        .map(|&i| sorted.schema().field(i).clone())
+        .collect();
+    fields.extend(bound.iter().map(|(_, _, f)| f.clone()));
+    let mut out = Relation::empty(Schema::new(fields));
+    let mut current: Option<Vec<Value>> = None;
+    let mut states: Vec<Box<dyn AggState>> = Vec::new();
+    for row in sorted.iter() {
+        let key = row.key(&key_idx);
+        if current.as_deref() != Some(&key[..]) {
+            if let Some(k) = current.take() {
+                let mut vals = k;
+                vals.extend(states.iter().map(|s| s.finalize()));
+                out.push_unchecked(Row::new(vals));
+            }
+            states = bound.iter().map(|(a, _, _)| a.init()).collect();
+            current = Some(key);
+        }
+        for (j, (_, col, _)) in bound.iter().enumerate() {
+            let v = match col {
+                Some(c) => &row[*c],
+                None => &Value::Null,
+            };
+            states[j].update(v)?;
+        }
+    }
+    if let Some(k) = current {
+        let mut vals = k;
+        vals.extend(states.iter().map(|s| s.finalize()));
+        out.push_unchecked(Row::new(vals));
+    }
+    Ok(out)
+}
+
+/// Sort-merge inner equi-join: re-sorts *both* inputs (no order reuse), then
+/// merges, materializing the cross product of each matching run pair.
+pub fn sort_merge_join(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[&str],
+    right_keys: &[&str],
+) -> Result<Relation> {
+    merge_join(left, right, left_keys, right_keys, false)
+}
+
+/// Sort-merge left outer join.
+pub fn sort_merge_left_outer(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[&str],
+    right_keys: &[&str],
+) -> Result<Relation> {
+    merge_join(left, right, left_keys, right_keys, true)
+}
+
+fn merge_join(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[&str],
+    right_keys: &[&str],
+    outer: bool,
+) -> Result<Relation> {
+    let mut l = left.clone();
+    l.sort_by(left_keys)?;
+    let mut r = right.clone();
+    r.sort_by(right_keys)?;
+    let lk = l.schema().indices_of(left_keys)?;
+    let rk = r.schema().indices_of(right_keys)?;
+    let schema = l.schema().concat(r.schema());
+    let null_pad = Row::new(vec![Value::Null; r.schema().len()]);
+    let mut out = Relation::empty(schema);
+    let (lrows, rrows) = (l.rows(), r.rows());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lrows.len() {
+        let lkey = lrows[i].key(&lk);
+        // NULL keys never match; outer keeps them padded.
+        if lkey.iter().any(Value::is_null) {
+            if outer {
+                out.push_unchecked(lrows[i].concat(&null_pad));
+            }
+            i += 1;
+            continue;
+        }
+        // Advance right side to the first key ≥ lkey.
+        while j < rrows.len() && rrows[j].key(&rk) < lkey {
+            j += 1;
+        }
+        // Find the right-side run equal to lkey.
+        let run_start = j;
+        let mut run_end = j;
+        while run_end < rrows.len() && rrows[run_end].key(&rk) == lkey {
+            run_end += 1;
+        }
+        // Emit for every left row in the equal run.
+        let lrun_start = i;
+        while i < lrows.len() && lrows[i].key(&lk) == lkey {
+            if run_start == run_end {
+                if outer {
+                    out.push_unchecked(lrows[i].concat(&null_pad));
+                }
+            } else {
+                for rrow in &rrows[run_start..run_end] {
+                    out.push_unchecked(lrows[i].concat(rrow));
+                }
+            }
+            i += 1;
+        }
+        debug_assert!(i > lrun_start, "left cursor must advance");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groupby::group_by_agg;
+    use crate::join::{hash_join, left_outer_join};
+
+    fn rel(rows: &[(i64, i64)]) -> Relation {
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]);
+        Relation::from_rows(
+            schema,
+            rows.iter().map(|&(k, v)| Row::from_values([k, v])).collect(),
+        )
+    }
+
+    #[test]
+    fn sort_group_by_matches_hash_group_by() {
+        let r = rel(&[(1, 10), (2, 20), (1, 30), (3, 40), (2, 50)]);
+        let specs = [
+            AggSpec::on_column("sum", "v"),
+            AggSpec::count_star(),
+            AggSpec::on_column("min", "v"),
+        ];
+        let reg = Registry::standard();
+        let a = sort_group_by(&r, &["k"], &specs, &reg).unwrap();
+        let b = group_by_agg(&r, &["k"], &specs, &reg).unwrap();
+        assert!(a.same_multiset(&b));
+    }
+
+    #[test]
+    fn sort_merge_matches_hash_join() {
+        let l = rel(&[(1, 1), (2, 2), (2, 22), (4, 4)]);
+        let r = rel(&[(2, 200), (2, 201), (3, 300), (4, 400)]);
+        let a = sort_merge_join(&l, &r, &["k"], &["k"]).unwrap();
+        let b = hash_join(&l, &r, &["k"], &["k"]).unwrap();
+        assert!(a.same_multiset(&b));
+        assert_eq!(a.len(), 5); // 2×2 + 1
+    }
+
+    #[test]
+    fn sort_merge_outer_matches_hash_outer() {
+        let l = rel(&[(1, 1), (2, 2), (5, 5)]);
+        let r = rel(&[(2, 200), (3, 300)]);
+        let a = sort_merge_left_outer(&l, &r, &["k"], &["k"]).unwrap();
+        let b = left_outer_join(&l, &r, &["k"], &["k"]).unwrap();
+        assert!(a.same_multiset(&b));
+    }
+
+    #[test]
+    fn null_keys_padded_in_outer_dropped_in_inner() {
+        let mut l = rel(&[(1, 1)]);
+        l.rows_mut().push(Row::new(vec![Value::Null, Value::Int(9)]));
+        let r = rel(&[(1, 100)]);
+        let inner = sort_merge_join(&l, &r, &["k"], &["k"]).unwrap();
+        assert_eq!(inner.len(), 1);
+        let outer = sort_merge_left_outer(&l, &r, &["k"], &["k"]).unwrap();
+        assert_eq!(outer.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let l = rel(&[]);
+        let r = rel(&[(1, 1)]);
+        assert!(sort_merge_join(&l, &r, &["k"], &["k"]).unwrap().is_empty());
+        assert!(sort_group_by(&l, &["k"], &[AggSpec::count_star()], &Registry::standard())
+            .unwrap()
+            .is_empty());
+    }
+}

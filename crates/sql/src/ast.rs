@@ -1,0 +1,145 @@
+//! Parsed-query AST (pre-resolution).
+
+use mdj_storage::Value;
+
+/// An unresolved expression: references are plain or qualified names whose
+/// meaning (base column, detail column, grouping-variable column, or prior
+//  aggregate) is decided during compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PExpr {
+    /// Bare identifier (`prod`).
+    Ident(String),
+    /// Qualified identifier (`X.sale`, `Sales.month`).
+    Qualified(String, String),
+    Lit(Value),
+    /// Aggregate call in an expression position (`avg(X.sale)`).
+    AggCall {
+        func: String,
+        scope: Option<String>,
+        /// `None` = `*`.
+        column: Option<String>,
+    },
+    Binary {
+        op: String,
+        lhs: Box<PExpr>,
+        rhs: Box<PExpr>,
+    },
+    Not(Box<PExpr>),
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// Plain column (must be a grouping attribute).
+    Column(String),
+    /// Aggregate: `avg(sale)`, `count(*)`, `count(Z.*)`, `avg(X.sale)`.
+    Agg {
+        func: String,
+        /// Grouping-variable scope (`Z` in `count(Z.*)`); `None` = the group
+        /// itself.
+        scope: Option<String>,
+        /// `None` = `*`.
+        column: Option<String>,
+        alias: Option<String>,
+    },
+}
+
+impl SelectItem {
+    /// The output column name this item produces.
+    pub fn output_name(&self) -> String {
+        match self {
+            SelectItem::Column(c) => c.clone(),
+            SelectItem::Agg {
+                func,
+                scope,
+                column,
+                alias,
+            } => {
+                if let Some(a) = alias {
+                    return a.clone();
+                }
+                let col = column.as_deref().unwrap_or("star");
+                match scope {
+                    Some(s) => format!("{func}_{s}_{col}"),
+                    None => format!("{func}_{col}"),
+                }
+            }
+        }
+    }
+}
+
+/// A grouping variable (EMF-SQL `SUCH THAT` clause).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupingVar {
+    pub name: String,
+    pub condition: PExpr,
+}
+
+/// The base-table-defining clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupClause {
+    /// No grouping: a global aggregate (one group).
+    None,
+    /// `GROUP BY attrs [; vars SUCH THAT conds]`.
+    GroupBy {
+        attrs: Vec<String>,
+        vars: Vec<GroupingVar>,
+    },
+    /// `ANALYZE BY shape(attrs)`.
+    AnalyzeBy { shape: Shape, attrs: Vec<String> },
+}
+
+/// The `ANALYZE BY` shapes of Section 5.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shape {
+    Group,
+    Cube,
+    Rollup,
+    Unpivot,
+    GroupingSets(Vec<Vec<String>>),
+    /// An externally supplied base table (Example 2.4).
+    Table(String),
+}
+
+/// One ORDER BY key: output column name plus direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    pub column: String,
+    pub descending: bool,
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub select: Vec<SelectItem>,
+    pub from: String,
+    pub where_clause: Option<PExpr>,
+    pub group: GroupClause,
+    pub having: Option<PExpr>,
+    pub order_by: Vec<OrderKey>,
+    pub limit: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_item_names() {
+        assert_eq!(SelectItem::Column("prod".into()).output_name(), "prod");
+        let a = SelectItem::Agg {
+            func: "count".into(),
+            scope: Some("Z".into()),
+            column: None,
+            alias: None,
+        };
+        assert_eq!(a.output_name(), "count_Z_star");
+        let a = SelectItem::Agg {
+            func: "avg".into(),
+            scope: None,
+            column: Some("sale".into()),
+            alias: Some("a".into()),
+        };
+        assert_eq!(a.output_name(), "a");
+    }
+}

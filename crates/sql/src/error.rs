@@ -1,0 +1,69 @@
+//! SQL frontend errors.
+
+use std::fmt;
+
+pub type Result<T, E = SqlError> = std::result::Result<T, E>;
+
+/// Errors from lexing, parsing, compiling, or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error at a byte offset.
+    Lex { offset: usize, message: String },
+    /// Parse error with the offending token and what was expected.
+    Parse { near: String, message: String },
+    /// Semantic error during compilation (unknown column/variable/etc.).
+    Compile(String),
+    /// Downstream failure (planning or execution).
+    Algebra(mdj_algebra::AlgebraError),
+    Agg(mdj_agg::AggError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { offset, message } => {
+                write!(f, "lexical error at byte {offset}: {message}")
+            }
+            SqlError::Parse { near, message } => {
+                write!(f, "parse error near `{near}`: {message}")
+            }
+            SqlError::Compile(m) => write!(f, "compile error: {m}"),
+            SqlError::Algebra(e) => write!(f, "{e}"),
+            SqlError::Agg(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<mdj_algebra::AlgebraError> for SqlError {
+    fn from(e: mdj_algebra::AlgebraError) -> Self {
+        SqlError::Algebra(e)
+    }
+}
+
+impl From<mdj_agg::AggError> for SqlError {
+    fn from(e: mdj_agg::AggError) -> Self {
+        SqlError::Agg(e)
+    }
+}
+
+impl From<mdj_storage::StorageError> for SqlError {
+    fn from(e: mdj_storage::StorageError) -> Self {
+        SqlError::Algebra(e.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SqlError::Parse {
+            near: "CUBE".into(),
+            message: "expected (".into(),
+        };
+        assert!(e.to_string().contains("CUBE"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Tokenizer for the extended SQL surface.
+
+use crate::error::{Result, SqlError};
+
+/// A lexical token. Keywords are recognized case-insensitively and carried
+/// as `Keyword` with an upper-cased lexeme; everything else alphanumeric is
+/// an `Ident`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Keyword(String),
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// Punctuation / operators: ( ) , ; . * = <> < <= > >= + - / %
+    Sym(String),
+    Eof,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ANALYZE", "CUBE", "ROLLUP", "UNPIVOT", "GROUPING",
+    "SETS", "SUCH", "THAT", "AND", "OR", "NOT", "AS", "DISTINCT", "HAVING", "ORDER", "LIMIT", "ASC", "DESC", "BETWEEN",
+];
+
+/// Tokenize `input`. Strings use single quotes with `''` escaping.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '\'' => {
+                let mut s = String::new();
+                let start = i;
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SqlError::Lex {
+                            offset: start,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        let ch = input[i..].chars().next().expect("in bounds");
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    tokens.push(Token::Float(text.parse().map_err(|e| SqlError::Lex {
+                        offset: start,
+                        message: format!("bad float `{text}`: {e}"),
+                    })?));
+                } else {
+                    tokens.push(Token::Int(text.parse().map_err(|e| SqlError::Lex {
+                        offset: start,
+                        message: format!("bad int `{text}`: {e}"),
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_alphanumeric() || ch == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    tokens.push(Token::Keyword(upper));
+                } else {
+                    tokens.push(Token::Ident(word.to_string()));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Sym("<=".into()));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Sym("<>".into()));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Sym("<".into()));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Sym(">=".into()));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Sym(">".into()));
+                    i += 1;
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::Sym("<>".into()));
+                i += 2;
+            }
+            '(' | ')' | ',' | ';' | '.' | '*' | '=' | '+' | '-' | '/' | '%' => {
+                tokens.push(Token::Sym(c.to_string()));
+                i += 1;
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    offset: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_idents() {
+        let t = tokenize("Select prod FROM Sales").unwrap();
+        assert_eq!(t[0], Token::Keyword("SELECT".into()));
+        assert_eq!(t[1], Token::Ident("prod".into()));
+        assert_eq!(t[2], Token::Keyword("FROM".into()));
+        assert_eq!(t[3], Token::Ident("Sales".into()));
+        assert_eq!(t[4], Token::Eof);
+    }
+
+    #[test]
+    fn numbers_strings_symbols() {
+        let t = tokenize("x >= 1.5 and s = 'NY''s' <> 3").unwrap();
+        assert!(t.contains(&Token::Sym(">=".into())));
+        assert!(t.contains(&Token::Float(1.5)));
+        assert!(t.contains(&Token::Str("NY's".into())));
+        assert!(t.contains(&Token::Sym("<>".into())));
+        assert!(t.contains(&Token::Int(3)));
+    }
+
+    #[test]
+    fn such_that_and_semicolons() {
+        let t = tokenize("group by prod ; X such that X.prod = prod").unwrap();
+        assert!(t.contains(&Token::Sym(";".into())));
+        assert!(t.contains(&Token::Keyword("SUCH".into())));
+        assert!(t.contains(&Token::Sym(".".into())));
+    }
+
+    #[test]
+    fn star_and_call() {
+        let t = tokenize("count(Z.*)").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("count".into()),
+                Token::Sym("(".into()),
+                Token::Ident("Z".into()),
+                Token::Sym(".".into()),
+                Token::Sym("*".into()),
+                Token::Sym(")".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(tokenize("'open"), Err(SqlError::Lex { .. })));
+        assert!(matches!(tokenize("a ? b"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn bang_equals_is_not_equal() {
+        let t = tokenize("a != b").unwrap();
+        assert!(t.contains(&Token::Sym("<>".into())));
+    }
+}

@@ -1,0 +1,634 @@
+//! Recursive-descent parser for the extended SQL surface.
+
+use crate::ast::{GroupClause, GroupingVar, OrderKey, PExpr, Query, SelectItem, Shape};
+use crate::error::{Result, SqlError};
+use crate::lexer::{tokenize, Token};
+use mdj_storage::Value;
+
+/// Parse one query.
+pub fn parse(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> &Token {
+        self.tokens.get(self.pos + 1).unwrap_or(&Token::Eof)
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(SqlError::Parse {
+            near: format!("{:?}", self.peek()),
+            message: message.into(),
+        })
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Token::Keyword(k) if k == kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`"))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Token::Sym(s) if s == sym) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<()> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{sym}`"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Token::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            _ => self.err("expected identifier"),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), Token::Eof) {
+            Ok(())
+        } else {
+            self.err("trailing input after query")
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_keyword("SELECT")?;
+        let select = self.select_list()?;
+        self.expect_keyword("FROM")?;
+        let from = self.ident()?;
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let group = self.group_clause()?;
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let mut keys = vec![self.order_key()?];
+            while self.eat_sym(",") {
+                keys.push(self.order_key()?);
+            }
+            keys
+        } else {
+            Vec::new()
+        };
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.advance() {
+                Token::Int(n) if n >= 0 => Some(n as usize),
+                _ => return self.err("LIMIT expects a non-negative integer"),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            select,
+            from,
+            where_clause,
+            group,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn order_key(&mut self) -> Result<OrderKey> {
+        let column = self.ident()?;
+        let descending = if self.eat_keyword("DESC") {
+            true
+        } else {
+            self.eat_keyword("ASC");
+            false
+        };
+        Ok(OrderKey { column, descending })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = vec![self.select_item()?];
+        while self.eat_sym(",") {
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        let name = self.ident()?;
+        if self.eat_sym("(") {
+            // Aggregate call.
+            let (scope, column) = self.agg_arg()?;
+            self.expect_sym(")")?;
+            let alias = if self.eat_keyword("AS") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            Ok(SelectItem::Agg {
+                func: name.to_ascii_lowercase(),
+                scope,
+                column,
+                alias,
+            })
+        } else {
+            Ok(SelectItem::Column(name))
+        }
+    }
+
+    /// The argument of an aggregate call: `*`, `col`, `V.*`, or `V.col`.
+    fn agg_arg(&mut self) -> Result<(Option<String>, Option<String>)> {
+        if self.eat_sym("*") {
+            return Ok((None, None));
+        }
+        let first = self.ident()?;
+        if self.eat_sym(".") {
+            if self.eat_sym("*") {
+                Ok((Some(first), None))
+            } else {
+                let col = self.ident()?;
+                Ok((Some(first), Some(col)))
+            }
+        } else {
+            Ok((None, Some(first)))
+        }
+    }
+
+    fn group_clause(&mut self) -> Result<GroupClause> {
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            let attrs = self.ident_list()?;
+            let vars = if self.eat_sym(";") {
+                self.grouping_vars()?
+            } else {
+                Vec::new()
+            };
+            return Ok(GroupClause::GroupBy { attrs, vars });
+        }
+        if self.eat_keyword("ANALYZE") {
+            self.expect_keyword("BY")?;
+            return self.analyze_shape();
+        }
+        Ok(GroupClause::None)
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>> {
+        let mut names = vec![self.ident()?];
+        while matches!(self.peek(), Token::Sym(s) if s == ",") {
+            // A comma might end the attr list if followed by the vars clause;
+            // attr lists end at `;`, so commas always continue the list here.
+            self.advance();
+            names.push(self.ident()?);
+        }
+        Ok(names)
+    }
+
+    fn grouping_vars(&mut self) -> Result<Vec<GroupingVar>> {
+        let names = self.ident_list()?;
+        self.expect_keyword("SUCH")?;
+        self.expect_keyword("THAT")?;
+        let mut conds = vec![self.expr()?];
+        while self.eat_sym(",") {
+            conds.push(self.expr()?);
+        }
+        if conds.len() != names.len() {
+            return self.err(format!(
+                "{} grouping variables but {} SUCH THAT conditions",
+                names.len(),
+                conds.len()
+            ));
+        }
+        Ok(names
+            .into_iter()
+            .zip(conds)
+            .map(|(name, condition)| GroupingVar { name, condition })
+            .collect())
+    }
+
+    fn analyze_shape(&mut self) -> Result<GroupClause> {
+        // GROUPING SETS has two keywords.
+        if self.eat_keyword("GROUPING") {
+            self.expect_keyword("SETS")?;
+            self.expect_sym("(")?;
+            let mut sets = Vec::new();
+            loop {
+                self.expect_sym("(")?;
+                let set = self.ident_list()?;
+                self.expect_sym(")")?;
+                sets.push(set);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            // Dims: union of set members in first appearance order.
+            let mut attrs: Vec<String> = Vec::new();
+            for set in &sets {
+                for a in set {
+                    if !attrs.contains(a) {
+                        attrs.push(a.clone());
+                    }
+                }
+            }
+            return Ok(GroupClause::AnalyzeBy {
+                shape: Shape::GroupingSets(sets),
+                attrs,
+            });
+        }
+        let shape = if self.eat_keyword("CUBE") {
+            Shape::Cube
+        } else if self.eat_keyword("ROLLUP") {
+            Shape::Rollup
+        } else if self.eat_keyword("UNPIVOT") {
+            Shape::Unpivot
+        } else if self.eat_keyword("GROUP") {
+            Shape::Group
+        } else {
+            Shape::Table(self.ident()?)
+        };
+        self.expect_sym("(")?;
+        let attrs = self.ident_list()?;
+        self.expect_sym(")")?;
+        Ok(GroupClause::AnalyzeBy { shape, attrs })
+    }
+
+    // ----- expressions -----
+
+    fn expr(&mut self) -> Result<PExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<PExpr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let rhs = self.and_expr()?;
+            lhs = PExpr::Binary {
+                op: "OR".into(),
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<PExpr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let rhs = self.not_expr()?;
+            lhs = PExpr::Binary {
+                op: "AND".into(),
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<PExpr> {
+        if self.eat_keyword("NOT") {
+            Ok(PExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<PExpr> {
+        let lhs = self.add_expr()?;
+        if self.eat_keyword("BETWEEN") {
+            // `x BETWEEN lo AND hi` desugars to `x >= lo AND x <= hi`.
+            let lo = self.add_expr()?;
+            self.expect_keyword("AND")?;
+            let hi = self.add_expr()?;
+            let ge = PExpr::Binary {
+                op: ">=".into(),
+                lhs: Box::new(lhs.clone()),
+                rhs: Box::new(lo),
+            };
+            let le = PExpr::Binary {
+                op: "<=".into(),
+                lhs: Box::new(lhs),
+                rhs: Box::new(hi),
+            };
+            return Ok(PExpr::Binary {
+                op: "AND".into(),
+                lhs: Box::new(ge),
+                rhs: Box::new(le),
+            });
+        }
+        let op = match self.peek() {
+            Token::Sym(s) if ["=", "<>", "<", "<=", ">", ">="].contains(&s.as_str()) => s.clone(),
+            _ => return Ok(lhs),
+        };
+        self.advance();
+        let rhs = self.add_expr()?;
+        Ok(PExpr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<PExpr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Sym(s) if s == "+" || s == "-" => s.clone(),
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.mul_expr()?;
+            lhs = PExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<PExpr> {
+        let mut lhs = self.atom()?;
+        loop {
+            let op = match self.peek() {
+                Token::Sym(s) if s == "*" || s == "/" || s == "%" => s.clone(),
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.atom()?;
+            lhs = PExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn atom(&mut self) -> Result<PExpr> {
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.advance();
+                Ok(PExpr::Lit(Value::Int(v)))
+            }
+            Token::Float(v) => {
+                self.advance();
+                Ok(PExpr::Lit(Value::Float(v)))
+            }
+            Token::Str(s) => {
+                self.advance();
+                Ok(PExpr::Lit(Value::str(s)))
+            }
+            Token::Sym(s) if s == "(" => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Token::Sym(s) if s == "-" => {
+                // Unary minus: 0 - atom.
+                self.advance();
+                let e = self.atom()?;
+                Ok(PExpr::Binary {
+                    op: "-".into(),
+                    lhs: Box::new(PExpr::Lit(Value::Int(0))),
+                    rhs: Box::new(e),
+                })
+            }
+            Token::Ident(name) => {
+                self.advance();
+                if self.eat_sym("(") {
+                    let (scope, column) = self.agg_arg()?;
+                    self.expect_sym(")")?;
+                    return Ok(PExpr::AggCall {
+                        func: name.to_ascii_lowercase(),
+                        scope,
+                        column,
+                    });
+                }
+                if matches!(self.peek(), Token::Sym(s) if s == ".")
+                    && matches!(self.peek2(), Token::Ident(_))
+                {
+                    self.advance();
+                    let col = self.ident()?;
+                    return Ok(PExpr::Qualified(name, col));
+                }
+                Ok(PExpr::Ident(name))
+            }
+            _ => self.err("expected expression"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_group_by() {
+        let q = parse("select cust, avg(sale) from Sales group by cust").unwrap();
+        assert_eq!(q.from, "Sales");
+        assert_eq!(q.select.len(), 2);
+        match &q.group {
+            GroupClause::GroupBy { attrs, vars } => {
+                assert_eq!(attrs, &["cust"]);
+                assert!(vars.is_empty());
+            }
+            _ => panic!("wrong clause"),
+        }
+    }
+
+    #[test]
+    fn analyze_by_cube() {
+        let q = parse("select prod, month, state, sum(sale) from Sales analyze by cube(prod, month, state)")
+            .unwrap();
+        match &q.group {
+            GroupClause::AnalyzeBy { shape, attrs } => {
+                assert_eq!(*shape, Shape::Cube);
+                assert_eq!(attrs, &["prod", "month", "state"]);
+            }
+            _ => panic!("wrong clause"),
+        }
+    }
+
+    #[test]
+    fn analyze_by_table_and_unpivot() {
+        let q = parse("select prod, sum(sale) from Sales analyze by T(prod, month)").unwrap();
+        match &q.group {
+            GroupClause::AnalyzeBy { shape, .. } => {
+                assert_eq!(*shape, Shape::Table("T".into()))
+            }
+            _ => panic!(),
+        }
+        let q = parse("select prod, sum(sale) from Sales analyze by unpivot(prod, month)").unwrap();
+        assert!(matches!(
+            q.group,
+            GroupClause::AnalyzeBy {
+                shape: Shape::Unpivot,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn grouping_sets() {
+        let q = parse(
+            "select prod, month, state, sum(sale) from Sales analyze by grouping sets ((prod), (month), (state))",
+        )
+        .unwrap();
+        match &q.group {
+            GroupClause::AnalyzeBy {
+                shape: Shape::GroupingSets(sets),
+                attrs,
+            } => {
+                assert_eq!(sets.len(), 3);
+                assert_eq!(attrs, &["prod", "month", "state"]);
+            }
+            _ => panic!("wrong clause"),
+        }
+    }
+
+    #[test]
+    fn grouping_variables_example_2_5() {
+        let q = parse(
+            "select prod, month, count(Z.*) from Sales where year = 1997 \
+             group by prod, month ; X, Y, Z \
+             such that X.prod = prod and X.month = month - 1, \
+                       Y.prod = prod and Y.month = month + 1, \
+                       Z.prod = prod and Z.month = month and Z.sale > avg(X.sale) and Z.sale < avg(Y.sale)",
+        )
+        .unwrap();
+        match &q.group {
+            GroupClause::GroupBy { attrs, vars } => {
+                assert_eq!(attrs, &["prod", "month"]);
+                assert_eq!(vars.len(), 3);
+                assert_eq!(vars[2].name, "Z");
+                // Z's condition mentions an AggCall over X.
+                let s = format!("{:?}", vars[2].condition);
+                assert!(s.contains("AggCall"));
+            }
+            _ => panic!("wrong clause"),
+        }
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn count_star_and_scoped_star() {
+        let q = parse("select count(*), count(Z.*) from Sales group by cust ; Z such that Z.cust = cust")
+            .unwrap();
+        match &q.select[0] {
+            SelectItem::Agg { scope, column, .. } => {
+                assert!(scope.is_none() && column.is_none())
+            }
+            _ => panic!(),
+        }
+        match &q.select[1] {
+            SelectItem::Agg { scope, column, .. } => {
+                assert_eq!(scope.as_deref(), Some("Z"));
+                assert!(column.is_none());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let q = parse("select count(*) from T where a = 1 + 2 * 3 and b = 2 or c = 3").unwrap();
+        let w = format!("{:?}", q.where_clause.unwrap());
+        // OR at top.
+        assert!(w.starts_with("Binary { op: \"OR\""));
+    }
+
+    #[test]
+    fn unary_minus_and_not() {
+        let q = parse("select count(*) from T where not a < -1").unwrap();
+        let w = format!("{:?}", q.where_clause.unwrap());
+        assert!(w.contains("Not"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("select from T").is_err());
+        assert!(parse("select a from T group cust").is_err());
+        assert!(parse("select a from T where").is_err());
+        assert!(parse("select a from T extra").is_err());
+        assert!(parse("select a from T group by a ; X such that X.a = a, X.b = b").is_err());
+    }
+
+    #[test]
+    fn between_desugars_to_range() {
+        let q = parse("select count(*) from Sales where year between 1994 and 1996").unwrap();
+        let w = format!("{:?}", q.where_clause.unwrap());
+        assert!(w.contains("\">=\""));
+        assert!(w.contains("\"<=\""));
+        // BETWEEN binds tighter than AND:
+        let q = parse(
+            "select count(*) from Sales where year between 1994 and 1996 and month = 2",
+        )
+        .unwrap();
+        let w = format!("{:?}", q.where_clause.unwrap());
+        assert!(w.starts_with("Binary { op: \"AND\""));
+    }
+
+    #[test]
+    fn order_by_and_limit_parse() {
+        let q = parse("select cust, sum(sale) from Sales group by cust \
+                       order by sum_sale desc, cust limit 5").unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].descending);
+        assert!(!q.order_by[1].descending);
+        assert_eq!(q.limit, Some(5));
+        assert!(parse("select a from T order by a limit x").is_err());
+    }
+
+    #[test]
+    fn having_clause_parses() {
+        let q = parse("select cust, sum(sale) from Sales group by cust having sum(sale) > 10")
+            .unwrap();
+        assert!(q.having.is_some());
+    }
+}

@@ -1,0 +1,111 @@
+//! A minimal named-relation catalog used by the SQL frontend and examples.
+
+use crate::error::{Result, StorageError};
+use crate::relation::Relation;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Maps relation names to shared, immutable relations.
+///
+/// Relations are stored behind `Arc` so plans, base-value builders, and
+/// parallel evaluators can hold references without copying data.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: BTreeMap<String, Arc<Relation>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a relation under `name`.
+    pub fn register(&mut self, name: impl Into<String>, relation: Relation) {
+        self.tables.insert(name.into(), Arc::new(relation));
+    }
+
+    /// Register an already-shared relation.
+    pub fn register_arc(&mut self, name: impl Into<String>, relation: Arc<Relation>) {
+        self.tables.insert(name.into(), relation);
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Relation>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Remove a relation, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<Arc<Relation>> {
+        self.tables.remove(name)
+    }
+
+    /// Registered names in sorted order.
+    pub fn names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+
+    fn rel() -> Relation {
+        Relation::empty(Schema::from_pairs(&[("x", DataType::Int)]))
+    }
+
+    #[test]
+    fn register_and_get() {
+        let mut c = Catalog::new();
+        c.register("Sales", rel());
+        assert!(c.contains("Sales"));
+        assert_eq!(c.get("Sales").unwrap().schema().names(), vec!["x"]);
+        assert!(matches!(
+            c.get("Payments"),
+            Err(StorageError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn replace_overwrites() {
+        let mut c = Catalog::new();
+        c.register("T", rel());
+        let other = Relation::empty(Schema::from_pairs(&[("y", DataType::Str)]));
+        c.register("T", other);
+        assert_eq!(c.get("T").unwrap().schema().names(), vec!["y"]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut c = Catalog::new();
+        c.register("b", rel());
+        c.register("a", rel());
+        assert_eq!(c.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn shared_arcs_avoid_copies() {
+        let mut c = Catalog::new();
+        c.register("T", rel());
+        let a = c.get("T").unwrap();
+        let b = c.get("T").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

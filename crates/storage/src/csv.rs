@@ -1,0 +1,281 @@
+//! Minimal CSV reader/writer so examples can load Example 2.4-style
+//! externally supplied base-value tables ("given to us in a precomputed
+//! datafile or table").
+//!
+//! Format: comma-separated, first line is the header, quoting with `"` for
+//! fields containing commas/quotes/newlines, `""` escapes a quote. Values are
+//! parsed according to the target schema; the literal cells `NULL` and `ALL`
+//! map to the corresponding pseudo-values in any column.
+
+use crate::error::{Result, StorageError};
+use crate::relation::Relation;
+use crate::row::Row;
+use crate::schema::{DataType, Schema};
+use crate::value::Value;
+use bytes::{BufMut, BytesMut};
+use std::io::{Read, Write};
+
+/// Parse one CSV record (handles quoting). Returns the fields and the number
+/// of input bytes consumed (including the record terminator).
+fn parse_record(input: &str) -> Option<(Vec<String>, usize)> {
+    if input.is_empty() {
+        return None;
+    }
+    let bytes = input.as_bytes();
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut i = 0;
+    let mut in_quotes = false;
+    loop {
+        if i >= bytes.len() {
+            fields.push(std::mem::take(&mut field));
+            return Some((fields, i));
+        }
+        let c = bytes[i];
+        if in_quotes {
+            match c {
+                b'"' if bytes.get(i + 1) == Some(&b'"') => {
+                    field.push('"');
+                    i += 2;
+                }
+                b'"' => {
+                    in_quotes = false;
+                    i += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 safe: push the full char.
+                    let ch = input[i..].chars().next().unwrap();
+                    field.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+        } else {
+            match c {
+                b'"' if field.is_empty() => {
+                    in_quotes = true;
+                    i += 1;
+                }
+                b',' => {
+                    fields.push(std::mem::take(&mut field));
+                    i += 1;
+                }
+                b'\r' if bytes.get(i + 1) == Some(&b'\n') => {
+                    fields.push(std::mem::take(&mut field));
+                    return Some((fields, i + 2));
+                }
+                b'\n' => {
+                    fields.push(std::mem::take(&mut field));
+                    return Some((fields, i + 1));
+                }
+                _ => {
+                    let ch = input[i..].chars().next().unwrap();
+                    field.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+fn parse_cell(cell: &str, dtype: DataType, line: usize, col: &str) -> Result<Value> {
+    match cell {
+        "NULL" => return Ok(Value::Null),
+        "ALL" => return Ok(Value::All),
+        _ => {}
+    }
+    let err = |msg: String| StorageError::Csv { line, message: msg };
+    match dtype {
+        DataType::Int => cell
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| err(format!("column `{col}`: bad int `{cell}`: {e}"))),
+        DataType::Float => cell
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| err(format!("column `{col}`: bad float `{cell}`: {e}"))),
+        DataType::Bool => match cell {
+            "true" | "TRUE" | "1" => Ok(Value::Bool(true)),
+            "false" | "FALSE" | "0" => Ok(Value::Bool(false)),
+            _ => Err(err(format!("column `{col}`: bad bool `{cell}`"))),
+        },
+        DataType::Str | DataType::Any => Ok(Value::str(cell)),
+    }
+}
+
+/// Read a relation from CSV text using the given schema. The header is
+/// validated against the schema's (base) column names.
+pub fn read_str(text: &str, schema: &Schema) -> Result<Relation> {
+    let mut rest = text;
+    let mut line_no = 1;
+    let (header, used) = parse_record(rest).ok_or(StorageError::Csv {
+        line: 1,
+        message: "empty input".into(),
+    })?;
+    rest = &rest[used..];
+    if header.len() != schema.len() {
+        return Err(StorageError::Csv {
+            line: 1,
+            message: format!(
+                "header has {} columns, schema has {}",
+                header.len(),
+                schema.len()
+            ),
+        });
+    }
+    for (h, f) in header.iter().zip(schema.fields()) {
+        if h != &f.name && h != f.base_name() {
+            return Err(StorageError::Csv {
+                line: 1,
+                message: format!("header column `{h}` does not match schema field `{}`", f.name),
+            });
+        }
+    }
+    let mut rel = Relation::empty(schema.clone());
+    while let Some((cells, used)) = parse_record(rest) {
+        line_no += 1;
+        rest = &rest[used..];
+        if cells.len() == 1 && cells[0].is_empty() {
+            continue; // blank line
+        }
+        if cells.len() != schema.len() {
+            return Err(StorageError::Csv {
+                line: line_no,
+                message: format!("expected {} fields, got {}", schema.len(), cells.len()),
+            });
+        }
+        let values: Result<Vec<Value>> = cells
+            .iter()
+            .zip(schema.fields())
+            .map(|(c, f)| parse_cell(c, f.dtype, line_no, &f.name))
+            .collect();
+        rel.push_unchecked(Row::new(values?));
+    }
+    Ok(rel)
+}
+
+/// Read a relation from any reader.
+pub fn read<R: Read>(mut reader: R, schema: &Schema) -> Result<Relation> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    read_str(&buf, schema)
+}
+
+fn needs_quoting(s: &str) -> bool {
+    s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r')
+}
+
+fn write_cell(out: &mut BytesMut, v: &Value) {
+    let s = v.to_string();
+    if needs_quoting(&s) {
+        out.put_u8(b'"');
+        out.put_slice(s.replace('"', "\"\"").as_bytes());
+        out.put_u8(b'"');
+    } else {
+        out.put_slice(s.as_bytes());
+    }
+}
+
+/// Serialize a relation as CSV text (header + rows).
+pub fn write_string(relation: &Relation) -> String {
+    let mut out = BytesMut::new();
+    for (i, f) in relation.schema().fields().iter().enumerate() {
+        if i > 0 {
+            out.put_u8(b',');
+        }
+        out.put_slice(f.name.as_bytes());
+    }
+    out.put_u8(b'\n');
+    for row in relation.iter() {
+        for (i, v) in row.values().iter().enumerate() {
+            if i > 0 {
+                out.put_u8(b',');
+            }
+            write_cell(&mut out, v);
+        }
+        out.put_u8(b'\n');
+    }
+    String::from_utf8(out.to_vec()).expect("CSV output is valid UTF-8")
+}
+
+/// Write a relation as CSV to any writer.
+pub fn write<W: Write>(mut writer: W, relation: &Relation) -> Result<()> {
+    writer.write_all(write_string(relation).as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("prod", DataType::Int),
+            ("state", DataType::Str),
+            ("sale", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let text = "prod,state,sale\n1,NY,10.5\n2,CA,20\n";
+        let rel = read_str(text, &schema()).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.rows()[0][1], Value::str("NY"));
+        assert_eq!(rel.rows()[1][2], Value::Float(20.0));
+        let out = write_string(&rel);
+        let rel2 = read_str(&out, &schema()).unwrap();
+        assert!(rel.same_multiset(&rel2));
+    }
+
+    #[test]
+    fn all_and_null_pseudo_values() {
+        let text = "prod,state,sale\nALL,NY,1\n2,NULL,2\n";
+        let rel = read_str(text, &schema()).unwrap();
+        assert_eq!(rel.rows()[0][0], Value::All);
+        assert_eq!(rel.rows()[1][1], Value::Null);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let text = "prod,state,sale\n1,\"New York, NY\",3\n2,\"say \"\"hi\"\"\",4\n";
+        let rel = read_str(text, &schema()).unwrap();
+        assert_eq!(rel.rows()[0][1], Value::str("New York, NY"));
+        assert_eq!(rel.rows()[1][1], Value::str("say \"hi\""));
+        // Roundtrip preserves quoting.
+        let rel2 = read_str(&write_string(&rel), &schema()).unwrap();
+        assert!(rel.same_multiset(&rel2));
+    }
+
+    #[test]
+    fn bad_header_and_bad_cells_error_with_line_numbers() {
+        let bad_header = "prod,city,sale\n";
+        assert!(matches!(
+            read_str(bad_header, &schema()),
+            Err(StorageError::Csv { line: 1, .. })
+        ));
+        let bad_int = "prod,state,sale\nx,NY,1\n";
+        assert!(matches!(
+            read_str(bad_int, &schema()),
+            Err(StorageError::Csv { line: 2, .. })
+        ));
+        let bad_arity = "prod,state,sale\n1,NY\n";
+        assert!(matches!(
+            read_str(bad_arity, &schema()),
+            Err(StorageError::Csv { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn crlf_and_blank_lines_tolerated() {
+        let text = "prod,state,sale\r\n1,NY,1\r\n\r\n2,CA,2\r\n";
+        let rel = read_str(text, &schema()).unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn missing_trailing_newline_ok() {
+        let text = "prod,state,sale\n1,NY,1";
+        let rel = read_str(text, &schema()).unwrap();
+        assert_eq!(rel.len(), 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Indexes over relations.
+//!
+//! Two index kinds back the paper's optimizations:
+//!
+//! * [`HashIndex`] — equality index used by Section 4.5: given a scanned detail
+//!   tuple `t`, find the *relative set* `Rel(t)` of base-table rows whose key
+//!   columns equal values derived from `t`, instead of scanning all of `B`.
+//! * [`SortedIndex`] — a clustered-order index used by Theorem 4.2 / Example
+//!   4.1: range predicates pushed into the detail table scan only the matching
+//!   run of tuples (our stand-in for a clustered disk index).
+
+use crate::relation::Relation;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::ops::Bound;
+
+/// Equality (hash) index from key-column values to row positions.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    key_cols: Vec<usize>,
+    map: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// Build over `relation` keyed on the columns at `key_cols` (positions).
+    pub fn build(relation: &Relation, key_cols: &[usize]) -> Self {
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(relation.len());
+        for (i, row) in relation.iter().enumerate() {
+            map.entry(row.key(key_cols)).or_default().push(i);
+        }
+        HashIndex {
+            key_cols: key_cols.to_vec(),
+            map,
+        }
+    }
+
+    /// Build keyed on named columns.
+    pub fn build_on(relation: &Relation, names: &[&str]) -> crate::Result<Self> {
+        let idx = relation.schema().indices_of(names)?;
+        Ok(Self::build(relation, &idx))
+    }
+
+    /// Row positions whose key equals `key` (empty slice if none).
+    pub fn get(&self, key: &[Value]) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The indexed column positions.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Sorted-order (clustered) index: a permutation of row ids ordered by the key
+/// columns, supporting range lookups by binary search.
+#[derive(Debug, Clone)]
+pub struct SortedIndex {
+    key_cols: Vec<usize>,
+    /// Row ids sorted by key.
+    order: Vec<usize>,
+    /// Keys aligned with `order` (kept for binary search without re-extraction).
+    keys: Vec<Vec<Value>>,
+}
+
+impl SortedIndex {
+    /// Build over `relation` keyed on the columns at `key_cols`.
+    pub fn build(relation: &Relation, key_cols: &[usize]) -> Self {
+        let mut pairs: Vec<(Vec<Value>, usize)> = relation
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.key(key_cols), i))
+            .collect();
+        pairs.sort();
+        let (keys, order) = pairs.into_iter().unzip();
+        SortedIndex {
+            key_cols: key_cols.to_vec(),
+            order,
+            keys,
+        }
+    }
+
+    /// Build keyed on named columns.
+    pub fn build_on(relation: &Relation, names: &[&str]) -> crate::Result<Self> {
+        let idx = relation.schema().indices_of(names)?;
+        Ok(Self::build(relation, &idx))
+    }
+
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    /// Row ids whose (full) key equals `key`.
+    pub fn equal(&self, key: &[Value]) -> &[usize] {
+        let lo = self.keys.partition_point(|k| k.as_slice() < key);
+        let hi = self.keys.partition_point(|k| k.as_slice() <= key);
+        &self.order[lo..hi]
+    }
+
+    /// Row ids whose key lies within the given bounds on the *first* key
+    /// column (the common clustered-range case, e.g. `year BETWEEN 1994 AND
+    /// 1996`). Bounds use the total order of [`Value`].
+    pub fn range_first(&self, lower: Bound<&Value>, upper: Bound<&Value>) -> &[usize] {
+        let lo = match lower {
+            Bound::Unbounded => 0,
+            Bound::Included(v) => self.keys.partition_point(|k| &k[0] < v),
+            Bound::Excluded(v) => self.keys.partition_point(|k| &k[0] <= v),
+        };
+        let hi = match upper {
+            Bound::Unbounded => self.keys.len(),
+            Bound::Included(v) => self.keys.partition_point(|k| &k[0] <= v),
+            Bound::Excluded(v) => self.keys.partition_point(|k| &k[0] < v),
+        };
+        if lo >= hi {
+            &[]
+        } else {
+            &self.order[lo..hi]
+        }
+    }
+
+    /// Row ids in sorted-key order (a clustered scan).
+    pub fn scan(&self) -> &[usize] {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::Row;
+    use crate::schema::{DataType, Schema};
+
+    fn rel() -> Relation {
+        let schema = Schema::from_pairs(&[("year", DataType::Int), ("sale", DataType::Int)]);
+        let rows = vec![
+            Row::from_values([1999i64, 10]),
+            Row::from_values([1994i64, 20]),
+            Row::from_values([1996i64, 30]),
+            Row::from_values([1994i64, 40]),
+            Row::from_values([1998i64, 50]),
+        ];
+        Relation::from_rows(schema, rows)
+    }
+
+    #[test]
+    fn hash_index_groups_row_ids() {
+        let r = rel();
+        let ix = HashIndex::build_on(&r, &["year"]).unwrap();
+        assert_eq!(ix.get(&[Value::Int(1994)]), &[1, 3]);
+        assert_eq!(ix.get(&[Value::Int(2001)]), &[] as &[usize]);
+        assert_eq!(ix.distinct_keys(), 4);
+    }
+
+    #[test]
+    fn sorted_index_equal_lookup() {
+        let r = rel();
+        let ix = SortedIndex::build_on(&r, &["year"]).unwrap();
+        let ids = ix.equal(&[Value::Int(1994)]);
+        let mut ids = ids.to_vec();
+        ids.sort();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn sorted_index_range_inclusive() {
+        let r = rel();
+        let ix = SortedIndex::build_on(&r, &["year"]).unwrap();
+        let ids = ix.range_first(
+            Bound::Included(&Value::Int(1994)),
+            Bound::Included(&Value::Int(1996)),
+        );
+        let mut years: Vec<i64> = ids.iter().map(|&i| r.rows()[i][0].as_int().unwrap()).collect();
+        years.sort();
+        assert_eq!(years, vec![1994, 1994, 1996]);
+    }
+
+    #[test]
+    fn sorted_index_range_exclusive_and_unbounded() {
+        let r = rel();
+        let ix = SortedIndex::build_on(&r, &["year"]).unwrap();
+        let ids = ix.range_first(Bound::Excluded(&Value::Int(1996)), Bound::Unbounded);
+        assert_eq!(ids.len(), 2); // 1998, 1999
+        let ids = ix.range_first(Bound::Unbounded, Bound::Excluded(&Value::Int(1994)));
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn sorted_scan_is_in_key_order() {
+        let r = rel();
+        let ix = SortedIndex::build_on(&r, &["year", "sale"]).unwrap();
+        let years: Vec<i64> = ix
+            .scan()
+            .iter()
+            .map(|&i| r.rows()[i][0].as_int().unwrap())
+            .collect();
+        assert_eq!(years, vec![1994, 1994, 1996, 1998, 1999]);
+        // Ties on year broken by sale:
+        let sales: Vec<i64> = ix
+            .scan()
+            .iter()
+            .take(2)
+            .map(|&i| r.rows()[i][1].as_int().unwrap())
+            .collect();
+        assert_eq!(sales, vec![20, 40]);
+    }
+
+    #[test]
+    fn empty_relation_indexes() {
+        let r = Relation::empty(Schema::from_pairs(&[("x", DataType::Int)]));
+        let h = HashIndex::build_on(&r, &["x"]).unwrap();
+        assert_eq!(h.get(&[Value::Int(1)]), &[] as &[usize]);
+        let s = SortedIndex::build_on(&r, &["x"]).unwrap();
+        assert!(s.range_first(Bound::Unbounded, Bound::Unbounded).is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! # mdj-storage
+//!
+//! Relational substrate for the MD-join reproduction (Chatziantoniou & Johnson,
+//! ICDE 2001). Everything here is built from scratch: typed values (including the
+//! `ALL` pseudo-value of Gray et al. used by data cubes), schemas, rows, in-memory
+//! relations, hash and sorted (clustered) indexes, partitioning helpers, a tiny
+//! catalog, CSV I/O, and scan accounting used by the benchmark harness.
+//!
+//! The substrate is deliberately row-oriented and in-memory: the paper's
+//! optimizations are about *plan shape* (number of scans, tuples touched, probes
+//! per tuple), which this substrate measures directly via [`stats::ScanStats`].
+
+pub mod catalog;
+pub mod csv;
+pub mod error;
+pub mod index;
+pub mod partition;
+pub mod relation;
+pub mod row;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use error::{Result, StorageError};
+pub use index::{HashIndex, SortedIndex};
+pub use relation::Relation;
+pub use row::Row;
+pub use schema::{DataType, Field, Schema};
+pub use stats::ScanStats;
+pub use value::Value;

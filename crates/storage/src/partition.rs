@@ -1,0 +1,230 @@
+//! Partitioning helpers for Theorem 4.1 (`MD(B,R,l,θ) = ⋃ᵢ MD(Bᵢ,R,l,θ)`).
+//!
+//! Three partitioners cover the paper's uses:
+//!
+//! * [`chunk`] — arbitrary equal-size partitioning, valid for *any* θ (Thm 4.1
+//!   places no restriction on how `B` is split). Used by in-memory evaluation.
+//! * [`by_hash`] — hash partitioning on key columns; pairs with Observation 4.1
+//!   when θ has the matching equality conjuncts, so each `Bᵢ` only needs the
+//!   corresponding `Rᵢ` slice.
+//! * [`by_ranges`] — range partitioning on one column (the paper's example:
+//!   month 1–3, 4–8, 9–12), likewise pushable to `R` by Observation 4.1.
+
+use crate::relation::Relation;
+use crate::value::Value;
+
+/// Split into `m` near-equal chunks preserving row order. Always a valid
+/// Theorem 4.1 partition. Returns fewer than `m` parts when `|B| < m`, and a
+/// single empty part for an empty input so callers always get ≥1 part.
+pub fn chunk(relation: &Relation, m: usize) -> Vec<Relation> {
+    let m = m.max(1);
+    let n = relation.len();
+    if n == 0 {
+        return vec![Relation::empty(relation.schema().clone())];
+    }
+    let m = m.min(n);
+    let base = n / m;
+    let extra = n % m;
+    let mut parts = Vec::with_capacity(m);
+    let mut start = 0;
+    for i in 0..m {
+        let size = base + usize::from(i < extra);
+        let rows = relation.rows()[start..start + size].to_vec();
+        parts.push(Relation::from_rows(relation.schema().clone(), rows));
+        start += size;
+    }
+    parts
+}
+
+/// Hash-partition on the named key columns into `m` buckets.
+pub fn by_hash(relation: &Relation, names: &[&str], m: usize) -> crate::Result<Vec<Relation>> {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let m = m.max(1);
+    let idx = relation.schema().indices_of(names)?;
+    let mut parts: Vec<Relation> = (0..m)
+        .map(|_| Relation::empty(relation.schema().clone()))
+        .collect();
+    for row in relation.iter() {
+        let mut h = DefaultHasher::new();
+        row.key(&idx).hash(&mut h);
+        let bucket = (h.finish() % m as u64) as usize;
+        parts[bucket].push_unchecked(row.clone());
+    }
+    Ok(parts)
+}
+
+/// An inclusive range over one column's values, used by [`by_ranges`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueRange {
+    pub lo: Value,
+    pub hi: Value,
+}
+
+impl ValueRange {
+    pub fn new(lo: impl Into<Value>, hi: impl Into<Value>) -> Self {
+        ValueRange {
+            lo: lo.into(),
+            hi: hi.into(),
+        }
+    }
+
+    /// Whether `v` lies in `[lo, hi]` under the total order of [`Value`].
+    pub fn contains(&self, v: &Value) -> bool {
+        *v >= self.lo && *v <= self.hi
+    }
+}
+
+/// Range-partition on a named column. Rows matching no range are dropped (the
+/// caller chooses ranges covering the domain when a full partition is needed).
+/// Ranges must be disjoint for the result to be a partition; [`ranges_are_disjoint`]
+/// checks this.
+pub fn by_ranges(
+    relation: &Relation,
+    name: &str,
+    ranges: &[ValueRange],
+) -> crate::Result<Vec<Relation>> {
+    let col = relation.schema().index_of(name)?;
+    let mut parts: Vec<Relation> = ranges
+        .iter()
+        .map(|_| Relation::empty(relation.schema().clone()))
+        .collect();
+    for row in relation.iter() {
+        if let Some(i) = ranges.iter().position(|rg| rg.contains(&row[col])) {
+            parts[i].push_unchecked(row.clone());
+        }
+    }
+    Ok(parts)
+}
+
+/// Check that the given ranges are pairwise disjoint (so range partitioning
+/// yields a true partition).
+pub fn ranges_are_disjoint(ranges: &[ValueRange]) -> bool {
+    for (i, a) in ranges.iter().enumerate() {
+        for b in ranges.iter().skip(i + 1) {
+            let overlap = a.lo <= b.hi && b.lo <= a.hi;
+            if overlap {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Partition on the distinct values of one column: one part per value, in
+/// first-appearance order, with the list of values alongside. This is the
+/// partition used by the Ross–Srivastava cube algorithm (`σ_{Dᵢ=z}` for every
+/// value `z` of dimension `Dᵢ`).
+pub fn by_distinct_values(
+    relation: &Relation,
+    name: &str,
+) -> crate::Result<Vec<(Value, Relation)>> {
+    let col = relation.schema().index_of(name)?;
+    let mut order: Vec<Value> = Vec::new();
+    let mut parts: std::collections::HashMap<Value, Relation> = std::collections::HashMap::new();
+    for row in relation.iter() {
+        let v = row[col].clone();
+        parts
+            .entry(v.clone())
+            .or_insert_with(|| {
+                order.push(v.clone());
+                Relation::empty(relation.schema().clone())
+            })
+            .push_unchecked(row.clone());
+    }
+    Ok(order
+        .into_iter()
+        .map(|v| {
+            let part = parts.remove(&v).expect("value recorded in order");
+            (v, part)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::Row;
+    use crate::schema::{DataType, Schema};
+
+    fn rel(n: i64) -> Relation {
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("m", DataType::Int)]);
+        Relation::from_rows(
+            schema,
+            (0..n)
+                .map(|i| Row::from_values([i, i % 12 + 1]))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn chunk_covers_all_rows() {
+        let r = rel(10);
+        let parts = chunk(&r, 3);
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(Relation::len).sum();
+        assert_eq!(total, 10);
+        assert_eq!(parts[0].len(), 4); // 4,3,3
+    }
+
+    #[test]
+    fn chunk_more_parts_than_rows() {
+        let r = rel(2);
+        let parts = chunk(&r, 5);
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn chunk_empty_relation_yields_one_empty_part() {
+        let r = rel(0);
+        let parts = chunk(&r, 4);
+        assert_eq!(parts.len(), 1);
+        assert!(parts[0].is_empty());
+    }
+
+    #[test]
+    fn hash_partition_is_a_partition() {
+        let r = rel(100);
+        let parts = by_hash(&r, &["k"], 7).unwrap();
+        assert_eq!(parts.len(), 7);
+        let total: usize = parts.iter().map(Relation::len).sum();
+        assert_eq!(total, 100);
+        // Same key always lands in the same bucket.
+        let parts2 = by_hash(&r, &["k"], 7).unwrap();
+        for (a, b) in parts.iter().zip(&parts2) {
+            assert!(a.same_multiset(b));
+        }
+    }
+
+    #[test]
+    fn range_partition_months() {
+        let r = rel(24);
+        let ranges = [
+            ValueRange::new(1i64, 3i64),
+            ValueRange::new(4i64, 8i64),
+            ValueRange::new(9i64, 12i64),
+        ];
+        assert!(ranges_are_disjoint(&ranges));
+        let parts = by_ranges(&r, "m", &ranges).unwrap();
+        let total: usize = parts.iter().map(Relation::len).sum();
+        assert_eq!(total, 24);
+        assert_eq!(parts[0].len(), 6); // months 1..=3 appear twice each
+    }
+
+    #[test]
+    fn overlapping_ranges_detected() {
+        let ranges = [ValueRange::new(1i64, 5i64), ValueRange::new(5i64, 9i64)];
+        assert!(!ranges_are_disjoint(&ranges));
+    }
+
+    #[test]
+    fn distinct_value_partition() {
+        let r = rel(24);
+        let parts = by_distinct_values(&r, "m").unwrap();
+        assert_eq!(parts.len(), 12);
+        for (v, p) in &parts {
+            assert_eq!(p.len(), 2);
+            assert!(p.iter().all(|row| row[1] == *v));
+        }
+    }
+}

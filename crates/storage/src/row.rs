@@ -1,0 +1,126 @@
+//! Rows: fixed-arity vectors of [`Value`]s.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Deref, Index};
+
+/// A single tuple. Thin wrapper over `Vec<Value>` so we can attach helpers
+/// (key extraction, concatenation) without exposing mutation everywhere.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    pub fn new(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    /// Build a row from anything convertible to `Value`.
+    pub fn from_values<V: Into<Value>, I: IntoIterator<Item = V>>(iter: I) -> Self {
+        Row(iter.into_iter().map(Into::into).collect())
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+
+    /// Extract the sub-row at `indices` (group/index key extraction).
+    pub fn key(&self, indices: &[usize]) -> Vec<Value> {
+        indices.iter().map(|&i| self.0[i].clone()).collect()
+    }
+
+    /// Concatenate two rows (join output construction).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Row(v)
+    }
+
+    /// Append one value, returning a new row.
+    pub fn with_value(&self, v: Value) -> Row {
+        let mut vals = self.0.clone();
+        vals.push(v);
+        Row(vals)
+    }
+}
+
+impl Deref for Row {
+    type Target = [Value];
+    fn deref(&self) -> &Self::Target {
+        &self.0
+    }
+}
+
+impl Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Row(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_extracts_in_given_order() {
+        let r = Row::from_values([1i64, 2, 3]);
+        assert_eq!(r.key(&[2, 0]), vec![Value::Int(3), Value::Int(1)]);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = Row::from_values([1i64]);
+        let b = Row::from_values(["x"]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[1], Value::str("x"));
+    }
+
+    #[test]
+    fn rows_hash_as_group_keys() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Row::from_values([1i64, 2]));
+        set.insert(Row::from_values([1i64, 2]));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn display_is_bracketed() {
+        let r = Row::new(vec![Value::All, Value::Int(4)]);
+        assert_eq!(r.to_string(), "[ALL, 4]");
+    }
+}

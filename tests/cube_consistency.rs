@@ -1,0 +1,140 @@
+//! Property tests: every cube algorithm computes the same relation, and the
+//! base-values builders satisfy their definitional relationships.
+
+use mdj_agg::AggSpec;
+use mdj_core::basevalues;
+use mdj_core::ExecContext;
+use mdj_cube::naive::{cube_per_cuboid, cube_via_wildcard_theta};
+use mdj_cube::partitioned::cube_partitioned;
+use mdj_cube::pipesort::cube_pipesort;
+use mdj_cube::rollup_chain::cube_rollup_chain;
+use mdj_cube::CubeSpec;
+use mdj_storage::{DataType, Relation, Row, Schema, Value};
+use proptest::prelude::*;
+
+fn detail_strategy() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0i64..4, 0i64..3, 0i64..3, -20i64..20), 0..40).prop_map(|rows| {
+        let schema = Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+            ("c", DataType::Int),
+            ("v", DataType::Int),
+        ]);
+        Relation::from_rows(
+            schema,
+            rows.into_iter()
+                .map(|(a, b, c, v)| Row::from_values([a, b, c, v]))
+                .collect(),
+        )
+    })
+}
+
+fn spec() -> CubeSpec {
+    CubeSpec::new(
+        &["a", "b", "c"],
+        vec![
+            AggSpec::count_star(),
+            AggSpec::on_column("sum", "v"),
+            AggSpec::on_column("min", "v"),
+            AggSpec::on_column("max", "v"),
+        ],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// All five cube algorithms agree on random inputs.
+    #[test]
+    fn five_cube_algorithms_agree(r in detail_strategy()) {
+        let ctx = ExecContext::new();
+        let sp = spec();
+        let wildcard = cube_via_wildcard_theta(&r, &sp, &ctx).unwrap();
+        let per_cuboid = cube_per_cuboid(&r, &sp, &ctx).unwrap();
+        prop_assert!(wildcard.same_multiset(&per_cuboid));
+        let rollup = cube_rollup_chain(&r, &sp, &ctx).unwrap();
+        prop_assert!(per_cuboid.same_multiset(&rollup));
+        let pipesorted = cube_pipesort(&r, &sp, &ctx).unwrap();
+        prop_assert!(rollup.same_multiset(&pipesorted));
+        for dim in 0..3 {
+            let parted = cube_partitioned(&r, &sp, dim, &ctx).unwrap();
+            prop_assert!(pipesorted.same_multiset(&parted), "partition dim {dim}");
+        }
+    }
+
+    /// Base-builder relationships: rollup ⊆ cube, unpivot ⊆ cube, grouping
+    /// sets with all singletons ≡ unpivot, group-by ≡ finest cuboid slice.
+    #[test]
+    fn base_builders_are_consistent(r in detail_strategy()) {
+        let dims = ["a", "b", "c"];
+        let cube_b = basevalues::cube(&r, &dims).unwrap();
+        let rollup_b = basevalues::rollup(&r, &dims).unwrap();
+        let unpivot_b = basevalues::unpivot(&r, &dims).unwrap();
+        let gb = basevalues::group_by(&r, &dims).unwrap();
+
+        let cube_rows: std::collections::HashSet<_> = cube_b.iter().cloned().collect();
+        for row in rollup_b.iter() {
+            prop_assert!(cube_rows.contains(row), "rollup row missing from cube");
+        }
+        for row in unpivot_b.iter() {
+            prop_assert!(cube_rows.contains(row), "unpivot row missing from cube");
+        }
+        // Group-by = the fully-concrete rows of the cube base.
+        let finest: Vec<_> = cube_b
+            .iter()
+            .filter(|row| row.values().iter().all(|v| !v.is_all()))
+            .cloned()
+            .collect();
+        let finest_rel = Relation::from_rows(gb.schema().clone(), finest);
+        prop_assert!(finest_rel.same_multiset(&gb));
+        // Singleton grouping sets ≡ unpivot.
+        let sets: Vec<Vec<&str>> = dims.iter().map(|d| vec![*d]).collect();
+        let gs = basevalues::grouping_sets(&r, &dims, &sets).unwrap();
+        prop_assert!(gs.same_multiset(&unpivot_b));
+    }
+
+    /// Cube base-table cardinality: |cube| ≤ Σ over masks of |distinct kept|,
+    /// rows are unique, and the apex row exists iff the detail is non-empty.
+    #[test]
+    fn cube_base_cardinality(r in detail_strategy()) {
+        let dims = ["a", "b"];
+        let b = basevalues::cube(&r, &dims).unwrap();
+        let uniq: std::collections::HashSet<_> = b.iter().cloned().collect();
+        prop_assert_eq!(uniq.len(), b.len());
+        let has_apex = b.iter().any(|row| row.values().iter().all(Value::is_all));
+        prop_assert_eq!(has_apex, !r.is_empty());
+    }
+
+    /// The cube's apex cell always equals the global aggregate.
+    #[test]
+    fn apex_equals_global_aggregate(r in detail_strategy()) {
+        prop_assume!(!r.is_empty());
+        let ctx = ExecContext::new();
+        let sp = spec();
+        let out = cube_rollup_chain(&r, &sp, &ctx).unwrap();
+        let apex = out
+            .iter()
+            .find(|row| row.values()[..3].iter().all(Value::is_all))
+            .expect("apex exists");
+        let count = r.len() as i64;
+        let sum: i64 = r.iter().map(|t| t[3].as_int().unwrap()).sum();
+        prop_assert_eq!(apex[3].clone(), Value::Int(count));
+        prop_assert_eq!(apex[4].clone(), Value::Int(sum));
+    }
+
+    /// Every concrete (non-ALL) cube cell's count equals the number of
+    /// matching detail tuples (spot-check of cell semantics).
+    #[test]
+    fn concrete_cells_count_matching_tuples(r in detail_strategy()) {
+        let ctx = ExecContext::new();
+        let sp = spec();
+        let out = cube_per_cuboid(&r, &sp, &ctx).unwrap();
+        for row in out.iter().filter(|row| row.values()[..3].iter().all(|v| !v.is_all())).take(10) {
+            let expected = r
+                .iter()
+                .filter(|t| t[0] == row[0] && t[1] == row[1] && t[2] == row[2])
+                .count() as i64;
+            prop_assert_eq!(row[3].clone(), Value::Int(expected));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Whole-optimizer fuzzing: random MD-join chains over a small catalog must
+//! execute to the same relation before and after optimization, and the
+//! optimizer must never increase the estimated cost or the number of detail
+//! scans.
+
+use mdj_agg::{AggSpec, Registry};
+use mdj_algebra::rules::coalesce::detail_scan_count;
+use mdj_algebra::{execute, optimize, Plan};
+use mdj_core::ExecContext;
+use mdj_expr::builder::*;
+use mdj_expr::Expr;
+use mdj_storage::{Catalog, DataType, Relation, Row, Schema, Value};
+use proptest::prelude::*;
+
+fn catalog() -> Catalog {
+    let schema = Schema::from_pairs(&[
+        ("k", DataType::Int),
+        ("m", DataType::Int),
+        ("s", DataType::Str),
+        ("v", DataType::Int),
+    ]);
+    let states = ["NY", "NJ", "CT", "CA"];
+    let rows: Vec<Row> = (0..400i64)
+        .map(|i| {
+            Row::from_values(vec![
+                Value::Int(i % 7),
+                Value::Int(i % 12 + 1),
+                Value::str(states[(i % 4) as usize]),
+                Value::Int((i * 37) % 100 - 50),
+            ])
+        })
+        .collect();
+    let mut c = Catalog::new();
+    c.register("T", Relation::from_rows(schema, rows));
+    c
+}
+
+/// One stage of a random chain. `dep` makes the stage's θ read the output of
+/// an earlier stage (when one exists), exercising the scheduler's dependency
+/// analysis.
+#[derive(Debug, Clone)]
+struct StageSpec {
+    func: usize,
+    filter: usize,
+    dep: bool,
+}
+
+fn stage_strategy() -> impl Strategy<Value = StageSpec> {
+    (0usize..4, 0usize..5, any::<bool>()).prop_map(|(func, filter, dep)| StageSpec {
+        func,
+        filter,
+        dep,
+    })
+}
+
+fn build_chain(stages: &[StageSpec]) -> Plan {
+    let mut plan = Plan::table("T").group_by_base(&["k"]);
+    let mut produced: Vec<String> = Vec::new();
+    for (i, st) in stages.iter().enumerate() {
+        let alias = format!("a{i}");
+        let agg = match st.func {
+            0 => AggSpec::count_star().with_alias(alias.clone()),
+            1 => AggSpec::on_column("sum", "v").with_alias(alias.clone()),
+            2 => AggSpec::on_column("min", "v").with_alias(alias.clone()),
+            _ => AggSpec::on_column("max", "v").with_alias(alias.clone()),
+        };
+        let mut conjs: Vec<Expr> = vec![eq(col_b("k"), col_r("k"))];
+        match st.filter {
+            0 => conjs.push(eq(col_r("s"), lit("NY"))),
+            1 => conjs.push(gt(col_r("v"), lit(0i64))),
+            2 => conjs.push(le(col_r("m"), lit(6i64))),
+            3 => conjs.push(eq(col_r("s"), lit("CT"))),
+            _ => {}
+        }
+        if st.dep {
+            if let Some(earlier) = produced.first() {
+                conjs.push(gt(col_b(earlier.clone()), lit(-1_000i64)));
+            }
+        }
+        plan = plan.md_join(Plan::table("T"), vec![agg], and_all(conjs));
+        produced.push(alias);
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// optimize(plan) executes to the same relation as plan (up to column
+    /// order, which coalescing may permute).
+    #[test]
+    fn optimizer_preserves_semantics(stages in proptest::collection::vec(stage_strategy(), 1..6)) {
+        let cat = catalog();
+        let reg = Registry::standard();
+        let ctx = ExecContext::new();
+        let plan = build_chain(&stages);
+        let optimized = optimize(plan.clone(), &cat, &reg).unwrap();
+        let a = execute(&plan, &cat, &ctx).unwrap();
+        let b = execute(&optimized, &cat, &ctx).unwrap();
+        // Compare on a canonical column order.
+        let mut cols: Vec<String> = vec!["k".into()];
+        cols.extend((0..stages.len()).map(|i| format!("a{i}")));
+        let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        prop_assert!(a
+            .project(&refs)
+            .unwrap()
+            .same_multiset(&b.project(&refs).unwrap()));
+    }
+
+    /// The optimizer never increases detail-scan count or estimated cost.
+    #[test]
+    fn optimizer_never_regresses(stages in proptest::collection::vec(stage_strategy(), 1..6)) {
+        let cat = catalog();
+        let reg = Registry::standard();
+        let plan = build_chain(&stages);
+        let before_scans = detail_scan_count(&plan);
+        let before_cost = mdj_algebra::cost::estimate_cost(&plan, &cat, &reg).unwrap();
+        let optimized = optimize(plan, &cat, &reg).unwrap();
+        prop_assert!(detail_scan_count(&optimized) <= before_scans);
+        let after_cost = mdj_algebra::cost::estimate_cost(&optimized, &cat, &reg).unwrap();
+        prop_assert!(after_cost <= before_cost + 1e-9);
+    }
+
+    /// Fully independent chains always coalesce to a single scan.
+    #[test]
+    fn independent_chains_fully_coalesce(n in 1usize..6, filter in 0usize..5) {
+        let stages: Vec<StageSpec> = (0..n)
+            .map(|_| StageSpec { func: 1, filter, dep: false })
+            .collect();
+        let cat = catalog();
+        let reg = Registry::standard();
+        let plan = build_chain(&stages);
+        let optimized = optimize(plan, &cat, &reg).unwrap();
+        prop_assert_eq!(detail_scan_count(&optimized), 1);
+    }
+}
