@@ -536,7 +536,13 @@ mod tests {
 
     #[test]
     fn first_last_follow_scan_order() {
-        let vals = vec![Value::Null, Value::Int(7), Value::Int(9), Value::Null, Value::Int(3)];
+        let vals = vec![
+            Value::Null,
+            Value::Int(7),
+            Value::Int(9),
+            Value::Null,
+            Value::Int(3),
+        ];
         assert_eq!(run(&FirstLast { is_last: false }, &vals), Value::Int(7));
         assert_eq!(run(&FirstLast { is_last: true }, &vals), Value::Int(3));
         assert_eq!(run(&FirstLast { is_last: false }, &[]), Value::Null);

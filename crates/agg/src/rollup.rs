@@ -15,9 +15,12 @@ use crate::spec::{AggInput, AggSpec};
 /// Whether every aggregate in `l` has a roll-up form (Theorem 4.5
 /// precondition).
 pub fn is_rollupable(specs: &[AggSpec], registry: &Registry) -> bool {
-    specs
-        .iter()
-        .all(|s| matches!(registry.get(&s.function).map(|a| a.rollup_name()), Ok(Some(_))))
+    specs.iter().all(|s| {
+        matches!(
+            registry.get(&s.function).map(|a| a.rollup_name()),
+            Ok(Some(_))
+        )
+    })
 }
 
 /// Compute `l'`: for each spec `f(c) [as out]`, produce

@@ -18,14 +18,16 @@ use mdj_storage::Catalog;
 pub const SELECT_SELECTIVITY: f64 = 0.3;
 /// Distinctness exponent: |distinct(dims)| ≈ |input|^DISTINCT_EXP.
 pub const DISTINCT_EXP: f64 = 0.75;
+/// Fixed cost charged per worker thread of a [`Plan::Parallel`] node
+/// (spawn + morsel queue setup + final state merge). Keeps the optimizer
+/// from parallelizing plans whose total work is smaller than the fan-out
+/// overhead.
+pub const PARALLEL_STARTUP_COST: f64 = 2000.0;
 
 /// Estimated output rows of a plan.
 pub fn estimate_rows(plan: &Plan, catalog: &Catalog) -> f64 {
     match plan {
-        Plan::Table(name) => catalog
-            .get(name)
-            .map(|r| r.len() as f64)
-            .unwrap_or(1000.0),
+        Plan::Table(name) => catalog.get(name).map(|r| r.len() as f64).unwrap_or(1000.0),
         Plan::Inline(rel) => rel.len() as f64,
         Plan::Select { input, .. } => SELECT_SELECTIVITY * estimate_rows(input, catalog),
         Plan::Project { input, .. } => estimate_rows(input, catalog),
@@ -44,10 +46,9 @@ pub fn estimate_rows(plan: &Plan, catalog: &Catalog) -> f64 {
         }
         Plan::Union(parts) => parts.iter().map(|p| estimate_rows(p, catalog)).sum(),
         // MD-join output cardinality is exactly |B| (Definition 3.1).
-        Plan::MdJoin { base, .. } | Plan::GenMdJoin { base, .. } => {
-            estimate_rows(base, catalog)
-        }
+        Plan::MdJoin { base, .. } | Plan::GenMdJoin { base, .. } => estimate_rows(base, catalog),
         Plan::Join { left, .. } => estimate_rows(left, catalog),
+        Plan::Parallel { input, .. } => estimate_rows(input, catalog),
     }
 }
 
@@ -110,6 +111,19 @@ pub fn estimate_cost(plan: &Plan, catalog: &Catalog, _registry: &Registry) -> Re
                 + estimate_rows(left, catalog)
                 + estimate_rows(right, catalog)
         }
+        Plan::Parallel { input, threads } => {
+            // Ideal speedup on the wrapped operator's work, paid for with a
+            // per-thread startup charge. `threads = 0` ("all cores") is
+            // costed as the machine's parallelism.
+            let t = if *threads == 0 {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1) as f64
+            } else {
+                *threads as f64
+            };
+            estimate_cost(input, catalog, _registry)? / t + PARALLEL_STARTUP_COST * t
+        }
     })
 }
 
@@ -151,10 +165,7 @@ mod tests {
             eq(col_b("cust"), col_r("cust")),
         );
         let rows = estimate_rows(&plan, &cat);
-        let base_rows = estimate_rows(
-            &Plan::table("Sales").group_by_base(&["cust"]),
-            &cat,
-        );
+        let base_rows = estimate_rows(&Plan::table("Sales").group_by_base(&["cust"]), &cat);
         assert_eq!(rows, base_rows);
     }
 

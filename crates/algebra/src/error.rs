@@ -13,7 +13,10 @@ pub enum AlgebraError {
     Core(mdj_core::CoreError),
     Naive(mdj_naive::NaiveError),
     /// A rewrite's precondition did not hold.
-    RuleNotApplicable { rule: &'static str, reason: String },
+    RuleNotApplicable {
+        rule: &'static str,
+        reason: String,
+    },
     /// Plan is malformed (e.g. empty union).
     InvalidPlan(String),
 }
@@ -34,7 +37,21 @@ impl fmt::Display for AlgebraError {
     }
 }
 
-impl std::error::Error for AlgebraError {}
+impl std::error::Error for AlgebraError {
+    /// Expose the wrapped layer's error so `source()` chains walk the full
+    /// hierarchy (storage → expr/agg → core → algebra), matching
+    /// [`mdj_core::CoreError`].
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlgebraError::Storage(e) => Some(e),
+            AlgebraError::Expr(e) => Some(e),
+            AlgebraError::Agg(e) => Some(e),
+            AlgebraError::Core(e) => Some(e),
+            AlgebraError::Naive(e) => Some(e),
+            AlgebraError::RuleNotApplicable { .. } | AlgebraError::InvalidPlan(_) => None,
+        }
+    }
+}
 
 impl From<mdj_storage::StorageError> for AlgebraError {
     fn from(e: mdj_storage::StorageError) -> Self {
@@ -79,5 +96,23 @@ mod tests {
             reason: "θ mentions both detail tables".into(),
         };
         assert!(e.to_string().contains("split"));
+    }
+
+    #[test]
+    fn source_chains_through_the_layers() {
+        use std::error::Error;
+        // storage → core → algebra: source() walks all the way down.
+        let storage = mdj_storage::StorageError::UnknownColumn {
+            name: "ghost".into(),
+            schema: "(cust, sale)".into(),
+        };
+        let core: mdj_core::CoreError = storage.into();
+        let e: AlgebraError = core.into();
+        let src = e.source().expect("algebra error wraps core");
+        assert!(src.to_string().contains("ghost"));
+        let inner = src.source().expect("core error wraps storage");
+        assert!(inner.to_string().contains("ghost"));
+        // Leaf variants have no source.
+        assert!(AlgebraError::InvalidPlan("x".into()).source().is_none());
     }
 }

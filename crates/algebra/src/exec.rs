@@ -3,8 +3,7 @@
 use crate::error::{AlgebraError, Result};
 use crate::plan::{BaseShape, Plan};
 use mdj_core::basevalues;
-use mdj_core::generalized::{md_join_multi, Block};
-use mdj_core::{md_join, ExecContext};
+use mdj_core::{Block, ExecContext, ExecStrategy, MdJoin};
 use mdj_storage::{Catalog, Relation, Row};
 
 /// Execute a logical plan against a catalog.
@@ -76,7 +75,11 @@ pub fn execute(plan: &Plan, catalog: &Catalog, ctx: &ExecContext) -> Result<Rela
         } => {
             let b = execute(base, catalog, ctx)?;
             let r = execute(detail, catalog, ctx)?;
-            Ok(md_join(&b, &r, aggs, theta, ctx)?)
+            Ok(MdJoin::new(&b, &r)
+                .aggs(aggs)
+                .theta(theta.clone())
+                .strategy(ExecStrategy::Serial)
+                .run(ctx)?)
         }
         Plan::GenMdJoin {
             base,
@@ -89,8 +92,30 @@ pub fn execute(plan: &Plan, catalog: &Catalog, ctx: &ExecContext) -> Result<Rela
                 .iter()
                 .map(|blk| Block::new(blk.theta.clone(), blk.aggs.clone()))
                 .collect();
-            Ok(md_join_multi(&b, &r, &core_blocks, ctx)?)
+            Ok(MdJoin::new(&b, &r).blocks(core_blocks).run(ctx)?)
         }
+        Plan::Parallel { input, threads } => match input.as_ref() {
+            Plan::MdJoin {
+                base,
+                detail,
+                aggs,
+                theta,
+            } => {
+                let b = execute(base, catalog, ctx)?;
+                let r = execute(detail, catalog, ctx)?;
+                let mut join = MdJoin::new(&b, &r)
+                    .aggs(aggs)
+                    .theta(theta.clone())
+                    .strategy(ExecStrategy::Morsel);
+                if *threads > 0 {
+                    join = join.threads(*threads);
+                }
+                Ok(join.run(ctx)?)
+            }
+            other => Err(AlgebraError::InvalidPlan(format!(
+                "Parallel may only wrap an MD-join node, got {other:?}"
+            ))),
+        },
         Plan::Join {
             left,
             right,
@@ -185,13 +210,11 @@ mod tests {
 
     #[test]
     fn cube_base_execution() {
-        let plan = Plan::table("Sales")
-            .cube_base(&["cust", "month"])
-            .md_join(
-                Plan::table("Sales"),
-                vec![AggSpec::on_column("sum", "sale")],
-                mdj_core::basevalues::cube_match_theta(&["cust", "month"]),
-            );
+        let plan = Plan::table("Sales").cube_base(&["cust", "month"]).md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::on_column("sum", "sale")],
+            mdj_core::basevalues::cube_match_theta(&["cust", "month"]),
+        );
         let out = execute(&plan, &catalog(), &ExecContext::new()).unwrap();
         // distinct pairs 4 + custs 2 + months 2 + apex 1 = 9
         assert_eq!(out.len(), 9);
@@ -220,11 +243,17 @@ mod tests {
         let blocks = vec![
             crate::plan::PlanBlock::new(
                 vec![AggSpec::on_column("sum", "sale").with_alias("s1")],
-                and(eq(col_b("cust"), col_r("cust")), eq(col_r("month"), lit(1i64))),
+                and(
+                    eq(col_b("cust"), col_r("cust")),
+                    eq(col_r("month"), lit(1i64)),
+                ),
             ),
             crate::plan::PlanBlock::new(
                 vec![AggSpec::on_column("sum", "sale").with_alias("s2")],
-                and(eq(col_b("cust"), col_r("cust")), eq(col_r("month"), lit(2i64))),
+                and(
+                    eq(col_b("cust"), col_r("cust")),
+                    eq(col_r("month"), lit(2i64)),
+                ),
             ),
         ];
         let plan = Plan::GenMdJoin {
@@ -266,5 +295,30 @@ mod tests {
     fn unknown_table_errors() {
         let plan = Plan::table("Nope");
         assert!(execute(&plan, &catalog(), &ExecContext::new()).is_err());
+    }
+
+    #[test]
+    fn parallel_node_runs_morsel_executor() {
+        use mdj_storage::ScanStats;
+        use std::sync::Arc;
+        let md = Plan::table("Sales").group_by_base(&["cust"]).md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::on_column("sum", "sale")],
+            eq(col_b("cust"), col_r("cust")),
+        );
+        let serial = execute(&md, &catalog(), &ExecContext::new()).unwrap();
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ExecContext::new().with_stats(stats.clone());
+        let par = execute(&md.parallel(2), &catalog(), &ctx).unwrap();
+        assert!(serial.same_multiset(&par));
+        // The morsel executor reported per-worker counters.
+        assert_eq!(stats.workers().len(), 2);
+    }
+
+    #[test]
+    fn parallel_over_non_md_join_is_rejected() {
+        let plan = Plan::table("Sales").parallel(4);
+        let err = execute(&plan, &catalog(), &ExecContext::new());
+        assert!(matches!(err, Err(AlgebraError::InvalidPlan(_))));
     }
 }

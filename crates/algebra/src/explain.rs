@@ -1,12 +1,29 @@
 //! Plan pretty-printing (`EXPLAIN`-style).
 
 use crate::plan::{BaseShape, Plan};
+use mdj_storage::StatsSnapshot;
 use std::fmt::Write;
 
 /// Render a plan as an indented tree.
 pub fn explain(plan: &Plan) -> String {
     let mut out = String::new();
     walk(plan, 0, &mut out);
+    out
+}
+
+/// Render a plan together with the operation counters collected while
+/// executing it (`EXPLAIN ANALYZE`-style). Parallel runs append one line per
+/// worker with its morsel/steal/merge counts.
+pub fn explain_with_stats(plan: &Plan, stats: &StatsSnapshot) -> String {
+    let mut out = explain(plan);
+    let _ = writeln!(
+        out,
+        "-- stats: scans={} tuples={} probes={} updates={}",
+        stats.scans, stats.tuples_scanned, stats.probes, stats.updates
+    );
+    for w in &stats.workers {
+        let _ = writeln!(out, "--   {w}");
+    }
     out
 }
 
@@ -77,6 +94,14 @@ fn walk(plan: &Plan, depth: usize, out: &mut String) {
             walk(base, depth + 1, out);
             walk(detail, depth + 1, out);
         }
+        Plan::Parallel { input, threads } => {
+            if *threads == 0 {
+                let _ = writeln!(out, "Parallel [morsel-driven, all cores]");
+            } else {
+                let _ = writeln!(out, "Parallel [morsel-driven, {threads} threads]");
+            }
+            walk(input, depth + 1, out);
+        }
         Plan::Join {
             left,
             right,
@@ -116,5 +141,55 @@ mod tests {
         assert!(s.contains("Select (R.state = 'NY')"));
         // Indentation present.
         assert!(s.lines().any(|l| l.starts_with("    ")));
+    }
+
+    #[test]
+    fn explain_renders_parallel_node() {
+        let plan = Plan::table("Sales")
+            .group_by_base(&["cust"])
+            .md_join(
+                Plan::table("Sales"),
+                vec![AggSpec::on_column("sum", "sale")],
+                eq(col_b("cust"), col_r("cust")),
+            )
+            .parallel(4);
+        let s = explain(&plan);
+        assert!(s.contains("Parallel [morsel-driven, 4 threads]"));
+        let all = explain(&Plan::table("Sales").parallel(0));
+        assert!(all.contains("all cores"));
+    }
+
+    #[test]
+    fn explain_with_stats_shows_worker_counters() {
+        use mdj_storage::{StatsSnapshot, WorkerStats};
+        let plan = Plan::table("Sales");
+        let snap = StatsSnapshot {
+            scans: 1,
+            tuples_scanned: 500,
+            probes: 500,
+            updates: 42,
+            workers: vec![
+                WorkerStats {
+                    worker: 0,
+                    morsels: 3,
+                    tuples: 300,
+                    updates: 30,
+                    steals: 1,
+                    merges: 1,
+                },
+                WorkerStats {
+                    worker: 1,
+                    morsels: 2,
+                    tuples: 200,
+                    updates: 12,
+                    steals: 0,
+                    merges: 0,
+                },
+            ],
+        };
+        let s = explain_with_stats(&plan, &snap);
+        assert!(s.contains("scans=1 tuples=500"));
+        assert!(s.contains("worker 0: morsels=3 tuples=300 updates=30 steals=1 merges=1"));
+        assert!(s.contains("worker 1:"));
     }
 }

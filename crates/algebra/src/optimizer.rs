@@ -17,12 +17,20 @@ use mdj_storage::Catalog;
 /// 1. Theorem 4.2 pushdown (detail-only conjuncts → σ on `R`).
 /// 2. Observation 4.1 (base range predicates copied to `R`).
 /// 3. Theorem 4.3 coalescing (chains → generalized MD-joins).
+/// 4. Theorem 4.1 parallelization (MD-joins → morsel-parallel [`Plan::Parallel`]
+///    nodes, kept only when the modeled work exceeds the per-thread startup
+///    charge — small plans stay serial).
 #[derive(Debug, Default)]
 pub struct Optimizer {
     /// Skip the coalescing phase (ablation knob for benches).
     pub disable_coalesce: bool,
     /// Skip the pushdown phases (ablation knob for benches).
     pub disable_pushdown: bool,
+    /// Skip the parallelization phase (ablation knob for benches).
+    pub disable_parallel: bool,
+    /// Worker threads used when costing/wrapping `Plan::Parallel` nodes.
+    /// `None` → all available cores.
+    pub parallel_threads: Option<usize>,
 }
 
 impl Optimizer {
@@ -53,8 +61,24 @@ impl Optimizer {
             let coalesced = coalesce_chains(best.clone());
             consider(coalesced, &mut best, &mut best_cost)?;
         }
+        if !self.disable_parallel {
+            let threads = self.parallel_threads.unwrap_or(0); // 0 → all cores
+            let parallelized = parallelize(best.clone(), threads);
+            consider(parallelized, &mut best, &mut best_cost)?;
+        }
         Ok(best)
     }
+}
+
+/// Wrap every MD-join node in a [`Plan::Parallel`] node so it runs on the
+/// morsel-driven executor. Generalized MD-joins stay serial (their single-scan
+/// evaluation is already the coalescing win). The caller cost-gates the
+/// result, so this is safe to apply unconditionally.
+fn parallelize(plan: Plan, threads: usize) -> Plan {
+    plan.transform_up(&|p| match p {
+        Plan::MdJoin { .. } => p.parallel(threads),
+        other => other,
+    })
 }
 
 /// One-shot convenience: default optimizer.
@@ -170,5 +194,59 @@ mod tests {
         let reg = Registry::standard();
         let plan = Plan::table("Sales");
         assert_eq!(optimize(plan.clone(), &cat, &reg).unwrap(), plan);
+    }
+
+    #[test]
+    fn small_md_joins_stay_serial() {
+        // 4-row catalog: the per-thread startup charge dwarfs the work, so
+        // the cost gate must reject the Parallel wrapping.
+        let cat = catalog();
+        let reg = Registry::standard();
+        let plan = Plan::table("Sales").group_by_base(&["cust"]).md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::on_column("avg", "sale")],
+            eq(col_b("cust"), col_r("cust")),
+        );
+        let optimized = optimize(plan, &cat, &reg).unwrap();
+        let mut parallel_nodes = 0;
+        optimized.visit(&mut |p| {
+            if matches!(p, Plan::Parallel { .. }) {
+                parallel_nodes += 1;
+            }
+        });
+        assert_eq!(parallel_nodes, 0);
+    }
+
+    #[test]
+    fn large_md_joins_get_parallelized() {
+        let schema = Schema::from_pairs(&[("cust", DataType::Int), ("sale", DataType::Float)]);
+        let rel = Relation::from_rows(
+            schema,
+            (0..50_000)
+                .map(|i| Row::from_values(vec![Value::Int(i % 64), Value::Float(i as f64)]))
+                .collect(),
+        );
+        let mut cat = Catalog::new();
+        cat.register("Big", rel);
+        let reg = Registry::standard();
+        let plan = Plan::table("Big").group_by_base(&["cust"]).md_join(
+            Plan::table("Big"),
+            vec![AggSpec::on_column("sum", "sale")],
+            eq(col_b("cust"), col_r("cust")),
+        );
+        let opt = Optimizer {
+            parallel_threads: Some(8),
+            ..Default::default()
+        };
+        let optimized = opt.optimize(plan.clone(), &cat, &reg).unwrap();
+        assert!(
+            matches!(optimized, Plan::Parallel { threads: 8, .. }),
+            "expected Parallel wrapping, got {optimized:?}"
+        );
+        // And the parallel plan computes the same answer.
+        let ctx = ExecContext::new();
+        let a = execute(&plan, &cat, &ctx).unwrap();
+        let b = execute(&optimized, &cat, &ctx).unwrap();
+        assert!(a.same_multiset(&b));
     }
 }

@@ -92,6 +92,11 @@ pub enum Plan {
         /// Right columns to append (by name); defaults to all non-key columns.
         keep_right: Vec<String>,
     },
+    /// Execute the wrapped MD-join with the morsel-driven parallel executor
+    /// (Theorem 4.1 intra-operator parallelism). `threads = 0` means "use all
+    /// available cores". Only meaningful around `MdJoin`; the optimizer
+    /// introduces it when the cost model expects a win.
+    Parallel { input: Box<Plan>, threads: usize },
 }
 
 impl Plan {
@@ -146,6 +151,14 @@ impl Plan {
         }
     }
 
+    /// Wrap in a [`Plan::Parallel`] node (`threads = 0` → all cores).
+    pub fn parallel(self, threads: usize) -> Plan {
+        Plan::Parallel {
+            input: Box::new(self),
+            threads,
+        }
+    }
+
     /// The schema this plan produces. Requires the catalog (for `Table`) and
     /// the aggregate registry (for MD-join output columns).
     pub fn schema(&self, catalog: &Catalog, registry: &Registry) -> Result<Schema> {
@@ -166,16 +179,13 @@ impl Plan {
                 Ok(s.project(&idx))
             }
             Plan::Union(parts) => {
-                let first = parts.first().ok_or_else(|| {
-                    AlgebraError::InvalidPlan("union of zero plans".into())
-                })?;
+                let first = parts
+                    .first()
+                    .ok_or_else(|| AlgebraError::InvalidPlan("union of zero plans".into()))?;
                 first.schema(catalog, registry)
             }
             Plan::MdJoin {
-                base,
-                detail,
-                aggs,
-                ..
+                base, detail, aggs, ..
             } => {
                 let b = base.schema(catalog, registry)?;
                 let r = detail.schema(catalog, registry)?;
@@ -209,6 +219,7 @@ impl Plan {
                 }
                 Ok(Schema::new(fields))
             }
+            Plan::Parallel { input, .. } => input.schema(catalog, registry),
         }
     }
 
@@ -217,10 +228,10 @@ impl Plan {
     pub fn appended_columns(&self) -> Vec<String> {
         match self {
             Plan::MdJoin { aggs, .. } => aggs.iter().map(|a| a.output_name()).collect(),
-            Plan::GenMdJoin { blocks, .. } => blocks
-                .iter()
-                .flat_map(|b| b.output_names())
-                .collect(),
+            Plan::GenMdJoin { blocks, .. } => {
+                blocks.iter().flat_map(|b| b.output_names()).collect()
+            }
+            Plan::Parallel { input, .. } => input.appended_columns(),
             _ => Vec::new(),
         }
     }
@@ -276,6 +287,10 @@ impl Plan {
                 right_keys,
                 keep_right,
             },
+            Plan::Parallel { input, threads } => Plan::Parallel {
+                input: Box::new(input.transform_up(f)),
+                threads,
+            },
             leaf => leaf,
         };
         f(rebuilt)
@@ -298,7 +313,8 @@ impl Plan {
         match self {
             Plan::Select { input, .. }
             | Plan::Project { input, .. }
-            | Plan::Base { input, .. } => input.visit(f),
+            | Plan::Base { input, .. }
+            | Plan::Parallel { input, .. } => input.visit(f),
             Plan::Union(parts) => parts.iter().for_each(|p| p.visit(f)),
             Plan::MdJoin { base, detail, .. } | Plan::GenMdJoin { base, detail, .. } => {
                 base.visit(f);
@@ -348,13 +364,11 @@ mod tests {
 
     #[test]
     fn schema_inference_through_md_join() {
-        let plan = Plan::table("Sales")
-            .group_by_base(&["cust"])
-            .md_join(
-                Plan::table("Sales"),
-                vec![AggSpec::on_column("avg", "sale")],
-                eq(col_b("cust"), col_r("cust")),
-            );
+        let plan = Plan::table("Sales").group_by_base(&["cust"]).md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::on_column("avg", "sale")],
+            eq(col_b("cust"), col_r("cust")),
+        );
         let s = plan.schema(&catalog(), &Registry::standard()).unwrap();
         assert_eq!(s.names(), vec!["cust", "avg_sale"]);
         assert_eq!(s.field(1).dtype, DataType::Float);

@@ -157,7 +157,10 @@ mod tests {
         let err = commute_md_joins(&plan);
         assert!(matches!(
             err,
-            Err(AlgebraError::RuleNotApplicable { rule: "commute", .. })
+            Err(AlgebraError::RuleNotApplicable {
+                rule: "commute",
+                ..
+            })
         ));
     }
 

@@ -82,10 +82,7 @@ pub fn partition_by_ranges(
             reason: "root is not an MD-join".into(),
         });
     };
-    let Some(pair) = equi_pairs(theta)
-        .into_iter()
-        .find(|p| p.base_col == column)
-    else {
+    let Some(pair) = equi_pairs(theta).into_iter().find(|p| p.base_col == column) else {
         return Err(AlgebraError::RuleNotApplicable {
             rule: "partition",
             reason: format!("θ `{theta}` does not equate B.{column} with a detail column"),
@@ -145,9 +142,7 @@ mod tests {
         let schema = Schema::from_pairs(&[("month", DataType::Int), ("sale", DataType::Int)]);
         let rel = Relation::from_rows(
             schema,
-            (0..48)
-                .map(|i| Row::from_values([i % 12 + 1, i]))
-                .collect(),
+            (0..48).map(|i| Row::from_values([i % 12 + 1, i])).collect(),
         );
         let mut c = Catalog::new();
         c.register("Sales", rel);
@@ -216,17 +211,8 @@ mod tests {
             vec![AggSpec::count_star()],
             mdj_expr::builder::gt(col_b("month"), col_r("month")),
         );
-        let err = partition_by_ranges(
-            &plan,
-            "month",
-            &[ValueRange::new(1i64, 12i64)],
-            &cat,
-            &ctx,
-        );
-        assert!(matches!(
-            err,
-            Err(AlgebraError::RuleNotApplicable { .. })
-        ));
+        let err = partition_by_ranges(&plan, "month", &[ValueRange::new(1i64, 12i64)], &cat, &ctx);
+        assert!(matches!(err, Err(AlgebraError::RuleNotApplicable { .. })));
     }
 
     #[test]

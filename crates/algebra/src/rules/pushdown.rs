@@ -72,8 +72,11 @@ pub fn pushdown_detail_selection(plan: Plan) -> Plan {
             let new_blocks: Vec<PlanBlock> = blocks
                 .into_iter()
                 .map(|b| {
-                    let kept =
-                        and_all(conjuncts(&b.theta).into_iter().filter(|c| !common.contains(c)));
+                    let kept = and_all(
+                        conjuncts(&b.theta)
+                            .into_iter()
+                            .filter(|c| !common.contains(c)),
+                    );
                     PlanBlock::new(b.aggs, kept)
                 })
                 .collect();

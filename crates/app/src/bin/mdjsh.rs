@@ -16,26 +16,25 @@
 //! mdj> \quit
 //! ```
 
+use mdj_core::prelude::*;
 use mdj_sql::SqlEngine;
-use mdj_storage::{csv, Catalog, DataType, Field, Relation, Schema};
+use mdj_storage::{csv, Catalog};
 use std::io::{BufRead, Write};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let rows: usize = args
-        .first()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(20_000);
+    let rows: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(20_000);
     let sales = mdj_datagen::sales(&mdj_datagen::SalesConfig::default().with_rows(rows));
-    let payments =
-        mdj_datagen::payments(&mdj_datagen::PaymentsConfig::default().with_rows(rows));
+    let payments = mdj_datagen::payments(&mdj_datagen::PaymentsConfig::default().with_rows(rows));
     let mut catalog = Catalog::new();
     catalog.register("Sales", sales);
     catalog.register("Payments", payments);
     let mut engine = SqlEngine::new(catalog);
 
     println!("mdjsh — MD-join SQL shell ({rows}-row Sales/Payments loaded)");
-    println!("Meta: \\tables  \\schema <t>  \\explain <query>  \\load <name> <csv> <schema>  \\quit");
+    println!(
+        "Meta: \\tables  \\schema <t>  \\explain <query>  \\load <name> <csv> <schema>  \\quit"
+    );
 
     let stdin = std::io::stdin();
     let mut line = String::new();

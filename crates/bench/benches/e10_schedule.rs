@@ -50,16 +50,20 @@ fn bench(c: &mut Criterion) {
 
     for k in [2usize, 4, 8, 16] {
         let independent = chain(k, false);
-        group.bench_with_input(BenchmarkId::new("schedule_only", k), &independent, |bch, p| {
-            bch.iter(|| coalesce_chains(p.clone()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("schedule_only", k),
+            &independent,
+            |bch, p| bch.iter(|| coalesce_chains(p.clone())),
+        );
         group.bench_with_input(BenchmarkId::new("exec_chain", k), &independent, |bch, p| {
             bch.iter(|| execute(p, &catalog, &ctx).unwrap())
         });
         let coalesced = coalesce_chains(independent.clone());
-        group.bench_with_input(BenchmarkId::new("exec_coalesced", k), &coalesced, |bch, p| {
-            bch.iter(|| execute(p, &catalog, &ctx).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("exec_coalesced", k),
+            &coalesced,
+            |bch, p| bch.iter(|| execute(p, &catalog, &ctx).unwrap()),
+        );
         let dependent = coalesce_chains(chain(k, true));
         group.bench_with_input(
             BenchmarkId::new("exec_coalesced_dependent", k),

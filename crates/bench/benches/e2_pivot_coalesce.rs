@@ -7,9 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mdj_agg::Registry;
-use mdj_bench::{bench_sales, ctx, tristate_blocks};
-use mdj_core::generalized::md_join_multi;
-use mdj_core::md_join;
+use mdj_bench::{bench_sales, ctx, multi_md_join, serial_md_join, tristate_blocks};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_pivot_coalesce");
@@ -23,17 +21,21 @@ fn bench(c: &mut Criterion) {
         let b = r.distinct_on(&["cust"]).unwrap();
         let blocks = tristate_blocks();
         group.bench_with_input(BenchmarkId::new("coalesced_1_scan", rows), &r, |bch, r| {
-            bch.iter(|| md_join_multi(&b, r, &blocks, &ctx).unwrap())
+            bch.iter(|| multi_md_join(&b, r, &blocks, &ctx).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("sequential_3_scans", rows), &r, |bch, r| {
-            bch.iter(|| {
-                let mut acc = b.clone();
-                for blk in &blocks {
-                    acc = md_join(&acc, r, &blk.aggs, &blk.theta, &ctx).unwrap();
-                }
-                acc
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sequential_3_scans", rows),
+            &r,
+            |bch, r| {
+                bch.iter(|| {
+                    let mut acc = b.clone();
+                    for blk in &blocks {
+                        acc = serial_md_join(&acc, r, &blk.aggs, &blk.theta, &ctx).unwrap();
+                    }
+                    acc
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("classical_hash", rows), &r, |bch, r| {
             bch.iter(|| mdj_naive::plans::example_2_2(r, &registry).unwrap())
         });

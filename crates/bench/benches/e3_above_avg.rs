@@ -7,9 +7,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mdj_agg::{AggSpec, Registry};
-use mdj_bench::{bench_sales, ctx};
+use mdj_bench::{bench_sales, ctx, serial_md_join};
 use mdj_core::basevalues::{cube, cube_match_theta, cuboid_theta};
-use mdj_core::{md_join, ExecContext};
+use mdj_core::ExecContext;
 use mdj_expr::builder::*;
 use mdj_storage::{Relation, Value};
 
@@ -25,7 +25,7 @@ fn optimized(r: &Relation, dims: &[&str; 3], ctx: &ExecContext) -> Relation {
             .map(|(_, d)| *d)
             .collect();
         let b = r.distinct_on(&kept).unwrap();
-        let avg = md_join(
+        let avg = serial_md_join(
             &b,
             r,
             &[AggSpec::on_column("avg", "sale")],
@@ -34,7 +34,7 @@ fn optimized(r: &Relation, dims: &[&str; 3], ctx: &ExecContext) -> Relation {
         )
         .unwrap();
         let theta2 = and(cuboid_theta(&kept), gt(col_r("sale"), col_b("avg_sale")));
-        let cnt = md_join(
+        let cnt = serial_md_join(
             &avg,
             r,
             &[AggSpec::count_star().with_alias("cnt")],
@@ -82,7 +82,7 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new("md_wildcard_unopt", rows), &r, |bch, r| {
                 bch.iter(|| {
                     let b = cube(r, &dims).unwrap();
-                    let step1 = md_join(
+                    let step1 = serial_md_join(
                         &b,
                         r,
                         &[AggSpec::on_column("avg", "sale")],
@@ -90,9 +90,11 @@ fn bench(c: &mut Criterion) {
                         &ctx,
                     )
                     .unwrap();
-                    let theta2 =
-                        and(cube_match_theta(&dims), gt(col_r("sale"), col_b("avg_sale")));
-                    md_join(
+                    let theta2 = and(
+                        cube_match_theta(&dims),
+                        gt(col_r("sale"), col_b("avg_sale")),
+                    );
+                    serial_md_join(
                         &step1,
                         r,
                         &[AggSpec::count_star().with_alias("cnt")],

@@ -8,8 +8,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mdj_agg::{AggSpec, Registry};
 use mdj_bench::{bench_sales, ctx};
-use mdj_core::generalized::{md_join_multi, Block};
-use mdj_core::md_join;
+use mdj_bench::{multi_md_join, serial_md_join};
+use mdj_core::Block;
 use mdj_expr::builder::*;
 use mdj_naive::ops::select;
 
@@ -30,24 +30,28 @@ fn bench(c: &mut Criterion) {
                 // X and Y coalesce into one scan (independent θs).
                 let xy = vec![
                     Block::new(
-                        and(eq(col_r("prod"), col_b("prod")),
-                            eq(col_r("month"), sub(col_b("month"), lit(1i64)))),
+                        and(
+                            eq(col_r("prod"), col_b("prod")),
+                            eq(col_r("month"), sub(col_b("month"), lit(1i64))),
+                        ),
                         vec![AggSpec::on_column("avg", "sale").with_alias("avg_x")],
                     ),
                     Block::new(
-                        and(eq(col_r("prod"), col_b("prod")),
-                            eq(col_r("month"), add(col_b("month"), lit(1i64)))),
+                        and(
+                            eq(col_r("prod"), col_b("prod")),
+                            eq(col_r("month"), add(col_b("month"), lit(1i64))),
+                        ),
                         vec![AggSpec::on_column("avg", "sale").with_alias("avg_y")],
                     ),
                 ];
-                let step1 = md_join_multi(&b, &r97, &xy, &ctx).unwrap();
+                let step1 = multi_md_join(&b, &r97, &xy, &ctx).unwrap();
                 let theta_z = and_all([
                     eq(col_r("prod"), col_b("prod")),
                     eq(col_r("month"), col_b("month")),
                     gt(col_r("sale"), col_b("avg_x")),
                     lt(col_r("sale"), col_b("avg_y")),
                 ]);
-                md_join(
+                serial_md_join(
                     &step1,
                     &r97,
                     &[AggSpec::count_star().with_alias("cnt")],
@@ -60,9 +64,13 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("classical_hash", rows), &r, |bch, r| {
             bch.iter(|| mdj_naive::plans::example_2_5(r, 1997, &registry).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("classical_sort_based", rows), &r, |bch, r| {
-            bch.iter(|| mdj_naive::plans::example_2_5_sort_based(r, 1997, &registry).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("classical_sort_based", rows),
+            &r,
+            |bch, r| {
+                bch.iter(|| mdj_naive::plans::example_2_5_sort_based(r, 1997, &registry).unwrap())
+            },
+        );
     }
     group.finish();
 }

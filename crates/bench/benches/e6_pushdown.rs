@@ -7,8 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mdj_agg::AggSpec;
+use mdj_bench::serial_md_join;
 use mdj_bench::{bench_sales, ctx};
-use mdj_core::md_join;
 use mdj_expr::builder::*;
 use mdj_storage::{Relation, SortedIndex, Value};
 use std::ops::Bound;
@@ -34,7 +34,7 @@ fn bench(c: &mut Criterion) {
         ]);
         let theta_residual = eq(col_r("prod"), col_b("prod"));
         group.bench_with_input(BenchmarkId::new("full_scan", label), &r, |bch, r| {
-            bch.iter(|| md_join(&b, r, &l, &theta_full, &ctx).unwrap())
+            bch.iter(|| serial_md_join(&b, r, &l, &theta_full, &ctx).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("pushed_sigma", label), &r, |bch, r| {
             bch.iter(|| {
@@ -43,7 +43,7 @@ fn bench(c: &mut Criterion) {
                     &and(ge(col_r("year"), lit(lo)), le(col_r("year"), lit(hi))),
                 )
                 .unwrap();
-                md_join(&b, &sigma, &l, &theta_residual, &ctx).unwrap()
+                serial_md_join(&b, &sigma, &l, &theta_residual, &ctx).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("clustered_index", label), &r, |bch, r| {
@@ -56,7 +56,7 @@ fn bench(c: &mut Criterion) {
                     r.schema().clone(),
                     ids.iter().map(|&i| r.rows()[i].clone()).collect(),
                 );
-                md_join(&b, &slice, &l, &theta_residual, &ctx).unwrap()
+                serial_md_join(&b, &slice, &l, &theta_residual, &ctx).unwrap()
             })
         });
     }

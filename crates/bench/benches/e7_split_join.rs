@@ -8,8 +8,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mdj_agg::AggSpec;
+use mdj_bench::serial_md_join;
 use mdj_bench::{bench_payments, bench_sales, ctx};
-use mdj_core::md_join;
 use mdj_expr::builder::*;
 use mdj_storage::Relation;
 
@@ -22,28 +22,33 @@ fn bench(c: &mut Criterion) {
     let sales = bench_sales(80_000, 1_000);
     let payments = bench_payments(80_000, 1_000);
     let b = sales.distinct_on(&["cust", "month"]).unwrap();
-    let theta = and(eq(col_r("cust"), col_b("cust")), eq(col_r("month"), col_b("month")));
+    let theta = and(
+        eq(col_r("cust"), col_b("cust")),
+        eq(col_r("month"), col_b("month")),
+    );
     let l_sales = [AggSpec::on_column("sum", "sale")];
     let l_pay = [AggSpec::on_column("sum", "amount")];
 
     group.bench_function("sequential_chain", |bch| {
         bch.iter(|| {
-            let s1 = md_join(&b, &sales, &l_sales, &theta, &ctx).unwrap();
-            md_join(&s1, &payments, &l_pay, &theta, &ctx).unwrap()
+            let s1 = serial_md_join(&b, &sales, &l_sales, &theta, &ctx).unwrap();
+            serial_md_join(&s1, &payments, &l_pay, &theta, &ctx).unwrap()
         })
     });
     group.bench_function("split_then_join", |bch| {
         bch.iter(|| {
-            let left = md_join(&b, &sales, &l_sales, &theta, &ctx).unwrap();
-            let right = md_join(&b, &payments, &l_pay, &theta, &ctx).unwrap();
+            let left = serial_md_join(&b, &sales, &l_sales, &theta, &ctx).unwrap();
+            let right = serial_md_join(&b, &payments, &l_pay, &theta, &ctx).unwrap();
             join_on_b(&left, &right)
         })
     });
     group.bench_function("split_two_sites_parallel", |bch| {
         bch.iter(|| {
             let (left, right) = crossbeam::thread::scope(|scope| {
-                let h1 = scope.spawn(|_| md_join(&b, &sales, &l_sales, &theta, &ctx).unwrap());
-                let h2 = scope.spawn(|_| md_join(&b, &payments, &l_pay, &theta, &ctx).unwrap());
+                let h1 =
+                    scope.spawn(|_| serial_md_join(&b, &sales, &l_sales, &theta, &ctx).unwrap());
+                let h2 =
+                    scope.spawn(|_| serial_md_join(&b, &payments, &l_pay, &theta, &ctx).unwrap());
                 (h1.join().unwrap(), h2.join().unwrap())
             })
             .unwrap();

@@ -8,7 +8,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mdj_agg::AggSpec;
 use mdj_bench::bench_sales;
-use mdj_core::{md_join, ExecContext, ProbeStrategy};
+use mdj_bench::serial_md_join;
+use mdj_core::{ExecContext, ProbeStrategy};
 use mdj_expr::builder::*;
 
 fn bench(c: &mut Criterion) {
@@ -18,7 +19,10 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     let r = bench_sales(10_000, 5_000);
     let l = [AggSpec::on_column("sum", "sale")];
-    let theta = and(eq(col_b("cust"), col_r("cust")), eq(col_b("month"), col_r("month")));
+    let theta = and(
+        eq(col_b("cust"), col_r("cust")),
+        eq(col_b("month"), col_r("month")),
+    );
     for b_rows in [16usize, 128, 1024] {
         let b_full = r.distinct_on(&["cust", "month"]).unwrap();
         let b = mdj_storage::Relation::from_rows(
@@ -28,10 +32,10 @@ fn bench(c: &mut Criterion) {
         let nl = ExecContext::new().with_strategy(ProbeStrategy::NestedLoop);
         let hp = ExecContext::new().with_strategy(ProbeStrategy::HashProbe);
         group.bench_with_input(BenchmarkId::new("nested_loop", b.len()), &b, |bch, b| {
-            bch.iter(|| md_join(b, &r, &l, &theta, &nl).unwrap())
+            bch.iter(|| serial_md_join(b, &r, &l, &theta, &nl).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("hash_probe", b.len()), &b, |bch, b| {
-            bch.iter(|| md_join(b, &r, &l, &theta, &hp).unwrap())
+            bch.iter(|| serial_md_join(b, &r, &l, &theta, &hp).unwrap())
         });
     }
     group.finish();

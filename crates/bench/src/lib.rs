@@ -5,8 +5,9 @@
 //! the data is identical across runs.
 
 use mdj_agg::AggSpec;
-use mdj_core::ExecContext;
+use mdj_core::{Block, ExecContext, ExecStrategy, MdJoin, Result};
 use mdj_datagen::{payments, sales, PaymentsConfig, SalesConfig};
+use mdj_expr::Expr;
 use mdj_storage::Relation;
 
 /// Standard Sales table for benches: seeded, mild product skew.
@@ -49,6 +50,67 @@ pub fn tristate_blocks() -> Vec<mdj_core::generalized::Block> {
             )
         })
         .collect()
+}
+
+/// Sales with Zipf-skewed customer ids, clustered (sorted) by customer — the
+/// adversarial layout for static chunk scheduling: a hot customer's rows sit
+/// in one contiguous run, so one-chunk-per-thread plans hand a single worker
+/// the whole hot slice when `skew ≥ 1`.
+pub fn bench_sales_zipf(rows: usize, customers: usize, products: usize, skew: f64) -> Relation {
+    use mdj_datagen::Zipf;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(20010404);
+    let cust_dist = Zipf::new(customers, skew);
+    let base = sales(
+        &SalesConfig::default()
+            .with_rows(rows)
+            .with_customers(customers)
+            .with_products(products)
+            .with_states(10)
+            .with_years(1994, 1999)
+            .with_seed(20010402),
+    );
+    let schema = base.schema().clone();
+    let cust_col = schema.index_of("cust").expect("sales schema has cust");
+    let rows: Vec<mdj_storage::Row> = base
+        .into_rows()
+        .into_iter()
+        .map(|row| {
+            let mut vals = row.into_values();
+            vals[cust_col] = mdj_storage::Value::Int(cust_dist.sample(&mut rng) as i64);
+            mdj_storage::Row::new(vals)
+        })
+        .collect();
+    let mut rel = Relation::from_rows(schema, rows);
+    rel.sort_by(&["cust"]).expect("cust column exists");
+    rel
+}
+
+/// Serial MD-join through the [`MdJoin`] builder with the classic
+/// free-function signature the bench files were written against.
+pub fn serial_md_join(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    MdJoin::new(b, r)
+        .aggs(l)
+        .theta(theta.clone())
+        .strategy(ExecStrategy::Serial)
+        .run(ctx)
+}
+
+/// Generalized (multi-θ) MD-join through the builder.
+pub fn multi_md_join(
+    b: &Relation,
+    r: &Relation,
+    blocks: &[Block],
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    MdJoin::new(b, r).blocks(blocks.iter().cloned()).run(ctx)
 }
 
 /// Default context (auto probing, no stats).

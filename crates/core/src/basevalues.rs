@@ -64,10 +64,7 @@ pub fn cube(r: &Relation, dims: &[&str]) -> Result<Relation> {
 /// `(d₁..d_n), (d₁..d_{n-1}), …, ()`.
 pub fn rollup(r: &Relation, dims: &[&str]) -> Result<Relation> {
     let n = dims.len();
-    let keep: Vec<u32> = (0..=n)
-        .rev()
-        .map(|k| ((1u64 << k) - 1) as u32)
-        .collect();
+    let keep: Vec<u32> = (0..=n).rev().map(|k| ((1u64 << k) - 1) as u32).collect();
     materialize_sets(r, dims, &keep)
 }
 
@@ -117,12 +114,10 @@ pub fn unpivot(r: &Relation, dims: &[&str]) -> Result<Relation> {
 /// `ALL` in \[GBLP96\]. (The optimized cube algorithms in `mdj-cube` avoid this
 /// OR-form by partitioning per cuboid, per Theorem 4.1.)
 pub fn cube_match_theta(dims: &[&str]) -> Expr {
-    and_all(dims.iter().map(|d| {
-        or(
-            eq(col_b(*d), lit(Value::All)),
-            eq(col_b(*d), col_r(*d)),
-        )
-    }))
+    and_all(
+        dims.iter()
+            .map(|d| or(eq(col_b(*d), lit(Value::All)), eq(col_b(*d), col_r(*d)))),
+    )
 }
 
 /// θ for one specific cuboid (the kept dimensions get equality tests; rolled
@@ -181,9 +176,7 @@ mod tests {
         let b = cube(&rel(), &["prod", "month", "state"]).unwrap();
         assert_eq!(b.len(), 18);
         // Apex row present.
-        assert!(b
-            .iter()
-            .any(|r| r.values().iter().all(|v| v.is_all())));
+        assert!(b.iter().any(|r| r.values().iter().all(|v| v.is_all())));
         // No duplicates.
         let uniq: HashSet<_> = b.iter().cloned().collect();
         assert_eq!(uniq.len(), b.len());
@@ -201,9 +194,7 @@ mod tests {
         let b = rollup(&rel(), &["prod", "month"]).unwrap();
         // (p,m): 3; (p,ALL): 2; (ALL,ALL): 1 → 6; no (ALL,m) rows.
         assert_eq!(b.len(), 6);
-        assert!(!b
-            .iter()
-            .any(|r| r[0].is_all() && !r[1].is_all()));
+        assert!(!b.iter().any(|r| r[0].is_all() && !r[1].is_all()));
     }
 
     #[test]
@@ -225,8 +216,7 @@ mod tests {
     #[test]
     fn unpivot_equals_singleton_grouping_sets() {
         let a = unpivot(&rel(), &["prod", "month"]).unwrap();
-        let b = grouping_sets(&rel(), &["prod", "month"], &[vec!["prod"], vec!["month"]])
-            .unwrap();
+        let b = grouping_sets(&rel(), &["prod", "month"], &[vec!["prod"], vec!["month"]]).unwrap();
         assert!(a.same_multiset(&b));
     }
 
@@ -245,11 +235,11 @@ mod tests {
     #[test]
     fn cube_match_theta_semantics() {
         use crate::context::ExecContext;
-        use crate::mdjoin::md_join;
+        use crate::mdjoin::md_join_serial;
         use mdj_agg::AggSpec;
         let r = rel();
         let b = cube(&r, &["prod", "month"]).unwrap();
-        let out = md_join(
+        let out = md_join_serial(
             &b,
             &r,
             &[AggSpec::on_column("sum", "sale")],
@@ -299,9 +289,9 @@ mod tests {
         let schema = Schema::from_pairs(&[("prod", DataType::Int), ("month", DataType::Int)]);
         let b = mdj_storage::csv::read_str(csv, &schema).unwrap();
         use crate::context::ExecContext;
-        use crate::mdjoin::md_join;
+        use crate::mdjoin::md_join_serial;
         use mdj_agg::AggSpec;
-        let out = md_join(
+        let out = md_join_serial(
             &b,
             &rel(),
             &[AggSpec::on_column("sum", "sale")],

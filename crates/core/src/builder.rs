@@ -1,0 +1,451 @@
+//! The `MdJoin` builder — the single entrypoint for every evaluation mode.
+//!
+//! All of the crate's evaluators (serial Algorithm 3.1, the Theorem 4.1
+//! partitioned and statically-chunked parallel plans, the morsel-driven
+//! work-stealing executor, and the generalized multi-θ MD-join of Section
+//! 4.3) are reachable from one fluent surface:
+//!
+//! ```
+//! use mdj_core::prelude::*;
+//! use mdj_expr::builder::*;
+//! use mdj_storage::{Relation, Row, Schema, DataType, Value};
+//!
+//! let sales = Relation::from_rows(
+//!     Schema::from_pairs(&[("cust", DataType::Int), ("sale", DataType::Float)]),
+//!     vec![Row::new(vec![Value::Int(1), Value::Float(10.0)]),
+//!          Row::new(vec![Value::Int(1), Value::Float(30.0)])],
+//! );
+//! let b = sales.distinct_on(&["cust"]).unwrap();
+//! let out = MdJoin::new(&b, &sales)
+//!     .theta(eq(col_b("cust"), col_r("cust")))
+//!     .agg("avg(sale)")
+//!     .unwrap()
+//!     .run(&ExecContext::new())
+//!     .unwrap();
+//! assert_eq!(out.rows()[0][1], Value::Float(20.0));
+//! ```
+//!
+//! The free functions (`md_join`, `md_join_parallel`, …) remain as deprecated
+//! shims over the same internals for one release.
+
+use crate::context::ExecContext;
+use crate::error::{CoreError, Result};
+use crate::generalized::{multi, Block};
+use crate::mdjoin::md_join_serial;
+use crate::morsel::{md_join_morsel, MorselSide};
+use crate::parallel::{chunk_base, chunk_detail};
+use crate::partitioned::partitioned;
+use mdj_agg::AggSpec;
+use mdj_expr::Expr;
+use mdj_storage::{Relation, Schema};
+
+/// Which evaluation plan [`MdJoin::run`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecStrategy {
+    /// Pick a plan from the input sizes: serial for small inputs or a single
+    /// thread, otherwise the morsel executor with an auto-chosen side.
+    #[default]
+    Auto,
+    /// Single-threaded Algorithm 3.1.
+    Serial,
+    /// Theorem 4.1 memory-bounded plan: `B` in `partitions` sequential
+    /// chunks, one scan of `R` per chunk.
+    Partitioned { partitions: usize },
+    /// Static parallel plan: `B` pre-split into one chunk per thread, each
+    /// worker scanning all of `R` (the paper's Section 4.1.2 plan).
+    ChunkBase,
+    /// Static parallel plan over `R`: one chunk per thread, per-worker
+    /// full-`B` states merged at the end.
+    ChunkDetail,
+    /// Morsel-driven work-stealing executor, side chosen from cardinalities.
+    Morsel,
+    /// Morsel executor over `B` (memory-bounded; `R` re-scanned per morsel).
+    MorselBase,
+    /// Morsel executor over `R` (one logical scan; partial-state merge).
+    MorselDetail,
+}
+
+/// Builder for `MD(B, R, l, θ)` over borrowed inputs. See the module docs
+/// for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct MdJoin<'a> {
+    b: &'a Relation,
+    r: &'a Relation,
+    theta: Option<Expr>,
+    aggs: Vec<AggSpec>,
+    blocks: Vec<Block>,
+    strategy: ExecStrategy,
+    threads: Option<usize>,
+}
+
+impl<'a> MdJoin<'a> {
+    /// Start a builder joining detail `r` onto base-values `b`.
+    pub fn new(b: &'a Relation, r: &'a Relation) -> Self {
+        MdJoin {
+            b,
+            r,
+            theta: None,
+            aggs: Vec::new(),
+            blocks: Vec::new(),
+            strategy: ExecStrategy::default(),
+            threads: None,
+        }
+    }
+
+    /// Set the θ-condition for the leading aggregate list.
+    pub fn theta(mut self, theta: Expr) -> Self {
+        self.theta = Some(theta);
+        self
+    }
+
+    /// Append aggregates to the leading list.
+    pub fn aggs(mut self, l: &[AggSpec]) -> Self {
+        self.aggs.extend_from_slice(l);
+        self
+    }
+
+    /// Append one aggregate from a spec string (`"sum(sale)"`,
+    /// `"avg(sale) as a"`, `"count(*)"`).
+    pub fn agg(mut self, spec: &str) -> Result<Self> {
+        self.aggs.push(AggSpec::parse(spec)?);
+        Ok(self)
+    }
+
+    /// Append an already-built [`AggSpec`].
+    pub fn agg_spec(mut self, spec: AggSpec) -> Self {
+        self.aggs.push(spec);
+        self
+    }
+
+    /// Append a further (θ, l) block, turning the join into the generalized
+    /// `MD(B, R, (l₁..l_k), (θ₁..θ_k))` of Section 4.3 (single scan of `R`).
+    pub fn block(mut self, theta: Expr, aggs: Vec<AggSpec>) -> Self {
+        self.blocks.push(Block::new(theta, aggs));
+        self
+    }
+
+    /// Append several pre-built blocks.
+    pub fn blocks(mut self, blocks: impl IntoIterator<Item = Block>) -> Self {
+        self.blocks.extend(blocks);
+        self
+    }
+
+    /// Choose the evaluation plan (default: [`ExecStrategy::Auto`]).
+    pub fn strategy(mut self, strategy: ExecStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Worker count for the parallel strategies. Defaults to the machine's
+    /// available parallelism; ignored by `Serial` / `Partitioned`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Assemble the effective block list: the leading (θ, l) pair, if set,
+    /// followed by any explicitly added blocks.
+    fn effective_blocks(&self) -> Result<Vec<Block>> {
+        let mut blocks = Vec::with_capacity(self.blocks.len() + 1);
+        match (&self.theta, self.aggs.is_empty()) {
+            (Some(theta), _) => blocks.push(Block::new(theta.clone(), self.aggs.clone())),
+            (None, false) => {
+                return Err(CoreError::BadConfig(
+                    "aggregates were added but no θ-condition was set".into(),
+                ));
+            }
+            (None, true) => {}
+        }
+        blocks.extend(self.blocks.iter().cloned());
+        if blocks.is_empty() {
+            return Err(CoreError::BadConfig(
+                "MD-join needs a θ-condition (or at least one block)".into(),
+            ));
+        }
+        Ok(blocks)
+    }
+
+    fn resolve_threads(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+
+    /// The output schema [`run`](Self::run) will produce.
+    pub fn output_schema(&self, ctx: &ExecContext) -> Result<Schema> {
+        let blocks = self.effective_blocks()?;
+        crate::generalized::multi_output_schema(
+            self.b.schema(),
+            self.r.schema(),
+            &blocks,
+            &ctx.registry,
+        )
+    }
+
+    /// Evaluate the join.
+    pub fn run(&self, ctx: &ExecContext) -> Result<Relation> {
+        let mut blocks = self.effective_blocks()?;
+        if blocks.len() > 1 {
+            // Generalized multi-θ evaluation is single-scan by construction;
+            // only the serial plan implements it.
+            if !matches!(self.strategy, ExecStrategy::Auto | ExecStrategy::Serial) {
+                return Err(CoreError::BadConfig(format!(
+                    "strategy {:?} does not support multi-block (generalized) MD-joins",
+                    self.strategy
+                )));
+            }
+            return multi(self.b, self.r, &blocks, ctx);
+        }
+        let Block { theta, aggs } = blocks.pop().expect("exactly one block");
+        match self.strategy {
+            ExecStrategy::Serial => md_join_serial(self.b, self.r, &aggs, &theta, ctx),
+            ExecStrategy::Partitioned { partitions } => {
+                partitioned(self.b, self.r, &aggs, &theta, partitions, ctx)
+            }
+            ExecStrategy::ChunkBase => {
+                chunk_base(self.b, self.r, &aggs, &theta, self.resolve_threads(), ctx)
+            }
+            ExecStrategy::ChunkDetail => {
+                chunk_detail(self.b, self.r, &aggs, &theta, self.resolve_threads(), ctx)
+            }
+            ExecStrategy::Morsel => md_join_morsel(
+                self.b,
+                self.r,
+                &aggs,
+                &theta,
+                self.resolve_threads(),
+                MorselSide::Auto,
+                ctx,
+            ),
+            ExecStrategy::MorselBase => md_join_morsel(
+                self.b,
+                self.r,
+                &aggs,
+                &theta,
+                self.resolve_threads(),
+                MorselSide::Base,
+                ctx,
+            ),
+            ExecStrategy::MorselDetail => md_join_morsel(
+                self.b,
+                self.r,
+                &aggs,
+                &theta,
+                self.resolve_threads(),
+                MorselSide::Detail,
+                ctx,
+            ),
+            ExecStrategy::Auto => {
+                let threads = self.resolve_threads();
+                // A parallel run only pays off once the split side spans
+                // several morsels; below that, scheduling overhead dominates.
+                let splittable = self.b.len().max(self.r.len());
+                if threads <= 1 || splittable <= ctx.morsel_size {
+                    md_join_serial(self.b, self.r, &aggs, &theta, ctx)
+                } else {
+                    md_join_morsel(
+                        self.b,
+                        self.r,
+                        &aggs,
+                        &theta,
+                        threads,
+                        MorselSide::Auto,
+                        ctx,
+                    )
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdj_expr::builder::*;
+    use mdj_storage::{DataType, Row, Schema, Value};
+
+    fn sales(n: i64) -> Relation {
+        let schema = Schema::from_pairs(&[
+            ("cust", DataType::Int),
+            ("state", DataType::Str),
+            ("sale", DataType::Int),
+        ]);
+        Relation::from_rows(
+            schema,
+            (0..n)
+                .map(|i| {
+                    Row::from_values(vec![
+                        Value::Int(i % 11),
+                        Value::str(if i % 3 == 0 { "NY" } else { "NJ" }),
+                        Value::Int(i),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn builder_api_schema() {
+        let s = sales(50);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let join = MdJoin::new(&b, &s)
+            .theta(eq(col_b("cust"), col_r("cust")))
+            .agg("sum(sale) as total")
+            .unwrap()
+            .agg("count(*)")
+            .unwrap();
+        let out = join.run(&ExecContext::new()).unwrap();
+        assert_eq!(out.schema().names(), vec!["cust", "total", "count_star"]);
+        assert_eq!(
+            join.output_schema(&ExecContext::new()).unwrap(),
+            *out.schema()
+        );
+    }
+
+    #[test]
+    fn every_strategy_matches_serial() {
+        let s = sales(500);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let l = [
+            AggSpec::on_column("sum", "sale"),
+            AggSpec::on_column("avg", "sale"),
+            AggSpec::count_star(),
+        ];
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let mk = || MdJoin::new(&b, &s).theta(theta.clone()).aggs(&l).threads(4);
+        let serial = mk()
+            .strategy(ExecStrategy::Serial)
+            .run(&ExecContext::new())
+            .unwrap();
+        let strategies = [
+            ExecStrategy::Auto,
+            ExecStrategy::Partitioned { partitions: 3 },
+            ExecStrategy::ChunkBase,
+            ExecStrategy::ChunkDetail,
+            ExecStrategy::Morsel,
+            ExecStrategy::MorselBase,
+            ExecStrategy::MorselDetail,
+        ];
+        let ctx = ExecContext::new().with_morsel_size(32);
+        for strategy in strategies {
+            let out = mk().strategy(strategy).run(&ctx).unwrap();
+            assert!(serial.same_multiset(&out), "strategy {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn multi_block_pivot() {
+        let s = sales(60);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let block = |state: &str| {
+            (
+                and(
+                    eq(col_b("cust"), col_r("cust")),
+                    eq(col_r("state"), lit(state)),
+                ),
+                vec![AggSpec::on_column("sum", "sale")
+                    .with_alias(format!("sum_{}", state.to_lowercase()))],
+            )
+        };
+        let (t1, l1) = block("NY");
+        let (t2, l2) = block("NJ");
+        let out = MdJoin::new(&b, &s)
+            .theta(t1)
+            .aggs(&l1)
+            .block(t2, l2)
+            .run(&ExecContext::new())
+            .unwrap();
+        assert_eq!(out.schema().names(), vec!["cust", "sum_ny", "sum_nj"]);
+        assert_eq!(out.len(), b.len());
+    }
+
+    #[test]
+    fn multi_block_rejects_parallel_strategies() {
+        let s = sales(30);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let err = MdJoin::new(&b, &s)
+            .theta(theta.clone())
+            .agg("sum(sale)")
+            .unwrap()
+            .block(theta, vec![AggSpec::count_star()])
+            .strategy(ExecStrategy::Morsel)
+            .run(&ExecContext::new());
+        assert!(matches!(err, Err(CoreError::BadConfig(_))));
+    }
+
+    #[test]
+    fn misconfigurations_rejected() {
+        let s = sales(10);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        // No θ at all.
+        let err = MdJoin::new(&b, &s).run(&ExecContext::new());
+        assert!(matches!(err, Err(CoreError::BadConfig(_))));
+        // Aggregates without a θ.
+        let err = MdJoin::new(&b, &s)
+            .agg("count(*)")
+            .unwrap()
+            .run(&ExecContext::new());
+        assert!(matches!(err, Err(CoreError::BadConfig(_))));
+        // Zero threads / zero partitions.
+        let theta = eq(col_b("cust"), col_r("cust"));
+        for strategy in [
+            ExecStrategy::ChunkBase,
+            ExecStrategy::ChunkDetail,
+            ExecStrategy::Morsel,
+        ] {
+            let err = MdJoin::new(&b, &s)
+                .theta(theta.clone())
+                .agg("count(*)")
+                .unwrap()
+                .strategy(strategy)
+                .threads(0)
+                .run(&ExecContext::new());
+            assert!(matches!(err, Err(CoreError::BadConfig(_))), "{strategy:?}");
+        }
+        let err = MdJoin::new(&b, &s)
+            .theta(theta)
+            .agg("count(*)")
+            .unwrap()
+            .strategy(ExecStrategy::Partitioned { partitions: 0 })
+            .run(&ExecContext::new());
+        assert!(matches!(err, Err(CoreError::BadConfig(_))));
+    }
+
+    #[test]
+    fn auto_uses_serial_for_tiny_inputs_and_parallel_for_large() {
+        use mdj_storage::ScanStats;
+        use std::sync::Arc;
+        let theta = eq(col_b("cust"), col_r("cust"));
+        // Tiny: no worker stats recorded (serial path).
+        let s = sales(20);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let stats = Arc::new(ScanStats::new());
+        MdJoin::new(&b, &s)
+            .theta(theta.clone())
+            .agg("count(*)")
+            .unwrap()
+            .threads(4)
+            .run(&ExecContext::new().with_stats(stats.clone()))
+            .unwrap();
+        assert!(stats.workers().is_empty());
+        // Large: the morsel executor reports its workers.
+        let s = sales(2000);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let stats = Arc::new(ScanStats::new());
+        MdJoin::new(&b, &s)
+            .theta(theta)
+            .agg("count(*)")
+            .unwrap()
+            .threads(4)
+            .run(
+                &ExecContext::new()
+                    .with_morsel_size(128)
+                    .with_stats(stats.clone()),
+            )
+            .unwrap();
+        assert_eq!(stats.workers().len(), 4);
+    }
+}

@@ -32,7 +32,14 @@ pub struct ExecContext {
     pub prefilter: bool,
     /// When set, operators record scans/tuples/probes/updates here.
     pub stats: Option<std::sync::Arc<ScanStats>>,
+    /// Rows per work unit for the morsel-driven parallel executor. Small
+    /// enough that stealing rebalances skew, large enough to amortize queue
+    /// traffic.
+    pub morsel_size: usize,
 }
+
+/// Default morsel granularity (rows per task) for the parallel executor.
+pub const DEFAULT_MORSEL_SIZE: usize = 4096;
 
 impl Default for ExecContext {
     fn default() -> Self {
@@ -41,6 +48,7 @@ impl Default for ExecContext {
             strategy: ProbeStrategy::default(),
             prefilter: true,
             stats: None,
+            morsel_size: DEFAULT_MORSEL_SIZE,
         }
     }
 }
@@ -71,6 +79,12 @@ impl ExecContext {
         self
     }
 
+    /// Set the morsel granularity (rows per task) for the parallel executor.
+    pub fn with_morsel_size(mut self, rows: usize) -> Self {
+        self.morsel_size = rows;
+        self
+    }
+
     pub(crate) fn record_scan(&self, tuples: u64) {
         if let Some(s) = &self.stats {
             s.record_scan();
@@ -87,6 +101,12 @@ impl ExecContext {
     pub(crate) fn record_updates(&self, n: u64) {
         if let Some(s) = &self.stats {
             s.record_updates(n);
+        }
+    }
+
+    pub(crate) fn record_worker(&self, worker: mdj_storage::WorkerStats) {
+        if let Some(s) = &self.stats {
+            s.record_worker(worker);
         }
     }
 }

@@ -29,11 +29,32 @@ impl Block {
     }
 }
 
+/// The output schema of the generalized MD-join: `B`'s columns, then block
+/// 1's aggregate columns, then block 2's, etc. Fails on colliding names.
+pub(crate) fn multi_output_schema(
+    b_schema: &Schema,
+    r_schema: &Schema,
+    blocks: &[Block],
+    registry: &mdj_agg::Registry,
+) -> Result<Schema> {
+    let mut fields = b_schema.fields().to_vec();
+    for blk in blocks {
+        let bound = bind_aggs(&blk.aggs, r_schema, registry)?;
+        for ba in bound {
+            if fields.iter().any(|f| f.name == ba.output.name) {
+                return Err(CoreError::DuplicateColumn(ba.output.name));
+            }
+            fields.push(ba.output);
+        }
+    }
+    Ok(Schema::new(fields))
+}
+
 /// Evaluate a generalized MD-join in one scan of `R`.
 ///
 /// Output schema: `B`'s columns, then block 1's aggregate columns, then
 /// block 2's, etc. Blocks may not produce colliding column names.
-pub fn md_join_multi(
+pub(crate) fn multi(
     b: &Relation,
     r: &Relation,
     blocks: &[Block],
@@ -53,12 +74,7 @@ pub fn md_join_multi(
     }
     // Collision check across B and all blocks.
     {
-        let mut names: Vec<String> = b
-            .schema()
-            .fields()
-            .iter()
-            .map(|f| f.name.clone())
-            .collect();
+        let mut names: Vec<String> = b.schema().fields().iter().map(|f| f.name.clone()).collect();
         for (_, bound) in &bound_blocks {
             for ba in bound {
                 if names.iter().any(|n| n == &ba.output.name) {
@@ -118,10 +134,24 @@ pub fn md_join_multi(
     Ok(out)
 }
 
+/// Evaluate a generalized MD-join in one scan of `R`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `MdJoin` builder: `MdJoin::new(b, r).block(θ₁, l₁).block(θ₂, l₂).run(ctx)`"
+)]
+pub fn md_join_multi(
+    b: &Relation,
+    r: &Relation,
+    blocks: &[Block],
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    multi(b, r, blocks, ctx)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mdjoin::md_join;
+    use crate::mdjoin::md_join_serial;
     use mdj_expr::builder::*;
     use mdj_storage::DataType;
 
@@ -159,7 +189,7 @@ mod tests {
         // The paper's pivot query: per customer, avg sale in NY, NJ, CT.
         let s = sales();
         let b = s.distinct_on(&["cust"]).unwrap();
-        let out = md_join_multi(
+        let out = multi(
             &b,
             &s,
             &[state_block("NY"), state_block("NJ"), state_block("CT")],
@@ -184,7 +214,7 @@ mod tests {
     fn multi_equals_sequence_of_single_md_joins() {
         let s = sales();
         let b = s.distinct_on(&["cust"]).unwrap();
-        let multi = md_join_multi(
+        let multi = multi(
             &b,
             &s,
             &[state_block("NY"), state_block("NJ")],
@@ -192,7 +222,7 @@ mod tests {
         )
         .unwrap();
         // Sequential: B → MD(NY) → MD(NJ).
-        let step1 = md_join(
+        let step1 = md_join_serial(
             &b,
             &s,
             &state_block("NY").aggs,
@@ -200,7 +230,7 @@ mod tests {
             &ExecContext::new(),
         )
         .unwrap();
-        let step2 = md_join(
+        let step2 = md_join_serial(
             &step1,
             &s,
             &state_block("NJ").aggs,
@@ -219,7 +249,7 @@ mod tests {
         let b = s.distinct_on(&["cust"]).unwrap();
         let stats = Arc::new(ScanStats::new());
         let ctx = ExecContext::new().with_stats(stats.clone());
-        md_join_multi(
+        multi(
             &b,
             &s,
             &[state_block("NY"), state_block("NJ"), state_block("CT")],
@@ -238,7 +268,7 @@ mod tests {
             eq(col_b("cust"), col_r("cust")),
             vec![AggSpec::on_column("sum", "sale")],
         );
-        let err = md_join_multi(&b, &s, &[blk.clone(), blk], &ExecContext::new());
+        let err = multi(&b, &s, &[blk.clone(), blk], &ExecContext::new());
         assert!(matches!(err, Err(CoreError::DuplicateColumn(_))));
     }
 
@@ -247,7 +277,7 @@ mod tests {
         let s = sales();
         let b = s.distinct_on(&["cust"]).unwrap();
         assert!(matches!(
-            md_join_multi(&b, &s, &[], &ExecContext::new()),
+            multi(&b, &s, &[], &ExecContext::new()),
             Err(CoreError::BadConfig(_))
         ));
     }

@@ -7,31 +7,104 @@
 //! tuple carrying `b`'s attributes plus, for each aggregate `fᵢ(cᵢ)` in `l`,
 //! the aggregate of `cᵢ` over `RNG(b, R, θ) = { r ∈ R | θ(b, r) }`.
 //!
-//! This crate provides:
+//! ## Quick start — the `MdJoin` builder
 //!
-//! * [`md_join`] — Algorithm 3.1: scan `R` once, probe `B` per tuple, update
+//! Every evaluation mode is reachable through one entrypoint,
+//! [`MdJoin`](builder::MdJoin):
+//!
+//! ```
+//! use mdj_core::prelude::*;
+//! use mdj_expr::builder::*;
+//! use mdj_storage::{Relation, Row, Schema, DataType, Value};
+//!
+//! let sales = Relation::from_rows(
+//!     Schema::from_pairs(&[("cust", DataType::Int), ("sale", DataType::Float)]),
+//!     vec![Row::new(vec![Value::Int(1), Value::Float(10.0)]),
+//!          Row::new(vec![Value::Int(1), Value::Float(30.0)])],
+//! );
+//! let b = sales.distinct_on(&["cust"]).unwrap();
+//! let out = MdJoin::new(&b, &sales)
+//!     .theta(eq(col_b("cust"), col_r("cust")))   // θ: which detail rows feed each base row
+//!     .agg("avg(sale)").unwrap()                  // l: the aggregate list
+//!     .strategy(ExecStrategy::Auto)               // serial / partitioned / morsel-parallel
+//!     .run(&ExecContext::new())
+//!     .unwrap();
+//! assert_eq!(out.rows()[0][1], Value::Float(20.0));
+//! ```
+//!
+//! [`ExecStrategy`] selects the plan: [`ExecStrategy::Serial`] is Algorithm
+//! 3.1; [`ExecStrategy::Partitioned`] is the Theorem 4.1 memory-bounded
+//! multi-scan plan; [`ExecStrategy::ChunkBase`] / [`ExecStrategy::ChunkDetail`]
+//! are the static one-chunk-per-thread parallel plans; and
+//! [`ExecStrategy::Morsel`] (plus its `MorselBase` / `MorselDetail` forcings)
+//! is the work-stealing morsel executor in [`morsel`]. Multi-θ generalized
+//! MD-joins (Section 4.3) are expressed by adding
+//! [`block`](builder::MdJoin::block)s.
+//!
+//! ## Migrating from the deprecated free functions
+//!
+//! | Deprecated free function          | Builder equivalent                                           |
+//! |-----------------------------------|--------------------------------------------------------------|
+//! | `md_join(b, r, l, θ, ctx)`        | `MdJoin::new(b, r).aggs(l).theta(θ).strategy(ExecStrategy::Serial).run(ctx)` |
+//! | `md_join_partitioned(b, r, l, θ, m, ctx)` | `….strategy(ExecStrategy::Partitioned { partitions: m }).run(ctx)` |
+//! | `md_join_parallel(b, r, l, θ, t, ctx)` | `….strategy(ExecStrategy::ChunkBase).threads(t).run(ctx)` |
+//! | `md_join_parallel_detail(b, r, l, θ, t, ctx)` | `….strategy(ExecStrategy::ChunkDetail).threads(t).run(ctx)` |
+//! | `md_join_multi(b, r, blocks, ctx)` | `MdJoin::new(b, r).blocks(blocks).run(ctx)` |
+//!
+//! ## Modules
+//!
+//! * [`mdjoin`] — Algorithm 3.1: scan `R` once, probe `B` per tuple, update
 //!   aggregate state; output cardinality equals `|B|` (outer-join semantics).
-//! * [`generalized::md_join_multi`] — the *generalized* MD-join of Section
-//!   4.3, `MD(B, R, (l₁..l_k), (θ₁..θ_k))`, evaluating a coalesced series of
+//! * [`morsel`] — the morsel-driven work-stealing parallel executor.
+//! * [`generalized`] — the *generalized* MD-join of Section 4.3,
+//!   `MD(B, R, (l₁..l_k), (θ₁..θ_k))`, evaluating a coalesced series of
 //!   MD-joins in a single scan.
 //! * [`probe`] — Section 4.5 index selection: θ is analyzed for
 //!   `B.col = f(R-row)` bindings and a hash index on `B` replaces the inner
 //!   nested loop with a `Rel(t)` lookup.
 //! * [`partitioned`] / [`parallel`] — Theorem 4.1 evaluation plans:
-//!   memory-bounded multi-scan evaluation and intra-operator parallelism.
+//!   memory-bounded multi-scan evaluation and static intra-operator
+//!   parallelism.
 //! * [`basevalues`] — builders for every base-table shape in Section 2:
 //!   group-by distinct, cube-by with `ALL`, roll-up, grouping sets, unpivot
 //!   marginals, and externally supplied tables (Example 2.4).
 
 pub mod basevalues;
+pub mod builder;
 pub mod context;
 pub mod error;
 pub mod generalized;
 pub mod mdjoin;
+pub mod morsel;
 pub mod parallel;
 pub mod partitioned;
 pub mod probe;
 
-pub use context::{ExecContext, ProbeStrategy};
+pub use builder::{ExecStrategy, MdJoin};
+pub use context::{ExecContext, ProbeStrategy, DEFAULT_MORSEL_SIZE};
 pub use error::{CoreError, Result};
-pub use mdjoin::{md_join, output_schema, MdJoin};
+pub use generalized::Block;
+pub use mdjoin::output_schema;
+pub use morsel::{choose_side, MorselSide};
+
+#[allow(deprecated)]
+pub use mdjoin::md_join;
+
+/// Curated re-exports: everything a typical MD-join program needs.
+///
+/// ```
+/// use mdj_core::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::basevalues;
+    pub use crate::builder::{ExecStrategy, MdJoin};
+    pub use crate::context::{ExecContext, ProbeStrategy};
+    pub use crate::error::{CoreError, Result};
+    pub use crate::generalized::Block;
+    pub use crate::mdjoin::output_schema;
+    pub use crate::morsel::MorselSide;
+    pub use mdj_agg::{AggInput, AggSpec};
+    pub use mdj_expr::builder::{and, col_b, col_r, eq, ge, gt, le, lit, lt, ne, not, or};
+    pub use mdj_expr::Expr;
+    pub use mdj_storage::{DataType, Field, Relation, Row, ScanStats, Schema, Value};
+}

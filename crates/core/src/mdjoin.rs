@@ -40,7 +40,7 @@ pub(crate) fn bind_aggs(
         .collect()
 }
 
-fn check_no_duplicates(b_schema: &Schema, bound: &[BoundAgg]) -> Result<()> {
+pub(crate) fn check_no_duplicates(b_schema: &Schema, bound: &[BoundAgg]) -> Result<()> {
     let mut names: Vec<&str> = b_schema.fields().iter().map(|f| f.name.as_str()).collect();
     for ba in bound {
         if names.contains(&ba.output.name.as_str()) {
@@ -66,7 +66,7 @@ pub fn output_schema(
     Ok(Schema::new(fields))
 }
 
-/// Evaluate `MD(B, R, l, θ)` with Algorithm 3.1.
+/// Evaluate `MD(B, R, l, θ)` with Algorithm 3.1 (single-threaded).
 ///
 /// Scans `R` once; for each detail tuple the probe plan yields the candidate
 /// base rows (`Rel(t)`), whose aggregate states are updated. Every base row
@@ -74,7 +74,7 @@ pub fn output_schema(
 /// aggregate's empty value (SQL semantics: `count` → 0, others → NULL). This
 /// is the outer-join behaviour Definition 3.1 prescribes ("the row count of
 /// the result of the MD-join is the same as the row count of B").
-pub fn md_join(
+pub(crate) fn md_join_serial(
     b: &Relation,
     r: &Relation,
     l: &[AggSpec],
@@ -124,68 +124,19 @@ pub fn md_join(
     Ok(out)
 }
 
-/// Fluent builder over [`md_join`], convenient for examples and tests:
-///
-/// ```
-/// use mdj_core::{MdJoin, ExecContext};
-/// use mdj_expr::builder::*;
-/// use mdj_storage::{Relation, Row, Schema, DataType, Value};
-///
-/// let sales = Relation::from_rows(
-///     Schema::from_pairs(&[("cust", DataType::Int), ("sale", DataType::Float)]),
-///     vec![Row::new(vec![Value::Int(1), Value::Float(10.0)]),
-///          Row::new(vec![Value::Int(1), Value::Float(30.0)])],
-/// );
-/// let b = sales.distinct_on(&["cust"]).unwrap();
-/// let out = MdJoin::new(eq(col_b("cust"), col_r("cust")))
-///     .agg("avg(sale)")
-///     .unwrap()
-///     .run(&b, &sales, &ExecContext::new())
-///     .unwrap();
-/// assert_eq!(out.rows()[0][1], Value::Float(20.0));
-/// ```
-#[derive(Debug, Clone)]
-pub struct MdJoin {
-    theta: Expr,
-    aggs: Vec<AggSpec>,
-}
-
-impl MdJoin {
-    /// Start a builder with the θ-condition.
-    pub fn new(theta: Expr) -> Self {
-        MdJoin {
-            theta,
-            aggs: Vec::new(),
-        }
-    }
-
-    /// Add an aggregate from a spec string (`"sum(sale)"`,
-    /// `"avg(sale) as a"`, `"count(*)"`).
-    pub fn agg(mut self, spec: &str) -> Result<Self> {
-        self.aggs.push(AggSpec::parse(spec)?);
-        Ok(self)
-    }
-
-    /// Add an already-built [`AggSpec`].
-    pub fn agg_spec(mut self, spec: AggSpec) -> Self {
-        self.aggs.push(spec);
-        self
-    }
-
-    /// The aggregate list.
-    pub fn aggs(&self) -> &[AggSpec] {
-        &self.aggs
-    }
-
-    /// The θ-condition.
-    pub fn theta(&self) -> &Expr {
-        &self.theta
-    }
-
-    /// Evaluate against `b` and `r`.
-    pub fn run(&self, b: &Relation, r: &Relation, ctx: &ExecContext) -> Result<Relation> {
-        md_join(b, r, &self.aggs, &self.theta, ctx)
-    }
+/// Evaluate `MD(B, R, l, θ)` with Algorithm 3.1.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `MdJoin` builder: `MdJoin::new(b, r).aggs(l).theta(θ).run(ctx)`"
+)]
+pub fn md_join(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    md_join_serial(b, r, l, theta, ctx)
 }
 
 #[cfg(test)]
@@ -236,7 +187,7 @@ mod tests {
     fn definition_3_1_schema_and_cardinality() {
         let s = sales();
         let b = s.distinct_on(&["cust"]).unwrap();
-        let out = md_join(
+        let out = md_join_serial(
             &b,
             &s,
             &[AggSpec::on_column("sum", "sale"), AggSpec::count_star()],
@@ -252,7 +203,7 @@ mod tests {
     fn aggregates_over_rng() {
         let s = sales();
         let b = s.distinct_on(&["cust"]).unwrap();
-        let out = md_join(
+        let out = md_join_serial(
             &b,
             &s,
             &[
@@ -277,8 +228,11 @@ mod tests {
         // Example 2.2's point: customers with no NY purchases still appear.
         let s = sales();
         let b = s.distinct_on(&["cust"]).unwrap();
-        let theta = and(eq(col_b("cust"), col_r("cust")), eq(col_r("state"), lit("NY")));
-        let out = md_join(
+        let theta = and(
+            eq(col_b("cust"), col_r("cust")),
+            eq(col_r("state"), lit("NY")),
+        );
+        let out = md_join_serial(
             &b,
             &s,
             &[
@@ -302,7 +256,7 @@ mod tests {
     fn empty_base_and_empty_detail() {
         let s = sales();
         let empty_b = Relation::empty(s.distinct_on(&["cust"]).unwrap().schema().clone());
-        let out = md_join(
+        let out = md_join_serial(
             &empty_b,
             &s,
             &[AggSpec::count_star()],
@@ -314,7 +268,7 @@ mod tests {
 
         let b = s.distinct_on(&["cust"]).unwrap();
         let empty_r = Relation::empty(s.schema().clone());
-        let out = md_join(
+        let out = md_join_serial(
             &b,
             &empty_r,
             &[AggSpec::count_star()],
@@ -333,7 +287,7 @@ mod tests {
         let s = sales();
         let b = s.distinct_on(&["month"]).unwrap();
         let theta = le(col_b("month"), col_r("month"));
-        let out = md_join(
+        let out = md_join_serial(
             &b,
             &s,
             &[AggSpec::on_column("sum", "sale").with_alias("running")],
@@ -356,7 +310,7 @@ mod tests {
             eq(col_b("month"), col_r("month")),
         );
         let l = [AggSpec::on_column("sum", "sale"), AggSpec::count_star()];
-        let nl = md_join(
+        let nl = md_join_serial(
             &b,
             &s,
             &l,
@@ -364,7 +318,7 @@ mod tests {
             &ExecContext::new().with_strategy(ProbeStrategy::NestedLoop),
         )
         .unwrap();
-        let hp = md_join(
+        let hp = md_join_serial(
             &b,
             &s,
             &l,
@@ -380,7 +334,7 @@ mod tests {
         let s = sales();
         let b = s.distinct_on(&["cust"]).unwrap();
         // Alias collides with B's column.
-        let err = md_join(
+        let err = md_join_serial(
             &b,
             &s,
             &[AggSpec::on_column("sum", "sale").with_alias("cust")],
@@ -389,7 +343,7 @@ mod tests {
         );
         assert!(matches!(err, Err(CoreError::DuplicateColumn(_))));
         // Two aggregates with the same default name collide too.
-        let err = md_join(
+        let err = md_join_serial(
             &b,
             &s,
             &[
@@ -409,7 +363,7 @@ mod tests {
         let l = [AggSpec::on_column("avg", "sale")];
         let reg = Registry::standard();
         let schema = output_schema(b.schema(), s.schema(), &l, &reg).unwrap();
-        let out = md_join(
+        let out = md_join_serial(
             &b,
             &s,
             &l,
@@ -430,7 +384,7 @@ mod tests {
             Schema::from_pairs(&[("cust", DataType::Int)]),
             vec![Row::from_values([1i64]), Row::from_values([1i64])],
         );
-        let out = md_join(
+        let out = md_join_serial(
             &b,
             &s,
             &[AggSpec::count_star()],
@@ -443,17 +397,16 @@ mod tests {
     }
 
     #[test]
-    fn builder_api() {
+    #[allow(deprecated)]
+    fn deprecated_free_function_still_delegates() {
         let s = sales();
         let b = s.distinct_on(&["cust"]).unwrap();
-        let out = MdJoin::new(eq(col_b("cust"), col_r("cust")))
-            .agg("sum(sale) as total")
-            .unwrap()
-            .agg("count(*)")
-            .unwrap()
-            .run(&b, &s, &ExecContext::new())
-            .unwrap();
-        assert_eq!(out.schema().names(), vec!["cust", "total", "count_star"]);
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let l = [AggSpec::on_column("sum", "sale").with_alias("total")];
+        let old = md_join(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
+        let new = md_join_serial(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
+        assert_eq!(old.rows(), new.rows());
+        assert_eq!(old.schema().names(), vec!["cust", "total"]);
     }
 
     #[test]
@@ -466,7 +419,7 @@ mod tests {
         let ctx = ExecContext::new()
             .with_strategy(ProbeStrategy::NestedLoop)
             .with_stats(stats.clone());
-        md_join(
+        md_join_serial(
             &b,
             &s,
             &[AggSpec::count_star()],

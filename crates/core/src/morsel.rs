@@ -1,0 +1,547 @@
+//! Morsel-driven parallel MD-join (work-stealing scheduling).
+//!
+//! The static Theorem 4.1 plans in [`crate::parallel`] split their input into
+//! one contiguous chunk per worker up front. Under skew — a Zipf-distributed
+//! join column, a θ whose probe cost varies per tuple — chunks take unequal
+//! time and the slowest worker gates the join. The morsel executor instead
+//! splits the input into fixed-size *morsels* (default
+//! [`crate::context::DEFAULT_MORSEL_SIZE`] rows, tunable via
+//! [`ExecContext::with_morsel_size`]), seeds each worker's deque with a
+//! contiguous run of morsels for locality, and lets idle workers steal from
+//! busy ones, so the load rebalances at morsel granularity.
+//!
+//! Both Theorem 4.1 orientations are supported:
+//!
+//! * [`MorselSide::Detail`] — morsels over `R`; each worker keeps aggregate
+//!   state for all of `B` and partial states are merged at the end (one
+//!   logical scan of `R`). The default: it scans `R` once regardless of
+//!   morsel count.
+//! * [`MorselSide::Base`] — morsels over `B`; each morsel is a full MD-join
+//!   of a `B` fragment against `R` (memory-bounded, `⌈|B|/morsel⌉` scans of
+//!   `R`). Auto-selected only when `B` dwarfs `R`, where re-scanning a small
+//!   `R` is cheaper than holding per-worker state for a huge `B`.
+//!
+//! Per-worker morsel/steal/merge counters are reported through
+//! [`mdj_storage::WorkerStats`] when the context carries a
+//! [`mdj_storage::ScanStats`], and surface in `EXPLAIN ANALYZE` output.
+
+use crate::context::ExecContext;
+use crate::error::{CoreError, Result};
+use crate::mdjoin::{bind_aggs, check_no_duplicates, md_join_serial};
+use crate::probe::ProbePlan;
+use crossbeam::deque::{Steal, Stealer, Worker};
+use mdj_agg::{AggSpec, AggState};
+use mdj_expr::Expr;
+use mdj_storage::{Relation, Row, Schema, Value, WorkerStats};
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// Which relation the morsel executor splits into work units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MorselSide {
+    /// Decide from the cardinalities (see [`choose_side`]).
+    #[default]
+    Auto,
+    /// Morsels over `B`: memory-bounded, one scan of `R` per morsel.
+    Base,
+    /// Morsels over `R`: one logical scan, partial-state merge at the end.
+    Detail,
+}
+
+/// Pick the partitioning side from the input cardinalities: `Detail` unless
+/// `B` is much larger than `R` (≥ 4×), where per-worker full-`B` state would
+/// dominate memory while re-scanning the small `R` stays cheap.
+pub fn choose_side(b_rows: usize, r_rows: usize) -> MorselSide {
+    if b_rows >= 4 * r_rows.max(1) {
+        MorselSide::Base
+    } else {
+        MorselSide::Detail
+    }
+}
+
+/// Cut `0..n` into `Range`s of at most `morsel` rows.
+fn morsels(n: usize, morsel: usize) -> Vec<Range<usize>> {
+    let morsel = morsel.max(1);
+    (0..n)
+        .step_by(morsel)
+        .map(|start| start..(start + morsel).min(n))
+        .collect()
+}
+
+/// Build one deque per worker and seed each with a contiguous run of tasks
+/// (contiguity keeps a worker's own morsels adjacent in memory; stealing only
+/// breaks locality when the load is actually imbalanced).
+fn seed_queues<T>(tasks: Vec<T>, threads: usize) -> (Vec<Worker<T>>, Vec<Stealer<T>>) {
+    let queues: Vec<Worker<T>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<T>> = queues.iter().map(Worker::stealer).collect();
+    let n = tasks.len();
+    let base = n / threads;
+    let extra = n % threads;
+    let mut it = tasks.into_iter();
+    for (i, q) in queues.iter().enumerate() {
+        let take = base + usize::from(i < extra);
+        for task in it.by_ref().take(take) {
+            q.push(task);
+        }
+    }
+    (queues, stealers)
+}
+
+/// Pop the next task: own queue first, then steal round-robin from the other
+/// workers (recording the steal).
+fn next_task<T>(
+    own: &Worker<T>,
+    stealers: &[Stealer<T>],
+    me: usize,
+    stats: &mut WorkerStats,
+) -> Option<T> {
+    if let Some(task) = own.pop() {
+        return Some(task);
+    }
+    let n = stealers.len();
+    for k in 1..n {
+        let victim = &stealers[(me + k) % n];
+        loop {
+            match victim.steal() {
+                Steal::Success(task) => {
+                    stats.steals += 1;
+                    return Some(task);
+                }
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+type States = Vec<Vec<Box<dyn AggState>>>;
+
+/// Merge two partial state sets pairwise, attributing the merge to `stats`.
+fn merge_states(mut acc: States, other: States, stats: &mut WorkerStats) -> Result<States> {
+    stats.merges += 1;
+    for (row_states, other_states) in acc.iter_mut().zip(other) {
+        for (s, o) in row_states.iter_mut().zip(other_states) {
+            s.merge(o.as_ref())?;
+        }
+    }
+    Ok(acc)
+}
+
+/// Morsel-parallel MD-join. Splits the side chosen by `side` into
+/// `ctx.morsel_size`-row work units scheduled across `threads` workers with
+/// work stealing. Output equals [`md_join_serial`] row-for-row (same order).
+pub(crate) fn md_join_morsel(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    threads: usize,
+    side: MorselSide,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    if threads == 0 {
+        return Err(CoreError::BadConfig("thread count must be ≥ 1".into()));
+    }
+    match side {
+        MorselSide::Auto => {
+            let side = choose_side(b.len(), r.len());
+            md_join_morsel(b, r, l, theta, threads, side, ctx)
+        }
+        MorselSide::Detail => morsel_detail(b, r, l, theta, threads, ctx),
+        MorselSide::Base => morsel_base(b, r, l, theta, threads, ctx),
+    }
+}
+
+/// Detail-side execution: morsels over `R`, per-worker full-`B` states, and a
+/// cooperative merge at the end. One logical scan of `R` is recorded.
+///
+/// The merge uses a shared pool: each finished worker pushes its states, then
+/// — under the same lock — checks whether two state sets are available; if so
+/// it takes both, merges them outside the lock, and pushes the result back.
+/// Every push is paired with that check, so exactly one state set survives,
+/// and merging is spread over the workers that finish first instead of
+/// serializing on the main thread.
+fn morsel_detail(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    threads: usize,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    let bound = bind_aggs(l, r.schema(), &ctx.registry)?;
+    check_no_duplicates(b.schema(), &bound)?;
+    let plan = ProbePlan::build_opts(b, r.schema(), theta, ctx.strategy, ctx.prefilter)?;
+
+    let rows = r.rows();
+    let tasks = morsels(rows.len(), ctx.morsel_size);
+    let (queues, stealers) = seed_queues(tasks, threads);
+    let pool: Mutex<Vec<States>> = Mutex::new(Vec::with_capacity(threads));
+
+    let worker = |me: usize, own: Worker<Range<usize>>| -> Result<()> {
+        let mut ws = WorkerStats::new(me);
+        let mut states: States = b
+            .iter()
+            .map(|_| bound.iter().map(|ba| ba.agg.init()).collect())
+            .collect();
+        let mut matches: Vec<usize> = Vec::new();
+        let mut key_scratch: Vec<Value> = Vec::new();
+        while let Some(range) = next_task(&own, &stealers, me, &mut ws) {
+            ws.morsels += 1;
+            ws.tuples += range.len() as u64;
+            for t in &rows[range] {
+                plan.matches(b, t.values(), ctx, &mut matches, &mut key_scratch)?;
+                if matches.is_empty() {
+                    continue;
+                }
+                let n = (matches.len() * bound.len()) as u64;
+                ctx.record_updates(n);
+                ws.updates += n;
+                for &row_id in &matches {
+                    for (j, ba) in bound.iter().enumerate() {
+                        let v = match ba.input_col {
+                            Some(c) => &t[c],
+                            None => &Value::Null,
+                        };
+                        states[row_id][j].update(v)?;
+                    }
+                }
+            }
+        }
+        // Cooperative pairwise merge (see function docs for the protocol).
+        let mut mine = Some(states);
+        loop {
+            let mut guard = pool.lock().unwrap();
+            if let Some(s) = mine.take() {
+                guard.push(s);
+            }
+            if guard.len() >= 2 {
+                let a = guard.pop().expect("len checked");
+                let bstates = guard.pop().expect("len checked");
+                drop(guard);
+                mine = Some(merge_states(a, bstates, &mut ws)?);
+            } else {
+                break;
+            }
+        }
+        ctx.record_worker(ws);
+        Ok(())
+    };
+
+    ctx.record_scan(r.len() as u64);
+    let results: Vec<Result<()>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = queues
+            .into_iter()
+            .enumerate()
+            .map(|(me, own)| {
+                let worker = &worker;
+                scope.spawn(move |_| worker(me, own))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+    results.into_iter().collect::<Result<Vec<()>>>()?;
+
+    let mut survivors = pool.into_inner().expect("merge pool poisoned");
+    debug_assert_eq!(survivors.len(), 1, "merge protocol leaves one state set");
+    let total = survivors.pop().expect("≥1 worker pushed its states");
+
+    let mut fields = b.schema().fields().to_vec();
+    fields.extend(bound.iter().map(|ba| ba.output.clone()));
+    let mut out = Relation::empty(Schema::new(fields));
+    for (row, row_states) in b.iter().zip(total) {
+        let mut vals = row.values().to_vec();
+        vals.extend(row_states.iter().map(|s| s.finalize()));
+        out.push_unchecked(Row::new(vals));
+    }
+    Ok(out)
+}
+
+/// Base-side execution: morsels over `B`; each morsel runs a full serial
+/// MD-join of its `B` fragment against `R` (scanning `R` once per morsel,
+/// recorded as such) and deposits its output rows under the morsel's slot so
+/// concatenation reproduces `B`'s row order. No state merging.
+fn morsel_base(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    threads: usize,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    let schema = crate::mdjoin::output_schema(b.schema(), r.schema(), l, &ctx.registry)?;
+    let b_rows = b.rows();
+    let tasks: Vec<(usize, Range<usize>)> = morsels(b_rows.len(), ctx.morsel_size)
+        .into_iter()
+        .enumerate()
+        .collect();
+    let (queues, stealers) = seed_queues(tasks, threads);
+    let slots: Mutex<Vec<(usize, Vec<Row>)>> = Mutex::new(Vec::new());
+
+    let worker = |me: usize, own: Worker<(usize, Range<usize>)>| -> Result<()> {
+        let mut ws = WorkerStats::new(me);
+        let mut done: Vec<(usize, Vec<Row>)> = Vec::new();
+        while let Some((slot, range)) = next_task(&own, &stealers, me, &mut ws) {
+            ws.morsels += 1;
+            ws.tuples += range.len() as u64;
+            let frag = Relation::from_rows(b.schema().clone(), b_rows[range].to_vec());
+            let piece = md_join_serial(&frag, r, l, theta, ctx)?;
+            done.push((slot, piece.into_rows()));
+        }
+        slots.lock().unwrap().extend(done);
+        ctx.record_worker(ws);
+        Ok(())
+    };
+
+    let results: Vec<Result<()>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = queues
+            .into_iter()
+            .enumerate()
+            .map(|(me, own)| {
+                let worker = &worker;
+                scope.spawn(move |_| worker(me, own))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+    results.into_iter().collect::<Result<Vec<()>>>()?;
+
+    let mut pieces = slots.into_inner().expect("slot pool poisoned");
+    pieces.sort_by_key(|(slot, _)| *slot);
+    let mut out = Relation::empty(schema);
+    for (_, rows) in pieces {
+        for row in rows {
+            out.push_unchecked(row);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdj_expr::builder::*;
+    use mdj_storage::{DataType, ScanStats};
+    use std::sync::Arc;
+
+    fn sales(n: i64) -> Relation {
+        let schema = Schema::from_pairs(&[("cust", DataType::Int), ("sale", DataType::Int)]);
+        Relation::from_rows(
+            schema,
+            (0..n).map(|i| Row::from_values([i % 13, i])).collect(),
+        )
+    }
+
+    fn specs() -> Vec<AggSpec> {
+        vec![
+            AggSpec::on_column("sum", "sale"),
+            AggSpec::on_column("avg", "sale"),
+            AggSpec::count_star(),
+            AggSpec::on_column("min", "sale"),
+            AggSpec::on_column("max", "sale"),
+        ]
+    }
+
+    #[test]
+    fn detail_morsels_equal_serial_in_order() {
+        let s = sales(500);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let direct = md_join_serial(&b, &s, &specs(), &theta, &ExecContext::new()).unwrap();
+        for threads in [1, 2, 8] {
+            for morsel in [1, 7, 4096] {
+                let ctx = ExecContext::new().with_morsel_size(morsel);
+                let out =
+                    md_join_morsel(&b, &s, &specs(), &theta, threads, MorselSide::Detail, &ctx)
+                        .unwrap();
+                assert_eq!(
+                    direct.rows(),
+                    out.rows(),
+                    "threads={threads} morsel={morsel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn base_morsels_equal_serial_in_order() {
+        let s = sales(300);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let direct = md_join_serial(&b, &s, &specs(), &theta, &ExecContext::new()).unwrap();
+        for threads in [1, 3, 8] {
+            for morsel in [1, 5, 4096] {
+                let ctx = ExecContext::new().with_morsel_size(morsel);
+                let out = md_join_morsel(&b, &s, &specs(), &theta, threads, MorselSide::Base, &ctx)
+                    .unwrap();
+                assert_eq!(
+                    direct.rows(),
+                    out.rows(),
+                    "threads={threads} morsel={morsel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn holistic_aggregates_survive_the_merge() {
+        let s = sales(300);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let l = [
+            AggSpec::on_column("median", "sale"),
+            AggSpec::on_column("mode", "cust"),
+            AggSpec::on_column("count_distinct", "sale"),
+        ];
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let direct = md_join_serial(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
+        let ctx = ExecContext::new().with_morsel_size(16);
+        let out = md_join_morsel(&b, &s, &l, &theta, 4, MorselSide::Detail, &ctx).unwrap();
+        assert!(direct.same_multiset(&out));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = sales(20);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let l = [AggSpec::count_star()];
+        for side in [MorselSide::Base, MorselSide::Detail] {
+            let empty_b = Relation::empty(b.schema().clone());
+            let out =
+                md_join_morsel(&empty_b, &s, &l, &theta, 4, side, &ExecContext::new()).unwrap();
+            assert!(out.is_empty());
+            let empty_r = Relation::empty(s.schema().clone());
+            let out =
+                md_join_morsel(&b, &empty_r, &l, &theta, 4, side, &ExecContext::new()).unwrap();
+            assert_eq!(out.len(), b.len());
+            assert!(out.rows().iter().all(|r| r[1] == Value::Int(0)));
+        }
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let s = sales(10);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let err = md_join_morsel(
+            &b,
+            &s,
+            &[AggSpec::count_star()],
+            &theta,
+            0,
+            MorselSide::Auto,
+            &ExecContext::new(),
+        );
+        assert!(matches!(err, Err(CoreError::BadConfig(_))));
+    }
+
+    #[test]
+    fn worker_stats_recorded_and_merge_counts_add_up() {
+        let s = sales(1000);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ExecContext::new()
+            .with_morsel_size(64)
+            .with_stats(stats.clone());
+        md_join_morsel(
+            &b,
+            &s,
+            &[AggSpec::count_star()],
+            &theta,
+            4,
+            MorselSide::Detail,
+            &ctx,
+        )
+        .unwrap();
+        let workers = stats.workers();
+        assert_eq!(workers.len(), 4);
+        let morsels: u64 = workers.iter().map(|w| w.morsels).sum();
+        assert_eq!(morsels, 1000u64.div_ceil(64)); // every morsel ran exactly once
+        let tuples: u64 = workers.iter().map(|w| w.tuples).sum();
+        assert_eq!(tuples, 1000);
+        let merges: u64 = workers.iter().map(|w| w.merges).sum();
+        assert_eq!(merges, 3); // t workers → t−1 pairwise merges
+        assert_eq!(stats.scans(), 1); // detail side: one logical scan of R
+    }
+
+    #[test]
+    fn base_side_scan_accounting() {
+        let s = sales(100);
+        let b = s.distinct_on(&["cust"]).unwrap(); // 13 rows
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ExecContext::new()
+            .with_morsel_size(5)
+            .with_stats(stats.clone());
+        md_join_morsel(
+            &b,
+            &s,
+            &[AggSpec::count_star()],
+            &theta,
+            2,
+            MorselSide::Base,
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(stats.scans(), 3); // ⌈13/5⌉ morsels, one R scan each
+        assert_eq!(stats.tuples_scanned(), 300);
+    }
+
+    #[test]
+    fn auto_side_selection() {
+        assert_eq!(choose_side(100, 1000), MorselSide::Detail);
+        assert_eq!(choose_side(1000, 1000), MorselSide::Detail);
+        assert_eq!(choose_side(4000, 1000), MorselSide::Base);
+        assert_eq!(choose_side(10, 0), MorselSide::Base);
+        assert_eq!(choose_side(0, 0), MorselSide::Detail);
+    }
+
+    #[test]
+    fn stealing_rebalances_a_skewed_load() {
+        // Zipf-ish skew: every tuple matches base row 0's heavy probe; make
+        // worker 0's seeded morsels vastly more expensive by pairing a
+        // nested-loop probe with a skewed key distribution, then check the
+        // other workers steal.
+        let schema = Schema::from_pairs(&[("cust", DataType::Int), ("sale", DataType::Int)]);
+        let n = 4000i64;
+        let rows: Vec<Row> = (0..n)
+            .map(|i| {
+                // First half: key 0 (expensive, matches the hot base row);
+                // placed contiguously so the seeded split is imbalanced.
+                let key = if i < n / 2 { 0 } else { i % 50 };
+                Row::from_values([key, i])
+            })
+            .collect();
+        let s = Relation::from_rows(schema, rows);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ExecContext::new()
+            .with_morsel_size(16)
+            .with_stats(stats.clone());
+        let out = md_join_morsel(
+            &b,
+            &s,
+            &[AggSpec::count_star()],
+            &theta,
+            8,
+            MorselSide::Detail,
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(out.len(), b.len());
+        let workers = stats.workers();
+        let morsels: u64 = workers.iter().map(|w| w.morsels).sum();
+        assert_eq!(morsels, 4000u64.div_ceil(16));
+    }
+}

@@ -13,15 +13,15 @@
 
 use crate::context::ExecContext;
 use crate::error::{CoreError, Result};
-use crate::mdjoin::{bind_aggs, md_join};
+use crate::mdjoin::{bind_aggs, md_join_serial};
 use crate::probe::ProbePlan;
 use mdj_agg::{AggSpec, AggState};
 use mdj_expr::Expr;
-use mdj_storage::{partition, Relation, Row, Schema, Value};
+use mdj_storage::{partition, Relation, Row, Schema, Value, WorkerStats};
 
 /// Parallel MD-join, partitioning `B` across `threads` workers
 /// (Section 4.1.2). Each worker scans all of `R`.
-pub fn md_join_parallel(
+pub(crate) fn chunk_base(
     b: &Relation,
     r: &Relation,
     l: &[AggSpec],
@@ -36,7 +36,17 @@ pub fn md_join_parallel(
     let results: Vec<Result<Relation>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = parts
             .iter()
-            .map(|part| scope.spawn(move |_| md_join(part, r, l, theta, ctx)))
+            .enumerate()
+            .map(|(me, part)| {
+                scope.spawn(move |_| {
+                    let mut ws = WorkerStats::new(me);
+                    ws.morsels = 1; // a static chunk is one indivisible work unit
+                    ws.tuples = part.len() as u64;
+                    let out = md_join_serial(part, r, l, theta, ctx);
+                    ctx.record_worker(ws);
+                    out
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -47,16 +57,16 @@ pub fn md_join_parallel(
 
     let mut pieces = results.into_iter().collect::<Result<Vec<_>>>()?;
     let first = pieces.remove(0);
-    pieces.into_iter().try_fold(first, |acc, next| {
-        acc.union(&next).map_err(CoreError::from)
-    })
+    pieces
+        .into_iter()
+        .try_fold(first, |acc, next| acc.union(&next).map_err(CoreError::from))
 }
 
 /// Parallel MD-join partitioning the *detail* table: each worker scans an
 /// `Rⱼ` slice, keeping aggregate state for every base row; partial states are
 /// merged pairwise at the end. Requires only that the aggregates implement
 /// `merge` (all builtins do).
-pub fn md_join_parallel_detail(
+pub(crate) fn chunk_detail(
     b: &Relation,
     r: &Relation,
     l: &[AggSpec],
@@ -72,7 +82,10 @@ pub fn md_join_parallel_detail(
     let r_parts = partition::chunk(r, threads);
 
     type States = Vec<Vec<Box<dyn AggState>>>;
-    let worker = |slice: &Relation| -> Result<States> {
+    let worker = |me: usize, slice: &Relation| -> Result<States> {
+        let mut ws = WorkerStats::new(me);
+        ws.morsels = 1; // a static chunk is one indivisible work unit
+        ws.tuples = slice.len() as u64;
         let mut states: States = b
             .iter()
             .map(|_| bound.iter().map(|ba| ba.agg.init()).collect())
@@ -82,6 +95,7 @@ pub fn md_join_parallel_detail(
         let mut key_scratch: Vec<Value> = Vec::new();
         for t in slice.iter() {
             plan.matches(b, t.values(), ctx, &mut matches, &mut key_scratch)?;
+            ws.updates += (matches.len() * bound.len()) as u64;
             for &row_id in &matches {
                 for (j, ba) in bound.iter().enumerate() {
                     let v = match ba.input_col {
@@ -92,13 +106,18 @@ pub fn md_join_parallel_detail(
                 }
             }
         }
+        ctx.record_worker(ws);
         Ok(states)
     };
 
     let partials: Vec<Result<States>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = r_parts
             .iter()
-            .map(|slice| scope.spawn(move |_| worker(slice)))
+            .enumerate()
+            .map(|(me, slice)| {
+                let worker = &worker;
+                scope.spawn(move |_| worker(me, slice))
+            })
             .collect();
         handles
             .into_iter()
@@ -128,6 +147,40 @@ pub fn md_join_parallel_detail(
     Ok(out)
 }
 
+/// Parallel MD-join, partitioning `B` across `threads` workers.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `MdJoin` builder with `ExecStrategy::ChunkBase` (or `Morsel` for the \
+            work-stealing executor)"
+)]
+pub fn md_join_parallel(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    threads: usize,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    chunk_base(b, r, l, theta, threads, ctx)
+}
+
+/// Parallel MD-join, partitioning `R` across `threads` workers.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `MdJoin` builder with `ExecStrategy::ChunkDetail` (or `Morsel` for the \
+            work-stealing executor)"
+)]
+pub fn md_join_parallel_detail(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    threads: usize,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    chunk_detail(b, r, l, theta, threads, ctx)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,9 +191,7 @@ mod tests {
         let schema = Schema::from_pairs(&[("cust", DataType::Int), ("sale", DataType::Int)]);
         Relation::from_rows(
             schema,
-            (0..n)
-                .map(|i| Row::from_values([i % 13, i]))
-                .collect(),
+            (0..n).map(|i| Row::from_values([i % 13, i])).collect(),
         )
     }
 
@@ -157,7 +208,7 @@ mod tests {
             AggSpec::on_column("max", "sale"),
         ];
         let theta = eq(col_b("cust"), col_r("cust"));
-        let direct = md_join(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
+        let direct = md_join_serial(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
         for threads in [1, 2, 4, 8] {
             let par = f(&b, &s, &l, &theta, threads, &ExecContext::new()).unwrap();
             assert!(direct.same_multiset(&par), "threads = {threads}");
@@ -166,12 +217,12 @@ mod tests {
 
     #[test]
     fn base_partitioned_parallel_equals_direct() {
-        check_equivalence(md_join_parallel);
+        check_equivalence(chunk_base);
     }
 
     #[test]
     fn detail_partitioned_parallel_equals_direct() {
-        check_equivalence(md_join_parallel_detail);
+        check_equivalence(chunk_detail);
     }
 
     #[test]
@@ -184,8 +235,8 @@ mod tests {
             AggSpec::on_column("count_distinct", "sale"),
         ];
         let theta = eq(col_b("cust"), col_r("cust"));
-        let direct = md_join(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
-        let par = md_join_parallel_detail(&b, &s, &l, &theta, 4, &ExecContext::new()).unwrap();
+        let direct = md_join_serial(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
+        let par = chunk_detail(&b, &s, &l, &theta, 4, &ExecContext::new()).unwrap();
         assert!(direct.same_multiset(&par));
     }
 
@@ -194,9 +245,16 @@ mod tests {
         let s = sales(10);
         let b = s.distinct_on(&["cust"]).unwrap();
         let theta = eq(col_b("cust"), col_r("cust"));
-        for f in [md_join_parallel, md_join_parallel_detail] {
+        for f in [chunk_base, chunk_detail] {
             assert!(matches!(
-                f(&b, &s, &[AggSpec::count_star()], &theta, 0, &ExecContext::new()),
+                f(
+                    &b,
+                    &s,
+                    &[AggSpec::count_star()],
+                    &theta,
+                    0,
+                    &ExecContext::new()
+                ),
                 Err(CoreError::BadConfig(_))
             ));
         }
@@ -209,9 +267,9 @@ mod tests {
         let b = s.distinct_on(&["cust"]).unwrap();
         let theta = le(col_b("cust"), col_r("sale"));
         let l = [AggSpec::count_star()];
-        let direct = md_join(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
-        let p1 = md_join_parallel(&b, &s, &l, &theta, 3, &ExecContext::new()).unwrap();
-        let p2 = md_join_parallel_detail(&b, &s, &l, &theta, 3, &ExecContext::new()).unwrap();
+        let direct = md_join_serial(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
+        let p1 = chunk_base(&b, &s, &l, &theta, 3, &ExecContext::new()).unwrap();
+        let p2 = chunk_detail(&b, &s, &l, &theta, 3, &ExecContext::new()).unwrap();
         assert!(direct.same_multiset(&p1));
         assert!(direct.same_multiset(&p2));
     }

@@ -8,7 +8,7 @@
 
 use crate::context::ExecContext;
 use crate::error::{CoreError, Result};
-use crate::mdjoin::md_join;
+use crate::mdjoin::md_join_serial;
 use mdj_agg::AggSpec;
 use mdj_expr::Expr;
 use mdj_storage::{partition, Relation};
@@ -16,7 +16,7 @@ use mdj_storage::{partition, Relation};
 /// Evaluate with `B` split into `m` chunks; `R` is scanned once per chunk.
 /// Result is the (ordered) union of the per-chunk MD-joins, which by Theorem
 /// 4.1 equals the unpartitioned result.
-pub fn md_join_partitioned(
+pub(crate) fn partitioned(
     b: &Relation,
     r: &Relation,
     l: &[AggSpec],
@@ -30,13 +30,27 @@ pub fn md_join_partitioned(
     let parts = partition::chunk(b, m);
     let mut pieces = Vec::with_capacity(parts.len());
     for part in &parts {
-        pieces.push(md_join(part, r, l, theta, ctx)?);
+        pieces.push(md_join_serial(part, r, l, theta, ctx)?);
     }
     let mut iter = pieces.into_iter();
     let first = iter.next().expect("chunk always yields ≥ 1 part");
-    iter.try_fold(first, |acc, next| {
-        acc.union(&next).map_err(CoreError::from)
-    })
+    iter.try_fold(first, |acc, next| acc.union(&next).map_err(CoreError::from))
+}
+
+/// Evaluate with `B` split into `m` chunks; `R` is scanned once per chunk.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `MdJoin` builder with `ExecStrategy::Partitioned { partitions }`"
+)]
+pub fn md_join_partitioned(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    m: usize,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    partitioned(b, r, l, theta, m, ctx)
 }
 
 /// Pick the partition count from a memory budget: each base row's aggregate
@@ -54,6 +68,7 @@ pub fn partitions_for_budget(b_rows: usize, bytes_per_row: usize, budget_bytes: 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mdjoin::md_join_serial;
     use mdj_expr::builder::*;
     use mdj_storage::{DataType, Row, Schema};
 
@@ -61,9 +76,7 @@ mod tests {
         let schema = Schema::from_pairs(&[("cust", DataType::Int), ("sale", DataType::Int)]);
         Relation::from_rows(
             schema,
-            (0..n)
-                .map(|i| Row::from_values([i % 10, i]))
-                .collect(),
+            (0..n).map(|i| Row::from_values([i % 10, i])).collect(),
         )
     }
 
@@ -73,9 +86,9 @@ mod tests {
         let b = s.distinct_on(&["cust"]).unwrap();
         let l = [mdj_agg::AggSpec::on_column("sum", "sale")];
         let theta = eq(col_b("cust"), col_r("cust"));
-        let direct = md_join(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
+        let direct = md_join_serial(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
         for m in [1, 2, 3, 7, 10, 50] {
-            let part = md_join_partitioned(&b, &s, &l, &theta, m, &ExecContext::new()).unwrap();
+            let part = partitioned(&b, &s, &l, &theta, m, &ExecContext::new()).unwrap();
             assert!(direct.same_multiset(&part), "m = {m}");
         }
     }
@@ -90,7 +103,7 @@ mod tests {
         let theta = eq(col_b("cust"), col_r("cust"));
         let stats = Arc::new(ScanStats::new());
         let ctx = ExecContext::new().with_stats(stats.clone());
-        md_join_partitioned(&b, &s, &l, &theta, 4, &ctx).unwrap();
+        partitioned(&b, &s, &l, &theta, 4, &ctx).unwrap();
         assert_eq!(stats.scans(), 4);
         assert_eq!(stats.tuples_scanned(), 400);
     }
@@ -99,7 +112,7 @@ mod tests {
     fn zero_partitions_rejected() {
         let s = sales(10);
         let b = s.distinct_on(&["cust"]).unwrap();
-        let err = md_join_partitioned(
+        let err = partitioned(
             &b,
             &s,
             &[mdj_agg::AggSpec::count_star()],
@@ -124,7 +137,7 @@ mod tests {
     fn empty_base_table() {
         let s = sales(10);
         let b = Relation::empty(s.distinct_on(&["cust"]).unwrap().schema().clone());
-        let out = md_join_partitioned(
+        let out = partitioned(
             &b,
             &s,
             &[mdj_agg::AggSpec::count_star()],

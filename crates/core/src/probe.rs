@@ -99,9 +99,7 @@ impl ProbePlan {
             ProbeStrategy::HashProbe | ProbeStrategy::Auto => {
                 let (bindings, _) = probe_bindings(theta);
                 let ok = !bindings.is_empty()
-                    && bindings
-                        .iter()
-                        .all(|bi| b.schema().contains(&bi.base_col));
+                    && bindings.iter().all(|bi| b.schema().contains(&bi.base_col));
                 if !ok && strategy == ProbeStrategy::HashProbe {
                     return Err(CoreError::BadConfig(format!(
                         "HashProbe requested but θ `{theta}` yields no usable B-column bindings"
@@ -323,7 +321,9 @@ mod tests {
         let plan = ProbePlan::build(&b_rel(), &r_schema(), &theta, ProbeStrategy::Auto).unwrap();
         match &plan {
             ProbePlan::Hash {
-                prefilter, residual, ..
+                prefilter,
+                residual,
+                ..
             } => {
                 assert!(prefilter.is_some());
                 assert!(residual.is_none()); // fully absorbed
@@ -344,7 +344,10 @@ mod tests {
     #[test]
     fn nested_loop_prefilter() {
         // Non-equi θ with a detail-only conjunct.
-        let theta = and(le(col_b("month"), col_r("month")), gt(col_r("sale"), lit(10.0)));
+        let theta = and(
+            le(col_b("month"), col_r("month")),
+            gt(col_r("sale"), lit(10.0)),
+        );
         let plan =
             ProbePlan::build(&b_rel(), &r_schema(), &theta, ProbeStrategy::NestedLoop).unwrap();
         use mdj_storage::ScanStats;
@@ -384,7 +387,10 @@ mod tests {
             ProbePlan::build(&b_rel(), &r_schema(), &theta, ProbeStrategy::NestedLoop).unwrap();
         let ctx = ExecContext::new();
         for tup in [t(1, 1, 1.0), t(1, 2, 1.0), t(2, 1, 1.0), t(3, 3, 1.0)] {
-            assert_eq!(run(&hash, &b_rel(), &tup, &ctx), run(&nl, &b_rel(), &tup, &ctx));
+            assert_eq!(
+                run(&hash, &b_rel(), &tup, &ctx),
+                run(&nl, &b_rel(), &tup, &ctx)
+            );
         }
     }
 

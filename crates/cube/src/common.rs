@@ -3,8 +3,26 @@
 
 use crate::lattice::{Lattice, Mask};
 use mdj_agg::{AggInput, AggSpec, AggState, Registry};
-use mdj_core::Result;
+use mdj_core::{ExecContext, ExecStrategy, MdJoin, Result};
+use mdj_expr::Expr;
 use mdj_storage::{DataType, Field, Relation, Row, Schema, Value};
+
+/// One serial MD-join via the [`MdJoin`] builder. The cube algorithms
+/// schedule their own evaluation order (and any parallelism) across cuboids,
+/// so each per-cuboid join stays single-threaded.
+pub(crate) fn serial_md_join(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    MdJoin::new(b, r)
+        .aggs(l)
+        .theta(theta.clone())
+        .strategy(ExecStrategy::Serial)
+        .run(ctx)
+}
 
 /// What cube to compute: the dimension columns and the aggregate list `l`.
 #[derive(Debug, Clone)]
@@ -168,9 +186,7 @@ mod tests {
 
     #[test]
     fn output_schema_types() {
-        let s = spec()
-            .output_schema(&rel(), &Registry::standard())
-            .unwrap();
+        let s = spec().output_schema(&rel(), &Registry::standard()).unwrap();
         assert_eq!(s.names(), vec!["prod", "state", "sum_sale", "count_star"]);
         assert_eq!(s.field(0).dtype, DataType::Int);
         assert_eq!(s.field(2).dtype, DataType::Float);

@@ -12,10 +12,10 @@
 //!   bounds every cell's state; the result is then roll-up-*evaluable* per
 //!   cuboid with bounded memory (though still not mergeable across cuboids).
 
-use crate::common::{pad_cuboid, CubeSpec};
+use crate::common::{pad_cuboid, serial_md_join, CubeSpec};
 use mdj_agg::{AggClass, AggSpec, Registry};
 use mdj_core::basevalues::{cuboid_theta, group_by};
-use mdj_core::{md_join, ExecContext, Result};
+use mdj_core::{ExecContext, Result};
 use mdj_storage::Relation;
 
 /// True if any aggregate in the spec is holistic (unbounded state).
@@ -38,7 +38,7 @@ pub fn cube_holistic(r: &Relation, spec: &CubeSpec, ctx: &ExecContext) -> Result
     for mask in lattice.masks_fine_to_coarse() {
         let kept = spec.kept(mask);
         let b = group_by(r, &kept)?;
-        let cuboid = md_join(&b, r, &spec.aggs, &cuboid_theta(&kept), ctx)?;
+        let cuboid = serial_md_join(&b, r, &spec.aggs, &cuboid_theta(&kept), ctx)?;
         out = out.union(&pad_cuboid(&cuboid, spec, mask, &schema))?;
     }
     Ok(out)
@@ -111,10 +111,7 @@ mod tests {
         let out = cube_holistic(&rel(), &spec(), &ctx).unwrap();
         // Apex: median of {10..70} = 40; mode ties → smallest = 10;
         // 7 distinct values.
-        let apex = out
-            .iter()
-            .find(|r| r[0].is_all() && r[1].is_all())
-            .unwrap();
+        let apex = out.iter().find(|r| r[0].is_all() && r[1].is_all()).unwrap();
         assert_eq!(apex[2], Value::Float(40.0));
         assert_eq!(apex[3], Value::Int(10));
         assert_eq!(apex[4], Value::Int(7));

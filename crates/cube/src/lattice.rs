@@ -115,9 +115,7 @@ mod tests {
         // Every cuboid appears after at least one of its parents.
         for (i, &m) in order.iter().enumerate() {
             if m != l.full() {
-                let has_earlier_parent = order[..i]
-                    .iter()
-                    .any(|&p| l.rolls_up_from(m, p));
+                let has_earlier_parent = order[..i].iter().any(|&p| l.rolls_up_from(m, p));
                 assert!(has_earlier_parent, "mask {m:b} has no earlier parent");
             }
         }

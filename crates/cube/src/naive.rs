@@ -10,9 +10,9 @@
 //!   the base table per cuboid, and each cuboid's θ is a plain conjunctive
 //!   equality (hash-probe friendly). `2ⁿ` scans of the detail table.
 
-use crate::common::{pad_cuboid, CubeSpec};
+use crate::common::{pad_cuboid, serial_md_join, CubeSpec};
 use mdj_core::basevalues::{cube, cube_match_theta, cuboid_theta, group_by};
-use mdj_core::{md_join, ExecContext, Result};
+use mdj_core::{ExecContext, Result};
 use mdj_storage::Relation;
 
 /// One MD-join over the merged cube base table (wildcard θ, nested-loop
@@ -24,7 +24,7 @@ pub fn cube_via_wildcard_theta(
 ) -> Result<Relation> {
     let dims: Vec<&str> = spec.dims.iter().map(String::as_str).collect();
     let b = cube(r, &dims)?;
-    md_join(&b, r, &spec.aggs, &cube_match_theta(&dims), ctx)
+    serial_md_join(&b, r, &spec.aggs, &cube_match_theta(&dims), ctx)
 }
 
 /// Theorem 4.1 expansion: one hash-probed MD-join per cuboid, results padded
@@ -36,7 +36,7 @@ pub fn cube_per_cuboid(r: &Relation, spec: &CubeSpec, ctx: &ExecContext) -> Resu
     for mask in lattice.masks_fine_to_coarse() {
         let kept = spec.kept(mask);
         let b = group_by(r, &kept)?;
-        let cuboid = md_join(&b, r, &spec.aggs, &cuboid_theta(&kept), ctx)?;
+        let cuboid = serial_md_join(&b, r, &spec.aggs, &cuboid_theta(&kept), ctx)?;
         let padded = pad_cuboid(&cuboid, spec, mask, &schema);
         out = out.union(&padded)?;
     }

@@ -13,10 +13,10 @@
 //! `z` — is computed in memory; the cuboids with `Dᵢ = ALL` roll up from the
 //! per-value results via Theorem 4.5.
 
-use crate::common::CubeSpec;
+use crate::common::{serial_md_join, CubeSpec};
 use mdj_agg::rollup::rollup_specs;
 use mdj_core::basevalues::{cuboid_theta, group_by};
-use mdj_core::{md_join, ExecContext, Result};
+use mdj_core::{ExecContext, Result};
 use mdj_storage::{partition, Relation, Row, Schema};
 
 /// Compute the cube by partitioning the detail table on `spec.dims[part_dim]`.
@@ -27,7 +27,10 @@ pub fn cube_partitioned(
     part_dim: usize,
     ctx: &ExecContext,
 ) -> Result<Relation> {
-    assert!(part_dim < spec.dims.len(), "partition dimension out of range");
+    assert!(
+        part_dim < spec.dims.len(),
+        "partition dimension out of range"
+    );
     let schema = spec.output_schema(r, &ctx.registry)?;
     let rolled = rollup_specs(&spec.aggs, &ctx.registry)?;
     let part_name = spec.dims[part_dim].clone();
@@ -95,7 +98,7 @@ pub fn cube_partitioned(
     // the rest dims (ALL markers group like ordinary values) and apply l'.
     let rest_names: Vec<&str> = rest_dims.clone();
     let b = group_by(&union_sub, &rest_names)?;
-    let rolled_up = md_join(&b, &union_sub, &rolled, &cuboid_theta(&rest_names), ctx)?;
+    let rolled_up = serial_md_join(&b, &union_sub, &rolled, &cuboid_theta(&rest_names), ctx)?;
     let mut all_side = Relation::empty(schema.clone());
     for row in rolled_up.iter() {
         let mut vals = Vec::with_capacity(schema.len());
@@ -210,10 +213,7 @@ mod tests {
                 Row::from_values(vec![Value::Int(1), Value::Int(2), Value::Float(2.0)]),
             ],
         );
-        let sp = CubeSpec::new(
-            &["prod", "month"],
-            vec![AggSpec::on_column("sum", "sale")],
-        );
+        let sp = CubeSpec::new(&["prod", "month"], vec![AggSpec::on_column("sum", "sale")]);
         let ctx = ExecContext::new();
         let a = cube_partitioned(&r, &sp, 0, &ctx).unwrap();
         let b = cube_per_cuboid(&r, &sp, &ctx).unwrap();

@@ -14,11 +14,11 @@
 //! uncovered prefix. For 2 dimensions this reproduces Figure 2 exactly:
 //! pipeline `AB → A → ∅` plus a resort pipeline for `B`.
 
-use crate::common::{pad_cuboid, sorted_group_agg, CubeSpec};
+use crate::common::{pad_cuboid, serial_md_join, sorted_group_agg, CubeSpec};
 use crate::lattice::Mask;
 use mdj_agg::rollup::rollup_specs;
 use mdj_core::basevalues::{cuboid_theta, group_by};
-use mdj_core::{md_join, ExecContext, Result};
+use mdj_core::{ExecContext, Result};
 use mdj_storage::Relation;
 
 /// One pipelined path: a dimension order plus the prefix lengths (cuboids)
@@ -62,7 +62,11 @@ pub fn build_pipelines(spec: &CubeSpec) -> Vec<Pipeline> {
             .map(|(k, _)| *k)
             .collect();
         prefixes.sort_by(|a, b| b.cmp(a));
-        uncovered.retain(|m| !pipeline_masks.iter().any(|(k, pm)| pm == m && prefixes.contains(k)));
+        uncovered.retain(|m| {
+            !pipeline_masks
+                .iter()
+                .any(|(k, pm)| pm == m && prefixes.contains(k))
+        });
         pipelines.push(Pipeline { order, prefixes });
     }
     pipelines
@@ -85,7 +89,7 @@ pub fn cube_pipesort(r: &Relation, spec: &CubeSpec, ctx: &ExecContext) -> Result
     // Finest cuboid once, from the detail table (hash-probed MD-join).
     let full_kept = spec.kept(lattice.full());
     let base_b = group_by(r, &full_kept)?;
-    let base = md_join(&base_b, r, &spec.aggs, &cuboid_theta(&full_kept), ctx)?;
+    let base = serial_md_join(&base_b, r, &spec.aggs, &cuboid_theta(&full_kept), ctx)?;
 
     let mut out = Relation::empty(schema.clone());
     for pipeline in &pipelines {

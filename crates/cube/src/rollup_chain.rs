@@ -10,11 +10,11 @@
 //! choice is greedy-by-size, which is how \[AAD+96\]-style planners pick
 //! roll-up edges when sizes are known.
 
-use crate::common::{pad_cuboid, CubeSpec};
+use crate::common::{pad_cuboid, serial_md_join, CubeSpec};
 use crate::lattice::Mask;
 use mdj_agg::rollup::rollup_specs;
 use mdj_core::basevalues::{cuboid_theta, group_by};
-use mdj_core::{md_join, CoreError, ExecContext, Result};
+use mdj_core::{CoreError, ExecContext, Result};
 use mdj_storage::Relation;
 use std::collections::HashMap;
 
@@ -35,7 +35,7 @@ pub fn cube_rollup_chain(r: &Relation, spec: &CubeSpec, ctx: &ExecContext) -> Re
         let cuboid = if mask == lattice.full() {
             // Finest cuboid: from the detail table with the original l.
             let b = group_by(r, &kept)?;
-            md_join(&b, r, &spec.aggs, &cuboid_theta(&kept), ctx)?
+            serial_md_join(&b, r, &spec.aggs, &cuboid_theta(&kept), ctx)?
         } else {
             // Coarser cuboid: from the smallest computed strict superset.
             let parent_mask = computed
@@ -46,7 +46,7 @@ pub fn cube_rollup_chain(r: &Relation, spec: &CubeSpec, ctx: &ExecContext) -> Re
                 .ok_or_else(|| CoreError::BadConfig("no computed parent".into()))?;
             let parent = &computed[&parent_mask];
             let b = group_by(parent, &kept)?;
-            md_join(&b, parent, &rolled, &cuboid_theta(&kept), ctx)?
+            serial_md_join(&b, parent, &rolled, &cuboid_theta(&kept), ctx)?
         };
         out = out.union(&pad_cuboid(&cuboid, spec, mask, &schema))?;
         computed.insert(mask, cuboid);
@@ -73,11 +73,11 @@ pub fn rollup_one(
     let coarse_kept = spec.kept(coarse);
     // Finer cuboid from detail.
     let fine_b = group_by(r, &fine_kept)?;
-    let fine_rel = md_join(&fine_b, r, &spec.aggs, &cuboid_theta(&fine_kept), ctx)?;
+    let fine_rel = serial_md_join(&fine_b, r, &spec.aggs, &cuboid_theta(&fine_kept), ctx)?;
     // Roll up.
     let rolled_specs = rollup_specs(&spec.aggs, &ctx.registry)?;
     let coarse_b = group_by(&fine_rel, &coarse_kept)?;
-    let via_rollup = md_join(
+    let via_rollup = serial_md_join(
         &coarse_b,
         &fine_rel,
         &rolled_specs,
@@ -86,7 +86,7 @@ pub fn rollup_one(
     )?;
     // Direct.
     let direct_b = group_by(r, &coarse_kept)?;
-    let direct = md_join(&direct_b, r, &spec.aggs, &cuboid_theta(&coarse_kept), ctx)?;
+    let direct = serial_md_join(&direct_b, r, &spec.aggs, &cuboid_theta(&coarse_kept), ctx)?;
     Ok((via_rollup, direct))
 }
 
@@ -181,10 +181,7 @@ mod tests {
     fn non_distributive_aggregates_rejected() {
         let r = rel();
         let ctx = ExecContext::new();
-        let sp = CubeSpec::new(
-            &["prod", "month"],
-            vec![AggSpec::on_column("avg", "sale")],
-        );
+        let sp = CubeSpec::new(&["prod", "month"], vec![AggSpec::on_column("avg", "sale")]);
         let err = cube_rollup_chain(&r, &sp, &ctx);
         assert!(err.is_err());
     }

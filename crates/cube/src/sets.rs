@@ -8,10 +8,10 @@
 //! Each listed cuboid gets a hash-probed MD-join with a plain conjunctive θ,
 //! so the wildcard `ALL`-θ (and its nested-loop probing) never runs.
 
-use crate::common::{pad_cuboid, CubeSpec};
+use crate::common::{pad_cuboid, serial_md_join, CubeSpec};
 use crate::lattice::Mask;
 use mdj_core::basevalues::{cuboid_theta, group_by};
-use mdj_core::{md_join, CoreError, ExecContext, Result};
+use mdj_core::{CoreError, ExecContext, Result};
 use mdj_storage::Relation;
 
 /// Which cuboids a grouping shape materializes.
@@ -36,10 +36,7 @@ pub fn shape_masks(n: usize, shape: &SetShape) -> Vec<Mask> {
             v.reverse(); // fine-to-coarse, matching the other cube drivers
             v
         }
-        SetShape::Rollup => (0..=n)
-            .rev()
-            .map(|k| ((1u64 << k) - 1) as Mask)
-            .collect(),
+        SetShape::Rollup => (0..=n).rev().map(|k| ((1u64 << k) - 1) as Mask).collect(),
         SetShape::Unpivot => (0..n).map(|i| 1 << i).collect(),
         SetShape::Explicit(masks) => masks.clone(),
     }
@@ -72,7 +69,7 @@ pub fn sets_agg(
         done.push(mask);
         let kept = spec.kept(mask);
         let b = group_by(r, &kept)?;
-        let cuboid = md_join(&b, r, &spec.aggs, &cuboid_theta(&kept), ctx)?;
+        let cuboid = serial_md_join(&b, r, &spec.aggs, &cuboid_theta(&kept), ctx)?;
         out = out.union(&pad_cuboid(&cuboid, spec, mask, &schema))?;
     }
     Ok(out)
@@ -108,9 +105,18 @@ mod tests {
 
     #[test]
     fn shape_masks_enumerate_correctly() {
-        assert_eq!(shape_masks(2, &SetShape::Cube), vec![0b11, 0b10, 0b01, 0b00]);
-        assert_eq!(shape_masks(3, &SetShape::Rollup), vec![0b111, 0b011, 0b001, 0b000]);
-        assert_eq!(shape_masks(3, &SetShape::Unpivot), vec![0b001, 0b010, 0b100]);
+        assert_eq!(
+            shape_masks(2, &SetShape::Cube),
+            vec![0b11, 0b10, 0b01, 0b00]
+        );
+        assert_eq!(
+            shape_masks(3, &SetShape::Rollup),
+            vec![0b111, 0b011, 0b001, 0b000]
+        );
+        assert_eq!(
+            shape_masks(3, &SetShape::Unpivot),
+            vec![0b001, 0b010, 0b100]
+        );
         assert_eq!(
             shape_masks(3, &SetShape::Explicit(vec![0b101])),
             vec![0b101]

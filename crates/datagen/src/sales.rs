@@ -10,10 +10,10 @@ use rand::{Rng, SeedableRng};
 /// paper's tri-state area (Example 2.2) first so small `states` settings keep
 /// NY/NJ/CT available.
 pub const STATES: [&str; 50] = [
-    "NY", "NJ", "CT", "CA", "IL", "TX", "FL", "PA", "OH", "GA", "NC", "MI", "WA", "AZ", "MA",
-    "TN", "IN", "MO", "MD", "WI", "CO", "MN", "SC", "AL", "LA", "KY", "OR", "OK", "PR", "IA",
-    "UT", "NV", "AR", "MS", "KS", "NM", "NE", "ID", "WV", "HI", "NH", "ME", "MT", "RI", "DE",
-    "SD", "ND", "AK", "VT", "WY",
+    "NY", "NJ", "CT", "CA", "IL", "TX", "FL", "PA", "OH", "GA", "NC", "MI", "WA", "AZ", "MA", "TN",
+    "IN", "MO", "MD", "WI", "CO", "MN", "SC", "AL", "LA", "KY", "OR", "OK", "PR", "IA", "UT", "NV",
+    "AR", "MS", "KS", "NM", "NE", "ID", "WV", "HI", "NH", "ME", "MT", "RI", "DE", "SD", "ND", "AK",
+    "VT", "WY",
 ];
 
 /// The `Sales` schema used across the reproduction:
@@ -119,11 +119,7 @@ mod tests {
                 .with_products(100)
                 .with_product_skew(1.2),
         );
-        let count_prod1 = |r: &Relation| {
-            r.iter()
-                .filter(|row| row[1] == Value::Int(1))
-                .count()
-        };
+        let count_prod1 = |r: &Relation| r.iter().filter(|row| row[1] == Value::Int(1)).count();
         assert!(count_prod1(&skewed) > 3 * count_prod1(&uniform).max(1));
     }
 

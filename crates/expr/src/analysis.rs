@@ -189,7 +189,11 @@ fn isolate_base_col(base_side: &Expr, detail_side: &Expr) -> Option<ProbeBinding
                     }),
                     e,
                 ) if !e.uses_side(Side::Base) => {
-                    let inverse = if *op == BinOp::Add { BinOp::Sub } else { BinOp::Add };
+                    let inverse = if *op == BinOp::Add {
+                        BinOp::Sub
+                    } else {
+                        BinOp::Add
+                    };
                     Some(ProbeBinding {
                         base_col: name.clone(),
                         detail_expr: bin(inverse, detail_side, e),
@@ -454,10 +458,7 @@ mod tests {
         assert!(residual.is_empty());
         assert_eq!(bindings[0].base_col, "cust");
         assert_eq!(bindings[1].base_col, "month");
-        assert_eq!(
-            bindings[1].detail_expr,
-            add(col_r("month"), lit(1i64))
-        );
+        assert_eq!(bindings[1].detail_expr, add(col_r("month"), lit(1i64)));
     }
 
     #[test]
@@ -548,7 +549,10 @@ mod tests {
 
     #[test]
     fn extract_range_keeps_unrelated_conjuncts() {
-        let conjs = vec![ge(col_r("year"), lit(1994i64)), gt(col_r("sale"), lit(0i64))];
+        let conjs = vec![
+            ge(col_r("year"), lit(1994i64)),
+            gt(col_r("sale"), lit(0i64)),
+        ];
         let (range, rest) = extract_range(&conjs, "year");
         assert!(range.is_some());
         assert_eq!(rest.len(), 1);
@@ -563,7 +567,10 @@ mod tests {
         );
         assert!(!theta_independent_of(&theta2, &["avg_sale".to_string()]));
         // Example 2.2's θ₂ is independent of θ₁'s output.
-        let theta = and(eq(col_r("cust"), col_b("cust")), eq(col_r("state"), lit("CT")));
+        let theta = and(
+            eq(col_r("cust"), col_b("cust")),
+            eq(col_r("state"), lit("CT")),
+        );
         assert!(theta_independent_of(&theta, &["avg_sale_ny".to_string()]));
     }
 }

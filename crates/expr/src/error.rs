@@ -10,7 +10,11 @@ pub enum ExprError {
     /// A column reference failed to resolve against the schema of its side.
     Bind { side: &'static str, inner: String },
     /// A runtime type error (e.g. adding a string to an int).
-    Type { op: String, lhs: String, rhs: String },
+    Type {
+        op: String,
+        lhs: String,
+        rhs: String,
+    },
     /// Division or modulo by zero.
     DivideByZero,
     /// An expression referenced a side that is not available in this context

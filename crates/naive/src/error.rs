@@ -11,7 +11,10 @@ pub enum NaiveError {
     Expr(mdj_expr::ExprError),
     Agg(mdj_agg::AggError),
     /// Join key lists have different lengths.
-    KeyArity { left: usize, right: usize },
+    KeyArity {
+        left: usize,
+        right: usize,
+    },
 }
 
 impl fmt::Display for NaiveError {
@@ -27,7 +30,16 @@ impl fmt::Display for NaiveError {
     }
 }
 
-impl std::error::Error for NaiveError {}
+impl std::error::Error for NaiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NaiveError::Storage(e) => Some(e),
+            NaiveError::Expr(e) => Some(e),
+            NaiveError::Agg(e) => Some(e),
+            NaiveError::KeyArity { .. } => None,
+        }
+    }
+}
 
 impl From<mdj_storage::StorageError> for NaiveError {
     fn from(e: mdj_storage::StorageError) -> Self {

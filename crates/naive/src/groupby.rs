@@ -97,10 +97,7 @@ mod tests {
         let out = group_by_agg(
             &sales(),
             &["cust"],
-            &[
-                AggSpec::on_column("avg", "sale"),
-                AggSpec::count_star(),
-            ],
+            &[AggSpec::on_column("avg", "sale"), AggSpec::count_star()],
             &Registry::standard(),
         )
         .unwrap();
@@ -156,13 +153,8 @@ mod tests {
         // hash group-by (what we model) yields none. The MD-join gets this
         // right via B; the naive plans must outer-join to recover rows.
         let empty = Relation::empty(sales().schema().clone());
-        let out = group_by_agg(
-            &empty,
-            &[],
-            &[AggSpec::count_star()],
-            &Registry::standard(),
-        )
-        .unwrap();
+        let out =
+            group_by_agg(&empty, &[], &[AggSpec::count_star()], &Registry::standard()).unwrap();
         assert!(out.is_empty());
     }
 }

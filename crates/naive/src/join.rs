@@ -167,7 +167,9 @@ mod tests {
     fn join_empty_sides() {
         let empty = Relation::empty(sales().schema().clone());
         assert_eq!(
-            hash_join(&custs(), &empty, &["cust"], &["scust"]).unwrap().len(),
+            hash_join(&custs(), &empty, &["cust"], &["scust"])
+                .unwrap()
+                .len(),
             0
         );
         let outer = left_outer_join(&custs(), &empty, &["cust"], &["scust"]).unwrap();

@@ -21,7 +21,7 @@ pub mod error;
 pub mod groupby;
 pub mod join;
 pub mod ops;
-pub mod sortexec;
 pub mod plans;
+pub mod sortexec;
 
 pub use error::{NaiveError, Result};

@@ -80,10 +80,7 @@ mod tests {
     fn project_computes() {
         let out = project_exprs(
             &rel(),
-            &[
-                ("x", col_r("x")),
-                ("x_plus_y", add(col_r("x"), col_r("y"))),
-            ],
+            &[("x", col_r("x")), ("x_plus_y", add(col_r("x"), col_r("y")))],
         )
         .unwrap();
         assert_eq!(out.schema().names(), vec!["x", "x_plus_y"]);

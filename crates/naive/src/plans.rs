@@ -61,8 +61,7 @@ pub fn example_2_2(sales: &Relation, registry: &Registry) -> Result<Relation> {
         let avgs = group_by_agg(
             &filtered,
             &["cust"],
-            &[AggSpec::on_column("avg", "sale")
-                .with_alias(format!("avg_{}", st.to_lowercase()))],
+            &[AggSpec::on_column("avg", "sale").with_alias(format!("avg_{}", st.to_lowercase()))],
             registry,
         )?;
         // Outer join keeps customers with no purchases in `st`.
@@ -165,8 +164,7 @@ pub fn example_2_2_sort_based(sales: &Relation, registry: &Registry) -> Result<R
         let avgs = sort_group_by(
             &filtered,
             &["cust"],
-            &[AggSpec::on_column("avg", "sale")
-                .with_alias(format!("avg_{}", st.to_lowercase()))],
+            &[AggSpec::on_column("avg", "sale").with_alias(format!("avg_{}", st.to_lowercase()))],
             registry,
         )?;
         let joined = sort_merge_left_outer(&acc, &avgs, &["cust"], &["cust"])?;
@@ -318,12 +316,7 @@ pub fn example_2_3(sales: &Relation, registry: &Registry) -> Result<Relation> {
             .map(|(_, d)| *d)
             .collect();
         // Group-by #1: per-cell averages.
-        let avgs = group_by_agg(
-            sales,
-            &kept,
-            &[AggSpec::on_column("avg", "sale")],
-            registry,
-        )?;
+        let avgs = group_by_agg(sales, &kept, &[AggSpec::on_column("avg", "sale")], registry)?;
         // Join the cell averages back onto the fact table.
         let joined = hash_join(sales, &avgs, &kept, &kept)?;
         let n_sales = sales.schema().len();
@@ -501,9 +494,7 @@ mod tests {
         let fine = out
             .rows()
             .iter()
-            .find(|r| {
-                r[0] == Value::Int(10) && r[1] == Value::Int(1) && r[2] == Value::str("NY")
-            })
+            .find(|r| r[0] == Value::Int(10) && r[1] == Value::Int(1) && r[2] == Value::str("NY"))
             .unwrap();
         assert_eq!(fine[3], Value::Int(0));
     }

@@ -163,7 +163,9 @@ mod tests {
         let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]);
         Relation::from_rows(
             schema,
-            rows.iter().map(|&(k, v)| Row::from_values([k, v])).collect(),
+            rows.iter()
+                .map(|&(k, v)| Row::from_values([k, v]))
+                .collect(),
         )
     }
 
@@ -203,7 +205,8 @@ mod tests {
     #[test]
     fn null_keys_padded_in_outer_dropped_in_inner() {
         let mut l = rel(&[(1, 1)]);
-        l.rows_mut().push(Row::new(vec![Value::Null, Value::Int(9)]));
+        l.rows_mut()
+            .push(Row::new(vec![Value::Null, Value::Int(9)]));
         let r = rel(&[(1, 100)]);
         let inner = sort_merge_join(&l, &r, &["k"], &["k"]).unwrap();
         assert_eq!(inner.len(), 1);
@@ -216,8 +219,10 @@ mod tests {
         let l = rel(&[]);
         let r = rel(&[(1, 1)]);
         assert!(sort_merge_join(&l, &r, &["k"], &["k"]).unwrap().is_empty());
-        assert!(sort_group_by(&l, &["k"], &[AggSpec::count_star()], &Registry::standard())
-            .unwrap()
-            .is_empty());
+        assert!(
+            sort_group_by(&l, &["k"], &[AggSpec::count_star()], &Registry::standard())
+                .unwrap()
+                .is_empty()
+        );
     }
 }

@@ -146,10 +146,15 @@ fn resolve(e: &PExpr, ctx: &mut ResolveCtx<'_>) -> Result<Expr> {
                 }
             }
             let alias = scoped_alias(func, scope.as_deref(), column.as_deref());
-            let key = (scope.clone(), agg_spec(func, column.as_deref(), alias.clone()));
-            if !ctx.demanded.iter().any(|(sc, sp)| {
-                sc == &key.0 && sp.output_name() == key.1.output_name()
-            }) {
+            let key = (
+                scope.clone(),
+                agg_spec(func, column.as_deref(), alias.clone()),
+            );
+            if !ctx
+                .demanded
+                .iter()
+                .any(|(sc, sp)| sc == &key.0 && sp.output_name() == key.1.output_name())
+            {
                 ctx.demanded.push(key);
             }
             Ok(col_b(alias))
@@ -274,10 +279,7 @@ fn compile_global(q: &Query, src: Plan) -> Result<CompiledQuery> {
 }
 
 /// ORDER BY keys must name select-list output columns.
-fn validated_order(
-    q: &Query,
-    output_cols: &[String],
-) -> Result<Vec<crate::ast::OrderKey>> {
+fn validated_order(q: &Query, output_cols: &[String]) -> Result<Vec<crate::ast::OrderKey>> {
     for key in &q.order_by {
         if !output_cols.contains(&key.column) {
             return Err(SqlError::Compile(format!(
@@ -623,10 +625,9 @@ mod tests {
 
     #[test]
     fn analyze_by_cube_theta_is_wildcard() {
-        let c = compile_str(
-            "select prod, month, sum(sale) from Sales analyze by cube(prod, month)",
-        )
-        .unwrap();
+        let c =
+            compile_str("select prod, month, sum(sale) from Sales analyze by cube(prod, month)")
+                .unwrap();
         match &c.plan {
             Plan::MdJoin { theta, .. } => {
                 assert!(theta.to_string().contains("ALL"));
@@ -637,9 +638,8 @@ mod tests {
 
     #[test]
     fn analyze_by_table_projects_external_base() {
-        let c =
-            compile_str("select prod, month, sum(sale) from Sales analyze by T(prod, month)")
-                .unwrap();
+        let c = compile_str("select prod, month, sum(sale) from Sales analyze by T(prod, month)")
+            .unwrap();
         match &c.plan {
             Plan::MdJoin { base, .. } => {
                 assert!(matches!(base.as_ref(), Plan::Project { .. }));
@@ -677,10 +677,7 @@ mod tests {
 
     #[test]
     fn having_demands_aggregates() {
-        let c = compile_str(
-            "select cust from Sales group by cust having sum(sale) > 100",
-        )
-        .unwrap();
+        let c = compile_str("select cust from Sales group by cust having sum(sale) > 100").unwrap();
         // The group block is created solely for HAVING's sum.
         assert_eq!(c.plan.md_join_count(), 1);
         assert!(c.having.is_some());

@@ -100,7 +100,9 @@ impl SqlEngine {
             out = kept;
         }
         let names: Vec<&str> = compiled.output_cols.iter().map(String::as_str).collect();
-        let mut out = out.project(&names).map_err(mdj_algebra::AlgebraError::from)?;
+        let mut out = out
+            .project(&names)
+            .map_err(mdj_algebra::AlgebraError::from)?;
         if !compiled.order_by.is_empty() {
             let keys: Vec<(usize, bool)> = compiled
                 .order_by
@@ -232,7 +234,10 @@ mod tests {
                            Z.cust = cust and Z.state = 'CT'",
             )
             .unwrap();
-        assert_eq!(out.schema().names(), vec!["cust", "avg_ny", "avg_nj", "avg_ct"]);
+        assert_eq!(
+            out.schema().names(),
+            vec!["cust", "avg_ny", "avg_nj", "avg_ct"]
+        );
         let c2 = out.rows().iter().find(|r| r[0] == Value::Int(2)).unwrap();
         assert_eq!(c2[1], Value::Float(40.0));
         assert_eq!(c2[2], Value::Null); // outer-join semantics
@@ -264,7 +269,9 @@ mod tests {
 
     #[test]
     fn global_aggregate() {
-        let out = engine().query("select count(*), max(sale) from Sales").unwrap();
+        let out = engine()
+            .query("select count(*), max(sale) from Sales")
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows()[0][0], Value::Int(5));
         assert_eq!(out.rows()[0][1], Value::Float(50.0));
@@ -365,8 +372,10 @@ mod tests {
     #[test]
     fn order_by_multiple_keys_and_asc() {
         let out = engine()
-            .query("select cust, month, count(*) from Sales group by cust, month \
-                    order by cust asc, month desc")
+            .query(
+                "select cust, month, count(*) from Sales group by cust, month \
+                    order by cust asc, month desc",
+            )
             .unwrap();
         assert_eq!(out.rows()[0][0], Value::Int(1));
         assert_eq!(out.rows()[0][1], Value::Int(3)); // cust 1's months desc

@@ -8,9 +8,15 @@ pub type Result<T, E = SqlError> = std::result::Result<T, E>;
 #[derive(Debug, Clone, PartialEq)]
 pub enum SqlError {
     /// Lexical error at a byte offset.
-    Lex { offset: usize, message: String },
+    Lex {
+        offset: usize,
+        message: String,
+    },
     /// Parse error with the offending token and what was expected.
-    Parse { near: String, message: String },
+    Parse {
+        near: String,
+        message: String,
+    },
     /// Semantic error during compilation (unknown column/variable/etc.).
     Compile(String),
     /// Downstream failure (planning or execution).
@@ -34,7 +40,17 @@ impl fmt::Display for SqlError {
     }
 }
 
-impl std::error::Error for SqlError {}
+impl std::error::Error for SqlError {
+    /// Chain into the planning/execution layers (see
+    /// [`mdj_algebra::AlgebraError`], which chains further down).
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Algebra(e) => Some(e),
+            SqlError::Agg(e) => Some(e),
+            SqlError::Lex { .. } | SqlError::Parse { .. } | SqlError::Compile(_) => None,
+        }
+    }
+}
 
 impl From<mdj_algebra::AlgebraError> for SqlError {
     fn from(e: mdj_algebra::AlgebraError) -> Self {

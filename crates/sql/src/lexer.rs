@@ -19,7 +19,8 @@ pub enum Token {
 
 const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "ANALYZE", "CUBE", "ROLLUP", "UNPIVOT", "GROUPING",
-    "SETS", "SUCH", "THAT", "AND", "OR", "NOT", "AS", "DISTINCT", "HAVING", "ORDER", "LIMIT", "ASC", "DESC", "BETWEEN",
+    "SETS", "SUCH", "THAT", "AND", "OR", "NOT", "AS", "DISTINCT", "HAVING", "ORDER", "LIMIT",
+    "ASC", "DESC", "BETWEEN",
 ];
 
 /// Tokenize `input`. Strings use single quotes with `''` escaping.

@@ -484,8 +484,10 @@ mod tests {
 
     #[test]
     fn analyze_by_cube() {
-        let q = parse("select prod, month, state, sum(sale) from Sales analyze by cube(prod, month, state)")
-            .unwrap();
+        let q = parse(
+            "select prod, month, state, sum(sale) from Sales analyze by cube(prod, month, state)",
+        )
+        .unwrap();
         match &q.group {
             GroupClause::AnalyzeBy { shape, attrs } => {
                 assert_eq!(*shape, Shape::Cube);
@@ -558,8 +560,10 @@ mod tests {
 
     #[test]
     fn count_star_and_scoped_star() {
-        let q = parse("select count(*), count(Z.*) from Sales group by cust ; Z such that Z.cust = cust")
-            .unwrap();
+        let q = parse(
+            "select count(*), count(Z.*) from Sales group by cust ; Z such that Z.cust = cust",
+        )
+        .unwrap();
         match &q.select[0] {
             SelectItem::Agg { scope, column, .. } => {
                 assert!(scope.is_none() && column.is_none())
@@ -606,18 +610,19 @@ mod tests {
         assert!(w.contains("\">=\""));
         assert!(w.contains("\"<=\""));
         // BETWEEN binds tighter than AND:
-        let q = parse(
-            "select count(*) from Sales where year between 1994 and 1996 and month = 2",
-        )
-        .unwrap();
+        let q = parse("select count(*) from Sales where year between 1994 and 1996 and month = 2")
+            .unwrap();
         let w = format!("{:?}", q.where_clause.unwrap());
         assert!(w.starts_with("Binary { op: \"AND\""));
     }
 
     #[test]
     fn order_by_and_limit_parse() {
-        let q = parse("select cust, sum(sale) from Sales group by cust \
-                       order by sum_sale desc, cust limit 5").unwrap();
+        let q = parse(
+            "select cust, sum(sale) from Sales group by cust \
+                       order by sum_sale desc, cust limit 5",
+        )
+        .unwrap();
         assert_eq!(q.order_by.len(), 2);
         assert!(q.order_by[0].descending);
         assert!(!q.order_by[1].descending);
@@ -627,8 +632,8 @@ mod tests {
 
     #[test]
     fn having_clause_parses() {
-        let q = parse("select cust, sum(sale) from Sales group by cust having sum(sale) > 10")
-            .unwrap();
+        let q =
+            parse("select cust, sum(sale) from Sales group by cust having sum(sale) > 10").unwrap();
         assert!(q.having.is_some());
     }
 }

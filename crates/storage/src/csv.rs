@@ -12,7 +12,6 @@ use crate::relation::Relation;
 use crate::row::Row;
 use crate::schema::{DataType, Schema};
 use crate::value::Value;
-use bytes::{BufMut, BytesMut};
 use std::io::{Read, Write};
 
 /// Parse one CSV record (handles quoting). Returns the fields and the number
@@ -126,7 +125,10 @@ pub fn read_str(text: &str, schema: &Schema) -> Result<Relation> {
         if h != &f.name && h != f.base_name() {
             return Err(StorageError::Csv {
                 line: 1,
-                message: format!("header column `{h}` does not match schema field `{}`", f.name),
+                message: format!(
+                    "header column `{h}` does not match schema field `{}`",
+                    f.name
+                ),
             });
         }
     }
@@ -164,37 +166,37 @@ fn needs_quoting(s: &str) -> bool {
     s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r')
 }
 
-fn write_cell(out: &mut BytesMut, v: &Value) {
+fn write_cell(out: &mut String, v: &Value) {
     let s = v.to_string();
     if needs_quoting(&s) {
-        out.put_u8(b'"');
-        out.put_slice(s.replace('"', "\"\"").as_bytes());
-        out.put_u8(b'"');
+        out.push('"');
+        out.push_str(&s.replace('"', "\"\""));
+        out.push('"');
     } else {
-        out.put_slice(s.as_bytes());
+        out.push_str(&s);
     }
 }
 
 /// Serialize a relation as CSV text (header + rows).
 pub fn write_string(relation: &Relation) -> String {
-    let mut out = BytesMut::new();
+    let mut out = String::new();
     for (i, f) in relation.schema().fields().iter().enumerate() {
         if i > 0 {
-            out.put_u8(b',');
+            out.push(',');
         }
-        out.put_slice(f.name.as_bytes());
+        out.push_str(&f.name);
     }
-    out.put_u8(b'\n');
+    out.push('\n');
     for row in relation.iter() {
         for (i, v) in row.values().iter().enumerate() {
             if i > 0 {
-                out.put_u8(b',');
+                out.push(',');
             }
             write_cell(&mut out, v);
         }
-        out.put_u8(b'\n');
+        out.push('\n');
     }
-    String::from_utf8(out.to_vec()).expect("CSV output is valid UTF-8")
+    out
 }
 
 /// Write a relation as CSV to any writer.

@@ -173,7 +173,10 @@ mod tests {
             Bound::Included(&Value::Int(1994)),
             Bound::Included(&Value::Int(1996)),
         );
-        let mut years: Vec<i64> = ids.iter().map(|&i| r.rows()[i][0].as_int().unwrap()).collect();
+        let mut years: Vec<i64> = ids
+            .iter()
+            .map(|&i| r.rows()[i][0].as_int().unwrap())
+            .collect();
         years.sort();
         assert_eq!(years, vec![1994, 1994, 1996]);
     }

@@ -27,5 +27,5 @@ pub use index::{HashIndex, SortedIndex};
 pub use relation::Relation;
 pub use row::Row;
 pub use schema::{DataType, Field, Schema};
-pub use stats::ScanStats;
+pub use stats::{ScanStats, StatsSnapshot, WorkerStats};
 pub use value::Value;

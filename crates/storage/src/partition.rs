@@ -151,9 +151,7 @@ mod tests {
         let schema = Schema::from_pairs(&[("k", DataType::Int), ("m", DataType::Int)]);
         Relation::from_rows(
             schema,
-            (0..n)
-                .map(|i| Row::from_values([i, i % 12 + 1]))
-                .collect(),
+            (0..n).map(|i| Row::from_values([i, i % 12 + 1])).collect(),
         )
     }
 

@@ -227,13 +227,16 @@ impl Relation {
         b.sort();
         a.iter().zip(&b).all(|(x, y)| {
             x.len() == y.len()
-                && x.values().iter().zip(y.values()).all(|(u, w)| match (u, w) {
-                    (Value::Float(p), Value::Float(q)) => {
-                        let scale = p.abs().max(q.abs()).max(1.0);
-                        (p - q).abs() <= eps * scale
-                    }
-                    _ => u == w,
-                })
+                && x.values()
+                    .iter()
+                    .zip(y.values())
+                    .all(|(u, w)| match (u, w) {
+                        (Value::Float(p), Value::Float(q)) => {
+                            let scale = p.abs().max(q.abs()).max(1.0);
+                            (p - q).abs() <= eps * scale
+                        }
+                        _ => u == w,
+                    })
         })
     }
 }

@@ -257,7 +257,12 @@ mod tests {
 
     #[test]
     fn admits_null_and_all_everywhere() {
-        for t in [DataType::Int, DataType::Float, DataType::Str, DataType::Bool] {
+        for t in [
+            DataType::Int,
+            DataType::Float,
+            DataType::Str,
+            DataType::Bool,
+        ] {
             assert!(t.admits(&Value::Null));
             assert!(t.admits(&Value::All));
         }

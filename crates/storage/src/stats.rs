@@ -7,6 +7,51 @@
 //! each optimization is visible independent of machine speed.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Per-worker accounting for the morsel-driven parallel executor: how many
+/// morsels a worker processed, how many tuples those covered, how many of its
+/// tasks were stolen from other workers' queues, and how many partial-state
+/// merges it performed. Imbalances between workers make scheduling skew
+/// visible; a non-zero steal count is the signature of work stealing
+/// rebalancing a skewed load.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorkerStats {
+    /// Worker index within its pool.
+    pub worker: usize,
+    /// Morsels this worker executed (own + stolen).
+    pub morsels: u64,
+    /// Tuples covered by those morsels.
+    pub tuples: u64,
+    /// Aggregate-state updates this worker applied. Tuples measure how much
+    /// input a worker consumed; updates measure how much *work* it did — under
+    /// a skewed fan-out the two diverge, and the largest per-worker update
+    /// count is the schedule's makespan in machine-independent units.
+    pub updates: u64,
+    /// Morsels obtained by stealing from another worker's queue.
+    pub steals: u64,
+    /// Partial aggregate-state merges performed during the merge phase.
+    pub merges: u64,
+}
+
+impl WorkerStats {
+    pub fn new(worker: usize) -> Self {
+        WorkerStats {
+            worker,
+            ..Default::default()
+        }
+    }
+}
+
+impl std::fmt::Display for WorkerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker {}: morsels={} tuples={} updates={} steals={} merges={}",
+            self.worker, self.morsels, self.tuples, self.updates, self.steals, self.merges
+        )
+    }
+}
 
 /// Thread-safe operation counters. Cheap relaxed atomics; shareable across the
 /// parallel evaluators.
@@ -20,6 +65,9 @@ pub struct ScanStats {
     probes: AtomicU64,
     /// Aggregate-state updates applied.
     updates: AtomicU64,
+    /// Per-worker morsel accounting, appended once per worker per parallel
+    /// run (guarded by a mutex: workers report once at exit, not per tuple).
+    workers: Mutex<Vec<WorkerStats>>,
 }
 
 impl ScanStats {
@@ -43,6 +91,12 @@ impl ScanStats {
         self.updates.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Append one worker's morsel accounting (called once per worker at the
+    /// end of a parallel run).
+    pub fn record_worker(&self, worker: WorkerStats) {
+        self.workers.lock().unwrap().push(worker);
+    }
+
     pub fn scans(&self) -> u64 {
         self.scans.load(Ordering::Relaxed)
     }
@@ -59,12 +113,18 @@ impl ScanStats {
         self.updates.load(Ordering::Relaxed)
     }
 
+    /// Per-worker morsel accounting recorded so far.
+    pub fn workers(&self) -> Vec<WorkerStats> {
+        self.workers.lock().unwrap().clone()
+    }
+
     /// Zero all counters.
     pub fn reset(&self) {
         self.scans.store(0, Ordering::Relaxed);
         self.tuples_scanned.store(0, Ordering::Relaxed);
         self.probes.store(0, Ordering::Relaxed);
         self.updates.store(0, Ordering::Relaxed);
+        self.workers.lock().unwrap().clear();
     }
 
     /// Snapshot as a plain struct for reporting.
@@ -74,17 +134,21 @@ impl ScanStats {
             tuples_scanned: self.tuples_scanned(),
             probes: self.probes(),
             updates: self.updates(),
+            workers: self.workers(),
         }
     }
 }
 
 /// A point-in-time copy of [`ScanStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     pub scans: u64,
     pub tuples_scanned: u64,
     pub probes: u64,
     pub updates: u64,
+    /// Per-worker morsel/steal/merge counters from parallel runs (empty for
+    /// serial evaluation).
+    pub workers: Vec<WorkerStats>,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -93,7 +157,11 @@ impl std::fmt::Display for StatsSnapshot {
             f,
             "scans={} tuples={} probes={} updates={}",
             self.scans, self.tuples_scanned, self.probes, self.updates
-        )
+        )?;
+        for w in &self.workers {
+            write!(f, "\n  {w}")?;
+        }
+        Ok(())
     }
 }
 

@@ -11,8 +11,7 @@
 //!
 //! Run with: `cargo run -p mdj-app --example cube_explorer --release`
 
-use mdj_agg::AggSpec;
-use mdj_core::ExecContext;
+use mdj_core::prelude::*;
 use mdj_cube::{
     naive::{cube_per_cuboid, cube_via_wildcard_theta},
     partitioned::cube_partitioned,
@@ -21,7 +20,6 @@ use mdj_cube::{
     CubeSpec,
 };
 use mdj_datagen::{sales, SalesConfig};
-use mdj_storage::Value;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -83,7 +81,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for p in &pipelines {
         let names: Vec<&str> = p.order.iter().map(|&d| spec.dims[d].as_str()).collect();
-        println!("  order ({}) emits prefixes {:?}", names.join(", "), p.prefixes);
+        println!(
+            "  order ({}) emits prefixes {:?}",
+            names.join(", "),
+            p.prefixes
+        );
     }
 
     // Figure 1 style peek: the apex and the per-product marginals.

@@ -11,18 +11,21 @@
 //!
 //! Run with: `cargo run -p mdj-app --example sales_vs_payments --release`
 
-use mdj_agg::{AggSpec, Registry};
+use mdj_agg::Registry;
 use mdj_algebra::{execute, explain::explain, rules::split_into_join, Plan};
-use mdj_core::{parallel::md_join_parallel, ExecContext};
+use mdj_core::prelude::*;
 use mdj_datagen::{payments, sales, PaymentsConfig, SalesConfig};
-use mdj_expr::builder::*;
 use mdj_storage::Catalog;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rows = 100_000;
     let sales_rel = sales(&SalesConfig::default().with_rows(rows).with_customers(500));
-    let payments_rel = payments(&PaymentsConfig::default().with_rows(rows).with_customers(500));
+    let payments_rel = payments(
+        &PaymentsConfig::default()
+            .with_rows(rows)
+            .with_customers(500),
+    );
     let mut catalog = Catalog::new();
     catalog.register("Sales", sales_rel.clone());
     catalog.register("Payments", payments_rel);
@@ -42,34 +45,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .md_join(
             Plan::table("Sales"),
             vec![AggSpec::on_column("sum", "sale")],
-            and(eq(col_r("cust"), col_b("cust")), eq(col_r("month"), col_b("month"))),
+            and(
+                eq(col_r("cust"), col_b("cust")),
+                eq(col_r("month"), col_b("month")),
+            ),
         )
         .md_join(
             Plan::table("Payments"),
             vec![AggSpec::on_column("sum", "amount")],
-            and(eq(col_r("cust"), col_b("cust")), eq(col_r("month"), col_b("month"))),
+            and(
+                eq(col_r("cust"), col_b("cust")),
+                eq(col_r("month"), col_b("month")),
+            ),
         );
 
     let t0 = Instant::now();
     let sequential = execute(&chain, &catalog, &ctx)?;
-    println!("Sequential chain:       {:?}  → {} rows", t0.elapsed(), sequential.len());
+    println!(
+        "Sequential chain:       {:?}  → {} rows",
+        t0.elapsed(),
+        sequential.len()
+    );
 
     // Theorem 4.4: split into an equijoin of independent MD-joins.
     let split = split_into_join(&chain, &catalog, &registry)?;
     println!("\nSplit plan (Theorem 4.4):\n{}", explain(&split));
     let t0 = Instant::now();
     let split_out = execute(&split, &catalog, &ctx)?;
-    println!("Split evaluation:       {:?}  → {} rows", t0.elapsed(), split_out.len());
+    println!(
+        "Split evaluation:       {:?}  → {} rows",
+        t0.elapsed(),
+        split_out.len()
+    );
     assert!(sequential.same_multiset(&split_out));
 
     // Intra-operator parallelism on the Sales side (Theorem 4.1 / §4.1.2):
     let b = sales_rel.distinct_on(&["cust", "month"])?;
-    let theta = and(eq(col_r("cust"), col_b("cust")), eq(col_r("month"), col_b("month")));
+    let theta = and(
+        eq(col_r("cust"), col_b("cust")),
+        eq(col_r("month"), col_b("month")),
+    );
     let l = [AggSpec::on_column("sum", "sale")];
+    let join = MdJoin::new(&b, &sales_rel).aggs(&l).theta(theta);
     for threads in [1, 2, 4] {
         let t0 = Instant::now();
-        let out = md_join_parallel(&b, &sales_rel, &l, &theta, threads, &ctx)?;
-        println!("Sales MD-join, {threads} thread(s): {:?} → {} rows", t0.elapsed(), out.len());
+        let out = join
+            .clone()
+            .strategy(ExecStrategy::Morsel)
+            .threads(threads)
+            .run(&ctx)?;
+        println!(
+            "Sales MD-join, {threads} thread(s): {:?} → {} rows",
+            t0.elapsed(),
+            out.len()
+        );
     }
 
     // Show a few rows.

@@ -36,14 +36,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = Instant::now();
     let md_out = engine.query(sql)?;
     let md_time = t0.elapsed();
-    println!("MD-join (generalized, single scan): {md_time:?}  → {} rows", md_out.len());
+    println!(
+        "MD-join (generalized, single scan): {md_time:?}  → {} rows",
+        md_out.len()
+    );
     println!("{}", engine.explain(sql)?);
 
     // --- Classical path: 4 subqueries + 3 outer joins (the paper's SQL). --
     let t0 = Instant::now();
     let naive_out = mdj_naive::plans::example_2_2(&sales_rel, &Registry::standard())?;
     let naive_time = t0.elapsed();
-    println!("Classical multi-block plan:          {naive_time:?}  → {} rows", naive_out.len());
+    println!(
+        "Classical multi-block plan:          {naive_time:?}  → {} rows",
+        naive_out.len()
+    );
 
     // --- They agree. -------------------------------------------------------
     let cols = ["cust", "avg_ny", "avg_nj", "avg_ct"];

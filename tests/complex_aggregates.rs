@@ -2,11 +2,26 @@
 //! introduction motivates — moving averages, medians, most-frequent, UDAFs —
 //! all expressed with the *same* MD-join operator.
 
-use mdj_agg::{AggClass, AggSpec, AggState, Aggregate, Registry};
-use mdj_core::{md_join, ExecContext};
+use mdj_agg::{AggClass, AggState, Aggregate, Registry};
+use mdj_core::prelude::*;
 use mdj_datagen::{sales, SalesConfig};
-use mdj_expr::builder::*;
-use mdj_storage::{DataType, Relation, Value};
+use mdj_expr::builder::{and_all, sub};
+
+/// All queries below pin the serial plan; parallel equivalence is covered by
+/// `theorem_equivalences` and `morsel_equivalence`.
+fn md_join(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    MdJoin::new(b, r)
+        .aggs(l)
+        .theta(theta.clone())
+        .strategy(ExecStrategy::Serial)
+        .run(ctx)
+}
 use std::any::Any;
 use std::sync::Arc;
 

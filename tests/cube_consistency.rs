@@ -1,15 +1,12 @@
 //! Property tests: every cube algorithm computes the same relation, and the
 //! base-values builders satisfy their definitional relationships.
 
-use mdj_agg::AggSpec;
-use mdj_core::basevalues;
-use mdj_core::ExecContext;
+use mdj_core::prelude::*;
 use mdj_cube::naive::{cube_per_cuboid, cube_via_wildcard_theta};
 use mdj_cube::partitioned::cube_partitioned;
 use mdj_cube::pipesort::cube_pipesort;
 use mdj_cube::rollup_chain::cube_rollup_chain;
 use mdj_cube::CubeSpec;
-use mdj_storage::{DataType, Relation, Row, Schema, Value};
 use proptest::prelude::*;
 
 fn detail_strategy() -> impl Strategy<Value = Relation> {

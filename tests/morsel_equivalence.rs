@@ -1,0 +1,186 @@
+//! Property tests for the morsel-driven executor: its output must be
+//! *row-identical* (same rows, same order) to the serial Algorithm 3.1 run,
+//! for every thread count, morsel size, scheduling side, and θ shape — the
+//! scheduler may only change who does the work, never the answer. Exercised
+//! through the public [`MdJoin`] builder, as all executors now are.
+
+use mdj_core::prelude::*;
+use mdj_expr::builder::add;
+use proptest::prelude::*;
+
+fn detail_strategy() -> impl Strategy<Value = Relation> {
+    // (k, m, v) rows with small domains so groups collide.
+    proptest::collection::vec((0i64..6, 0i64..5, -50i64..50), 0..60).prop_map(|rows| {
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("m", DataType::Int),
+            ("v", DataType::Int),
+        ]);
+        Relation::from_rows(
+            schema,
+            rows.into_iter()
+                .map(|(k, m, v)| Row::from_values([k, m, v]))
+                .collect(),
+        )
+    })
+}
+
+fn base_strategy() -> impl Strategy<Value = Relation> {
+    proptest::collection::btree_set((0i64..6, 0i64..5), 0..12).prop_map(|keys| {
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("m", DataType::Int)]);
+        Relation::from_rows(
+            schema,
+            keys.into_iter()
+                .map(|(k, m)| Row::from_values([k, m]))
+                .collect(),
+        )
+    })
+}
+
+/// Equi, computed-key, pure-inequality, and wildcard θ shapes: the morsel
+/// executor must not care whether the probe is a hash or a nested loop.
+fn theta_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(eq(col_b("k"), col_r("k"))),
+        Just(and(eq(col_b("k"), col_r("k")), eq(col_b("m"), col_r("m")))),
+        Just(and(
+            eq(col_b("k"), col_r("k")),
+            eq(col_b("m"), add(col_r("m"), lit(1i64)))
+        )),
+        Just(le(col_b("m"), col_r("m"))),
+        Just(Expr::always_true()),
+    ]
+}
+
+fn specs() -> Vec<AggSpec> {
+    vec![
+        AggSpec::count_star(),
+        AggSpec::on_column("sum", "v"),
+        AggSpec::on_column("avg", "v"),
+        AggSpec::on_column("min", "v"),
+        AggSpec::on_column("median", "v"), // holistic: exercises state merge
+    ]
+}
+
+fn serial(b: &Relation, r: &Relation, theta: &Expr, ctx: &ExecContext) -> Relation {
+    MdJoin::new(b, r)
+        .aggs(&specs())
+        .theta(theta.clone())
+        .strategy(ExecStrategy::Serial)
+        .run(ctx)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Morsel output is row-identical to serial for every (threads, morsel
+    /// size, side) combination — including morsels of a single row and
+    /// morsels larger than the input.
+    #[test]
+    fn morsel_equals_serial_row_identical(
+        b in base_strategy(),
+        r in detail_strategy(),
+        theta in theta_strategy(),
+    ) {
+        let expected = serial(&b, &r, &theta, &ExecContext::new());
+        for threads in [1usize, 2, 8] {
+            for morsel in [1usize, 7, 4096] {
+                for side in [ExecStrategy::MorselBase, ExecStrategy::MorselDetail] {
+                    let ctx = ExecContext::new().with_morsel_size(morsel);
+                    let got = MdJoin::new(&b, &r)
+                        .aggs(&specs())
+                        .theta(theta.clone())
+                        .strategy(side)
+                        .threads(threads)
+                        .run(&ctx)
+                        .unwrap();
+                    prop_assert_eq!(
+                        expected.rows(),
+                        got.rows(),
+                        "threads={} morsel={} side={:?}",
+                        threads,
+                        morsel,
+                        side
+                    );
+                }
+            }
+        }
+    }
+
+    /// The Auto strategy (what the optimizer's `Plan::Parallel` node uses)
+    /// also reproduces the serial answer.
+    #[test]
+    fn auto_morsel_equals_serial(
+        b in base_strategy(),
+        r in detail_strategy(),
+        theta in theta_strategy(),
+        threads in 1usize..9,
+    ) {
+        let expected = serial(&b, &r, &theta, &ExecContext::new());
+        let got = MdJoin::new(&b, &r)
+            .aggs(&specs())
+            .theta(theta.clone())
+            .strategy(ExecStrategy::Morsel)
+            .threads(threads)
+            .run(&ExecContext::new())
+            .unwrap();
+        prop_assert_eq!(expected.rows(), got.rows());
+    }
+}
+
+/// Deterministic edge cases: empty B, empty R, and single-row inputs under
+/// aggressive morsel settings.
+#[test]
+fn empty_inputs_across_thread_and_morsel_grid() {
+    let schema_b = Schema::from_pairs(&[("k", DataType::Int), ("m", DataType::Int)]);
+    let schema_r = Schema::from_pairs(&[
+        ("k", DataType::Int),
+        ("m", DataType::Int),
+        ("v", DataType::Int),
+    ]);
+    let b = Relation::from_rows(
+        schema_b.clone(),
+        (0..4).map(|k| Row::from_values([k, k % 2])).collect(),
+    );
+    let r = Relation::from_rows(
+        schema_r.clone(),
+        (0..20)
+            .map(|i| Row::from_values([i % 4, i % 2, i]))
+            .collect(),
+    );
+    let theta = eq(col_b("k"), col_r("k"));
+    for threads in [1usize, 2, 8] {
+        for morsel in [1usize, 7, 4096] {
+            for side in [ExecStrategy::MorselBase, ExecStrategy::MorselDetail] {
+                let ctx = ExecContext::new().with_morsel_size(morsel);
+                let run = |b: &Relation, r: &Relation| {
+                    MdJoin::new(b, r)
+                        .aggs(&[AggSpec::count_star()])
+                        .theta(theta.clone())
+                        .strategy(side)
+                        .threads(threads)
+                        .run(&ctx)
+                        .unwrap()
+                };
+                // Empty B → empty output (|output| = |B| always).
+                let out = run(&Relation::empty(schema_b.clone()), &r);
+                assert!(
+                    out.is_empty(),
+                    "threads={threads} morsel={morsel} side={side:?}"
+                );
+                // Empty R → every base row survives with count 0.
+                let out = run(&b, &Relation::empty(schema_r.clone()));
+                assert_eq!(out.len(), b.len());
+                assert!(out.rows().iter().all(|row| row[2] == Value::Int(0)));
+                // Single-row inputs.
+                let b1 = Relation::from_rows(schema_b.clone(), vec![Row::from_values([0i64, 0])]);
+                let r1 =
+                    Relation::from_rows(schema_r.clone(), vec![Row::from_values([0i64, 0, 7])]);
+                let out = run(&b1, &r1);
+                assert_eq!(out.len(), 1);
+                assert_eq!(out.rows()[0][2], Value::Int(1));
+            }
+        }
+    }
+}

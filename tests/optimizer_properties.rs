@@ -3,13 +3,12 @@
 //! optimizer must never increase the estimated cost or the number of detail
 //! scans.
 
-use mdj_agg::{AggSpec, Registry};
+use mdj_agg::Registry;
 use mdj_algebra::rules::coalesce::detail_scan_count;
 use mdj_algebra::{execute, optimize, Plan};
-use mdj_core::ExecContext;
-use mdj_expr::builder::*;
-use mdj_expr::Expr;
-use mdj_storage::{Catalog, DataType, Relation, Row, Schema, Value};
+use mdj_core::prelude::*;
+use mdj_expr::builder::and_all;
+use mdj_storage::Catalog;
 use proptest::prelude::*;
 
 fn catalog() -> Catalog {

@@ -2,14 +2,29 @@
 //! cross-checked against the classical relational formulation (the paper's
 //! own description of what a user must write without the MD-join).
 
-use mdj_agg::{AggSpec, Registry};
+use mdj_agg::Registry;
 use mdj_algebra::{execute, rules::split_into_join, Plan};
 use mdj_core::basevalues::{cube, cube_match_theta};
-use mdj_core::{md_join, ExecContext};
+use mdj_core::prelude::*;
 use mdj_datagen::{payments, sales, PaymentsConfig, SalesConfig};
-use mdj_expr::builder::*;
+use mdj_expr::builder::and_all;
 use mdj_sql::SqlEngine;
-use mdj_storage::{Catalog, Relation, Value};
+use mdj_storage::Catalog;
+
+/// The examples below are stated over the serial Algorithm 3.1 plan.
+fn md_join(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    MdJoin::new(b, r)
+        .aggs(l)
+        .theta(theta.clone())
+        .strategy(ExecStrategy::Serial)
+        .run(ctx)
+}
 
 fn sales_rel(rows: usize) -> Relation {
     sales(
@@ -39,7 +54,9 @@ fn example_2_1_cube_by() {
         SqlEngine::new(catalog)
     };
     let via_sql = e
-        .query("select prod, month, state, sum(sale) from Sales analyze by cube(prod, month, state)")
+        .query(
+            "select prod, month, state, sum(sale) from Sales analyze by cube(prod, month, state)",
+        )
         .unwrap();
     let via_groupbys = mdj_naive::plans::cube_by_groupbys(
         &r,
@@ -52,7 +69,9 @@ fn example_2_1_cube_by() {
     // sums partial aggregates, so totals differ in the last bits.
     assert!(via_sql.approx_same_multiset(&via_groupbys, 1e-9));
     // Figure 1's shape: ALL markers appear at every granularity.
-    assert!(via_sql.iter().any(|row| row[0].is_all() && !row[1].is_all()));
+    assert!(via_sql
+        .iter()
+        .any(|row| row[0].is_all() && !row[1].is_all()));
     assert!(via_sql
         .iter()
         .any(|row| row[0].is_all() && row[1].is_all() && row[2].is_all()));
@@ -120,7 +139,10 @@ fn example_2_3_count_above_cell_average() {
     let b = cube(&r, &dims).unwrap();
     let theta1 = cube_match_theta(&dims);
     let step1 = md_join(&b, &r, &[AggSpec::on_column("avg", "sale")], &theta1, &ctx).unwrap();
-    let theta2 = and(cube_match_theta(&dims), gt(col_r("sale"), col_b("avg_sale")));
+    let theta2 = and(
+        cube_match_theta(&dims),
+        gt(col_r("sale"), col_b("avg_sale")),
+    );
     let step2 = md_join(
         &step1,
         &r,
@@ -160,8 +182,9 @@ fn example_2_5_between_neighbor_month_averages() {
         .unwrap()
         .same_multiset(&naive.project(&cols).unwrap()));
     // There is real signal: some cell counts are positive.
-    assert!(md.iter().any(|row| row[2].sql_cmp(&Value::Int(0))
-        == Some(std::cmp::Ordering::Greater)));
+    assert!(md
+        .iter()
+        .any(|row| row[2].sql_cmp(&Value::Int(0)) == Some(std::cmp::Ordering::Greater)));
 }
 
 /// Example 2.4: aggregate only at externally supplied cube points.
@@ -232,12 +255,18 @@ fn example_3_3_sales_and_payments() {
         .md_join(
             Plan::table("Sales"),
             vec![AggSpec::on_column("sum", "sale")],
-            and(eq(col_r("cust"), col_b("cust")), eq(col_r("month"), col_b("month"))),
+            and(
+                eq(col_r("cust"), col_b("cust")),
+                eq(col_r("month"), col_b("month")),
+            ),
         )
         .md_join(
             Plan::table("Payments"),
             vec![AggSpec::on_column("sum", "amount")],
-            and(eq(col_r("cust"), col_b("cust")), eq(col_r("month"), col_b("month"))),
+            and(
+                eq(col_r("cust"), col_b("cust")),
+                eq(col_r("month"), col_b("month")),
+            ),
         );
     let seq = execute(&chain, &catalog, &ctx).unwrap();
     let split = split_into_join(&chain, &catalog, &registry).unwrap();
@@ -280,7 +309,10 @@ fn example_4_1_period_comparison() {
         .md_join(
             Plan::table("Sales"),
             vec![AggSpec::on_column("sum", "sale").with_alias("sum_99")],
-            and(eq(col_r("prod"), col_b("prod")), eq(col_r("year"), lit(1999i64))),
+            and(
+                eq(col_r("prod"), col_b("prod")),
+                eq(col_r("year"), lit(1999i64)),
+            ),
         );
     let direct = execute(&chain, &catalog, &ctx).unwrap();
     let pushed = mdj_algebra::rules::pushdown_detail_selection(chain);
@@ -300,12 +332,18 @@ fn via_chain(_r: &Relation) -> Plan {
         .md_join(
             Plan::table("Sales"),
             vec![AggSpec::on_column("sum", "sale").with_alias("a")],
-            and(eq(col_r("prod"), col_b("prod")), ge(col_r("year"), lit(1996i64))),
+            and(
+                eq(col_r("prod"), col_b("prod")),
+                ge(col_r("year"), lit(1996i64)),
+            ),
         )
         .md_join(
             Plan::table("Sales"),
             vec![AggSpec::on_column("sum", "sale").with_alias("b")],
-            and(eq(col_r("prod"), col_b("prod")), eq(col_r("year"), lit(1999i64))),
+            and(
+                eq(col_r("prod"), col_b("prod")),
+                eq(col_r("year"), lit(1999i64)),
+            ),
         )
 }
 

@@ -87,7 +87,10 @@ fn grouping_variables_match_hand_built_answer() {
     for row in md.iter().take(20) {
         let expected = sales
             .iter()
-            .filter(|t| t[0] == row[0] && t[6].sql_cmp(&Value::Float(900.0)) == Some(std::cmp::Ordering::Greater))
+            .filter(|t| {
+                t[0] == row[0]
+                    && t[6].sql_cmp(&Value::Float(900.0)) == Some(std::cmp::Ordering::Greater)
+            })
             .count() as i64;
         assert_eq!(row[1], Value::Int(expected));
     }
@@ -124,9 +127,8 @@ fn having_matches_post_filter() {
     let all = e
         .query("select cust, sum(sale) from Sales group by cust")
         .unwrap();
-    let filtered = all.filter(|r| {
-        r[1].sql_cmp(&Value::Float(10_000.0)) == Some(std::cmp::Ordering::Greater)
-    });
+    let filtered =
+        all.filter(|r| r[1].sql_cmp(&Value::Float(10_000.0)) == Some(std::cmp::Ordering::Greater));
     assert!(with_having.same_multiset(&filtered));
 }
 

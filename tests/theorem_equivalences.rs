@@ -7,16 +7,75 @@
 //! plus the optimized variants. Agreement between the two directions on
 //! random inputs is the core soundness property.
 
-use mdj_agg::{AggInput, AggSpec, Registry};
-use mdj_core::parallel::{md_join_parallel, md_join_parallel_detail};
-use mdj_core::partitioned::md_join_partitioned;
-use mdj_core::{md_join, ExecContext, ProbeStrategy};
+use mdj_agg::{AggInput, Registry};
+use mdj_core::prelude::*;
 use mdj_cube::rollup_chain::rollup_one;
 use mdj_cube::CubeSpec;
 use mdj_expr::builder::*;
-use mdj_expr::Expr;
-use mdj_storage::{DataType, Relation, Row, Schema, Value};
 use proptest::prelude::*;
+
+/// The legacy free-function shapes, expressed through the [`MdJoin`] builder
+/// so the properties exercise the single public entrypoint.
+fn md_join(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    MdJoin::new(b, r)
+        .aggs(l)
+        .theta(theta.clone())
+        .strategy(ExecStrategy::Serial)
+        .run(ctx)
+}
+
+fn md_join_partitioned(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    m: usize,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    MdJoin::new(b, r)
+        .aggs(l)
+        .theta(theta.clone())
+        .strategy(ExecStrategy::Partitioned { partitions: m })
+        .run(ctx)
+}
+
+fn md_join_parallel(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    threads: usize,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    MdJoin::new(b, r)
+        .aggs(l)
+        .theta(theta.clone())
+        .strategy(ExecStrategy::ChunkBase)
+        .threads(threads)
+        .run(ctx)
+}
+
+fn md_join_parallel_detail(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    threads: usize,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    MdJoin::new(b, r)
+        .aggs(l)
+        .theta(theta.clone())
+        .strategy(ExecStrategy::ChunkDetail)
+        .threads(threads)
+        .run(ctx)
+}
 
 /// Definition 3.1, executed verbatim.
 fn oracle_md_join(
@@ -125,10 +184,13 @@ fn approx_same(a: &Relation, b: &Relation) -> bool {
     ar.sort();
     br.sort();
     ar.iter().zip(&br).all(|(x, y)| {
-        x.values().iter().zip(y.values()).all(|(u, w)| match (u, w) {
-            (Value::Float(p), Value::Float(q)) => (p - q).abs() < 1e-9,
-            _ => u == w,
-        })
+        x.values()
+            .iter()
+            .zip(y.values())
+            .all(|(u, w)| match (u, w) {
+                (Value::Float(p), Value::Float(q)) => (p - q).abs() < 1e-9,
+                _ => u == w,
+            })
     })
 }
 
@@ -207,7 +269,9 @@ proptest! {
     /// Theorem 4.3 (generalized): a coalesced evaluation equals the chain.
     #[test]
     fn theorem_4_3_coalesce(b in base_strategy(), r in detail_strategy(), v in -10i64..10) {
-        use mdj_core::generalized::{md_join_multi, Block};
+        let md_join_multi = |b: &Relation, r: &Relation, blocks: &[Block], ctx: &ExecContext| {
+            MdJoin::new(b, r).blocks(blocks.iter().cloned()).run(ctx)
+        };
         let ctx = ExecContext::new();
         let blk1 = Block::new(
             and(eq(col_b("k"), col_r("k")), gt(col_r("v"), lit(v))),

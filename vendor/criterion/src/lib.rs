@@ -1,0 +1,277 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! Provides the subset of the API the bench suite uses — `benchmark_group`,
+//! `sample_size` / `warm_up_time` / `measurement_time`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `criterion_group!` / `criterion_main!`
+//! — backed by a plain wall-clock sampler: warm up, then time individual
+//! calls of the closure passed to `Bencher::iter` until the sample budget or
+//! the measurement window runs out, and print min/median/mean per benchmark.
+//!
+//! `--test` on the command line (criterion's "test mode", used by CI smoke
+//! runs) executes every benchmark closure exactly once without timing.
+//! A positional argument acts as a substring filter on benchmark names.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle passed to every bench function.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags criterion accepts that the stand-in can ignore.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id.to_string(), f);
+        self
+    }
+}
+
+/// Identifier `function_name/parameter` for parameterized benchmarks.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = self.qualify(id.into_benchmark_id());
+        if self.skipped(&label) {
+            return self;
+        }
+        let mut bencher = self.make_bencher();
+        f(&mut bencher);
+        report(&label, &bencher);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = self.qualify(id.into_benchmark_id());
+        if self.skipped(&label) {
+            return self;
+        }
+        let mut bencher = self.make_bencher();
+        f(&mut bencher, input);
+        report(&label, &bencher);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn qualify(&self, id: BenchmarkId) -> String {
+        if self.name.is_empty() {
+            id.full
+        } else {
+            format!("{}/{}", self.name, id.full)
+        }
+    }
+
+    fn skipped(&self, label: &str) -> bool {
+        match &self.criterion.filter {
+            Some(f) => !label.contains(f.as_str()),
+            None => false,
+        }
+    }
+
+    fn make_bencher(&self) -> Bencher {
+        Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        }
+    }
+}
+
+/// Accept both `&str`/`String` names and full `BenchmarkId`s.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            full: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { full: self }
+    }
+}
+
+/// Timing driver handed to the benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up: run untimed until the warm-up window elapses.
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Measurement: one sample per call, bounded by both the sample count
+        // and the measurement window (always at least one sample).
+        let window = Instant::now();
+        while self.samples.len() < self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+            if window.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// Identity function opaque to the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn report(label: &str, bencher: &Bencher) {
+    if bencher.test_mode {
+        println!("{label}: ok (test mode)");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    if sorted.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    println!(
+        "{label}: min {:.3?}  median {:.3?}  mean {:.3?}  ({} samples)",
+        min,
+        median,
+        mean,
+        sorted.len()
+    );
+}
+
+/// Mirror of `criterion_group!`: defines a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! workspace vendors a minimal shim: the `Serialize`/`Deserialize` traits
+//! exist as markers and the derives expand to nothing. None of the workspace
+//! crates actually serialize at runtime today — the derives only reserve the
+//! capability — so a no-op implementation preserves the API surface without
+//! pulling in the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
