@@ -11,6 +11,10 @@ use mdj_storage::{Catalog, Relation, Row};
 /// MD-join nodes run Algorithm 3.1 with the context's probe strategy;
 /// generalized MD-join nodes evaluate all blocks in one scan.
 pub fn execute(plan: &Plan, catalog: &Catalog, ctx: &ExecContext) -> Result<Relation> {
+    // Governor poll per plan node: a cancelled or timed-out query stops
+    // between operators even when an individual operator's own polls are far
+    // apart (e.g. a cheap Select feeding an expensive MD-join).
+    ctx.check_interrupt()?;
     match plan {
         Plan::Table(name) => Ok(catalog.get(name)?.as_ref().clone()),
         Plan::Inline(rel) => Ok(rel.as_ref().clone()),

@@ -21,6 +21,13 @@ pub fn explain_with_stats(plan: &Plan, stats: &StatsSnapshot) -> String {
         "-- stats: scans={} tuples={} probes={} updates={}",
         stats.scans, stats.tuples_scanned, stats.probes, stats.updates
     );
+    if stats.governor_active() {
+        let _ = writeln!(
+            out,
+            "-- governor: cancel_polls={} retries={} bytes_charged={} degradations={}",
+            stats.cancel_polls, stats.morsel_retries, stats.bytes_charged, stats.degradations
+        );
+    }
     for w in &stats.workers {
         let _ = writeln!(out, "--   {w}");
     }
@@ -168,6 +175,10 @@ mod tests {
             tuples_scanned: 500,
             probes: 500,
             updates: 42,
+            cancel_polls: 0,
+            morsel_retries: 0,
+            bytes_charged: 0,
+            degradations: 0,
             workers: vec![
                 WorkerStats {
                     worker: 0,
@@ -191,5 +202,18 @@ mod tests {
         assert!(s.contains("scans=1 tuples=500"));
         assert!(s.contains("worker 0: morsels=3 tuples=300 updates=30 steals=1 merges=1"));
         assert!(s.contains("worker 1:"));
+        // Governor counters are omitted when the governor never engaged...
+        assert!(!s.contains("governor:"));
+        // ...and rendered when any of them is non-zero.
+        let governed = StatsSnapshot {
+            cancel_polls: 12,
+            bytes_charged: 4096,
+            degradations: 2,
+            ..snap
+        };
+        let s = explain_with_stats(&plan, &governed);
+        assert!(
+            s.contains("-- governor: cancel_polls=12 retries=0 bytes_charged=4096 degradations=2")
+        );
     }
 }

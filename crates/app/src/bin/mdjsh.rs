@@ -13,13 +13,60 @@
 //! mdj> select prod, month, sum(sale) from Sales analyze by cube(prod, month) limit 5
 //! mdj> \explain select cust, avg(sale) from Sales group by cust
 //! mdj> \load T path/to/table.csv prod:int,month:int
+//! mdj> \timeout 5
 //! mdj> \quit
 //! ```
+//!
+//! Ctrl-C during a query cancels it cooperatively (the query stops at its
+//! next governor poll with a `query cancelled` error) instead of killing the
+//! shell; `\timeout <secs>` gives every subsequent query a wall-clock
+//! deadline.
 
 use mdj_core::prelude::*;
+use mdj_core::CancelToken;
 use mdj_sql::SqlEngine;
 use mdj_storage::{csv, Catalog};
 use std::io::{BufRead, Write};
+use std::time::Duration;
+
+/// Route SIGINT to a [`CancelToken`] so Ctrl-C cancels the running query
+/// cooperatively instead of killing the shell. Uses the C `signal` binding
+/// directly (no crate dependency); the handler only flips the token's atomic
+/// flag, which is async-signal-safe.
+#[cfg(unix)]
+mod sigint {
+    use mdj_core::CancelToken;
+    use std::sync::OnceLock;
+
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        if let Some(token) = TOKEN.get() {
+            token.cancel();
+        }
+    }
+
+    pub fn install(token: CancelToken) -> bool {
+        const SIG_ERR: usize = usize::MAX;
+        if TOKEN.set(token).is_err() {
+            return false;
+        }
+        unsafe { signal(SIGINT, on_sigint) != SIG_ERR }
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    use mdj_core::CancelToken;
+    pub fn install(_token: CancelToken) -> bool {
+        false
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,10 +78,18 @@ fn main() {
     catalog.register("Payments", payments);
     let mut engine = SqlEngine::new(catalog);
 
+    let cancel = CancelToken::new();
+    engine.ctx.cancel = Some(cancel.clone());
+    let ctrl_c = sigint::install(cancel.clone());
+    let mut timeout: Option<Duration> = None;
+
     println!("mdjsh — MD-join SQL shell ({rows}-row Sales/Payments loaded)");
     println!(
-        "Meta: \\tables  \\schema <t>  \\explain <query>  \\load <name> <csv> <schema>  \\quit"
+        "Meta: \\tables  \\schema <t>  \\explain <query>  \\load <name> <csv> <schema>  \\timeout <secs>|off  \\quit"
     );
+    if ctrl_c {
+        println!("Ctrl-C cancels the running query.");
+    }
 
     let stdin = std::io::stdin();
     let mut line = String::new();
@@ -55,20 +110,41 @@ fn main() {
             continue;
         }
         if let Some(meta) = input.strip_prefix('\\') {
-            if !meta_command(meta, &mut engine) {
+            if !meta_command(meta, &mut engine, &mut timeout) {
                 break;
             }
             continue;
         }
+        // Re-arm the governor for this statement: clear any Ctrl-C left over
+        // from a previous query and start the deadline clock now.
+        cancel.reset();
+        engine.ctx.deadline = timeout.map(|d| std::time::Instant::now() + d);
         run_query(&engine, input);
     }
 }
 
 /// Handle a meta command; returns false to exit the shell.
-fn meta_command(meta: &str, engine: &mut SqlEngine) -> bool {
+fn meta_command(meta: &str, engine: &mut SqlEngine, timeout: &mut Option<Duration>) -> bool {
     let mut parts = meta.split_whitespace();
     match parts.next() {
         Some("quit") | Some("q") | Some("exit") => return false,
+        Some("timeout") => match parts.next() {
+            Some("off") => {
+                *timeout = None;
+                println!("query timeout off");
+            }
+            Some(secs) => match secs.parse::<f64>() {
+                Ok(s) if s > 0.0 => {
+                    *timeout = Some(Duration::from_secs_f64(s));
+                    println!("query timeout set to {s}s");
+                }
+                _ => println!("usage: \\timeout <seconds>|off"),
+            },
+            None => match timeout {
+                Some(d) => println!("query timeout is {:?}", d),
+                None => println!("query timeout off"),
+            },
+        },
         Some("tables") => {
             for name in engine.catalog.names() {
                 let rel = engine.catalog.get(name).expect("listed name resolves");

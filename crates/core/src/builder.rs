@@ -31,6 +31,7 @@
 use crate::context::ExecContext;
 use crate::error::{CoreError, Result};
 use crate::generalized::{multi, Block};
+use crate::governor::{self, CancelToken, MemoryTracker};
 use crate::mdjoin::md_join_serial;
 use crate::morsel::{md_join_morsel, MorselSide};
 use crate::parallel::{chunk_base, chunk_detail};
@@ -38,6 +39,8 @@ use crate::partitioned::partitioned;
 use mdj_agg::AggSpec;
 use mdj_expr::Expr;
 use mdj_storage::{Relation, Schema};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Which evaluation plan [`MdJoin::run`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,6 +79,9 @@ pub struct MdJoin<'a> {
     blocks: Vec<Block>,
     strategy: ExecStrategy,
     threads: Option<usize>,
+    cancel: Option<CancelToken>,
+    deadline: Option<Duration>,
+    budget: Option<usize>,
 }
 
 impl<'a> MdJoin<'a> {
@@ -89,6 +95,9 @@ impl<'a> MdJoin<'a> {
             blocks: Vec::new(),
             strategy: ExecStrategy::default(),
             threads: None,
+            cancel: None,
+            deadline: None,
+            budget: None,
         }
     }
 
@@ -143,6 +152,30 @@ impl<'a> MdJoin<'a> {
         self
     }
 
+    /// Attach a cancellation token for this run. Cancel it from any thread to
+    /// stop the query at its next governor poll with
+    /// [`CoreError::Cancelled`]. Overrides any token on the [`ExecContext`].
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Give this run `budget` of wall-clock time (measured from the `run`
+    /// call); past it the query stops with [`CoreError::DeadlineExceeded`].
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Bound the estimated memory footprint of this run. Serial, partitioned,
+    /// and `Auto` plans answer a breach by re-planning into Theorem 4.1
+    /// partitioned evaluation (raising `m` until each `Bᵢ` fits); explicitly
+    /// requested parallel plans surface [`CoreError::BudgetExceeded`].
+    pub fn budget_bytes(mut self, bytes: usize) -> Self {
+        self.budget = Some(bytes);
+        self
+    }
+
     /// Assemble the effective block list: the leading (θ, l) pair, if set,
     /// followed by any explicitly added blocks.
     fn effective_blocks(&self) -> Result<Vec<Block>> {
@@ -186,6 +219,25 @@ impl<'a> MdJoin<'a> {
 
     /// Evaluate the join.
     pub fn run(&self, ctx: &ExecContext) -> Result<Relation> {
+        if self.cancel.is_none() && self.deadline.is_none() && self.budget.is_none() {
+            return self.run_with(ctx);
+        }
+        // Per-run governor overrides: applied to a clone so the caller's
+        // context (possibly shared across queries) is never mutated.
+        let mut ctx = ctx.clone();
+        if let Some(token) = &self.cancel {
+            ctx.cancel = Some(token.clone());
+        }
+        if let Some(budget) = self.deadline {
+            ctx.deadline = Some(std::time::Instant::now() + budget);
+        }
+        if let Some(bytes) = self.budget {
+            ctx.memory = Some(Arc::new(MemoryTracker::new(bytes)));
+        }
+        self.run_with(&ctx)
+    }
+
+    fn run_with(&self, ctx: &ExecContext) -> Result<Relation> {
         let mut blocks = self.effective_blocks()?;
         if blocks.len() > 1 {
             // Generalized multi-θ evaluation is single-scan by construction;
@@ -198,11 +250,16 @@ impl<'a> MdJoin<'a> {
             }
             return multi(self.b, self.r, &blocks, ctx);
         }
-        let Block { theta, aggs } = blocks.pop().expect("exactly one block");
+        let Block { theta, aggs } = blocks
+            .pop()
+            .ok_or_else(|| CoreError::Internal("effective_blocks yielded no block".into()))?;
         match self.strategy {
-            ExecStrategy::Serial => md_join_serial(self.b, self.r, &aggs, &theta, ctx),
+            ExecStrategy::Serial => run_degradable(self.b, self.r, &aggs, &theta, ctx, 1),
             ExecStrategy::Partitioned { partitions } => {
-                partitioned(self.b, self.r, &aggs, &theta, partitions, ctx)
+                if partitions == 0 {
+                    return Err(CoreError::BadConfig("partition count must be ≥ 1".into()));
+                }
+                run_degradable(self.b, self.r, &aggs, &theta, ctx, partitions)
             }
             ExecStrategy::ChunkBase => {
                 chunk_base(self.b, self.r, &aggs, &theta, self.resolve_threads(), ctx)
@@ -239,11 +296,24 @@ impl<'a> MdJoin<'a> {
             ),
             ExecStrategy::Auto => {
                 let threads = self.resolve_threads();
+                // Memory-first planning: the morsel executor's detail side
+                // keeps full-`B` state per worker, so when a budget is set
+                // and the parallel footprint would breach it, prefer the
+                // degradable serial/partitioned path (Theorem 4.1) over a
+                // parallel plan that can only fail.
+                if let Some(tracker) = &ctx.memory {
+                    let per_worker = governor::state_bytes(self.b.len(), aggs.len())
+                        .saturating_add(governor::index_bytes(self.b.len()));
+                    let parallel_cost = per_worker.saturating_mul(threads.max(1));
+                    if parallel_cost as u64 > tracker.budget() {
+                        return run_degradable(self.b, self.r, &aggs, &theta, ctx, 1);
+                    }
+                }
                 // A parallel run only pays off once the split side spans
                 // several morsels; below that, scheduling overhead dominates.
                 let splittable = self.b.len().max(self.r.len());
                 if threads <= 1 || splittable <= ctx.morsel_size {
-                    md_join_serial(self.b, self.r, &aggs, &theta, ctx)
+                    run_degradable(self.b, self.r, &aggs, &theta, ctx, 1)
                 } else {
                     md_join_morsel(
                         self.b,
@@ -256,6 +326,50 @@ impl<'a> MdJoin<'a> {
                     )
                 }
             }
+        }
+    }
+}
+
+/// Serial/partitioned evaluation with Theorem 4.1 budget degradation.
+///
+/// Starts at `m` partitions (`1` = plain serial). On
+/// [`CoreError::BudgetExceeded`] the partition count is raised — to at least
+/// `⌈m · peak / budget⌉`, using the tracker's high-water mark to jump
+/// straight to a count whose per-partition footprint should fit — and the
+/// query re-runs. Each retry is counted as a degradation event in
+/// [`ScanStats`](mdj_storage::ScanStats). The loop is bounded by `m = |B|`
+/// (one base row per partition, the finest Theorem 4.1 split); a budget too
+/// small even for that surfaces the breach to the caller.
+fn run_degradable(
+    b: &Relation,
+    r: &Relation,
+    aggs: &[AggSpec],
+    theta: &Expr,
+    ctx: &ExecContext,
+    mut m: usize,
+) -> Result<Relation> {
+    loop {
+        let attempt = if m <= 1 {
+            md_join_serial(b, r, aggs, theta, ctx)
+        } else {
+            partitioned(b, r, aggs, theta, m, ctx)
+        };
+        match attempt {
+            Err(CoreError::BudgetExceeded { .. }) if m < b.len() => {
+                let tracker = ctx.memory.as_ref().ok_or_else(|| {
+                    CoreError::Internal("budget breach reported without a tracker".into())
+                })?;
+                let peak = tracker.peak().max(1);
+                let budget = tracker.budget().max(1);
+                // Total footprint ≈ m × per-partition peak, so the smallest
+                // fitting count is its ratio to the budget (never shrinking,
+                // always progressing, capped at one row per partition).
+                let scaled = (m as u64).saturating_mul(peak).div_ceil(budget) as usize;
+                m = scaled.max(m + 1).min(b.len());
+                ctx.record_degradation();
+                tracker.reset_peak();
+            }
+            other => return other,
         }
     }
 }
@@ -412,6 +526,85 @@ mod tests {
             .strategy(ExecStrategy::Partitioned { partitions: 0 })
             .run(&ExecContext::new());
         assert!(matches!(err, Err(CoreError::BadConfig(_))));
+    }
+
+    #[test]
+    fn budget_degrades_into_partitioned_evaluation() {
+        use mdj_storage::ScanStats;
+        use std::sync::Arc;
+        let s = sales(400);
+        let b = s.distinct_on(&["cust"]).unwrap(); // 11 rows
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let l = [AggSpec::on_column("sum", "sale"), AggSpec::count_star()];
+        let serial = MdJoin::new(&b, &s)
+            .theta(theta.clone())
+            .aggs(&l)
+            .strategy(ExecStrategy::Serial)
+            .run(&ExecContext::new())
+            .unwrap();
+        // Budget fits ~3 base rows of state+index: forces Theorem 4.1
+        // degradation but is satisfiable well before one-row partitions.
+        let per_row = governor::state_bytes(1, l.len()) + governor::index_bytes(1);
+        let stats = Arc::new(ScanStats::new());
+        let out = MdJoin::new(&b, &s)
+            .theta(theta.clone())
+            .aggs(&l)
+            .strategy(ExecStrategy::Serial)
+            .budget_bytes(3 * per_row)
+            .run(&ExecContext::new().with_stats(stats.clone()))
+            .unwrap();
+        assert_eq!(serial.rows(), out.rows()); // row-identical, same order
+        assert!(stats.degradations() >= 1);
+        assert!(stats.scans() > 1, "degradation must cost extra scans of R");
+        // A budget too small even for one-row partitions surfaces the breach.
+        let err = MdJoin::new(&b, &s)
+            .theta(theta)
+            .aggs(&l)
+            .strategy(ExecStrategy::Serial)
+            .budget_bytes(1)
+            .run(&ExecContext::new());
+        assert!(matches!(err, Err(CoreError::BudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn run_overrides_do_not_mutate_the_callers_context() {
+        let s = sales(50);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let ctx = ExecContext::new();
+        let token = crate::governor::CancelToken::new();
+        token.cancel();
+        let err = MdJoin::new(&b, &s)
+            .theta(eq(col_b("cust"), col_r("cust")))
+            .agg("count(*)")
+            .unwrap()
+            .cancel_token(token)
+            .run(&ctx);
+        assert!(matches!(err, Err(CoreError::Cancelled)));
+        assert!(ctx.cancel.is_none() && ctx.memory.is_none() && ctx.deadline.is_none());
+        // The same builder without the token still runs under the same ctx.
+        MdJoin::new(&b, &s)
+            .theta(eq(col_b("cust"), col_r("cust")))
+            .agg("count(*)")
+            .unwrap()
+            .run(&ctx)
+            .unwrap();
+    }
+
+    #[test]
+    fn deadline_expiry_and_generous_deadline() {
+        let s = sales(200);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let mk = || {
+            MdJoin::new(&b, &s)
+                .theta(eq(col_b("cust"), col_r("cust")))
+                .agg("count(*)")
+                .unwrap()
+        };
+        let err = mk().deadline(Duration::ZERO).run(&ExecContext::new());
+        assert!(matches!(err, Err(CoreError::DeadlineExceeded)));
+        mk().deadline(Duration::from_secs(3600))
+            .run(&ExecContext::new())
+            .unwrap();
     }
 
     #[test]

@@ -1,7 +1,12 @@
-//! Execution context: aggregate registry, probe strategy, and scan accounting.
+//! Execution context: aggregate registry, probe strategy, scan accounting,
+//! and the query governor (cancellation, deadline, memory budget).
 
+use crate::error::{CoreError, Result};
+use crate::governor::{CancelToken, MemoryTracker};
 use mdj_agg::Registry;
 use mdj_storage::ScanStats;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// How the inner loop of Algorithm 3.1 locates `Rel(t)` — the base rows a
 /// detail tuple may update (Section 4.5).
@@ -21,8 +26,9 @@ pub enum ProbeStrategy {
 /// Shared, immutable evaluation context.
 ///
 /// The default context uses the standard aggregate registry, the `Auto`
-/// strategy, and no stats collection.
-#[derive(Debug)]
+/// strategy, no stats collection, and no governor limits (no cancellation
+/// token, no deadline, no memory budget).
+#[derive(Debug, Clone)]
 pub struct ExecContext {
     pub registry: Registry,
     pub strategy: ProbeStrategy,
@@ -31,15 +37,41 @@ pub struct ExecContext {
     /// turn off only for ablation measurements (experiment E6).
     pub prefilter: bool,
     /// When set, operators record scans/tuples/probes/updates here.
-    pub stats: Option<std::sync::Arc<ScanStats>>,
+    pub stats: Option<Arc<ScanStats>>,
     /// Rows per work unit for the morsel-driven parallel executor. Small
     /// enough that stealing rebalances skew, large enough to amortize queue
     /// traffic.
     pub morsel_size: usize,
+    /// Cooperative cancellation: every strategy polls this at
+    /// morsel/partition/chunk granularity and stops with
+    /// [`CoreError::Cancelled`] once triggered.
+    pub cancel: Option<CancelToken>,
+    /// Wall-clock deadline, polled at the same points as `cancel`; past it
+    /// evaluation stops with [`CoreError::DeadlineExceeded`].
+    pub deadline: Option<Instant>,
+    /// Memory budget accounting: evaluators charge base-state and
+    /// probe-index allocations here. Set via [`with_budget_bytes`]
+    /// (`Self::with_budget_bytes`); a breach degrades in-memory strategies
+    /// into Theorem 4.1 partitioned evaluation (see `builder`).
+    pub memory: Option<Arc<MemoryTracker>>,
+    /// How many times the morsel executor re-runs a panicked morsel before
+    /// surfacing [`CoreError::MorselPanicked`].
+    pub max_morsel_retries: u32,
+    /// Deterministic fault injection for the robustness test harness.
+    #[cfg(feature = "fault-injection")]
+    pub fault: Option<Arc<crate::fault::FaultInjector>>,
 }
 
 /// Default morsel granularity (rows per task) for the parallel executor.
 pub const DEFAULT_MORSEL_SIZE: usize = 4096;
+
+/// Default bound on per-morsel panic retries (initial attempt + 1 retry).
+pub const DEFAULT_MORSEL_RETRIES: u32 = 1;
+
+/// Detail tuples between governor polls in the serial scan loops: cheap
+/// enough that `Instant::now` never shows up in a profile, frequent enough
+/// that cancellation latency stays far below human-visible.
+pub(crate) const CANCEL_CHECK_INTERVAL: usize = 1024;
 
 impl Default for ExecContext {
     fn default() -> Self {
@@ -49,6 +81,12 @@ impl Default for ExecContext {
             prefilter: true,
             stats: None,
             morsel_size: DEFAULT_MORSEL_SIZE,
+            cancel: None,
+            deadline: None,
+            memory: None,
+            max_morsel_retries: DEFAULT_MORSEL_RETRIES,
+            #[cfg(feature = "fault-injection")]
+            fault: None,
         }
     }
 }
@@ -68,7 +106,7 @@ impl ExecContext {
         self
     }
 
-    pub fn with_stats(mut self, stats: std::sync::Arc<ScanStats>) -> Self {
+    pub fn with_stats(mut self, stats: Arc<ScanStats>) -> Self {
         self.stats = Some(stats);
         self
     }
@@ -83,6 +121,78 @@ impl ExecContext {
     pub fn with_morsel_size(mut self, rows: usize) -> Self {
         self.morsel_size = rows;
         self
+    }
+
+    /// Attach a cancellation token (cancel it from any thread to stop the
+    /// query at its next governor poll).
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Give queries run under this context `budget` of wall-clock time from
+    /// now.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+
+    /// Bound the estimated memory footprint of base-table aggregate state
+    /// and probe indexes. In-memory strategies that would exceed it are
+    /// re-planned into Theorem 4.1 partitioned evaluation.
+    pub fn with_budget_bytes(mut self, budget: usize) -> Self {
+        self.memory = Some(Arc::new(MemoryTracker::new(budget)));
+        self
+    }
+
+    /// Bound per-morsel panic retries (0 = fail on first panic).
+    pub fn with_morsel_retries(mut self, retries: u32) -> Self {
+        self.max_morsel_retries = retries;
+        self
+    }
+
+    /// Attach a deterministic fault injector (robustness test harness).
+    #[cfg(feature = "fault-injection")]
+    pub fn with_fault_injector(mut self, fault: Arc<crate::fault::FaultInjector>) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Governor poll: fail fast with [`CoreError::Cancelled`] /
+    /// [`CoreError::DeadlineExceeded`] if the query was cancelled or ran past
+    /// its deadline. Free when neither limit is configured. Public so outer
+    /// layers (plan executors, shells) can poll between operators at the same
+    /// cost model as the strategies' internal polls.
+    #[inline]
+    pub fn check_interrupt(&self) -> Result<()> {
+        if self.cancel.is_none() && self.deadline.is_none() {
+            return Ok(());
+        }
+        if let Some(s) = &self.stats {
+            s.record_cancel_poll();
+        }
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(CoreError::Cancelled);
+            }
+        }
+        if let Some(deadline) = &self.deadline {
+            if Instant::now() >= *deadline {
+                return Err(CoreError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault-injection hook at a morsel execution site. No-op without the
+    /// `fault-injection` feature or with no injector armed.
+    #[inline]
+    #[allow(unused_variables)]
+    pub(crate) fn fault_on_morsel(&self, morsel: usize) {
+        #[cfg(feature = "fault-injection")]
+        if let Some(f) = &self.fault {
+            f.on_morsel(morsel);
+        }
     }
 
     pub(crate) fn record_scan(&self, tuples: u64) {
@@ -107,6 +217,18 @@ impl ExecContext {
     pub(crate) fn record_worker(&self, worker: mdj_storage::WorkerStats) {
         if let Some(s) = &self.stats {
             s.record_worker(worker);
+        }
+    }
+
+    pub(crate) fn record_morsel_retry(&self) {
+        if let Some(s) = &self.stats {
+            s.record_morsel_retry();
+        }
+    }
+
+    pub(crate) fn record_degradation(&self) {
+        if let Some(s) = &self.stats {
+            s.record_degradation();
         }
     }
 }
@@ -136,5 +258,55 @@ mod tests {
         let ctx = ExecContext::new();
         ctx.record_scan(10); // must not panic
         assert!(ctx.stats.is_none());
+    }
+
+    #[test]
+    fn interrupt_checks_report_typed_errors() {
+        // No limits: free and Ok.
+        assert!(ExecContext::new().check_interrupt().is_ok());
+        // Cancelled token.
+        let token = CancelToken::new();
+        let ctx = ExecContext::new().with_cancel_token(token.clone());
+        assert!(ctx.check_interrupt().is_ok());
+        token.cancel();
+        assert!(matches!(ctx.check_interrupt(), Err(CoreError::Cancelled)));
+        // Expired deadline.
+        let ctx = ExecContext::new().with_deadline(Duration::ZERO);
+        assert!(matches!(
+            ctx.check_interrupt(),
+            Err(CoreError::DeadlineExceeded)
+        ));
+        // Generous deadline.
+        let ctx = ExecContext::new().with_deadline(Duration::from_secs(3600));
+        assert!(ctx.check_interrupt().is_ok());
+    }
+
+    #[test]
+    fn interrupt_polls_are_counted() {
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ExecContext::new()
+            .with_stats(stats.clone())
+            .with_cancel_token(CancelToken::new());
+        ctx.check_interrupt().unwrap();
+        ctx.check_interrupt().unwrap();
+        assert_eq!(stats.cancel_polls(), 2);
+        // Without limits, polling is skipped entirely (and not counted).
+        let free = ExecContext::new().with_stats(stats.clone());
+        free.check_interrupt().unwrap();
+        assert_eq!(stats.cancel_polls(), 2);
+    }
+
+    #[test]
+    fn context_is_cloneable_with_shared_governor_state() {
+        let token = CancelToken::new();
+        let ctx = ExecContext::new()
+            .with_cancel_token(token.clone())
+            .with_budget_bytes(1 << 20);
+        let clone = ctx.clone();
+        token.cancel();
+        assert!(matches!(clone.check_interrupt(), Err(CoreError::Cancelled)));
+        // The tracker is shared, not duplicated.
+        ctx.memory.as_ref().unwrap().try_charge(100).unwrap();
+        assert_eq!(clone.memory.as_ref().unwrap().charged(), 100);
     }
 }

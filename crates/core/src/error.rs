@@ -15,6 +15,33 @@ pub enum CoreError {
     DuplicateColumn(String),
     /// A configuration value is out of range (e.g. zero partitions).
     BadConfig(String),
+    /// The query's [`CancelToken`](crate::governor::CancelToken) was
+    /// triggered; evaluation stopped at the next cooperative check.
+    Cancelled,
+    /// The query ran past its wall-clock deadline.
+    DeadlineExceeded,
+    /// The memory budget could not be satisfied even after Theorem 4.1
+    /// degradation (or the strategy does not support degradation). `needed`
+    /// is the estimated bytes of the allocation that breached the budget.
+    BudgetExceeded {
+        needed: u64,
+        budget: u64,
+    },
+    /// A morsel panicked on every attempt; `attempts` counts the initial run
+    /// plus all retries, and `message` is the final panic payload.
+    MorselPanicked {
+        morsel: usize,
+        attempts: u32,
+        message: String,
+    },
+    /// A worker thread died outside the per-morsel isolation boundary.
+    WorkerPanicked {
+        worker: usize,
+        message: String,
+    },
+    /// An internal invariant broke. Always a bug — reported as a typed error
+    /// instead of a panic so callers never see a poisoned run.
+    Internal(String),
 }
 
 impl fmt::Display for CoreError {
@@ -27,7 +54,42 @@ impl fmt::Display for CoreError {
                 write!(f, "duplicate output column `{c}` in MD-join result")
             }
             CoreError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+            CoreError::Cancelled => write!(f, "query cancelled"),
+            CoreError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            CoreError::BudgetExceeded { needed, budget } => write!(
+                f,
+                "memory budget exceeded: needed ≈{needed} B against a {budget} B budget \
+                 (even at maximum Theorem 4.1 partitioning)"
+            ),
+            CoreError::MorselPanicked {
+                morsel,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "morsel {morsel} panicked on all {attempts} attempts: {message}"
+            ),
+            CoreError::WorkerPanicked { worker, message } => {
+                write!(f, "worker {worker} panicked: {message}")
+            }
+            CoreError::Internal(m) => write!(f, "internal invariant violated: {m}"),
         }
+    }
+}
+
+impl CoreError {
+    /// True for errors raised by the query governor / fault-tolerance layer
+    /// (as opposed to planning or data errors). The fault-injection property
+    /// tests assert that any injected fault surfaces as one of these.
+    pub fn is_governor(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Cancelled
+                | CoreError::DeadlineExceeded
+                | CoreError::BudgetExceeded { .. }
+                | CoreError::MorselPanicked { .. }
+                | CoreError::WorkerPanicked { .. }
+        )
     }
 }
 
@@ -72,5 +134,35 @@ mod tests {
         assert!(e.to_string().contains("storage"));
         let e = CoreError::DuplicateColumn("sum_sale".into());
         assert!(e.to_string().contains("sum_sale"));
+    }
+
+    #[test]
+    fn governor_errors_display_and_classify() {
+        let cases: Vec<CoreError> = vec![
+            CoreError::Cancelled,
+            CoreError::DeadlineExceeded,
+            CoreError::BudgetExceeded {
+                needed: 2048,
+                budget: 1024,
+            },
+            CoreError::MorselPanicked {
+                morsel: 7,
+                attempts: 3,
+                message: "boom".into(),
+            },
+            CoreError::WorkerPanicked {
+                worker: 2,
+                message: "boom".into(),
+            },
+        ];
+        for e in &cases {
+            assert!(e.is_governor(), "{e}");
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(!CoreError::BadConfig("x".into()).is_governor());
+        assert!(!CoreError::Internal("x".into()).is_governor());
+        let budget = &cases[2];
+        assert!(budget.to_string().contains("2048"));
+        assert!(budget.to_string().contains("1024"));
     }
 }

@@ -1,0 +1,180 @@
+//! Deterministic fault injection for the execution layer.
+//!
+//! Compiled only with the `fault-injection` feature. A [`FaultInjector`] on
+//! [`ExecContext`](crate::ExecContext) arms three fault kinds, each with a
+//! bounded count:
+//!
+//! * **panics** — a morsel execution site panics (caught by the morsel
+//!   executor's isolation boundary and retried);
+//! * **charge failures** — a [`MemCharge`](crate::governor::MemCharge)
+//!   attempt fails as if the budget were breached (exercising Theorem 4.1
+//!   degradation without needing a real footprint);
+//! * **slow morsels** — a morsel sleeps before running (exercising deadline
+//!   enforcement under stragglers).
+//!
+//! *Which* site hits inject is a pure function of the seed and a global site
+//! counter, so a single-threaded run is exactly reproducible; under threads
+//! the interleaving varies but the *number* of injected faults is fixed,
+//! which is what the result-or-clean-error property needs. Because the
+//! counts are bounded, retries eventually run fault-free: an injector armed
+//! with `panics(1)` and one allowed retry must still produce the exact
+//! serial answer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Mixer for deciding whether a given site hit injects (SplitMix64 finalizer
+/// over seed ⊕ hit index).
+fn mix(seed: u64, hit: u64) -> u64 {
+    let mut z = seed ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic, bounded fault injector. See the module docs.
+#[derive(Debug)]
+pub struct FaultInjector {
+    seed: u64,
+    /// Inject at roughly one in `period` eligible site hits.
+    period: u64,
+    remaining_panics: AtomicU64,
+    remaining_charge_failures: AtomicU64,
+    remaining_slow: AtomicU64,
+    slow_for: Duration,
+    morsel_hits: AtomicU64,
+    charge_hits: AtomicU64,
+    injected_panics: AtomicU64,
+}
+
+impl FaultInjector {
+    /// An injector that injects nothing until armed via the builder methods.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            seed,
+            period: 3,
+            remaining_panics: AtomicU64::new(0),
+            remaining_charge_failures: AtomicU64::new(0),
+            remaining_slow: AtomicU64::new(0),
+            slow_for: Duration::from_millis(5),
+            morsel_hits: AtomicU64::new(0),
+            charge_hits: AtomicU64::new(0),
+            injected_panics: AtomicU64::new(0),
+        }
+    }
+
+    /// Inject at roughly one in `period` eligible site hits (default 3).
+    pub fn period(self, period: u64) -> Self {
+        FaultInjector {
+            period: period.max(1),
+            ..self
+        }
+    }
+
+    /// Arm `n` injected panics at morsel execution sites.
+    pub fn panics(self, n: u64) -> Self {
+        self.remaining_panics.store(n, Ordering::Relaxed);
+        self
+    }
+
+    /// Arm `n` injected memory-charge failures.
+    pub fn charge_failures(self, n: u64) -> Self {
+        self.remaining_charge_failures.store(n, Ordering::Relaxed);
+        self
+    }
+
+    /// Arm `n` artificially slow morsels, each sleeping `for_` first.
+    pub fn slow_morsels(mut self, n: u64, for_: Duration) -> Self {
+        self.remaining_slow.store(n, Ordering::Relaxed);
+        self.slow_for = for_;
+        self
+    }
+
+    /// Number of panics actually injected so far.
+    pub fn panics_injected(&self) -> u64 {
+        self.injected_panics.load(Ordering::Relaxed)
+    }
+
+    /// Atomically consume one unit of `budget` if any remain.
+    fn take(budget: &AtomicU64) -> bool {
+        budget
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Called by the morsel executor inside its isolation boundary, at the
+    /// start of each morsel attempt. May sleep, then may panic.
+    pub(crate) fn on_morsel(&self, morsel: usize) {
+        let hit = self.morsel_hits.fetch_add(1, Ordering::Relaxed);
+        if !mix(self.seed, hit).is_multiple_of(self.period) {
+            return;
+        }
+        if Self::take(&self.remaining_slow) {
+            std::thread::sleep(self.slow_for);
+        }
+        if Self::take(&self.remaining_panics) {
+            self.injected_panics.fetch_add(1, Ordering::Relaxed);
+            panic!("injected fault: morsel {morsel} (seed {})", self.seed);
+        }
+    }
+
+    /// Called by [`MemCharge`](crate::governor::MemCharge); true = fail this
+    /// charge as a budget breach.
+    pub(crate) fn should_fail_charge(&self) -> bool {
+        let hit = self.charge_hits.fetch_add(1, Ordering::Relaxed);
+        mix(self.seed.rotate_left(17), hit).is_multiple_of(self.period)
+            && Self::take(&self.remaining_charge_failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_budget_is_bounded_and_deterministic() {
+        let f = FaultInjector::new(42).period(1).panics(2);
+        let mut caught = 0;
+        for morsel in 0..10 {
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f.on_morsel(morsel)))
+                .is_err()
+            {
+                caught += 1;
+            }
+        }
+        assert_eq!(caught, 2);
+        assert_eq!(f.panics_injected(), 2);
+        // A fresh injector with the same seed injects at the same hits.
+        let g = FaultInjector::new(42).period(3).panics(u64::MAX);
+        let pattern: Vec<bool> = (0..20)
+            .map(|m| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g.on_morsel(m))).is_err()
+            })
+            .collect();
+        let h = FaultInjector::new(42).period(3).panics(u64::MAX);
+        let pattern2: Vec<bool> = (0..20)
+            .map(|m| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.on_morsel(m))).is_err()
+            })
+            .collect();
+        assert_eq!(pattern, pattern2);
+        assert!(pattern.iter().any(|&p| p));
+        assert!(pattern.iter().any(|&p| !p));
+    }
+
+    #[test]
+    fn charge_failures_are_bounded() {
+        let f = FaultInjector::new(7).period(1).charge_failures(3);
+        let failures = (0..10).filter(|_| f.should_fail_charge()).count();
+        assert_eq!(failures, 3);
+    }
+
+    #[test]
+    fn unarmed_injector_is_inert() {
+        let f = FaultInjector::new(0).period(1);
+        for m in 0..100 {
+            f.on_morsel(m); // must not panic
+        }
+        assert!(!(0..100).any(|_| f.should_fail_charge()));
+    }
+}

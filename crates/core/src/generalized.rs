@@ -8,8 +8,9 @@
 //! scan instead of `k` scans. The scheduling that decides *which* MD-joins
 //! coalesce lives in `mdj-algebra`; this module is the single-scan evaluator.
 
-use crate::context::ExecContext;
+use crate::context::{ExecContext, CANCEL_CHECK_INTERVAL};
 use crate::error::{CoreError, Result};
+use crate::governor::{self, MemCharge};
 use crate::mdjoin::{bind_aggs, BoundAgg};
 use crate::probe::ProbePlan;
 use mdj_agg::{AggSpec, AggState};
@@ -65,6 +66,7 @@ pub(crate) fn multi(
             "generalized MD-join needs at least one block".into(),
         ));
     }
+    ctx.check_interrupt()?;
     // Bind every block and build its probe plan.
     let mut bound_blocks: Vec<(ProbePlan, Vec<BoundAgg>)> = Vec::with_capacity(blocks.len());
     for blk in blocks {
@@ -85,6 +87,16 @@ pub(crate) fn multi(
         }
     }
 
+    // Governor accounting: the state cube holds one state per (block agg ×
+    // base row), plus one probe index per hash-planned block.
+    let total_aggs: usize = bound_blocks.iter().map(|(_, bound)| bound.len()).sum();
+    let _state_charge = MemCharge::try_new(ctx, governor::state_bytes(b.len(), total_aggs))?;
+    let hash_blocks = bound_blocks.iter().filter(|(p, _)| p.is_hash()).count();
+    let _index_charge = MemCharge::try_new(
+        ctx,
+        governor::index_bytes(b.len()).saturating_mul(hash_blocks),
+    )?;
+
     // states[block][base_row][agg]
     let mut states: Vec<Vec<Vec<Box<dyn AggState>>>> = bound_blocks
         .iter()
@@ -98,7 +110,10 @@ pub(crate) fn multi(
     ctx.record_scan(r.len() as u64);
     let mut matches: Vec<usize> = Vec::new();
     let mut key_scratch: Vec<mdj_storage::Value> = Vec::new();
-    for t in r.iter() {
+    for (ti, t) in r.iter().enumerate() {
+        if ti % CANCEL_CHECK_INTERVAL == 0 {
+            ctx.check_interrupt()?;
+        }
         for (bi, (plan, bound)) in bound_blocks.iter().enumerate() {
             plan.matches(b, t.values(), ctx, &mut matches, &mut key_scratch)?;
             if matches.is_empty() {

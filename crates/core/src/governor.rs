@@ -1,0 +1,272 @@
+//! The query governor: cooperative cancellation, wall-clock deadlines, and
+//! runtime memory accounting with Theorem 4.1 degradation.
+//!
+//! Section 4.1.1 presents partitioned evaluation as *the* mechanism for
+//! bounded-memory MD-joins: split `B` into `m` pieces that fit, trading one
+//! scan of `R` for `m` — "a well-defined increase in the number of scans of
+//! R". The governor turns that planning argument into a runtime contract:
+//!
+//! * a [`CancelToken`] and/or deadline on [`ExecContext`](crate::ExecContext)
+//!   is polled at morsel/partition/chunk granularity by every strategy, so a
+//!   runaway θ or an impatient caller stops the query with a typed
+//!   [`CoreError::Cancelled`] / [`CoreError::DeadlineExceeded`] instead of
+//!   running to completion;
+//! * a [`MemoryTracker`] charges base-table aggregate state and probe-index
+//!   allocations against a configurable budget. A breach surfaces as
+//!   [`CoreError::BudgetExceeded`] — which the `MdJoin` builder answers, for
+//!   the in-memory strategies, by re-planning into Theorem 4.1 partitioned
+//!   evaluation with `m` raised until the per-partition footprint fits.
+//!
+//! All charges are estimates (we do not hook the allocator): the per-row
+//! constants below are deliberately round numbers sized for the in-memory
+//! `Vec<Box<dyn AggState>>` representation. What matters for the Theorem 4.1
+//! contract is that the estimate is *monotone in `|B|`*, so halving a
+//! partition halves its charge and the degradation loop terminates.
+
+use crate::error::{CoreError, Result};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Estimated bytes of one aggregate state (`Box<dyn AggState>` plus a small
+/// scratchpad struct). Holistic states grow with the data; the estimate is a
+/// floor, not a ceiling — budgets are best-effort governance, not cgroups.
+pub const BYTES_PER_AGG_STATE: usize = 64;
+
+/// Estimated fixed overhead per base row of state bookkeeping (the per-row
+/// `Vec` of state boxes).
+pub const BYTES_PER_BASE_ROW: usize = 32;
+
+/// Estimated bytes per base row of a hash probe index (bucket entry + key).
+pub const BYTES_PER_INDEX_ROW: usize = 48;
+
+/// Estimated aggregate-state footprint of evaluating `n_aggs` aggregates
+/// over a base table of `b_rows` rows.
+pub fn state_bytes(b_rows: usize, n_aggs: usize) -> usize {
+    b_rows.saturating_mul(
+        BYTES_PER_BASE_ROW.saturating_add(n_aggs.saturating_mul(BYTES_PER_AGG_STATE)),
+    )
+}
+
+/// Estimated footprint of a hash probe index over `b_rows` base rows.
+pub fn index_bytes(b_rows: usize) -> usize {
+    b_rows.saturating_mul(BYTES_PER_INDEX_ROW)
+}
+
+/// Render a caught panic payload (`Box<dyn Any>`) as a message for the typed
+/// `MorselPanicked` / `WorkerPanicked` errors.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A shared, cloneable cancellation flag. Clones observe the same flag, so a
+/// token handed to a query can be triggered from another thread (or a signal
+/// handler — flipping the flag is async-signal-safe).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Re-arm the token for a new query (e.g. an interactive shell reusing
+    /// one token across statements).
+    pub fn reset(&self) {
+        self.flag.store(false, Ordering::Release);
+    }
+}
+
+/// Runtime memory accounting against a fixed byte budget.
+///
+/// Evaluators charge their big allocations (base-state vectors, probe
+/// indexes) before making them and release the charge when the allocation
+/// dies (via [`MemCharge`]'s `Drop`). `peak` records the high-water mark
+/// *including* the charge that breached, which is exactly the number the
+/// Theorem 4.1 degradation loop needs to size its next partition count.
+#[derive(Debug)]
+pub struct MemoryTracker {
+    budget: u64,
+    charged: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemoryTracker {
+    pub fn new(budget_bytes: usize) -> Self {
+        MemoryTracker {
+            budget: budget_bytes as u64,
+            charged: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently charged.
+    pub fn charged(&self) -> u64 {
+        self.charged.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of attempted charges (counting rejected ones).
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Forget the high-water mark (between degradation attempts).
+    pub fn reset_peak(&self) {
+        self.peak.store(self.charged(), Ordering::Relaxed);
+    }
+
+    fn bump_peak(&self, candidate: u64) {
+        self.peak.fetch_max(candidate, Ordering::Relaxed);
+    }
+
+    /// Charge `bytes`, failing with [`CoreError::BudgetExceeded`] if the
+    /// total would exceed the budget. The attempted total still raises the
+    /// peak, so a failed charge tells the degradation loop how much was
+    /// actually needed.
+    pub fn try_charge(&self, bytes: u64) -> Result<()> {
+        let after = self.charged.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.bump_peak(after);
+        if after > self.budget {
+            self.charged.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(CoreError::BudgetExceeded {
+                needed: after,
+                budget: self.budget,
+            });
+        }
+        Ok(())
+    }
+
+    pub fn release(&self, bytes: u64) {
+        self.charged.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard for a [`MemoryTracker`] charge: releases on drop, so partition
+/// attempts and per-worker states give their bytes back automatically (and
+/// on *any* exit path, including errors and caught panics).
+#[derive(Debug, Default)]
+pub struct MemCharge {
+    tracker: Option<Arc<MemoryTracker>>,
+    bytes: u64,
+}
+
+impl MemCharge {
+    /// Charge `bytes` against the context's tracker, if it has one. With no
+    /// tracker this is free and the guard is inert.
+    pub fn try_new(ctx: &crate::ExecContext, bytes: usize) -> Result<MemCharge> {
+        match &ctx.memory {
+            None => Ok(MemCharge::default()),
+            Some(tracker) => {
+                #[cfg(feature = "fault-injection")]
+                if let Some(f) = &ctx.fault {
+                    if f.should_fail_charge() {
+                        return Err(CoreError::BudgetExceeded {
+                            needed: tracker.charged() + bytes as u64,
+                            budget: tracker.budget(),
+                        });
+                    }
+                }
+                tracker.try_charge(bytes as u64)?;
+                if let Some(s) = &ctx.stats {
+                    s.record_bytes_charged(bytes as u64);
+                }
+                Ok(MemCharge {
+                    tracker: Some(tracker.clone()),
+                    bytes: bytes as u64,
+                })
+            }
+        }
+    }
+}
+
+impl Drop for MemCharge {
+    fn drop(&mut self) {
+        if let Some(t) = &self.tracker {
+            t.release(self.bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_is_shared_and_resettable() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        assert!(!t.is_cancelled());
+        t2.cancel();
+        assert!(t.is_cancelled());
+        t.reset();
+        assert!(!t2.is_cancelled());
+    }
+
+    #[test]
+    fn tracker_charges_releases_and_tracks_peak() {
+        let t = MemoryTracker::new(100);
+        t.try_charge(60).unwrap();
+        assert_eq!(t.charged(), 60);
+        let err = t.try_charge(50).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::BudgetExceeded {
+                needed: 110,
+                budget: 100
+            }
+        ));
+        // The failed charge was rolled back but raised the peak.
+        assert_eq!(t.charged(), 60);
+        assert_eq!(t.peak(), 110);
+        t.release(60);
+        assert_eq!(t.charged(), 0);
+        t.reset_peak();
+        assert_eq!(t.peak(), 0);
+        t.try_charge(100).unwrap(); // exactly at budget is fine
+    }
+
+    #[test]
+    fn charge_guard_releases_on_drop() {
+        let ctx = crate::ExecContext::new().with_budget_bytes(1000);
+        let tracker = ctx.memory.clone().unwrap();
+        {
+            let _g = MemCharge::try_new(&ctx, 400).unwrap();
+            assert_eq!(tracker.charged(), 400);
+            assert!(MemCharge::try_new(&ctx, 700).is_err());
+        }
+        assert_eq!(tracker.charged(), 0);
+        // No tracker: inert guard.
+        let free = crate::ExecContext::new();
+        let _g = MemCharge::try_new(&free, usize::MAX).unwrap();
+    }
+
+    #[test]
+    fn footprint_estimates_are_monotone() {
+        assert_eq!(state_bytes(0, 3), 0);
+        assert!(state_bytes(100, 2) > state_bytes(50, 2));
+        assert!(state_bytes(100, 4) > state_bytes(100, 2));
+        assert!(index_bytes(10) < index_bytes(1000));
+        // Saturates instead of overflowing.
+        assert_eq!(state_bytes(usize::MAX, usize::MAX), usize::MAX);
+    }
+}

@@ -73,7 +73,10 @@ pub mod basevalues;
 pub mod builder;
 pub mod context;
 pub mod error;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod generalized;
+pub mod governor;
 pub mod mdjoin;
 pub mod morsel;
 pub mod parallel;
@@ -81,9 +84,12 @@ pub mod partitioned;
 pub mod probe;
 
 pub use builder::{ExecStrategy, MdJoin};
-pub use context::{ExecContext, ProbeStrategy, DEFAULT_MORSEL_SIZE};
+pub use context::{ExecContext, ProbeStrategy, DEFAULT_MORSEL_RETRIES, DEFAULT_MORSEL_SIZE};
 pub use error::{CoreError, Result};
+#[cfg(feature = "fault-injection")]
+pub use fault::FaultInjector;
 pub use generalized::Block;
+pub use governor::{CancelToken, MemoryTracker};
 pub use mdjoin::output_schema;
 pub use morsel::{choose_side, MorselSide};
 
@@ -100,7 +106,10 @@ pub mod prelude {
     pub use crate::builder::{ExecStrategy, MdJoin};
     pub use crate::context::{ExecContext, ProbeStrategy};
     pub use crate::error::{CoreError, Result};
+    #[cfg(feature = "fault-injection")]
+    pub use crate::fault::FaultInjector;
     pub use crate::generalized::Block;
+    pub use crate::governor::{CancelToken, MemoryTracker};
     pub use crate::mdjoin::output_schema;
     pub use crate::morsel::MorselSide;
     pub use mdj_agg::{AggInput, AggSpec};

@@ -1,7 +1,8 @@
 //! Algorithm 3.1 — the MD-join evaluator.
 
-use crate::context::ExecContext;
+use crate::context::{ExecContext, CANCEL_CHECK_INTERVAL};
 use crate::error::{CoreError, Result};
+use crate::governor::{self, MemCharge};
 use crate::probe::ProbePlan;
 use mdj_agg::{AggInput, AggSpec, AggState, Registry};
 use mdj_expr::Expr;
@@ -81,9 +82,20 @@ pub(crate) fn md_join_serial(
     theta: &Expr,
     ctx: &ExecContext,
 ) -> Result<Relation> {
+    ctx.check_interrupt()?;
     let bound = bind_aggs(l, r.schema(), &ctx.registry)?;
     check_no_duplicates(b.schema(), &bound)?;
     let plan = ProbePlan::build_opts(b, r.schema(), theta, ctx.strategy, ctx.prefilter)?;
+
+    // Governor accounting for the two big allocations of Algorithm 3.1: the
+    // per-base-row state vectors and (if the plan built one) the hash probe
+    // index. Charged before allocating; released by the guards on any exit.
+    let _state_charge = MemCharge::try_new(ctx, governor::state_bytes(b.len(), bound.len()))?;
+    let _index_charge = if plan.is_hash() {
+        MemCharge::try_new(ctx, governor::index_bytes(b.len()))?
+    } else {
+        MemCharge::default()
+    };
 
     // states[i][j]: aggregate j of base row i.
     let mut states: Vec<Vec<Box<dyn AggState>>> = b
@@ -94,7 +106,10 @@ pub(crate) fn md_join_serial(
     ctx.record_scan(r.len() as u64);
     let mut matches: Vec<usize> = Vec::new();
     let mut key_scratch: Vec<mdj_storage::Value> = Vec::new();
-    for t in r.iter() {
+    for (ti, t) in r.iter().enumerate() {
+        if ti % CANCEL_CHECK_INTERVAL == 0 {
+            ctx.check_interrupt()?;
+        }
         plan.matches(b, t.values(), ctx, &mut matches, &mut key_scratch)?;
         if matches.is_empty() {
             continue;

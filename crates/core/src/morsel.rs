@@ -27,6 +27,7 @@
 
 use crate::context::ExecContext;
 use crate::error::{CoreError, Result};
+use crate::governor::{self, panic_message, MemCharge};
 use crate::mdjoin::{bind_aggs, check_no_duplicates, md_join_serial};
 use crate::probe::ProbePlan;
 use crossbeam::deque::{Steal, Stealer, Worker};
@@ -34,7 +35,8 @@ use mdj_agg::{AggSpec, AggState};
 use mdj_expr::Expr;
 use mdj_storage::{Relation, Row, Schema, Value, WorkerStats};
 use std::ops::Range;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
 
 /// Which relation the morsel executor splits into work units.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -117,6 +119,33 @@ fn next_task<T>(
 
 type States = Vec<Vec<Box<dyn AggState>>>;
 
+/// Run one morsel's *pure* computation inside a panic-isolation boundary,
+/// retrying up to `ctx.max_morsel_retries` times. The closure must be free of
+/// externally visible side effects (no state mutation), so a retried attempt
+/// cannot double-count work; callers apply the returned delta afterwards,
+/// outside the boundary. After the retry budget is spent the panic surfaces
+/// as a structured [`CoreError::MorselPanicked`] — never a poisoned or hung
+/// run.
+fn run_isolated<T>(ctx: &ExecContext, morsel: usize, f: impl Fn() -> Result<T>) -> Result<T> {
+    let mut attempts: u32 = 0;
+    loop {
+        attempts += 1;
+        match catch_unwind(AssertUnwindSafe(&f)) {
+            Ok(result) => return result,
+            Err(payload) => {
+                if attempts > ctx.max_morsel_retries {
+                    return Err(CoreError::MorselPanicked {
+                        morsel,
+                        attempts,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+                ctx.record_morsel_retry();
+            }
+        }
+    }
+}
+
 /// Merge two partial state sets pairwise, attributing the merge to `stats`.
 fn merge_states(mut acc: States, other: States, stats: &mut WorkerStats) -> Result<States> {
     stats.merges += 1;
@@ -170,55 +199,92 @@ fn morsel_detail(
     threads: usize,
     ctx: &ExecContext,
 ) -> Result<Relation> {
+    ctx.check_interrupt()?;
     let bound = bind_aggs(l, r.schema(), &ctx.registry)?;
     check_no_duplicates(b.schema(), &bound)?;
     let plan = ProbePlan::build_opts(b, r.schema(), theta, ctx.strategy, ctx.prefilter)?;
+    let _index_charge = if plan.is_hash() {
+        MemCharge::try_new(ctx, governor::index_bytes(b.len()))?
+    } else {
+        MemCharge::default()
+    };
 
     let rows = r.rows();
-    let tasks = morsels(rows.len(), ctx.morsel_size);
+    let tasks: Vec<(usize, Range<usize>)> = morsels(rows.len(), ctx.morsel_size)
+        .into_iter()
+        .enumerate()
+        .collect();
     let (queues, stealers) = seed_queues(tasks, threads);
     let pool: Mutex<Vec<States>> = Mutex::new(Vec::with_capacity(threads));
 
-    let worker = |me: usize, own: Worker<Range<usize>>| -> Result<()> {
+    // One morsel's pure delta: each matched tuple deposits its aggregate
+    // input values once (`n_aggs` values per slot), and `pairs` records which
+    // base rows consume which slot. Computing the delta touches no shared
+    // state, so the isolation boundary can retry it after a caught panic
+    // without double-counting; the apply step below runs outside the
+    // boundary, exactly once.
+    type Delta = (Vec<(usize, usize)>, Vec<Value>);
+    let compute_delta = |id: usize, range: &Range<usize>| -> Result<Delta> {
+        ctx.fault_on_morsel(id);
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        let mut tuple_vals: Vec<Value> = Vec::new();
+        let mut matches: Vec<usize> = Vec::new();
+        let mut key_scratch: Vec<Value> = Vec::new();
+        let mut slot = 0usize;
+        for t in &rows[range.clone()] {
+            plan.matches(b, t.values(), ctx, &mut matches, &mut key_scratch)?;
+            if matches.is_empty() {
+                continue;
+            }
+            for ba in &bound {
+                tuple_vals.push(match ba.input_col {
+                    Some(c) => t[c].clone(),
+                    None => Value::Null,
+                });
+            }
+            pairs.extend(matches.iter().map(|&row_id| (row_id, slot)));
+            slot += 1;
+        }
+        Ok((pairs, tuple_vals))
+    };
+
+    let worker = |me: usize, own: Worker<(usize, Range<usize>)>| -> Result<()> {
+        // Every detail-side worker keeps state for all of B: charge the full
+        // footprint per worker (released when the worker's states merge away).
+        let _state_charge = MemCharge::try_new(ctx, governor::state_bytes(b.len(), bound.len()))?;
         let mut ws = WorkerStats::new(me);
         let mut states: States = b
             .iter()
             .map(|_| bound.iter().map(|ba| ba.agg.init()).collect())
             .collect();
-        let mut matches: Vec<usize> = Vec::new();
-        let mut key_scratch: Vec<Value> = Vec::new();
-        while let Some(range) = next_task(&own, &stealers, me, &mut ws) {
+        while let Some((id, range)) = next_task(&own, &stealers, me, &mut ws) {
+            ctx.check_interrupt()?;
             ws.morsels += 1;
             ws.tuples += range.len() as u64;
-            for t in &rows[range] {
-                plan.matches(b, t.values(), ctx, &mut matches, &mut key_scratch)?;
-                if matches.is_empty() {
-                    continue;
-                }
-                let n = (matches.len() * bound.len()) as u64;
-                ctx.record_updates(n);
-                ws.updates += n;
-                for &row_id in &matches {
-                    for (j, ba) in bound.iter().enumerate() {
-                        let v = match ba.input_col {
-                            Some(c) => &t[c],
-                            None => &Value::Null,
-                        };
-                        states[row_id][j].update(v)?;
-                    }
+            let (pairs, tuple_vals) = run_isolated(ctx, id, || compute_delta(id, &range))?;
+            let n = (pairs.len() * bound.len()) as u64;
+            ctx.record_updates(n);
+            ws.updates += n;
+            for &(row_id, slot) in &pairs {
+                for (j, state) in states[row_id].iter_mut().enumerate() {
+                    state.update(&tuple_vals[slot * bound.len() + j])?;
                 }
             }
         }
         // Cooperative pairwise merge (see function docs for the protocol).
         let mut mine = Some(states);
         loop {
-            let mut guard = pool.lock().unwrap();
+            let mut guard = pool.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(s) = mine.take() {
                 guard.push(s);
             }
             if guard.len() >= 2 {
-                let a = guard.pop().expect("len checked");
-                let bstates = guard.pop().expect("len checked");
+                let a = guard.pop().ok_or_else(|| {
+                    CoreError::Internal("merge pool empty after len check".into())
+                })?;
+                let bstates = guard.pop().ok_or_else(|| {
+                    CoreError::Internal("merge pool empty after len check".into())
+                })?;
                 drop(guard);
                 mine = Some(merge_states(a, bstates, &mut ws)?);
             } else {
@@ -241,15 +307,30 @@ fn morsel_detail(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .enumerate()
+            .map(|(worker, h)| {
+                h.join().unwrap_or_else(|payload| {
+                    Err(CoreError::WorkerPanicked {
+                        worker,
+                        message: panic_message(payload.as_ref()),
+                    })
+                })
+            })
             .collect()
     })
-    .expect("crossbeam scope failed");
+    .map_err(|payload| {
+        CoreError::Internal(format!(
+            "crossbeam scope failed: {}",
+            panic_message(payload.as_ref())
+        ))
+    })?;
     results.into_iter().collect::<Result<Vec<()>>>()?;
 
-    let mut survivors = pool.into_inner().expect("merge pool poisoned");
+    let mut survivors = pool.into_inner().unwrap_or_else(PoisonError::into_inner);
     debug_assert_eq!(survivors.len(), 1, "merge protocol leaves one state set");
-    let total = survivors.pop().expect("≥1 worker pushed its states");
+    let total = survivors
+        .pop()
+        .ok_or_else(|| CoreError::Internal("merge protocol left no surviving state set".into()))?;
 
     let mut fields = b.schema().fields().to_vec();
     fields.extend(bound.iter().map(|ba| ba.output.clone()));
@@ -287,17 +368,28 @@ fn morsel_base(
         let mut ws = WorkerStats::new(me);
         let mut done: Vec<(usize, Vec<Row>)> = Vec::new();
         while let Some((slot, range)) = next_task(&own, &stealers, me, &mut ws) {
+            ctx.check_interrupt()?;
             ws.morsels += 1;
             ws.tuples += range.len() as u64;
             let frag = Relation::from_rows(b.schema().clone(), b_rows[range].to_vec());
-            let piece = md_join_serial(&frag, r, l, theta, ctx)?;
+            // A base-side morsel is already pure — an independent MD-join of
+            // its fragment, deposited only on success — so the whole join sits
+            // inside the isolation boundary and retries are side-effect-free.
+            let piece = run_isolated(ctx, slot, || {
+                ctx.fault_on_morsel(slot);
+                md_join_serial(&frag, r, l, theta, ctx)
+            })?;
             done.push((slot, piece.into_rows()));
         }
-        slots.lock().unwrap().extend(done);
+        slots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extend(done);
         ctx.record_worker(ws);
         Ok(())
     };
 
+    ctx.check_interrupt()?;
     let results: Vec<Result<()>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = queues
             .into_iter()
@@ -309,13 +401,26 @@ fn morsel_base(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .enumerate()
+            .map(|(worker, h)| {
+                h.join().unwrap_or_else(|payload| {
+                    Err(CoreError::WorkerPanicked {
+                        worker,
+                        message: panic_message(payload.as_ref()),
+                    })
+                })
+            })
             .collect()
     })
-    .expect("crossbeam scope failed");
+    .map_err(|payload| {
+        CoreError::Internal(format!(
+            "crossbeam scope failed: {}",
+            panic_message(payload.as_ref())
+        ))
+    })?;
     results.into_iter().collect::<Result<Vec<()>>>()?;
 
-    let mut pieces = slots.into_inner().expect("slot pool poisoned");
+    let mut pieces = slots.into_inner().unwrap_or_else(PoisonError::into_inner);
     pieces.sort_by_key(|(slot, _)| *slot);
     let mut out = Relation::empty(schema);
     for (_, rows) in pieces {

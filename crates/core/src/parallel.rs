@@ -11,8 +11,9 @@
 //!   states merge at the end. Useful when `B` is small and `R` is huge; the
 //!   benches ablate the two.
 
-use crate::context::ExecContext;
+use crate::context::{ExecContext, CANCEL_CHECK_INTERVAL};
 use crate::error::{CoreError, Result};
+use crate::governor::{self, panic_message, MemCharge};
 use crate::mdjoin::{bind_aggs, md_join_serial};
 use crate::probe::ProbePlan;
 use mdj_agg::{AggSpec, AggState};
@@ -32,6 +33,7 @@ pub(crate) fn chunk_base(
     if threads == 0 {
         return Err(CoreError::BadConfig("thread count must be ≥ 1".into()));
     }
+    ctx.check_interrupt()?;
     let parts = partition::chunk(b, threads);
     let results: Vec<Result<Relation>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = parts
@@ -39,6 +41,7 @@ pub(crate) fn chunk_base(
             .enumerate()
             .map(|(me, part)| {
                 scope.spawn(move |_| {
+                    ctx.check_interrupt()?;
                     let mut ws = WorkerStats::new(me);
                     ws.morsels = 1; // a static chunk is one indivisible work unit
                     ws.tuples = part.len() as u64;
@@ -50,16 +53,29 @@ pub(crate) fn chunk_base(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .enumerate()
+            .map(|(worker, h)| {
+                h.join().unwrap_or_else(|payload| {
+                    Err(CoreError::WorkerPanicked {
+                        worker,
+                        message: panic_message(payload.as_ref()),
+                    })
+                })
+            })
             .collect()
     })
-    .expect("crossbeam scope failed");
+    .map_err(|payload| {
+        CoreError::Internal(format!(
+            "crossbeam scope failed: {}",
+            panic_message(payload.as_ref())
+        ))
+    })?;
 
-    let mut pieces = results.into_iter().collect::<Result<Vec<_>>>()?;
-    let first = pieces.remove(0);
-    pieces
-        .into_iter()
-        .try_fold(first, |acc, next| acc.union(&next).map_err(CoreError::from))
+    let mut iter = results.into_iter().collect::<Result<Vec<_>>>()?.into_iter();
+    let first = iter
+        .next()
+        .ok_or_else(|| CoreError::Internal("partition::chunk yielded zero parts".into()))?;
+    iter.try_fold(first, |acc, next| acc.union(&next).map_err(CoreError::from))
 }
 
 /// Parallel MD-join partitioning the *detail* table: each worker scans an
@@ -77,12 +93,21 @@ pub(crate) fn chunk_detail(
     if threads == 0 {
         return Err(CoreError::BadConfig("thread count must be ≥ 1".into()));
     }
+    ctx.check_interrupt()?;
     let bound = bind_aggs(l, r.schema(), &ctx.registry)?;
     let plan = ProbePlan::build_opts(b, r.schema(), theta, ctx.strategy, ctx.prefilter)?;
+    let _index_charge = if plan.is_hash() {
+        MemCharge::try_new(ctx, governor::index_bytes(b.len()))?
+    } else {
+        MemCharge::default()
+    };
     let r_parts = partition::chunk(r, threads);
 
     type States = Vec<Vec<Box<dyn AggState>>>;
     let worker = |me: usize, slice: &Relation| -> Result<States> {
+        // Each detail-partitioned worker keeps states for *all* of B — charge
+        // the full footprint per worker (this is the strategy's memory cost).
+        let _state_charge = MemCharge::try_new(ctx, governor::state_bytes(b.len(), bound.len()))?;
         let mut ws = WorkerStats::new(me);
         ws.morsels = 1; // a static chunk is one indivisible work unit
         ws.tuples = slice.len() as u64;
@@ -93,7 +118,10 @@ pub(crate) fn chunk_detail(
         ctx.record_scan(slice.len() as u64);
         let mut matches = Vec::new();
         let mut key_scratch: Vec<Value> = Vec::new();
-        for t in slice.iter() {
+        for (ti, t) in slice.iter().enumerate() {
+            if ti % CANCEL_CHECK_INTERVAL == 0 {
+                ctx.check_interrupt()?;
+            }
             plan.matches(b, t.values(), ctx, &mut matches, &mut key_scratch)?;
             ws.updates += (matches.len() * bound.len()) as u64;
             for &row_id in &matches {
@@ -121,13 +149,31 @@ pub(crate) fn chunk_detail(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .enumerate()
+            .map(|(worker, h)| {
+                h.join().unwrap_or_else(|payload| {
+                    Err(CoreError::WorkerPanicked {
+                        worker,
+                        message: panic_message(payload.as_ref()),
+                    })
+                })
+            })
             .collect()
     })
-    .expect("crossbeam scope failed");
+    .map_err(|payload| {
+        CoreError::Internal(format!(
+            "crossbeam scope failed: {}",
+            panic_message(payload.as_ref())
+        ))
+    })?;
 
-    let mut partials = partials.into_iter().collect::<Result<Vec<States>>>()?;
-    let mut total = partials.remove(0);
+    let mut partials = partials
+        .into_iter()
+        .collect::<Result<Vec<States>>>()?
+        .into_iter();
+    let mut total = partials
+        .next()
+        .ok_or_else(|| CoreError::Internal("partition::chunk yielded zero parts".into()))?;
     for part in partials {
         for (row_states, part_states) in total.iter_mut().zip(part) {
             for (s, p) in row_states.iter_mut().zip(part_states) {

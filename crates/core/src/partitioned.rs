@@ -30,10 +30,13 @@ pub(crate) fn partitioned(
     let parts = partition::chunk(b, m);
     let mut pieces = Vec::with_capacity(parts.len());
     for part in &parts {
+        ctx.check_interrupt()?;
         pieces.push(md_join_serial(part, r, l, theta, ctx)?);
     }
     let mut iter = pieces.into_iter();
-    let first = iter.next().expect("chunk always yields ≥ 1 part");
+    let first = iter.next().ok_or_else(|| {
+        CoreError::Internal("partition::chunk yielded zero parts for m ≥ 1".into())
+    })?;
     iter.try_fold(first, |acc, next| acc.union(&next).map_err(CoreError::from))
 }
 
@@ -57,12 +60,32 @@ pub fn md_join_partitioned(
 /// state is estimated at `bytes_per_row`, and `m` is the smallest count whose
 /// per-partition footprint fits `budget_bytes`. This is the planning knob the
 /// paper's in-memory argument implies.
-pub fn partitions_for_budget(b_rows: usize, bytes_per_row: usize, budget_bytes: usize) -> usize {
-    if b_rows == 0 || budget_bytes == 0 {
-        return 1;
+///
+/// An empty `B` needs no partitioning (`Ok(1)`). A zero `bytes_per_row` or
+/// zero `budget_bytes` is rejected as [`CoreError::BadConfig`]: the first
+/// makes every footprint look free (silently defeating the budget), and no
+/// partition count can fit the second — callers must supply real estimates,
+/// not sentinel zeros.
+pub fn partitions_for_budget(
+    b_rows: usize,
+    bytes_per_row: usize,
+    budget_bytes: usize,
+) -> Result<usize> {
+    if b_rows == 0 {
+        return Ok(1);
+    }
+    if bytes_per_row == 0 {
+        return Err(CoreError::BadConfig(
+            "bytes_per_row must be ≥ 1 (a zero estimate would make any B look free)".into(),
+        ));
+    }
+    if budget_bytes == 0 {
+        return Err(CoreError::BadConfig(
+            "budget_bytes must be ≥ 1 (no partitioning fits a zero budget)".into(),
+        ));
     }
     let total = b_rows.saturating_mul(bytes_per_row);
-    total.div_ceil(budget_bytes).max(1)
+    Ok(total.div_ceil(budget_bytes).max(1))
 }
 
 #[cfg(test)]
@@ -125,12 +148,23 @@ mod tests {
 
     #[test]
     fn budget_sizing() {
-        assert_eq!(partitions_for_budget(0, 100, 1000), 1);
-        assert_eq!(partitions_for_budget(1000, 100, 0), 1);
+        // Empty B: nothing to partition.
+        assert_eq!(partitions_for_budget(0, 100, 1000).unwrap(), 1);
+        // Degenerate estimates are configuration errors, not silent 1s.
+        assert!(matches!(
+            partitions_for_budget(1000, 100, 0),
+            Err(CoreError::BadConfig(_))
+        ));
+        assert!(matches!(
+            partitions_for_budget(1000, 0, 25_000),
+            Err(CoreError::BadConfig(_))
+        ));
         // 1000 rows × 100 B = 100 kB; 25 kB budget → 4 partitions.
-        assert_eq!(partitions_for_budget(1000, 100, 25_000), 4);
+        assert_eq!(partitions_for_budget(1000, 100, 25_000).unwrap(), 4);
         // Fits entirely → 1 partition.
-        assert_eq!(partitions_for_budget(10, 100, 100_000), 1);
+        assert_eq!(partitions_for_budget(10, 100, 100_000).unwrap(), 1);
+        // Overflow-prone inputs saturate rather than wrap.
+        assert!(partitions_for_budget(usize::MAX, usize::MAX, 1).is_ok());
     }
 
     #[test]

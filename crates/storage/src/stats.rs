@@ -65,6 +65,15 @@ pub struct ScanStats {
     probes: AtomicU64,
     /// Aggregate-state updates applied.
     updates: AtomicU64,
+    /// Cooperative cancellation/deadline polls performed by the governor.
+    cancel_polls: AtomicU64,
+    /// Morsels re-executed after a caught worker panic.
+    morsel_retries: AtomicU64,
+    /// Bytes charged against the memory budget (cumulative, never released).
+    bytes_charged: AtomicU64,
+    /// Times a budget breach was answered by re-planning into Theorem 4.1
+    /// partitioned evaluation instead of aborting.
+    degradations: AtomicU64,
     /// Per-worker morsel accounting, appended once per worker per parallel
     /// run (guarded by a mutex: workers report once at exit, not per tuple).
     workers: Mutex<Vec<WorkerStats>>,
@@ -91,10 +100,30 @@ impl ScanStats {
         self.updates.fetch_add(n, Ordering::Relaxed);
     }
 
+    pub fn record_cancel_poll(&self) {
+        self.cancel_polls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_morsel_retry(&self) {
+        self.morsel_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_bytes_charged(&self, n: u64) {
+        self.bytes_charged.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_degradation(&self) {
+        self.degradations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Append one worker's morsel accounting (called once per worker at the
-    /// end of a parallel run).
+    /// end of a parallel run). A poisoned mutex is recovered: stats recording
+    /// must never add a second failure to an already-failing run.
     pub fn record_worker(&self, worker: WorkerStats) {
-        self.workers.lock().unwrap().push(worker);
+        self.workers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(worker);
     }
 
     pub fn scans(&self) -> u64 {
@@ -113,9 +142,28 @@ impl ScanStats {
         self.updates.load(Ordering::Relaxed)
     }
 
+    pub fn cancel_polls(&self) -> u64 {
+        self.cancel_polls.load(Ordering::Relaxed)
+    }
+
+    pub fn morsel_retries(&self) -> u64 {
+        self.morsel_retries.load(Ordering::Relaxed)
+    }
+
+    pub fn bytes_charged(&self) -> u64 {
+        self.bytes_charged.load(Ordering::Relaxed)
+    }
+
+    pub fn degradations(&self) -> u64 {
+        self.degradations.load(Ordering::Relaxed)
+    }
+
     /// Per-worker morsel accounting recorded so far.
     pub fn workers(&self) -> Vec<WorkerStats> {
-        self.workers.lock().unwrap().clone()
+        self.workers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Zero all counters.
@@ -124,7 +172,14 @@ impl ScanStats {
         self.tuples_scanned.store(0, Ordering::Relaxed);
         self.probes.store(0, Ordering::Relaxed);
         self.updates.store(0, Ordering::Relaxed);
-        self.workers.lock().unwrap().clear();
+        self.cancel_polls.store(0, Ordering::Relaxed);
+        self.morsel_retries.store(0, Ordering::Relaxed);
+        self.bytes_charged.store(0, Ordering::Relaxed);
+        self.degradations.store(0, Ordering::Relaxed);
+        self.workers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
     }
 
     /// Snapshot as a plain struct for reporting.
@@ -134,6 +189,10 @@ impl ScanStats {
             tuples_scanned: self.tuples_scanned(),
             probes: self.probes(),
             updates: self.updates(),
+            cancel_polls: self.cancel_polls(),
+            morsel_retries: self.morsel_retries(),
+            bytes_charged: self.bytes_charged(),
+            degradations: self.degradations(),
             workers: self.workers(),
         }
     }
@@ -146,9 +205,27 @@ pub struct StatsSnapshot {
     pub tuples_scanned: u64,
     pub probes: u64,
     pub updates: u64,
+    /// Cancellation/deadline polls performed by the query governor.
+    pub cancel_polls: u64,
+    /// Morsels re-executed after a caught worker panic.
+    pub morsel_retries: u64,
+    /// Bytes charged against the memory budget (cumulative).
+    pub bytes_charged: u64,
+    /// Budget breaches answered by Theorem 4.1 re-partitioning.
+    pub degradations: u64,
     /// Per-worker morsel/steal/merge counters from parallel runs (empty for
     /// serial evaluation).
     pub workers: Vec<WorkerStats>,
+}
+
+impl StatsSnapshot {
+    /// True if any governor counter is non-zero (the governor was active).
+    pub fn governor_active(&self) -> bool {
+        self.cancel_polls > 0
+            || self.morsel_retries > 0
+            || self.bytes_charged > 0
+            || self.degradations > 0
+    }
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -158,6 +235,13 @@ impl std::fmt::Display for StatsSnapshot {
             "scans={} tuples={} probes={} updates={}",
             self.scans, self.tuples_scanned, self.probes, self.updates
         )?;
+        if self.governor_active() {
+            write!(
+                f,
+                "\n  governor: cancel_polls={} retries={} bytes_charged={} degradations={}",
+                self.cancel_polls, self.morsel_retries, self.bytes_charged, self.degradations
+            )?;
+        }
         for w in &self.workers {
             write!(f, "\n  {w}")?;
         }
@@ -205,5 +289,27 @@ mod tests {
         let s = ScanStats::new();
         s.record_tuples(7);
         assert!(s.snapshot().to_string().contains("tuples=7"));
+    }
+
+    #[test]
+    fn governor_counters_accumulate_and_display() {
+        let s = ScanStats::new();
+        assert!(!s.snapshot().governor_active());
+        assert!(!s.snapshot().to_string().contains("governor:"));
+        s.record_cancel_poll();
+        s.record_morsel_retry();
+        s.record_bytes_charged(1024);
+        s.record_degradation();
+        let snap = s.snapshot();
+        assert!(snap.governor_active());
+        assert_eq!(snap.cancel_polls, 1);
+        assert_eq!(snap.morsel_retries, 1);
+        assert_eq!(snap.bytes_charged, 1024);
+        assert_eq!(snap.degradations, 1);
+        assert!(snap
+            .to_string()
+            .contains("governor: cancel_polls=1 retries=1 bytes_charged=1024 degradations=1"));
+        s.reset();
+        assert!(!s.snapshot().governor_active());
     }
 }

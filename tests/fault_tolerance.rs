@@ -1,0 +1,259 @@
+//! Fault-injection property tests (the robustness harness).
+//!
+//! Compiled only with `--features fault-injection`. A deterministic
+//! [`FaultInjector`] arms bounded panics, memory-charge failures, and slow
+//! morsels at seeded execution sites; the properties assert the execution
+//! layer's contract under fire:
+//!
+//! * **result-or-clean-error** — a faulted run either produces the *exact*
+//!   serial answer or a typed governor error; never a hang, a poisoned lock,
+//!   a partial result, or a propagated panic;
+//! * **retries mask bounded faults** — with enough retries, a bounded panic
+//!   budget must be absorbed and the answer must equal serial exactly
+//!   (injection sites are outside the apply phase, so retries cannot
+//!   double-count);
+//! * **charge failures degrade, not abort** — injected budget breaches send
+//!   the serial path through Theorem 4.1 re-partitioning and the answer
+//!   still equals serial.
+#![cfg(feature = "fault-injection")]
+
+use mdj_core::prelude::*;
+use proptest::prelude::*;
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+/// Suppress the default panic hook's backtrace spam for *injected* panics
+/// only; real panics still report. Installed once per test binary.
+fn quiet_injected_panics() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("injected fault"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn sales(rows: usize) -> Relation {
+    let schema = Schema::from_pairs(&[
+        ("cust", DataType::Int),
+        ("month", DataType::Int),
+        ("sale", DataType::Float),
+    ]);
+    let data = (0..rows)
+        .map(|i| {
+            Row::from_values(vec![
+                Value::Int((i % 17) as i64),
+                Value::Int((i % 12) as i64),
+                Value::Float((i % 89) as f64),
+            ])
+        })
+        .collect();
+    Relation::from_rows(schema, data)
+}
+
+fn specs() -> Vec<AggSpec> {
+    vec![
+        AggSpec::count_star(),
+        AggSpec::on_column("sum", "sale"),
+        AggSpec::on_column("avg", "sale"),
+    ]
+}
+
+fn serial_answer(b: &Relation, r: &Relation) -> Relation {
+    MdJoin::new(b, r)
+        .aggs(&specs())
+        .theta(eq(col_b("cust"), col_r("cust")))
+        .strategy(ExecStrategy::Serial)
+        .run(&ExecContext::new())
+        .unwrap()
+}
+
+fn faulted_run(
+    b: &Relation,
+    r: &Relation,
+    strategy: ExecStrategy,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    MdJoin::new(b, r)
+        .aggs(&specs())
+        .theta(eq(col_b("cust"), col_r("cust")))
+        .strategy(strategy)
+        .threads(2)
+        .run(ctx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Injected panics at morsel sites: every run ends in the exact serial
+    /// answer or a clean governor error — across seeds, sides, morsel sizes,
+    /// and retry budgets (including zero retries, where the first injected
+    /// panic must surface as `MorselPanicked`).
+    #[test]
+    fn injected_panics_yield_result_or_clean_error(
+        seed in 0u64..1_000,
+        detail_side in any::<bool>(),
+        small_morsels in any::<bool>(),
+        retries in 0u32..3,
+    ) {
+        quiet_injected_panics();
+        let r = sales(600);
+        let b = basevalues::group_by(&r, &["cust"]).unwrap();
+        let expected = serial_answer(&b, &r);
+
+        let fault = Arc::new(FaultInjector::new(seed).period(2).panics(2));
+        let ctx = ExecContext::new()
+            .with_morsel_size(if small_morsels { 8 } else { 4096 })
+            .with_morsel_retries(retries)
+            .with_fault_injector(fault.clone());
+        let strategy = if detail_side {
+            ExecStrategy::MorselDetail
+        } else {
+            ExecStrategy::MorselBase
+        };
+        match faulted_run(&b, &r, strategy, &ctx) {
+            Ok(out) => prop_assert_eq!(
+                expected.rows(), out.rows(),
+                "faulted run completed but differs from serial"
+            ),
+            Err(e @ CoreError::MorselPanicked { .. }) => {
+                prop_assert!(e.is_governor());
+                prop_assert!(
+                    fault.panics_injected() > 0,
+                    "MorselPanicked without an injected panic"
+                );
+            }
+            Err(other) => prop_assert!(false, "unclean failure: {other:?}"),
+        }
+    }
+
+    /// With a retry budget larger than the armed panic budget, the bounded
+    /// faults are fully absorbed: the run *must* succeed and equal serial
+    /// exactly (retries re-run the pure compute phase, never the apply
+    /// phase, so absorption cannot double-count updates).
+    #[test]
+    fn ample_retries_absorb_bounded_panics_exactly(
+        seed in 0u64..1_000,
+        detail_side in any::<bool>(),
+    ) {
+        quiet_injected_panics();
+        let r = sales(600);
+        let b = basevalues::group_by(&r, &["cust"]).unwrap();
+        let expected = serial_answer(&b, &r);
+
+        let fault = Arc::new(FaultInjector::new(seed).period(2).panics(3));
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ExecContext::new()
+            .with_morsel_size(16)
+            .with_morsel_retries(8) // > panic budget: every morsel eventually runs clean
+            .with_stats(stats.clone())
+            .with_fault_injector(fault.clone());
+        let strategy = if detail_side {
+            ExecStrategy::MorselDetail
+        } else {
+            ExecStrategy::MorselBase
+        };
+        let out = faulted_run(&b, &r, strategy, &ctx);
+        prop_assert!(out.is_ok(), "bounded faults must be absorbed: {:?}", out.err());
+        let out = out.unwrap();
+        prop_assert_eq!(expected.rows(), out.rows());
+        prop_assert_eq!(
+            stats.morsel_retries(), fault.panics_injected(),
+            "every injected panic is one recorded retry"
+        );
+    }
+
+    /// Injected memory-charge failures behave exactly like real budget
+    /// breaches: the serial path degrades into Theorem 4.1 partitioned
+    /// evaluation and still produces the exact serial answer.
+    #[test]
+    fn injected_charge_failures_degrade_and_still_answer(
+        seed in 0u64..1_000,
+    ) {
+        let r = sales(600);
+        let b = basevalues::group_by(&r, &["cust"]).unwrap();
+        let expected = serial_answer(&b, &r);
+
+        let fault = Arc::new(FaultInjector::new(seed).period(1).charge_failures(2));
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ExecContext::new()
+            .with_budget_bytes(1 << 30) // budget is ample: only injection can breach
+            .with_stats(stats.clone())
+            .with_fault_injector(fault);
+        let out = faulted_run(&b, &r, ExecStrategy::Serial, &ctx);
+        prop_assert!(out.is_ok(), "charge-failure degradation failed: {:?}", out.err());
+        let out = out.unwrap();
+        prop_assert_eq!(expected.rows(), out.rows());
+        prop_assert!(
+            stats.degradations() >= 1,
+            "injected breach never triggered Theorem 4.1 degradation"
+        );
+    }
+
+    /// Slow morsels racing a short deadline: the run either finishes in time
+    /// with the exact answer or stops with `DeadlineExceeded` — never
+    /// anything messier.
+    #[test]
+    fn slow_morsels_race_deadlines_cleanly(
+        seed in 0u64..1_000,
+        detail_side in any::<bool>(),
+    ) {
+        quiet_injected_panics();
+        let r = sales(600);
+        let b = basevalues::group_by(&r, &["cust"]).unwrap();
+        let expected = serial_answer(&b, &r);
+
+        let fault = Arc::new(
+            FaultInjector::new(seed)
+                .period(1)
+                .slow_morsels(4, Duration::from_millis(2)),
+        );
+        let ctx = ExecContext::new()
+            .with_morsel_size(8)
+            .with_deadline(Duration::from_millis(4))
+            .with_fault_injector(fault);
+        let strategy = if detail_side {
+            ExecStrategy::MorselDetail
+        } else {
+            ExecStrategy::MorselBase
+        };
+        match faulted_run(&b, &r, strategy, &ctx) {
+            Ok(out) => prop_assert_eq!(expected.rows(), out.rows()),
+            Err(CoreError::DeadlineExceeded) => {}
+            Err(other) => prop_assert!(false, "unclean failure: {other:?}"),
+        }
+    }
+}
+
+/// Deterministic single-thread reproduction: the same seed injects at the
+/// same sites, so two identical runs agree error-for-error.
+#[test]
+fn single_threaded_faulted_runs_are_reproducible() {
+    quiet_injected_panics();
+    let r = sales(400);
+    let b = basevalues::group_by(&r, &["cust"]).unwrap();
+    let run = |seed: u64| {
+        let fault = Arc::new(FaultInjector::new(seed).period(2).panics(1));
+        let ctx = ExecContext::new()
+            .with_morsel_size(16)
+            .with_morsel_retries(0)
+            .with_fault_injector(fault);
+        MdJoin::new(&b, &r)
+            .aggs(&specs())
+            .theta(eq(col_b("cust"), col_r("cust")))
+            .strategy(ExecStrategy::MorselDetail)
+            .threads(1)
+            .run(&ctx)
+            .map(|rel| rel.rows().to_vec())
+            .map_err(|e| e.to_string())
+    };
+    assert_eq!(run(12345), run(12345));
+    assert_eq!(run(999), run(999));
+}
