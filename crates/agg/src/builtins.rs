@@ -1,6 +1,7 @@
 //! Built-in aggregate functions: the distributive and algebraic core.
 
 use crate::error::{AggError, Result};
+use crate::kernels::KernelKind;
 use crate::traits::{downcast_state, AggClass, AggState, Aggregate};
 use mdj_storage::{DataType, Value};
 use std::any::Any;
@@ -77,6 +78,10 @@ impl Aggregate for Count {
 
     fn rollup_name(&self) -> Option<&'static str> {
         Some("sum")
+    }
+
+    fn kernel(&self) -> Option<KernelKind> {
+        Some(KernelKind::Count { star: self.star })
     }
 }
 
@@ -159,6 +164,10 @@ impl Aggregate for Sum {
     fn rollup_name(&self) -> Option<&'static str> {
         Some("sum")
     }
+
+    fn kernel(&self) -> Option<KernelKind> {
+        Some(KernelKind::Sum)
+    }
 }
 
 // ---------------------------------------------------------------- avg
@@ -221,6 +230,10 @@ impl Aggregate for Avg {
 
     fn output_type(&self, _input: DataType) -> DataType {
         DataType::Float
+    }
+
+    fn kernel(&self) -> Option<KernelKind> {
+        Some(KernelKind::Avg)
     }
 }
 
@@ -304,6 +317,14 @@ impl Aggregate for MinMax {
 
     fn rollup_name(&self) -> Option<&'static str> {
         Some(if self.is_max { "max" } else { "min" })
+    }
+
+    fn kernel(&self) -> Option<KernelKind> {
+        Some(if self.is_max {
+            KernelKind::Max
+        } else {
+            KernelKind::Min
+        })
     }
 }
 

@@ -66,6 +66,10 @@ impl AggState for MedianState {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn heap_bytes(&self) -> usize {
+        self.vals.capacity() * std::mem::size_of::<f64>()
+    }
 }
 
 impl Aggregate for Median {
@@ -211,6 +215,11 @@ impl AggState for ApproxMedianState {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn heap_bytes(&self) -> usize {
+        // Bounded by `capacity`, but still real memory the estimate misses.
+        self.reservoir.capacity() * std::mem::size_of::<f64>()
+    }
 }
 
 impl Aggregate for ApproxMedian {
@@ -276,6 +285,11 @@ impl AggState for ModeState {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn heap_bytes(&self) -> usize {
+        // Bucket slot (value + count) plus hash-table control overhead.
+        self.counts.capacity() * (std::mem::size_of::<(Value, u64)>() + 16)
+    }
 }
 
 impl Aggregate for Mode {
@@ -327,6 +341,10 @@ impl AggState for CountDistinctState {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.seen.capacity() * (std::mem::size_of::<Value>() + 16)
     }
 }
 
@@ -435,6 +453,22 @@ mod tests {
         }
         a.merge(b.as_ref()).unwrap();
         assert_eq!(a.finalize(), Value::Int(3));
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_data() {
+        for agg in [&Median as &dyn Aggregate, &Mode, &CountDistinct] {
+            let mut s = agg.init();
+            assert_eq!(s.heap_bytes(), 0, "{}", agg.name());
+            for i in 0..1000i64 {
+                s.update(&Value::Int(i)).unwrap();
+            }
+            assert!(s.heap_bytes() >= 1000 * 8, "{}", agg.name());
+        }
+        // Bounded states report 0 (default impl).
+        let mut c = crate::builtins::Sum.init();
+        c.update(&Value::Int(1)).unwrap();
+        assert_eq!(c.heap_bytes(), 0);
     }
 
     #[test]

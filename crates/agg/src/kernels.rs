@@ -1,0 +1,447 @@
+//! Typed aggregate kernels for the vectorized executor.
+//!
+//! The scalar path folds every matching detail value through a
+//! `Box<dyn AggState>::update(&Value)` virtual call. For the distributive /
+//! algebraic core (`count`, `sum`, `min`, `max`, `avg`) the same accumulation
+//! can run over native `i64`/`f64` slices with one dispatch per *run* of
+//! matched tuples instead of one per value. A [`KernelState`] replicates the
+//! corresponding builtin state machine bit-for-bit — same integer/float sum
+//! split, same NULL handling, same `BadInput` errors, same finalize — so the
+//! vectorized executor's output is row-identical to the scalar one.
+//!
+//! Coverage is declared by the aggregate itself via
+//! [`Aggregate::kernel`](crate::Aggregate::kernel): the builtins override it,
+//! everything else (holistic, user-defined) returns `None` and keeps the
+//! `AggState` fallback. Detection is per *instance*, not per name, so a UDAF
+//! registered under the name `"sum"` is never mistaken for the builtin.
+
+use crate::error::{AggError, Result};
+use mdj_storage::Value;
+
+fn bad_input(function: &str, v: &Value) -> AggError {
+    AggError::BadInput {
+        function: function.to_string(),
+        got: v.type_name().to_string(),
+    }
+}
+
+/// Which typed kernel an aggregate maps to. Returned by
+/// [`Aggregate::kernel`](crate::Aggregate::kernel) for the covered builtins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// `count(*)` / `count(col)`.
+    Count {
+        /// True for `count(*)` (counts NULLs too).
+        star: bool,
+    },
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl KernelKind {
+    /// Fresh accumulator for this kernel.
+    pub fn init(&self) -> KernelState {
+        match self {
+            KernelKind::Count { star } => KernelState::Count { star: *star, n: 0 },
+            KernelKind::Sum => KernelState::Sum {
+                int_sum: 0,
+                float_sum: 0.0,
+                any_float: false,
+                seen: 0,
+            },
+            KernelKind::Avg => KernelState::Avg { sum: 0.0, n: 0 },
+            KernelKind::Min => KernelState::MinMax {
+                is_max: false,
+                best: None,
+            },
+            KernelKind::Max => KernelState::MinMax {
+                is_max: true,
+                best: None,
+            },
+        }
+    }
+}
+
+/// Accumulator state of one kernel-covered aggregate for one base row.
+///
+/// The variants carry exactly the fields of the corresponding builtin states
+/// (`CountState`, `SumState`, `AvgState`, `MinMaxState`) so every update path
+/// — batched or per-value — produces the same finalized [`Value`].
+#[derive(Debug, Clone)]
+pub enum KernelState {
+    Count {
+        star: bool,
+        n: i64,
+    },
+    Sum {
+        int_sum: i64,
+        float_sum: f64,
+        any_float: bool,
+        seen: u64,
+    },
+    Avg {
+        sum: f64,
+        n: u64,
+    },
+    MinMax {
+        is_max: bool,
+        best: Option<Value>,
+    },
+}
+
+impl KernelState {
+    /// Fold a selection of an `i64` column: `sel` indexes into `vals`/`nulls`
+    /// (parallel slices), `nulls[i]` true meaning the slot is SQL NULL. One
+    /// call covers a whole (base-row, column) run.
+    pub fn update_ints(&mut self, vals: &[i64], nulls: &[bool], sel: &[u32]) {
+        match self {
+            KernelState::Count { star, n } => {
+                if *star {
+                    *n += sel.len() as i64;
+                } else {
+                    *n += sel.iter().filter(|&&i| !nulls[i as usize]).count() as i64;
+                }
+            }
+            KernelState::Sum { int_sum, seen, .. } => {
+                for &i in sel {
+                    let i = i as usize;
+                    if !nulls[i] {
+                        *int_sum = int_sum.wrapping_add(vals[i]);
+                        *seen += 1;
+                    }
+                }
+            }
+            KernelState::Avg { sum, n } => {
+                for &i in sel {
+                    let i = i as usize;
+                    if !nulls[i] {
+                        *sum += vals[i] as f64;
+                        *n += 1;
+                    }
+                }
+            }
+            KernelState::MinMax { is_max, best } => {
+                // Sequential fold with the builtin's strict comparison (keep
+                // the first of equals), restricted to i64 — identical to
+                // feeding the run value-by-value.
+                let mut ext: Option<i64> = None;
+                for &i in sel {
+                    let i = i as usize;
+                    if nulls[i] {
+                        continue;
+                    }
+                    let v = vals[i];
+                    ext = Some(match ext {
+                        None => v,
+                        Some(cur) => {
+                            if (*is_max && v > cur) || (!*is_max && v < cur) {
+                                v
+                            } else {
+                                cur
+                            }
+                        }
+                    });
+                }
+                if let Some(v) = ext {
+                    Self::minmax_consider(best, *is_max, Value::Int(v));
+                }
+            }
+        }
+    }
+
+    /// Fold a selection of an `f64` column (see [`Self::update_ints`]).
+    pub fn update_floats(&mut self, vals: &[f64], nulls: &[bool], sel: &[u32]) {
+        match self {
+            KernelState::Count { star, n } => {
+                if *star {
+                    *n += sel.len() as i64;
+                } else {
+                    *n += sel.iter().filter(|&&i| !nulls[i as usize]).count() as i64;
+                }
+            }
+            KernelState::Sum {
+                float_sum,
+                any_float,
+                seen,
+                ..
+            } => {
+                for &i in sel {
+                    let i = i as usize;
+                    if !nulls[i] {
+                        *float_sum += vals[i];
+                        *any_float = true;
+                        *seen += 1;
+                    }
+                }
+            }
+            KernelState::Avg { sum, n } => {
+                for &i in sel {
+                    let i = i as usize;
+                    if !nulls[i] {
+                        *sum += vals[i];
+                        *n += 1;
+                    }
+                }
+            }
+            KernelState::MinMax { is_max, best } => {
+                let mut ext: Option<f64> = None;
+                for &i in sel {
+                    let i = i as usize;
+                    if nulls[i] {
+                        continue;
+                    }
+                    let v = vals[i];
+                    ext = Some(match ext {
+                        None => v,
+                        Some(cur) => {
+                            let ord = v.total_cmp(&cur);
+                            if (*is_max && ord.is_gt()) || (!*is_max && ord.is_lt()) {
+                                v
+                            } else {
+                                cur
+                            }
+                        }
+                    });
+                }
+                if let Some(v) = ext {
+                    Self::minmax_consider(best, *is_max, Value::Float(v));
+                }
+            }
+        }
+    }
+
+    /// Count a run of `n` matching tuples for `count(*)` (no column input).
+    pub fn update_star(&mut self, count: u64) {
+        if let KernelState::Count { n, .. } = self {
+            *n += count as i64;
+        }
+    }
+
+    /// Scalar fallback: fold one [`Value`], exactly like the builtin
+    /// `AggState::update`. Used for batches whose column shape has no typed
+    /// representation (mixed types, `ALL`, booleans).
+    pub fn update_value(&mut self, v: &Value) -> Result<()> {
+        match self {
+            KernelState::Count { star, n } => {
+                if *star || !v.is_null() {
+                    *n += 1;
+                }
+                Ok(())
+            }
+            KernelState::Sum {
+                int_sum,
+                float_sum,
+                any_float,
+                seen,
+            } => match v {
+                Value::Null => Ok(()),
+                Value::Int(i) => {
+                    *int_sum = int_sum.wrapping_add(*i);
+                    *seen += 1;
+                    Ok(())
+                }
+                Value::Float(f) => {
+                    *float_sum += f;
+                    *any_float = true;
+                    *seen += 1;
+                    Ok(())
+                }
+                other => Err(bad_input("sum", other)),
+            },
+            KernelState::Avg { sum, n } => match v {
+                Value::Null => Ok(()),
+                _ => {
+                    let f = v.as_float().ok_or_else(|| bad_input("avg", v))?;
+                    *sum += f;
+                    *n += 1;
+                    Ok(())
+                }
+            },
+            KernelState::MinMax { is_max, best } => {
+                if !v.is_null() {
+                    Self::minmax_consider(best, *is_max, v.clone());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn minmax_consider(best: &mut Option<Value>, is_max: bool, v: Value) {
+        let better = match best {
+            None => true,
+            Some(cur) => {
+                if is_max {
+                    v > *cur
+                } else {
+                    v < *cur
+                }
+            }
+        };
+        if better {
+            *best = Some(v);
+        }
+    }
+
+    /// Report the aggregate value, with the builtin's empty-input semantics
+    /// (`count` → 0, everything else → NULL).
+    pub fn finalize(&self) -> Value {
+        match self {
+            KernelState::Count { n, .. } => Value::Int(*n),
+            KernelState::Sum {
+                int_sum,
+                float_sum,
+                any_float,
+                seen,
+            } => {
+                if *seen == 0 {
+                    Value::Null
+                } else if *any_float {
+                    Value::Float(*int_sum as f64 + *float_sum)
+                } else {
+                    Value::Int(*int_sum)
+                }
+            }
+            KernelState::Avg { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*sum / *n as f64)
+                }
+            }
+            KernelState::MinMax { best, .. } => best.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtins::{Avg, Count, MinMax, Sum};
+    use crate::traits::Aggregate;
+
+    fn builtins_and_kernels() -> Vec<(Box<dyn Aggregate>, KernelKind)> {
+        vec![
+            (
+                Box::new(Count { star: true }) as Box<dyn Aggregate>,
+                KernelKind::Count { star: true },
+            ),
+            (
+                Box::new(Count { star: false }),
+                KernelKind::Count { star: false },
+            ),
+            (Box::new(Sum), KernelKind::Sum),
+            (Box::new(Avg), KernelKind::Avg),
+            (Box::new(MinMax { is_max: false }), KernelKind::Min),
+            (Box::new(MinMax { is_max: true }), KernelKind::Max),
+        ]
+    }
+
+    fn mixed_values() -> Vec<Value> {
+        vec![
+            Value::Int(4),
+            Value::Null,
+            Value::Float(2.5),
+            Value::Int(-7),
+            Value::Float(2.5),
+            Value::Null,
+            Value::Int(i64::MAX),
+            Value::Int(1),
+        ]
+    }
+
+    #[test]
+    fn update_value_matches_builtin_state_machine() {
+        for (agg, kind) in builtins_and_kernels() {
+            let mut boxed = agg.init();
+            let mut kernel = kind.init();
+            for v in mixed_values() {
+                boxed.update(&v).unwrap();
+                kernel.update_value(&v).unwrap();
+            }
+            assert_eq!(boxed.finalize(), kernel.finalize(), "{}", agg.name());
+        }
+    }
+
+    #[test]
+    fn update_ints_matches_per_value_path() {
+        let vals: Vec<i64> = vec![3, 0, -5, i64::MAX, 3, 9];
+        let nulls = vec![false, true, false, false, false, true];
+        let sel: Vec<u32> = (0..vals.len() as u32).collect();
+        for (agg, kind) in builtins_and_kernels() {
+            let mut boxed = agg.init();
+            for (&v, &is_null) in vals.iter().zip(&nulls) {
+                let v = if is_null { Value::Null } else { Value::Int(v) };
+                boxed.update(&v).unwrap();
+            }
+            let mut kernel = kind.init();
+            kernel.update_ints(&vals, &nulls, &sel);
+            assert_eq!(boxed.finalize(), kernel.finalize(), "{}", agg.name());
+        }
+    }
+
+    #[test]
+    fn update_floats_matches_per_value_path() {
+        let vals: Vec<f64> = vec![1.5, 0.0, -0.0, f64::NAN, 2.25, 1.5];
+        let nulls = vec![false, false, false, false, true, false];
+        let sel: Vec<u32> = (0..vals.len() as u32).collect();
+        for (agg, kind) in builtins_and_kernels() {
+            let mut boxed = agg.init();
+            for (&v, &is_null) in vals.iter().zip(&nulls) {
+                let v = if is_null {
+                    Value::Null
+                } else {
+                    Value::Float(v)
+                };
+                boxed.update(&v).unwrap();
+            }
+            let mut kernel = kind.init();
+            kernel.update_floats(&vals, &nulls, &sel);
+            // Bit-identical, including NaN / signed-zero handling.
+            assert_eq!(boxed.finalize(), kernel.finalize(), "{}", agg.name());
+        }
+    }
+
+    #[test]
+    fn batched_runs_match_one_big_run() {
+        // Splitting a selection into several runs must accumulate identically.
+        let vals: Vec<i64> = (0..100).map(|i| (i * 7) % 23 - 11).collect();
+        let nulls = vec![false; 100];
+        let sel: Vec<u32> = (0..100).collect();
+        for (_, kind) in builtins_and_kernels() {
+            let mut whole = kind.init();
+            whole.update_ints(&vals, &nulls, &sel);
+            let mut split = kind.init();
+            for chunk in sel.chunks(7) {
+                split.update_ints(&vals, &nulls, chunk);
+            }
+            assert_eq!(whole.finalize(), split.finalize());
+        }
+    }
+
+    #[test]
+    fn sum_and_avg_reject_strings_like_the_builtins() {
+        let mut s = KernelKind::Sum.init();
+        let err = s.update_value(&Value::str("x")).unwrap_err();
+        assert!(matches!(err, AggError::BadInput { .. }));
+        let mut a = KernelKind::Avg.init();
+        assert!(a.update_value(&Value::str("x")).is_err());
+        // count accepts anything.
+        let mut c = KernelKind::Count { star: false }.init();
+        c.update_value(&Value::str("x")).unwrap();
+        c.update_value(&Value::All).unwrap();
+        assert_eq!(c.finalize(), Value::Int(2));
+    }
+
+    #[test]
+    fn empty_semantics() {
+        assert_eq!(
+            KernelKind::Count { star: true }.init().finalize(),
+            Value::Int(0)
+        );
+        assert_eq!(KernelKind::Sum.init().finalize(), Value::Null);
+        assert_eq!(KernelKind::Avg.init().finalize(), Value::Null);
+        assert_eq!(KernelKind::Min.init().finalize(), Value::Null);
+    }
+}

@@ -23,12 +23,14 @@
 pub mod builtins;
 pub mod error;
 pub mod holistic;
+pub mod kernels;
 pub mod registry;
 pub mod rollup;
 pub mod spec;
 pub mod traits;
 
 pub use error::{AggError, Result};
+pub use kernels::{KernelKind, KernelState};
 pub use registry::Registry;
 pub use spec::{AggInput, AggSpec};
 pub use traits::{AggClass, AggState, Aggregate};

@@ -37,6 +37,14 @@ pub trait AggState: fmt::Debug + Send {
 
     /// Downcasting hook for `merge`.
     fn as_any(&self) -> &dyn Any;
+
+    /// Bytes of heap memory held by this state *beyond* the fixed per-state
+    /// estimate the governor charges up front. Holistic states (median, mode,
+    /// count-distinct) override this so executors can meter actual growth
+    /// against the memory budget; bounded states keep the default `0`.
+    fn heap_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// An aggregate function (factory for [`AggState`]s). Implement this trait to
@@ -60,6 +68,14 @@ pub trait Aggregate: fmt::Debug + Send + Sync {
     /// one ("a count in l becomes a sum in l'"). `None` for non-distributive
     /// aggregates.
     fn rollup_name(&self) -> Option<&'static str> {
+        None
+    }
+
+    /// The typed kernel this aggregate maps to in the vectorized executor, or
+    /// `None` to use the scalar [`AggState`] fallback. Only the builtins
+    /// override this; the default keeps user-defined aggregates (even ones
+    /// registered under a builtin's name) on the always-correct scalar path.
+    fn kernel(&self) -> Option<crate::kernels::KernelKind> {
         None
     }
 }

@@ -21,6 +21,13 @@ pub fn explain_with_stats(plan: &Plan, stats: &StatsSnapshot) -> String {
         "-- stats: scans={} tuples={} probes={} updates={}",
         stats.scans, stats.tuples_scanned, stats.probes, stats.updates
     );
+    if stats.batches > 0 {
+        let _ = writeln!(
+            out,
+            "-- vectorized: batches={} fallbacks={}",
+            stats.batches, stats.batch_fallbacks
+        );
+    }
     if stats.governor_active() {
         let _ = writeln!(
             out,
@@ -179,6 +186,8 @@ mod tests {
             morsel_retries: 0,
             bytes_charged: 0,
             degradations: 0,
+            batches: 0,
+            batch_fallbacks: 0,
             workers: vec![
                 WorkerStats {
                     worker: 0,
@@ -204,6 +213,15 @@ mod tests {
         assert!(s.contains("worker 1:"));
         // Governor counters are omitted when the governor never engaged...
         assert!(!s.contains("governor:"));
+        // ...as is the vectorized line when no batches ran.
+        assert!(!s.contains("vectorized:"));
+        let batched = StatsSnapshot {
+            batches: 7,
+            batch_fallbacks: 2,
+            ..snap.clone()
+        };
+        let s2 = explain_with_stats(&plan, &batched);
+        assert!(s2.contains("-- vectorized: batches=7 fallbacks=2"));
         // ...and rendered when any of them is non-zero.
         let governed = StatsSnapshot {
             cancel_polls: 12,

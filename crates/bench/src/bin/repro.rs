@@ -4,8 +4,18 @@
 //! each experiment) suitable for pasting into EXPERIMENTS.md:
 //!
 //! ```text
-//! cargo run -p mdj-bench --bin repro --release [--quick]
+//! cargo run -p mdj-bench --bin repro --release [--quick] [--json <path>] [--only <eN>]
 //! ```
+//!
+//! `--only e11` (etc.) runs a single experiment — handy when iterating on
+//! one table.
+//!
+//! With `--json <path>` the run also emits a machine-readable baseline: one
+//! entry per experiment with its wall time, plus per-variant entries carrying
+//! the machine-independent work counters (scans / tuples / probes / updates /
+//! batches) for the vectorized-vs-scalar ablation (E11). The first committed
+//! baseline lives at `BENCH_0.json`; CI's perf-smoke job uploads a fresh one
+//! per run so counter regressions show up as a diff, not a flaky threshold.
 
 use mdj_agg::{AggSpec, Registry};
 use mdj_algebra::rules::{coalesce::detail_scan_count, coalesce_chains};
@@ -67,6 +77,78 @@ fn md_join_multi(
     MdJoin::new(b, r).blocks(blocks.iter().cloned()).run(ctx)
 }
 
+/// One `--json` baseline entry. Wall-clock is always present; the work
+/// counters are attached only where an experiment measures a single variant
+/// under a dedicated [`ScanStats`] (they are exact and machine-independent,
+/// unlike milliseconds).
+struct JsonEntry {
+    name: String,
+    wall_ms: f64,
+    counters: Option<JsonCounters>,
+}
+
+struct JsonCounters {
+    scans: u64,
+    tuples: u64,
+    probes: u64,
+    updates: u64,
+    batches: u64,
+    batch_fallbacks: u64,
+}
+
+static JSON_ENTRIES: std::sync::Mutex<Vec<JsonEntry>> = std::sync::Mutex::new(Vec::new());
+
+fn record_wall(name: impl Into<String>, wall: Duration) {
+    JSON_ENTRIES.lock().unwrap().push(JsonEntry {
+        name: name.into(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        counters: None,
+    });
+}
+
+fn record_counters(name: impl Into<String>, wall: Duration, stats: &ScanStats) {
+    JSON_ENTRIES.lock().unwrap().push(JsonEntry {
+        name: name.into(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        counters: Some(JsonCounters {
+            scans: stats.scans(),
+            tuples: stats.tuples_scanned(),
+            probes: stats.probes(),
+            updates: stats.updates(),
+            batches: stats.batches(),
+            batch_fallbacks: stats.batch_fallbacks(),
+        }),
+    });
+}
+
+/// Hand-rolled writer: the workspace's vendored `serde` is a no-op stub, so
+/// the baseline is emitted as literal JSON text.
+fn write_json(path: &str, quick: bool) -> std::io::Result<()> {
+    let entries = JSON_ENTRIES.lock().unwrap();
+    let mut s = String::from("{\n  \"tool\": \"repro\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n  \"experiments\": [\n"));
+    for (i, e) in entries.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}",
+            e.name, e.wall_ms
+        ));
+        if let Some(c) = &e.counters {
+            s.push_str(&format!(
+                ", \"scans\": {}, \"tuples\": {}, \"probes\": {}, \"updates\": {}, \
+                 \"batches\": {}, \"batch_fallbacks\": {}",
+                c.scans, c.tuples, c.probes, c.updates, c.batches, c.batch_fallbacks
+            ));
+        }
+        s.push_str(if i + 1 == entries.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
 fn time<T>(mut f: impl FnMut() -> T) -> (Duration, T) {
     // Warm once, then report the best of three (stable on shared machines).
     let mut best = Duration::MAX;
@@ -97,21 +179,48 @@ fn header(title: &str, cols: &[&str]) {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let scale = if quick { 1 } else { 4 };
     println!("# MD-join reproduction — experiment tables");
     println!("\n(quick = {quick}; sizes scale with the flag — shapes are invariant)");
-    e1(scale);
-    e2(scale);
-    e3(scale);
-    e4(scale);
-    e5(scale);
-    e6(scale);
-    e7(scale);
-    e8(scale);
-    e9(scale);
-    e10(scale);
+    type Experiment = (&'static str, fn(usize));
+    let experiments: [Experiment; 11] = [
+        ("e1", e1),
+        ("e2", e2),
+        ("e3", e3),
+        ("e4", e4),
+        ("e5", e5),
+        ("e6", e6),
+        ("e7", e7),
+        ("e8", e8),
+        ("e9", e9),
+        ("e10", e10),
+        ("e11", e11),
+    ];
+    for (name, f) in experiments {
+        if only.as_deref().is_some_and(|o| o != name) {
+            continue;
+        }
+        let t0 = Instant::now();
+        f(scale);
+        record_wall(name, t0.elapsed());
+    }
     println!("\nAll experiments completed; every equivalence assertion held.");
+    if let Some(path) = json_path {
+        write_json(&path, quick).expect("write --json baseline");
+        println!("wrote work-counter baseline to {path}");
+    }
 }
 
 fn e1(scale: usize) {
@@ -787,6 +896,108 @@ fn e10(scale: usize) {
                 ms(t_co)
             );
         }
+    }
+}
+
+fn e11(scale: usize) {
+    let r = bench_sales(40_000 * scale, 1_000);
+    let b = r.distinct_on(&["cust"]).unwrap();
+    // All five aggregates are kernel-covered (sum/avg/min/max over the Float
+    // sale column plus count(*)), so batches report zero fallbacks on the
+    // hash-probed shapes.
+    let l = [
+        AggSpec::on_column("sum", "sale"),
+        AggSpec::on_column("avg", "sale"),
+        AggSpec::on_column("min", "sale"),
+        AggSpec::on_column("max", "sale"),
+        AggSpec::count_star(),
+    ];
+    // The nested-loop shape probes |B| rows per tuple; a small B keeps its
+    // runtime comparable to the hash-probed shapes.
+    let b_small = Relation::from_rows(
+        b.schema().clone(),
+        b.rows().iter().take(64).cloned().collect(),
+    );
+    header(
+        "E11 — vectorized batch execution vs scalar serial (identical rows and \
+         work counters; Mt/s = detail tuples per second)",
+        &[
+            "θ shape",
+            "scalar (ms)",
+            "vectorized (ms)",
+            "Mt/s scalar",
+            "Mt/s vec",
+            "speedup",
+            "batches (fallbacks)",
+        ],
+    );
+    let shapes: [(&str, &Relation, Expr); 4] = [
+        ("equality (fast path)", &b, eq(col_b("cust"), col_r("cust"))),
+        (
+            "computed key",
+            &b,
+            eq(col_b("cust"), add(col_r("cust"), lit(0i64))),
+        ),
+        (
+            "mixed residual",
+            &b,
+            and(
+                eq(col_b("cust"), col_r("cust")),
+                ge(col_r("sale"), col_b("cust")),
+            ),
+        ),
+        (
+            "non-equi (NL fallback)",
+            &b_small,
+            le(col_b("cust"), col_r("month")),
+        ),
+    ];
+    for (label, bb, theta) in shapes {
+        let run = |strategy: ExecStrategy, stats: Option<Arc<ScanStats>>| {
+            let mut ctx = ExecContext::new();
+            if let Some(s) = stats {
+                ctx = ctx.with_stats(s);
+            }
+            MdJoin::new(bb, &r)
+                .aggs(&l)
+                .theta(theta.clone())
+                .strategy(strategy)
+                .threads(1)
+                .run(&ctx)
+                .unwrap()
+        };
+        // Counter runs (uncounted in the timings): both paths must agree on
+        // every work counter, and on the answer row-for-row.
+        let s_stats = Arc::new(ScanStats::new());
+        let serial_out = run(ExecStrategy::Serial, Some(s_stats.clone()));
+        let v_stats = Arc::new(ScanStats::new());
+        let vec_out = run(ExecStrategy::Vectorized, Some(v_stats.clone()));
+        assert_eq!(serial_out.rows(), vec_out.rows(), "E11 {label}");
+        assert_eq!(s_stats.scans(), v_stats.scans(), "E11 {label}");
+        assert_eq!(
+            s_stats.tuples_scanned(),
+            v_stats.tuples_scanned(),
+            "E11 {label}"
+        );
+        assert_eq!(s_stats.probes(), v_stats.probes(), "E11 {label}");
+        assert_eq!(s_stats.updates(), v_stats.updates(), "E11 {label}");
+        // Timed runs.
+        let (t_s, _) = time(|| run(ExecStrategy::Serial, None));
+        let (t_v, _) = time(|| run(ExecStrategy::Vectorized, None));
+        let mts = |d: Duration| r.len() as f64 / d.as_secs_f64().max(1e-12) / 1e6;
+        println!(
+            "| {label} | {} | {} | {:.1} | {:.1} | {:.2}× | {} ({}) |",
+            ms(t_s),
+            ms(t_v),
+            mts(t_s),
+            mts(t_v),
+            t_s.as_secs_f64() / t_v.as_secs_f64().max(1e-12),
+            v_stats.batches(),
+            v_stats.batch_fallbacks()
+        );
+        let slug = label.split(' ').next().unwrap_or(label);
+        record_counters(format!("e11/{slug}/serial"), t_s, &s_stats);
+        record_counters(format!("e11/{slug}/vectorized"), t_v, &v_stats);
     }
 }
 

@@ -33,9 +33,10 @@ use crate::error::{CoreError, Result};
 use crate::generalized::{multi, Block};
 use crate::governor::{self, CancelToken, MemoryTracker};
 use crate::mdjoin::md_join_serial;
-use crate::morsel::{md_join_morsel, MorselSide};
+use crate::morsel::{md_join_morsel, md_join_morsel_opts, MorselSide};
 use crate::parallel::{chunk_base, chunk_detail};
 use crate::partitioned::partitioned;
+use crate::vectorized::{md_join_vectorized, vectorized_eligible};
 use mdj_agg::AggSpec;
 use mdj_expr::Expr;
 use mdj_storage::{Relation, Schema};
@@ -66,6 +67,14 @@ pub enum ExecStrategy {
     MorselBase,
     /// Morsel executor over `R` (one logical scan; partial-state merge).
     MorselDetail,
+    /// Vectorized batch execution: `R` is processed in columnar chunks with
+    /// selection-vector prefilters, batched integer-key probing, and typed
+    /// aggregate kernels (see [`crate::vectorized`]). Runs serially on small
+    /// inputs or one thread, otherwise composes with the morsel executor
+    /// (each morsel evaluated as one batch). Shapes without a vectorized
+    /// form fall back per batch to the scalar interpreter; output is always
+    /// row-identical to [`ExecStrategy::Serial`].
+    Vectorized,
 }
 
 /// Builder for `MD(B, R, l, θ)` over borrowed inputs. See the module docs
@@ -254,12 +263,30 @@ impl<'a> MdJoin<'a> {
             .pop()
             .ok_or_else(|| CoreError::Internal("effective_blocks yielded no block".into()))?;
         match self.strategy {
-            ExecStrategy::Serial => run_degradable(self.b, self.r, &aggs, &theta, ctx, 1),
+            ExecStrategy::Serial => run_degradable(self.b, self.r, &aggs, &theta, ctx, 1, false),
             ExecStrategy::Partitioned { partitions } => {
                 if partitions == 0 {
                     return Err(CoreError::BadConfig("partition count must be ≥ 1".into()));
                 }
-                run_degradable(self.b, self.r, &aggs, &theta, ctx, partitions)
+                run_degradable(self.b, self.r, &aggs, &theta, ctx, partitions, false)
+            }
+            ExecStrategy::Vectorized => {
+                let threads = self.resolve_threads();
+                let splittable = self.b.len().max(self.r.len());
+                if threads <= 1 || splittable <= ctx.morsel_size {
+                    run_degradable(self.b, self.r, &aggs, &theta, ctx, 1, true)
+                } else {
+                    md_join_morsel_opts(
+                        self.b,
+                        self.r,
+                        &aggs,
+                        &theta,
+                        threads,
+                        MorselSide::Auto,
+                        ctx,
+                        true,
+                    )
+                }
             }
             ExecStrategy::ChunkBase => {
                 chunk_base(self.b, self.r, &aggs, &theta, self.resolve_threads(), ctx)
@@ -296,6 +323,11 @@ impl<'a> MdJoin<'a> {
             ),
             ExecStrategy::Auto => {
                 let threads = self.resolve_threads();
+                // Batch execution is a pure win when every part of the query
+                // has a vectorized form: θ hash-probes and all aggregates are
+                // kernel-covered. Anything else would just pay batching
+                // overhead to fall back per batch, so Auto stays scalar.
+                let vectorized = vectorized_eligible(self.b, &theta, &aggs, ctx);
                 // Memory-first planning: the morsel executor's detail side
                 // keeps full-`B` state per worker, so when a budget is set
                 // and the parallel footprint would breach it, prefer the
@@ -306,16 +338,16 @@ impl<'a> MdJoin<'a> {
                         .saturating_add(governor::index_bytes(self.b.len()));
                     let parallel_cost = per_worker.saturating_mul(threads.max(1));
                     if parallel_cost as u64 > tracker.budget() {
-                        return run_degradable(self.b, self.r, &aggs, &theta, ctx, 1);
+                        return run_degradable(self.b, self.r, &aggs, &theta, ctx, 1, vectorized);
                     }
                 }
                 // A parallel run only pays off once the split side spans
                 // several morsels; below that, scheduling overhead dominates.
                 let splittable = self.b.len().max(self.r.len());
                 if threads <= 1 || splittable <= ctx.morsel_size {
-                    run_degradable(self.b, self.r, &aggs, &theta, ctx, 1)
+                    run_degradable(self.b, self.r, &aggs, &theta, ctx, 1, vectorized)
                 } else {
-                    md_join_morsel(
+                    md_join_morsel_opts(
                         self.b,
                         self.r,
                         &aggs,
@@ -323,6 +355,7 @@ impl<'a> MdJoin<'a> {
                         threads,
                         MorselSide::Auto,
                         ctx,
+                        vectorized,
                     )
                 }
             }
@@ -340,6 +373,11 @@ impl<'a> MdJoin<'a> {
 /// [`ScanStats`](mdj_storage::ScanStats). The loop is bounded by `m = |B|`
 /// (one base row per partition, the finest Theorem 4.1 split); a budget too
 /// small even for that surfaces the breach to the caller.
+///
+/// With `vectorized`, the single-partition attempt runs the batched
+/// evaluator; degraded (`m > 1`) retries always use the scalar partitioned
+/// plan — degradation means memory pressure, where batch scratch buffers are
+/// the wrong trade.
 fn run_degradable(
     b: &Relation,
     r: &Relation,
@@ -347,10 +385,15 @@ fn run_degradable(
     theta: &Expr,
     ctx: &ExecContext,
     mut m: usize,
+    vectorized: bool,
 ) -> Result<Relation> {
     loop {
         let attempt = if m <= 1 {
-            md_join_serial(b, r, aggs, theta, ctx)
+            if vectorized {
+                md_join_vectorized(b, r, aggs, theta, ctx)
+            } else {
+                md_join_serial(b, r, aggs, theta, ctx)
+            }
         } else {
             partitioned(b, r, aggs, theta, m, ctx)
         };
@@ -441,6 +484,7 @@ mod tests {
             ExecStrategy::Morsel,
             ExecStrategy::MorselBase,
             ExecStrategy::MorselDetail,
+            ExecStrategy::Vectorized,
         ];
         let ctx = ExecContext::new().with_morsel_size(32);
         for strategy in strategies {
@@ -564,6 +608,74 @@ mod tests {
             .budget_bytes(1)
             .run(&ExecContext::new());
         assert!(matches!(err, Err(CoreError::BudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn budget_meters_holistic_growth() {
+        use mdj_storage::ScanStats;
+        use std::sync::Arc;
+        // 4 base rows, 50 detail values each: every median state's reservoir
+        // grows to ≥ 400 heap bytes, invisible to the fixed per-row estimate.
+        let schema = Schema::from_pairs(&[("cust", DataType::Int), ("sale", DataType::Int)]);
+        let s = Relation::from_rows(
+            schema,
+            (0..200i64).map(|i| Row::from_values([i % 4, i])).collect(),
+        );
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let l = [AggSpec::on_column("median", "sale")];
+        let serial = MdJoin::new(&b, &s)
+            .theta(theta.clone())
+            .aggs(&l)
+            .strategy(ExecStrategy::Serial)
+            .run(&ExecContext::new())
+            .unwrap();
+        // Fixed m=1 footprint: 4×(32 + 1×64) state + 4×48 index + 4×24 key
+        // = 672 bytes — fits a 1500-byte budget. The ~2 KiB of metered
+        // reservoir growth breaches it mid-scan, forcing Theorem 4.1
+        // degradation; at m=2 each partition's fixed + growth cost fits.
+        let stats = Arc::new(ScanStats::new());
+        let out = MdJoin::new(&b, &s)
+            .theta(theta)
+            .aggs(&l)
+            .strategy(ExecStrategy::Serial)
+            .budget_bytes(1500)
+            .run(&ExecContext::new().with_stats(stats.clone()))
+            .unwrap();
+        assert_eq!(serial.rows(), out.rows());
+        assert!(
+            stats.degradations() >= 1,
+            "holistic growth must trigger degradation"
+        );
+        assert!(stats.bytes_charged() > 672, "growth must be metered");
+    }
+
+    #[test]
+    fn auto_vectorizes_kernel_covered_queries_only() {
+        use mdj_storage::ScanStats;
+        use std::sync::Arc;
+        let s = sales(300);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let run = |spec: &str| {
+            let stats = Arc::new(ScanStats::new());
+            MdJoin::new(&b, &s)
+                .theta(theta.clone())
+                .agg(spec)
+                .unwrap()
+                .threads(1)
+                .run(
+                    &ExecContext::new()
+                        .with_morsel_size(64)
+                        .with_stats(stats.clone()),
+                )
+                .unwrap();
+            stats
+        };
+        // Kernel-covered: Auto takes the batched path.
+        assert!(run("sum(sale)").batches() > 0);
+        // Holistic aggregate: no kernel, Auto stays scalar.
+        assert_eq!(run("median(sale)").batches(), 0);
     }
 
     #[test]

@@ -220,6 +220,18 @@ impl ExecContext {
         }
     }
 
+    pub(crate) fn record_batch(&self) {
+        if let Some(s) = &self.stats {
+            s.record_batch();
+        }
+    }
+
+    pub(crate) fn record_batch_fallback(&self) {
+        if let Some(s) = &self.stats {
+            s.record_batch_fallback();
+        }
+    }
+
     pub(crate) fn record_morsel_retry(&self) {
         if let Some(s) = &self.stats {
             s.record_morsel_retry();

@@ -52,6 +52,18 @@ pub fn index_bytes(b_rows: usize) -> usize {
     b_rows.saturating_mul(BYTES_PER_INDEX_ROW)
 }
 
+/// Estimated bytes per canonicalized key value copied into a hash probe
+/// index (`Value` + `Vec` bookkeeping amortized per slot).
+pub const BYTES_PER_INDEX_KEY: usize = 24;
+
+/// Estimated footprint of the canonicalized key copies a hash probe index
+/// holds: one `Vec<Value>` of `key_cols` values per base row. This is the
+/// part of the index cost that scales with the key width, charged separately
+/// from the bucket structure ([`index_bytes`]).
+pub fn index_key_bytes(b_rows: usize, key_cols: usize) -> usize {
+    b_rows.saturating_mul(key_cols.saturating_mul(BYTES_PER_INDEX_KEY))
+}
+
 /// Render a caught panic payload (`Box<dyn Any>`) as a message for the typed
 /// `MorselPanicked` / `WorkerPanicked` errors.
 pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -207,6 +219,61 @@ impl Drop for MemCharge {
     }
 }
 
+/// Incremental charge accumulator for state that grows while a query runs —
+/// holistic aggregates (median, mode, count-distinct) whose footprint is
+/// data-dependent (footnote 2 of the paper) and therefore invisible to the
+/// up-front [`state_bytes`] estimate. Executors meter actual growth by
+/// diffing `AggState::heap_bytes` around each update and charging the delta;
+/// everything charged is released when the meter drops (states die with the
+/// evaluation attempt, so their bytes come back on success *and* on a
+/// [`CoreError::BudgetExceeded`] degradation retry).
+#[derive(Debug)]
+pub struct GrowthMeter {
+    tracker: Option<Arc<MemoryTracker>>,
+    stats: Option<Arc<mdj_storage::ScanStats>>,
+    charged: u64,
+}
+
+impl GrowthMeter {
+    /// A meter against the context's tracker; inert when no budget is set.
+    pub fn new(ctx: &crate::ExecContext) -> GrowthMeter {
+        GrowthMeter {
+            tracker: ctx.memory.clone(),
+            stats: ctx.stats.clone(),
+            charged: 0,
+        }
+    }
+
+    /// True when metering would actually charge something (callers skip the
+    /// per-update `heap_bytes` bookkeeping entirely otherwise).
+    pub fn active(&self) -> bool {
+        self.tracker.is_some()
+    }
+
+    /// Charge `delta` additional bytes of state growth.
+    pub fn charge(&mut self, delta: usize) -> Result<()> {
+        if delta == 0 {
+            return Ok(());
+        }
+        if let Some(tracker) = &self.tracker {
+            tracker.try_charge(delta as u64)?;
+            self.charged += delta as u64;
+            if let Some(s) = &self.stats {
+                s.record_bytes_charged(delta as u64);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for GrowthMeter {
+    fn drop(&mut self) {
+        if let Some(t) = &self.tracker {
+            t.release(self.charged);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,7 +333,34 @@ mod tests {
         assert!(state_bytes(100, 2) > state_bytes(50, 2));
         assert!(state_bytes(100, 4) > state_bytes(100, 2));
         assert!(index_bytes(10) < index_bytes(1000));
+        assert!(index_key_bytes(10, 2) > index_key_bytes(10, 1));
+        assert_eq!(index_key_bytes(0, 3), 0);
         // Saturates instead of overflowing.
         assert_eq!(state_bytes(usize::MAX, usize::MAX), usize::MAX);
+        assert_eq!(index_key_bytes(usize::MAX, usize::MAX), usize::MAX);
+    }
+
+    #[test]
+    fn growth_meter_charges_and_releases() {
+        let ctx = crate::ExecContext::new().with_budget_bytes(1000);
+        let tracker = ctx.memory.clone().unwrap();
+        {
+            let mut meter = GrowthMeter::new(&ctx);
+            assert!(meter.active());
+            meter.charge(300).unwrap();
+            meter.charge(0).unwrap(); // free
+            meter.charge(400).unwrap();
+            assert_eq!(tracker.charged(), 700);
+            let err = meter.charge(500).unwrap_err();
+            assert!(matches!(err, CoreError::BudgetExceeded { .. }));
+            // The failed delta was rolled back; prior charges stand.
+            assert_eq!(tracker.charged(), 700);
+        }
+        // Drop released everything that was successfully charged.
+        assert_eq!(tracker.charged(), 0);
+        // No budget: inert.
+        let mut free = GrowthMeter::new(&crate::ExecContext::new());
+        assert!(!free.active());
+        free.charge(usize::MAX).unwrap();
     }
 }

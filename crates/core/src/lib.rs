@@ -62,6 +62,10 @@
 //! * [`probe`] — Section 4.5 index selection: θ is analyzed for
 //!   `B.col = f(R-row)` bindings and a hash index on `B` replaces the inner
 //!   nested loop with a `Rel(t)` lookup.
+//! * [`vectorized`] — batched columnar execution
+//!   ([`ExecStrategy::Vectorized`]): `R` is processed in columnar chunks with
+//!   selection-vector prefilters, batched integer-key probing, and typed
+//!   aggregate kernels, row-identical to the serial evaluator.
 //! * [`partitioned`] / [`parallel`] — Theorem 4.1 evaluation plans:
 //!   memory-bounded multi-scan evaluation and static intra-operator
 //!   parallelism.
@@ -82,6 +86,7 @@ pub mod morsel;
 pub mod parallel;
 pub mod partitioned;
 pub mod probe;
+pub mod vectorized;
 
 pub use builder::{ExecStrategy, MdJoin};
 pub use context::{ExecContext, ProbeStrategy, DEFAULT_MORSEL_RETRIES, DEFAULT_MORSEL_SIZE};

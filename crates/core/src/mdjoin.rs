@@ -2,9 +2,9 @@
 
 use crate::context::{ExecContext, CANCEL_CHECK_INTERVAL};
 use crate::error::{CoreError, Result};
-use crate::governor::{self, MemCharge};
+use crate::governor::{self, GrowthMeter, MemCharge};
 use crate::probe::ProbePlan;
-use mdj_agg::{AggInput, AggSpec, AggState, Registry};
+use mdj_agg::{AggClass, AggInput, AggSpec, AggState, Registry};
 use mdj_expr::Expr;
 use mdj_storage::{DataType, Field, Relation, Row, Schema, Value};
 
@@ -39,6 +39,20 @@ pub(crate) fn bind_aggs(
             })
         })
         .collect()
+}
+
+/// Which aggregates of `l` need growth metering: holistic ones, and only
+/// when a memory budget is actually in force (the meter is inert otherwise,
+/// so the per-update `heap_bytes` bookkeeping is skipped entirely).
+pub(crate) fn metered_flags(bound: &[BoundAgg], meter: &GrowthMeter) -> Vec<bool> {
+    if meter.active() {
+        bound
+            .iter()
+            .map(|ba| ba.agg.class() == AggClass::Holistic)
+            .collect()
+    } else {
+        vec![false; bound.len()]
+    }
 }
 
 pub(crate) fn check_no_duplicates(b_schema: &Schema, bound: &[BoundAgg]) -> Result<()> {
@@ -85,23 +99,23 @@ pub(crate) fn md_join_serial(
     ctx.check_interrupt()?;
     let bound = bind_aggs(l, r.schema(), &ctx.registry)?;
     check_no_duplicates(b.schema(), &bound)?;
-    let plan = ProbePlan::build_opts(b, r.schema(), theta, ctx.strategy, ctx.prefilter)?;
-
     // Governor accounting for the two big allocations of Algorithm 3.1: the
-    // per-base-row state vectors and (if the plan built one) the hash probe
-    // index. Charged before allocating; released by the guards on any exit.
+    // per-base-row state vectors and (if the plan builds one) the hash probe
+    // index, the latter charged inside `build_charged` before the index is
+    // built. Charged up front; released by the guards on any exit.
     let _state_charge = MemCharge::try_new(ctx, governor::state_bytes(b.len(), bound.len()))?;
-    let _index_charge = if plan.is_hash() {
-        MemCharge::try_new(ctx, governor::index_bytes(b.len()))?
-    } else {
-        MemCharge::default()
-    };
+    let (plan, _index_charge) = ProbePlan::build_charged(b, r.schema(), theta, ctx)?;
 
     // states[i][j]: aggregate j of base row i.
     let mut states: Vec<Vec<Box<dyn AggState>>> = b
         .iter()
         .map(|_| bound.iter().map(|ba| ba.agg.init()).collect())
         .collect();
+
+    // Holistic states grow with the data (footnote 2): under a budget their
+    // actual growth is metered per update, not estimated up front.
+    let mut meter = GrowthMeter::new(ctx);
+    let metered = metered_flags(&bound, &meter);
 
     ctx.record_scan(r.len() as u64);
     let mut matches: Vec<usize> = Vec::new();
@@ -122,7 +136,13 @@ pub(crate) fn md_join_serial(
                     Some(c) => &t[c],
                     None => &Value::Null, // star input: value unused
                 };
-                row_states[j].update(v)?;
+                if metered[j] {
+                    let before = row_states[j].heap_bytes();
+                    row_states[j].update(v)?;
+                    meter.charge(row_states[j].heap_bytes().saturating_sub(before))?;
+                } else {
+                    row_states[j].update(v)?;
+                }
             }
         }
     }

@@ -27,13 +27,14 @@
 
 use crate::context::ExecContext;
 use crate::error::{CoreError, Result};
-use crate::governor::{self, panic_message, MemCharge};
-use crate::mdjoin::{bind_aggs, check_no_duplicates, md_join_serial};
+use crate::governor::{self, panic_message, GrowthMeter, MemCharge};
+use crate::mdjoin::{bind_aggs, check_no_duplicates, md_join_serial, metered_flags};
 use crate::probe::ProbePlan;
+use crate::vectorized::{md_join_vectorized, BatchProbe};
 use crossbeam::deque::{Steal, Stealer, Worker};
 use mdj_agg::{AggSpec, AggState};
 use mdj_expr::Expr;
-use mdj_storage::{Relation, Row, Schema, Value, WorkerStats};
+use mdj_storage::{ColumnarChunk, Relation, Row, Schema, Value, WorkerStats};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, PoisonError};
@@ -169,16 +170,36 @@ pub(crate) fn md_join_morsel(
     side: MorselSide,
     ctx: &ExecContext,
 ) -> Result<Relation> {
+    md_join_morsel_opts(b, r, l, theta, threads, side, ctx, false)
+}
+
+/// [`md_join_morsel`] with control over batched morsel evaluation. With
+/// `batched`, each detail-side morsel is evaluated as one columnar batch
+/// through [`BatchProbe`] (the morsel *is* the batch: it already bounds the
+/// work unit to `ctx.morsel_size` rows), and each base-side morsel runs the
+/// vectorized evaluator over its `B` fragment. Output and work accounting
+/// are identical either way.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn md_join_morsel_opts(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    threads: usize,
+    side: MorselSide,
+    ctx: &ExecContext,
+    batched: bool,
+) -> Result<Relation> {
     if threads == 0 {
         return Err(CoreError::BadConfig("thread count must be ≥ 1".into()));
     }
     match side {
         MorselSide::Auto => {
             let side = choose_side(b.len(), r.len());
-            md_join_morsel(b, r, l, theta, threads, side, ctx)
+            md_join_morsel_opts(b, r, l, theta, threads, side, ctx, batched)
         }
-        MorselSide::Detail => morsel_detail(b, r, l, theta, threads, ctx),
-        MorselSide::Base => morsel_base(b, r, l, theta, threads, ctx),
+        MorselSide::Detail => morsel_detail(b, r, l, theta, threads, ctx, batched),
+        MorselSide::Base => morsel_base(b, r, l, theta, threads, ctx, batched),
     }
 }
 
@@ -198,15 +219,22 @@ fn morsel_detail(
     theta: &Expr,
     threads: usize,
     ctx: &ExecContext,
+    batched: bool,
 ) -> Result<Relation> {
     ctx.check_interrupt()?;
     let bound = bind_aggs(l, r.schema(), &ctx.registry)?;
     check_no_duplicates(b.schema(), &bound)?;
-    let plan = ProbePlan::build_opts(b, r.schema(), theta, ctx.strategy, ctx.prefilter)?;
-    let _index_charge = if plan.is_hash() {
-        MemCharge::try_new(ctx, governor::index_bytes(b.len()))?
+    let (plan, _index_charge) = ProbePlan::build_charged(b, r.schema(), theta, ctx)?;
+    // Batched mode shares one read-only BatchProbe across workers; each
+    // morsel materializes only the detail columns the probe actually reads
+    // (aggregate inputs are deposited from the row form either way).
+    let probe = if batched {
+        let bp = BatchProbe::new(&plan, b);
+        let mut needed = vec![false; r.schema().fields().len()];
+        bp.collect_needed(&mut needed);
+        Some((bp, needed))
     } else {
-        MemCharge::default()
+        None
     };
 
     let rows = r.rows();
@@ -223,11 +251,41 @@ fn morsel_detail(
     // state, so the isolation boundary can retry it after a caught panic
     // without double-counting; the apply step below runs outside the
     // boundary, exactly once.
-    type Delta = (Vec<(usize, usize)>, Vec<Value>);
+    // The third field reports whether a batched morsel fell back to scalar
+    // probing anywhere (always `false` in scalar mode).
+    type Delta = (Vec<(usize, usize)>, Vec<Value>, bool);
     let compute_delta = |id: usize, range: &Range<usize>| -> Result<Delta> {
         ctx.fault_on_morsel(id);
         let mut pairs: Vec<(usize, usize)> = Vec::new();
         let mut tuple_vals: Vec<Value> = Vec::new();
+        if let Some((bp, needed)) = &probe {
+            // Batched: the morsel is the batch. `matches_batch` yields
+            // (local tuple, base row) pairs in tuple order with each tuple's
+            // matches contiguous, so a slot opens exactly when the local
+            // index changes.
+            let chunk = ColumnarChunk::from_rows(rows, range.start, range.len(), needed);
+            let mut bpairs: Vec<(u32, usize)> = Vec::new();
+            let fell_back = bp.matches_batch(&chunk, rows, ctx, &mut bpairs)?;
+            let mut slot = 0usize;
+            let mut last: Option<u32> = None;
+            for &(i, row_id) in &bpairs {
+                if last != Some(i) {
+                    if last.is_some() {
+                        slot += 1;
+                    }
+                    last = Some(i);
+                    let t = &rows[range.start + i as usize];
+                    for ba in &bound {
+                        tuple_vals.push(match ba.input_col {
+                            Some(c) => t[c].clone(),
+                            None => Value::Null,
+                        });
+                    }
+                }
+                pairs.push((row_id, slot));
+            }
+            return Ok((pairs, tuple_vals, fell_back));
+        }
         let mut matches: Vec<usize> = Vec::new();
         let mut key_scratch: Vec<Value> = Vec::new();
         let mut slot = 0usize;
@@ -245,7 +303,7 @@ fn morsel_detail(
             pairs.extend(matches.iter().map(|&row_id| (row_id, slot)));
             slot += 1;
         }
-        Ok((pairs, tuple_vals))
+        Ok((pairs, tuple_vals, false))
     };
 
     let worker = |me: usize, own: Worker<(usize, Range<usize>)>| -> Result<()> {
@@ -257,17 +315,35 @@ fn morsel_detail(
             .iter()
             .map(|_| bound.iter().map(|ba| ba.agg.init()).collect())
             .collect();
+        // Holistic aggregate growth is metered per worker against the shared
+        // budget (the meter is inert without one).
+        let mut meter = GrowthMeter::new(ctx);
+        let metered = metered_flags(&bound, &meter);
         while let Some((id, range)) = next_task(&own, &stealers, me, &mut ws) {
             ctx.check_interrupt()?;
             ws.morsels += 1;
             ws.tuples += range.len() as u64;
-            let (pairs, tuple_vals) = run_isolated(ctx, id, || compute_delta(id, &range))?;
+            let (pairs, tuple_vals, fell_back) =
+                run_isolated(ctx, id, || compute_delta(id, &range))?;
+            if batched {
+                ctx.record_batch();
+                if fell_back {
+                    ctx.record_batch_fallback();
+                }
+            }
             let n = (pairs.len() * bound.len()) as u64;
             ctx.record_updates(n);
             ws.updates += n;
             for &(row_id, slot) in &pairs {
                 for (j, state) in states[row_id].iter_mut().enumerate() {
-                    state.update(&tuple_vals[slot * bound.len() + j])?;
+                    let v = &tuple_vals[slot * bound.len() + j];
+                    if metered[j] {
+                        let before = state.heap_bytes();
+                        state.update(v)?;
+                        meter.charge(state.heap_bytes().saturating_sub(before))?;
+                    } else {
+                        state.update(v)?;
+                    }
                 }
             }
         }
@@ -354,6 +430,7 @@ fn morsel_base(
     theta: &Expr,
     threads: usize,
     ctx: &ExecContext,
+    batched: bool,
 ) -> Result<Relation> {
     let schema = crate::mdjoin::output_schema(b.schema(), r.schema(), l, &ctx.registry)?;
     let b_rows = b.rows();
@@ -377,7 +454,11 @@ fn morsel_base(
             // inside the isolation boundary and retries are side-effect-free.
             let piece = run_isolated(ctx, slot, || {
                 ctx.fault_on_morsel(slot);
-                md_join_serial(&frag, r, l, theta, ctx)
+                if batched {
+                    md_join_vectorized(&frag, r, l, theta, ctx)
+                } else {
+                    md_join_serial(&frag, r, l, theta, ctx)
+                }
             })?;
             done.push((slot, piece.into_rows()));
         }
@@ -495,6 +576,50 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn batched_morsels_equal_serial_on_both_sides() {
+        let s = sales(700);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let direct = md_join_serial(&b, &s, &specs(), &theta, &ExecContext::new()).unwrap();
+        for side in [MorselSide::Detail, MorselSide::Base] {
+            for threads in [1, 4] {
+                let stats = Arc::new(ScanStats::new());
+                let ctx = ExecContext::new()
+                    .with_morsel_size(64)
+                    .with_stats(stats.clone());
+                let out = md_join_morsel_opts(&b, &s, &specs(), &theta, threads, side, &ctx, true)
+                    .unwrap();
+                assert_eq!(direct.rows(), out.rows(), "{side:?} threads={threads}");
+                assert!(stats.batches() > 0, "{side:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_work_accounting_matches_scalar_morsels() {
+        let s = sales(900);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let scalar = Arc::new(ScanStats::new());
+        let sctx = ExecContext::new()
+            .with_morsel_size(64)
+            .with_stats(scalar.clone());
+        md_join_morsel(&b, &s, &specs(), &theta, 4, MorselSide::Detail, &sctx).unwrap();
+        let batched = Arc::new(ScanStats::new());
+        let bctx = ExecContext::new()
+            .with_morsel_size(64)
+            .with_stats(batched.clone());
+        md_join_morsel_opts(&b, &s, &specs(), &theta, 4, MorselSide::Detail, &bctx, true).unwrap();
+        assert_eq!(scalar.scans(), batched.scans());
+        assert_eq!(scalar.tuples_scanned(), batched.tuples_scanned());
+        assert_eq!(scalar.probes(), batched.probes());
+        assert_eq!(scalar.updates(), batched.updates());
+        assert_eq!(batched.batches(), 900u64.div_ceil(64));
+        assert_eq!(batched.batch_fallbacks(), 0);
+        assert_eq!(scalar.batches(), 0);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use crate::context::{ExecContext, ProbeStrategy};
 use crate::error::{CoreError, Result};
+use crate::governor::{self, MemCharge};
 use mdj_expr::analysis::probe_bindings;
 use mdj_expr::builder::and_all;
 use mdj_expr::{BoundExpr, Expr, Side};
@@ -29,7 +30,7 @@ use mdj_storage::{HashIndex, Relation, Schema, Value};
 /// Normalize a key value for structural hashing: integral floats become
 /// ints so `B.month = R.month + 1` matches even when one side computed a
 /// float. NULL keys are preserved (and never match — see [`ProbePlan::matches`]).
-fn canon_key(v: Value) -> Value {
+pub(crate) fn canon_key(v: Value) -> Value {
     match v {
         Value::Float(f) if f.fract() == 0.0 && f.abs() <= (i64::MAX as f64) / 2.0 => {
             Value::Int(f as i64)
@@ -86,6 +87,19 @@ impl ProbePlan {
         Self::build_opts(b, r_schema, theta, strategy, true)
     }
 
+    /// Build under a context, charging the probe index's footprint (bucket
+    /// structure plus the canonicalized key copies) against the context's
+    /// memory budget *before* building it. The returned guard holds the
+    /// charge for the plan's lifetime; for nested-loop plans it is inert.
+    pub fn build_charged(
+        b: &Relation,
+        r_schema: &Schema,
+        theta: &Expr,
+        ctx: &ExecContext,
+    ) -> Result<(ProbePlan, MemCharge)> {
+        Self::build_inner(b, r_schema, theta, ctx.strategy, ctx.prefilter, Some(ctx))
+    }
+
     /// Build with explicit control over the Theorem 4.2 prefilter.
     pub fn build_opts(
         b: &Relation,
@@ -94,6 +108,17 @@ impl ProbePlan {
         strategy: ProbeStrategy,
         apply_prefilter: bool,
     ) -> Result<ProbePlan> {
+        Ok(Self::build_inner(b, r_schema, theta, strategy, apply_prefilter, None)?.0)
+    }
+
+    fn build_inner(
+        b: &Relation,
+        r_schema: &Schema,
+        theta: &Expr,
+        strategy: ProbeStrategy,
+        apply_prefilter: bool,
+        charge_ctx: Option<&ExecContext>,
+    ) -> Result<(ProbePlan, MemCharge)> {
         let use_hash = match strategy {
             ProbeStrategy::NestedLoop => false,
             ProbeStrategy::HashProbe | ProbeStrategy::Auto => {
@@ -111,34 +136,54 @@ impl ProbePlan {
         if !use_hash {
             if !apply_prefilter {
                 let bound = theta.bind(Some(b.schema()), Some(r_schema))?;
-                return Ok(ProbePlan::NestedLoop {
-                    prefilter: None,
-                    theta: bound,
-                });
+                return Ok((
+                    ProbePlan::NestedLoop {
+                        prefilter: None,
+                        theta: bound,
+                    },
+                    MemCharge::default(),
+                ));
             }
             let (prefilter, rest) = split_prefilter(mdj_expr::analysis::conjuncts(theta));
             let prefilter = prefilter
                 .map(|p| p.bind(None, Some(r_schema)))
                 .transpose()?;
             let bound = and_all(rest).bind(Some(b.schema()), Some(r_schema))?;
-            return Ok(ProbePlan::NestedLoop {
-                prefilter,
-                theta: bound,
-            });
+            return Ok((
+                ProbePlan::NestedLoop {
+                    prefilter,
+                    theta: bound,
+                },
+                MemCharge::default(),
+            ));
         }
         let (bindings, residual) = probe_bindings(theta);
         let key_cols: Vec<usize> = bindings
             .iter()
             .map(|bi| b.schema().index_of(&bi.base_col))
             .collect::<std::result::Result<_, _>>()?;
-        // Index keys are canonicalized the same way probe keys are.
-        let mut canon_b = Relation::empty(b.schema().clone());
-        for row in b.iter() {
-            canon_b.push_unchecked(mdj_storage::Row::new(
-                row.values().iter().cloned().map(canon_key).collect(),
-            ));
-        }
-        let index = HashIndex::build(&canon_b, &key_cols);
+        // Charge the index before building it: bucket structure plus the
+        // canonicalized key copies (|B| × key width), so a budget breach is
+        // reported before the allocation exists.
+        let charge = match charge_ctx {
+            Some(ctx) => MemCharge::try_new(
+                ctx,
+                governor::index_bytes(b.len())
+                    .saturating_add(governor::index_key_bytes(b.len(), key_cols.len())),
+            )?,
+            None => MemCharge::default(),
+        };
+        // Index keys are canonicalized the same way probe keys are — but only
+        // the key columns are copied, not a shadow of the whole relation.
+        let index = HashIndex::from_keys(
+            key_cols.clone(),
+            b.iter().map(|row| {
+                key_cols
+                    .iter()
+                    .map(|&c| canon_key(row[c].clone()))
+                    .collect()
+            }),
+        );
         let key_exprs: Vec<BoundExpr> = bindings
             .iter()
             .map(|bi| bi.detail_expr.bind(None, Some(r_schema)))
@@ -156,12 +201,15 @@ impl ProbePlan {
         } else {
             Some(and_all(rest).bind(Some(b.schema()), Some(r_schema))?)
         };
-        Ok(ProbePlan::Hash {
-            index,
-            key_exprs,
-            prefilter,
-            residual,
-        })
+        Ok((
+            ProbePlan::Hash {
+                index,
+                key_exprs,
+                prefilter,
+                residual,
+            },
+            charge,
+        ))
     }
 
     /// True if the plan uses the hash index.
@@ -422,6 +470,38 @@ mod tests {
             ProbePlan::build(&b_rel(), &r_schema(), &theta, ProbeStrategy::HashProbe).unwrap();
         let ctx = ExecContext::new();
         assert_eq!(run(&plan, &b_rel(), &t(1, 2, 1.0), &ctx), vec![1]);
+    }
+
+    #[test]
+    fn build_charged_accounts_for_keys_and_releases() {
+        use crate::governor;
+        let b = b_rel();
+        let theta = and(
+            eq(col_b("cust"), col_r("cust")),
+            eq(col_b("month"), col_r("month")),
+        );
+        let ctx = ExecContext::new().with_budget_bytes(1 << 20);
+        let tracker = ctx.memory.clone().unwrap();
+        {
+            let (plan, _charge) = ProbePlan::build_charged(&b, &r_schema(), &theta, &ctx).unwrap();
+            assert!(plan.is_hash());
+            // Bucket structure + 2 canonicalized key columns × |B| rows.
+            let expected =
+                (governor::index_bytes(b.len()) + governor::index_key_bytes(b.len(), 2)) as u64;
+            assert_eq!(tracker.charged(), expected);
+        }
+        assert_eq!(tracker.charged(), 0); // guard released on drop
+                                          // Nested-loop plans charge nothing.
+        let nl_theta = gt(col_r("sale"), col_b("month"));
+        let (plan, _charge) = ProbePlan::build_charged(&b, &r_schema(), &nl_theta, &ctx).unwrap();
+        assert!(!plan.is_hash());
+        assert_eq!(tracker.charged(), 0);
+        // A budget too small for the index fails before building it.
+        let tiny = ExecContext::new().with_budget_bytes(1);
+        assert!(matches!(
+            ProbePlan::build_charged(&b, &r_schema(), &theta, &tiny),
+            Err(CoreError::BudgetExceeded { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,682 @@
+//! Vectorized batch execution of Algorithm 3.1.
+//!
+//! The serial evaluator interprets everything per row: each conjunct of θ is
+//! a `BoundExpr` tree walk, each aggregate update a virtual call through
+//! `Box<dyn AggState>` with a `Value` in between. This module processes `R`
+//! in columnar batches instead:
+//!
+//! 1. each batch of `ctx.morsel_size` tuples is transposed into a
+//!    [`ColumnarChunk`] (only the columns θ and `l` actually read);
+//! 2. the Theorem 4.2 prefilter evaluates over the whole batch into a
+//!    selection vector ([`mdj_expr::vectorized::eval_batch`]);
+//! 3. hash-probe keys are computed for the whole batch in one typed loop and
+//!    looked up through a specialized single-`i64`-key map ([`BatchProbe`]);
+//! 4. matched tuples are grouped per base row and aggregate updates applied
+//!    through typed [`KernelState`] kernels — one dispatch per (base row,
+//!    batch) run over native slices, not one per value.
+//!
+//! Every step falls back to the scalar interpreter for shapes it cannot
+//! prove equivalent (counted in `ScanStats::batch_fallbacks`), and all work
+//! accounting (scans, probes, updates) is identical to [`md_join_serial`] by
+//! construction, so the two paths are interchangeable in experiments. The
+//! output is row-identical to the serial evaluator — including `f64`
+//! accumulation order, which follows tuple order per base row in both.
+
+use crate::context::ExecContext;
+use crate::error::Result;
+use crate::governor::{self, GrowthMeter, MemCharge};
+use crate::mdjoin::{bind_aggs, check_no_duplicates, metered_flags, BoundAgg};
+use crate::probe::ProbePlan;
+use mdj_agg::{AggSpec, AggState, KernelState};
+use mdj_expr::vectorized::{collect_detail_cols, eval_batch, BatchVals};
+use mdj_expr::Expr;
+use mdj_storage::{Column, ColumnarChunk, Relation, Row, Schema, Value};
+use std::collections::HashMap;
+
+/// Largest batch the executor will form. Batches index tuples with `u32`
+/// selection vectors; anything near this is already far past the size where
+/// batching helps.
+const MAX_BATCH: usize = u32::MAX as usize;
+
+/// Multiplicative hasher (Fibonacci-style) for the single-`i64`-key probe
+/// map. The default SipHash costs more per lookup than the bucket scan it
+/// guards; key distribution here is adversary-free (the map is rebuilt per
+/// plan from B's own keys), so a fast non-cryptographic mix is safe.
+#[derive(Default)]
+struct IntHasher(u64);
+
+impl std::hash::Hasher for IntHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 = (self.0.rotate_left(5) ^ byte as u64).wrapping_mul(0x517c_c1b7_2722_0a95);
+        }
+    }
+    fn write_i64(&mut self, v: i64) {
+        self.0 = (self.0.rotate_left(5) ^ v as u64).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+type IntMap<V> = HashMap<i64, V, std::hash::BuildHasherDefault<IntHasher>>;
+
+/// Batched `Rel(t)` computation over a [`ProbePlan`], shared by the serial
+/// vectorized evaluator and the batched morsel executor.
+///
+/// Vectorizes two layers when possible — the Theorem 4.2 prefilter (batch →
+/// selection vector) and single-column integer probe keys (batch → key array
+/// → lookups in an `i64`-keyed copy of the index) — and delegates any row it
+/// cannot cover to [`ProbePlan::matches`], whose probe accounting it matches
+/// exactly: prefiltered-out and NULL-key tuples record zero probes, hash
+/// probes record the bucket length, nested-loop probes record `|B|`.
+pub(crate) struct BatchProbe<'a> {
+    plan: &'a ProbePlan,
+    b: &'a Relation,
+    /// Single-`Int`-key buckets extracted from the plan's index. Sound
+    /// because index keys are canonicalized (integral floats are already
+    /// `Int`), so an `Int` probe key can only ever match an `Int` bucket.
+    fast_int: Option<IntMap<Vec<usize>>>,
+}
+
+impl<'a> BatchProbe<'a> {
+    pub(crate) fn new(plan: &'a ProbePlan, b: &'a Relation) -> Self {
+        let fast_int = match plan {
+            ProbePlan::Hash {
+                index, key_exprs, ..
+            } if key_exprs.len() == 1 => {
+                let mut map = IntMap::default();
+                for (key, rows) in index.entries() {
+                    if let [Value::Int(k)] = key {
+                        map.insert(*k, rows.to_vec());
+                    }
+                    // Non-Int buckets are unreachable from an Int key batch
+                    // and stay served by the scalar path.
+                }
+                Some(map)
+            }
+            _ => None,
+        };
+        BatchProbe { plan, b, fast_int }
+    }
+
+    /// Mark the detail columns batches must materialize for this plan: the
+    /// prefilter's and the probe-key expressions'. (Nested-loop θ and hash
+    /// residuals evaluate scalar against the row form and need no columns.)
+    pub(crate) fn collect_needed(&self, needed: &mut [bool]) {
+        match self.plan {
+            ProbePlan::NestedLoop { prefilter, .. } => {
+                if let Some(p) = prefilter {
+                    collect_detail_cols(p, needed);
+                }
+            }
+            ProbePlan::Hash {
+                key_exprs,
+                prefilter,
+                ..
+            } => {
+                for e in key_exprs {
+                    collect_detail_cols(e, needed);
+                }
+                if let Some(p) = prefilter {
+                    collect_detail_cols(p, needed);
+                }
+            }
+        }
+    }
+
+    /// Compute `Rel(t)` for every tuple of `chunk`, appending
+    /// `(batch-local tuple index, base row id)` pairs in tuple order.
+    /// Returns `true` if any part of the batch fell back to the scalar
+    /// interpreter.
+    pub(crate) fn matches_batch(
+        &self,
+        chunk: &ColumnarChunk,
+        rows: &[Row],
+        ctx: &ExecContext,
+        pairs: &mut Vec<(u32, usize)>,
+    ) -> Result<bool> {
+        let n = chunk.len();
+        let start = chunk.start();
+        let mut fell_back = false;
+
+        let prefilter = match self.plan {
+            ProbePlan::NestedLoop { prefilter, .. } => prefilter.as_ref(),
+            ProbePlan::Hash { prefilter, .. } => prefilter.as_ref(),
+        };
+        // A vectorized prefilter yields the batch's selection vector. When it
+        // doesn't vectorize, `sel` stays `None` and the scalar paths below
+        // apply the prefilter per row themselves (ProbePlan::matches does it
+        // internally).
+        let sel: Option<Vec<bool>> = match prefilter {
+            Some(p) => match eval_batch(p, chunk) {
+                Some(bv) => Some(bv.to_selection(n)),
+                None => {
+                    fell_back = true;
+                    None
+                }
+            },
+            None => None,
+        };
+        let selected = |i: usize| sel.as_ref().is_none_or(|s| s[i]);
+
+        // Fast path: single integer key column, vectorized key batch.
+        if let (
+            Some(map),
+            ProbePlan::Hash {
+                key_exprs,
+                residual,
+                ..
+            },
+        ) = (&self.fast_int, self.plan)
+        {
+            let keys = eval_batch(&key_exprs[0], chunk);
+            let keyed: Option<(Vec<i64>, Vec<bool>)> = match keys {
+                Some(BatchVals::Ints { vals, nulls }) => Some((vals, nulls)),
+                Some(BatchVals::Const(Value::Int(k))) => Some((vec![k; n], vec![false; n])),
+                // Every key NULL: SQL equality never matches, zero probes.
+                Some(BatchVals::Const(Value::Null)) => Some((vec![0; n], vec![true; n])),
+                _ => None,
+            };
+            if let Some((vals, nulls)) = keyed {
+                for i in 0..n {
+                    if !selected(i) {
+                        continue;
+                    }
+                    let t = rows[start + i].values();
+                    if sel.is_none() {
+                        if let Some(p) = prefilter {
+                            if !p.eval_bool(&[], t)? {
+                                continue;
+                            }
+                        }
+                    }
+                    if nulls[i] {
+                        continue; // NULL key: no probes, no matches
+                    }
+                    let bucket = map.get(&vals[i]).map(Vec::as_slice).unwrap_or(&[]);
+                    ctx.record_probes(bucket.len() as u64);
+                    match residual {
+                        None => pairs.extend(bucket.iter().map(|&bi| (i as u32, bi))),
+                        Some(res) => {
+                            for &bi in bucket {
+                                if res.eval_bool(self.b.rows()[bi].values(), t)? {
+                                    pairs.push((i as u32, bi));
+                                }
+                            }
+                        }
+                    }
+                }
+                return Ok(fell_back);
+            }
+            fell_back = true;
+        } else if self.plan.is_hash() {
+            // Multi-key or non-Int-keyed index: scalar key computation.
+            fell_back = true;
+        } else {
+            // Nested loop: θ references the base side, inherently scalar.
+            fell_back = true;
+        }
+
+        // Scalar path: delegate each surviving tuple to the interpreter's
+        // `matches`, which applies prefilter/keys/θ with identical probe
+        // accounting. (For tuples a vectorized prefilter already rejected we
+        // skip the call entirely — `matches` would record nothing for them.)
+        let mut matches: Vec<usize> = Vec::new();
+        let mut key_scratch: Vec<Value> = Vec::new();
+        for i in 0..n {
+            if !selected(i) {
+                continue;
+            }
+            self.plan.matches(
+                self.b,
+                rows[start + i].values(),
+                ctx,
+                &mut matches,
+                &mut key_scratch,
+            )?;
+            pairs.extend(matches.iter().map(|&bi| (i as u32, bi)));
+        }
+        Ok(fell_back)
+    }
+}
+
+/// Per-aggregate state column: a typed kernel column when the aggregate has
+/// a kernel form, the boxed scalar states otherwise.
+enum ColStates {
+    Kernel(Vec<KernelState>),
+    Boxed(Vec<Box<dyn AggState>>),
+}
+
+/// Evaluate `MD(B, R, l, θ)` with batched, vectorized execution. Output is
+/// row-identical to [`crate::mdjoin::md_join_serial`], with identical
+/// scan/probe/update accounting.
+pub(crate) fn md_join_vectorized(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    ctx.check_interrupt()?;
+    let bound = bind_aggs(l, r.schema(), &ctx.registry)?;
+    check_no_duplicates(b.schema(), &bound)?;
+    let _state_charge = MemCharge::try_new(ctx, governor::state_bytes(b.len(), bound.len()))?;
+    let (plan, _index_charge) = ProbePlan::build_charged(b, r.schema(), theta, ctx)?;
+    let probe = BatchProbe::new(&plan, b);
+
+    let mut cols: Vec<ColStates> = bound
+        .iter()
+        .map(|ba| match ba.agg.kernel() {
+            Some(kind) => ColStates::Kernel((0..b.len()).map(|_| kind.init()).collect()),
+            None => ColStates::Boxed(b.iter().map(|_| ba.agg.init()).collect()),
+        })
+        .collect();
+    let mut meter = GrowthMeter::new(ctx);
+    let metered = metered_flags(&bound, &meter);
+
+    // Materialize only the columns the probe and the aggregates read.
+    let mut needed = vec![false; r.schema().fields().len()];
+    probe.collect_needed(&mut needed);
+    for ba in &bound {
+        if let Some(c) = ba.input_col {
+            needed[c] = true;
+        }
+    }
+
+    ctx.record_scan(r.len() as u64);
+    let rows = r.rows();
+    let batch_rows = ctx.morsel_size.clamp(1, MAX_BATCH);
+    let mut pairs: Vec<(u32, usize)> = Vec::new();
+    // Batch-local grouping of matched tuples per base row, in tuple order
+    // (so f64 accumulation order matches the serial evaluator exactly). The
+    // scoreboard is direct-mapped over B — no hashing per pair — and only the
+    // slots a batch touched are reset; group buffers are recycled across
+    // batches.
+    let mut groups: Vec<(usize, Vec<u32>)> = Vec::new();
+    let mut n_groups = 0usize;
+    let mut group_of: Vec<usize> = vec![usize::MAX; b.len()];
+    let mut start = 0usize;
+    while start < rows.len() {
+        ctx.check_interrupt()?;
+        let len = batch_rows.min(rows.len() - start);
+        let chunk = ColumnarChunk::from_rows(rows, start, len, &needed);
+        pairs.clear();
+        let fell_back = probe.matches_batch(&chunk, rows, ctx, &mut pairs)?;
+        ctx.record_batch();
+        if fell_back {
+            ctx.record_batch_fallback();
+        }
+        if pairs.is_empty() {
+            start += len;
+            continue;
+        }
+        ctx.record_updates((pairs.len() * bound.len()) as u64);
+
+        for (bi, _) in &groups[..n_groups] {
+            group_of[*bi] = usize::MAX;
+        }
+        n_groups = 0;
+        for &(i, bi) in &pairs {
+            let mut g = group_of[bi];
+            if g == usize::MAX {
+                g = n_groups;
+                group_of[bi] = g;
+                if n_groups == groups.len() {
+                    groups.push((bi, Vec::new()));
+                } else {
+                    groups[n_groups].0 = bi;
+                    groups[n_groups].1.clear();
+                }
+                n_groups += 1;
+            }
+            groups[g].1.push(i);
+        }
+
+        for (j, ba) in bound.iter().enumerate() {
+            apply_batch(
+                &mut cols[j],
+                ba,
+                &groups[..n_groups],
+                &chunk,
+                rows,
+                start,
+                metered[j],
+                &mut meter,
+            )?;
+        }
+        start += len;
+    }
+
+    let mut fields = b.schema().fields().to_vec();
+    fields.extend(bound.iter().map(|ba| ba.output.clone()));
+    let mut out = Relation::empty(Schema::new(fields));
+    for (bi, row) in b.iter().enumerate() {
+        let mut vals = row.values().to_vec();
+        vals.extend(cols.iter().map(|col| match col {
+            ColStates::Kernel(states) => states[bi].finalize(),
+            ColStates::Boxed(states) => states[bi].finalize(),
+        }));
+        out.push_unchecked(Row::new(vals));
+    }
+    Ok(out)
+}
+
+/// Apply one batch's matched tuples to one aggregate column. Kernel columns
+/// consume typed slices with one dispatch per (base row, batch); boxed
+/// columns replay the scalar per-value protocol (including growth metering
+/// for holistic states under a budget).
+#[allow(clippy::too_many_arguments)]
+fn apply_batch(
+    col: &mut ColStates,
+    ba: &BoundAgg,
+    groups: &[(usize, Vec<u32>)],
+    chunk: &ColumnarChunk,
+    rows: &[Row],
+    start: usize,
+    metered: bool,
+    meter: &mut GrowthMeter,
+) -> Result<()> {
+    match col {
+        ColStates::Kernel(states) => match ba.input_col {
+            None => {
+                for (bi, idxs) in groups {
+                    states[*bi].update_star(idxs.len() as u64);
+                }
+            }
+            Some(c) => match chunk.column(c) {
+                Column::Int { vals, nulls } => {
+                    for (bi, idxs) in groups {
+                        states[*bi].update_ints(vals, nulls, idxs);
+                    }
+                }
+                Column::Float { vals, nulls } => {
+                    for (bi, idxs) in groups {
+                        states[*bi].update_floats(vals, nulls, idxs);
+                    }
+                }
+                // Strings, mixed-typed, or unmaterialized columns: replay
+                // the exact scalar update protocol value by value.
+                _ => {
+                    for (bi, idxs) in groups {
+                        for &i in idxs {
+                            states[*bi].update_value(&rows[start + i as usize][c])?;
+                        }
+                    }
+                }
+            },
+        },
+        ColStates::Boxed(states) => {
+            for (bi, idxs) in groups {
+                for &i in idxs {
+                    let v = match ba.input_col {
+                        Some(c) => &rows[start + i as usize][c],
+                        None => &Value::Null,
+                    };
+                    if metered {
+                        let st = &mut states[*bi];
+                        let before = st.heap_bytes();
+                        st.update(v)?;
+                        meter.charge(st.heap_bytes().saturating_sub(before))?;
+                    } else {
+                        states[*bi].update(v)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// True when every part of the query has a vectorized form: θ yields hash
+/// probe bindings over columns `B` actually has (so batched probing applies)
+/// and every aggregate of `l` is kernel-covered. Used by the `Auto` planner.
+pub(crate) fn vectorized_eligible(
+    b: &Relation,
+    theta: &Expr,
+    aggs: &[AggSpec],
+    ctx: &ExecContext,
+) -> bool {
+    if ctx.strategy == crate::context::ProbeStrategy::NestedLoop {
+        return false;
+    }
+    let (bindings, _) = mdj_expr::analysis::probe_bindings(theta);
+    if bindings.is_empty() || !bindings.iter().all(|bi| b.schema().contains(&bi.base_col)) {
+        return false;
+    }
+    aggs.iter().all(|spec| {
+        ctx.registry
+            .get(&spec.function)
+            .map(|agg| agg.kernel().is_some())
+            .unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ProbeStrategy;
+    use crate::mdjoin::md_join_serial;
+    use mdj_expr::builder::*;
+    use mdj_storage::{DataType, ScanStats};
+    use std::sync::Arc;
+
+    fn sales(n: i64) -> Relation {
+        let schema = Schema::from_pairs(&[
+            ("cust", DataType::Int),
+            ("month", DataType::Int),
+            ("state", DataType::Str),
+            ("sale", DataType::Float),
+            ("qty", DataType::Int),
+        ]);
+        Relation::from_rows(
+            schema,
+            (0..n)
+                .map(|i| {
+                    Row::from_values(vec![
+                        Value::Int(i % 7),
+                        Value::Int(i % 12),
+                        Value::str(if i % 3 == 0 { "NY" } else { "NJ" }),
+                        if i % 11 == 0 {
+                            Value::Null
+                        } else {
+                            Value::Float((i as f64) * 0.25)
+                        },
+                        Value::Int(i % 5),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    fn specs() -> Vec<AggSpec> {
+        vec![
+            AggSpec::on_column("sum", "sale"),
+            AggSpec::on_column("avg", "sale"),
+            AggSpec::on_column("min", "sale"),
+            AggSpec::on_column("max", "qty"),
+            AggSpec::on_column("count", "sale"),
+            AggSpec::count_star(),
+        ]
+    }
+
+    fn assert_identical(theta: mdj_expr::Expr, l: &[AggSpec], ctx: &ExecContext) {
+        let s = sales(400);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let serial = md_join_serial(&b, &s, l, &theta, ctx).unwrap();
+        let vector = md_join_vectorized(&b, &s, l, &theta, ctx).unwrap();
+        assert_eq!(serial.schema(), vector.schema());
+        assert_eq!(serial.rows(), vector.rows(), "θ = {theta}");
+    }
+
+    #[test]
+    fn equality_theta_row_identical() {
+        assert_identical(
+            eq(col_b("cust"), col_r("cust")),
+            &specs(),
+            &ExecContext::new().with_morsel_size(64),
+        );
+    }
+
+    #[test]
+    fn computed_key_and_prefilter_row_identical() {
+        assert_identical(
+            and(
+                eq(col_b("cust"), add(col_r("cust"), lit(1i64))),
+                eq(col_r("state"), lit("NY")),
+            ),
+            &specs(),
+            &ExecContext::new().with_morsel_size(64),
+        );
+    }
+
+    #[test]
+    fn mixed_residual_row_identical() {
+        assert_identical(
+            and(
+                eq(col_b("cust"), col_r("cust")),
+                gt(col_r("sale"), col_b("cust")), // mixed: residual per candidate
+            ),
+            &specs(),
+            &ExecContext::new().with_morsel_size(64),
+        );
+    }
+
+    #[test]
+    fn non_equi_nested_loop_row_identical() {
+        assert_identical(
+            le(col_b("cust"), col_r("qty")),
+            &specs(),
+            &ExecContext::new().with_morsel_size(64),
+        );
+    }
+
+    #[test]
+    fn holistic_aggs_take_boxed_path_and_match() {
+        assert_identical(
+            eq(col_b("cust"), col_r("cust")),
+            &[
+                AggSpec::on_column("median", "sale"),
+                AggSpec::on_column("mode", "qty"),
+                AggSpec::on_column("sum", "sale"),
+            ],
+            &ExecContext::new().with_morsel_size(64),
+        );
+    }
+
+    #[test]
+    fn work_accounting_matches_serial_exactly() {
+        let s = sales(500);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = and(
+            eq(col_b("cust"), col_r("cust")),
+            eq(col_r("state"), lit("NY")),
+        );
+        let l = specs();
+        for strategy in [ProbeStrategy::Auto, ProbeStrategy::NestedLoop] {
+            let serial_stats = Arc::new(ScanStats::new());
+            let sctx = ExecContext::new()
+                .with_strategy(strategy)
+                .with_stats(serial_stats.clone());
+            md_join_serial(&b, &s, &l, &theta, &sctx).unwrap();
+            let vec_stats = Arc::new(ScanStats::new());
+            let vctx = ExecContext::new()
+                .with_strategy(strategy)
+                .with_morsel_size(64)
+                .with_stats(vec_stats.clone());
+            md_join_vectorized(&b, &s, &l, &theta, &vctx).unwrap();
+            assert_eq!(serial_stats.scans(), vec_stats.scans(), "{strategy:?}");
+            assert_eq!(
+                serial_stats.tuples_scanned(),
+                vec_stats.tuples_scanned(),
+                "{strategy:?}"
+            );
+            assert_eq!(serial_stats.probes(), vec_stats.probes(), "{strategy:?}");
+            assert_eq!(serial_stats.updates(), vec_stats.updates(), "{strategy:?}");
+            assert_eq!(vec_stats.batches(), 500u64.div_ceil(64), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn fully_covered_query_reports_no_fallbacks() {
+        let s = sales(300);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ExecContext::new()
+            .with_morsel_size(64)
+            .with_stats(stats.clone());
+        md_join_vectorized(&b, &s, &specs(), &theta, &ctx).unwrap();
+        assert!(stats.batches() > 0);
+        assert_eq!(stats.batch_fallbacks(), 0);
+        // A Div in the prefilter has no vectorized form: every batch falls back.
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ExecContext::new()
+            .with_morsel_size(64)
+            .with_stats(stats.clone());
+        let theta = and(
+            eq(col_b("cust"), col_r("cust")),
+            gt(div(col_r("sale"), lit(2i64)), lit(0i64)),
+        );
+        md_join_vectorized(&b, &s, &specs(), &theta, &ctx).unwrap();
+        assert_eq!(stats.batch_fallbacks(), stats.batches());
+    }
+
+    #[test]
+    fn empty_inputs_and_empty_rel_t() {
+        let s = sales(50);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = and(
+            eq(col_b("cust"), col_r("cust")),
+            eq(col_r("state"), lit("ZZ")), // matches nothing: every Rel(t) empty
+        );
+        let ctx = ExecContext::new().with_morsel_size(16);
+        let serial = md_join_serial(&b, &s, &specs(), &theta, &ctx).unwrap();
+        let vector = md_join_vectorized(&b, &s, &specs(), &theta, &ctx).unwrap();
+        assert_eq!(serial.rows(), vector.rows());
+        let empty_r = Relation::empty(s.schema().clone());
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let out = md_join_vectorized(&b, &empty_r, &specs(), &theta, &ctx).unwrap();
+        assert_eq!(out.len(), b.len());
+        let empty_b = Relation::empty(b.schema().clone());
+        let out = md_join_vectorized(&empty_b, &s, &specs(), &theta, &ctx).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn eligibility_rules() {
+        let s = sales(10);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let ctx = ExecContext::new();
+        let kernel_aggs = [AggSpec::on_column("sum", "sale"), AggSpec::count_star()];
+        // Equality θ + kernel aggregates: eligible.
+        assert!(vectorized_eligible(
+            &b,
+            &eq(col_b("cust"), col_r("cust")),
+            &kernel_aggs,
+            &ctx
+        ));
+        // Non-equi θ yields no bindings.
+        assert!(!vectorized_eligible(
+            &b,
+            &lt(col_b("cust"), col_r("cust")),
+            &kernel_aggs,
+            &ctx
+        ));
+        // A holistic aggregate has no kernel.
+        assert!(!vectorized_eligible(
+            &b,
+            &eq(col_b("cust"), col_r("cust")),
+            &[AggSpec::on_column("median", "sale")],
+            &ctx
+        ));
+        // Forced nested loop disables batched probing.
+        let nl = ExecContext::new().with_strategy(ProbeStrategy::NestedLoop);
+        assert!(!vectorized_eligible(
+            &b,
+            &eq(col_b("cust"), col_r("cust")),
+            &kernel_aggs,
+            &nl
+        ));
+    }
+}

@@ -66,7 +66,7 @@ impl Expr {
     }
 }
 
-fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }
@@ -122,7 +122,7 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     }
 }
 
-fn compare(op: BinOp, l: &Value, r: &Value) -> Value {
+pub(crate) fn compare(op: BinOp, l: &Value, r: &Value) -> Value {
     // SQL semantics: a comparison with NULL (or incomparable types) is false.
     // Exception: Eq/Ne between non-null values of incomparable type is a plain
     // "not equal" rather than an error, so θs like `state = 'NY'` stay total.

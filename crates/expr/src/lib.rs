@@ -20,7 +20,9 @@ pub mod builder;
 pub mod error;
 pub mod eval;
 pub mod rewrite;
+pub mod vectorized;
 
 pub use ast::{BinOp, ColRef, Expr, Side};
 pub use error::{ExprError, Result};
 pub use eval::BoundExpr;
+pub use vectorized::{eval_batch, BatchVals};

@@ -40,9 +40,27 @@ impl HashIndex {
         Ok(Self::build(relation, &idx))
     }
 
+    /// Build from precomputed keys: the `i`-th key indexes row `i`. Lets a
+    /// caller index *transformed* keys (e.g. canonicalized ones) without
+    /// materializing a shadow copy of the whole relation.
+    pub fn from_keys(key_cols: Vec<usize>, keys: impl IntoIterator<Item = Vec<Value>>) -> Self {
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (i, key) in keys.into_iter().enumerate() {
+            map.entry(key).or_default().push(i);
+        }
+        HashIndex { key_cols, map }
+    }
+
     /// Row positions whose key equals `key` (empty slice if none).
     pub fn get(&self, key: &[Value]) -> &[usize] {
         self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterate over `(key, row positions)` buckets (arbitrary order). Used to
+    /// derive specialized probe structures (e.g. a single-`i64`-key map for
+    /// the vectorized executor) without re-extracting keys from the relation.
+    pub fn entries(&self) -> impl Iterator<Item = (&[Value], &[usize])> {
+        self.map.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
     }
 
     /// The indexed column positions.
@@ -153,6 +171,21 @@ mod tests {
         assert_eq!(ix.get(&[Value::Int(1994)]), &[1, 3]);
         assert_eq!(ix.get(&[Value::Int(2001)]), &[] as &[usize]);
         assert_eq!(ix.distinct_keys(), 4);
+    }
+
+    #[test]
+    fn hash_index_from_precomputed_keys() {
+        let r = rel();
+        let direct = HashIndex::build_on(&r, &["year"]).unwrap();
+        let keyed = HashIndex::from_keys(vec![0], r.iter().map(|row| vec![row[0].clone()]));
+        assert_eq!(
+            keyed.get(&[Value::Int(1994)]),
+            direct.get(&[Value::Int(1994)])
+        );
+        assert_eq!(keyed.distinct_keys(), direct.distinct_keys());
+        assert_eq!(keyed.key_cols(), &[0]);
+        let total: usize = keyed.entries().map(|(_, ids)| ids.len()).sum();
+        assert_eq!(total, r.len());
     }
 
     #[test]

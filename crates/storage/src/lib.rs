@@ -11,6 +11,7 @@
 //! per tuple), which this substrate measures directly via [`stats::ScanStats`].
 
 pub mod catalog;
+pub mod columnar;
 pub mod csv;
 pub mod error;
 pub mod index;
@@ -22,6 +23,7 @@ pub mod stats;
 pub mod value;
 
 pub use catalog::Catalog;
+pub use columnar::{Column, ColumnarChunk};
 pub use error::{Result, StorageError};
 pub use index::{HashIndex, SortedIndex};
 pub use relation::Relation;

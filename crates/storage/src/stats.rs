@@ -74,6 +74,11 @@ pub struct ScanStats {
     /// Times a budget breach was answered by re-planning into Theorem 4.1
     /// partitioned evaluation instead of aborting.
     degradations: AtomicU64,
+    /// Columnar batches processed by the vectorized executor.
+    batches: AtomicU64,
+    /// Batches (or batch sub-steps) that fell back to the scalar interpreter
+    /// because the expression shape or column data had no typed kernel.
+    batch_fallbacks: AtomicU64,
     /// Per-worker morsel accounting, appended once per worker per parallel
     /// run (guarded by a mutex: workers report once at exit, not per tuple).
     workers: Mutex<Vec<WorkerStats>>,
@@ -114,6 +119,14 @@ impl ScanStats {
 
     pub fn record_degradation(&self) {
         self.degradations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_batch_fallback(&self) {
+        self.batch_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Append one worker's morsel accounting (called once per worker at the
@@ -158,6 +171,14 @@ impl ScanStats {
         self.degradations.load(Ordering::Relaxed)
     }
 
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    pub fn batch_fallbacks(&self) -> u64 {
+        self.batch_fallbacks.load(Ordering::Relaxed)
+    }
+
     /// Per-worker morsel accounting recorded so far.
     pub fn workers(&self) -> Vec<WorkerStats> {
         self.workers
@@ -176,6 +197,8 @@ impl ScanStats {
         self.morsel_retries.store(0, Ordering::Relaxed);
         self.bytes_charged.store(0, Ordering::Relaxed);
         self.degradations.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.batch_fallbacks.store(0, Ordering::Relaxed);
         self.workers
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -193,6 +216,8 @@ impl ScanStats {
             morsel_retries: self.morsel_retries(),
             bytes_charged: self.bytes_charged(),
             degradations: self.degradations(),
+            batches: self.batches(),
+            batch_fallbacks: self.batch_fallbacks(),
             workers: self.workers(),
         }
     }
@@ -213,6 +238,11 @@ pub struct StatsSnapshot {
     pub bytes_charged: u64,
     /// Budget breaches answered by Theorem 4.1 re-partitioning.
     pub degradations: u64,
+    /// Columnar batches processed by the vectorized executor (0 for scalar
+    /// evaluation).
+    pub batches: u64,
+    /// Batches that fell back to the scalar interpreter for some sub-step.
+    pub batch_fallbacks: u64,
     /// Per-worker morsel/steal/merge counters from parallel runs (empty for
     /// serial evaluation).
     pub workers: Vec<WorkerStats>,
@@ -235,6 +265,13 @@ impl std::fmt::Display for StatsSnapshot {
             "scans={} tuples={} probes={} updates={}",
             self.scans, self.tuples_scanned, self.probes, self.updates
         )?;
+        if self.batches > 0 {
+            write!(
+                f,
+                "\n  vectorized: batches={} fallbacks={}",
+                self.batches, self.batch_fallbacks
+            )?;
+        }
         if self.governor_active() {
             write!(
                 f,
@@ -289,6 +326,25 @@ mod tests {
         let s = ScanStats::new();
         s.record_tuples(7);
         assert!(s.snapshot().to_string().contains("tuples=7"));
+    }
+
+    #[test]
+    fn batch_counters_accumulate_and_display() {
+        let s = ScanStats::new();
+        assert!(!s.snapshot().to_string().contains("vectorized:"));
+        s.record_batch();
+        s.record_batch();
+        s.record_batch_fallback();
+        let snap = s.snapshot();
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.batch_fallbacks, 1);
+        // Batch activity alone is not governor activity.
+        assert!(!snap.governor_active());
+        assert!(snap
+            .to_string()
+            .contains("vectorized: batches=2 fallbacks=1"));
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
     }
 
     #[test]
