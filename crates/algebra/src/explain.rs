@@ -28,6 +28,18 @@ pub fn explain_with_stats(plan: &Plan, stats: &StatsSnapshot) -> String {
             stats.batches, stats.batch_fallbacks
         );
     }
+    if stats.auto_decisions > 0 {
+        let _ = writeln!(
+            out,
+            "-- auto: batch coverage={}‰ plan={}",
+            stats.auto_coverage_permille,
+            if stats.auto_batched {
+                "vectorized"
+            } else {
+                "scalar"
+            }
+        );
+    }
     if stats.governor_active() {
         let _ = writeln!(
             out,
@@ -188,6 +200,9 @@ mod tests {
             degradations: 0,
             batches: 0,
             batch_fallbacks: 0,
+            auto_decisions: 0,
+            auto_coverage_permille: 0,
+            auto_batched: false,
             workers: vec![
                 WorkerStats {
                     worker: 0,
@@ -222,6 +237,23 @@ mod tests {
         };
         let s2 = explain_with_stats(&plan, &batched);
         assert!(s2.contains("-- vectorized: batches=7 fallbacks=2"));
+        // The Auto coverage decision is silent until one is recorded...
+        assert!(!s2.contains("auto:"));
+        let auto = StatsSnapshot {
+            auto_decisions: 1,
+            auto_coverage_permille: 666,
+            auto_batched: true,
+            ..snap.clone()
+        };
+        let s3 = explain_with_stats(&plan, &auto);
+        assert!(s3.contains("-- auto: batch coverage=666‰ plan=vectorized"));
+        let auto_scalar = StatsSnapshot {
+            auto_decisions: 1,
+            auto_coverage_permille: 500,
+            auto_batched: false,
+            ..snap.clone()
+        };
+        assert!(explain_with_stats(&plan, &auto_scalar).contains("plan=scalar"));
         // ...and rendered when any of them is non-zero.
         let governed = StatsSnapshot {
             cancel_polls: 12,

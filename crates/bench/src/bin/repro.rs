@@ -5,10 +5,14 @@
 //!
 //! ```text
 //! cargo run -p mdj-bench --bin repro --release [--quick] [--json <path>] [--only <eN>]
+//! cargo run -p mdj-bench --bin repro --release -- --check <new.json> <baseline.json>
 //! ```
 //!
 //! `--only e11` (etc.) runs a single experiment — handy when iterating on
-//! one table.
+//! one table. `--check` diffs a fresh `--json` baseline against a committed
+//! one and exits non-zero if any machine-independent work counter grew —
+//! CI's perf-smoke job uses it to fail on counter regressions instead of
+//! flaky wall-clock thresholds.
 //!
 //! With `--json <path>` the run also emits a machine-readable baseline: one
 //! entry per experiment with its wall time, plus per-variant entries carrying
@@ -121,6 +125,27 @@ fn record_counters(name: impl Into<String>, wall: Duration, stats: &ScanStats) {
     });
 }
 
+/// Escape a string for embedding in a JSON string literal. The hand-rolled
+/// writer below used to splice labels in verbatim, so a quote, backslash, or
+/// control character in an experiment name produced an unparseable baseline.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Hand-rolled writer: the workspace's vendored `serde` is a no-op stub, so
 /// the baseline is emitted as literal JSON text.
 fn write_json(path: &str, quick: bool) -> std::io::Result<()> {
@@ -130,7 +155,8 @@ fn write_json(path: &str, quick: bool) -> std::io::Result<()> {
     for (i, e) in entries.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"wall_ms\": {:.3}",
-            e.name, e.wall_ms
+            json_escape(&e.name),
+            e.wall_ms
         ));
         if let Some(c) = &e.counters {
             s.push_str(&format!(
@@ -147,6 +173,152 @@ fn write_json(path: &str, quick: bool) -> std::io::Result<()> {
     }
     s.push_str("  ]\n}\n");
     std::fs::write(path, s)
+}
+
+/// The machine-independent work counters carried by a baseline entry, in the
+/// order they appear in the JSON. Wall time is deliberately not here: it is
+/// machine-dependent and never gates CI.
+const CHECK_COUNTERS: [&str; 6] = [
+    "scans",
+    "tuples",
+    "probes",
+    "updates",
+    "batches",
+    "batch_fallbacks",
+];
+
+/// One parsed baseline entry (`--check` mode). Only entries that carry the
+/// full counter set participate in the regression diff.
+struct CheckEntry {
+    name: String,
+    counters: [u64; 6],
+}
+
+/// Decode the string literal starting right after an opening `"`, honoring
+/// the escapes [`json_escape`] emits. Returns the decoded text.
+fn parse_json_string(rest: &str) -> String {
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => break,
+            '\\' => match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                        out.push(c);
+                    }
+                }
+                Some(other) => out.push(other),
+                None => break,
+            },
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extract `"key": <int>` from a JSON entry line.
+fn parse_json_int(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let at = line.find(&needle)? + needle.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Line-based parse of the writer's own `--json` output: one entry per line,
+/// entries without the counter set (wall-time-only) are skipped.
+fn parse_baseline(text: &str) -> Vec<CheckEntry> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let name = parse_json_string(&line[at + "\"name\": \"".len()..]);
+        let mut counters = [0u64; 6];
+        let mut complete = true;
+        for (slot, key) in counters.iter_mut().zip(CHECK_COUNTERS) {
+            match parse_json_int(line, key) {
+                Some(v) => *slot = v,
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if complete {
+            out.push(CheckEntry { name, counters });
+        }
+    }
+    out
+}
+
+/// Diff two parsed baselines over their common entry names. Any counter that
+/// *grew* is a regression: the counters are exact and deterministic, so more
+/// probes/updates/fallbacks means the engine is doing more work (or falling
+/// back to scalar) on a shape it used to cover.
+fn compare_entries(new: &[CheckEntry], baseline: &[CheckEntry]) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for base in baseline {
+        let Some(cur) = new.iter().find(|e| e.name == base.name) else {
+            continue;
+        };
+        for (i, key) in CHECK_COUNTERS.iter().enumerate() {
+            if cur.counters[i] > base.counters[i] {
+                regressions.push(format!(
+                    "{}: {} regressed {} -> {}",
+                    base.name, key, base.counters[i], cur.counters[i]
+                ));
+            }
+        }
+    }
+    regressions
+}
+
+/// `--check <new.json> <baseline.json>`: exit 0 when no counter regressed,
+/// 1 on regression, 2 on usage/IO/parse trouble.
+fn run_check(new_path: &str, baseline_path: &str) -> i32 {
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("repro --check: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(new_text), Some(base_text)) = (read(new_path), read(baseline_path)) else {
+        return 2;
+    };
+    let new = parse_baseline(&new_text);
+    let baseline = parse_baseline(&base_text);
+    let common = baseline
+        .iter()
+        .filter(|b| new.iter().any(|n| n.name == b.name))
+        .count();
+    if common == 0 {
+        eprintln!(
+            "repro --check: no common counter entries between {new_path} ({} entries) \
+             and {baseline_path} ({} entries)",
+            new.len(),
+            baseline.len()
+        );
+        return 2;
+    }
+    let regressions = compare_entries(&new, &baseline);
+    if regressions.is_empty() {
+        println!("repro --check: {common} entries compared against {baseline_path}, no counter regressions");
+        0
+    } else {
+        for r in &regressions {
+            eprintln!("repro --check: REGRESSION {r}");
+        }
+        1
+    }
 }
 
 fn time<T>(mut f: impl FnMut() -> T) -> (Duration, T) {
@@ -180,6 +352,13 @@ fn header(title: &str, cols: &[&str]) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let (Some(new_path), Some(baseline_path)) = (args.get(i + 1), args.get(i + 2)) else {
+            eprintln!("usage: repro --check <new.json> <baseline.json>");
+            std::process::exit(2);
+        };
+        std::process::exit(run_check(new_path, baseline_path));
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let json_path = args
         .iter()
@@ -902,6 +1081,8 @@ fn e10(scale: usize) {
 fn e11(scale: usize) {
     let r = bench_sales(40_000 * scale, 1_000);
     let b = r.distinct_on(&["cust"]).unwrap();
+    let b_multi = r.distinct_on(&["cust", "month"]).unwrap();
+    let b_state = r.distinct_on(&["state"]).unwrap();
     // All five aggregates are kernel-covered (sum/avg/min/max over the Float
     // sale column plus count(*)), so batches report zero fallbacks on the
     // hash-probed shapes.
@@ -931,12 +1112,35 @@ fn e11(scale: usize) {
             "batches (fallbacks)",
         ],
     );
-    let shapes: [(&str, &Relation, Expr); 4] = [
-        ("equality (fast path)", &b, eq(col_b("cust"), col_r("cust"))),
+    // `covered` marks the shapes the batch layer handles without scalar
+    // delegation: their vectorized runs must report zero batch fallbacks.
+    let shapes: [(&str, &Relation, Expr, bool); 6] = [
+        (
+            "equality (fast path)",
+            &b,
+            eq(col_b("cust"), col_r("cust")),
+            true,
+        ),
         (
             "computed key",
             &b,
             eq(col_b("cust"), add(col_r("cust"), lit(0i64))),
+            true,
+        ),
+        (
+            "multi-column key",
+            &b_multi,
+            and(
+                eq(col_b("cust"), col_r("cust")),
+                eq(col_b("month"), col_r("month")),
+            ),
+            true,
+        ),
+        (
+            "string key",
+            &b_state,
+            eq(col_b("state"), col_r("state")),
+            true,
         ),
         (
             "mixed residual",
@@ -945,14 +1149,16 @@ fn e11(scale: usize) {
                 eq(col_b("cust"), col_r("cust")),
                 ge(col_r("sale"), col_b("cust")),
             ),
+            true,
         ),
         (
             "non-equi (NL fallback)",
             &b_small,
             le(col_b("cust"), col_r("month")),
+            false,
         ),
     ];
-    for (label, bb, theta) in shapes {
+    for (label, bb, theta, covered) in shapes {
         let run = |strategy: ExecStrategy, stats: Option<Arc<ScanStats>>| {
             let mut ctx = ExecContext::new();
             if let Some(s) = stats {
@@ -981,6 +1187,13 @@ fn e11(scale: usize) {
         );
         assert_eq!(s_stats.probes(), v_stats.probes(), "E11 {label}");
         assert_eq!(s_stats.updates(), v_stats.updates(), "E11 {label}");
+        if covered {
+            assert_eq!(
+                v_stats.batch_fallbacks(),
+                0,
+                "E11 {label}: covered shape must not fall back to scalar"
+            );
+        }
         // Timed runs.
         let (t_s, _) = time(|| run(ExecStrategy::Serial, None));
         let (t_v, _) = time(|| run(ExecStrategy::Vectorized, None));
@@ -1023,4 +1236,81 @@ fn e10_chain(k: usize, dependent: bool) -> Plan {
         );
     }
     plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_neutralizes_hostile_labels() {
+        let hostile = "e11/\"quote\\back\nslash\ttab\u{1}ctl";
+        let escaped = json_escape(hostile);
+        // No raw quote/backslash/control char survives unescaped.
+        assert_eq!(escaped, "e11/\\\"quote\\\\back\\nslash\\ttab\\u0001ctl");
+        // Round-trip: the --check parser decodes exactly the original label.
+        assert_eq!(parse_json_string(&format!("{escaped}\", rest")), hostile);
+        // Plain labels pass through untouched.
+        assert_eq!(json_escape("e11/equality/serial"), "e11/equality/serial");
+    }
+
+    #[test]
+    fn hostile_label_emits_parseable_baseline_line() {
+        let line = format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": 1.500, \"scans\": 1, \"tuples\": 2, \
+             \"probes\": 3, \"updates\": 4, \"batches\": 5, \"batch_fallbacks\": 0}},",
+            json_escape("evil \"label\" with \\ and \n")
+        );
+        let entries = parse_baseline(&line);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "evil \"label\" with \\ and \n");
+        assert_eq!(entries[0].counters, [1, 2, 3, 4, 5, 0]);
+    }
+
+    #[test]
+    fn check_parses_writer_output_and_skips_wall_only_entries() {
+        let text = "{\n  \"tool\": \"repro\",\n  \"quick\": true,\n  \"experiments\": [\n    \
+                    {\"name\": \"e1\", \"wall_ms\": 10.000},\n    \
+                    {\"name\": \"e11/equality/serial\", \"wall_ms\": 1.000, \"scans\": 1, \
+                    \"tuples\": 40000, \"probes\": 40000, \"updates\": 200000, \
+                    \"batches\": 0, \"batch_fallbacks\": 0}\n  ]\n}\n";
+        let entries = parse_baseline(text);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "e11/equality/serial");
+        assert_eq!(entries[0].counters, [1, 40000, 40000, 200000, 0, 0]);
+    }
+
+    #[test]
+    fn check_flags_grown_counters_only() {
+        let base = vec![CheckEntry {
+            name: "e11/equality/vectorized".into(),
+            counters: [1, 40000, 40000, 200000, 10, 0],
+        }];
+        // Identical counters: clean.
+        let same = vec![CheckEntry {
+            name: "e11/equality/vectorized".into(),
+            counters: [1, 40000, 40000, 200000, 10, 0],
+        }];
+        assert!(compare_entries(&same, &base).is_empty());
+        // A shrunk counter (less work) is not a regression.
+        let better = vec![CheckEntry {
+            name: "e11/equality/vectorized".into(),
+            counters: [1, 40000, 39000, 200000, 10, 0],
+        }];
+        assert!(compare_entries(&better, &base).is_empty());
+        // A grown counter is.
+        let worse = vec![CheckEntry {
+            name: "e11/equality/vectorized".into(),
+            counters: [1, 40000, 40000, 200000, 10, 3],
+        }];
+        let regressions = compare_entries(&worse, &base);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("batch_fallbacks regressed 0 -> 3"));
+        // Entries present only in one file are ignored.
+        let disjoint = vec![CheckEntry {
+            name: "e11/new-shape/vectorized".into(),
+            counters: [9, 9, 9, 9, 9, 9],
+        }];
+        assert!(compare_entries(&disjoint, &base).is_empty());
+    }
 }

@@ -36,7 +36,7 @@ use crate::mdjoin::md_join_serial;
 use crate::morsel::{md_join_morsel, md_join_morsel_opts, MorselSide};
 use crate::parallel::{chunk_base, chunk_detail};
 use crate::partitioned::partitioned;
-use crate::vectorized::{md_join_vectorized, vectorized_eligible};
+use crate::vectorized::{batch_coverage, md_join_vectorized};
 use mdj_agg::AggSpec;
 use mdj_expr::Expr;
 use mdj_storage::{Relation, Schema};
@@ -323,11 +323,14 @@ impl<'a> MdJoin<'a> {
             ),
             ExecStrategy::Auto => {
                 let threads = self.resolve_threads();
-                // Batch execution is a pure win when every part of the query
-                // has a vectorized form: θ hash-probes and all aggregates are
-                // kernel-covered. Anything else would just pay batching
-                // overhead to fall back per batch, so Auto stays scalar.
-                let vectorized = vectorized_eligible(self.b, &theta, &aggs, ctx);
+                // Coverage cost model: estimate what fraction of the per-
+                // tuple work (probe, prefilter, residual, aggregates) stays
+                // on the batched path, and vectorize when the covered
+                // majority outweighs the per-batch fallback overhead. The
+                // decision is recorded so explain output can show it.
+                let coverage = batch_coverage(self.b, &theta, &aggs, ctx);
+                let vectorized = coverage.choose_vectorized();
+                ctx.record_auto_decision(coverage.permille(), vectorized);
                 // Memory-first planning: the morsel executor's detail side
                 // keeps full-`B` state per worker, so when a budget is set
                 // and the parallel footprint would breach it, prefer the
@@ -651,19 +654,19 @@ mod tests {
     }
 
     #[test]
-    fn auto_vectorizes_kernel_covered_queries_only() {
+    fn auto_vectorizes_on_majority_batch_coverage() {
         use mdj_storage::ScanStats;
         use std::sync::Arc;
         let s = sales(300);
         let b = s.distinct_on(&["cust"]).unwrap();
         let theta = eq(col_b("cust"), col_r("cust"));
-        let run = |spec: &str| {
+        let run = |specs: &[&str]| {
             let stats = Arc::new(ScanStats::new());
-            MdJoin::new(&b, &s)
-                .theta(theta.clone())
-                .agg(spec)
-                .unwrap()
-                .threads(1)
+            let mut j = MdJoin::new(&b, &s).theta(theta.clone());
+            for spec in specs {
+                j = j.agg(spec).unwrap();
+            }
+            j.threads(1)
                 .run(
                     &ExecContext::new()
                         .with_morsel_size(64)
@@ -672,10 +675,25 @@ mod tests {
                 .unwrap();
             stats
         };
-        // Kernel-covered: Auto takes the batched path.
-        assert!(run("sum(sale)").batches() > 0);
-        // Holistic aggregate: no kernel, Auto stays scalar.
-        assert_eq!(run("median(sale)").batches(), 0);
+        // Fully kernel-covered: Auto takes the batched path.
+        let stats = run(&["sum(sale)"]);
+        assert!(stats.batches() > 0);
+        assert_eq!(stats.auto_decisions(), 1);
+        assert!(stats.auto_batched());
+        assert_eq!(stats.auto_coverage_permille(), 1000);
+        // Holistic aggregate alone: probe covered, aggregate not — exactly
+        // half, below the strict-majority cut, so Auto stays scalar.
+        let stats = run(&["median(sale)"]);
+        assert_eq!(stats.batches(), 0);
+        assert_eq!(stats.auto_decisions(), 1);
+        assert!(!stats.auto_batched());
+        assert_eq!(stats.auto_coverage_permille(), 500);
+        // One holistic among kernel aggregates: 2/3 covered — Auto batches
+        // now (the old all-or-nothing gate kept this scalar).
+        let stats = run(&["sum(sale)", "median(sale)"]);
+        assert!(stats.batches() > 0);
+        assert!(stats.auto_batched());
+        assert_eq!(stats.auto_coverage_permille(), 666);
     }
 
     #[test]

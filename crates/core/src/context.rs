@@ -232,6 +232,12 @@ impl ExecContext {
         }
     }
 
+    pub(crate) fn record_auto_decision(&self, coverage_permille: u64, batched: bool) {
+        if let Some(s) = &self.stats {
+            s.record_auto_decision(coverage_permille, batched);
+        }
+    }
+
     pub(crate) fn record_morsel_retry(&self) {
         if let Some(s) = &self.stats {
             s.record_morsel_retry();

@@ -10,7 +10,11 @@
 //!   index over `B`'s bound columns is built once, each detail tuple computes
 //!   its probe key, and only the matching bucket is examined. Residual
 //!   conjuncts (e.g. `R.sale > B.avg_sale` in Example 3.2's θ₂) are
-//!   re-checked per candidate.
+//!   re-checked per candidate. The index hashes with
+//!   [`mdj_storage::KeyBuildHasher`] — the *same* multiplicative hasher the
+//!   vectorized executor uses for its typed fast-int probe map, so both
+//!   probing layers agree on bucket assignment by construction (they used to
+//!   carry independent copies of the mixing function).
 //!
 //! Both variants apply Theorem 4.2 *inside* the operator: conjuncts of θ that
 //! reference only the detail side become a per-tuple **prefilter**, evaluated

@@ -9,8 +9,13 @@
 //!    [`ColumnarChunk`] (only the columns θ and `l` actually read);
 //! 2. the Theorem 4.2 prefilter evaluates over the whole batch into a
 //!    selection vector ([`mdj_expr::vectorized::eval_batch`]);
-//! 3. hash-probe keys are computed for the whole batch in one typed loop and
-//!    looked up through a specialized single-`i64`-key map ([`BatchProbe`]);
+//! 3. hash-probe keys are computed for the whole batch in one typed loop per
+//!    key column and looked up without row materialization ([`BatchProbe`]):
+//!    single `i64` keys through a specialized map, dictionary-coded string
+//!    keys by translating each distinct code to its index bucket once per
+//!    chunk, and multi-column keys by assembling canonical key tuples from
+//!    the typed columns; mixed hash residuals are bound per candidate base
+//!    row and evaluated batch-at-a-time when dense enough;
 //! 4. matched tuples are grouped per base row and aggregate updates applied
 //!    through typed [`KernelState`] kernels — one dispatch per (base row,
 //!    batch) run over native slices, not one per value.
@@ -26,11 +31,14 @@ use crate::context::ExecContext;
 use crate::error::Result;
 use crate::governor::{self, GrowthMeter, MemCharge};
 use crate::mdjoin::{bind_aggs, check_no_duplicates, metered_flags, BoundAgg};
-use crate::probe::ProbePlan;
+use crate::probe::{canon_key, ProbePlan};
 use mdj_agg::{AggSpec, AggState, KernelState};
-use mdj_expr::vectorized::{collect_detail_cols, eval_batch, BatchVals};
-use mdj_expr::Expr;
-use mdj_storage::{Column, ColumnarChunk, Relation, Row, Schema, Value};
+use mdj_expr::eval::BoundExpr;
+use mdj_expr::vectorized::{
+    batchable_shape, bind_base, collect_detail_cols, eval_batch, BatchVals,
+};
+use mdj_expr::{Expr, Side};
+use mdj_storage::{Column, ColumnarChunk, HashIndex, KeyBuildHasher, Relation, Row, Schema, Value};
 use std::collections::HashMap;
 
 /// Largest batch the executor will form. Batches index tuples with `u32`
@@ -38,38 +46,32 @@ use std::collections::HashMap;
 /// batching helps.
 const MAX_BATCH: usize = u32::MAX as usize;
 
-/// Multiplicative hasher (Fibonacci-style) for the single-`i64`-key probe
-/// map. The default SipHash costs more per lookup than the bucket scan it
-/// guards; key distribution here is adversary-free (the map is rebuilt per
-/// plan from B's own keys), so a fast non-cryptographic mix is safe.
-#[derive(Default)]
-struct IntHasher(u64);
-
-impl std::hash::Hasher for IntHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        for &byte in bytes {
-            self.0 = (self.0.rotate_left(5) ^ byte as u64).wrapping_mul(0x517c_c1b7_2722_0a95);
-        }
-    }
-    fn write_i64(&mut self, v: i64) {
-        self.0 = (self.0.rotate_left(5) ^ v as u64).wrapping_mul(0x517c_c1b7_2722_0a95);
-    }
-}
-
-type IntMap<V> = HashMap<i64, V, std::hash::BuildHasherDefault<IntHasher>>;
+/// Single-`i64`-key probe map. Uses the same [`KeyBuildHasher`] as the §4.5
+/// [`HashIndex`] it is derived from, so the two bucket structures can never
+/// drift apart (and SipHash's per-lookup cost is avoided on the hot path).
+type IntMap<V> = HashMap<i64, V, KeyBuildHasher>;
 
 /// Batched `Rel(t)` computation over a [`ProbePlan`], shared by the serial
 /// vectorized evaluator and the batched morsel executor.
 ///
-/// Vectorizes two layers when possible — the Theorem 4.2 prefilter (batch →
-/// selection vector) and single-column integer probe keys (batch → key array
-/// → lookups in an `i64`-keyed copy of the index) — and delegates any row it
-/// cannot cover to [`ProbePlan::matches`], whose probe accounting it matches
-/// exactly: prefiltered-out and NULL-key tuples record zero probes, hash
-/// probes record the bucket length, nested-loop probes record `|B|`.
+/// Vectorizes three layers when possible:
+///
+/// * the Theorem 4.2 prefilter (batch → selection vector);
+/// * hash-probe keys, computed per key column over the whole batch: single
+///   `i64` keys go through a specialized map, dictionary-coded string keys
+///   translate each distinct code to its index bucket once per chunk (no
+///   string materialization, one probe's worth of accounting per row), and
+///   multi-column keys assemble canonical `Vec<Value>` keys from the typed
+///   columns without touching row storage;
+/// * mixed hash residuals, bound per candidate base row ([`bind_base`]) and
+///   evaluated batch-at-a-time over the chunk when that base row has enough
+///   candidates to amortize the whole-chunk pass.
+///
+/// Batches whose key expressions have no vectorized form (and all nested-loop
+/// plans) delegate per row to [`ProbePlan::matches`]. Probe accounting is
+/// identical to the scalar path in every mode: prefiltered-out and NULL-key
+/// tuples record zero probes, hash probes record the bucket length,
+/// nested-loop probes record `|B|`.
 pub(crate) struct BatchProbe<'a> {
     plan: &'a ProbePlan,
     b: &'a Relation,
@@ -101,8 +103,10 @@ impl<'a> BatchProbe<'a> {
     }
 
     /// Mark the detail columns batches must materialize for this plan: the
-    /// prefilter's and the probe-key expressions'. (Nested-loop θ and hash
-    /// residuals evaluate scalar against the row form and need no columns.)
+    /// prefilter's, the probe-key expressions', and the hash residual's
+    /// (batch residual evaluation reads the residual's detail columns from
+    /// the chunk). Nested-loop θ evaluates scalar against the row form and
+    /// needs no columns.
     pub(crate) fn collect_needed(&self, needed: &mut [bool]) {
         match self.plan {
             ProbePlan::NestedLoop { prefilter, .. } => {
@@ -113,6 +117,7 @@ impl<'a> BatchProbe<'a> {
             ProbePlan::Hash {
                 key_exprs,
                 prefilter,
+                residual,
                 ..
             } => {
                 for e in key_exprs {
@@ -120,6 +125,9 @@ impl<'a> BatchProbe<'a> {
                 }
                 if let Some(p) = prefilter {
                     collect_detail_cols(p, needed);
+                }
+                if let Some(res) = residual {
+                    collect_detail_cols(res, needed);
                 }
             }
         }
@@ -160,58 +168,48 @@ impl<'a> BatchProbe<'a> {
         };
         let selected = |i: usize| sel.as_ref().is_none_or(|s| s[i]);
 
-        // Fast path: single integer key column, vectorized key batch.
-        if let (
-            Some(map),
-            ProbePlan::Hash {
-                key_exprs,
-                residual,
-                ..
-            },
-        ) = (&self.fast_int, self.plan)
+        // Batched probing: vectorize every key column of a hash plan. A key
+        // expression with no vectorized form sends the whole batch to the
+        // scalar delegate below; everything else probes without ever
+        // materializing a row-form key per tuple.
+        if let ProbePlan::Hash {
+            index,
+            key_exprs,
+            residual,
+            ..
+        } = self.plan
         {
-            let keys = eval_batch(&key_exprs[0], chunk);
-            let keyed: Option<(Vec<i64>, Vec<bool>)> = match keys {
-                Some(BatchVals::Ints { vals, nulls }) => Some((vals, nulls)),
-                Some(BatchVals::Const(Value::Int(k))) => Some((vec![k; n], vec![false; n])),
-                // Every key NULL: SQL equality never matches, zero probes.
-                Some(BatchVals::Const(Value::Null)) => Some((vec![0; n], vec![true; n])),
-                _ => None,
-            };
-            if let Some((vals, nulls)) = keyed {
+            let batches: Option<Vec<BatchVals>> =
+                key_exprs.iter().map(|e| eval_batch(e, chunk)).collect();
+            if let Some(batches) = batches {
+                let prober = self.build_prober(index, batches);
+                let mut cands: Vec<(u32, usize)> = Vec::new();
+                let mut scratch: Vec<Value> = Vec::new();
                 for i in 0..n {
                     if !selected(i) {
                         continue;
                     }
-                    let t = rows[start + i].values();
                     if sel.is_none() {
                         if let Some(p) = prefilter {
-                            if !p.eval_bool(&[], t)? {
+                            if !p.eval_bool(&[], rows[start + i].values())? {
                                 continue;
                             }
                         }
                     }
-                    if nulls[i] {
-                        continue; // NULL key: no probes, no matches
-                    }
-                    let bucket = map.get(&vals[i]).map(Vec::as_slice).unwrap_or(&[]);
+                    // NULL key component: SQL equality never matches — the
+                    // tuple records zero probes, exactly like the scalar path.
+                    let Some(bucket) = prober.bucket(i, &mut scratch) else {
+                        continue;
+                    };
                     ctx.record_probes(bucket.len() as u64);
-                    match residual {
-                        None => pairs.extend(bucket.iter().map(|&bi| (i as u32, bi))),
-                        Some(res) => {
-                            for &bi in bucket {
-                                if res.eval_bool(self.b.rows()[bi].values(), t)? {
-                                    pairs.push((i as u32, bi));
-                                }
-                            }
-                        }
-                    }
+                    cands.extend(bucket.iter().map(|&bi| (i as u32, bi)));
+                }
+                match residual {
+                    None => pairs.extend_from_slice(&cands),
+                    Some(res) => self.filter_residual(res, chunk, rows, &cands, pairs)?,
                 }
                 return Ok(fell_back);
             }
-            fell_back = true;
-        } else if self.plan.is_hash() {
-            // Multi-key or non-Int-keyed index: scalar key computation.
             fell_back = true;
         } else {
             // Nested loop: θ references the base side, inherently scalar.
@@ -238,6 +236,225 @@ impl<'a> BatchProbe<'a> {
             pairs.extend(matches.iter().map(|&bi| (i as u32, bi)));
         }
         Ok(fell_back)
+    }
+
+    /// Choose the per-row probe strategy for one batch of vectorized key
+    /// columns. Single `i64` keys use the specialized map; single
+    /// dictionary-coded string keys translate each distinct code to its index
+    /// bucket once for the whole chunk; constant keys resolve to one bucket
+    /// up front; everything else assembles canonical multi-column keys
+    /// per row from the typed columns.
+    fn build_prober<'s>(&'s self, index: &'s HashIndex, batches: Vec<BatchVals>) -> Prober<'s> {
+        if batches.len() == 1 {
+            let kb = batches.into_iter().next().expect("one key batch");
+            match (kb, &self.fast_int) {
+                (BatchVals::Ints { vals, nulls }, Some(map)) => {
+                    return Prober::Int { vals, nulls, map }
+                }
+                (BatchVals::Strs { codes, dict, nulls }, _) => {
+                    // Per-chunk code → bucket translation: one index probe
+                    // per distinct dictionary entry, then O(1) per row.
+                    let buckets = dict
+                        .iter()
+                        .map(|s| index.get(&[Value::Str(s.clone())]))
+                        .collect();
+                    return Prober::Str {
+                        codes,
+                        nulls,
+                        buckets,
+                    };
+                }
+                (BatchVals::Const(v), _) => {
+                    return match canon_key(v) {
+                        // Every key NULL: equality never matches, zero probes.
+                        Value::Null => Prober::Null,
+                        v => Prober::Const(index.get(std::slice::from_ref(&v))),
+                    };
+                }
+                (kb, _) => {
+                    return Prober::General {
+                        cols: vec![KeyCol::from_batch(kb)],
+                        index,
+                    }
+                }
+            }
+        }
+        Prober::General {
+            cols: batches.into_iter().map(KeyCol::from_batch).collect(),
+            index,
+        }
+    }
+
+    /// Apply the mixed residual `θres(b, t)` to pre-residual candidate pairs,
+    /// preserving tuple order. Base rows with enough candidates in this batch
+    /// get the residual bound to their row ([`bind_base`]) and evaluated once
+    /// over the whole chunk; sparse base rows — and bound forms with no
+    /// vectorized shape — take the scalar per-pair check. Results and work
+    /// accounting are identical either way (vectorizable residuals are total,
+    /// so no error path diverges), which is why this mode never reports a
+    /// batch fallback.
+    fn filter_residual(
+        &self,
+        res: &BoundExpr,
+        chunk: &ColumnarChunk,
+        rows: &[Row],
+        cands: &[(u32, usize)],
+        pairs: &mut Vec<(u32, usize)>,
+    ) -> Result<()> {
+        let n = chunk.len();
+        let start = chunk.start();
+        let mut counts: HashMap<usize, usize, KeyBuildHasher> = HashMap::default();
+        for &(_, bi) in cands {
+            *counts.entry(bi).or_insert(0) += 1;
+        }
+        // One whole-chunk pass evaluates the bound residual at all `n` rows
+        // but is consulted only at this base row's candidates, so it pays off
+        // only when candidates are dense: at least 4, covering ≥ 1/8 of the
+        // chunk (a vectorized op costs roughly an eighth of an interpreted
+        // one).
+        let mut verdicts: HashMap<usize, Vec<bool>, KeyBuildHasher> = HashMap::default();
+        for (&bi, &count) in &counts {
+            if count >= 4 && count * 8 >= n {
+                let bound = bind_base(res, self.b.rows()[bi].values());
+                if let Some(bv) = eval_batch(&bound, chunk) {
+                    verdicts.insert(bi, bv.to_selection(n));
+                }
+            }
+        }
+        for &(i, bi) in cands {
+            let keep = match verdicts.get(&bi) {
+                Some(v) => v[i as usize],
+                None => res.eval_bool(
+                    self.b.rows()[bi].values(),
+                    rows[start + i as usize].values(),
+                )?,
+            };
+            if keep {
+                pairs.push((i, bi));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-batch probe strategy chosen by [`BatchProbe::build_prober`]: how each
+/// selected row's key maps to an index bucket (`None` = a NULL key component,
+/// which never matches and records no probes).
+enum Prober<'p> {
+    /// Single `i64` key served by the specialized map.
+    Int {
+        vals: Vec<i64>,
+        nulls: Vec<bool>,
+        map: &'p IntMap<Vec<usize>>,
+    },
+    /// Single dictionary-coded string key: buckets pre-resolved per distinct
+    /// code, probed per row by table lookup.
+    Str {
+        codes: Vec<u32>,
+        nulls: Vec<bool>,
+        buckets: Vec<&'p [usize]>,
+    },
+    /// Constant non-null key: the same bucket for every row.
+    Const(&'p [usize]),
+    /// Constant NULL key: no row matches.
+    Null,
+    /// General path: assemble the canonical multi-column key per row.
+    General {
+        cols: Vec<KeyCol>,
+        index: &'p HashIndex,
+    },
+}
+
+impl<'p> Prober<'p> {
+    /// The index bucket for row `i`, or `None` when any key component is
+    /// NULL. `scratch` is the reusable key-assembly buffer for the general
+    /// path.
+    fn bucket(&self, i: usize, scratch: &mut Vec<Value>) -> Option<&'p [usize]> {
+        match self {
+            Prober::Int { vals, nulls, map } => {
+                if nulls[i] {
+                    return None;
+                }
+                Some(map.get(&vals[i]).map(Vec::as_slice).unwrap_or(&[]))
+            }
+            Prober::Str {
+                codes,
+                nulls,
+                buckets,
+            } => {
+                if nulls[i] {
+                    return None;
+                }
+                Some(buckets[codes[i] as usize])
+            }
+            Prober::Const(bucket) => Some(bucket),
+            Prober::Null => None,
+            Prober::General { cols, index } => {
+                scratch.clear();
+                for c in cols {
+                    scratch.push(c.value_at(i)?);
+                }
+                Some(index.get(scratch))
+            }
+        }
+    }
+}
+
+/// One key column in canonical form for the general multi-column prober.
+/// Values are produced only for selected rows, already canonicalized
+/// ([`canon_key`]) to match what the index was built from; string columns
+/// translate each distinct dictionary entry to a `Value` once per chunk (an
+/// `Arc` clone, not a string copy).
+enum KeyCol {
+    Ints {
+        vals: Vec<i64>,
+        nulls: Vec<bool>,
+    },
+    Floats {
+        vals: Vec<f64>,
+        nulls: Vec<bool>,
+    },
+    Strs {
+        codes: Vec<u32>,
+        dict_vals: Vec<Value>,
+        nulls: Vec<bool>,
+    },
+    /// Comparison keys are total over non-null inputs: no null slots needed.
+    Bools(Vec<bool>),
+    /// Canonicalized constant; `Null` poisons every row's key.
+    Const(Value),
+}
+
+impl KeyCol {
+    fn from_batch(bv: BatchVals) -> KeyCol {
+        match bv {
+            BatchVals::Ints { vals, nulls } => KeyCol::Ints { vals, nulls },
+            BatchVals::Floats { vals, nulls } => KeyCol::Floats { vals, nulls },
+            BatchVals::Strs { codes, dict, nulls } => KeyCol::Strs {
+                codes,
+                dict_vals: dict.iter().map(|s| Value::Str(s.clone())).collect(),
+                nulls,
+            },
+            BatchVals::Bools(b) => KeyCol::Bools(b),
+            BatchVals::Const(v) => KeyCol::Const(canon_key(v)),
+        }
+    }
+
+    /// The canonical key component for row `i`; `None` for NULL (the scalar
+    /// path skips such tuples before probing, and so do we).
+    fn value_at(&self, i: usize) -> Option<Value> {
+        match self {
+            KeyCol::Ints { vals, nulls } => (!nulls[i]).then(|| Value::Int(vals[i])),
+            KeyCol::Floats { vals, nulls } => (!nulls[i]).then(|| canon_key(Value::Float(vals[i]))),
+            KeyCol::Strs {
+                codes,
+                dict_vals,
+                nulls,
+            } => (!nulls[i]).then(|| dict_vals[codes[i] as usize].clone()),
+            KeyCol::Bools(b) => Some(Value::Bool(b[i])),
+            KeyCol::Const(Value::Null) => None,
+            KeyCol::Const(v) => Some(v.clone()),
+        }
     }
 }
 
@@ -428,28 +645,96 @@ fn apply_batch(
     Ok(())
 }
 
-/// True when every part of the query has a vectorized form: θ yields hash
-/// probe bindings over columns `B` actually has (so batched probing applies)
-/// and every aggregate of `l` is kernel-covered. Used by the `Auto` planner.
-pub(crate) fn vectorized_eligible(
+/// `Auto`'s batch-coverage cost model: how much of a query's per-tuple work
+/// the batch layer keeps on typed paths. Work units are the probe (1), the
+/// Theorem 4.2 prefilter (1, when θ has detail-only residual conjuncts), the
+/// mixed residual (1, when θ has base-referencing residual conjuncts), and one
+/// per aggregate. Each unit is covered when its expression shape vectorizes
+/// ([`batchable_shape`]) or its aggregate has a typed kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BatchCoverage {
+    /// Work units with a batched form.
+    pub covered: u32,
+    /// Total work units.
+    pub total: u32,
+    /// θ yields usable hash bindings under this context's probe strategy —
+    /// without hash probing the batch layer has nothing to vectorize the
+    /// match step with, so the vectorized evaluator is never chosen.
+    pub hash: bool,
+}
+
+impl BatchCoverage {
+    /// Covered fraction in per-mille; 0 when probing cannot hash at all.
+    pub fn permille(&self) -> u64 {
+        if !self.hash || self.total == 0 {
+            return 0;
+        }
+        (self.covered as u64 * 1000) / self.total as u64
+    }
+
+    /// Choose the batched evaluator when probing hashes and strictly more
+    /// than half the modeled work stays on typed paths — below that, the
+    /// per-batch chunk transposition and scalar delegation cost more than
+    /// the covered share wins back.
+    pub fn choose_vectorized(&self) -> bool {
+        self.hash && self.covered * 2 > self.total
+    }
+}
+
+/// Model the batch coverage of `MD(B, R, l, θ)` under `ctx` (see
+/// [`BatchCoverage`]). Replaces the old all-or-nothing eligibility gate: a
+/// query with one holistic aggregate among several kernel-covered ones — or a
+/// Div-bearing prefilter next to a vectorizable probe — now batches when the
+/// covered majority of its work still wins.
+pub(crate) fn batch_coverage(
     b: &Relation,
     theta: &Expr,
     aggs: &[AggSpec],
     ctx: &ExecContext,
-) -> bool {
-    if ctx.strategy == crate::context::ProbeStrategy::NestedLoop {
-        return false;
+) -> BatchCoverage {
+    let (bindings, residual) = mdj_expr::analysis::probe_bindings(theta);
+    let hash = ctx.strategy != crate::context::ProbeStrategy::NestedLoop
+        && !bindings.is_empty()
+        && bindings.iter().all(|bi| b.schema().contains(&bi.base_col));
+    let mut total = 1u32;
+    let mut covered = 0u32;
+    if hash && bindings.iter().all(|bi| batchable_shape(&bi.detail_expr)) {
+        covered += 1;
     }
-    let (bindings, _) = mdj_expr::analysis::probe_bindings(theta);
-    if bindings.is_empty() || !bindings.iter().all(|bi| b.schema().contains(&bi.base_col)) {
-        return false;
+    // Residual conjuncts split the same way ProbePlan::build splits them:
+    // detail-only ones become the Theorem 4.2 prefilter, base-referencing
+    // ones the per-candidate residual.
+    let (prefilter, mixed): (Vec<&Expr>, Vec<&Expr>) = residual
+        .iter()
+        .partition(|c| !c.uses_side(Side::Base) && c.uses_side(Side::Detail));
+    if !prefilter.is_empty() {
+        total += 1;
+        if prefilter.iter().all(|c| batchable_shape(c)) {
+            covered += 1;
+        }
     }
-    aggs.iter().all(|spec| {
-        ctx.registry
+    if !mixed.is_empty() {
+        total += 1;
+        if mixed.iter().all(|c| batchable_shape(c)) {
+            covered += 1;
+        }
+    }
+    for spec in aggs {
+        total += 1;
+        if ctx
+            .registry
             .get(&spec.function)
             .map(|agg| agg.kernel().is_some())
             .unwrap_or(false)
-    })
+        {
+            covered += 1;
+        }
+    }
+    BatchCoverage {
+        covered,
+        total,
+        hash,
+    }
 }
 
 #[cfg(test)]
@@ -644,39 +929,250 @@ mod tests {
     }
 
     #[test]
-    fn eligibility_rules() {
+    fn coverage_cost_model() {
         let s = sales(10);
         let b = s.distinct_on(&["cust"]).unwrap();
         let ctx = ExecContext::new();
         let kernel_aggs = [AggSpec::on_column("sum", "sale"), AggSpec::count_star()];
-        // Equality θ + kernel aggregates: eligible.
-        assert!(vectorized_eligible(
-            &b,
-            &eq(col_b("cust"), col_r("cust")),
-            &kernel_aggs,
-            &ctx
-        ));
-        // Non-equi θ yields no bindings.
-        assert!(!vectorized_eligible(
-            &b,
-            &lt(col_b("cust"), col_r("cust")),
-            &kernel_aggs,
-            &ctx
-        ));
-        // A holistic aggregate has no kernel.
-        assert!(!vectorized_eligible(
+        // Equality θ + kernel aggregates: fully covered.
+        let c = batch_coverage(&b, &eq(col_b("cust"), col_r("cust")), &kernel_aggs, &ctx);
+        assert_eq!((c.covered, c.total), (3, 3));
+        assert_eq!(c.permille(), 1000);
+        assert!(c.choose_vectorized());
+        // Non-equi θ yields no bindings: no hash probing, never vectorized.
+        let c = batch_coverage(&b, &lt(col_b("cust"), col_r("cust")), &kernel_aggs, &ctx);
+        assert!(!c.hash);
+        assert_eq!(c.permille(), 0);
+        assert!(!c.choose_vectorized());
+        // A single holistic aggregate: exactly half covered → scalar.
+        let c = batch_coverage(
             &b,
             &eq(col_b("cust"), col_r("cust")),
             &[AggSpec::on_column("median", "sale")],
-            &ctx
-        ));
-        // Forced nested loop disables batched probing.
-        let nl = ExecContext::new().with_strategy(ProbeStrategy::NestedLoop);
-        assert!(!vectorized_eligible(
+            &ctx,
+        );
+        assert_eq!((c.covered, c.total), (1, 2));
+        assert!(!c.choose_vectorized());
+        // One holistic among kernel aggregates: majority covered → batch.
+        let c = batch_coverage(
             &b,
             &eq(col_b("cust"), col_r("cust")),
-            &kernel_aggs,
-            &nl
-        ));
+            &[
+                AggSpec::on_column("sum", "sale"),
+                AggSpec::on_column("median", "sale"),
+            ],
+            &ctx,
+        );
+        assert_eq!((c.covered, c.total), (2, 3));
+        assert!(c.choose_vectorized());
+        // A Div prefilter uncovers its unit but the rest still carries it.
+        let theta = and(
+            eq(col_b("cust"), col_r("cust")),
+            gt(div(col_r("sale"), lit(2i64)), lit(0i64)),
+        );
+        let c = batch_coverage(&b, &theta, &kernel_aggs, &ctx);
+        assert_eq!((c.covered, c.total), (3, 4));
+        assert!(c.choose_vectorized());
+        // A Div probe-key expression uncovers the probe unit.
+        let theta = eq(col_b("cust"), div(col_r("cust"), lit(1i64)));
+        let c = batch_coverage(&b, &theta, &[AggSpec::count_star()], &ctx);
+        assert_eq!((c.covered, c.total), (1, 2));
+        assert!(!c.choose_vectorized());
+        // A mixed residual counts as its own covered unit.
+        let theta = and(
+            eq(col_b("cust"), col_r("cust")),
+            ge(col_r("sale"), col_b("cust")),
+        );
+        let c = batch_coverage(&b, &theta, &kernel_aggs, &ctx);
+        assert_eq!((c.covered, c.total), (4, 4));
+        assert!(c.choose_vectorized());
+        // Forced nested loop disables batched probing entirely.
+        let nl = ExecContext::new().with_strategy(ProbeStrategy::NestedLoop);
+        let c = batch_coverage(&b, &eq(col_b("cust"), col_r("cust")), &kernel_aggs, &nl);
+        assert!(!c.hash);
+        assert!(!c.choose_vectorized());
+    }
+
+    /// Satellite: the specialized single-`i64` map and the generic §4.5 index
+    /// share one hasher; assert their bucket assignments are identical for
+    /// every key (including adversarial shapes and absent keys).
+    #[test]
+    fn fast_int_map_matches_index_buckets_exactly() {
+        let keys = [
+            0i64,
+            1,
+            -1,
+            i64::MIN,
+            i64::MAX,
+            1 << 40,
+            2 << 40,
+            3 << 40,
+            -(1 << 40),
+            7,
+        ];
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("tag", DataType::Int)]);
+        // Two rows per key so buckets have more than one entry.
+        let rows: Vec<Row> = keys
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &k)| {
+                [
+                    Row::from_values(vec![Value::Int(k), Value::Int(i as i64)]),
+                    Row::from_values(vec![Value::Int(k), Value::Int(-(i as i64))]),
+                ]
+            })
+            .collect();
+        let b = Relation::from_rows(schema.clone(), rows);
+        let theta = eq(col_b("k"), col_r("k"));
+        let plan = ProbePlan::build(&b, &schema, &theta, ProbeStrategy::HashProbe).unwrap();
+        let probe = BatchProbe::new(&plan, &b);
+        let map = probe.fast_int.as_ref().expect("single-Int-key fast map");
+        let ProbePlan::Hash { index, .. } = probe.plan else {
+            panic!("expected hash plan");
+        };
+        assert_eq!(map.len(), index.distinct_keys());
+        for k in keys.iter().copied().chain([2, -2, 99, i64::MIN + 1]) {
+            let fast: &[usize] = map.get(&k).map(Vec::as_slice).unwrap_or(&[]);
+            assert_eq!(fast, index.get(&[Value::Int(k)]), "key {k}");
+        }
+    }
+
+    /// Tentpole: multi-column integer keys probe vectorized — row- and
+    /// counter-identical to serial with zero batch fallbacks.
+    #[test]
+    fn multi_column_keys_vectorize_without_fallback() {
+        let s = sales(400);
+        let b = s.distinct_on(&["cust", "month"]).unwrap();
+        let theta = and(
+            eq(col_b("cust"), col_r("cust")),
+            eq(col_b("month"), col_r("month")),
+        );
+        assert_vectorized_covered(&b, &s, &specs(), &theta);
+    }
+
+    /// Tentpole: dictionary-coded string keys probe by code translation —
+    /// row- and counter-identical to serial with zero batch fallbacks.
+    #[test]
+    fn string_keys_vectorize_without_fallback() {
+        let s = sales(400);
+        let b = s.distinct_on(&["state"]).unwrap();
+        let theta = eq(col_b("state"), col_r("state"));
+        assert_vectorized_covered(&b, &s, &specs(), &theta);
+    }
+
+    /// Tentpole: mixed int + string key tuples assemble from typed columns.
+    #[test]
+    fn mixed_int_string_keys_vectorize_without_fallback() {
+        let s = sales(400);
+        let b = s.distinct_on(&["cust", "state"]).unwrap();
+        let theta = and(
+            eq(col_b("cust"), col_r("cust")),
+            eq(col_b("state"), col_r("state")),
+        );
+        assert_vectorized_covered(&b, &s, &specs(), &theta);
+    }
+
+    /// Tentpole: a dense mixed residual takes the batch-evaluation path (7
+    /// base rows over 64-row chunks ⇒ every base row clears the density
+    /// cutoff) and stays identical to serial, still with zero fallbacks.
+    #[test]
+    fn batch_residual_matches_serial_without_fallback() {
+        let s = sales(400);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = and(
+            eq(col_b("cust"), col_r("cust")),
+            gt(col_r("sale"), col_b("cust")),
+        );
+        assert_vectorized_covered(&b, &s, &specs(), &theta);
+    }
+
+    fn assert_vectorized_covered(
+        b: &Relation,
+        s: &Relation,
+        l: &[AggSpec],
+        theta: &mdj_expr::Expr,
+    ) {
+        let serial_stats = Arc::new(ScanStats::new());
+        let sctx = ExecContext::new().with_stats(serial_stats.clone());
+        let serial = md_join_serial(b, s, l, theta, &sctx).unwrap();
+        let vec_stats = Arc::new(ScanStats::new());
+        let vctx = ExecContext::new()
+            .with_morsel_size(64)
+            .with_stats(vec_stats.clone());
+        let vector = md_join_vectorized(b, s, l, theta, &vctx).unwrap();
+        assert_eq!(serial.rows(), vector.rows(), "θ = {theta}");
+        assert_eq!(serial_stats.scans(), vec_stats.scans());
+        assert_eq!(serial_stats.tuples_scanned(), vec_stats.tuples_scanned());
+        assert_eq!(serial_stats.probes(), vec_stats.probes(), "θ = {theta}");
+        assert_eq!(serial_stats.updates(), vec_stats.updates(), "θ = {theta}");
+        assert!(vec_stats.batches() > 0);
+        assert_eq!(vec_stats.batch_fallbacks(), 0, "θ = {theta}");
+    }
+
+    /// Satellite: adversarial scoreboard stress — tiny batches so slots are
+    /// recycled every few tuples, duplicate base keys so buckets span rows,
+    /// and extreme key values that collide in a naive multiplicative hash.
+    /// Rows and every counter must match serial exactly.
+    #[test]
+    fn scoreboard_slot_recycling_under_adversarial_keys() {
+        let keys = [
+            0i64,
+            i64::MAX,
+            i64::MIN,
+            1 << 40,
+            2 << 40,
+            3 << 40,
+            -(1 << 40),
+            7,
+            -7,
+            42,
+        ];
+        let b_schema = Schema::from_pairs(&[("k", DataType::Int), ("tag", DataType::Int)]);
+        let b_rows: Vec<Row> = keys
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &k)| {
+                // Duplicate keys → every probe returns a two-row bucket, so
+                // distinct base rows always share a batch's scoreboard.
+                [
+                    Row::from_values(vec![Value::Int(k), Value::Int(i as i64)]),
+                    Row::from_values(vec![Value::Int(k), Value::Int(100 + i as i64)]),
+                ]
+            })
+            .collect();
+        let b = Relation::from_rows(b_schema, b_rows);
+        let r_schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Float)]);
+        // Rotate through the keys (plus misses) so consecutive tuples hit
+        // different base rows and every 3-row batch recycles all its slots.
+        let r_rows: Vec<Row> = (0..200)
+            .map(|i| {
+                let k = if i % 13 == 0 {
+                    Value::Int(999) // absent key: empty bucket
+                } else {
+                    Value::Int(keys[i % keys.len()])
+                };
+                Row::from_values(vec![k, Value::Float(i as f64 * 0.5)])
+            })
+            .collect();
+        let r = Relation::from_rows(r_schema, r_rows);
+        let theta = eq(col_b("k"), col_r("k"));
+        let l = [
+            AggSpec::on_column("sum", "v"),
+            AggSpec::on_column("min", "v"),
+            AggSpec::count_star(),
+        ];
+        let serial_stats = Arc::new(ScanStats::new());
+        let sctx = ExecContext::new().with_stats(serial_stats.clone());
+        let serial = md_join_serial(&b, &r, &l, &theta, &sctx).unwrap();
+        let vec_stats = Arc::new(ScanStats::new());
+        let vctx = ExecContext::new()
+            .with_morsel_size(3)
+            .with_stats(vec_stats.clone());
+        let vector = md_join_vectorized(&b, &r, &l, &theta, &vctx).unwrap();
+        assert_eq!(serial.rows(), vector.rows());
+        assert_eq!(serial_stats.probes(), vec_stats.probes());
+        assert_eq!(serial_stats.updates(), vec_stats.updates());
+        assert_eq!(vec_stats.batches(), 200u64.div_ceil(3));
+        assert_eq!(vec_stats.batch_fallbacks(), 0);
     }
 }

@@ -8,10 +8,11 @@
 //!
 //! * Detail column references over typed columns; literals.
 //! * Comparisons between numeric columns and numeric columns/literals,
-//!   reproducing `sql_cmp` exactly: `Int × Int` stays in `i64` (no precision
-//!   loss above 2⁵³), cross-type goes through `(a as f64).total_cmp(b)`, any
-//!   NULL operand yields `false`, and `Eq`/`Ne` against an incomparable
-//!   non-null literal yield `false`/`true`.
+//!   reproducing `sql_cmp` exactly: `Int × Int` stays in `i64`, cross-type
+//!   goes through the exact [`cmp_int_float`] (no `as f64` precision loss
+//!   above 2⁵³ — shared with the scalar interpreter so the two cannot
+//!   diverge), any NULL operand yields `false`, and `Eq`/`Ne` against an
+//!   incomparable non-null literal yield `false`/`true`.
 //! * String comparisons against a string literal via the dictionary: the
 //!   ordering of each distinct dictionary entry against the literal is
 //!   computed once, then applied per row.
@@ -28,10 +29,10 @@
 //! Theorem 4.2 prefilters (detail-only by construction) and hash-probe key
 //! expressions (detail-only by `split_equalities`).
 
-use crate::ast::BinOp;
+use crate::ast::{BinOp, Expr};
 use crate::eval::{arith, compare, BoundExpr};
 use mdj_storage::columnar::{Column, ColumnarChunk};
-use mdj_storage::Value;
+use mdj_storage::{cmp_int_float, Value};
 use std::cmp::Ordering;
 use std::sync::Arc;
 
@@ -99,6 +100,41 @@ pub fn uses_base(expr: &BoundExpr) -> bool {
         BoundExpr::RCol(_) | BoundExpr::Lit(_) => false,
         BoundExpr::Binary { lhs, rhs, .. } => uses_base(lhs) || uses_base(rhs),
         BoundExpr::Not(e) => uses_base(e),
+    }
+}
+
+/// Substitute one base row's values for every `BCol` reference, producing a
+/// detail-only expression. For a fixed base row `b`, a mixed residual
+/// `θres(b, t)` becomes a function of `t` alone, which [`eval_batch`] can then
+/// evaluate over a whole chunk in one pass instead of replaying every
+/// candidate pair through the interpreter. Scalar evaluation of the bound
+/// expression is identical to evaluating the original against `b` (a `BCol`
+/// lookup returns exactly the value we inline as a literal).
+pub fn bind_base(expr: &BoundExpr, b_row: &[Value]) -> BoundExpr {
+    match expr {
+        BoundExpr::BCol(i) => BoundExpr::Lit(b_row.get(*i).cloned().unwrap_or(Value::Null)),
+        BoundExpr::RCol(_) | BoundExpr::Lit(_) => expr.clone(),
+        BoundExpr::Binary { op, lhs, rhs } => BoundExpr::Binary {
+            op: *op,
+            lhs: Box::new(bind_base(lhs, b_row)),
+            rhs: Box::new(bind_base(rhs, b_row)),
+        },
+        BoundExpr::Not(e) => BoundExpr::Not(Box::new(bind_base(e, b_row))),
+    }
+}
+
+/// Plan-time upper bound on whether an expression *shape* can vectorize:
+/// true iff it contains no `Div`/`Mod`, the only operators with no batch form
+/// at any type. Column typing (mixed-type or boolean columns) can still force
+/// a per-batch scalar fallback at runtime; `Auto`'s coverage cost model uses
+/// this as the best estimate available before data is seen.
+pub fn batchable_shape(expr: &Expr) -> bool {
+    match expr {
+        Expr::Col(_) | Expr::Lit(_) => true,
+        Expr::Binary { op, lhs, rhs } => {
+            !matches!(op, BinOp::Div | BinOp::Mod) && batchable_shape(lhs) && batchable_shape(rhs)
+        }
+        Expr::Not(e) => batchable_shape(e),
     }
 }
 
@@ -234,7 +270,7 @@ fn compare_batch(op: BinOp, l: BatchVals, r: BatchVals, n: usize) -> Option<Batc
             Value::Float(f) => vals
                 .iter()
                 .zip(&nulls)
-                .map(|(v, &null)| !null && cmp_test(op, (*v as f64).total_cmp(f)))
+                .map(|(v, &null)| !null && cmp_test(op, cmp_int_float(*v, *f)))
                 .collect(),
             // NULL literal: always false. Incomparable non-null literal:
             // Ne is true for non-null rows, everything else false.
@@ -243,13 +279,11 @@ fn compare_batch(op: BinOp, l: BatchVals, r: BatchVals, n: usize) -> Option<Batc
             _ => vec![false; n],
         })),
         (Floats { vals, nulls }, Const(c)) => Some(Bools(match &c {
-            Value::Int(k) => {
-                let k = *k as f64;
-                vals.iter()
-                    .zip(&nulls)
-                    .map(|(v, &null)| !null && cmp_test(op, v.total_cmp(&k)))
-                    .collect()
-            }
+            Value::Int(k) => vals
+                .iter()
+                .zip(&nulls)
+                .map(|(v, &null)| !null && cmp_test(op, cmp_int_float(*k, *v).reverse()))
+                .collect(),
             Value::Float(f) => vals
                 .iter()
                 .zip(&nulls)
@@ -295,14 +329,16 @@ fn compare_batch(op: BinOp, l: BatchVals, r: BatchVals, n: usize) -> Option<Batc
             a.iter()
                 .zip(&b)
                 .zip(an.iter().zip(&bn))
-                .map(|((x, y), (&xn, &yn))| !xn && !yn && cmp_test(op, (*x as f64).total_cmp(y)))
+                .map(|((x, y), (&xn, &yn))| !xn && !yn && cmp_test(op, cmp_int_float(*x, *y)))
                 .collect(),
         )),
         (Floats { vals: a, nulls: an }, Ints { vals: b, nulls: bn }) => Some(Bools(
             a.iter()
                 .zip(&b)
                 .zip(an.iter().zip(&bn))
-                .map(|((x, y), (&xn, &yn))| !xn && !yn && cmp_test(op, x.total_cmp(&(*y as f64))))
+                .map(|((x, y), (&xn, &yn))| {
+                    !xn && !yn && cmp_test(op, cmp_int_float(*y, *x).reverse())
+                })
                 .collect(),
         )),
         // Str×Str (two detail columns), Bool batches, etc.: scalar fallback.
@@ -557,6 +593,87 @@ mod tests {
         for (i, row) in rows.iter().enumerate() {
             assert_eq!(sel[i], expr.eval_bool(&[], row.values()).unwrap());
         }
+    }
+
+    #[test]
+    fn cross_type_comparison_is_exact_above_2_53() {
+        // (2⁵³+1 as f64) rounds down to 2⁵³ and (i64::MAX as f64) rounds up
+        // to 2⁶³; the lossy cast made both spuriously Equal.
+        let p53 = 1i64 << 53;
+        let rows = vec![
+            Row::new(vec![Value::Int(p53 + 1), Value::Float(p53 as f64)]),
+            Row::new(vec![Value::Int(i64::MAX), Value::Float(i64::MAX as f64)]),
+        ];
+        let schema = Schema::from_pairs(&[("x", DataType::Int), ("y", DataType::Float)]);
+        let chunk = ColumnarChunk::from_rows(&rows, 0, 2, &[true, true]);
+        let check = |expr: &crate::ast::Expr, expect: [bool; 2]| {
+            let bound = expr.bind(None, Some(&schema)).unwrap();
+            let sel = eval_batch(&bound, &chunk)
+                .expect("vectorized form")
+                .to_selection(2);
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(
+                    sel[i],
+                    bound.eval_bool(&[], row.values()).unwrap(),
+                    "row {i} diverged from scalar for {expr:?}"
+                );
+                assert_eq!(sel[i], expect[i], "row {i} wrong for {expr:?}");
+            }
+        };
+        // Int column vs Float literal and Float column vs Int literal.
+        check(&eq(col_r("x"), lit(p53 as f64)), [false, false]);
+        check(&gt(col_r("x"), lit(p53 as f64)), [true, true]);
+        check(&eq(col_r("y"), lit(p53 + 1)), [false, false]);
+        check(&lt(col_r("y"), lit(p53 + 1)), [true, false]);
+        check(&gt(col_r("y"), lit(i64::MAX)), [false, true]);
+        // Int column vs Float column (both in the same chunk).
+        check(&eq(col_r("x"), col_r("y")), [false, false]);
+        check(&gt(col_r("x"), col_r("y")), [true, false]);
+        check(&lt(col_r("x"), col_r("y")), [false, true]);
+    }
+
+    #[test]
+    fn bind_base_inlines_base_row() {
+        let schema = r_schema();
+        let theta = and(
+            ge(col_r("sale"), col_b("cust")),
+            eq(col_r("state"), lit("NY")),
+        );
+        let bound = theta.bind(Some(&schema), Some(&schema)).unwrap();
+        let b_row = [
+            Value::Int(15),
+            Value::Int(1),
+            Value::Float(0.0),
+            Value::str("CA"),
+        ];
+        let inlined = bind_base(&bound, &b_row);
+        assert!(!uses_base(&inlined));
+        for row in sample_rows() {
+            assert_eq!(
+                inlined.eval_bool(&[], row.values()).unwrap(),
+                bound.eval_bool(&b_row, row.values()).unwrap()
+            );
+        }
+        // And the inlined form vectorizes where the original could not.
+        assert!(eval_batch(&bound, &chunk()).is_none());
+        assert!(eval_batch(&inlined, &chunk()).is_some());
+    }
+
+    #[test]
+    fn batchable_shape_rejects_div_mod_only() {
+        assert!(batchable_shape(&eq(col_b("cust"), col_r("cust"))));
+        assert!(batchable_shape(&not(gt(
+            add(col_r("sale"), lit(1i64)),
+            mul(col_r("cust"), lit(2i64))
+        ))));
+        assert!(!batchable_shape(&eq(
+            div(col_r("sale"), lit(2i64)),
+            lit(5i64)
+        )));
+        assert!(!batchable_shape(&and(
+            lit(true),
+            eq(modulo(col_r("cust"), lit(2i64)), lit(0i64))
+        )));
     }
 
     #[test]

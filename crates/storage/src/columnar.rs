@@ -14,6 +14,12 @@
 //! [`Column::Fallback`], telling the evaluator to use the scalar interpreter
 //! for expressions touching it. Only the columns a query actually reads are
 //! materialized; the rest stay [`Column::Absent`].
+//!
+//! A [`Column::Str`]'s dictionary codes double as probe keys: each chunk's
+//! dictionary is small, so the vectorized prober translates code → index
+//! bucket once per chunk (one hash lookup per *distinct* string) and then
+//! probes every row by its `u32` code without materializing or re-hashing a
+//! single string value.
 
 use crate::row::Row;
 use crate::value::Value;

@@ -9,22 +9,28 @@
 //!   4.1: range predicates pushed into the detail table scan only the matching
 //!   run of tuples (our stand-in for a clustered disk index).
 
+use crate::hash::KeyBuildHasher;
 use crate::relation::Relation;
 use crate::value::Value;
 use std::collections::HashMap;
 use std::ops::Bound;
 
 /// Equality (hash) index from key-column values to row positions.
+///
+/// Keys hash with the shared [`KeyBuildHasher`](crate::hash::KeyBuildHasher)
+/// so specialized probe structures derived from this index (the vectorized
+/// executor's single-column maps) use the identical hash function.
 #[derive(Debug, Clone)]
 pub struct HashIndex {
     key_cols: Vec<usize>,
-    map: HashMap<Vec<Value>, Vec<usize>>,
+    map: HashMap<Vec<Value>, Vec<usize>, KeyBuildHasher>,
 }
 
 impl HashIndex {
     /// Build over `relation` keyed on the columns at `key_cols` (positions).
     pub fn build(relation: &Relation, key_cols: &[usize]) -> Self {
-        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(relation.len());
+        let mut map: HashMap<Vec<Value>, Vec<usize>, KeyBuildHasher> =
+            HashMap::with_capacity_and_hasher(relation.len(), KeyBuildHasher::default());
         for (i, row) in relation.iter().enumerate() {
             map.entry(row.key(key_cols)).or_default().push(i);
         }
@@ -44,7 +50,7 @@ impl HashIndex {
     /// caller index *transformed* keys (e.g. canonicalized ones) without
     /// materializing a shadow copy of the whole relation.
     pub fn from_keys(key_cols: Vec<usize>, keys: impl IntoIterator<Item = Vec<Value>>) -> Self {
-        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        let mut map: HashMap<Vec<Value>, Vec<usize>, KeyBuildHasher> = HashMap::default();
         for (i, key) in keys.into_iter().enumerate() {
             map.entry(key).or_default().push(i);
         }

@@ -14,6 +14,7 @@ pub mod catalog;
 pub mod columnar;
 pub mod csv;
 pub mod error;
+pub mod hash;
 pub mod index;
 pub mod partition;
 pub mod relation;
@@ -25,9 +26,11 @@ pub mod value;
 pub use catalog::Catalog;
 pub use columnar::{Column, ColumnarChunk};
 pub use error::{Result, StorageError};
+pub use hash::{KeyBuildHasher, KeyHasher};
 pub use index::{HashIndex, SortedIndex};
 pub use relation::Relation;
 pub use row::Row;
 pub use schema::{DataType, Field, Schema};
 pub use stats::{ScanStats, StatsSnapshot, WorkerStats};
+pub use value::cmp_int_float;
 pub use value::Value;

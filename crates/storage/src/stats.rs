@@ -79,6 +79,13 @@ pub struct ScanStats {
     /// Batches (or batch sub-steps) that fell back to the scalar interpreter
     /// because the expression shape or column data had no typed kernel.
     batch_fallbacks: AtomicU64,
+    /// `Auto` batch-coverage decisions made (one per Auto-planned run).
+    auto_decisions: AtomicU64,
+    /// Modeled batch coverage of the most recent `Auto` decision, in per-mille
+    /// of per-tuple work units (latest value, not a sum).
+    auto_coverage_permille: AtomicU64,
+    /// Whether the most recent `Auto` decision chose the vectorized plan.
+    auto_batched: AtomicU64,
     /// Per-worker morsel accounting, appended once per worker per parallel
     /// run (guarded by a mutex: workers report once at exit, not per tuple).
     workers: Mutex<Vec<WorkerStats>>,
@@ -127,6 +134,17 @@ impl ScanStats {
 
     pub fn record_batch_fallback(&self) {
         self.batch_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one `Auto` plan decision: the modeled batch coverage (‰ of
+    /// per-tuple work units with a typed kernel) and whether the vectorized
+    /// evaluator was chosen. Coverage and choice keep the latest value so
+    /// explain output reflects the decision that produced the run.
+    pub fn record_auto_decision(&self, coverage_permille: u64, batched: bool) {
+        self.auto_decisions.fetch_add(1, Ordering::Relaxed);
+        self.auto_coverage_permille
+            .store(coverage_permille, Ordering::Relaxed);
+        self.auto_batched.store(batched as u64, Ordering::Relaxed);
     }
 
     /// Append one worker's morsel accounting (called once per worker at the
@@ -179,6 +197,18 @@ impl ScanStats {
         self.batch_fallbacks.load(Ordering::Relaxed)
     }
 
+    pub fn auto_decisions(&self) -> u64 {
+        self.auto_decisions.load(Ordering::Relaxed)
+    }
+
+    pub fn auto_coverage_permille(&self) -> u64 {
+        self.auto_coverage_permille.load(Ordering::Relaxed)
+    }
+
+    pub fn auto_batched(&self) -> bool {
+        self.auto_batched.load(Ordering::Relaxed) != 0
+    }
+
     /// Per-worker morsel accounting recorded so far.
     pub fn workers(&self) -> Vec<WorkerStats> {
         self.workers
@@ -199,6 +229,9 @@ impl ScanStats {
         self.degradations.store(0, Ordering::Relaxed);
         self.batches.store(0, Ordering::Relaxed);
         self.batch_fallbacks.store(0, Ordering::Relaxed);
+        self.auto_decisions.store(0, Ordering::Relaxed);
+        self.auto_coverage_permille.store(0, Ordering::Relaxed);
+        self.auto_batched.store(0, Ordering::Relaxed);
         self.workers
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -218,6 +251,9 @@ impl ScanStats {
             degradations: self.degradations(),
             batches: self.batches(),
             batch_fallbacks: self.batch_fallbacks(),
+            auto_decisions: self.auto_decisions(),
+            auto_coverage_permille: self.auto_coverage_permille(),
+            auto_batched: self.auto_batched(),
             workers: self.workers(),
         }
     }
@@ -243,6 +279,13 @@ pub struct StatsSnapshot {
     pub batches: u64,
     /// Batches that fell back to the scalar interpreter for some sub-step.
     pub batch_fallbacks: u64,
+    /// `Auto` batch-coverage decisions made (one per Auto-planned run).
+    pub auto_decisions: u64,
+    /// Modeled batch coverage (‰ of per-tuple work units) behind the most
+    /// recent `Auto` decision.
+    pub auto_coverage_permille: u64,
+    /// Whether the most recent `Auto` decision chose the vectorized plan.
+    pub auto_batched: bool,
     /// Per-worker morsel/steal/merge counters from parallel runs (empty for
     /// serial evaluation).
     pub workers: Vec<WorkerStats>,
@@ -270,6 +313,18 @@ impl std::fmt::Display for StatsSnapshot {
                 f,
                 "\n  vectorized: batches={} fallbacks={}",
                 self.batches, self.batch_fallbacks
+            )?;
+        }
+        if self.auto_decisions > 0 {
+            write!(
+                f,
+                "\n  auto: coverage={}‰ plan={}",
+                self.auto_coverage_permille,
+                if self.auto_batched {
+                    "vectorized"
+                } else {
+                    "scalar"
+                }
             )?;
         }
         if self.governor_active() {
@@ -343,6 +398,23 @@ mod tests {
         assert!(snap
             .to_string()
             .contains("vectorized: batches=2 fallbacks=1"));
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn auto_decision_keeps_latest_and_displays() {
+        let s = ScanStats::new();
+        assert!(!s.snapshot().to_string().contains("auto:"));
+        s.record_auto_decision(500, false);
+        s.record_auto_decision(857, true);
+        let snap = s.snapshot();
+        assert_eq!(snap.auto_decisions, 2);
+        assert_eq!(snap.auto_coverage_permille, 857);
+        assert!(snap.auto_batched);
+        assert!(snap
+            .to_string()
+            .contains("auto: coverage=857‰ plan=vectorized"));
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }

@@ -14,6 +14,48 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
+/// Exact numeric comparison of an `i64` against an `f64`.
+///
+/// The obvious `(a as f64).total_cmp(&b)` is lossy above 2⁵³ where the cast
+/// rounds: `(i64::MAX as f64)` equals 2⁶³, so `i64::MAX` would spuriously
+/// compare `Equal` to a float that is strictly greater than it. Predicates
+/// must be exact — the scalar interpreter and the batch kernels both route
+/// through this function so they cannot diverge on extreme magnitudes.
+///
+/// Semantics:
+/// * NaN: falls back to `total_cmp` through the cast. A NaN never compares
+///   `Equal` to an integer either way; this just preserves `total_cmp`'s
+///   sign-based placement of NaN so `<`/`>` predicates keep their behavior.
+/// * Finite `b` outside `i64`'s range compares by sign of the overflow.
+/// * Otherwise the integral part of `b` (exactly representable as `i64`)
+///   compares in integer arithmetic; an integral tie is broken by the sign of
+///   `b`'s fractional remainder. Note `-0.0` compares `Equal` to `0` — this
+///   is a *numeric* comparison, unlike `total_cmp`'s bit-level total order.
+pub fn cmp_int_float(a: i64, b: f64) -> Ordering {
+    if b.is_nan() {
+        return (a as f64).total_cmp(&b);
+    }
+    // 2⁶³ is exactly representable; any finite float ≥ 2⁶³ or < -2⁶³ lies
+    // outside i64's range (-2⁶³ itself is i64::MIN). Floats at these
+    // magnitudes are spaced ≥ 1024 apart, so everything in between truncates
+    // to an in-range integer.
+    const TWO_63: f64 = 9_223_372_036_854_775_808.0;
+    if b >= TWO_63 {
+        return Ordering::Less;
+    }
+    if b < -TWO_63 {
+        return Ordering::Greater;
+    }
+    let bt = b.trunc();
+    match a.cmp(&(bt as i64)) {
+        Ordering::Equal if b == bt => Ordering::Equal,
+        // `a` equals `b`'s integral part: the fractional remainder decides.
+        Ordering::Equal if b > bt => Ordering::Less,
+        Ordering::Equal => Ordering::Greater,
+        other => other,
+    }
+}
+
 /// A dynamically typed value stored in a [`crate::Relation`].
 ///
 /// Floats are wrapped so that `Value` can implement `Eq`/`Hash`/`Ord` (required
@@ -95,8 +137,8 @@ impl Value {
             (Value::Null, _) | (_, Value::Null) => None,
             (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
             (Value::Float(a), Value::Float(b)) => Some(a.total_cmp(b)),
-            (Value::Int(a), Value::Float(b)) => Some((*a as f64).total_cmp(b)),
-            (Value::Float(a), Value::Int(b)) => Some(a.total_cmp(&(*b as f64))),
+            (Value::Int(a), Value::Float(b)) => Some(cmp_int_float(*a, *b)),
+            (Value::Float(a), Value::Int(b)) => Some(cmp_int_float(*b, *a).reverse()),
             (Value::Str(a), Value::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
             (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
             (Value::All, Value::All) => Some(Ordering::Equal),
@@ -266,6 +308,37 @@ mod tests {
             Value::Float(2.0).sql_cmp(&Value::Int(3)),
             Some(Ordering::Less)
         );
+    }
+
+    #[test]
+    fn cross_type_comparison_is_exact_above_2_53() {
+        // (2⁵³+1 as f64) rounds to 2⁵³, so the lossy cast called these Equal.
+        let p53 = 1i64 << 53;
+        assert_eq!(cmp_int_float(p53 + 1, p53 as f64), Ordering::Greater);
+        assert_eq!(cmp_int_float(-(p53 + 1), -(p53 as f64)), Ordering::Less);
+        // (i64::MAX as f64) == 2⁶³ > i64::MAX: the cast called these Equal too.
+        assert_eq!(cmp_int_float(i64::MAX, i64::MAX as f64), Ordering::Less);
+        assert_eq!(cmp_int_float(i64::MIN, i64::MIN as f64), Ordering::Equal);
+        assert!(!Value::Int(i64::MAX).sql_eq(&Value::Float(i64::MAX as f64)));
+        assert_eq!(
+            Value::Float(i64::MAX as f64).sql_cmp(&Value::Int(i64::MAX)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn cmp_int_float_edge_cases() {
+        assert_eq!(cmp_int_float(0, -0.0), Ordering::Equal);
+        assert_eq!(cmp_int_float(0, -0.5), Ordering::Greater);
+        assert_eq!(cmp_int_float(-1, -0.5), Ordering::Less);
+        assert_eq!(cmp_int_float(3, 3.5), Ordering::Less);
+        assert_eq!(cmp_int_float(-3, -3.5), Ordering::Greater);
+        assert_eq!(cmp_int_float(5, f64::INFINITY), Ordering::Less);
+        assert_eq!(cmp_int_float(5, f64::NEG_INFINITY), Ordering::Greater);
+        // NaN keeps total_cmp's placement (never Equal).
+        assert_eq!(cmp_int_float(5, f64::NAN), Ordering::Less);
+        assert_eq!(cmp_int_float(5, -f64::NAN), Ordering::Greater);
+        assert!(!Value::Int(5).sql_eq(&Value::Float(f64::NAN)));
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Property tests for cross-type `i64` ↔ `f64` comparisons at the extremes
+//! of both types. Before the shared [`mdj_storage::cmp_int_float`], scalar
+//! `sql_cmp` promoted the integer side with `as f64`, which collapses every
+//! integer above 2⁵³ onto its nearest representable double — so `2⁵³ + 1`
+//! compared *equal* to `2⁵³ as f64`, and the batch kernels (which made the
+//! same cast independently) could disagree with the interpreter on the rows
+//! the cast happened to round differently. These tests pin the exact
+//! semantics and verify the vectorized evaluator agrees with the scalar
+//! interpreter bit-for-bit across magnitudes, signs, fractional offsets,
+//! NaN, and infinities, in both operand orders.
+
+use mdj_expr::builder::*;
+use mdj_expr::vectorized::eval_batch;
+use mdj_expr::Expr;
+use mdj_storage::columnar::ColumnarChunk;
+use mdj_storage::{cmp_int_float, DataType, Relation, Row, Schema, Value};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::cmp::Ordering;
+
+/// Integers concentrated where `as f64` loses precision (|v| ≥ 2⁵³), plus
+/// the full range for contrast.
+fn extreme_int() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        (1i64 << 53)..=i64::MAX,
+        i64::MIN..=-(1i64 << 53),
+        any::<i64>(),
+    ]
+}
+
+/// Doubles derived from an extreme integer (its own rounded image and
+/// half/whole offsets around it — exactly the values a lossy cast confuses)
+/// plus hostile constants: beyond-2⁶³ magnitudes, NaN, and infinities.
+fn extreme_float() -> impl Strategy<Value = f64> {
+    (extreme_int(), 0u8..9).prop_map(|(base, shape)| match shape {
+        0 => base as f64,
+        1 => base as f64 + 0.5,
+        2 => base as f64 - 0.5,
+        3 => base as f64 + 1.0,
+        4 => base as f64 - 1.0,
+        5 => 1.5e19,  // > 2⁶³: every i64 is smaller
+        6 => -1.5e19, // < -2⁶³: every i64 is larger
+        7 => f64::NAN,
+        _ => {
+            if base >= 0 {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            }
+        }
+    })
+}
+
+/// A comparison builder from `mdj_expr::builder` (`eq`, `lt`, …).
+type CmpBuilder = fn(Expr, Expr) -> Expr;
+
+/// The six comparison operators as builder functions.
+fn comparisons() -> [(&'static str, CmpBuilder); 6] {
+    [
+        ("=", eq),
+        ("<>", ne),
+        ("<", lt),
+        ("<=", le),
+        (">", gt),
+        (">=", ge),
+    ]
+}
+
+/// Detail relation `(i Int, f Float)` from the generated pairs.
+fn relation(pairs: &[(i64, f64)]) -> Relation {
+    let schema = Schema::from_pairs(&[("i", DataType::Int), ("f", DataType::Float)]);
+    Relation::from_rows(
+        schema,
+        pairs
+            .iter()
+            .map(|&(i, f)| Row::new(vec![Value::Int(i), Value::Float(f)]))
+            .collect(),
+    )
+}
+
+/// Evaluate `theta` over `r` per-row through the scalar interpreter and
+/// batch-at-a-time through `eval_batch`; both must produce the identical
+/// selection vector, and the batch path must not fall back.
+fn assert_batch_matches_scalar(
+    r: &Relation,
+    theta: &Expr,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    let bound = theta.bind(None, Some(r.schema())).unwrap();
+    let scalar: Vec<bool> = r
+        .rows()
+        .iter()
+        .map(|row| bound.eval_bool(&[], row.values()).unwrap())
+        .collect();
+    let needed = vec![true; r.schema().len()];
+    let chunk = ColumnarChunk::from_rows(r.rows(), 0, r.len(), &needed);
+    let batch = eval_batch(&bound, &chunk);
+    prop_assert!(batch.is_some(), "{label}: comparison failed to vectorize");
+    let vectorized = batch.unwrap().to_selection(r.len());
+    prop_assert_eq!(scalar, vectorized, "{}", label);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Int` column vs `Float` literal, `Float` column vs `Int` literal, and
+    /// `Int` column vs `Float` column: for every comparison operator, the
+    /// vectorized selection equals the scalar interpreter's row-for-row.
+    #[test]
+    fn batch_and_scalar_agree_on_extreme_cross_type_comparisons(
+        pairs in proptest::collection::vec((extreme_int(), extreme_float()), 1..48),
+        rhs_int in extreme_int(),
+        rhs_float in extreme_float(),
+    ) {
+        let r = relation(&pairs);
+        for (name, cmp) in comparisons() {
+            assert_batch_matches_scalar(
+                &r,
+                &cmp(col_r("i"), lit(rhs_float)),
+                &format!("i {name} {rhs_float:?}"),
+            )?;
+            assert_batch_matches_scalar(
+                &r,
+                &cmp(col_r("f"), lit(rhs_int)),
+                &format!("f {name} {rhs_int}"),
+            )?;
+            assert_batch_matches_scalar(
+                &r,
+                &cmp(col_r("i"), col_r("f")),
+                &format!("i {name} f"),
+            )?;
+            assert_batch_matches_scalar(
+                &r,
+                &cmp(col_r("f"), col_r("i")),
+                &format!("f {name} i"),
+            )?;
+        }
+    }
+
+    /// The shared comparison is an order embedding wherever the float is a
+    /// whole number that also fits in `i64`: it must agree with pure integer
+    /// comparison, which `as f64` promotion provably violates above 2⁵³.
+    /// (`(b as f64) as i64` snaps `b` to an exactly representable integer.)
+    #[test]
+    fn exact_comparison_agrees_with_integer_order_on_whole_floats(
+        a in extreme_int(),
+        b in ((-(1i64 << 62))..(1i64 << 62)).prop_map(|b| (b as f64) as i64),
+    ) {
+        prop_assert_eq!(cmp_int_float(a, b as f64), a.cmp(&b));
+    }
+}
+
+/// Deterministic pins for the exact boundary cases the lossy cast got wrong.
+#[test]
+fn known_boundary_cases() {
+    const P53: i64 = 1 << 53;
+    // 2⁵³ + 1 rounds to 2⁵³ under `as f64`; the exact comparison keeps them
+    // apart.
+    assert_eq!(cmp_int_float(P53 + 1, P53 as f64), Ordering::Greater);
+    assert_eq!(cmp_int_float(P53, P53 as f64), Ordering::Equal);
+    assert_eq!(cmp_int_float(-(P53 + 1), -(P53 as f64)), Ordering::Less);
+    // i64::MAX is not representable; its cast image is 2⁶³ exactly.
+    assert_eq!(cmp_int_float(i64::MAX, i64::MAX as f64), Ordering::Less);
+    assert_eq!(cmp_int_float(i64::MIN, i64::MIN as f64), Ordering::Equal);
+    // Beyond-range floats order every integer.
+    assert_eq!(cmp_int_float(i64::MAX, 1.5e19), Ordering::Less);
+    assert_eq!(cmp_int_float(i64::MIN, -1.5e19), Ordering::Greater);
+    assert_eq!(cmp_int_float(0, f64::INFINITY), Ordering::Less);
+    assert_eq!(cmp_int_float(0, f64::NEG_INFINITY), Ordering::Greater);
+    // Fractions break ties away from the integer (2⁵¹ + 2.5 is exactly
+    // representable: double spacing at that magnitude is 0.25).
+    const P51: i64 = 1 << 51;
+    assert_eq!(cmp_int_float(P51 + 2, P51 as f64 + 2.5), Ordering::Less);
+    assert_eq!(cmp_int_float(P51 + 3, P51 as f64 + 2.5), Ordering::Greater);
+    assert_eq!(cmp_int_float(-3, -3.5), Ordering::Greater);
+    // Signed zero is numerically zero.
+    assert_eq!(cmp_int_float(0, -0.0), Ordering::Equal);
+}

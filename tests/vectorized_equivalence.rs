@@ -48,27 +48,41 @@ fn detail_strategy() -> impl Strategy<Value = Relation> {
 }
 
 /// Base rows over a *wider* key domain than the detail side, so some base
-/// rows always have an empty `Rel(t)`.
+/// rows always have an empty `Rel(t)`. The string column draws from a
+/// superset of the detail side's state codes for the same reason.
 fn base_strategy() -> impl Strategy<Value = Relation> {
-    proptest::collection::btree_set((0i64..8, 0i64..6), 0..12).prop_map(|keys| {
-        let schema = Schema::from_pairs(&[("k", DataType::Int), ("m", DataType::Int)]);
+    proptest::collection::btree_set((0i64..8, 0i64..6, 0u8..4), 0..12).prop_map(|keys| {
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("m", DataType::Int),
+            ("s", DataType::Str),
+        ]);
         Relation::from_rows(
             schema,
             keys.into_iter()
-                .map(|(k, m)| Row::from_values([k, m]))
+                .map(|(k, m, s)| {
+                    Row::new(vec![
+                        Value::Int(k),
+                        Value::Int(m),
+                        Value::str(["NY", "NJ", "CA", "TX"][s as usize]),
+                    ])
+                })
                 .collect(),
         )
     })
 }
 
 /// θ shapes spanning every batch-execution regime: the single-Int-key fast
-/// path, multi-key scalar probing, computed keys over a NULL-able column,
-/// vectorized string/int prefilters, mixed residuals that reference both
-/// sides, and non-equi conditions with no hash form at all.
+/// path, dictionary-coded string keys, multi-key probing (all-int and
+/// int+string), computed keys over a NULL-able column, vectorized string/int
+/// prefilters, mixed residuals that reference both sides, and non-equi
+/// conditions with no hash form at all.
 fn theta_strategy() -> impl Strategy<Value = Expr> {
     prop_oneof![
         Just(eq(col_b("k"), col_r("k"))),
+        Just(eq(col_b("s"), col_r("s"))),
         Just(and(eq(col_b("k"), col_r("k")), eq(col_b("m"), col_r("m")))),
+        Just(and(eq(col_b("k"), col_r("k")), eq(col_b("s"), col_r("s")))),
         Just(eq(col_b("k"), add(col_r("m"), col_r("v")))),
         Just(and(eq(col_b("k"), col_r("k")), eq(col_r("s"), lit("NY")))),
         Just(and(eq(col_b("k"), col_r("k")), gt(col_r("v"), lit(0i64)))),
