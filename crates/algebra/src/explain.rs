@@ -47,6 +47,13 @@ pub fn explain_with_stats(plan: &Plan, stats: &StatsSnapshot) -> String {
             stats.cancel_polls, stats.morsel_retries, stats.bytes_charged, stats.degradations
         );
     }
+    if stats.spill_active() {
+        let _ = writeln!(
+            out,
+            "-- spill: partitions={} bytes_spilled={} read_bytes={}",
+            stats.spill_partitions, stats.bytes_spilled, stats.spill_read_bytes
+        );
+    }
     for w in &stats.workers {
         let _ = writeln!(out, "--   {w}");
     }
@@ -200,6 +207,9 @@ mod tests {
             degradations: 0,
             batches: 0,
             batch_fallbacks: 0,
+            bytes_spilled: 0,
+            spill_partitions: 0,
+            spill_read_bytes: 0,
             auto_decisions: 0,
             auto_coverage_permille: 0,
             auto_batched: false,
@@ -265,5 +275,16 @@ mod tests {
         assert!(
             s.contains("-- governor: cancel_polls=12 retries=0 bytes_charged=4096 degradations=2")
         );
+        // Spill counters are silent until a run actually spilled...
+        assert!(!s.contains("spill:"));
+        // ...and rendered once one did.
+        let spilled = StatsSnapshot {
+            bytes_spilled: 8192,
+            spill_partitions: 4,
+            spill_read_bytes: 8192,
+            ..governed
+        };
+        let s = explain_with_stats(&plan, &spilled);
+        assert!(s.contains("-- spill: partitions=4 bytes_spilled=8192 read_bytes=8192"));
     }
 }

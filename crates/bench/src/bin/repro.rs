@@ -17,9 +17,13 @@
 //! With `--json <path>` the run also emits a machine-readable baseline: one
 //! entry per experiment with its wall time, plus per-variant entries carrying
 //! the machine-independent work counters (scans / tuples / probes / updates /
-//! batches) for the vectorized-vs-scalar ablation (E11). The first committed
-//! baseline lives at `BENCH_0.json`; CI's perf-smoke job uploads a fresh one
-//! per run so counter regressions show up as a diff, not a flaky threshold.
+//! batches, and the spill counters) for the vectorized-vs-scalar ablation
+//! (E11) and the degradation ablation (E12). Baselines are sparse: `--check`
+//! compares each entry pair over the counters both sides carry, so baselines
+//! committed before a counter existed (`BENCH_0.json`, `BENCH_1.json`) keep
+//! gating theirs while `BENCH_2.json` also gates the spill counters. CI's
+//! perf-smoke job uploads a fresh baseline per run so counter regressions
+//! show up as a diff, not a flaky threshold.
 
 use mdj_agg::{AggSpec, Registry};
 use mdj_algebra::rules::{coalesce::detail_scan_count, coalesce_chains};
@@ -98,6 +102,9 @@ struct JsonCounters {
     updates: u64,
     batches: u64,
     batch_fallbacks: u64,
+    bytes_spilled: u64,
+    spill_partitions: u64,
+    spill_read_bytes: u64,
 }
 
 static JSON_ENTRIES: std::sync::Mutex<Vec<JsonEntry>> = std::sync::Mutex::new(Vec::new());
@@ -121,6 +128,9 @@ fn record_counters(name: impl Into<String>, wall: Duration, stats: &ScanStats) {
             updates: stats.updates(),
             batches: stats.batches(),
             batch_fallbacks: stats.batch_fallbacks(),
+            bytes_spilled: stats.bytes_spilled(),
+            spill_partitions: stats.spill_partitions(),
+            spill_read_bytes: stats.spill_read_bytes(),
         }),
     });
 }
@@ -161,8 +171,17 @@ fn write_json(path: &str, quick: bool) -> std::io::Result<()> {
         if let Some(c) = &e.counters {
             s.push_str(&format!(
                 ", \"scans\": {}, \"tuples\": {}, \"probes\": {}, \"updates\": {}, \
-                 \"batches\": {}, \"batch_fallbacks\": {}",
-                c.scans, c.tuples, c.probes, c.updates, c.batches, c.batch_fallbacks
+                 \"batches\": {}, \"batch_fallbacks\": {}, \"bytes_spilled\": {}, \
+                 \"spill_partitions\": {}, \"spill_read_bytes\": {}",
+                c.scans,
+                c.tuples,
+                c.probes,
+                c.updates,
+                c.batches,
+                c.batch_fallbacks,
+                c.bytes_spilled,
+                c.spill_partitions,
+                c.spill_read_bytes
             ));
         }
         s.push_str(if i + 1 == entries.len() {
@@ -175,23 +194,41 @@ fn write_json(path: &str, quick: bool) -> std::io::Result<()> {
     std::fs::write(path, s)
 }
 
-/// The machine-independent work counters carried by a baseline entry, in the
-/// order they appear in the JSON. Wall time is deliberately not here: it is
-/// machine-dependent and never gates CI.
-const CHECK_COUNTERS: [&str; 6] = [
+/// The machine-independent work counters a baseline entry *may* carry, in
+/// the order they appear in the JSON. Wall time is deliberately not here: it
+/// is machine-dependent and never gates CI. Entries are sparse — a baseline
+/// written before a counter existed simply omits it, and `--check` compares
+/// over the per-entry key intersection, so growing this list never
+/// invalidates committed baselines.
+const CHECK_COUNTERS: [&str; 9] = [
     "scans",
     "tuples",
     "probes",
     "updates",
     "batches",
     "batch_fallbacks",
+    "bytes_spilled",
+    "spill_partitions",
+    "spill_read_bytes",
 ];
 
-/// One parsed baseline entry (`--check` mode). Only entries that carry the
-/// full counter set participate in the regression diff.
+/// One parsed baseline entry (`--check` mode): the counters it carries, as
+/// `(index into CHECK_COUNTERS, value)` pairs. Wall-time-only entries (no
+/// counters at all) are skipped by the parser and never gate.
 struct CheckEntry {
     name: String,
-    counters: [u64; 6],
+    counters: Vec<(usize, u64)>,
+}
+
+#[cfg(test)]
+impl CheckEntry {
+    /// Test helper: an entry carrying the full counter set.
+    fn dense(name: &str, values: [u64; 9]) -> Self {
+        CheckEntry {
+            name: name.into(),
+            counters: values.into_iter().enumerate().collect(),
+        }
+    }
 }
 
 /// Decode the string literal starting right after an opening `"`, honoring
@@ -233,7 +270,8 @@ fn parse_json_int(line: &str, key: &str) -> Option<u64> {
 }
 
 /// Line-based parse of the writer's own `--json` output: one entry per line,
-/// entries without the counter set (wall-time-only) are skipped.
+/// carrying whichever of [`CHECK_COUNTERS`] the line has. Entries with no
+/// counters at all (wall-time-only) are skipped.
 fn parse_baseline(text: &str) -> Vec<CheckEntry> {
     let mut out = Vec::new();
     for line in text.lines() {
@@ -241,39 +279,38 @@ fn parse_baseline(text: &str) -> Vec<CheckEntry> {
             continue;
         };
         let name = parse_json_string(&line[at + "\"name\": \"".len()..]);
-        let mut counters = [0u64; 6];
-        let mut complete = true;
-        for (slot, key) in counters.iter_mut().zip(CHECK_COUNTERS) {
-            match parse_json_int(line, key) {
-                Some(v) => *slot = v,
-                None => {
-                    complete = false;
-                    break;
-                }
-            }
-        }
-        if complete {
+        let counters: Vec<(usize, u64)> = CHECK_COUNTERS
+            .iter()
+            .enumerate()
+            .filter_map(|(i, key)| parse_json_int(line, key).map(|v| (i, v)))
+            .collect();
+        if !counters.is_empty() {
             out.push(CheckEntry { name, counters });
         }
     }
     out
 }
 
-/// Diff two parsed baselines over their common entry names. Any counter that
-/// *grew* is a regression: the counters are exact and deterministic, so more
-/// probes/updates/fallbacks means the engine is doing more work (or falling
-/// back to scalar) on a shape it used to cover.
+/// Diff two parsed baselines over their common entry names, comparing each
+/// pair over the *intersection* of the counters both sides carry — so a
+/// baseline committed before a counter existed keeps gating the counters it
+/// has. Any counter that *grew* is a regression: the counters are exact and
+/// deterministic, so more probes/updates/spilled-bytes means the engine is
+/// doing more work (or falling back) on a shape it used to cover.
 fn compare_entries(new: &[CheckEntry], baseline: &[CheckEntry]) -> Vec<String> {
     let mut regressions = Vec::new();
     for base in baseline {
         let Some(cur) = new.iter().find(|e| e.name == base.name) else {
             continue;
         };
-        for (i, key) in CHECK_COUNTERS.iter().enumerate() {
-            if cur.counters[i] > base.counters[i] {
+        for &(i, base_v) in &base.counters {
+            let Some(&(_, cur_v)) = cur.counters.iter().find(|(j, _)| *j == i) else {
+                continue;
+            };
+            if cur_v > base_v {
                 regressions.push(format!(
                     "{}: {} regressed {} -> {}",
-                    base.name, key, base.counters[i], cur.counters[i]
+                    base.name, CHECK_COUNTERS[i], base_v, cur_v
                 ));
             }
         }
@@ -374,7 +411,7 @@ fn main() {
     println!("# MD-join reproduction — experiment tables");
     println!("\n(quick = {quick}; sizes scale with the flag — shapes are invariant)");
     type Experiment = (&'static str, fn(usize));
-    let experiments: [Experiment; 11] = [
+    let experiments: [Experiment; 12] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -386,6 +423,7 @@ fn main() {
         ("e9", e9),
         ("e10", e10),
         ("e11", e11),
+        ("e12", e12),
     ];
     for (name, f) in experiments {
         if only.as_deref().is_some_and(|o| o != name) {
@@ -1214,6 +1252,91 @@ fn e11(scale: usize) {
     }
 }
 
+fn e12(scale: usize) {
+    use mdj_core::governor::{index_bytes, index_key_bytes, state_bytes};
+    use mdj_core::SpillPolicy;
+    let r = bench_sales(40_000 * scale, 1_000);
+    let b = r.distinct_on(&["cust", "month"]).unwrap();
+    let l = [AggSpec::on_column("sum", "sale"), AggSpec::count_star()];
+    let theta = and(
+        eq(col_b("cust"), col_r("cust")),
+        eq(col_b("month"), col_r("month")),
+    );
+    // A budget for ~30% of B: the serial plan must breach and degrade, and
+    // the costed partition count (m=4, ~25% of B per partition) leaves
+    // enough headroom that the tightly balanced hash buckets of thousands
+    // of base keys fit on the first attempt — the ablation is a
+    // deterministic single spill pass.
+    let per_row = state_bytes(1, l.len()) + index_bytes(1) + index_key_bytes(1, 2);
+    let budget = b.len() * 3 / 10 * per_row;
+    let spill_dir = std::env::temp_dir().join(format!("mdj-repro-e12-{}", std::process::id()));
+    header(
+        "E12 — degradation ablation under a budget for ~30% of B: in-memory vs \
+         Theorem 4.1 rescan vs single-pass spill (identical rows; the cost \
+         model prices m·|R| re-scan work against 7·|R|+overhead spill I/O)",
+        &[
+            "plan",
+            "time (ms)",
+            "scans of R",
+            "tuples scanned",
+            "spill parts",
+            "bytes spilled",
+            "bytes read",
+        ],
+    );
+    let mut reference: Option<Relation> = None;
+    for (label, slug, budgeted, policy) in [
+        (
+            "in-memory (no budget)",
+            "in-memory",
+            false,
+            SpillPolicy::Auto,
+        ),
+        (
+            "rescan degradation (SpillPolicy::Never)",
+            "rescan",
+            true,
+            SpillPolicy::Never,
+        ),
+        (
+            "spill degradation (SpillPolicy::Always)",
+            "spill",
+            true,
+            SpillPolicy::Always,
+        ),
+    ] {
+        let stats = Arc::new(ScanStats::new());
+        let mut ctx = ExecContext::new()
+            .with_stats(stats.clone())
+            .with_spill_policy(policy)
+            .with_spill_dir(&spill_dir);
+        if budgeted {
+            ctx = ctx.with_budget_bytes(budget);
+        }
+        let (t, out) = time(|| md_join(&b, &r, &l, &theta, &ctx).unwrap());
+        match &reference {
+            None => reference = Some(out),
+            // Both degradation modes must be row-identical to in-memory.
+            Some(expected) => assert_eq!(expected.rows(), out.rows(), "E12 {label}"),
+        }
+        // `time` runs the query three times; report per-run counters.
+        println!(
+            "| {label} | {} | {} | {} | {} | {} | {} |",
+            ms(t),
+            stats.scans() / 3,
+            stats.tuples_scanned() / 3,
+            stats.spill_partitions() / 3,
+            stats.bytes_spilled() / 3,
+            stats.spill_read_bytes() / 3
+        );
+        record_counters(format!("e12/{slug}"), t, &stats);
+    }
+    if let Ok(entries) = std::fs::read_dir(&spill_dir) {
+        assert_eq!(entries.count(), 0, "E12 leaked spill run files");
+    }
+    let _ = std::fs::remove_dir(&spill_dir);
+}
+
 fn e10_chain(k: usize, dependent: bool) -> Plan {
     let mut plan = Plan::table("Sales").group_by_base(&["cust"]);
     for i in 0..k {
@@ -1264,53 +1387,106 @@ mod tests {
         let entries = parse_baseline(&line);
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].name, "evil \"label\" with \\ and \n");
-        assert_eq!(entries[0].counters, [1, 2, 3, 4, 5, 0]);
+        assert_eq!(
+            entries[0].counters,
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]
+        );
     }
 
     #[test]
     fn check_parses_writer_output_and_skips_wall_only_entries() {
+        // A pre-spill 6-counter entry and a current 9-counter entry parse
+        // side by side, each carrying exactly the counters it has.
         let text = "{\n  \"tool\": \"repro\",\n  \"quick\": true,\n  \"experiments\": [\n    \
                     {\"name\": \"e1\", \"wall_ms\": 10.000},\n    \
                     {\"name\": \"e11/equality/serial\", \"wall_ms\": 1.000, \"scans\": 1, \
                     \"tuples\": 40000, \"probes\": 40000, \"updates\": 200000, \
-                    \"batches\": 0, \"batch_fallbacks\": 0}\n  ]\n}\n";
+                    \"batches\": 0, \"batch_fallbacks\": 0},\n    \
+                    {\"name\": \"e12/spill\", \"wall_ms\": 2.000, \"scans\": 2, \
+                    \"tuples\": 80000, \"probes\": 40000, \"updates\": 200000, \
+                    \"batches\": 0, \"batch_fallbacks\": 0, \"bytes_spilled\": 65536, \
+                    \"spill_partitions\": 4, \"spill_read_bytes\": 65536}\n  ]\n}\n";
         let entries = parse_baseline(text);
-        assert_eq!(entries.len(), 1);
+        assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].name, "e11/equality/serial");
-        assert_eq!(entries[0].counters, [1, 40000, 40000, 200000, 0, 0]);
+        assert_eq!(
+            entries[0].counters,
+            vec![(0, 1), (1, 40000), (2, 40000), (3, 200000), (4, 0), (5, 0)]
+        );
+        assert_eq!(entries[1].name, "e12/spill");
+        assert_eq!(entries[1].counters.len(), 9);
+        assert!(entries[1].counters.contains(&(6, 65536)));
+        assert!(entries[1].counters.contains(&(7, 4)));
+        assert!(entries[1].counters.contains(&(8, 65536)));
     }
 
     #[test]
     fn check_flags_grown_counters_only() {
-        let base = vec![CheckEntry {
-            name: "e11/equality/vectorized".into(),
-            counters: [1, 40000, 40000, 200000, 10, 0],
-        }];
+        let base = vec![CheckEntry::dense(
+            "e11/equality/vectorized",
+            [1, 40000, 40000, 200000, 10, 0, 0, 0, 0],
+        )];
         // Identical counters: clean.
-        let same = vec![CheckEntry {
-            name: "e11/equality/vectorized".into(),
-            counters: [1, 40000, 40000, 200000, 10, 0],
-        }];
+        let same = vec![CheckEntry::dense(
+            "e11/equality/vectorized",
+            [1, 40000, 40000, 200000, 10, 0, 0, 0, 0],
+        )];
         assert!(compare_entries(&same, &base).is_empty());
         // A shrunk counter (less work) is not a regression.
-        let better = vec![CheckEntry {
-            name: "e11/equality/vectorized".into(),
-            counters: [1, 40000, 39000, 200000, 10, 0],
-        }];
+        let better = vec![CheckEntry::dense(
+            "e11/equality/vectorized",
+            [1, 40000, 39000, 200000, 10, 0, 0, 0, 0],
+        )];
         assert!(compare_entries(&better, &base).is_empty());
         // A grown counter is.
-        let worse = vec![CheckEntry {
-            name: "e11/equality/vectorized".into(),
-            counters: [1, 40000, 40000, 200000, 10, 3],
-        }];
+        let worse = vec![CheckEntry::dense(
+            "e11/equality/vectorized",
+            [1, 40000, 40000, 200000, 10, 3, 0, 0, 0],
+        )];
         let regressions = compare_entries(&worse, &base);
         assert_eq!(regressions.len(), 1);
         assert!(regressions[0].contains("batch_fallbacks regressed 0 -> 3"));
         // Entries present only in one file are ignored.
-        let disjoint = vec![CheckEntry {
-            name: "e11/new-shape/vectorized".into(),
-            counters: [9, 9, 9, 9, 9, 9],
-        }];
+        let disjoint = vec![CheckEntry::dense(
+            "e11/new-shape/vectorized",
+            [9, 9, 9, 9, 9, 9, 9, 9, 9],
+        )];
         assert!(compare_entries(&disjoint, &base).is_empty());
+    }
+
+    #[test]
+    fn check_compares_sparse_entries_over_the_key_intersection() {
+        // A baseline written before the spill counters existed gates only
+        // the six counters it carries against a current 9-counter run...
+        let old_base = vec![CheckEntry {
+            name: "e11/equality/serial".into(),
+            counters: (0..6).map(|i| (i, 100)).collect(),
+        }];
+        let current = vec![CheckEntry::dense(
+            "e11/equality/serial",
+            [100, 100, 100, 100, 100, 100, 77777, 5, 77777],
+        )];
+        assert!(compare_entries(&current, &old_base).is_empty());
+        // ...a regression in a shared counter still fires...
+        let grown = vec![CheckEntry::dense(
+            "e11/equality/serial",
+            [100, 100, 101, 100, 100, 100, 77777, 5, 77777],
+        )];
+        let regressions = compare_entries(&grown, &old_base);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("probes regressed 100 -> 101"));
+        // ...and a 9-counter baseline gates the spill counters too.
+        let new_base = vec![CheckEntry::dense(
+            "e12/spill",
+            [2, 100, 100, 100, 0, 0, 65536, 4, 65536],
+        )];
+        let spill_grew = vec![CheckEntry::dense(
+            "e12/spill",
+            [2, 100, 100, 100, 0, 0, 70000, 4, 70000],
+        )];
+        let regressions = compare_entries(&spill_grew, &new_base);
+        assert_eq!(regressions.len(), 2);
+        assert!(regressions[0].contains("bytes_spilled regressed 65536 -> 70000"));
+        assert!(regressions[1].contains("spill_read_bytes regressed 65536 -> 70000"));
     }
 }

@@ -29,6 +29,7 @@
 //! shims over the same internals for one release.
 
 use crate::context::ExecContext;
+use crate::cost::{self, DegradeMode};
 use crate::error::{CoreError, Result};
 use crate::generalized::{multi, Block};
 use crate::governor::{self, CancelToken, MemoryTracker};
@@ -36,6 +37,7 @@ use crate::mdjoin::md_join_serial;
 use crate::morsel::{md_join_morsel, md_join_morsel_opts, MorselSide};
 use crate::parallel::{chunk_base, chunk_detail};
 use crate::partitioned::partitioned;
+use crate::spill_exec::{md_join_spilled, partition_key_width};
 use crate::vectorized::{batch_coverage, md_join_vectorized};
 use mdj_agg::AggSpec;
 use mdj_expr::Expr;
@@ -369,13 +371,22 @@ impl<'a> MdJoin<'a> {
 /// Serial/partitioned evaluation with Theorem 4.1 budget degradation.
 ///
 /// Starts at `m` partitions (`1` = plain serial). On
-/// [`CoreError::BudgetExceeded`] the partition count is raised — to at least
-/// `⌈m · peak / budget⌉`, using the tracker's high-water mark to jump
-/// straight to a count whose per-partition footprint should fit — and the
-/// query re-runs. Each retry is counted as a degradation event in
+/// [`CoreError::BudgetExceeded`] the partition count is raised to the
+/// largest of three estimates — `⌈m · peak / budget⌉` from the tracker's
+/// high-water mark, the cost model's [`cost::cost_partitions`] static
+/// sizing, and `m + 1` for guaranteed progress — and the query re-runs.
+/// Each retry is counted as a degradation event in
 /// [`ScanStats`](mdj_storage::ScanStats). The loop is bounded by `m = |B|`
 /// (one base row per partition, the finest Theorem 4.1 split); a budget too
 /// small even for that surfaces the breach to the caller.
+///
+/// How each degraded retry feeds `R` to its partitions is a costed choice
+/// ([`cost::choose_mode`], steered by [`ExecContext::spill`]): re-scan the
+/// in-memory `R` once per partition, or hash-partition `R` to disk run
+/// files once and read each partition's file ([`md_join_spilled`]). Spill
+/// I/O errors propagate as typed [`CoreError::Storage`] errors — they are
+/// never silently retried on the rescan path, so fault-injection tests see
+/// exactly the failure they armed.
 ///
 /// With `vectorized`, the single-partition attempt runs the batched
 /// evaluator; degraded (`m > 1`) retries always use the scalar partitioned
@@ -390,6 +401,7 @@ fn run_degradable(
     mut m: usize,
     vectorized: bool,
 ) -> Result<Relation> {
+    let mut mode = DegradeMode::Rescan;
     loop {
         let attempt = if m <= 1 {
             if vectorized {
@@ -397,6 +409,8 @@ fn run_degradable(
             } else {
                 md_join_serial(b, r, aggs, theta, ctx)
             }
+        } else if mode == DegradeMode::Spill {
+            md_join_spilled(b, r, aggs, theta, m, ctx)
         } else {
             partitioned(b, r, aggs, theta, m, ctx)
         };
@@ -408,10 +422,16 @@ fn run_degradable(
                 let peak = tracker.peak().max(1);
                 let budget = tracker.budget().max(1);
                 // Total footprint ≈ m × per-partition peak, so the smallest
-                // fitting count is its ratio to the budget (never shrinking,
-                // always progressing, capped at one row per partition).
+                // fitting count is its ratio to the budget; the cost model's
+                // static sizing usually lands on a feasible m in one step
+                // where the observed peak alone would ratchet breach by
+                // breach (never shrinking, always progressing, capped at one
+                // row per partition).
                 let scaled = (m as u64).saturating_mul(peak).div_ceil(budget) as usize;
-                m = scaled.max(m + 1).min(b.len());
+                let key_width = partition_key_width(b.schema(), theta);
+                let costed = cost::cost_partitions(b.len(), aggs.len(), key_width, budget);
+                m = scaled.max(costed).max(m + 1).min(b.len());
+                mode = cost::choose_mode(m, r.len(), key_width, ctx.spill);
                 ctx.record_degradation();
                 tracker.reset_peak();
             }

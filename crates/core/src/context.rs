@@ -5,6 +5,7 @@ use crate::error::{CoreError, Result};
 use crate::governor::{CancelToken, MemoryTracker};
 use mdj_agg::Registry;
 use mdj_storage::ScanStats;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -21,6 +22,24 @@ pub enum ProbeStrategy {
     NestedLoop,
     /// Require the hash probe; planning fails if θ has no usable bindings.
     HashProbe,
+}
+
+/// Whether a budget breach may degrade into *spilling* partitioned
+/// evaluation (hash-partition `R` to disk run files once, evaluate each
+/// `(Bᵢ, Rᵢ)` pair from its file) instead of re-scanning the in-memory `R`
+/// m times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpillPolicy {
+    /// Cost the two degradation modes (`core::cost`) and pick the cheaper:
+    /// re-scan work `m·|R|` vs one partitioning pass plus priced run-file
+    /// I/O. Requires θ to carry hash-partitionable equality bindings.
+    #[default]
+    Auto,
+    /// Never spill; always degrade by re-scanning (the PR-2 behaviour).
+    Never,
+    /// Spill whenever θ permits it, regardless of modeled cost (ablations
+    /// and tests).
+    Always,
 }
 
 /// Shared, immutable evaluation context.
@@ -57,6 +76,12 @@ pub struct ExecContext {
     /// How many times the morsel executor re-runs a panicked morsel before
     /// surfacing [`CoreError::MorselPanicked`].
     pub max_morsel_retries: u32,
+    /// Whether budget-breach degradation may spill partitions of `R` to
+    /// disk (see [`SpillPolicy`]).
+    pub spill: SpillPolicy,
+    /// Directory for spill run files; `None` = the system temp directory.
+    /// Files are RAII-deleted, so the directory only holds live runs.
+    pub spill_dir: Option<PathBuf>,
     /// Deterministic fault injection for the robustness test harness.
     #[cfg(feature = "fault-injection")]
     pub fault: Option<Arc<crate::fault::FaultInjector>>,
@@ -85,6 +110,8 @@ impl Default for ExecContext {
             deadline: None,
             memory: None,
             max_morsel_retries: DEFAULT_MORSEL_RETRIES,
+            spill: SpillPolicy::default(),
+            spill_dir: None,
             #[cfg(feature = "fault-injection")]
             fault: None,
         }
@@ -149,6 +176,24 @@ impl ExecContext {
     pub fn with_morsel_retries(mut self, retries: u32) -> Self {
         self.max_morsel_retries = retries;
         self
+    }
+
+    /// Choose whether budget-breach degradation may spill `R` partitions to
+    /// disk run files (default: cost-based [`SpillPolicy::Auto`]).
+    pub fn with_spill_policy(mut self, policy: SpillPolicy) -> Self {
+        self.spill = policy;
+        self
+    }
+
+    /// Directory for spill run files (default: the system temp directory).
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Resolved spill directory.
+    pub(crate) fn spill_dir(&self) -> PathBuf {
+        self.spill_dir.clone().unwrap_or_else(std::env::temp_dir)
     }
 
     /// Attach a deterministic fault injector (robustness test harness).
@@ -248,6 +293,40 @@ impl ExecContext {
         if let Some(s) = &self.stats {
             s.record_degradation();
         }
+    }
+
+    pub(crate) fn record_spill_partition(&self, bytes: u64) {
+        if let Some(s) = &self.stats {
+            s.record_spill_partition(bytes);
+        }
+    }
+
+    pub(crate) fn record_spill_read_bytes(&self, bytes: u64) {
+        if let Some(s) = &self.stats {
+            s.record_spill_read_bytes(bytes);
+        }
+    }
+
+    /// Fault-injection hook at a spill run-file write site: true = the spill
+    /// layer must fail this write ENOSPC-style. No-op without the feature.
+    #[inline]
+    pub(crate) fn fault_should_fail_spill_write(&self) -> bool {
+        #[cfg(feature = "fault-injection")]
+        if let Some(f) = &self.fault {
+            return f.should_fail_spill_write();
+        }
+        false
+    }
+
+    /// Fault-injection hook before a spill run-file read site: true = the
+    /// file must be corrupted first. No-op without the feature.
+    #[inline]
+    pub(crate) fn fault_should_corrupt_spill_read(&self) -> bool {
+        #[cfg(feature = "fault-injection")]
+        if let Some(f) = &self.fault {
+            return f.should_corrupt_spill_read();
+        }
+        false
     }
 }
 

@@ -91,6 +91,20 @@ impl CoreError {
                 | CoreError::WorkerPanicked { .. }
         )
     }
+
+    /// True for errors raised by the spill I/O layer: run-file write
+    /// failures (ENOSPC, short write) and corruption detected on read. The
+    /// spill fault-injection tests assert that every injected spill fault
+    /// surfaces as one of these — never as a wrong answer or a panic.
+    pub fn is_spill(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Storage(
+                mdj_storage::StorageError::SpillIo { .. }
+                    | mdj_storage::StorageError::SpillCorrupt { .. }
+            )
+        )
+    }
 }
 
 impl std::error::Error for CoreError {
@@ -161,8 +175,30 @@ mod tests {
         }
         assert!(!CoreError::BadConfig("x".into()).is_governor());
         assert!(!CoreError::Internal("x".into()).is_governor());
+        for e in &cases {
+            assert!(!e.is_spill(), "{e}");
+        }
         let budget = &cases[2];
         assert!(budget.to_string().contains("2048"));
         assert!(budget.to_string().contains("1024"));
+    }
+
+    #[test]
+    fn spill_errors_classify() {
+        let io: CoreError = mdj_storage::StorageError::SpillIo {
+            path: "/tmp/run".into(),
+            detail: "disk full".into(),
+        }
+        .into();
+        let corrupt: CoreError = mdj_storage::StorageError::SpillCorrupt {
+            path: "/tmp/run".into(),
+            detail: "checksum mismatch".into(),
+        }
+        .into();
+        assert!(io.is_spill());
+        assert!(corrupt.is_spill());
+        assert!(!io.is_governor());
+        let other: CoreError = mdj_storage::StorageError::UnknownRelation("T".into()).into();
+        assert!(!other.is_spill());
     }
 }

@@ -10,7 +10,13 @@
 //!   attempt fails as if the budget were breached (exercising Theorem 4.1
 //!   degradation without needing a real footprint);
 //! * **slow morsels** — a morsel sleeps before running (exercising deadline
-//!   enforcement under stragglers).
+//!   enforcement under stragglers);
+//! * **spill write failures** — a spill run-file write fails ENOSPC-style
+//!   after truncating the file to a short write (exercising the spill
+//!   layer's typed-error and RAII-cleanup contract);
+//! * **spill read corruptions** — a run file is corrupted (byte flip or
+//!   truncation, alternating) just before it is read back, so the reader's
+//!   checksum validation must catch it.
 //!
 //! *Which* site hits inject is a pure function of the seed and a global site
 //! counter, so a single-threaded run is exactly reproducible; under threads
@@ -42,9 +48,15 @@ pub struct FaultInjector {
     remaining_charge_failures: AtomicU64,
     remaining_slow: AtomicU64,
     slow_for: Duration,
+    remaining_spill_write_failures: AtomicU64,
+    remaining_spill_corruptions: AtomicU64,
     morsel_hits: AtomicU64,
     charge_hits: AtomicU64,
+    spill_write_hits: AtomicU64,
+    spill_read_hits: AtomicU64,
     injected_panics: AtomicU64,
+    injected_spill_write_failures: AtomicU64,
+    injected_spill_corruptions: AtomicU64,
 }
 
 impl FaultInjector {
@@ -57,9 +69,15 @@ impl FaultInjector {
             remaining_charge_failures: AtomicU64::new(0),
             remaining_slow: AtomicU64::new(0),
             slow_for: Duration::from_millis(5),
+            remaining_spill_write_failures: AtomicU64::new(0),
+            remaining_spill_corruptions: AtomicU64::new(0),
             morsel_hits: AtomicU64::new(0),
             charge_hits: AtomicU64::new(0),
+            spill_write_hits: AtomicU64::new(0),
+            spill_read_hits: AtomicU64::new(0),
             injected_panics: AtomicU64::new(0),
+            injected_spill_write_failures: AtomicU64::new(0),
+            injected_spill_corruptions: AtomicU64::new(0),
         }
     }
 
@@ -90,9 +108,32 @@ impl FaultInjector {
         self
     }
 
+    /// Arm `n` injected spill-write failures (ENOSPC-style short writes).
+    pub fn spill_write_failures(self, n: u64) -> Self {
+        self.remaining_spill_write_failures
+            .store(n, Ordering::Relaxed);
+        self
+    }
+
+    /// Arm `n` injected spill run-file corruptions on read.
+    pub fn spill_read_corruptions(self, n: u64) -> Self {
+        self.remaining_spill_corruptions.store(n, Ordering::Relaxed);
+        self
+    }
+
     /// Number of panics actually injected so far.
     pub fn panics_injected(&self) -> u64 {
         self.injected_panics.load(Ordering::Relaxed)
+    }
+
+    /// Number of spill-write failures actually injected so far.
+    pub fn spill_write_failures_injected(&self) -> u64 {
+        self.injected_spill_write_failures.load(Ordering::Relaxed)
+    }
+
+    /// Number of spill read corruptions actually injected so far.
+    pub fn spill_corruptions_injected(&self) -> u64 {
+        self.injected_spill_corruptions.load(Ordering::Relaxed)
     }
 
     /// Atomically consume one unit of `budget` if any remain.
@@ -124,6 +165,32 @@ impl FaultInjector {
         let hit = self.charge_hits.fetch_add(1, Ordering::Relaxed);
         mix(self.seed.rotate_left(17), hit).is_multiple_of(self.period)
             && Self::take(&self.remaining_charge_failures)
+    }
+
+    /// Called at a spill run-file write site; true = fail this write as an
+    /// ENOSPC-style short write. Distinct mix stream from the charge site.
+    pub(crate) fn should_fail_spill_write(&self) -> bool {
+        let hit = self.spill_write_hits.fetch_add(1, Ordering::Relaxed);
+        let inject = mix(self.seed.rotate_left(29), hit).is_multiple_of(self.period)
+            && Self::take(&self.remaining_spill_write_failures);
+        if inject {
+            self.injected_spill_write_failures
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        inject
+    }
+
+    /// Called before a spill run-file read site; true = corrupt the file
+    /// first so the reader's checksum validation must reject it.
+    pub(crate) fn should_corrupt_spill_read(&self) -> bool {
+        let hit = self.spill_read_hits.fetch_add(1, Ordering::Relaxed);
+        let inject = mix(self.seed.rotate_left(41), hit).is_multiple_of(self.period)
+            && Self::take(&self.remaining_spill_corruptions);
+        if inject {
+            self.injected_spill_corruptions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        inject
     }
 }
 
@@ -176,5 +243,41 @@ mod tests {
             f.on_morsel(m); // must not panic
         }
         assert!(!(0..100).any(|_| f.should_fail_charge()));
+        assert!(!(0..100).any(|_| f.should_fail_spill_write()));
+        assert!(!(0..100).any(|_| f.should_corrupt_spill_read()));
+    }
+
+    #[test]
+    fn spill_budgets_are_bounded_and_counted() {
+        let f = FaultInjector::new(9)
+            .period(1)
+            .spill_write_failures(2)
+            .spill_read_corruptions(3);
+        let writes = (0..10).filter(|_| f.should_fail_spill_write()).count();
+        let reads = (0..10).filter(|_| f.should_corrupt_spill_read()).count();
+        assert_eq!(writes, 2);
+        assert_eq!(reads, 3);
+        assert_eq!(f.spill_write_failures_injected(), 2);
+        assert_eq!(f.spill_corruptions_injected(), 3);
+    }
+
+    #[test]
+    fn spill_sites_use_distinct_streams() {
+        // With period 2, the write and read streams must not be copies of the
+        // morsel/charge streams: same seed, different rotate constants.
+        let f = FaultInjector::new(1234)
+            .period(2)
+            .charge_failures(u64::MAX)
+            .spill_write_failures(u64::MAX)
+            .spill_read_corruptions(u64::MAX);
+        let charges: Vec<bool> = (0..64).map(|_| f.should_fail_charge()).collect();
+        let g = FaultInjector::new(1234)
+            .period(2)
+            .spill_write_failures(u64::MAX)
+            .spill_read_corruptions(u64::MAX);
+        let writes: Vec<bool> = (0..64).map(|_| g.should_fail_spill_write()).collect();
+        let reads: Vec<bool> = (0..64).map(|_| g.should_corrupt_spill_read()).collect();
+        assert_ne!(charges, writes);
+        assert_ne!(writes, reads);
     }
 }

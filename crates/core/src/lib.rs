@@ -76,6 +76,7 @@
 pub mod basevalues;
 pub mod builder;
 pub mod context;
+pub mod cost;
 pub mod error;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
@@ -86,10 +87,13 @@ pub mod morsel;
 pub mod parallel;
 pub mod partitioned;
 pub mod probe;
+mod spill_exec;
 pub mod vectorized;
 
 pub use builder::{ExecStrategy, MdJoin};
-pub use context::{ExecContext, ProbeStrategy, DEFAULT_MORSEL_RETRIES, DEFAULT_MORSEL_SIZE};
+pub use context::{
+    ExecContext, ProbeStrategy, SpillPolicy, DEFAULT_MORSEL_RETRIES, DEFAULT_MORSEL_SIZE,
+};
 pub use error::{CoreError, Result};
 #[cfg(feature = "fault-injection")]
 pub use fault::FaultInjector;
@@ -109,7 +113,7 @@ pub use mdjoin::md_join;
 pub mod prelude {
     pub use crate::basevalues;
     pub use crate::builder::{ExecStrategy, MdJoin};
-    pub use crate::context::{ExecContext, ProbeStrategy};
+    pub use crate::context::{ExecContext, ProbeStrategy, SpillPolicy};
     pub use crate::error::{CoreError, Result};
     #[cfg(feature = "fault-injection")]
     pub use crate::fault::FaultInjector;

@@ -1,0 +1,396 @@
+//! Spill-degradation executor: Theorem 4.1 partitioning with `R` fed from
+//! disk run files instead of `m` re-scans.
+//!
+//! The rescan plan (`core::partitioned`) answers a budget breach by
+//! splitting `B` into `m` chunks and scanning the in-memory `R` once per
+//! chunk — `m·|R|` tuples touched. When θ carries equality bindings
+//! `B.col = f(R-row)` (the same ones the §4.5 hash probe uses), there is a
+//! cheaper shape for large `R`: hash-partition *both* sides on the binding
+//! key, spill each `Rᵢ` to a run file in one routing pass, and evaluate each
+//! `(Bᵢ, Rᵢ)` pair from its file. Correctness is by construction: any
+//! `(b-row, t)` pair that satisfies θ satisfies the equality bindings, so
+//! both rows hash to the same partition — no cross-partition match can
+//! exist. Tuples whose key appears in no `B` partition (or is NULL) can
+//! match nothing and are dropped during routing, which also keeps the
+//! written-vs-read byte accounting exactly conserved.
+//!
+//! The output is **row-identical** to the serial plan: each partition's
+//! result rows are scattered back to their base rows' original positions.
+//!
+//! Failure model: every run file is RAII-owned ([`RunWriter`] until sealed,
+//! [`RunFile`] after), so any error path — I/O failure, checksum mismatch,
+//! budget breach inside a partition, cancellation — unwinds without leaking
+//! a single temp file and without producing partial results. Injected spill
+//! faults (`fault-injection` feature) surface as typed
+//! [`StorageError::SpillIo`] / [`StorageError::SpillCorrupt`] wrapped in
+//! [`CoreError::Storage`]; there is deliberately no silent fallback to the
+//! rescan plan.
+
+use crate::context::{ExecContext, CANCEL_CHECK_INTERVAL};
+use crate::error::{CoreError, Result};
+use crate::mdjoin::md_join_serial;
+use crate::probe::canon_key;
+use mdj_agg::AggSpec;
+use mdj_expr::analysis::probe_bindings;
+use mdj_expr::{BoundExpr, Expr};
+use mdj_storage::{read_run, Relation, Row, RunFile, RunWriter, Schema, StorageError, Value};
+use std::hash::{Hash, Hasher};
+use std::path::Path;
+
+/// Number of hash-partition key columns θ yields over `B`'s schema, or
+/// `None` when θ has no usable equality bindings (spilling impossible; the
+/// cost model then prices rescan only).
+pub(crate) fn partition_key_width(b_schema: &Schema, theta: &Expr) -> Option<usize> {
+    let (bindings, _) = probe_bindings(theta);
+    if !bindings.is_empty() && bindings.iter().all(|bi| b_schema.contains(&bi.base_col)) {
+        Some(bindings.len())
+    } else {
+        None
+    }
+}
+
+/// Deterministic bucket assignment shared by both sides: canonicalized key
+/// values hashed into `m` buckets.
+fn bucket_of(key: &[Value], m: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % m as u64) as usize
+}
+
+/// Flip one byte in the middle of `path` so the reader's checksum validation
+/// must reject the file (fault-injection corruption site).
+fn corrupt_run_file(path: &Path) -> Result<()> {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let io = |e: std::io::Error| {
+        CoreError::Storage(StorageError::SpillIo {
+            path: path.display().to_string(),
+            detail: format!("corrupting run file for fault injection: {e}"),
+        })
+    };
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .map_err(io)?;
+    let len = f.metadata().map_err(io)?.len();
+    if len == 0 {
+        return Ok(());
+    }
+    let off = len / 2;
+    let mut byte = [0u8; 1];
+    f.seek(SeekFrom::Start(off)).map_err(io)?;
+    f.read_exact(&mut byte).map_err(io)?;
+    f.seek(SeekFrom::Start(off)).map_err(io)?;
+    f.write_all(&[byte[0] ^ 0xFF]).map_err(io)?;
+    Ok(())
+}
+
+/// Evaluate `MD(B, R, l, θ)` with both sides hash-partitioned into `m`
+/// buckets on θ's equality bindings and each `Rᵢ` spilled to a run file.
+/// Row-identical to [`md_join_serial`]. See the module docs.
+pub(crate) fn md_join_spilled(
+    b: &Relation,
+    r: &Relation,
+    l: &[AggSpec],
+    theta: &Expr,
+    m: usize,
+    ctx: &ExecContext,
+) -> Result<Relation> {
+    if m == 0 {
+        return Err(CoreError::BadConfig("partition count must be ≥ 1".into()));
+    }
+    if m <= 1 || b.is_empty() {
+        return md_join_serial(b, r, l, theta, ctx);
+    }
+    let (bindings, _) = probe_bindings(theta);
+    if bindings.is_empty() || !bindings.iter().all(|bi| b.schema().contains(&bi.base_col)) {
+        return Err(CoreError::BadConfig(format!(
+            "spill degradation needs hash-partitionable equality bindings in θ `{theta}`"
+        )));
+    }
+    let key_cols: Vec<usize> = bindings
+        .iter()
+        .map(|bi| b.schema().index_of(&bi.base_col))
+        .collect::<std::result::Result<_, _>>()?;
+    let key_exprs: Vec<BoundExpr> = bindings
+        .iter()
+        .map(|bi| bi.detail_expr.bind(None, Some(r.schema())))
+        .collect::<std::result::Result<_, _>>()?;
+
+    // Partition B's row ids by key hash. NULL-keyed base rows match nothing
+    // (the probe skips NULL keys) but must still appear in the output with
+    // their empty-Rel(t) aggregate values; hashing routes them like any
+    // other key, deterministically.
+    let mut b_parts: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut key_scratch: Vec<Value> = Vec::with_capacity(key_cols.len());
+    for (i, row) in b.iter().enumerate() {
+        key_scratch.clear();
+        for &c in &key_cols {
+            key_scratch.push(canon_key(row[c].clone()));
+        }
+        b_parts[bucket_of(&key_scratch, m)].push(i);
+    }
+
+    // One routing pass over R: stream each tuple into its partition's run
+    // file. Tuples routed to a bucket with no base rows (key absent from B,
+    // or NULL key hashing there) can match nothing and are dropped, so every
+    // byte written is read back exactly once.
+    let dir = ctx.spill_dir();
+    let mut writers: Vec<Option<RunWriter>> = (0..m).map(|_| None).collect();
+    ctx.record_scan(r.len() as u64);
+    for (n, t) in r.iter().enumerate() {
+        if n % CANCEL_CHECK_INTERVAL == 0 {
+            ctx.check_interrupt()?;
+        }
+        key_scratch.clear();
+        let mut null_key = false;
+        for e in &key_exprs {
+            let v = canon_key(e.eval_detail(t.values())?);
+            null_key |= v.is_null();
+            key_scratch.push(v);
+        }
+        if null_key {
+            continue; // SQL equality with NULL never matches
+        }
+        let p = bucket_of(&key_scratch, m);
+        if b_parts[p].is_empty() {
+            continue;
+        }
+        let w = match &mut writers[p] {
+            Some(w) => w,
+            None => {
+                writers[p] = Some(RunWriter::create(
+                    &dir,
+                    &format!("part{p}of{m}"),
+                    r.schema(),
+                )?);
+                writers[p].as_mut().expect("just inserted")
+            }
+        };
+        w.push(t)?;
+    }
+
+    // Seal the files. The fault hook models ENOSPC at the write site: the
+    // error path drops every writer and every sealed RunFile, removing all
+    // temp files before the typed error reaches the caller.
+    let mut runs: Vec<Option<RunFile>> = Vec::with_capacity(m);
+    for w in writers {
+        let Some(w) = w else {
+            runs.push(None);
+            continue;
+        };
+        if ctx.fault_should_fail_spill_write() {
+            return Err(CoreError::Storage(StorageError::SpillIo {
+                path: w.path().display().to_string(),
+                detail: format!(
+                    "injected ENOSPC: short write sealing a {}-row run",
+                    w.rows()
+                ),
+            }));
+        }
+        let run = w.finish()?;
+        ctx.record_spill_partition(run.bytes_written());
+        runs.push(Some(run));
+    }
+
+    // Evaluate each (Bᵢ, Rᵢ) and scatter its rows back to the base rows'
+    // original positions, making the result row-identical to serial.
+    let mut out_rows: Vec<Option<Row>> = vec![None; b.len()];
+    let mut out_schema: Option<Schema> = None;
+    for (p, part) in b_parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        ctx.check_interrupt()?;
+        let bi = Relation::from_rows(
+            b.schema().clone(),
+            part.iter().map(|&i| b.rows()[i].clone()).collect(),
+        );
+        let ri = match runs[p].take() {
+            None => Relation::empty(r.schema().clone()),
+            Some(run) => {
+                if ctx.fault_should_corrupt_spill_read() {
+                    corrupt_run_file(run.path())?;
+                }
+                let (rel, bytes_read) = read_run(run.path())?;
+                ctx.record_spill_read_bytes(bytes_read);
+                rel
+                // `run` drops here: the file is unlinked as soon as its
+                // partition is in memory, not at the end of the query.
+            }
+        };
+        let piece = md_join_serial(&bi, &ri, l, theta, ctx)?;
+        if out_schema.is_none() {
+            out_schema = Some(piece.schema().clone());
+        }
+        for (j, &orig) in part.iter().enumerate() {
+            out_rows[orig] = Some(piece.rows()[j].clone());
+        }
+    }
+    let schema = out_schema
+        .ok_or_else(|| CoreError::Internal("non-empty B produced no partitions".into()))?;
+    let rows = out_rows
+        .into_iter()
+        .map(|o| o.ok_or_else(|| CoreError::Internal("base row missing from scatter".into())))
+        .collect::<Result<Vec<Row>>>()?;
+    Ok(Relation::from_rows(schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdj_expr::builder::*;
+    use mdj_storage::{DataType, ScanStats};
+    use std::sync::Arc;
+
+    fn spill_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mdj-spill-exec-{}-{tag}", std::process::id()))
+    }
+
+    /// Assert `dir` holds no files, then remove it.
+    fn assert_clean(dir: &Path) {
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            let leaked: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+            assert!(leaked.is_empty(), "leaked run files: {leaked:?}");
+        }
+        let _ = std::fs::remove_dir(dir);
+    }
+
+    fn sales(n: i64) -> Relation {
+        let schema = Schema::from_pairs(&[
+            ("cust", DataType::Int),
+            ("month", DataType::Int),
+            ("sale", DataType::Float),
+        ]);
+        Relation::from_rows(
+            schema,
+            (0..n)
+                .map(|i| {
+                    Row::from_values(vec![
+                        if i % 13 == 0 {
+                            Value::Null // NULL keys must not disturb routing
+                        } else {
+                            Value::Int(i % 17)
+                        },
+                        Value::Int(i % 12),
+                        Value::Float(i as f64 * 1.5),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn spilled_is_row_identical_to_serial() {
+        let s = sales(500);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let l = [
+            AggSpec::on_column("sum", "sale"),
+            AggSpec::on_column("avg", "sale"),
+            AggSpec::count_star(),
+        ];
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let serial = md_join_serial(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
+        let dir = spill_dir("identical");
+        for m in [2, 3, 7, 16, 64] {
+            let ctx = ExecContext::new().with_spill_dir(&dir);
+            let out = md_join_spilled(&b, &s, &l, &theta, m, &ctx).unwrap();
+            assert_eq!(serial.rows(), out.rows(), "m = {m}");
+        }
+        assert_clean(&dir);
+    }
+
+    #[test]
+    fn computed_key_and_residual_conjuncts_respect_partitioning() {
+        // B.month = R.month + 1 with a mixed residual conjunct: matches are
+        // still confined to one partition because the equality binding is a
+        // conjunct of θ.
+        let s = sales(300);
+        let b = s.distinct_on(&["month"]).unwrap();
+        let l = [AggSpec::on_column("sum", "sale")];
+        let theta = and(
+            eq(col_b("month"), add(col_r("month"), lit(1i64))),
+            gt(col_r("sale"), lit(30.0)),
+        );
+        let serial = md_join_serial(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
+        let dir = spill_dir("computed");
+        let ctx = ExecContext::new().with_spill_dir(&dir);
+        let out = md_join_spilled(&b, &s, &l, &theta, 5, &ctx).unwrap();
+        assert_eq!(serial.rows(), out.rows());
+        assert_clean(&dir);
+    }
+
+    #[test]
+    fn counters_are_conserved_and_tempdir_left_clean() {
+        let s = sales(400);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let l = [AggSpec::count_star()];
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let dir = spill_dir("counters");
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ExecContext::new()
+            .with_stats(stats.clone())
+            .with_spill_dir(&dir);
+        md_join_spilled(&b, &s, &l, &theta, 6, &ctx).unwrap();
+        let snap = stats.snapshot();
+        assert!(snap.spill_partitions >= 1 && snap.spill_partitions <= 6);
+        assert!(snap.bytes_spilled > 0);
+        // Every spilled byte is read back exactly once.
+        assert_eq!(snap.bytes_spilled, snap.spill_read_bytes);
+        // One routing scan plus one per evaluated partition.
+        assert!(snap.scans >= 2);
+        assert_clean(&dir);
+    }
+
+    #[test]
+    fn empty_detail_and_unmatched_keys_still_produce_all_base_rows() {
+        let s = sales(100);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let l = [AggSpec::count_star()];
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let dir = spill_dir("empty");
+        let ctx = ExecContext::new().with_spill_dir(&dir);
+        // Empty R: every base row still comes back (count 0).
+        let empty = Relation::empty(s.schema().clone());
+        let out = md_join_spilled(&b, &empty, &l, &theta, 4, &ctx).unwrap();
+        assert_eq!(out.len(), b.len());
+        assert!(out.rows().iter().all(|row| row[1] == Value::Int(0)));
+        assert_clean(&dir);
+    }
+
+    #[test]
+    fn theta_without_bindings_is_rejected() {
+        let s = sales(50);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = gt(col_r("sale"), lit(10.0)); // no B-column equality
+        let err = md_join_spilled(
+            &b,
+            &s,
+            &[AggSpec::count_star()],
+            &theta,
+            4,
+            &ExecContext::new(),
+        );
+        assert!(matches!(err, Err(CoreError::BadConfig(_))));
+        assert_eq!(partition_key_width(b.schema(), &theta), None);
+        let good = eq(col_b("cust"), col_r("cust"));
+        assert_eq!(partition_key_width(b.schema(), &good), Some(1));
+    }
+
+    #[test]
+    fn cancellation_unwinds_without_leaking_run_files() {
+        use crate::governor::CancelToken;
+        let s = sales(2000);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = eq(col_b("cust"), col_r("cust"));
+        let dir = spill_dir("cancel");
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = ExecContext::new()
+            .with_spill_dir(&dir)
+            .with_cancel_token(token);
+        let err = md_join_spilled(&b, &s, &[AggSpec::count_star()], &theta, 4, &ctx);
+        assert!(matches!(err, Err(CoreError::Cancelled)));
+        assert_clean(&dir);
+    }
+}

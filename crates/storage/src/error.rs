@@ -26,6 +26,13 @@ pub enum StorageError {
     Csv { line: usize, message: String },
     /// Generic I/O failure (message-only so the error stays `Clone + Eq`).
     Io(String),
+    /// A spill run file could not be written or read (disk full, short
+    /// write, permission failure). Path and detail are strings so the error
+    /// stays `Clone + Eq`.
+    SpillIo { path: String, detail: String },
+    /// A spill run file failed validation on read: bad magic, unsupported
+    /// version, checksum mismatch, or a truncated/garbled payload.
+    SpillCorrupt { path: String, detail: String },
 }
 
 impl fmt::Display for StorageError {
@@ -51,6 +58,12 @@ impl fmt::Display for StorageError {
             StorageError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
             StorageError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
             StorageError::Io(m) => write!(f, "I/O error: {m}"),
+            StorageError::SpillIo { path, detail } => {
+                write!(f, "spill I/O error on `{path}`: {detail}")
+            }
+            StorageError::SpillCorrupt { path, detail } => {
+                write!(f, "corrupt spill run file `{path}`: {detail}")
+            }
         }
     }
 }

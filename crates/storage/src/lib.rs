@@ -20,6 +20,7 @@ pub mod partition;
 pub mod relation;
 pub mod row;
 pub mod schema;
+pub mod spill;
 pub mod stats;
 pub mod value;
 
@@ -31,6 +32,7 @@ pub use index::{HashIndex, SortedIndex};
 pub use relation::Relation;
 pub use row::Row;
 pub use schema::{DataType, Field, Schema};
+pub use spill::{read_run, write_run, RunFile, RunWriter};
 pub use stats::{ScanStats, StatsSnapshot, WorkerStats};
 pub use value::cmp_int_float;
 pub use value::Value;

@@ -1,0 +1,569 @@
+//! Spill run files: the disk backend for Theorem 4.1 partitioned evaluation.
+//!
+//! A *run file* holds one partition of a relation in a compact, self-describing
+//! binary format so a budget-breaching MD-join can hash-partition `R` to disk
+//! once and then evaluate each `(Bᵢ, Rᵢ)` pair from its run file instead of
+//! re-scanning the in-memory `R` m times.
+//!
+//! ## Format (version 1)
+//!
+//! ```text
+//! magic   b"MDJS"
+//! version u32 LE (= 1)
+//! schema  field_count u32; per field: name_len u32, UTF-8 name, dtype tag u8
+//! rows    per row, per value: tag u8 + payload
+//!           0 Null | 1 All | 2 Int i64 LE | 3 Float f64-bits u64 LE
+//!           4 Str u32 len + UTF-8 | 5 Bool u8
+//! trailer row_count u64 LE, checksum u64 LE (FNV-1a over all prior bytes)
+//! ```
+//!
+//! Floats are stored as raw bit patterns, so a round trip is bit-identical
+//! (NaN payloads and `-0.0` survive — [`crate::Value`] equality is defined on
+//! bits, and the differential tests demand exact equality with the in-memory
+//! path). The checksum is verified before any parsing happens; truncation,
+//! bit rot, and short writes all surface as [`StorageError::SpillCorrupt`].
+//!
+//! ## Lifecycle
+//!
+//! [`RunWriter`] streams rows to a uniquely named temp file and deletes it on
+//! drop unless [`RunWriter::finish`] handed ownership to a [`RunFile`], which
+//! in turn deletes the file when *it* drops. Every failure path therefore
+//! leaves no file behind: cleanup is RAII, not convention.
+
+use crate::error::{Result, StorageError};
+use crate::relation::Relation;
+use crate::row::Row;
+use crate::schema::{DataType, Field, Schema};
+use crate::value::Value;
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// File magic: "MD-Join Spill".
+const MAGIC: [u8; 4] = *b"MDJS";
+/// Current run-file format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn dtype_tag(d: DataType) -> u8 {
+    match d {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Str => 2,
+        DataType::Bool => 3,
+        DataType::Any => 4,
+    }
+}
+
+fn tag_dtype(t: u8) -> Option<DataType> {
+    Some(match t {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Str,
+        3 => DataType::Bool,
+        4 => DataType::Any,
+        _ => return None,
+    })
+}
+
+/// Monotone suffix so concurrent writers in one process never collide.
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique run-file path under `dir` (the file is not created).
+fn run_path(dir: &Path, hint: &str) -> PathBuf {
+    let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+    dir.join(format!(
+        "mdj-spill-{}-{}-{}.run",
+        std::process::id(),
+        seq,
+        hint
+    ))
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> StorageError {
+    StorageError::SpillIo {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+fn corrupt(path: &Path, detail: impl Into<String>) -> StorageError {
+    StorageError::SpillCorrupt {
+        path: path.display().to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// A finished run file on disk. Deleting is RAII: the file is removed when
+/// the handle drops, so a run can never outlive the query that spilled it.
+#[derive(Debug)]
+pub struct RunFile {
+    path: PathBuf,
+    bytes: u64,
+    rows: u64,
+}
+
+impl RunFile {
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Total file size in bytes (header + payload + trailer).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+}
+
+impl Drop for RunFile {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Streams rows of one partition into a run file. The file is deleted on
+/// drop unless [`finish`](RunWriter::finish) completed and transferred
+/// ownership to the returned [`RunFile`].
+#[derive(Debug)]
+pub struct RunWriter {
+    file: BufWriter<fs::File>,
+    /// `Some` until `finish` takes ownership; `Drop` removes the file while
+    /// it is still here (i.e. on every abandoned/error path).
+    path: Option<PathBuf>,
+    arity: usize,
+    rows: u64,
+    bytes: u64,
+    hash: u64,
+}
+
+impl RunWriter {
+    /// Create a uniquely named run file under `dir` (created if missing) and
+    /// write the header + schema.
+    pub fn create(dir: &Path, hint: &str, schema: &Schema) -> Result<RunWriter> {
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
+        let path = run_path(dir, hint);
+        let file = fs::File::create(&path).map_err(|e| io_err(&path, &e))?;
+        let mut w = RunWriter {
+            file: BufWriter::new(file),
+            path: Some(path),
+            arity: schema.len(),
+            rows: 0,
+            bytes: 0,
+            hash: FNV_OFFSET,
+        };
+        w.emit(&MAGIC)?;
+        w.emit(&FORMAT_VERSION.to_le_bytes())?;
+        w.emit(&(schema.len() as u32).to_le_bytes())?;
+        for f in schema.fields() {
+            w.emit(&(f.name.len() as u32).to_le_bytes())?;
+            w.emit(f.name.as_bytes())?;
+            w.emit(&[dtype_tag(f.dtype)])?;
+        }
+        Ok(w)
+    }
+
+    fn emit(&mut self, bytes: &[u8]) -> Result<()> {
+        self.hash = fnv1a(self.hash, bytes);
+        self.bytes += bytes.len() as u64;
+        let path = self.path.clone().unwrap_or_default();
+        self.file.write_all(bytes).map_err(|e| io_err(&path, &e))
+    }
+
+    /// Append one row (arity-checked against the schema written at create).
+    pub fn push(&mut self, row: &Row) -> Result<()> {
+        if row.values().len() != self.arity {
+            return Err(StorageError::ArityMismatch {
+                expected: self.arity,
+                got: row.values().len(),
+            });
+        }
+        let mut buf: Vec<u8> = Vec::with_capacity(16 * self.arity);
+        for v in row.values() {
+            match v {
+                Value::Null => buf.push(0),
+                Value::All => buf.push(1),
+                Value::Int(i) => {
+                    buf.push(2);
+                    buf.extend_from_slice(&i.to_le_bytes());
+                }
+                Value::Float(x) => {
+                    buf.push(3);
+                    buf.extend_from_slice(&x.to_bits().to_le_bytes());
+                }
+                Value::Str(s) => {
+                    buf.push(4);
+                    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(s.as_bytes());
+                }
+                Value::Bool(b) => {
+                    buf.push(5);
+                    buf.push(*b as u8);
+                }
+            }
+        }
+        self.emit(&buf)?;
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Rows appended so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Bytes emitted so far (before the trailer).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Path of the run file being written.
+    pub fn path(&self) -> &Path {
+        self.path.as_deref().unwrap_or(Path::new(""))
+    }
+
+    /// Write the trailer (row count + checksum), flush, and hand the file to
+    /// an owning [`RunFile`].
+    pub fn finish(mut self) -> Result<RunFile> {
+        let rows = self.rows;
+        self.emit(&rows.to_le_bytes())?;
+        let checksum = self.hash;
+        // The checksum itself is not hashed.
+        let path = self.path.clone().unwrap_or_default();
+        self.file
+            .write_all(&checksum.to_le_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| io_err(&path, &e))?;
+        self.bytes += 8;
+        let rf = RunFile {
+            // Taking the path disarms this writer's Drop cleanup.
+            path: self.path.take().expect("finish called twice"),
+            bytes: self.bytes,
+            rows,
+        };
+        Ok(rf)
+    }
+}
+
+impl Drop for RunWriter {
+    fn drop(&mut self) {
+        if let Some(p) = &self.path {
+            let _ = fs::remove_file(p);
+        }
+    }
+}
+
+/// Spill a whole relation into one run file under `dir`.
+pub fn write_run(dir: &Path, hint: &str, rel: &Relation) -> Result<RunFile> {
+    let mut w = RunWriter::create(dir, hint, rel.schema())?;
+    for row in rel.iter() {
+        w.push(row)?;
+    }
+    w.finish()
+}
+
+/// Byte cursor over a fully read run file; every short read is corruption.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    path: &'a Path,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| corrupt(self.path, "length overflow"))?;
+        if end > self.data.len() {
+            return Err(corrupt(
+                self.path,
+                format!("truncated: wanted {n} bytes at offset {}", self.pos),
+            ));
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Read a run file back into a relation, verifying the checksum first.
+/// Returns the relation and the number of bytes read from disk.
+pub fn read_run(path: &Path) -> Result<(Relation, u64)> {
+    let data = fs::read(path).map_err(|e| io_err(path, &e))?;
+    if data.len() < MAGIC.len() + 4 + 4 + 8 + 8 {
+        return Err(corrupt(
+            path,
+            format!("file too short ({} bytes)", data.len()),
+        ));
+    }
+    // Verify before parsing: a flipped bit anywhere (including the trailer's
+    // row count) fails here, so the parser below only ever sees good bytes.
+    let (payload, trailer) = data.split_at(data.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+    let actual = fnv1a(FNV_OFFSET, payload);
+    if stored != actual {
+        return Err(corrupt(
+            path,
+            format!("checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"),
+        ));
+    }
+
+    let mut c = Cursor {
+        data: payload,
+        pos: 0,
+        path,
+    };
+    if c.take(4)? != MAGIC {
+        return Err(corrupt(path, "bad magic"));
+    }
+    let version = c.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(corrupt(path, format!("unsupported version {version}")));
+    }
+    let n_fields = c.u32()? as usize;
+    let mut fields = Vec::with_capacity(n_fields);
+    for _ in 0..n_fields {
+        let name_len = c.u32()? as usize;
+        let name = std::str::from_utf8(c.take(name_len)?)
+            .map_err(|_| corrupt(path, "field name is not UTF-8"))?
+            .to_string();
+        let dtype = c
+            .u8()
+            .ok()
+            .and_then(tag_dtype)
+            .ok_or_else(|| corrupt(path, "bad dtype tag"))?;
+        fields.push(Field::new(name, dtype));
+    }
+    let schema = Schema::new(fields);
+
+    // Rows occupy everything up to the 8-byte row count at the payload's end.
+    let rows_end = payload.len() - 8;
+    let mut rows: Vec<Row> = Vec::new();
+    while c.pos < rows_end {
+        let mut vals = Vec::with_capacity(n_fields);
+        for _ in 0..n_fields {
+            let v = match c.u8()? {
+                0 => Value::Null,
+                1 => Value::All,
+                2 => Value::Int(i64::from_le_bytes(c.take(8)?.try_into().unwrap())),
+                3 => Value::Float(f64::from_bits(u64::from_le_bytes(
+                    c.take(8)?.try_into().unwrap(),
+                ))),
+                4 => {
+                    let len = c.u32()? as usize;
+                    let s = std::str::from_utf8(c.take(len)?)
+                        .map_err(|_| corrupt(path, "string value is not UTF-8"))?;
+                    Value::str(s)
+                }
+                5 => Value::Bool(c.u8()? != 0),
+                t => return Err(corrupt(path, format!("bad value tag {t}"))),
+            };
+            vals.push(v);
+        }
+        rows.push(Row::new(vals));
+    }
+    if c.pos != rows_end {
+        return Err(corrupt(path, "row data overruns the trailer"));
+    }
+    c.pos = rows_end;
+    let row_count = c.u64()?;
+    if row_count != rows.len() as u64 {
+        return Err(corrupt(
+            path,
+            format!(
+                "row count {row_count} does not match {} decoded rows",
+                rows.len()
+            ),
+        ));
+    }
+    Ok((Relation::from_rows(schema, rows), data.len() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mdj-spill-unit-{}-{}", std::process::id(), tag));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn gnarly() -> Relation {
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("x", DataType::Float),
+            ("s", DataType::Str),
+            ("f", DataType::Bool),
+            ("a", DataType::Any),
+        ]);
+        Relation::from_rows(
+            schema,
+            vec![
+                Row::new(vec![
+                    Value::Int(i64::MIN),
+                    Value::Float(f64::NAN),
+                    Value::str("naïve — ünïcödé"),
+                    Value::Bool(true),
+                    Value::All,
+                ]),
+                Row::new(vec![
+                    Value::Int(i64::MAX),
+                    Value::Float(-0.0),
+                    Value::str(""),
+                    Value::Bool(false),
+                    Value::Null,
+                ]),
+                Row::new(vec![
+                    Value::Int(0),
+                    Value::Float(f64::INFINITY),
+                    Value::str("line\nbreak\t\"quote\""),
+                    Value::Bool(true),
+                    Value::Int(42),
+                ]),
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let dir = tmp_dir("roundtrip");
+        let rel = gnarly();
+        let run = write_run(&dir, "t", &rel).unwrap();
+        assert_eq!(run.rows(), 3);
+        let (back, bytes_read) = read_run(run.path()).unwrap();
+        assert_eq!(bytes_read, run.bytes_written());
+        assert_eq!(back.schema(), rel.schema());
+        // Value equality is bit-equality for floats, so NaN and -0.0 must
+        // survive exactly.
+        assert_eq!(back.rows(), rel.rows());
+        assert!(back.rows()[1][1] == Value::Float(-0.0));
+        assert_eq!(
+            match &back.rows()[1][1] {
+                Value::Float(x) => x.to_bits(),
+                _ => panic!(),
+            },
+            (-0.0f64).to_bits()
+        );
+        drop(run);
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn empty_relation_round_trips() {
+        let dir = tmp_dir("empty");
+        let rel = Relation::empty(gnarly().schema().clone());
+        let run = write_run(&dir, "e", &rel).unwrap();
+        let (back, _) = read_run(run.path()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.schema(), rel.schema());
+        drop(run);
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn checksum_detects_a_flipped_byte() {
+        let dir = tmp_dir("flip");
+        let run = write_run(&dir, "c", &gnarly()).unwrap();
+        let mut data = fs::read(run.path()).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x40;
+        fs::write(run.path(), &data).unwrap();
+        let err = read_run(run.path()).unwrap_err();
+        assert!(
+            matches!(err, StorageError::SpillCorrupt { .. }),
+            "want SpillCorrupt, got {err:?}"
+        );
+        drop(run);
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let dir = tmp_dir("trunc");
+        let run = write_run(&dir, "t", &gnarly()).unwrap();
+        let data = fs::read(run.path()).unwrap();
+        for cut in [data.len() / 2, data.len() - 1, 4] {
+            fs::write(run.path(), &data[..cut]).unwrap();
+            let err = read_run(run.path()).unwrap_err();
+            assert!(
+                matches!(err, StorageError::SpillCorrupt { .. }),
+                "cut at {cut}: want SpillCorrupt, got {err:?}"
+            );
+        }
+        drop(run);
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn run_file_drop_removes_the_file() {
+        let dir = tmp_dir("raii");
+        let run = write_run(&dir, "d", &gnarly()).unwrap();
+        let path = run.path().to_path_buf();
+        assert!(path.exists());
+        drop(run);
+        assert!(!path.exists(), "RunFile drop leaked {}", path.display());
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn abandoned_writer_removes_the_file() {
+        let dir = tmp_dir("abandon");
+        let rel = gnarly();
+        let mut w = RunWriter::create(&dir, "a", rel.schema()).unwrap();
+        w.push(&rel.rows()[0]).unwrap();
+        let path = w.path.clone().unwrap();
+        assert!(path.exists());
+        drop(w); // error path: finish never called
+        assert!(!path.exists(), "RunWriter drop leaked {}", path.display());
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let dir = tmp_dir("arity");
+        let rel = gnarly();
+        let mut w = RunWriter::create(&dir, "x", rel.schema()).unwrap();
+        let err = w.push(&Row::new(vec![Value::Int(1)])).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+        drop(w);
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn unique_names_do_not_collide() {
+        let dir = tmp_dir("uniq");
+        let rel = gnarly();
+        let a = write_run(&dir, "same", &rel).unwrap();
+        let b = write_run(&dir, "same", &rel).unwrap();
+        assert_ne!(a.path(), b.path());
+        drop((a, b));
+        let _ = fs::remove_dir(&dir);
+    }
+}

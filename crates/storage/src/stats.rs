@@ -79,6 +79,12 @@ pub struct ScanStats {
     /// Batches (or batch sub-steps) that fell back to the scalar interpreter
     /// because the expression shape or column data had no typed kernel.
     batch_fallbacks: AtomicU64,
+    /// Bytes written to spill run files by spill-degradation.
+    bytes_spilled: AtomicU64,
+    /// Spill partitions (run files) written.
+    spill_partitions: AtomicU64,
+    /// Bytes read back from spill run files.
+    spill_read_bytes: AtomicU64,
     /// `Auto` batch-coverage decisions made (one per Auto-planned run).
     auto_decisions: AtomicU64,
     /// Modeled batch coverage of the most recent `Auto` decision, in per-mille
@@ -134,6 +140,16 @@ impl ScanStats {
 
     pub fn record_batch_fallback(&self) {
         self.batch_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one spill partition written: `n` bytes landed in a run file.
+    pub fn record_spill_partition(&self, n: u64) {
+        self.spill_partitions.fetch_add(1, Ordering::Relaxed);
+        self.bytes_spilled.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_spill_read_bytes(&self, n: u64) {
+        self.spill_read_bytes.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Record one `Auto` plan decision: the modeled batch coverage (‰ of
@@ -197,6 +213,18 @@ impl ScanStats {
         self.batch_fallbacks.load(Ordering::Relaxed)
     }
 
+    pub fn bytes_spilled(&self) -> u64 {
+        self.bytes_spilled.load(Ordering::Relaxed)
+    }
+
+    pub fn spill_partitions(&self) -> u64 {
+        self.spill_partitions.load(Ordering::Relaxed)
+    }
+
+    pub fn spill_read_bytes(&self) -> u64 {
+        self.spill_read_bytes.load(Ordering::Relaxed)
+    }
+
     pub fn auto_decisions(&self) -> u64 {
         self.auto_decisions.load(Ordering::Relaxed)
     }
@@ -229,6 +257,9 @@ impl ScanStats {
         self.degradations.store(0, Ordering::Relaxed);
         self.batches.store(0, Ordering::Relaxed);
         self.batch_fallbacks.store(0, Ordering::Relaxed);
+        self.bytes_spilled.store(0, Ordering::Relaxed);
+        self.spill_partitions.store(0, Ordering::Relaxed);
+        self.spill_read_bytes.store(0, Ordering::Relaxed);
         self.auto_decisions.store(0, Ordering::Relaxed);
         self.auto_coverage_permille.store(0, Ordering::Relaxed);
         self.auto_batched.store(0, Ordering::Relaxed);
@@ -251,6 +282,9 @@ impl ScanStats {
             degradations: self.degradations(),
             batches: self.batches(),
             batch_fallbacks: self.batch_fallbacks(),
+            bytes_spilled: self.bytes_spilled(),
+            spill_partitions: self.spill_partitions(),
+            spill_read_bytes: self.spill_read_bytes(),
             auto_decisions: self.auto_decisions(),
             auto_coverage_permille: self.auto_coverage_permille(),
             auto_batched: self.auto_batched(),
@@ -279,6 +313,12 @@ pub struct StatsSnapshot {
     pub batches: u64,
     /// Batches that fell back to the scalar interpreter for some sub-step.
     pub batch_fallbacks: u64,
+    /// Bytes written to spill run files (0 when nothing spilled).
+    pub bytes_spilled: u64,
+    /// Spill partitions (run files) written.
+    pub spill_partitions: u64,
+    /// Bytes read back from spill run files.
+    pub spill_read_bytes: u64,
     /// `Auto` batch-coverage decisions made (one per Auto-planned run).
     pub auto_decisions: u64,
     /// Modeled batch coverage (‰ of per-tuple work units) behind the most
@@ -298,6 +338,11 @@ impl StatsSnapshot {
             || self.morsel_retries > 0
             || self.bytes_charged > 0
             || self.degradations > 0
+    }
+
+    /// True if the run spilled partitions to disk (or read them back).
+    pub fn spill_active(&self) -> bool {
+        self.bytes_spilled > 0 || self.spill_partitions > 0 || self.spill_read_bytes > 0
     }
 }
 
@@ -332,6 +377,13 @@ impl std::fmt::Display for StatsSnapshot {
                 f,
                 "\n  governor: cancel_polls={} retries={} bytes_charged={} degradations={}",
                 self.cancel_polls, self.morsel_retries, self.bytes_charged, self.degradations
+            )?;
+        }
+        if self.spill_active() {
+            write!(
+                f,
+                "\n  spill: partitions={} bytes_spilled={} read_bytes={}",
+                self.spill_partitions, self.bytes_spilled, self.spill_read_bytes
             )?;
         }
         for w in &self.workers {
@@ -415,6 +467,28 @@ mod tests {
         assert!(snap
             .to_string()
             .contains("auto: coverage=857‰ plan=vectorized"));
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn spill_counters_accumulate_and_display() {
+        let s = ScanStats::new();
+        assert!(!s.snapshot().spill_active());
+        assert!(!s.snapshot().to_string().contains("spill:"));
+        s.record_spill_partition(700);
+        s.record_spill_partition(324);
+        s.record_spill_read_bytes(1024);
+        let snap = s.snapshot();
+        assert!(snap.spill_active());
+        // Spilling alone is not governor activity (and vice versa).
+        assert!(!snap.governor_active());
+        assert_eq!(snap.spill_partitions, 2);
+        assert_eq!(snap.bytes_spilled, 1024);
+        assert_eq!(snap.spill_read_bytes, 1024);
+        assert!(snap
+            .to_string()
+            .contains("spill: partitions=2 bytes_spilled=1024 read_bytes=1024"));
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }

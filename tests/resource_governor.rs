@@ -291,6 +291,121 @@ fn ample_budget_changes_nothing_for_any_strategy() {
     }
 }
 
+// ------------------------------------------------- spill accounting invariants
+
+/// Spilling degradation (`SpillPolicy::Always`) under a tight budget: the
+/// answer is row-identical to serial, the accounting invariants hold —
+/// nothing stays charged, nothing reads more than was written — and the
+/// spill counters reach the `EXPLAIN ANALYZE` surface.
+#[test]
+fn spill_degradation_conserves_accounting_and_surfaces_counters() {
+    let r = sales(4_000);
+    let b = base_of(&r); // 23 base rows
+    let expected = join(&b, &r, ExecStrategy::Serial)
+        .run(&ExecContext::new())
+        .unwrap();
+    let dir = std::env::temp_dir().join(format!("mdj-governor-spill-{}", std::process::id()));
+    let stats = Arc::new(ScanStats::new());
+    let ctx = ExecContext::new()
+        .with_budget_bytes(5 * per_row())
+        .with_spill_policy(SpillPolicy::Always)
+        .with_spill_dir(&dir)
+        .with_stats(stats.clone());
+    let got = join(&b, &r, ExecStrategy::Serial).run(&ctx).unwrap();
+    assert_eq!(
+        expected.rows(),
+        got.rows(),
+        "spilling run must be row-identical to the unbudgeted serial run"
+    );
+    assert!(stats.spill_partitions() > 0, "Always policy never spilled");
+    assert!(stats.spill_read_bytes() > 0);
+    // Conservation: no attempt reads more than it wrote (an attempt aborted
+    // by a skewed-bucket breach drops its remaining run files unread, so
+    // spilled can strictly exceed read across retries)...
+    assert!(stats.bytes_spilled() >= stats.spill_read_bytes());
+    // ...and every charged byte is released by the end of the query.
+    assert_eq!(ctx.memory.as_ref().unwrap().charged(), 0);
+    assert!(stats.bytes_charged() > 0);
+    // Counters reach the EXPLAIN ANALYZE surface.
+    let snap = stats.snapshot();
+    assert!(snap.spill_active());
+    let rendered = snap.to_string();
+    assert!(
+        rendered.contains("spill:"),
+        "missing spill line: {rendered}"
+    );
+    // RAII: the spill directory holds no run files after the query.
+    if let Ok(entries) = std::fs::read_dir(&dir) {
+        assert_eq!(entries.count(), 0, "leaked run files");
+    }
+    let _ = std::fs::remove_dir(&dir);
+}
+
+/// Exact `bytes_spilled == spill_read_bytes` conservation holds whenever
+/// the first spill attempt succeeds (one degradation, no skew retry). Scan
+/// budgets from generous to tight and pin the invariant on every such run.
+#[test]
+fn single_attempt_spill_reads_back_every_byte_written() {
+    let r = sales(4_000);
+    let b = base_of(&r);
+    let expected = join(&b, &r, ExecStrategy::Serial)
+        .run(&ExecContext::new())
+        .unwrap();
+    let dir = std::env::temp_dir().join(format!("mdj-governor-spill1-{}", std::process::id()));
+    let mut pinned = 0;
+    for mult in [20, 14, 10, 7, 5, 3] {
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ExecContext::new()
+            .with_spill_policy(SpillPolicy::Always)
+            .with_spill_dir(&dir)
+            .with_stats(stats.clone());
+        let got = join(&b, &r, ExecStrategy::Serial)
+            .budget_bytes(mult * per_row())
+            .run(&ctx)
+            .unwrap();
+        assert_eq!(expected.rows(), got.rows(), "budget {mult}×per_row");
+        if stats.spill_partitions() > 0 && stats.degradations() == 1 {
+            assert_eq!(
+                stats.bytes_spilled(),
+                stats.spill_read_bytes(),
+                "single-attempt spill at {mult}×per_row must read back every byte"
+            );
+            pinned += 1;
+        }
+    }
+    assert!(
+        pinned > 0,
+        "no budget in the grid produced a single-attempt spilling run"
+    );
+    let _ = std::fs::remove_dir(&dir);
+}
+
+/// `SpillPolicy::Never` forces rescan degradation: same answer, more scans,
+/// and the spill counters stay at zero.
+#[test]
+fn never_policy_degrades_by_rescan_only() {
+    let r = sales(4_000);
+    let b = base_of(&r);
+    let expected = join(&b, &r, ExecStrategy::Serial)
+        .run(&ExecContext::new())
+        .unwrap();
+    let stats = Arc::new(ScanStats::new());
+    let ctx = ExecContext::new()
+        .with_spill_policy(SpillPolicy::Never)
+        .with_stats(stats.clone());
+    let got = join(&b, &r, ExecStrategy::Serial)
+        .budget_bytes(5 * per_row())
+        .run(&ctx)
+        .unwrap();
+    assert_eq!(expected.rows(), got.rows());
+    assert!(stats.degradations() >= 1);
+    assert!(stats.scans() > 1, "rescan degradation re-scans R");
+    assert_eq!(stats.spill_partitions(), 0);
+    assert_eq!(stats.bytes_spilled(), 0);
+    assert_eq!(stats.spill_read_bytes(), 0);
+    assert!(!stats.snapshot().spill_active());
+}
+
 // --------------------------------------------------------- builder overrides
 
 #[test]
