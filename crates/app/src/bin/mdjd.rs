@@ -1,0 +1,302 @@
+//! `mdjd` — the multi-tenant MD-join query server daemon.
+//!
+//! Boots a [`mdj_server::Server`] over generated `Sales` and `Payments`
+//! tables and serves the line-delimited JSON protocol (see
+//! `crates/server/src/wire.rs`) on a TCP port. All sessions share one
+//! immutable engine configuration; per-query memory budgets are drawn from
+//! a global pool with bounded-queue admission control.
+//!
+//! ```text
+//! cargo run -p mdj-app --bin mdjd --release -- [flags]
+//!
+//!   --port N        listen port (default 7450; 0 = ephemeral)
+//!   --rows N        generated rows per table (default 20000)
+//!   --pool BYTES    global memory pool capacity (default 268435456)
+//!   --budget BYTES  default per-query budget (default 16777216)
+//!   --queue N       max queries waiting for admission (default 32)
+//!   --wait MS       max admission wait before PoolExhausted (default 500)
+//!   --deadline MS   default per-query deadline (default 30000; 0 = none)
+//!   --self-test     boot on an ephemeral port, run a scripted smoke
+//!                   session (ping/open/prepare/execute/cancel/shed/close)
+//!                   against the real socket, and exit nonzero on failure
+//! ```
+//!
+//! The `--self-test` mode is what CI runs: it exercises the full TCP path —
+//! prepared statements, parameter binding, mid-flight cancellation, typed
+//! load shedding (`deadline_exceeded`, `pool_exhausted`) — and asserts the
+//! pool drains back to zero bytes.
+
+use mdj_core::EngineConfig;
+use mdj_server::{QueryService, Server, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+struct Args {
+    port: u16,
+    rows: usize,
+    pool: usize,
+    budget: usize,
+    queue: usize,
+    wait_ms: u64,
+    deadline_ms: u64,
+    self_test: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            port: 7450,
+            rows: 20_000,
+            pool: 256 << 20,
+            budget: 16 << 20,
+            queue: 32,
+            wait_ms: 500,
+            deadline_ms: 30_000,
+            self_test: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut numeric = |name: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die(&format!("{name} needs a numeric argument")))
+        };
+        match flag.as_str() {
+            "--port" => args.port = numeric("--port") as u16,
+            "--rows" => args.rows = numeric("--rows") as usize,
+            "--pool" => args.pool = numeric("--pool") as usize,
+            "--budget" => args.budget = numeric("--budget") as usize,
+            "--queue" => args.queue = numeric("--queue") as usize,
+            "--wait" => args.wait_ms = numeric("--wait"),
+            "--deadline" => args.deadline_ms = numeric("--deadline"),
+            "--self-test" => args.self_test = true,
+            "--help" | "-h" => {
+                println!("usage: mdjd [--port N] [--rows N] [--pool BYTES] [--budget BYTES] [--queue N] [--wait MS] [--deadline MS] [--self-test]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("mdjd: {msg}");
+    std::process::exit(2);
+}
+
+fn build_service(args: &Args) -> Arc<QueryService> {
+    let sales = mdj_datagen::sales(&mdj_datagen::SalesConfig::default().with_rows(args.rows));
+    let payments =
+        mdj_datagen::payments(&mdj_datagen::PaymentsConfig::default().with_rows(args.rows));
+    let engine = EngineConfig::new()
+        .register_table("Sales", sales)
+        .register_table("Payments", payments)
+        .build();
+    let config = ServiceConfig {
+        pool_bytes: args.pool,
+        default_budget: args.budget,
+        max_waiters: args.queue,
+        admission_wait: Duration::from_millis(args.wait_ms),
+        default_deadline: match args.deadline_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
+    };
+    Arc::new(QueryService::new(engine, config))
+}
+
+fn main() {
+    let args = parse_args();
+    if args.self_test {
+        self_test::run(&args);
+        return;
+    }
+    let service = build_service(&args);
+    let server = Server::bind(("0.0.0.0", args.port), service)
+        .unwrap_or_else(|e| die(&format!("bind failed: {e}")));
+    println!(
+        "mdjd listening on {} ({} rows/table, pool {} MiB, queue {}, wait {} ms)",
+        server.local_addr(),
+        args.rows,
+        args.pool >> 20,
+        args.queue,
+        args.wait_ms,
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+/// The CI smoke session: a scripted client driving the real TCP socket.
+mod self_test {
+    use super::{build_service, Args};
+    use mdj_server::Server;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{SocketAddr, TcpStream};
+
+    /// One line-delimited JSON client connection.
+    struct Client {
+        writer: TcpStream,
+        reader: BufReader<TcpStream>,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let writer = TcpStream::connect(addr).expect("connect");
+            let reader = BufReader::new(writer.try_clone().expect("clone"));
+            Client { writer, reader }
+        }
+
+        fn send(&mut self, line: &str) -> String {
+            self.writer.write_all(line.as_bytes()).expect("write");
+            self.writer.write_all(b"\n").expect("write");
+            self.writer.flush().expect("flush");
+            let mut resp = String::new();
+            self.reader.read_line(&mut resp).expect("read");
+            resp
+        }
+    }
+
+    fn check(step: &str, resp: &str, needle: &str) {
+        if !resp.contains(needle) {
+            eprintln!("mdjd self-test FAILED at `{step}`:\n  expected substring: {needle}\n  response: {resp}");
+            std::process::exit(1);
+        }
+        println!("ok: {step}");
+    }
+
+    fn int_field(resp: &str, key: &str) -> i64 {
+        // The wire format is single-line JSON with sorted keys; a substring
+        // scan is enough for the smoke test's integer fields.
+        let marker = format!("\"{key}\":");
+        let start = resp.find(&marker).map(|i| i + marker.len());
+        let Some(start) = start else {
+            eprintln!("mdjd self-test FAILED: no `{key}` in {resp}");
+            std::process::exit(1);
+        };
+        resp[start..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '-')
+            .collect::<String>()
+            .parse()
+            .unwrap_or_else(|_| {
+                eprintln!("mdjd self-test FAILED: bad `{key}` in {resp}");
+                std::process::exit(1);
+            })
+    }
+
+    pub fn run(args: &Args) {
+        let service = build_service(args);
+        let server = Server::bind("127.0.0.1:0", service.clone()).expect("bind");
+        let addr = server.local_addr();
+        println!("mdjd self-test against {addr} ({} rows/table)", args.rows);
+
+        let mut c = Client::connect(addr);
+        check("ping", &c.send(r#"{"op":"ping"}"#), "\"ok\":true");
+
+        let resp = c.send(r#"{"op":"open"}"#);
+        check("open", &resp, "\"ok\":true");
+        let sid = int_field(&resp, "session");
+
+        // Prepared statement with a `?` placeholder, bound per execute.
+        let resp = c.send(&format!(
+            r#"{{"op":"prepare","session":{sid},"sql":"select cust, sum(sale) from Sales where month = ? group by cust"}}"#
+        ));
+        check("prepare", &resp, "\"params\":1");
+        let stmt = int_field(&resp, "stmt");
+
+        let resp = c.send(&format!(
+            r#"{{"op":"execute","session":{sid},"stmt":{stmt},"args":[3],"tag":"q1"}}"#
+        ));
+        check("execute", &resp, "\"rows\":[[");
+
+        // Re-binding the same statement with a different value.
+        let resp = c.send(&format!(
+            r#"{{"op":"execute","session":{sid},"stmt":{stmt},"args":[7]}}"#
+        ));
+        check("rebind", &resp, "\"ok\":true");
+
+        // Mid-flight cancellation: a heavy cube query runs on this
+        // connection in a spawned thread while a *second* connection sends
+        // the cancel — sessions are service-global, so out-of-band
+        // cancellation must work across connections.
+        let heavy = format!(
+            r#"{{"op":"query","session":{sid},"sql":"select cust, prod, month, sum(sale) from Sales analyze by cube(cust, prod, month)","tag":"slow","deadline_ms":60000}}"#
+        );
+        // The thread returns the client so the connection stays open —
+        // dropping it would trigger the server's disconnect cleanup and
+        // close the session out from under the rest of the script.
+        let runner = std::thread::spawn(move || {
+            let resp = c.send(&heavy);
+            (c, resp)
+        });
+        let mut side = Client::connect(addr);
+        let mut cancelled = false;
+        for _ in 0..500 {
+            let resp = side.send(&format!(
+                r#"{{"op":"cancel","session":{sid},"tag":"slow"}}"#
+            ));
+            check("cancel rpc", &resp, "\"ok\":true");
+            if resp.contains("\"cancelled\":true") {
+                cancelled = true;
+                break;
+            }
+            if runner.is_finished() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let (mut c, resp) = runner.join().expect("runner thread");
+        if cancelled {
+            check("cancelled outcome", &resp, "\"code\":\"cancelled\"");
+        } else {
+            // The cube finished before the cancel landed — still a pass,
+            // but say so in the log.
+            check("heavy finished before cancel", &resp, "\"ok\":true");
+        }
+        drop(side);
+
+        // Typed shedding: an immediate deadline trips `deadline_exceeded`
+        // at the first governor poll ...
+        let resp = c.send(&format!(
+            r#"{{"op":"query","session":{sid},"sql":"select cust, sum(sale) from Sales group by cust","deadline_ms":0}}"#
+        ));
+        check("deadline shed", &resp, "\"code\":\"deadline_exceeded\"");
+
+        // ... and a budget larger than the whole pool sheds with
+        // `pool_exhausted` without executing anything.
+        let resp = c.send(&format!(
+            r#"{{"op":"query","session":{sid},"sql":"select count(*) from Sales","budget":{}}}"#,
+            args.pool + 1
+        ));
+        check("pool shed", &resp, "\"code\":\"pool_exhausted\"");
+
+        // The pool must be fully drained now that nothing is running.
+        let resp = c.send(r#"{"op":"stats"}"#);
+        check("pool drained", &resp, "\"pool_reserved\":0");
+
+        check(
+            "close",
+            &c.send(&format!(r#"{{"op":"close","session":{sid}}}"#)),
+            "\"ok\":true",
+        );
+        check(
+            "double close rejected",
+            &c.send(&format!(r#"{{"op":"close","session":{sid}}}"#)),
+            "\"code\":\"unknown_session\"",
+        );
+
+        if service.pool().reserved() != 0 {
+            eprintln!("mdjd self-test FAILED: pool not drained");
+            std::process::exit(1);
+        }
+        println!("mdjd self-test passed");
+    }
+}

@@ -79,7 +79,7 @@ fn main() {
     let mut engine = SqlEngine::new(catalog);
 
     let cancel = CancelToken::new();
-    engine.ctx.cancel = Some(cancel.clone());
+    engine.ctx.set_cancel_token(Some(cancel.clone()));
     let ctrl_c = sigint::install(cancel.clone());
     let mut timeout: Option<Duration> = None;
 
@@ -118,7 +118,9 @@ fn main() {
         // Re-arm the governor for this statement: clear any Ctrl-C left over
         // from a previous query and start the deadline clock now.
         cancel.reset();
-        engine.ctx.deadline = timeout.map(|d| std::time::Instant::now() + d);
+        engine
+            .ctx
+            .set_deadline_at(timeout.map(|d| std::time::Instant::now() + d));
         run_query(&engine, input);
     }
 }

@@ -224,7 +224,7 @@ impl<'a> MdJoin<'a> {
             self.b.schema(),
             self.r.schema(),
             &blocks,
-            &ctx.registry,
+            ctx.registry(),
         )
     }
 
@@ -237,13 +237,13 @@ impl<'a> MdJoin<'a> {
         // context (possibly shared across queries) is never mutated.
         let mut ctx = ctx.clone();
         if let Some(token) = &self.cancel {
-            ctx.cancel = Some(token.clone());
+            ctx.set_cancel_token(Some(token.clone()));
         }
         if let Some(budget) = self.deadline {
-            ctx.deadline = Some(std::time::Instant::now() + budget);
+            ctx.set_deadline_at(Some(std::time::Instant::now() + budget));
         }
         if let Some(bytes) = self.budget {
-            ctx.memory = Some(Arc::new(MemoryTracker::new(bytes)));
+            ctx.set_memory(Some(Arc::new(MemoryTracker::new(bytes))));
         }
         self.run_with(&ctx)
     }
@@ -275,7 +275,7 @@ impl<'a> MdJoin<'a> {
             ExecStrategy::Vectorized => {
                 let threads = self.resolve_threads();
                 let splittable = self.b.len().max(self.r.len());
-                if threads <= 1 || splittable <= ctx.morsel_size {
+                if threads <= 1 || splittable <= ctx.morsel_size() {
                     run_degradable(self.b, self.r, &aggs, &theta, ctx, 1, true)
                 } else {
                     md_join_morsel_opts(
@@ -338,7 +338,7 @@ impl<'a> MdJoin<'a> {
                 // and the parallel footprint would breach it, prefer the
                 // degradable serial/partitioned path (Theorem 4.1) over a
                 // parallel plan that can only fail.
-                if let Some(tracker) = &ctx.memory {
+                if let Some(tracker) = ctx.memory() {
                     let per_worker = governor::state_bytes(self.b.len(), aggs.len())
                         .saturating_add(governor::index_bytes(self.b.len()));
                     let parallel_cost = per_worker.saturating_mul(threads.max(1));
@@ -349,7 +349,7 @@ impl<'a> MdJoin<'a> {
                 // A parallel run only pays off once the split side spans
                 // several morsels; below that, scheduling overhead dominates.
                 let splittable = self.b.len().max(self.r.len());
-                if threads <= 1 || splittable <= ctx.morsel_size {
+                if threads <= 1 || splittable <= ctx.morsel_size() {
                     run_degradable(self.b, self.r, &aggs, &theta, ctx, 1, vectorized)
                 } else {
                     md_join_morsel_opts(
@@ -416,7 +416,7 @@ fn run_degradable(
         };
         match attempt {
             Err(CoreError::BudgetExceeded { .. }) if m < b.len() => {
-                let tracker = ctx.memory.as_ref().ok_or_else(|| {
+                let tracker = ctx.memory().ok_or_else(|| {
                     CoreError::Internal("budget breach reported without a tracker".into())
                 })?;
                 let peak = tracker.peak().max(1);
@@ -431,7 +431,7 @@ fn run_degradable(
                 let key_width = partition_key_width(b.schema(), theta);
                 let costed = cost::cost_partitions(b.len(), aggs.len(), key_width, budget);
                 m = scaled.max(costed).max(m + 1).min(b.len());
-                mode = cost::choose_mode(m, r.len(), key_width, ctx.spill);
+                mode = cost::choose_mode(m, r.len(), key_width, ctx.spill_policy());
                 ctx.record_degradation();
                 tracker.reset_peak();
             }
@@ -730,7 +730,7 @@ mod tests {
             .cancel_token(token)
             .run(&ctx);
         assert!(matches!(err, Err(CoreError::Cancelled)));
-        assert!(ctx.cancel.is_none() && ctx.memory.is_none() && ctx.deadline.is_none());
+        assert!(ctx.cancel().is_none() && ctx.memory().is_none() && ctx.deadline().is_none());
         // The same builder without the token still runs under the same ctx.
         MdJoin::new(&b, &s)
             .theta(eq(col_b("cust"), col_r("cust")))

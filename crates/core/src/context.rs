@@ -1,10 +1,23 @@
-//! Execution context: aggregate registry, probe strategy, scan accounting,
-//! and the query governor (cancellation, deadline, memory budget).
+//! Execution context, split for multi-tenant service use into an immutable,
+//! shareable [`EngineConfig`] and a per-query [`QueryCtx`].
+//!
+//! One `Arc<EngineConfig>` — aggregate registry, planning knobs, spill
+//! policy, and a catalog of copy-on-write relations — serves any number of
+//! concurrent queries without cloning relation data. Everything that must be
+//! isolated per query (stats, cancellation, deadline, memory tracker) lives
+//! in `QueryCtx`. [`ExecContext`], the handle every evaluator consumes, is
+//! just the pair; cloning it clones the cheap per-query half and bumps the
+//! engine `Arc`.
+//!
+//! The raw fields of all three types are sealed: read through the accessor
+//! methods, write through the builder-style `with_*` setters (or the few
+//! explicit `set_*` mutators shells need). This keeps the public surface
+//! stable while the internals move between the two halves.
 
 use crate::error::{CoreError, Result};
 use crate::governor::{CancelToken, MemoryTracker};
 use mdj_agg::Registry;
-use mdj_storage::ScanStats;
+use mdj_storage::{Catalog, ScanStats};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -42,51 +55,6 @@ pub enum SpillPolicy {
     Always,
 }
 
-/// Shared, immutable evaluation context.
-///
-/// The default context uses the standard aggregate registry, the `Auto`
-/// strategy, no stats collection, and no governor limits (no cancellation
-/// token, no deadline, no memory budget).
-#[derive(Debug, Clone)]
-pub struct ExecContext {
-    pub registry: Registry,
-    pub strategy: ProbeStrategy,
-    /// Apply Theorem 4.2 inside the operator: evaluate detail-only conjuncts
-    /// of θ once per scanned tuple, before any base-row work. On by default;
-    /// turn off only for ablation measurements (experiment E6).
-    pub prefilter: bool,
-    /// When set, operators record scans/tuples/probes/updates here.
-    pub stats: Option<Arc<ScanStats>>,
-    /// Rows per work unit for the morsel-driven parallel executor. Small
-    /// enough that stealing rebalances skew, large enough to amortize queue
-    /// traffic.
-    pub morsel_size: usize,
-    /// Cooperative cancellation: every strategy polls this at
-    /// morsel/partition/chunk granularity and stops with
-    /// [`CoreError::Cancelled`] once triggered.
-    pub cancel: Option<CancelToken>,
-    /// Wall-clock deadline, polled at the same points as `cancel`; past it
-    /// evaluation stops with [`CoreError::DeadlineExceeded`].
-    pub deadline: Option<Instant>,
-    /// Memory budget accounting: evaluators charge base-state and
-    /// probe-index allocations here. Set via [`with_budget_bytes`]
-    /// (`Self::with_budget_bytes`); a breach degrades in-memory strategies
-    /// into Theorem 4.1 partitioned evaluation (see `builder`).
-    pub memory: Option<Arc<MemoryTracker>>,
-    /// How many times the morsel executor re-runs a panicked morsel before
-    /// surfacing [`CoreError::MorselPanicked`].
-    pub max_morsel_retries: u32,
-    /// Whether budget-breach degradation may spill partitions of `R` to
-    /// disk (see [`SpillPolicy`]).
-    pub spill: SpillPolicy,
-    /// Directory for spill run files; `None` = the system temp directory.
-    /// Files are RAII-deleted, so the directory only holds live runs.
-    pub spill_dir: Option<PathBuf>,
-    /// Deterministic fault injection for the robustness test harness.
-    #[cfg(feature = "fault-injection")]
-    pub fault: Option<Arc<crate::fault::FaultInjector>>,
-}
-
 /// Default morsel granularity (rows per task) for the parallel executor.
 pub const DEFAULT_MORSEL_SIZE: usize = 4096;
 
@@ -98,43 +66,55 @@ pub const DEFAULT_MORSEL_RETRIES: u32 = 1;
 /// that cancellation latency stays far below human-visible.
 pub(crate) const CANCEL_CHECK_INTERVAL: usize = 1024;
 
-impl Default for ExecContext {
+/// The immutable, `Send + Sync` half of the execution context: everything
+/// that is property of the *engine*, not of one query.
+///
+/// Build one, wrap it in an `Arc`, and share it across every session and
+/// worker thread of a process. Relations in the [`catalog`](Self::catalog)
+/// are stored behind `Arc`s, so queries read them without copies; replacing
+/// a table produces a new catalog entry and never disturbs in-flight readers
+/// (copy-on-write at the granularity of whole relations).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    registry: Registry,
+    strategy: ProbeStrategy,
+    prefilter: bool,
+    morsel_size: usize,
+    max_morsel_retries: u32,
+    spill: SpillPolicy,
+    spill_dir: Option<PathBuf>,
+    catalog: Catalog,
+}
+
+impl Default for EngineConfig {
     fn default() -> Self {
-        ExecContext {
+        EngineConfig {
             registry: Registry::default(),
             strategy: ProbeStrategy::default(),
             prefilter: true,
-            stats: None,
             morsel_size: DEFAULT_MORSEL_SIZE,
-            cancel: None,
-            deadline: None,
-            memory: None,
             max_morsel_retries: DEFAULT_MORSEL_RETRIES,
             spill: SpillPolicy::default(),
             spill_dir: None,
-            #[cfg(feature = "fault-injection")]
-            fault: None,
+            catalog: Catalog::new(),
         }
     }
 }
 
-impl ExecContext {
+impl EngineConfig {
     pub fn new() -> Self {
         Self::default()
     }
 
-    pub fn with_strategy(mut self, strategy: ProbeStrategy) -> Self {
-        self.strategy = strategy;
-        self
-    }
+    // ----- builder setters -----
 
     pub fn with_registry(mut self, registry: Registry) -> Self {
         self.registry = registry;
         self
     }
 
-    pub fn with_stats(mut self, stats: Arc<ScanStats>) -> Self {
-        self.stats = Some(stats);
+    pub fn with_strategy(mut self, strategy: ProbeStrategy) -> Self {
+        self.strategy = strategy;
         self
     }
 
@@ -147,28 +127,6 @@ impl ExecContext {
     /// Set the morsel granularity (rows per task) for the parallel executor.
     pub fn with_morsel_size(mut self, rows: usize) -> Self {
         self.morsel_size = rows;
-        self
-    }
-
-    /// Attach a cancellation token (cancel it from any thread to stop the
-    /// query at its next governor poll).
-    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
-        self.cancel = Some(token);
-        self
-    }
-
-    /// Give queries run under this context `budget` of wall-clock time from
-    /// now.
-    pub fn with_deadline(mut self, budget: Duration) -> Self {
-        self.deadline = Some(Instant::now() + budget);
-        self
-    }
-
-    /// Bound the estimated memory footprint of base-table aggregate state
-    /// and probe indexes. In-memory strategies that would exceed it are
-    /// re-planned into Theorem 4.1 partitioned evaluation.
-    pub fn with_budget_bytes(mut self, budget: usize) -> Self {
-        self.memory = Some(Arc::new(MemoryTracker::new(budget)));
         self
     }
 
@@ -191,9 +149,112 @@ impl ExecContext {
         self
     }
 
-    /// Resolved spill directory.
-    pub(crate) fn spill_dir(&self) -> PathBuf {
-        self.spill_dir.clone().unwrap_or_else(std::env::temp_dir)
+    /// Use `catalog` as this engine's table catalog.
+    pub fn with_catalog(mut self, catalog: Catalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// Register (or replace) a relation in the catalog.
+    pub fn register_table(mut self, name: impl Into<String>, rel: mdj_storage::Relation) -> Self {
+        self.catalog.register(name, rel);
+        self
+    }
+
+    /// Finish building: wrap in the `Arc` that sessions share.
+    pub fn build(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+
+    // ----- accessors -----
+
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    pub fn strategy(&self) -> ProbeStrategy {
+        self.strategy
+    }
+
+    pub fn prefilter(&self) -> bool {
+        self.prefilter
+    }
+
+    pub fn morsel_size(&self) -> usize {
+        self.morsel_size
+    }
+
+    pub fn max_morsel_retries(&self) -> u32 {
+        self.max_morsel_retries
+    }
+
+    pub fn spill_policy(&self) -> SpillPolicy {
+        self.spill
+    }
+
+    /// Configured spill directory, if any (`None` = system temp dir).
+    pub fn spill_dir(&self) -> Option<&PathBuf> {
+        self.spill_dir.as_ref()
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+}
+
+/// The mutable, per-query half of the execution context: stats sink,
+/// cancellation token, deadline, and memory tracker. One `QueryCtx` belongs
+/// to exactly one query execution; sharing its `stats` or `memory` across
+/// queries makes their counters bleed together (see
+/// `tests/concurrent_sessions.rs` for the regression this caused).
+#[derive(Debug, Clone, Default)]
+pub struct QueryCtx {
+    stats: Option<Arc<ScanStats>>,
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+    memory: Option<Arc<MemoryTracker>>,
+    #[cfg(feature = "fault-injection")]
+    fault: Option<Arc<crate::fault::FaultInjector>>,
+}
+
+impl QueryCtx {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_stats(mut self, stats: Arc<ScanStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Give the query `budget` of wall-clock time from now.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+
+    /// Set an absolute deadline instant.
+    pub fn with_deadline_at(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Bound the estimated memory footprint with a fresh tracker.
+    pub fn with_budget_bytes(mut self, budget: usize) -> Self {
+        self.memory = Some(Arc::new(MemoryTracker::new(budget)));
+        self
+    }
+
+    /// Attach an already-built tracker (e.g. one drawing its budget from a
+    /// shared [`MemoryPool`](crate::governor::MemoryPool)).
+    pub fn with_tracker(mut self, tracker: Arc<MemoryTracker>) -> Self {
+        self.memory = Some(tracker);
+        self
     }
 
     /// Attach a deterministic fault injector (robustness test harness).
@@ -203,6 +264,243 @@ impl ExecContext {
         self
     }
 
+    pub fn stats(&self) -> Option<&Arc<ScanStats>> {
+        self.stats.as_ref()
+    }
+
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    pub fn memory(&self) -> Option<&Arc<MemoryTracker>> {
+        self.memory.as_ref()
+    }
+}
+
+/// The evaluation context every operator consumes: one shared
+/// [`EngineConfig`] plus one per-query [`QueryCtx`].
+///
+/// The default context uses the standard aggregate registry, the `Auto`
+/// strategy, no stats collection, and no governor limits (no cancellation
+/// token, no deadline, no memory budget).
+///
+/// For single-user use the fluent `with_*` methods keep working exactly as
+/// before the split — each engine-side setter copies the config on write
+/// (`Arc::make_mut`), so a context built inline never mutates a config
+/// another session shares.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    engine: Arc<EngineConfig>,
+    query: QueryCtx,
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext {
+            engine: Arc::new(EngineConfig::default()),
+            query: QueryCtx::default(),
+        }
+    }
+}
+
+impl ExecContext {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assemble a context from a shared engine config and a per-query half.
+    /// This is the multi-tenant entry point: many threads call this against
+    /// the same `Arc` without cloning registry or relations.
+    pub fn from_parts(engine: Arc<EngineConfig>, query: QueryCtx) -> Self {
+        ExecContext { engine, query }
+    }
+
+    /// The shared engine half.
+    pub fn engine(&self) -> &Arc<EngineConfig> {
+        &self.engine
+    }
+
+    /// The per-query half.
+    pub fn query_ctx(&self) -> &QueryCtx {
+        &self.query
+    }
+
+    fn engine_mut(&mut self) -> &mut EngineConfig {
+        Arc::make_mut(&mut self.engine)
+    }
+
+    // ----- builder setters (engine half: copy-on-write) -----
+
+    pub fn with_strategy(mut self, strategy: ProbeStrategy) -> Self {
+        self.engine_mut().strategy = strategy;
+        self
+    }
+
+    pub fn with_registry(mut self, registry: Registry) -> Self {
+        self.engine_mut().registry = registry;
+        self
+    }
+
+    /// Disable the operator-level Theorem 4.2 prefilter (ablation knob).
+    pub fn without_prefilter(mut self) -> Self {
+        self.engine_mut().prefilter = false;
+        self
+    }
+
+    /// Set the morsel granularity (rows per task) for the parallel executor.
+    pub fn with_morsel_size(mut self, rows: usize) -> Self {
+        self.engine_mut().morsel_size = rows;
+        self
+    }
+
+    /// Bound per-morsel panic retries (0 = fail on first panic).
+    pub fn with_morsel_retries(mut self, retries: u32) -> Self {
+        self.engine_mut().max_morsel_retries = retries;
+        self
+    }
+
+    /// Choose whether budget-breach degradation may spill `R` partitions to
+    /// disk run files (default: cost-based [`SpillPolicy::Auto`]).
+    pub fn with_spill_policy(mut self, policy: SpillPolicy) -> Self {
+        self.engine_mut().spill = policy;
+        self
+    }
+
+    /// Directory for spill run files (default: the system temp directory).
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.engine_mut().spill_dir = Some(dir.into());
+        self
+    }
+
+    // ----- builder setters (query half) -----
+
+    pub fn with_stats(mut self, stats: Arc<ScanStats>) -> Self {
+        self.query.stats = Some(stats);
+        self
+    }
+
+    /// Attach a cancellation token (cancel it from any thread to stop the
+    /// query at its next governor poll).
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.query.cancel = Some(token);
+        self
+    }
+
+    /// Give queries run under this context `budget` of wall-clock time from
+    /// now.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.query.deadline = Some(Instant::now() + budget);
+        self
+    }
+
+    /// Bound the estimated memory footprint of base-table aggregate state
+    /// and probe-index allocations. A breach degrades in-memory strategies
+    /// into Theorem 4.1 partitioned evaluation (see `builder`).
+    pub fn with_budget_bytes(mut self, budget: usize) -> Self {
+        self.query.memory = Some(Arc::new(MemoryTracker::new(budget)));
+        self
+    }
+
+    /// Attach a deterministic fault injector (robustness test harness).
+    #[cfg(feature = "fault-injection")]
+    pub fn with_fault_injector(mut self, fault: Arc<crate::fault::FaultInjector>) -> Self {
+        self.query.fault = Some(fault);
+        self
+    }
+
+    // ----- explicit mutators (interactive shells re-arm between queries) -----
+
+    /// Install or clear the cancellation token in place.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.query.cancel = token;
+    }
+
+    /// Install or clear the absolute deadline in place.
+    pub fn set_deadline_at(&mut self, deadline: Option<Instant>) {
+        self.query.deadline = deadline;
+    }
+
+    /// Install or clear the stats sink in place.
+    pub fn set_stats(&mut self, stats: Option<Arc<ScanStats>>) {
+        self.query.stats = stats;
+    }
+
+    /// Install or clear the memory tracker in place.
+    pub fn set_memory(&mut self, tracker: Option<Arc<MemoryTracker>>) {
+        self.query.memory = tracker;
+    }
+
+    /// Swap the per-query half wholesale, keeping the shared engine.
+    pub fn set_query_ctx(&mut self, query: QueryCtx) {
+        self.query = query;
+    }
+
+    // ----- accessors (the sealed fields' public surface) -----
+
+    pub fn registry(&self) -> &Registry {
+        &self.engine.registry
+    }
+
+    pub fn strategy(&self) -> ProbeStrategy {
+        self.engine.strategy
+    }
+
+    pub fn prefilter(&self) -> bool {
+        self.engine.prefilter
+    }
+
+    pub fn morsel_size(&self) -> usize {
+        self.engine.morsel_size
+    }
+
+    pub fn max_morsel_retries(&self) -> u32 {
+        self.engine.max_morsel_retries
+    }
+
+    pub fn spill_policy(&self) -> SpillPolicy {
+        self.engine.spill
+    }
+
+    /// One-release compatibility alias for [`spill_policy`](Self::spill_policy)
+    /// (the former `spill` field).
+    #[doc(hidden)]
+    pub fn spill(&self) -> SpillPolicy {
+        self.engine.spill
+    }
+
+    pub fn stats(&self) -> Option<&Arc<ScanStats>> {
+        self.query.stats.as_ref()
+    }
+
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.query.cancel.as_ref()
+    }
+
+    pub fn deadline(&self) -> Option<Instant> {
+        self.query.deadline
+    }
+
+    pub fn memory(&self) -> Option<&Arc<MemoryTracker>> {
+        self.query.memory.as_ref()
+    }
+
+    #[cfg(feature = "fault-injection")]
+    pub fn fault(&self) -> Option<&Arc<crate::fault::FaultInjector>> {
+        self.query.fault.as_ref()
+    }
+
+    /// Resolved spill directory.
+    pub(crate) fn spill_dir(&self) -> PathBuf {
+        self.engine
+            .spill_dir
+            .clone()
+            .unwrap_or_else(std::env::temp_dir)
+    }
+
     /// Governor poll: fail fast with [`CoreError::Cancelled`] /
     /// [`CoreError::DeadlineExceeded`] if the query was cancelled or ran past
     /// its deadline. Free when neither limit is configured. Public so outer
@@ -210,18 +508,18 @@ impl ExecContext {
     /// cost model as the strategies' internal polls.
     #[inline]
     pub fn check_interrupt(&self) -> Result<()> {
-        if self.cancel.is_none() && self.deadline.is_none() {
+        if self.query.cancel.is_none() && self.query.deadline.is_none() {
             return Ok(());
         }
-        if let Some(s) = &self.stats {
+        if let Some(s) = &self.query.stats {
             s.record_cancel_poll();
         }
-        if let Some(token) = &self.cancel {
+        if let Some(token) = &self.query.cancel {
             if token.is_cancelled() {
                 return Err(CoreError::Cancelled);
             }
         }
-        if let Some(deadline) = &self.deadline {
+        if let Some(deadline) = &self.query.deadline {
             if Instant::now() >= *deadline {
                 return Err(CoreError::DeadlineExceeded);
             }
@@ -235,74 +533,74 @@ impl ExecContext {
     #[allow(unused_variables)]
     pub(crate) fn fault_on_morsel(&self, morsel: usize) {
         #[cfg(feature = "fault-injection")]
-        if let Some(f) = &self.fault {
+        if let Some(f) = &self.query.fault {
             f.on_morsel(morsel);
         }
     }
 
     pub(crate) fn record_scan(&self, tuples: u64) {
-        if let Some(s) = &self.stats {
+        if let Some(s) = &self.query.stats {
             s.record_scan();
             s.record_tuples(tuples);
         }
     }
 
     pub(crate) fn record_probes(&self, n: u64) {
-        if let Some(s) = &self.stats {
+        if let Some(s) = &self.query.stats {
             s.record_probes(n);
         }
     }
 
     pub(crate) fn record_updates(&self, n: u64) {
-        if let Some(s) = &self.stats {
+        if let Some(s) = &self.query.stats {
             s.record_updates(n);
         }
     }
 
     pub(crate) fn record_worker(&self, worker: mdj_storage::WorkerStats) {
-        if let Some(s) = &self.stats {
+        if let Some(s) = &self.query.stats {
             s.record_worker(worker);
         }
     }
 
     pub(crate) fn record_batch(&self) {
-        if let Some(s) = &self.stats {
+        if let Some(s) = &self.query.stats {
             s.record_batch();
         }
     }
 
     pub(crate) fn record_batch_fallback(&self) {
-        if let Some(s) = &self.stats {
+        if let Some(s) = &self.query.stats {
             s.record_batch_fallback();
         }
     }
 
     pub(crate) fn record_auto_decision(&self, coverage_permille: u64, batched: bool) {
-        if let Some(s) = &self.stats {
+        if let Some(s) = &self.query.stats {
             s.record_auto_decision(coverage_permille, batched);
         }
     }
 
     pub(crate) fn record_morsel_retry(&self) {
-        if let Some(s) = &self.stats {
+        if let Some(s) = &self.query.stats {
             s.record_morsel_retry();
         }
     }
 
     pub(crate) fn record_degradation(&self) {
-        if let Some(s) = &self.stats {
+        if let Some(s) = &self.query.stats {
             s.record_degradation();
         }
     }
 
     pub(crate) fn record_spill_partition(&self, bytes: u64) {
-        if let Some(s) = &self.stats {
+        if let Some(s) = &self.query.stats {
             s.record_spill_partition(bytes);
         }
     }
 
     pub(crate) fn record_spill_read_bytes(&self, bytes: u64) {
-        if let Some(s) = &self.stats {
+        if let Some(s) = &self.query.stats {
             s.record_spill_read_bytes(bytes);
         }
     }
@@ -312,7 +610,7 @@ impl ExecContext {
     #[inline]
     pub(crate) fn fault_should_fail_spill_write(&self) -> bool {
         #[cfg(feature = "fault-injection")]
-        if let Some(f) = &self.fault {
+        if let Some(f) = &self.query.fault {
             return f.should_fail_spill_write();
         }
         false
@@ -323,7 +621,7 @@ impl ExecContext {
     #[inline]
     pub(crate) fn fault_should_corrupt_spill_read(&self) -> bool {
         #[cfg(feature = "fault-injection")]
-        if let Some(f) = &self.fault {
+        if let Some(f) = &self.query.fault {
             return f.should_corrupt_spill_read();
         }
         false
@@ -334,6 +632,14 @@ impl ExecContext {
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    /// The shared half must be safe to hand to every worker thread.
+    #[test]
+    fn engine_config_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Arc<EngineConfig>>();
+        assert_send_sync::<ExecContext>();
+    }
 
     #[test]
     fn builder_and_recording() {
@@ -354,7 +660,7 @@ mod tests {
     fn recording_without_stats_is_a_noop() {
         let ctx = ExecContext::new();
         ctx.record_scan(10); // must not panic
-        assert!(ctx.stats.is_none());
+        assert!(ctx.stats().is_none());
     }
 
     #[test]
@@ -403,7 +709,65 @@ mod tests {
         token.cancel();
         assert!(matches!(clone.check_interrupt(), Err(CoreError::Cancelled)));
         // The tracker is shared, not duplicated.
-        ctx.memory.as_ref().unwrap().try_charge(100).unwrap();
-        assert_eq!(clone.memory.as_ref().unwrap().charged(), 100);
+        ctx.memory().unwrap().try_charge(100).unwrap();
+        assert_eq!(clone.memory().unwrap().charged(), 100);
+    }
+
+    #[test]
+    fn clones_share_the_engine_config_allocation() {
+        let cfg = EngineConfig::new().with_morsel_size(99).build();
+        let a = ExecContext::from_parts(cfg.clone(), QueryCtx::new());
+        let b = a.clone();
+        assert!(Arc::ptr_eq(a.engine(), b.engine()));
+        assert_eq!(b.morsel_size(), 99);
+    }
+
+    #[test]
+    fn engine_side_setters_copy_on_write() {
+        let cfg = EngineConfig::new().build();
+        let shared = ExecContext::from_parts(cfg.clone(), QueryCtx::new());
+        // A per-context override forks the config instead of mutating the
+        // shared one.
+        let forked = shared.clone().with_morsel_size(7).without_prefilter();
+        assert_eq!(forked.morsel_size(), 7);
+        assert!(!forked.prefilter());
+        assert_eq!(shared.morsel_size(), DEFAULT_MORSEL_SIZE);
+        assert!(shared.prefilter());
+        assert_eq!(cfg.morsel_size(), DEFAULT_MORSEL_SIZE);
+        assert!(!Arc::ptr_eq(shared.engine(), forked.engine()));
+    }
+
+    #[test]
+    fn from_parts_exposes_catalog_and_query_halves() {
+        use mdj_storage::{DataType, Relation, Schema};
+        let rel = Relation::empty(Schema::from_pairs(&[("x", DataType::Int)]));
+        let cfg = EngineConfig::new()
+            .register_table("T", rel)
+            .with_spill_policy(SpillPolicy::Never)
+            .build();
+        let stats = Arc::new(ScanStats::new());
+        let q = QueryCtx::new()
+            .with_stats(stats.clone())
+            .with_budget_bytes(1024);
+        let ctx = ExecContext::from_parts(cfg.clone(), q);
+        assert!(ctx.engine().catalog().contains("T"));
+        assert_eq!(ctx.spill_policy(), SpillPolicy::Never);
+        assert!(Arc::ptr_eq(ctx.stats().unwrap(), &stats));
+        assert_eq!(ctx.memory().unwrap().budget(), 1024);
+        assert!(ctx.query_ctx().cancel().is_none());
+    }
+
+    #[test]
+    fn shell_mutators_rearm_in_place() {
+        let mut ctx = ExecContext::new();
+        let token = CancelToken::new();
+        ctx.set_cancel_token(Some(token.clone()));
+        ctx.set_deadline_at(Some(Instant::now() + Duration::from_secs(3600)));
+        assert!(ctx.cancel().is_some() && ctx.deadline().is_some());
+        ctx.set_cancel_token(None);
+        ctx.set_deadline_at(None);
+        assert!(ctx.cancel().is_none() && ctx.deadline().is_none());
+        ctx.set_query_ctx(QueryCtx::new().with_cancel_token(token));
+        assert!(ctx.cancel().is_some());
     }
 }

@@ -27,6 +27,21 @@ pub enum CoreError {
         needed: u64,
         budget: u64,
     },
+    /// Admission control could not reserve the query's budget from the
+    /// shared [`MemoryPool`](crate::governor::MemoryPool): the pool is
+    /// exhausted (or the request exceeds its whole capacity) and no bytes
+    /// freed within the admission wait. The query was *shed*, not started.
+    PoolExhausted {
+        needed: u64,
+        available: u64,
+        capacity: u64,
+    },
+    /// The admission wait queue is at its bound; the query was shed
+    /// immediately instead of queued (overload back-pressure).
+    QueueFull {
+        waiting: usize,
+        limit: usize,
+    },
     /// A morsel panicked on every attempt; `attempts` counts the initial run
     /// plus all retries, and `message` is the final panic payload.
     MorselPanicked {
@@ -61,6 +76,20 @@ impl fmt::Display for CoreError {
                 "memory budget exceeded: needed ≈{needed} B against a {budget} B budget \
                  (even at maximum Theorem 4.1 partitioning)"
             ),
+            CoreError::PoolExhausted {
+                needed,
+                available,
+                capacity,
+            } => write!(
+                f,
+                "memory pool exhausted: needed {needed} B but only {available} B of the \
+                 {capacity} B pool are free (query shed by admission control)"
+            ),
+            CoreError::QueueFull { waiting, limit } => write!(
+                f,
+                "admission queue full: {waiting} queries already waiting (limit {limit}); \
+                 query shed"
+            ),
             CoreError::MorselPanicked {
                 morsel,
                 attempts,
@@ -87,6 +116,8 @@ impl CoreError {
             CoreError::Cancelled
                 | CoreError::DeadlineExceeded
                 | CoreError::BudgetExceeded { .. }
+                | CoreError::PoolExhausted { .. }
+                | CoreError::QueueFull { .. }
                 | CoreError::MorselPanicked { .. }
                 | CoreError::WorkerPanicked { .. }
         )
@@ -167,6 +198,15 @@ mod tests {
             CoreError::WorkerPanicked {
                 worker: 2,
                 message: "boom".into(),
+            },
+            CoreError::PoolExhausted {
+                needed: 512,
+                available: 128,
+                capacity: 4096,
+            },
+            CoreError::QueueFull {
+                waiting: 9,
+                limit: 8,
             },
         ];
         for e in &cases {

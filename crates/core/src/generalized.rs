@@ -70,8 +70,9 @@ pub(crate) fn multi(
     // Bind every block and build its probe plan.
     let mut bound_blocks: Vec<(ProbePlan, Vec<BoundAgg>)> = Vec::with_capacity(blocks.len());
     for blk in blocks {
-        let bound = bind_aggs(&blk.aggs, r.schema(), &ctx.registry)?;
-        let plan = ProbePlan::build_opts(b, r.schema(), &blk.theta, ctx.strategy, ctx.prefilter)?;
+        let bound = bind_aggs(&blk.aggs, r.schema(), ctx.registry())?;
+        let plan =
+            ProbePlan::build_opts(b, r.schema(), &blk.theta, ctx.strategy(), ctx.prefilter())?;
         bound_blocks.push((plan, bound));
     }
     // Collision check across B and all blocks.
@@ -147,20 +148,6 @@ pub(crate) fn multi(
         out.push_unchecked(Row::new(vals));
     }
     Ok(out)
-}
-
-/// Evaluate a generalized MD-join in one scan of `R`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `MdJoin` builder: `MdJoin::new(b, r).block(θ₁, l₁).block(θ₂, l₂).run(ctx)`"
-)]
-pub fn md_join_multi(
-    b: &Relation,
-    r: &Relation,
-    blocks: &[Block],
-    ctx: &ExecContext,
-) -> Result<Relation> {
-    multi(b, r, blocks, ctx)
 }
 
 #[cfg(test)]

@@ -25,7 +25,8 @@
 
 use crate::error::{CoreError, Result};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Estimated bytes of one aggregate state (`Box<dyn AggState>` plus a small
 /// scratchpad struct). Holistic states grow with the data; the estimate is a
@@ -105,6 +106,175 @@ impl CancelToken {
     }
 }
 
+/// A process-wide memory pool that per-query budgets are *reserved* from.
+///
+/// This is the admission-control half of multi-tenant memory governance: a
+/// query's [`MemoryTracker`] bounds what one query may use, the pool bounds
+/// what all concurrent queries may hold *together*. Admission reserves a
+/// query's whole budget up front (so an admitted query can never be starved
+/// mid-flight by a later arrival) and the RAII [`PoolGrant`] returns the
+/// bytes when the query's tracker dies — on success, error, cancellation,
+/// or panic alike, the pool balance always returns to zero.
+///
+/// Waiting is bounded two ways: by wall-clock (`reserve_timeout`) and by a
+/// caller-supplied cap on concurrent waiters, so an overloaded server sheds
+/// load with typed [`CoreError::PoolExhausted`] / [`CoreError::QueueFull`]
+/// errors instead of building an unbounded queue.
+#[derive(Debug)]
+pub struct MemoryPool {
+    capacity: u64,
+    state: Mutex<PoolState>,
+    freed: Condvar,
+}
+
+#[derive(Debug)]
+struct PoolState {
+    reserved: u64,
+    waiters: usize,
+}
+
+impl MemoryPool {
+    pub fn new(capacity_bytes: usize) -> Self {
+        MemoryPool {
+            capacity: capacity_bytes as u64,
+            state: Mutex::new(PoolState {
+                reserved: 0,
+                waiters: 0,
+            }),
+            freed: Condvar::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently reserved by live grants.
+    pub fn reserved(&self) -> u64 {
+        self.lock().reserved
+    }
+
+    /// Bytes still available for new reservations.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.lock().reserved
+    }
+
+    /// Queries currently blocked waiting for a reservation.
+    pub fn waiters(&self) -> usize {
+        self.lock().waiters
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Reserve `bytes` now or fail with [`CoreError::PoolExhausted`] — the
+    /// non-blocking admission path.
+    pub fn try_reserve(self: &Arc<Self>, bytes: u64) -> Result<PoolGrant> {
+        let mut state = self.lock();
+        self.grant_or_exhausted(&mut state, bytes)
+    }
+
+    /// Reserve `bytes`, waiting up to `wait` for other queries to finish.
+    /// At most `max_waiters` callers may be queued at once; one more gets
+    /// the typed [`CoreError::QueueFull`] shedding error immediately. A wait
+    /// that times out surfaces [`CoreError::PoolExhausted`].
+    pub fn reserve_timeout(
+        self: &Arc<Self>,
+        bytes: u64,
+        wait: Duration,
+        max_waiters: usize,
+    ) -> Result<PoolGrant> {
+        let deadline = Instant::now() + wait;
+        let mut state = self.lock();
+        if state.reserved + bytes <= self.capacity || bytes > self.capacity {
+            return self.grant_or_exhausted(&mut state, bytes);
+        }
+        if state.waiters >= max_waiters {
+            return Err(CoreError::QueueFull {
+                waiting: state.waiters,
+                limit: max_waiters,
+            });
+        }
+        state.waiters += 1;
+        let result = loop {
+            let now = Instant::now();
+            if state.reserved + bytes <= self.capacity {
+                break self.grant_or_exhausted(&mut state, bytes);
+            }
+            if now >= deadline {
+                break Err(CoreError::PoolExhausted {
+                    needed: bytes,
+                    available: self.capacity - state.reserved,
+                    capacity: self.capacity,
+                });
+            }
+            let (next, timeout) = self
+                .freed
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = next;
+            if timeout.timed_out() && state.reserved + bytes > self.capacity {
+                break Err(CoreError::PoolExhausted {
+                    needed: bytes,
+                    available: self.capacity - state.reserved,
+                    capacity: self.capacity,
+                });
+            }
+        };
+        state.waiters -= 1;
+        result
+    }
+
+    fn grant_or_exhausted(
+        self: &Arc<Self>,
+        state: &mut PoolState,
+        bytes: u64,
+    ) -> Result<PoolGrant> {
+        if state.reserved + bytes > self.capacity {
+            return Err(CoreError::PoolExhausted {
+                needed: bytes,
+                available: self.capacity - state.reserved,
+                capacity: self.capacity,
+            });
+        }
+        state.reserved += bytes;
+        Ok(PoolGrant {
+            pool: self.clone(),
+            bytes,
+        })
+    }
+
+    fn release(&self, bytes: u64) {
+        let mut state = self.lock();
+        state.reserved = state.reserved.saturating_sub(bytes);
+        drop(state);
+        self.freed.notify_all();
+    }
+}
+
+/// RAII reservation against a [`MemoryPool`]: the bytes return to the pool
+/// (waking any queued queries) when the grant drops.
+#[derive(Debug)]
+pub struct PoolGrant {
+    pool: Arc<MemoryPool>,
+    bytes: u64,
+}
+
+impl PoolGrant {
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for PoolGrant {
+    fn drop(&mut self) {
+        self.pool.release(self.bytes);
+    }
+}
+
 /// Runtime memory accounting against a fixed byte budget.
 ///
 /// Evaluators charge their big allocations (base-state vectors, probe
@@ -112,11 +282,19 @@ impl CancelToken {
 /// dies (via [`MemCharge`]'s `Drop`). `peak` records the high-water mark
 /// *including* the charge that breached, which is exactly the number the
 /// Theorem 4.1 degradation loop needs to size its next partition count.
+///
+/// In a multi-tenant server the tracker is built with
+/// [`MemoryTracker::draw_from`], which reserves its whole budget from a
+/// shared [`MemoryPool`] and carries the [`PoolGrant`] for its lifetime, so
+/// dropping the tracker (query done) gives the bytes back to the pool.
 #[derive(Debug)]
 pub struct MemoryTracker {
     budget: u64,
     charged: AtomicU64,
     peak: AtomicU64,
+    /// Held so a pooled budget returns to the pool exactly when the tracker
+    /// dies; `None` for standalone (single-user) trackers.
+    _grant: Option<PoolGrant>,
 }
 
 impl MemoryTracker {
@@ -125,6 +303,25 @@ impl MemoryTracker {
             budget: budget_bytes as u64,
             charged: AtomicU64::new(0),
             peak: AtomicU64::new(0),
+            _grant: None,
+        }
+    }
+
+    /// A tracker whose budget is reserved from `pool` right now; fails with
+    /// [`CoreError::PoolExhausted`] when the pool cannot cover it.
+    pub fn draw_from(pool: &Arc<MemoryPool>, budget_bytes: usize) -> Result<Self> {
+        let grant = pool.try_reserve(budget_bytes as u64)?;
+        Ok(Self::with_grant(budget_bytes, grant))
+    }
+
+    /// A tracker over an already-obtained reservation (admission control
+    /// that queued via [`MemoryPool::reserve_timeout`]).
+    pub fn with_grant(budget_bytes: usize, grant: PoolGrant) -> Self {
+        MemoryTracker {
+            budget: budget_bytes as u64,
+            charged: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            _grant: Some(grant),
         }
     }
 
@@ -186,11 +383,11 @@ impl MemCharge {
     /// Charge `bytes` against the context's tracker, if it has one. With no
     /// tracker this is free and the guard is inert.
     pub fn try_new(ctx: &crate::ExecContext, bytes: usize) -> Result<MemCharge> {
-        match &ctx.memory {
+        match ctx.memory() {
             None => Ok(MemCharge::default()),
             Some(tracker) => {
                 #[cfg(feature = "fault-injection")]
-                if let Some(f) = &ctx.fault {
+                if let Some(f) = ctx.fault() {
                     if f.should_fail_charge() {
                         return Err(CoreError::BudgetExceeded {
                             needed: tracker.charged() + bytes as u64,
@@ -199,7 +396,7 @@ impl MemCharge {
                     }
                 }
                 tracker.try_charge(bytes as u64)?;
-                if let Some(s) = &ctx.stats {
+                if let Some(s) = ctx.stats() {
                     s.record_bytes_charged(bytes as u64);
                 }
                 Ok(MemCharge {
@@ -238,8 +435,8 @@ impl GrowthMeter {
     /// A meter against the context's tracker; inert when no budget is set.
     pub fn new(ctx: &crate::ExecContext) -> GrowthMeter {
         GrowthMeter {
-            tracker: ctx.memory.clone(),
-            stats: ctx.stats.clone(),
+            tracker: ctx.memory().cloned(),
+            stats: ctx.stats().cloned(),
             charged: 0,
         }
     }
@@ -315,7 +512,7 @@ mod tests {
     #[test]
     fn charge_guard_releases_on_drop() {
         let ctx = crate::ExecContext::new().with_budget_bytes(1000);
-        let tracker = ctx.memory.clone().unwrap();
+        let tracker = ctx.memory().cloned().unwrap();
         {
             let _g = MemCharge::try_new(&ctx, 400).unwrap();
             assert_eq!(tracker.charged(), 400);
@@ -325,6 +522,89 @@ mod tests {
         // No tracker: inert guard.
         let free = crate::ExecContext::new();
         let _g = MemCharge::try_new(&free, usize::MAX).unwrap();
+    }
+
+    #[test]
+    fn pool_reserves_releases_and_sheds() {
+        let pool = Arc::new(MemoryPool::new(1000));
+        assert_eq!(pool.capacity(), 1000);
+        let g1 = pool.try_reserve(600).unwrap();
+        assert_eq!(pool.available(), 400);
+        let err = pool.try_reserve(500).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::PoolExhausted {
+                needed: 500,
+                available: 400,
+                capacity: 1000
+            }
+        ));
+        let g2 = pool.try_reserve(400).unwrap();
+        assert_eq!(pool.available(), 0);
+        drop(g1);
+        assert_eq!(pool.available(), 600);
+        drop(g2);
+        assert_eq!(pool.reserved(), 0);
+        // A request larger than the whole pool is exhausted, never queued.
+        let err = pool
+            .reserve_timeout(2000, Duration::from_secs(60), 8)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::PoolExhausted { .. }));
+        assert_eq!(pool.waiters(), 0);
+    }
+
+    #[test]
+    fn pool_wait_times_out_and_queue_bounds() {
+        let pool = Arc::new(MemoryPool::new(100));
+        let _g = pool.try_reserve(100).unwrap();
+        // Zero queue slots: immediate QueueFull.
+        let err = pool
+            .reserve_timeout(50, Duration::from_secs(60), 0)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::QueueFull { limit: 0, .. }));
+        // One slot, but nothing frees within the wait: PoolExhausted.
+        let err = pool
+            .reserve_timeout(50, Duration::from_millis(10), 1)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::PoolExhausted { .. }));
+        assert_eq!(pool.waiters(), 0);
+    }
+
+    #[test]
+    fn pool_wait_succeeds_when_bytes_free() {
+        let pool = Arc::new(MemoryPool::new(100));
+        let g = pool.try_reserve(100).unwrap();
+        let p2 = pool.clone();
+        let waiter = std::thread::spawn(move || {
+            p2.reserve_timeout(60, Duration::from_secs(30), 4)
+                .map(|g| g.bytes())
+        });
+        // Give the waiter time to queue, then free the pool.
+        std::thread::sleep(Duration::from_millis(30));
+        drop(g);
+        assert_eq!(waiter.join().unwrap().unwrap(), 60);
+        // The waiter's grant was dropped when its thread returned the size.
+        assert_eq!(pool.reserved(), 0);
+        assert_eq!(pool.waiters(), 0);
+    }
+
+    #[test]
+    fn tracker_draws_budget_from_pool_for_its_lifetime() {
+        let pool = Arc::new(MemoryPool::new(1 << 20));
+        {
+            let tracker = MemoryTracker::draw_from(&pool, 4096).unwrap();
+            assert_eq!(pool.reserved(), 4096);
+            tracker.try_charge(1000).unwrap();
+            assert!(matches!(
+                tracker.try_charge(4096),
+                Err(CoreError::BudgetExceeded { .. })
+            ));
+            // Charges move within the reservation; the pool sees only it.
+            assert_eq!(pool.reserved(), 4096);
+        }
+        assert_eq!(pool.reserved(), 0);
+        let err = MemoryTracker::draw_from(&pool, (1 << 20) + 1).unwrap_err();
+        assert!(matches!(err, CoreError::PoolExhausted { .. }));
     }
 
     #[test]
@@ -343,7 +623,7 @@ mod tests {
     #[test]
     fn growth_meter_charges_and_releases() {
         let ctx = crate::ExecContext::new().with_budget_bytes(1000);
-        let tracker = ctx.memory.clone().unwrap();
+        let tracker = ctx.memory().cloned().unwrap();
         {
             let mut meter = GrowthMeter::new(&ctx);
             assert!(meter.active());

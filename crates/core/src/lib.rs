@@ -41,15 +41,9 @@
 //! MD-joins (Section 4.3) are expressed by adding
 //! [`block`](builder::MdJoin::block)s.
 //!
-//! ## Migrating from the deprecated free functions
-//!
-//! | Deprecated free function          | Builder equivalent                                           |
-//! |-----------------------------------|--------------------------------------------------------------|
-//! | `md_join(b, r, l, θ, ctx)`        | `MdJoin::new(b, r).aggs(l).theta(θ).strategy(ExecStrategy::Serial).run(ctx)` |
-//! | `md_join_partitioned(b, r, l, θ, m, ctx)` | `….strategy(ExecStrategy::Partitioned { partitions: m }).run(ctx)` |
-//! | `md_join_parallel(b, r, l, θ, t, ctx)` | `….strategy(ExecStrategy::ChunkBase).threads(t).run(ctx)` |
-//! | `md_join_parallel_detail(b, r, l, θ, t, ctx)` | `….strategy(ExecStrategy::ChunkDetail).threads(t).run(ctx)` |
-//! | `md_join_multi(b, r, blocks, ctx)` | `MdJoin::new(b, r).blocks(blocks).run(ctx)` |
+//! The deprecated free functions from the first release (`md_join`,
+//! `md_join_partitioned`, …) have been removed; see the migration table in
+//! the repository README. [`prelude`] is the single documented entry point.
 //!
 //! ## Modules
 //!
@@ -92,18 +86,16 @@ pub mod vectorized;
 
 pub use builder::{ExecStrategy, MdJoin};
 pub use context::{
-    ExecContext, ProbeStrategy, SpillPolicy, DEFAULT_MORSEL_RETRIES, DEFAULT_MORSEL_SIZE,
+    EngineConfig, ExecContext, ProbeStrategy, QueryCtx, SpillPolicy, DEFAULT_MORSEL_RETRIES,
+    DEFAULT_MORSEL_SIZE,
 };
 pub use error::{CoreError, Result};
 #[cfg(feature = "fault-injection")]
 pub use fault::FaultInjector;
 pub use generalized::Block;
-pub use governor::{CancelToken, MemoryTracker};
+pub use governor::{CancelToken, MemoryPool, MemoryTracker, PoolGrant};
 pub use mdjoin::output_schema;
 pub use morsel::{choose_side, MorselSide};
-
-#[allow(deprecated)]
-pub use mdjoin::md_join;
 
 /// Curated re-exports: everything a typical MD-join program needs.
 ///
@@ -113,12 +105,12 @@ pub use mdjoin::md_join;
 pub mod prelude {
     pub use crate::basevalues;
     pub use crate::builder::{ExecStrategy, MdJoin};
-    pub use crate::context::{ExecContext, ProbeStrategy, SpillPolicy};
+    pub use crate::context::{EngineConfig, ExecContext, ProbeStrategy, QueryCtx, SpillPolicy};
     pub use crate::error::{CoreError, Result};
     #[cfg(feature = "fault-injection")]
     pub use crate::fault::FaultInjector;
     pub use crate::generalized::Block;
-    pub use crate::governor::{CancelToken, MemoryTracker};
+    pub use crate::governor::{CancelToken, MemoryPool, MemoryTracker, PoolGrant};
     pub use crate::mdjoin::output_schema;
     pub use crate::morsel::MorselSide;
     pub use mdj_agg::{AggInput, AggSpec};

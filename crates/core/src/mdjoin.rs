@@ -97,7 +97,7 @@ pub(crate) fn md_join_serial(
     ctx: &ExecContext,
 ) -> Result<Relation> {
     ctx.check_interrupt()?;
-    let bound = bind_aggs(l, r.schema(), &ctx.registry)?;
+    let bound = bind_aggs(l, r.schema(), ctx.registry())?;
     check_no_duplicates(b.schema(), &bound)?;
     // Governor accounting for the two big allocations of Algorithm 3.1: the
     // per-base-row state vectors and (if the plan builds one) the hash probe
@@ -157,21 +157,6 @@ pub(crate) fn md_join_serial(
         out.push_unchecked(Row::new(vals));
     }
     Ok(out)
-}
-
-/// Evaluate `MD(B, R, l, θ)` with Algorithm 3.1.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `MdJoin` builder: `MdJoin::new(b, r).aggs(l).theta(θ).run(ctx)`"
-)]
-pub fn md_join(
-    b: &Relation,
-    r: &Relation,
-    l: &[AggSpec],
-    theta: &Expr,
-    ctx: &ExecContext,
-) -> Result<Relation> {
-    md_join_serial(b, r, l, theta, ctx)
 }
 
 #[cfg(test)]
@@ -432,16 +417,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_free_function_still_delegates() {
+    fn builder_entry_point_matches_serial_evaluator() {
+        use crate::builder::{ExecStrategy, MdJoin};
         let s = sales();
         let b = s.distinct_on(&["cust"]).unwrap();
         let theta = eq(col_b("cust"), col_r("cust"));
         let l = [AggSpec::on_column("sum", "sale").with_alias("total")];
-        let old = md_join(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
-        let new = md_join_serial(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
-        assert_eq!(old.rows(), new.rows());
-        assert_eq!(old.schema().names(), vec!["cust", "total"]);
+        let via_builder = MdJoin::new(&b, &s)
+            .theta(theta.clone())
+            .aggs(&l)
+            .strategy(ExecStrategy::Serial)
+            .run(&ExecContext::new())
+            .unwrap();
+        let direct = md_join_serial(&b, &s, &l, &theta, &ExecContext::new()).unwrap();
+        assert_eq!(via_builder.rows(), direct.rows());
+        assert_eq!(via_builder.schema().names(), vec!["cust", "total"]);
     }
 
     #[test]

@@ -134,7 +134,7 @@ fn run_isolated<T>(ctx: &ExecContext, morsel: usize, f: impl Fn() -> Result<T>) 
         match catch_unwind(AssertUnwindSafe(&f)) {
             Ok(result) => return result,
             Err(payload) => {
-                if attempts > ctx.max_morsel_retries {
+                if attempts > ctx.max_morsel_retries() {
                     return Err(CoreError::MorselPanicked {
                         morsel,
                         attempts,
@@ -222,7 +222,7 @@ fn morsel_detail(
     batched: bool,
 ) -> Result<Relation> {
     ctx.check_interrupt()?;
-    let bound = bind_aggs(l, r.schema(), &ctx.registry)?;
+    let bound = bind_aggs(l, r.schema(), ctx.registry())?;
     check_no_duplicates(b.schema(), &bound)?;
     let (plan, _index_charge) = ProbePlan::build_charged(b, r.schema(), theta, ctx)?;
     // Batched mode shares one read-only BatchProbe across workers; each
@@ -238,7 +238,7 @@ fn morsel_detail(
     };
 
     let rows = r.rows();
-    let tasks: Vec<(usize, Range<usize>)> = morsels(rows.len(), ctx.morsel_size)
+    let tasks: Vec<(usize, Range<usize>)> = morsels(rows.len(), ctx.morsel_size())
         .into_iter()
         .enumerate()
         .collect();
@@ -432,9 +432,9 @@ fn morsel_base(
     ctx: &ExecContext,
     batched: bool,
 ) -> Result<Relation> {
-    let schema = crate::mdjoin::output_schema(b.schema(), r.schema(), l, &ctx.registry)?;
+    let schema = crate::mdjoin::output_schema(b.schema(), r.schema(), l, ctx.registry())?;
     let b_rows = b.rows();
-    let tasks: Vec<(usize, Range<usize>)> = morsels(b_rows.len(), ctx.morsel_size)
+    let tasks: Vec<(usize, Range<usize>)> = morsels(b_rows.len(), ctx.morsel_size())
         .into_iter()
         .enumerate()
         .collect();

@@ -94,8 +94,8 @@ pub(crate) fn chunk_detail(
         return Err(CoreError::BadConfig("thread count must be ≥ 1".into()));
     }
     ctx.check_interrupt()?;
-    let bound = bind_aggs(l, r.schema(), &ctx.registry)?;
-    let plan = ProbePlan::build_opts(b, r.schema(), theta, ctx.strategy, ctx.prefilter)?;
+    let bound = bind_aggs(l, r.schema(), ctx.registry())?;
+    let plan = ProbePlan::build_opts(b, r.schema(), theta, ctx.strategy(), ctx.prefilter())?;
     let _index_charge = if plan.is_hash() {
         MemCharge::try_new(ctx, governor::index_bytes(b.len()))?
     } else {
@@ -191,40 +191,6 @@ pub(crate) fn chunk_detail(
         out.push_unchecked(Row::new(vals));
     }
     Ok(out)
-}
-
-/// Parallel MD-join, partitioning `B` across `threads` workers.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `MdJoin` builder with `ExecStrategy::ChunkBase` (or `Morsel` for the \
-            work-stealing executor)"
-)]
-pub fn md_join_parallel(
-    b: &Relation,
-    r: &Relation,
-    l: &[AggSpec],
-    theta: &Expr,
-    threads: usize,
-    ctx: &ExecContext,
-) -> Result<Relation> {
-    chunk_base(b, r, l, theta, threads, ctx)
-}
-
-/// Parallel MD-join, partitioning `R` across `threads` workers.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `MdJoin` builder with `ExecStrategy::ChunkDetail` (or `Morsel` for the \
-            work-stealing executor)"
-)]
-pub fn md_join_parallel_detail(
-    b: &Relation,
-    r: &Relation,
-    l: &[AggSpec],
-    theta: &Expr,
-    threads: usize,
-    ctx: &ExecContext,
-) -> Result<Relation> {
-    chunk_detail(b, r, l, theta, threads, ctx)
 }
 
 #[cfg(test)]

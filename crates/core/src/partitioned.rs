@@ -40,22 +40,6 @@ pub(crate) fn partitioned(
     iter.try_fold(first, |acc, next| acc.union(&next).map_err(CoreError::from))
 }
 
-/// Evaluate with `B` split into `m` chunks; `R` is scanned once per chunk.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `MdJoin` builder with `ExecStrategy::Partitioned { partitions }`"
-)]
-pub fn md_join_partitioned(
-    b: &Relation,
-    r: &Relation,
-    l: &[AggSpec],
-    theta: &Expr,
-    m: usize,
-    ctx: &ExecContext,
-) -> Result<Relation> {
-    partitioned(b, r, l, theta, m, ctx)
-}
-
 /// Pick the partition count from a memory budget: each base row's aggregate
 /// state is estimated at `bytes_per_row`, and `m` is the smallest count whose
 /// per-partition footprint fits `budget_bytes`. This is the planning knob the

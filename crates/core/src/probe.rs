@@ -101,7 +101,14 @@ impl ProbePlan {
         theta: &Expr,
         ctx: &ExecContext,
     ) -> Result<(ProbePlan, MemCharge)> {
-        Self::build_inner(b, r_schema, theta, ctx.strategy, ctx.prefilter, Some(ctx))
+        Self::build_inner(
+            b,
+            r_schema,
+            theta,
+            ctx.strategy(),
+            ctx.prefilter(),
+            Some(ctx),
+        )
     }
 
     /// Build with explicit control over the Theorem 4.2 prefilter.
@@ -485,7 +492,7 @@ mod tests {
             eq(col_b("month"), col_r("month")),
         );
         let ctx = ExecContext::new().with_budget_bytes(1 << 20);
-        let tracker = ctx.memory.clone().unwrap();
+        let tracker = ctx.memory().cloned().unwrap();
         {
             let (plan, _charge) = ProbePlan::build_charged(&b, &r_schema(), &theta, &ctx).unwrap();
             assert!(plan.is_hash());

@@ -476,7 +476,7 @@ pub(crate) fn md_join_vectorized(
     ctx: &ExecContext,
 ) -> Result<Relation> {
     ctx.check_interrupt()?;
-    let bound = bind_aggs(l, r.schema(), &ctx.registry)?;
+    let bound = bind_aggs(l, r.schema(), ctx.registry())?;
     check_no_duplicates(b.schema(), &bound)?;
     let _state_charge = MemCharge::try_new(ctx, governor::state_bytes(b.len(), bound.len()))?;
     let (plan, _index_charge) = ProbePlan::build_charged(b, r.schema(), theta, ctx)?;
@@ -503,7 +503,7 @@ pub(crate) fn md_join_vectorized(
 
     ctx.record_scan(r.len() as u64);
     let rows = r.rows();
-    let batch_rows = ctx.morsel_size.clamp(1, MAX_BATCH);
+    let batch_rows = ctx.morsel_size().clamp(1, MAX_BATCH);
     let mut pairs: Vec<(u32, usize)> = Vec::new();
     // Batch-local grouping of matched tuples per base row, in tuple order
     // (so f64 accumulation order matches the serial evaluator exactly). The
@@ -693,7 +693,7 @@ pub(crate) fn batch_coverage(
     ctx: &ExecContext,
 ) -> BatchCoverage {
     let (bindings, residual) = mdj_expr::analysis::probe_bindings(theta);
-    let hash = ctx.strategy != crate::context::ProbeStrategy::NestedLoop
+    let hash = ctx.strategy() != crate::context::ProbeStrategy::NestedLoop
         && !bindings.is_empty()
         && bindings.iter().all(|bi| b.schema().contains(&bi.base_col));
     let mut total = 1u32;
@@ -722,7 +722,7 @@ pub(crate) fn batch_coverage(
     for spec in aggs {
         total += 1;
         if ctx
-            .registry
+            .registry()
             .get(&spec.function)
             .map(|agg| agg.kernel().is_some())
             .unwrap_or(false)

@@ -33,7 +33,7 @@ pub fn has_holistic(spec: &CubeSpec, registry: &Registry) -> bool {
 /// when Theorem 4.5 does not apply).
 pub fn cube_holistic(r: &Relation, spec: &CubeSpec, ctx: &ExecContext) -> Result<Relation> {
     let lattice = spec.lattice();
-    let schema = spec.output_schema(r, &ctx.registry)?;
+    let schema = spec.output_schema(r, ctx.registry())?;
     let mut out = Relation::empty(schema.clone());
     for mask in lattice.masks_fine_to_coarse() {
         let kept = spec.kept(mask);
@@ -127,7 +127,7 @@ mod tests {
     #[test]
     fn rollup_chain_rejects_holistic_but_fallback_succeeds() {
         let ctx = ExecContext::new();
-        assert!(has_holistic(&spec(), &ctx.registry));
+        assert!(has_holistic(&spec(), ctx.registry()));
         assert!(crate::rollup_chain::cube_rollup_chain(&rel(), &spec(), &ctx).is_err());
         assert!(cube_holistic(&rel(), &spec(), &ctx).is_ok());
     }
@@ -142,7 +142,7 @@ mod tests {
                 &["prod", "state"],
                 vec![AggSpec::on_column("approx_median", "sale")]
             ),
-            &ctx.registry
+            ctx.registry()
         ));
         // Same schema (aliases preserved), same cells; medians agree exactly
         // at this size (the reservoir never fills).

@@ -31,7 +31,7 @@ pub fn cube_via_wildcard_theta(
 /// with `ALL` and unioned.
 pub fn cube_per_cuboid(r: &Relation, spec: &CubeSpec, ctx: &ExecContext) -> Result<Relation> {
     let lattice = spec.lattice();
-    let schema = spec.output_schema(r, &ctx.registry)?;
+    let schema = spec.output_schema(r, ctx.registry())?;
     let mut out = Relation::empty(schema.clone());
     for mask in lattice.masks_fine_to_coarse() {
         let kept = spec.kept(mask);

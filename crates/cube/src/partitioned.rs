@@ -31,8 +31,8 @@ pub fn cube_partitioned(
         part_dim < spec.dims.len(),
         "partition dimension out of range"
     );
-    let schema = spec.output_schema(r, &ctx.registry)?;
-    let rolled = rollup_specs(&spec.aggs, &ctx.registry)?;
+    let schema = spec.output_schema(r, ctx.registry())?;
+    let rolled = rollup_specs(&spec.aggs, ctx.registry())?;
     let part_name = spec.dims[part_dim].clone();
     let rest_dims: Vec<&str> = spec
         .dims
@@ -59,7 +59,7 @@ pub fn cube_partitioned(
         )];
         fields.extend(
             rest_spec
-                .output_schema(r, &ctx.registry)?
+                .output_schema(r, ctx.registry())?
                 .fields()
                 .iter()
                 .cloned(),

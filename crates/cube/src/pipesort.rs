@@ -82,8 +82,8 @@ pub fn sort_count(pipelines: &[Pipeline]) -> usize {
 /// (each pipeline below the finest cuboid rolls up via Theorem 4.5's `l'`).
 pub fn cube_pipesort(r: &Relation, spec: &CubeSpec, ctx: &ExecContext) -> Result<Relation> {
     let lattice = spec.lattice();
-    let schema = spec.output_schema(r, &ctx.registry)?;
-    let rolled = rollup_specs(&spec.aggs, &ctx.registry)?;
+    let schema = spec.output_schema(r, ctx.registry())?;
+    let rolled = rollup_specs(&spec.aggs, ctx.registry())?;
     let pipelines = build_pipelines(spec);
 
     // Finest cuboid once, from the detail table (hash-probed MD-join).
@@ -113,7 +113,7 @@ pub fn cube_pipesort(r: &Relation, spec: &CubeSpec, ctx: &ExecContext) -> Result
                     .map(|n| sorted.schema().index_of(n))
                     .collect::<std::result::Result<_, _>>()?;
                 let in_pipeline_order =
-                    sorted_group_agg(&sorted, &key_cols, &rolled, &ctx.registry)?;
+                    sorted_group_agg(&sorted, &key_cols, &rolled, ctx.registry())?;
                 // Reorder key columns to the canonical ascending-dim order.
                 let mut names: Vec<String> =
                     spec.kept(mask).iter().map(|s| s.to_string()).collect();

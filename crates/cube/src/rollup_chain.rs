@@ -23,8 +23,8 @@ use std::collections::HashMap;
 /// [`mdj_agg::AggError::NotRollupable`] otherwise.
 pub fn cube_rollup_chain(r: &Relation, spec: &CubeSpec, ctx: &ExecContext) -> Result<Relation> {
     let lattice = spec.lattice();
-    let schema = spec.output_schema(r, &ctx.registry)?;
-    let rolled = rollup_specs(&spec.aggs, &ctx.registry)?;
+    let schema = spec.output_schema(r, ctx.registry())?;
+    let rolled = rollup_specs(&spec.aggs, ctx.registry())?;
 
     // Unpadded cuboid relations, keyed by mask.
     let mut computed: HashMap<Mask, Relation> = HashMap::new();
@@ -75,7 +75,7 @@ pub fn rollup_one(
     let fine_b = group_by(r, &fine_kept)?;
     let fine_rel = serial_md_join(&fine_b, r, &spec.aggs, &cuboid_theta(&fine_kept), ctx)?;
     // Roll up.
-    let rolled_specs = rollup_specs(&spec.aggs, &ctx.registry)?;
+    let rolled_specs = rollup_specs(&spec.aggs, ctx.registry())?;
     let coarse_b = group_by(&fine_rel, &coarse_kept)?;
     let via_rollup = serial_md_join(
         &coarse_b,

@@ -54,7 +54,7 @@ pub fn sets_agg(
 ) -> Result<Relation> {
     let n = spec.dims.len();
     let bound = (1u64 << n) as Mask;
-    let schema = spec.output_schema(r, &ctx.registry)?;
+    let schema = spec.output_schema(r, ctx.registry())?;
     let mut out = Relation::empty(schema.clone());
     let mut done: Vec<Mask> = Vec::new();
     for &mask in masks {

@@ -1,0 +1,104 @@
+//! Admission control: a bounded queue in front of the shared memory pool.
+//!
+//! Every query reserves its *whole* memory budget from the global
+//! [`MemoryPool`] before it starts (reservation-at-admission). An admitted
+//! query can therefore never hit pool exhaustion mid-flight — overload is
+//! decided up front and surfaces as one of two typed shedding errors:
+//!
+//! * [`CoreError::QueueFull`] — too many queries already waiting; shed
+//!   immediately (back-pressure).
+//! * [`CoreError::PoolExhausted`] — no bytes freed within the admission
+//!   wait; shed after queuing.
+//!
+//! The reservation lives inside the query's [`MemoryTracker`] as an RAII
+//! [`PoolGrant`](mdj_core::PoolGrant), so the bytes return to the pool
+//! exactly when the tracker drops — the pool provably drains to zero once
+//! all queries finish.
+
+use mdj_core::governor::{MemoryPool, MemoryTracker};
+use mdj_core::Result;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Admission policy knobs plus the shared pool.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    pool: Arc<MemoryPool>,
+    /// Budget charged to queries that don't ask for a specific one.
+    default_budget: usize,
+    /// How long an over-committed query may wait for bytes to free up.
+    wait: Duration,
+    /// Bound on the number of concurrently waiting queries.
+    max_waiters: usize,
+}
+
+impl AdmissionController {
+    pub fn new(
+        pool: Arc<MemoryPool>,
+        default_budget: usize,
+        wait: Duration,
+        max_waiters: usize,
+    ) -> Self {
+        AdmissionController {
+            pool,
+            default_budget,
+            wait,
+            max_waiters,
+        }
+    }
+
+    pub fn pool(&self) -> &Arc<MemoryPool> {
+        &self.pool
+    }
+
+    pub fn default_budget(&self) -> usize {
+        self.default_budget
+    }
+
+    /// Admit one query: reserve `budget` (or the default) from the pool,
+    /// waiting in the bounded queue if necessary, and return the tracker
+    /// the query's `QueryCtx` should carry. Errors are the typed shedding
+    /// errors described in the module docs.
+    pub fn admit(&self, budget: Option<usize>) -> Result<MemoryTracker> {
+        let bytes = budget.unwrap_or(self.default_budget);
+        let grant = self
+            .pool
+            .reserve_timeout(bytes as u64, self.wait, self.max_waiters)?;
+        Ok(MemoryTracker::with_grant(bytes, grant))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdj_core::CoreError;
+
+    #[test]
+    fn admits_within_capacity_and_sheds_beyond() {
+        let pool = Arc::new(MemoryPool::new(1000));
+        let ctrl = AdmissionController::new(pool.clone(), 400, Duration::from_millis(5), 1);
+        let a = ctrl.admit(None).unwrap();
+        let b = ctrl.admit(None).unwrap();
+        // 800/1000 reserved; a third default query queues, times out, sheds.
+        let shed = ctrl.admit(None).unwrap_err();
+        assert!(matches!(shed, CoreError::PoolExhausted { .. }), "{shed}");
+        drop(a);
+        drop(b);
+        assert_eq!(pool.reserved(), 0);
+        // With space back, admission succeeds again.
+        let c = ctrl.admit(Some(1000)).unwrap();
+        assert_eq!(c.budget(), 1000);
+    }
+
+    #[test]
+    fn queue_bound_sheds_immediately() {
+        let pool = Arc::new(MemoryPool::new(100));
+        let ctrl = AdmissionController::new(pool, 100, Duration::from_secs(5), 0);
+        let _hold = ctrl.admit(None).unwrap();
+        let start = std::time::Instant::now();
+        let shed = ctrl.admit(None).unwrap_err();
+        // Queue bound 0 → immediate QueueFull, not a 5 s wait.
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert!(matches!(shed, CoreError::QueueFull { .. }), "{shed}");
+    }
+}

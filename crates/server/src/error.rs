@@ -1,0 +1,126 @@
+//! Typed service errors and their wire codes.
+
+use mdj_core::CoreError;
+use mdj_sql::SqlError;
+use std::fmt;
+
+/// Everything the query service can report to a client. Each variant maps
+/// to a stable wire `code` so clients can branch without parsing messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// Malformed request (bad JSON, missing field, wrong type).
+    BadRequest(String),
+    /// The addressed session does not exist (or was closed).
+    UnknownSession(u64),
+    /// The addressed prepared statement does not exist in the session.
+    UnknownStatement(u64),
+    /// SQL-layer failure (lex/parse/compile/bind/execution).
+    Sql(SqlError),
+    /// Governor / admission failure (shedding, cancellation, budgets).
+    Core(CoreError),
+}
+
+impl ServerError {
+    /// The stable wire code for this error.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServerError::BadRequest(_) => "bad_request",
+            ServerError::UnknownSession(_) => "unknown_session",
+            ServerError::UnknownStatement(_) => "unknown_statement",
+            ServerError::Sql(SqlError::Lex { .. }) => "lex_error",
+            ServerError::Sql(SqlError::Parse { .. }) => "parse_error",
+            ServerError::Sql(SqlError::Compile(_)) => "compile_error",
+            ServerError::Sql(SqlError::Bind(_)) => "bind_error",
+            ServerError::Sql(SqlError::Algebra(e)) => match core_of(e) {
+                Some(c) => core_code(c),
+                None => "execution_error",
+            },
+            ServerError::Sql(SqlError::Agg(_)) => "execution_error",
+            ServerError::Core(c) => core_code(c),
+        }
+    }
+
+    /// True when the request was *shed* by admission control: the query
+    /// never ran and the client may retry later.
+    pub fn is_shed(&self) -> bool {
+        matches!(self.code(), "pool_exhausted" | "queue_full")
+    }
+}
+
+fn core_code(c: &CoreError) -> &'static str {
+    match c {
+        CoreError::Cancelled => "cancelled",
+        CoreError::DeadlineExceeded => "deadline_exceeded",
+        CoreError::BudgetExceeded { .. } => "budget_exceeded",
+        CoreError::PoolExhausted { .. } => "pool_exhausted",
+        CoreError::QueueFull { .. } => "queue_full",
+        _ => "execution_error",
+    }
+}
+
+/// Dig the originating `CoreError` out of an algebra error, if any.
+fn core_of(e: &mdj_algebra::AlgebraError) -> Option<&CoreError> {
+    match e {
+        mdj_algebra::AlgebraError::Core(c) => Some(c),
+        _ => None,
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServerError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServerError::UnknownStatement(id) => write!(f, "unknown statement {id}"),
+            ServerError::Sql(e) => write!(f, "{e}"),
+            ServerError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<SqlError> for ServerError {
+    fn from(e: SqlError) -> Self {
+        ServerError::Sql(e)
+    }
+}
+
+impl From<CoreError> for ServerError {
+    fn from(e: CoreError) -> Self {
+        ServerError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shed_codes() {
+        let pool = ServerError::Core(CoreError::PoolExhausted {
+            needed: 10,
+            available: 0,
+            capacity: 10,
+        });
+        assert_eq!(pool.code(), "pool_exhausted");
+        assert!(pool.is_shed());
+        let queue = ServerError::Core(CoreError::QueueFull {
+            waiting: 4,
+            limit: 4,
+        });
+        assert_eq!(queue.code(), "queue_full");
+        assert!(queue.is_shed());
+        assert!(!ServerError::Core(CoreError::Cancelled).is_shed());
+    }
+
+    #[test]
+    fn governor_errors_surface_through_algebra_wrapping() {
+        let e = ServerError::Sql(SqlError::Algebra(mdj_algebra::AlgebraError::Core(
+            CoreError::DeadlineExceeded,
+        )));
+        assert_eq!(e.code(), "deadline_exceeded");
+        let e = ServerError::Sql(SqlError::Bind("x".into()));
+        assert_eq!(e.code(), "bind_error");
+    }
+}

@@ -1,0 +1,161 @@
+//! The TCP front end: thread-per-connection, line-delimited JSON.
+//!
+//! Each accepted connection gets its own OS thread reading request lines
+//! and writing response lines (the [`wire`](crate::wire) protocol). All
+//! connections share one [`QueryService`]; sessions are service-global, so
+//! a `cancel` for a long-running query can arrive on a *different*
+//! connection than the `execute` it targets — exactly how out-of-band
+//! cancellation works in real wire protocols.
+//!
+//! Sessions opened on a connection are closed (and their running queries
+//! cancelled) when the connection drops, so a dying client cannot leak
+//! sessions or leave queries running.
+
+use crate::service::QueryService;
+use crate::wire::handle_line;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread;
+
+/// A running TCP server. Dropping the handle does not stop the acceptor
+/// thread (the process exits instead); tests connect, talk, disconnect.
+pub struct Server {
+    local_addr: std::net::SocketAddr,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// accepting connections on a background thread.
+    pub fn bind(addr: impl ToSocketAddrs, service: Arc<QueryService>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        thread::Builder::new()
+            .name("mdjd-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { continue };
+                    let service = service.clone();
+                    let _ = thread::Builder::new()
+                        .name("mdjd-conn".into())
+                        .spawn(move || handle_connection(stream, &service));
+                }
+            })?;
+        Ok(Server { local_addr })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+}
+
+fn handle_connection(stream: TcpStream, service: &QueryService) {
+    let peer_sessions = track_sessions(stream, service);
+    // Connection gone: close every session it opened, cancelling in-flight
+    // queries under them.
+    for sid in peer_sessions {
+        let _ = service.close_session(sid);
+    }
+}
+
+/// Serve one connection until EOF/error; returns the ids of sessions the
+/// connection opened and did not close itself.
+fn track_sessions(stream: TcpStream, service: &QueryService) -> Vec<u64> {
+    let mut opened: Vec<u64> = Vec::new();
+    let Ok(read_half) = stream.try_clone() else {
+        return opened;
+    };
+    let mut writer = stream;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(service, &line);
+        // Cheap protocol introspection to keep the per-connection session
+        // list accurate without re-parsing: wire handlers are pure, so we
+        // inspect request/response pairs here.
+        if let Ok(req) = crate::json::parse(&line) {
+            match req.get("op").and_then(crate::json::Json::as_str) {
+                Some("open") => {
+                    if let Ok(resp) = crate::json::parse(&response) {
+                        if let Some(sid) = resp.get("session").and_then(crate::json::Json::as_int) {
+                            opened.push(sid as u64);
+                        }
+                    }
+                }
+                Some("close") => {
+                    if let Some(sid) = req.get("session").and_then(crate::json::Json::as_int) {
+                        opened.retain(|s| *s != sid as u64);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if writer.write_all(response.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+    }
+    opened
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use mdj_core::EngineConfig;
+    use mdj_storage::{DataType, Relation, Row, Schema, Value};
+
+    fn boot() -> (Server, Arc<QueryService>) {
+        let schema = Schema::from_pairs(&[("cust", DataType::Int), ("sale", DataType::Float)]);
+        let rel = Relation::from_rows(
+            schema,
+            vec![
+                Row::from_values(vec![Value::Int(1), Value::Float(10.0)]),
+                Row::from_values(vec![Value::Int(2), Value::Float(30.0)]),
+            ],
+        );
+        let engine = EngineConfig::new().register_table("Sales", rel).build();
+        let service = Arc::new(QueryService::new(engine, ServiceConfig::default()));
+        let server = Server::bind("127.0.0.1:0", service.clone()).unwrap();
+        (server, service)
+    }
+
+    fn roundtrip(stream: &mut TcpStream, line: &str) -> String {
+        use std::io::{BufRead, BufReader, Write};
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        resp
+    }
+
+    #[test]
+    fn tcp_round_trip_and_session_cleanup_on_disconnect() {
+        let (server, service) = boot();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        let resp = roundtrip(&mut conn, r#"{"op":"open"}"#);
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        let resp = roundtrip(
+            &mut conn,
+            r#"{"op":"query","session":1,"sql":"select cust, sum(sale) from Sales group by cust"}"#,
+        );
+        assert!(resp.contains("\"rows\":"), "{resp}");
+        assert_eq!(service.session_count(), 1);
+        drop(conn);
+        // The connection thread notices EOF and closes the session.
+        for _ in 0..100 {
+            if service.session_count() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(service.session_count(), 0);
+    }
+}

@@ -1,0 +1,401 @@
+//! The multi-tenant query service: sessions, prepared statements, and
+//! governed execution over one shared [`EngineConfig`].
+//!
+//! A [`QueryService`] is transport-agnostic — the TCP front end in
+//! [`server`](crate::server) and the in-process stress tests drive the same
+//! object. One service holds:
+//!
+//! * one immutable `Arc<EngineConfig>` (registry, strategy, spill policy,
+//!   catalog of copy-on-write relations) shared by every query thread;
+//! * an [`AdmissionController`] deciding which queries may start;
+//! * a session table mapping session ids to their prepared statements and
+//!   the cancel tokens of in-flight queries.
+//!
+//! Every execution builds a *fresh* [`QueryCtx`] — new `ScanStats`, new
+//! `CancelToken`, new pool-backed `MemoryTracker` — so no counter, token,
+//! or budget is ever shared between queries (see the per-query isolation
+//! regression tests).
+
+use crate::admission::AdmissionController;
+use crate::error::ServerError;
+use mdj_core::governor::{CancelToken, MemoryPool};
+use mdj_core::{EngineConfig, ExecContext, QueryCtx};
+use mdj_sql::{PreparedStatement, SqlEngine};
+use mdj_storage::{ScanStats, StatsSnapshot, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Service-level policy: pool size, admission bounds, default limits.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Global memory pool capacity shared by all queries.
+    pub pool_bytes: usize,
+    /// Per-query budget when the client doesn't specify one.
+    pub default_budget: usize,
+    /// Max queries queued for admission before `QueueFull` shedding.
+    pub max_waiters: usize,
+    /// Max time a query waits for admission before `PoolExhausted`.
+    pub admission_wait: Duration,
+    /// Wall-clock deadline applied to queries that don't specify one.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            pool_bytes: 256 << 20,
+            default_budget: 16 << 20,
+            max_waiters: 32,
+            admission_wait: Duration::from_millis(500),
+            default_deadline: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Per-execution overrides supplied by the client.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Memory budget in bytes (reserved from the pool at admission).
+    pub budget: Option<usize>,
+    /// Wall-clock deadline for this execution.
+    pub deadline: Option<Duration>,
+    /// Client-chosen tag identifying the query for mid-flight `cancel`.
+    pub tag: Option<String>,
+}
+
+/// A successful query result plus its isolated per-query statistics.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+    pub stats: StatsSnapshot,
+}
+
+#[derive(Default)]
+struct Session {
+    statements: HashMap<u64, Arc<PreparedStatement>>,
+    next_statement: u64,
+    /// Cancel tokens of queries currently executing on behalf of this
+    /// session, keyed by the client-supplied tag.
+    running: HashMap<String, CancelToken>,
+}
+
+/// The shared, thread-safe query service.
+pub struct QueryService {
+    engine: Arc<EngineConfig>,
+    admission: AdmissionController,
+    config: ServiceConfig,
+    sessions: Mutex<HashMap<u64, Session>>,
+    next_session: AtomicU64,
+}
+
+impl QueryService {
+    pub fn new(engine: Arc<EngineConfig>, config: ServiceConfig) -> Self {
+        let pool = Arc::new(MemoryPool::new(config.pool_bytes));
+        let admission = AdmissionController::new(
+            pool,
+            config.default_budget,
+            config.admission_wait,
+            config.max_waiters,
+        );
+        QueryService {
+            engine,
+            admission,
+            config,
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+        }
+    }
+
+    pub fn engine(&self) -> &Arc<EngineConfig> {
+        &self.engine
+    }
+
+    pub fn pool(&self) -> &Arc<MemoryPool> {
+        self.admission.pool()
+    }
+
+    /// Open a session; returns its id.
+    pub fn open_session(&self) -> u64 {
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        self.lock_sessions().insert(id, Session::default());
+        id
+    }
+
+    /// Close a session, cancelling any queries still running under it.
+    pub fn close_session(&self, session: u64) -> Result<(), ServerError> {
+        let removed = self.lock_sessions().remove(&session);
+        match removed {
+            Some(s) => {
+                for token in s.running.values() {
+                    token.cancel();
+                }
+                Ok(())
+            }
+            None => Err(ServerError::UnknownSession(session)),
+        }
+    }
+
+    pub fn session_count(&self) -> usize {
+        self.lock_sessions().len()
+    }
+
+    /// Parse `sql` once and store it under the session. Returns the
+    /// statement id and its `?`-parameter count.
+    pub fn prepare(&self, session: u64, sql: &str) -> Result<(u64, usize), ServerError> {
+        let stmt = Arc::new(PreparedStatement::parse(sql)?);
+        let params = stmt.param_count();
+        let mut sessions = self.lock_sessions();
+        let s = sessions
+            .get_mut(&session)
+            .ok_or(ServerError::UnknownSession(session))?;
+        s.next_statement += 1;
+        let id = s.next_statement;
+        s.statements.insert(id, stmt);
+        Ok((id, params))
+    }
+
+    /// Drop a prepared statement.
+    pub fn deallocate(&self, session: u64, statement: u64) -> Result<(), ServerError> {
+        let mut sessions = self.lock_sessions();
+        let s = sessions
+            .get_mut(&session)
+            .ok_or(ServerError::UnknownSession(session))?;
+        s.statements
+            .remove(&statement)
+            .map(|_| ())
+            .ok_or(ServerError::UnknownStatement(statement))
+    }
+
+    /// Execute a prepared statement with bound parameter values.
+    pub fn execute(
+        &self,
+        session: u64,
+        statement: u64,
+        params: &[Value],
+        opts: ExecOptions,
+    ) -> Result<QueryOutcome, ServerError> {
+        let stmt = {
+            let sessions = self.lock_sessions();
+            let s = sessions
+                .get(&session)
+                .ok_or(ServerError::UnknownSession(session))?;
+            s.statements
+                .get(&statement)
+                .cloned()
+                .ok_or(ServerError::UnknownStatement(statement))?
+        };
+        self.run(session, opts, |engine| {
+            engine.execute_prepared(&stmt, params)
+        })
+    }
+
+    /// Execute a one-shot SQL string (no preparation step).
+    pub fn query(
+        &self,
+        session: u64,
+        sql: &str,
+        opts: ExecOptions,
+    ) -> Result<QueryOutcome, ServerError> {
+        if !self.lock_sessions().contains_key(&session) {
+            return Err(ServerError::UnknownSession(session));
+        }
+        self.run(session, opts, |engine| engine.query(sql))
+    }
+
+    /// Cancel the running query tagged `tag` in `session`. Returns whether
+    /// a running query was found (a `false` is not an error — the query may
+    /// have already finished).
+    pub fn cancel(&self, session: u64, tag: &str) -> Result<bool, ServerError> {
+        let sessions = self.lock_sessions();
+        let s = sessions
+            .get(&session)
+            .ok_or(ServerError::UnknownSession(session))?;
+        match s.running.get(tag) {
+            Some(token) => {
+                token.cancel();
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// The admission + isolation + execution spine shared by `execute` and
+    /// `query`.
+    fn run(
+        &self,
+        session: u64,
+        opts: ExecOptions,
+        body: impl FnOnce(&SqlEngine) -> mdj_sql::Result<mdj_storage::Relation>,
+    ) -> Result<QueryOutcome, ServerError> {
+        // 1. Admission: reserve the whole budget, or shed with a typed error.
+        let tracker = self.admission.admit(opts.budget)?;
+
+        // 2. Fresh per-query context: nothing here is shared with any other
+        //    query, so stats and budgets cannot bleed across sessions.
+        let stats = Arc::new(ScanStats::new());
+        let token = CancelToken::new();
+        let mut qctx = QueryCtx::new()
+            .with_stats(stats.clone())
+            .with_cancel_token(token.clone())
+            .with_tracker(Arc::new(tracker));
+        if let Some(d) = opts.deadline.or(self.config.default_deadline) {
+            qctx = qctx.with_deadline(d);
+        }
+
+        // 3. Register the token for mid-flight cancellation, if tagged.
+        let tag = opts.tag.clone();
+        if let Some(t) = &tag {
+            let mut sessions = self.lock_sessions();
+            let s = sessions
+                .get_mut(&session)
+                .ok_or(ServerError::UnknownSession(session))?;
+            s.running.insert(t.clone(), token.clone());
+        }
+
+        // 4. Execute over the shared engine config. The catalog clone is a
+        //    BTreeMap of Arc'd relations — cheap, no data copied.
+        let ctx = ExecContext::from_parts(self.engine.clone(), qctx);
+        let engine = SqlEngine::with_context(self.engine.catalog().clone(), ctx);
+        let result = body(&engine);
+
+        // 5. Unregister the token no matter how execution ended.
+        if let Some(t) = &tag {
+            if let Some(s) = self.lock_sessions().get_mut(&session) {
+                s.running.remove(t);
+            }
+        }
+
+        let out = result.map_err(ServerError::from)?;
+        Ok(QueryOutcome {
+            columns: out.schema().names().iter().map(|s| s.to_string()).collect(),
+            rows: out.rows().iter().map(|r| r.values().to_vec()).collect(),
+            stats: stats.snapshot(),
+        })
+    }
+
+    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Session>> {
+        self.sessions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdj_storage::{DataType, Relation, Row, Schema};
+
+    fn sales() -> Relation {
+        let schema = Schema::from_pairs(&[
+            ("cust", DataType::Int),
+            ("month", DataType::Int),
+            ("sale", DataType::Float),
+        ]);
+        let mk = |c: i64, m: i64, s: f64| {
+            Row::from_values(vec![Value::Int(c), Value::Int(m), Value::Float(s)])
+        };
+        Relation::from_rows(
+            schema,
+            vec![
+                mk(1, 1, 10.0),
+                mk(1, 2, 30.0),
+                mk(2, 1, 7.0),
+                mk(2, 2, 50.0),
+            ],
+        )
+    }
+
+    fn service(config: ServiceConfig) -> QueryService {
+        let engine = EngineConfig::new().register_table("Sales", sales()).build();
+        QueryService::new(engine, config)
+    }
+
+    #[test]
+    fn prepare_execute_lifecycle() {
+        let svc = service(ServiceConfig::default());
+        let sid = svc.open_session();
+        let (stmt, params) = svc
+            .prepare(
+                sid,
+                "select cust, sum(sale) from Sales where month = ? group by cust",
+            )
+            .unwrap();
+        assert_eq!(params, 1);
+        let out = svc
+            .execute(sid, stmt, &[Value::Int(2)], ExecOptions::default())
+            .unwrap();
+        assert_eq!(out.columns, vec!["cust", "sum_sale"]);
+        assert_eq!(out.rows.len(), 2);
+        assert!(out.stats.tuples_scanned > 0);
+        svc.deallocate(sid, stmt).unwrap();
+        assert!(matches!(
+            svc.execute(sid, stmt, &[Value::Int(2)], ExecOptions::default()),
+            Err(ServerError::UnknownStatement(_))
+        ));
+        svc.close_session(sid).unwrap();
+        assert!(matches!(
+            svc.prepare(sid, "select count(*) from Sales"),
+            Err(ServerError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn pool_returns_to_zero_after_queries() {
+        let svc = service(ServiceConfig::default());
+        let sid = svc.open_session();
+        for _ in 0..3 {
+            svc.query(
+                sid,
+                "select cust, sum(sale) from Sales group by cust",
+                ExecOptions::default(),
+            )
+            .unwrap();
+        }
+        assert_eq!(svc.pool().reserved(), 0);
+    }
+
+    #[test]
+    fn oversized_budget_is_shed_with_typed_error() {
+        let svc = service(ServiceConfig {
+            pool_bytes: 1 << 20,
+            ..ServiceConfig::default()
+        });
+        let sid = svc.open_session();
+        let err = svc
+            .query(
+                sid,
+                "select count(*) from Sales",
+                ExecOptions {
+                    budget: Some(2 << 20),
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.code(), "pool_exhausted");
+        assert!(err.is_shed());
+        assert_eq!(svc.pool().reserved(), 0);
+    }
+
+    #[test]
+    fn per_query_stats_are_isolated() {
+        let svc = service(ServiceConfig::default());
+        let sid = svc.open_session();
+        let sql = "select cust, sum(sale) from Sales group by cust";
+        let a = svc.query(sid, sql, ExecOptions::default()).unwrap();
+        let b = svc.query(sid, sql, ExecOptions::default()).unwrap();
+        // Identical queries see identical — not accumulating — counters.
+        assert_eq!(a.stats.tuples_scanned, b.stats.tuples_scanned);
+        assert_eq!(a.stats.updates, b.stats.updates);
+    }
+
+    #[test]
+    fn cancel_of_unknown_tag_reports_not_found() {
+        let svc = service(ServiceConfig::default());
+        let sid = svc.open_session();
+        assert!(!svc.cancel(sid, "nope").unwrap());
+        assert!(svc.cancel(999, "nope").is_err());
+    }
+}

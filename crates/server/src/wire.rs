@@ -1,0 +1,306 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, UTF-8. Requests are JSON
+//! objects with an `op` field:
+//!
+//! ```text
+//! {"op":"open"}
+//! {"op":"prepare","session":1,"sql":"select cust, sum(sale) from Sales where month = ? group by cust"}
+//! {"op":"execute","session":1,"stmt":1,"args":[2],"tag":"q1","budget":1048576,"deadline_ms":5000}
+//! {"op":"query","session":1,"sql":"select count(*) from Sales"}
+//! {"op":"cancel","session":1,"tag":"q1"}
+//! {"op":"deallocate","session":1,"stmt":1}
+//! {"op":"close","session":1}
+//! {"op":"ping"}
+//! {"op":"stats"}
+//! ```
+//!
+//! Responses always carry `ok`. Success: `{"ok":true,...}` with op-specific
+//! fields (`session`, `stmt`/`params`, or `columns`/`rows`/`stats`).
+//! Failure: `{"ok":false,"code":"pool_exhausted","error":"..."}` — `code`
+//! is stable ([`ServerError::code`]), `error` is human-readable.
+//!
+//! Values map as: `Null`↔`null`, `Int`↔integer, `Float`↔float,
+//! `Str`↔string, `Bool`↔bool, and the cube `ALL` pseudo-value encodes as
+//! `{"all":true}` (it never appears in requests).
+
+use crate::error::ServerError;
+use crate::json::{parse, Json};
+use crate::service::{ExecOptions, QueryOutcome, QueryService};
+use mdj_storage::Value;
+use std::time::Duration;
+
+/// Decode one request line, dispatch it to the service, encode the response
+/// line (without trailing newline).
+pub fn handle_line(service: &QueryService, line: &str) -> String {
+    match dispatch(service, line) {
+        Ok(json) => json.encode(),
+        Err(e) => Json::obj(vec![
+            ("ok", Json::Bool(false)),
+            ("code", Json::Str(e.code().into())),
+            ("error", Json::Str(e.to_string())),
+        ])
+        .encode(),
+    }
+}
+
+fn dispatch(service: &QueryService, line: &str) -> Result<Json, ServerError> {
+    let req = parse(line).map_err(ServerError::BadRequest)?;
+    let op = req
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServerError::BadRequest("missing `op`".into()))?;
+    match op {
+        "ping" => Ok(Json::obj(vec![("ok", Json::Bool(true))])),
+        "stats" => {
+            let pool = service.pool();
+            Ok(Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("sessions", Json::Int(service.session_count() as i64)),
+                ("pool_capacity", Json::Int(pool.capacity() as i64)),
+                ("pool_reserved", Json::Int(pool.reserved() as i64)),
+                ("pool_waiters", Json::Int(pool.waiters() as i64)),
+            ]))
+        }
+        "open" => {
+            let id = service.open_session();
+            Ok(Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("session", Json::Int(id as i64)),
+            ]))
+        }
+        "close" => {
+            service.close_session(session_of(&req)?)?;
+            Ok(Json::obj(vec![("ok", Json::Bool(true))]))
+        }
+        "prepare" => {
+            let sql = str_field(&req, "sql")?;
+            let (stmt, params) = service.prepare(session_of(&req)?, sql)?;
+            Ok(Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("stmt", Json::Int(stmt as i64)),
+                ("params", Json::Int(params as i64)),
+            ]))
+        }
+        "deallocate" => {
+            let stmt = int_field(&req, "stmt")? as u64;
+            service.deallocate(session_of(&req)?, stmt)?;
+            Ok(Json::obj(vec![("ok", Json::Bool(true))]))
+        }
+        "execute" => {
+            let stmt = int_field(&req, "stmt")? as u64;
+            let args = args_of(&req)?;
+            let out = service.execute(session_of(&req)?, stmt, &args, opts_of(&req)?)?;
+            Ok(outcome_json(out))
+        }
+        "query" => {
+            let sql = str_field(&req, "sql")?;
+            let out = service.query(session_of(&req)?, sql, opts_of(&req)?)?;
+            Ok(outcome_json(out))
+        }
+        "cancel" => {
+            let tag = str_field(&req, "tag")?;
+            let found = service.cancel(session_of(&req)?, tag)?;
+            Ok(Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("cancelled", Json::Bool(found)),
+            ]))
+        }
+        other => Err(ServerError::BadRequest(format!("unknown op `{other}`"))),
+    }
+}
+
+fn session_of(req: &Json) -> Result<u64, ServerError> {
+    Ok(int_field(req, "session")? as u64)
+}
+
+fn int_field(req: &Json, key: &str) -> Result<i64, ServerError> {
+    req.get(key)
+        .and_then(Json::as_int)
+        .ok_or_else(|| ServerError::BadRequest(format!("missing integer `{key}`")))
+}
+
+fn str_field<'a>(req: &'a Json, key: &str) -> Result<&'a str, ServerError> {
+    req.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServerError::BadRequest(format!("missing string `{key}`")))
+}
+
+fn args_of(req: &Json) -> Result<Vec<Value>, ServerError> {
+    match req.get("args") {
+        None => Ok(Vec::new()),
+        Some(json) => json
+            .as_arr()
+            .ok_or_else(|| ServerError::BadRequest("`args` must be an array".into()))?
+            .iter()
+            .map(json_to_value)
+            .collect(),
+    }
+}
+
+fn opts_of(req: &Json) -> Result<ExecOptions, ServerError> {
+    let budget = match req.get("budget") {
+        None => None,
+        Some(j) => Some(j.as_int().filter(|v| *v >= 0).ok_or_else(|| {
+            ServerError::BadRequest("`budget` must be a non-negative integer".into())
+        })? as usize),
+    };
+    let deadline = match req.get("deadline_ms") {
+        None => None,
+        Some(j) => Some(Duration::from_millis(
+            j.as_int().filter(|v| *v >= 0).ok_or_else(|| {
+                ServerError::BadRequest("`deadline_ms` must be a non-negative integer".into())
+            })? as u64,
+        )),
+    };
+    let tag = match req.get("tag") {
+        None => None,
+        Some(j) => Some(
+            j.as_str()
+                .ok_or_else(|| ServerError::BadRequest("`tag` must be a string".into()))?
+                .to_string(),
+        ),
+    };
+    Ok(ExecOptions {
+        budget,
+        deadline,
+        tag,
+    })
+}
+
+fn json_to_value(j: &Json) -> Result<Value, ServerError> {
+    Ok(match j {
+        Json::Null => Value::Null,
+        Json::Bool(b) => Value::Bool(*b),
+        Json::Int(v) => Value::Int(*v),
+        Json::Float(v) => Value::Float(*v),
+        Json::Str(s) => Value::str(s),
+        Json::Arr(_) | Json::Obj(_) => {
+            return Err(ServerError::BadRequest(
+                "parameter values must be scalars".into(),
+            ))
+        }
+    })
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::All => Json::obj(vec![("all", Json::Bool(true))]),
+        Value::Int(i) => Json::Int(*i),
+        Value::Float(f) => Json::Float(*f),
+        Value::Str(s) => Json::Str(s.to_string()),
+        Value::Bool(b) => Json::Bool(*b),
+    }
+}
+
+fn outcome_json(out: QueryOutcome) -> Json {
+    let columns = Json::Arr(out.columns.iter().map(|c| Json::Str(c.clone())).collect());
+    let rows = Json::Arr(
+        out.rows
+            .iter()
+            .map(|r| Json::Arr(r.iter().map(value_to_json).collect()))
+            .collect(),
+    );
+    let stats = Json::obj(vec![
+        ("tuples_scanned", Json::Int(out.stats.tuples_scanned as i64)),
+        ("updates", Json::Int(out.stats.updates as i64)),
+        ("bytes_charged", Json::Int(out.stats.bytes_charged as i64)),
+        ("degradations", Json::Int(out.stats.degradations as i64)),
+    ]);
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("columns", columns),
+        ("rows", rows),
+        ("stats", stats),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdj_core::EngineConfig;
+    use mdj_storage::{DataType, Relation, Row, Schema};
+
+    fn service() -> QueryService {
+        let schema = Schema::from_pairs(&[("cust", DataType::Int), ("sale", DataType::Float)]);
+        let rel = Relation::from_rows(
+            schema,
+            vec![
+                Row::from_values(vec![Value::Int(1), Value::Float(10.0)]),
+                Row::from_values(vec![Value::Int(2), Value::Float(30.0)]),
+            ],
+        );
+        let engine = EngineConfig::new().register_table("Sales", rel).build();
+        QueryService::new(engine, crate::ServiceConfig::default())
+    }
+
+    fn ok_field(resp: &str, key: &str) -> Json {
+        let json = parse(resp).unwrap();
+        assert_eq!(json.get("ok"), Some(&Json::Bool(true)), "{resp}");
+        json.get(key).cloned().unwrap_or(Json::Null)
+    }
+
+    #[test]
+    fn full_session_round_trip() {
+        let svc = service();
+        let resp = handle_line(&svc, r#"{"op":"open"}"#);
+        let sid = ok_field(&resp, "session").as_int().unwrap();
+        let resp = handle_line(
+            &svc,
+            &format!(
+                r#"{{"op":"prepare","session":{sid},"sql":"select cust, sum(sale) from Sales where cust = ? group by cust"}}"#
+            ),
+        );
+        let stmt = ok_field(&resp, "stmt").as_int().unwrap();
+        let resp = handle_line(
+            &svc,
+            &format!(r#"{{"op":"execute","session":{sid},"stmt":{stmt},"args":[1]}}"#),
+        );
+        let rows = ok_field(&resp, "rows");
+        assert_eq!(
+            rows,
+            Json::Arr(vec![Json::Arr(vec![Json::Int(1), Json::Float(10.0)])])
+        );
+        let resp = handle_line(&svc, &format!(r#"{{"op":"close","session":{sid}}}"#));
+        assert!(parse(&resp).unwrap().get("ok") == Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn errors_carry_stable_codes() {
+        let svc = service();
+        let resp = handle_line(&svc, "not json");
+        let json = parse(&resp).unwrap();
+        assert_eq!(json.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(json.get("code").and_then(Json::as_str), Some("bad_request"));
+
+        let resp = handle_line(
+            &svc,
+            r#"{"op":"query","session":999,"sql":"select 1 from T"}"#,
+        );
+        assert_eq!(
+            parse(&resp).unwrap().get("code").and_then(Json::as_str),
+            Some("unknown_session")
+        );
+
+        let resp = handle_line(&svc, r#"{"op":"open"}"#);
+        let sid = ok_field(&resp, "session").as_int().unwrap();
+        let resp = handle_line(
+            &svc,
+            &format!(r#"{{"op":"query","session":{sid},"sql":"selec nonsense"}}"#),
+        );
+        assert_eq!(
+            parse(&resp).unwrap().get("code").and_then(Json::as_str),
+            Some("parse_error")
+        );
+    }
+
+    #[test]
+    fn ping_and_stats() {
+        let svc = service();
+        let resp = handle_line(&svc, r#"{"op":"ping"}"#);
+        assert_eq!(parse(&resp).unwrap().get("ok"), Some(&Json::Bool(true)));
+        let resp = handle_line(&svc, r#"{"op":"stats"}"#);
+        assert_eq!(ok_field(&resp, "pool_reserved"), Json::Int(0));
+    }
+}

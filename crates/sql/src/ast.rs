@@ -12,6 +12,9 @@ pub enum PExpr {
     /// Qualified identifier (`X.sale`, `Sales.month`).
     Qualified(String, String),
     Lit(Value),
+    /// Positional `?` placeholder (0-based), bound at execute time by
+    /// [`PreparedStatement::bind`](crate::prepare::PreparedStatement::bind).
+    Param(usize),
     /// Aggregate call in an expression position (`avg(X.sale)`).
     AggCall {
         func: String,
@@ -118,6 +121,8 @@ pub struct Query {
     pub having: Option<PExpr>,
     pub order_by: Vec<OrderKey>,
     pub limit: Option<usize>,
+    /// Number of positional `?` placeholders the query contains.
+    pub params: usize,
 }
 
 #[cfg(test)]

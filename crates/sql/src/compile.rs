@@ -65,6 +65,15 @@ fn agg_spec(func: &str, column: Option<&str>, alias: String) -> AggSpec {
     }
 }
 
+/// A `?` placeholder reached compilation without a bound value: the query
+/// must go through `SqlEngine::prepare` + `execute_prepared`.
+fn unbound_param(i: usize) -> SqlError {
+    SqlError::Bind(format!(
+        "unbound parameter ?{} — prepare the statement and execute it with values",
+        i + 1
+    ))
+}
+
 fn binop(op: &str) -> Result<BinOp> {
     Ok(match op {
         "+" => BinOp::Add,
@@ -104,6 +113,7 @@ struct ResolveCtx<'a> {
 fn resolve(e: &PExpr, ctx: &mut ResolveCtx<'_>) -> Result<Expr> {
     match e {
         PExpr::Lit(v) => Ok(Expr::Lit(v.clone())),
+        PExpr::Param(i) => Err(unbound_param(*i)),
         PExpr::Ident(name) => {
             if ctx.attrs.contains(name) {
                 Ok(col_b(name.clone()))
@@ -175,6 +185,7 @@ fn resolve(e: &PExpr, ctx: &mut ResolveCtx<'_>) -> Result<Expr> {
 fn resolve_where(e: &PExpr, from: &str) -> Result<Expr> {
     match e {
         PExpr::Lit(v) => Ok(Expr::Lit(v.clone())),
+        PExpr::Param(i) => Err(unbound_param(*i)),
         PExpr::Ident(name) => Ok(col_r(name.clone())),
         PExpr::Qualified(q, name) if q == from => Ok(col_r(name.clone())),
         PExpr::Qualified(q, name) => Err(SqlError::Compile(format!(
@@ -197,6 +208,7 @@ fn resolve_where(e: &PExpr, from: &str) -> Result<Expr> {
 fn resolve_having(e: &PExpr) -> Result<Expr> {
     match e {
         PExpr::Lit(v) => Ok(Expr::Lit(v.clone())),
+        PExpr::Param(i) => Err(unbound_param(*i)),
         PExpr::Ident(name) => Ok(col_r(name.clone())),
         PExpr::Qualified(q, name) => Err(SqlError::Compile(format!(
             "HAVING cannot reference `{q}.{name}`"

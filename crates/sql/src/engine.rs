@@ -1,11 +1,13 @@
 //! The end-to-end engine: parse → compile → optimize → execute → project.
 
+use crate::ast::Query;
 use crate::compile::{compile, CompiledQuery};
 use crate::error::Result;
 use crate::parser::parse;
+use crate::prepare::PreparedStatement;
 use mdj_algebra::{execute, explain::explain, optimize, Plan};
 use mdj_core::ExecContext;
-use mdj_storage::{Catalog, Relation};
+use mdj_storage::{Catalog, Relation, Value};
 
 /// A SQL engine bound to a catalog and an execution context.
 #[derive(Debug, Default)]
@@ -34,13 +36,31 @@ impl SqlEngine {
     /// Compile a query without executing it (for EXPLAIN-style inspection).
     pub fn compile(&self, sql: &str) -> Result<CompiledQuery> {
         let q = parse(sql)?;
-        compile(&q, &self.catalog, &self.ctx.registry)
+        self.compile_ast(&q)
+    }
+
+    fn compile_ast(&self, q: &Query) -> Result<CompiledQuery> {
+        compile(q, &self.catalog, self.ctx.registry())
+    }
+
+    /// Parse `sql` (which may contain positional `?` placeholders) into a
+    /// reusable prepared statement. Parsing happens once; each
+    /// [`execute_prepared`](Self::execute_prepared) call binds values and
+    /// re-plans against the current catalog.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement> {
+        PreparedStatement::parse(sql)
+    }
+
+    /// Bind `params` to a prepared statement and run it end to end.
+    pub fn execute_prepared(&self, stmt: &PreparedStatement, params: &[Value]) -> Result<Relation> {
+        let q = stmt.bind(params)?;
+        self.run_query(&q)
     }
 
     /// Compile, optimize, and return the physical plan text.
     pub fn explain(&self, sql: &str) -> Result<String> {
         let compiled = self.compile(sql)?;
-        let optimized = optimize(compiled.plan, &self.catalog, &self.ctx.registry)?;
+        let optimized = optimize(compiled.plan, &self.catalog, self.ctx.registry())?;
         Ok(explain(&optimized))
     }
 
@@ -49,13 +69,20 @@ impl SqlEngine {
     /// chains when every aggregate is distributive) instead of the generic
     /// wildcard-θ plan.
     pub fn query(&self, sql: &str) -> Result<Relation> {
-        let compiled = self.compile(sql)?;
+        let q = parse(sql)?;
+        self.run_query(&q)
+    }
+
+    /// Shared execution path: compile an AST, pick the fast cuboid path or
+    /// the generic optimized plan, and present the result.
+    fn run_query(&self, q: &Query) -> Result<Relation> {
+        let compiled = self.compile_ast(q)?;
         if let Some(fast) = &compiled.fast_cube {
             let source = execute(&fast.source, &self.catalog, &self.ctx)?;
             let dims: Vec<&str> = fast.dims.iter().map(String::as_str).collect();
             let spec = mdj_cube::CubeSpec::new(&dims, fast.aggs.clone());
             let use_rollup_chain = fast.shape == mdj_cube::sets::SetShape::Cube
-                && mdj_agg::rollup::is_rollupable(&fast.aggs, &self.ctx.registry);
+                && mdj_agg::rollup::is_rollupable(&fast.aggs, self.ctx.registry());
             let out = if use_rollup_chain {
                 mdj_cube::rollup_chain::cube_rollup_chain(&source, &spec, &self.ctx)
                     .map_err(mdj_algebra::AlgebraError::from)?
@@ -66,7 +93,7 @@ impl SqlEngine {
             };
             return self.present(out, &compiled);
         }
-        let optimized = optimize(compiled.plan.clone(), &self.catalog, &self.ctx.registry)?;
+        let optimized = optimize(compiled.plan.clone(), &self.catalog, self.ctx.registry())?;
         self.finish(optimized, &compiled)
     }
 
@@ -391,5 +418,59 @@ mod tests {
     fn unknown_table_is_an_error() {
         let e = engine();
         assert!(e.query("select count(*) from Nope").is_err());
+    }
+
+    #[test]
+    fn prepared_statement_rebinds_per_execution() {
+        let e = engine();
+        let stmt = e
+            .prepare("select cust, sum(sale) from Sales where month = ? group by cust")
+            .unwrap();
+        assert_eq!(stmt.param_count(), 1);
+        let feb = e.execute_prepared(&stmt, &[Value::Int(2)]).unwrap();
+        let inline = e
+            .query("select cust, sum(sale) from Sales where month = 2 group by cust")
+            .unwrap();
+        assert!(feb.same_multiset(&inline));
+        let mar = e.execute_prepared(&stmt, &[Value::Int(3)]).unwrap();
+        assert_eq!(mar.len(), 1);
+        assert_eq!(mar.rows()[0][1], Value::Float(20.0));
+    }
+
+    #[test]
+    fn prepared_statement_params_reach_grouping_variables() {
+        let e = engine();
+        let stmt = e
+            .prepare(
+                "select cust, count(Z.*) from Sales group by cust ; Z \
+                 such that Z.cust = cust and Z.sale > ?",
+            )
+            .unwrap();
+        let out = e.execute_prepared(&stmt, &[Value::Float(25.0)]).unwrap();
+        let inline = e
+            .query(
+                "select cust, count(Z.*) from Sales group by cust ; Z \
+                 such that Z.cust = cust and Z.sale > 25.0",
+            )
+            .unwrap();
+        assert!(out.same_multiset(&inline));
+    }
+
+    #[test]
+    fn unbound_placeholder_rejected_by_direct_query() {
+        let e = engine();
+        let err = e
+            .query("select count(*) from Sales where sale > ?")
+            .unwrap_err();
+        assert!(matches!(err, crate::SqlError::Bind(_)), "{err}");
+    }
+
+    #[test]
+    fn wrong_bind_arity_rejected() {
+        let e = engine();
+        let stmt = e
+            .prepare("select count(*) from Sales where sale > ?")
+            .unwrap();
+        assert!(e.execute_prepared(&stmt, &[]).is_err());
     }
 }

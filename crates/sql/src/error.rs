@@ -19,6 +19,9 @@ pub enum SqlError {
     },
     /// Semantic error during compilation (unknown column/variable/etc.).
     Compile(String),
+    /// Parameter-binding error: wrong arity, or a `?` placeholder reached
+    /// execution unbound.
+    Bind(String),
     /// Downstream failure (planning or execution).
     Algebra(mdj_algebra::AlgebraError),
     Agg(mdj_agg::AggError),
@@ -34,6 +37,7 @@ impl fmt::Display for SqlError {
                 write!(f, "parse error near `{near}`: {message}")
             }
             SqlError::Compile(m) => write!(f, "compile error: {m}"),
+            SqlError::Bind(m) => write!(f, "bind error: {m}"),
             SqlError::Algebra(e) => write!(f, "{e}"),
             SqlError::Agg(e) => write!(f, "{e}"),
         }
@@ -48,6 +52,7 @@ impl std::error::Error for SqlError {
             SqlError::Algebra(e) => Some(e),
             SqlError::Agg(e) => Some(e),
             SqlError::Lex { .. } | SqlError::Parse { .. } | SqlError::Compile(_) => None,
+            SqlError::Bind(_) => None,
         }
     }
 }

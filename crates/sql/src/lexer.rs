@@ -12,7 +12,7 @@ pub enum Token {
     Int(i64),
     Float(f64),
     Str(String),
-    /// Punctuation / operators: ( ) , ; . * = <> < <= > >= + - / %
+    /// Punctuation / operators: ( ) , ; . * = <> < <= > >= + - / % ?
     Sym(String),
     Eof,
 }
@@ -132,7 +132,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 tokens.push(Token::Sym("<>".into()));
                 i += 2;
             }
-            '(' | ')' | ',' | ';' | '.' | '*' | '=' | '+' | '-' | '/' | '%' => {
+            '(' | ')' | ',' | ';' | '.' | '*' | '=' | '+' | '-' | '/' | '%' | '?' => {
                 tokens.push(Token::Sym(c.to_string()));
                 i += 1;
             }
@@ -200,7 +200,13 @@ mod tests {
     #[test]
     fn errors() {
         assert!(matches!(tokenize("'open"), Err(SqlError::Lex { .. })));
-        assert!(matches!(tokenize("a ? b"), Err(SqlError::Lex { .. })));
+        assert!(matches!(tokenize("a @ b"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn question_mark_is_a_placeholder_token() {
+        let t = tokenize("sale > ?").unwrap();
+        assert!(t.contains(&Token::Sym("?".into())));
     }
 
     #[test]

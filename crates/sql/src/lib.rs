@@ -41,6 +41,8 @@ pub mod engine;
 pub mod error;
 pub mod lexer;
 pub mod parser;
+pub mod prepare;
 
 pub use engine::SqlEngine;
 pub use error::{Result, SqlError};
+pub use prepare::PreparedStatement;

@@ -8,7 +8,11 @@ use mdj_storage::Value;
 /// Parse one query.
 pub fn parse(input: &str) -> Result<Query> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let q = p.query()?;
     p.expect_eof()?;
     Ok(q)
@@ -17,6 +21,9 @@ pub fn parse(input: &str) -> Result<Query> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Count of `?` placeholders seen so far; each gets the next 0-based
+    /// position in textual order.
+    params: usize,
 }
 
 impl Parser {
@@ -137,6 +144,7 @@ impl Parser {
             having,
             order_by,
             limit,
+            params: self.params,
         })
     }
 
@@ -422,6 +430,12 @@ impl Parser {
             Token::Str(s) => {
                 self.advance();
                 Ok(PExpr::Lit(Value::str(s)))
+            }
+            Token::Sym(s) if s == "?" => {
+                self.advance();
+                let pos = self.params;
+                self.params += 1;
+                Ok(PExpr::Param(pos))
             }
             Token::Sym(s) if s == "(" => {
                 self.advance();

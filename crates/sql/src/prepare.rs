@@ -1,0 +1,139 @@
+//! Prepared statements: parse once, bind positional `?` parameters per
+//! execution.
+//!
+//! A [`PreparedStatement`] holds the parsed AST of a query containing
+//! `?` placeholders. [`bind`](PreparedStatement::bind) substitutes literal
+//! values for the placeholders — a pure AST-to-AST rewrite — producing a
+//! parameter-free [`Query`] that compiles through the ordinary pipeline.
+//! This keeps parameters out of the plan and executor layers entirely:
+//! the server re-plans per execution but never re-parses, and a statement
+//! is immutable and shareable across queries of one session.
+
+use crate::ast::{GroupClause, GroupingVar, PExpr, Query};
+use crate::error::{Result, SqlError};
+use crate::parser::parse;
+use mdj_storage::Value;
+
+/// A parsed, parameterized query awaiting per-execution bind values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedStatement {
+    query: Query,
+}
+
+impl PreparedStatement {
+    /// Parse `sql` into a prepared statement. The statement may contain any
+    /// number of `?` placeholders (including zero, in which case
+    /// [`bind`](Self::bind) with `&[]` reproduces the plain query).
+    pub fn parse(sql: &str) -> Result<Self> {
+        Ok(PreparedStatement { query: parse(sql)? })
+    }
+
+    /// Number of `?` placeholders, in textual order.
+    pub fn param_count(&self) -> usize {
+        self.query.params
+    }
+
+    /// The underlying parsed query (placeholders intact).
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Substitute `values[i]` for placeholder `?i`, yielding an executable
+    /// parameter-free query. Arity must match exactly.
+    pub fn bind(&self, values: &[Value]) -> Result<Query> {
+        if values.len() != self.query.params {
+            return Err(SqlError::Bind(format!(
+                "statement takes {} parameter(s) but {} value(s) were bound",
+                self.query.params,
+                values.len()
+            )));
+        }
+        let mut q = self.query.clone();
+        if let Some(w) = &mut q.where_clause {
+            substitute(w, values)?;
+        }
+        if let GroupClause::GroupBy { vars, .. } = &mut q.group {
+            for GroupingVar { condition, .. } in vars {
+                substitute(condition, values)?;
+            }
+        }
+        if let Some(h) = &mut q.having {
+            substitute(h, values)?;
+        }
+        Ok(q)
+    }
+}
+
+/// Replace every `PExpr::Param(i)` in `e` with `Lit(values[i])`.
+fn substitute(e: &mut PExpr, values: &[Value]) -> Result<()> {
+    match e {
+        PExpr::Param(i) => {
+            let v = values
+                .get(*i)
+                .ok_or_else(|| SqlError::Bind(format!("parameter ?{} out of range", *i + 1)))?;
+            *e = PExpr::Lit(v.clone());
+            Ok(())
+        }
+        PExpr::Binary { lhs, rhs, .. } => {
+            substitute(lhs, values)?;
+            substitute(rhs, values)
+        }
+        PExpr::Not(inner) => substitute(inner, values),
+        PExpr::Ident(_) | PExpr::Qualified(..) | PExpr::Lit(_) | PExpr::AggCall { .. } => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_substitutes_in_textual_order() {
+        let stmt = PreparedStatement::parse(
+            "select cust, sum(sale) from Sales where month = ? group by cust having sum(sale) > ?",
+        )
+        .unwrap();
+        assert_eq!(stmt.param_count(), 2);
+        let q = stmt.bind(&[Value::Int(2), Value::Float(10.0)]).unwrap();
+        let w = format!("{:?}", q.where_clause.unwrap());
+        assert!(w.contains("Int(2)"), "{w}");
+        let h = format!("{:?}", q.having.unwrap());
+        assert!(h.contains("Float(10.0)"), "{h}");
+    }
+
+    #[test]
+    fn bind_reaches_grouping_variable_conditions() {
+        let stmt = PreparedStatement::parse(
+            "select cust, count(Z.*) from Sales group by cust ; Z \
+             such that Z.cust = cust and Z.sale > ?",
+        )
+        .unwrap();
+        assert_eq!(stmt.param_count(), 1);
+        let q = stmt.bind(&[Value::Float(25.0)]).unwrap();
+        match q.group {
+            GroupClause::GroupBy { vars, .. } => {
+                let c = format!("{:?}", vars[0].condition);
+                assert!(c.contains("Float(25.0)"), "{c}");
+                assert!(!c.contains("Param"), "{c}");
+            }
+            _ => panic!("wrong clause"),
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_bind_error() {
+        let stmt = PreparedStatement::parse("select count(*) from Sales where sale > ?").unwrap();
+        assert!(matches!(stmt.bind(&[]), Err(SqlError::Bind(_))));
+        assert!(matches!(
+            stmt.bind(&[Value::Int(1), Value::Int(2)]),
+            Err(SqlError::Bind(_))
+        ));
+    }
+
+    #[test]
+    fn zero_param_statement_binds_empty() {
+        let stmt = PreparedStatement::parse("select count(*) from Sales").unwrap();
+        assert_eq!(stmt.param_count(), 0);
+        assert!(stmt.bind(&[]).is_ok());
+    }
+}

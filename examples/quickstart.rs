@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "2) Logical plan (3 MD-joins = 3 scans):\n{}",
         explain(&plan)
     );
-    let registry = ctx.registry.clone();
+    let registry = ctx.registry().clone();
     let optimized = optimize(plan, &catalog, &registry)?;
     println!(
         "   After optimization (1 generalized MD-join = 1 scan):\n{}",

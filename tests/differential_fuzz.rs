@@ -296,7 +296,7 @@ proptest! {
                 prop_assert_eq!(stats.bytes_spilled(), stats.spill_read_bytes());
             }
             // The tracker ends the query with zero bytes still charged.
-            prop_assert_eq!(ctx.memory.as_ref().unwrap().charged(), 0);
+            prop_assert_eq!(ctx.memory().unwrap().charged(), 0);
             if policy == SpillPolicy::Never {
                 prop_assert_eq!(stats.bytes_spilled(), 0);
                 prop_assert_eq!(stats.spill_partitions(), 0);

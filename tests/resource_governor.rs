@@ -324,7 +324,7 @@ fn spill_degradation_conserves_accounting_and_surfaces_counters() {
     // spilled can strictly exceed read across retries)...
     assert!(stats.bytes_spilled() >= stats.spill_read_bytes());
     // ...and every charged byte is released by the end of the query.
-    assert_eq!(ctx.memory.as_ref().unwrap().charged(), 0);
+    assert_eq!(ctx.memory().unwrap().charged(), 0);
     assert!(stats.bytes_charged() > 0);
     // Counters reach the EXPLAIN ANALYZE surface.
     let snap = stats.snapshot();
@@ -419,9 +419,9 @@ fn builder_overrides_leave_the_callers_context_untouched() {
         .cancel_token(CancelToken::new())
         .run(&ctx)
         .unwrap();
-    assert!(ctx.memory.is_none());
-    assert!(ctx.deadline.is_none());
-    assert!(ctx.cancel.is_none());
+    assert!(ctx.memory().is_none());
+    assert!(ctx.deadline().is_none());
+    assert!(ctx.cancel().is_none());
 }
 
 #[test]

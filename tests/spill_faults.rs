@@ -152,7 +152,7 @@ proptest! {
         if let Err(msg) = assert_no_leaked_runs(&dir) {
             prop_assert!(false, "{}", msg);
         }
-        prop_assert_eq!(ctx.memory.as_ref().unwrap().charged(), 0);
+        prop_assert_eq!(ctx.memory().unwrap().charged(), 0);
         let _ = std::fs::remove_dir(&dir);
     }
 
@@ -193,7 +193,7 @@ proptest! {
         if let Err(msg) = assert_no_leaked_runs(&dir) {
             prop_assert!(false, "{}", msg);
         }
-        prop_assert_eq!(ctx.memory.as_ref().unwrap().charged(), 0);
+        prop_assert_eq!(ctx.memory().unwrap().charged(), 0);
         let _ = std::fs::remove_dir(&dir);
     }
 }
