@@ -15,6 +15,13 @@ pub fn execute(plan: &Plan, catalog: &Catalog, ctx: &ExecContext) -> Result<Rela
     // between operators even when an individual operator's own polls are far
     // apart (e.g. a cheap Select feeding an expensive MD-join).
     ctx.check_interrupt()?;
+    // Fault-injection site per plan node (constant false unless armed): a
+    // typed failure here exercises the same error path a planner bug would.
+    if ctx.fault_should_fail_planner() {
+        return Err(AlgebraError::Core(mdj_core::CoreError::Internal(
+            "injected fault: plan execution".into(),
+        )));
+    }
     match plan {
         Plan::Table(name) => Ok(catalog.get(name)?.as_ref().clone()),
         Plan::Inline(rel) => Ok(rel.as_ref().clone()),

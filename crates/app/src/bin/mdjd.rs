@@ -16,18 +16,31 @@
 //!   --queue N       max queries waiting for admission (default 32)
 //!   --wait MS       max admission wait before PoolExhausted (default 500)
 //!   --deadline MS   default per-query deadline (default 30000; 0 = none)
+//!   --max-conns N   max concurrent connections; excess shed with
+//!                   `server_busy` (default 64)
+//!   --read-timeout MS  idle/read timeout per connection; stalled peers
+//!                   shed with `idle_timeout` (default 60000; 0 = none)
+//!   --drain MS      graceful-shutdown drain deadline: in-flight queries
+//!                   get this long before being cancelled (default 5000)
 //!   --self-test     boot on an ephemeral port, run a scripted smoke
-//!                   session (ping/open/prepare/execute/cancel/shed/close)
-//!                   against the real socket, and exit nonzero on failure
+//!                   session (ping/open/prepare/execute/cancel/shed/
+//!                   oversized-frame/crash-recovery/shutdown) against the
+//!                   real socket, and exit nonzero on failure
 //! ```
+//!
+//! On startup the engine sweeps its spill directory for orphaned run files
+//! left by a crashed predecessor (crash-only recovery). On SIGTERM/SIGINT —
+//! or a client `shutdown` op — the server stops accepting, drains in-flight
+//! queries up to `--drain`, cancels stragglers, verifies the memory pool is
+//! back to zero, and exits 0 only on a clean drain.
 //!
 //! The `--self-test` mode is what CI runs: it exercises the full TCP path —
 //! prepared statements, parameter binding, mid-flight cancellation, typed
-//! load shedding (`deadline_exceeded`, `pool_exhausted`) — and asserts the
-//! pool drains back to zero bytes.
+//! load shedding (`deadline_exceeded`, `pool_exhausted`), hostile frames,
+//! and graceful shutdown — and asserts the pool drains back to zero bytes.
 
 use mdj_core::EngineConfig;
-use mdj_server::{QueryService, Server, ServiceConfig};
+use mdj_server::{ConnLimits, QueryService, Server, ServiceConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -40,6 +53,9 @@ struct Args {
     queue: usize,
     wait_ms: u64,
     deadline_ms: u64,
+    max_conns: usize,
+    read_timeout_ms: u64,
+    drain_ms: u64,
     self_test: bool,
 }
 
@@ -53,7 +69,23 @@ impl Default for Args {
             queue: 32,
             wait_ms: 500,
             deadline_ms: 30_000,
+            max_conns: 64,
+            read_timeout_ms: 60_000,
+            drain_ms: 5_000,
             self_test: false,
+        }
+    }
+}
+
+impl Args {
+    fn conn_limits(&self) -> ConnLimits {
+        ConnLimits {
+            max_conns: self.max_conns,
+            read_timeout: match self.read_timeout_ms {
+                0 => None,
+                ms => Some(Duration::from_millis(ms)),
+            },
+            ..ConnLimits::default()
         }
     }
 }
@@ -75,9 +107,12 @@ fn parse_args() -> Args {
             "--queue" => args.queue = numeric("--queue") as usize,
             "--wait" => args.wait_ms = numeric("--wait"),
             "--deadline" => args.deadline_ms = numeric("--deadline"),
+            "--max-conns" => args.max_conns = numeric("--max-conns") as usize,
+            "--read-timeout" => args.read_timeout_ms = numeric("--read-timeout"),
+            "--drain" => args.drain_ms = numeric("--drain"),
             "--self-test" => args.self_test = true,
             "--help" | "-h" => {
-                println!("usage: mdjd [--port N] [--rows N] [--pool BYTES] [--budget BYTES] [--queue N] [--wait MS] [--deadline MS] [--self-test]");
+                println!("usage: mdjd [--port N] [--rows N] [--pool BYTES] [--budget BYTES] [--queue N] [--wait MS] [--deadline MS] [--max-conns N] [--read-timeout MS] [--drain MS] [--self-test]");
                 std::process::exit(0);
             }
             other => die(&format!("unknown flag `{other}` (try --help)")),
@@ -112,6 +147,47 @@ fn build_service(args: &Args) -> Arc<QueryService> {
     Arc::new(QueryService::new(engine, config))
 }
 
+/// SIGTERM/SIGINT flip the shared [`ShutdownController`] — a single atomic
+/// compare-exchange, so the handler is async-signal-safe. The main loop
+/// observes the flag and performs the actual drain outside signal context.
+#[cfg(unix)]
+mod signals {
+    use mdj_server::ShutdownController;
+    use std::sync::OnceLock;
+
+    static CONTROLLER: OnceLock<ShutdownController> = OnceLock::new();
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_sig: i32) {
+        if let Some(c) = CONTROLLER.get() {
+            c.request();
+        }
+    }
+
+    pub fn install(controller: ShutdownController) -> bool {
+        const SIG_ERR: usize = usize::MAX;
+        if CONTROLLER.set(controller).is_err() {
+            return false;
+        }
+        let a = unsafe { signal(SIGINT, on_signal) } != SIG_ERR;
+        let b = unsafe { signal(SIGTERM, on_signal) } != SIG_ERR;
+        a && b
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    use mdj_server::ShutdownController;
+    pub fn install(_controller: ShutdownController) -> bool {
+        false
+    }
+}
+
 fn main() {
     let args = parse_args();
     if args.self_test {
@@ -119,18 +195,48 @@ fn main() {
         return;
     }
     let service = build_service(&args);
-    let server = Server::bind(("0.0.0.0", args.port), service)
+    let recovery = service.recovery_report();
+    if recovery.removed > 0 {
+        println!(
+            "mdjd: recovered {} orphaned spill file(s) ({} bytes) left by a crashed process",
+            recovery.removed, recovery.bytes_removed,
+        );
+    }
+    let server = Server::bind_with(("0.0.0.0", args.port), service.clone(), args.conn_limits())
         .unwrap_or_else(|e| die(&format!("bind failed: {e}")));
     println!(
-        "mdjd listening on {} ({} rows/table, pool {} MiB, queue {}, wait {} ms)",
+        "mdjd listening on {} ({} rows/table, pool {} MiB, queue {}, wait {} ms, max conns {}, read timeout {} ms)",
         server.local_addr(),
         args.rows,
         args.pool >> 20,
         args.queue,
         args.wait_ms,
+        args.max_conns,
+        args.read_timeout_ms,
     );
-    loop {
-        std::thread::park();
+    if !signals::install(service.shutdown().clone()) {
+        eprintln!("mdjd: warning: signal handlers not installed; drain via the `shutdown` op");
+    }
+    // Wait for SIGTERM/SIGINT or a client `shutdown` op, then drain.
+    while !service.shutdown().is_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    println!(
+        "mdjd: shutdown requested; draining up to {} ms",
+        args.drain_ms
+    );
+    let report = server.shutdown(Duration::from_millis(args.drain_ms));
+    println!(
+        "mdjd: drain complete: {} in flight at request, {} cancelled, pool_reserved={}, pool_waiters={}, sessions={}",
+        report.in_flight_at_request,
+        report.cancelled,
+        report.pool_reserved,
+        report.pool_waiters,
+        report.sessions,
+    );
+    if !report.is_clean() {
+        eprintln!("mdjd: drain left resources behind; exiting 1");
+        std::process::exit(1);
     }
 }
 
@@ -193,10 +299,35 @@ mod self_test {
     }
 
     pub fn run(args: &Args) {
+        // Crash recovery: plant an orphaned spill run file under a dead pid
+        // *before* the engine boots; startup must sweep it away.
+        let orphan = std::env::temp_dir().join("mdj-spill-999999999-0-selftest.run");
+        std::fs::write(&orphan, b"MDJS orphaned by a crash").expect("plant orphan");
         let service = build_service(args);
-        let server = Server::bind("127.0.0.1:0", service.clone()).expect("bind");
+        let recovery = service.recovery_report();
+        if orphan.exists() || recovery.removed < 1 {
+            eprintln!("mdjd self-test FAILED: planted orphan not swept (report: {recovery:?})");
+            std::process::exit(1);
+        }
+        println!(
+            "ok: crash recovery swept {} orphan(s), {} bytes",
+            recovery.removed, recovery.bytes_removed
+        );
+        let server =
+            Server::bind_with("127.0.0.1:0", service.clone(), args.conn_limits()).expect("bind");
         let addr = server.local_addr();
         println!("mdjd self-test against {addr} ({} rows/table)", args.rows);
+
+        // Hostile client: a frame past the limit is shed with a typed code
+        // on its own connection, before the scripted session even starts.
+        let mut evil = Client::connect(addr);
+        let resp = evil.send(&"x".repeat(args.conn_limits().max_frame_bytes + 1));
+        check(
+            "oversized frame shed",
+            &resp,
+            "\"code\":\"frame_too_large\"",
+        );
+        drop(evil);
 
         let mut c = Client::connect(addr);
         check("ping", &c.send(r#"{"op":"ping"}"#), "\"ok\":true");
@@ -278,9 +409,15 @@ mod self_test {
         ));
         check("pool shed", &resp, "\"code\":\"pool_exhausted\"");
 
-        // The pool must be fully drained now that nothing is running.
+        // The pool must be fully drained now that nothing is running, and
+        // stats must remember the startup recovery sweep.
         let resp = c.send(r#"{"op":"stats"}"#);
         check("pool drained", &resp, "\"pool_reserved\":0");
+        if int_field(&resp, "recovered_spill_files") < 1 {
+            eprintln!("mdjd self-test FAILED: stats lost the recovery sweep: {resp}");
+            std::process::exit(1);
+        }
+        println!("ok: stats report recovery sweep");
 
         check(
             "close",
@@ -297,6 +434,23 @@ mod self_test {
             eprintln!("mdjd self-test FAILED: pool not drained");
             std::process::exit(1);
         }
+
+        // Graceful shutdown: the wire op flips the drain flag, new queries
+        // are shed with `shutting_down`, and the drain verifies the pool.
+        let resp = c.send(r#"{"op":"shutdown"}"#);
+        check("shutdown op", &resp, "\"draining\":true");
+        let resp = c.send(r#"{"op":"open"}"#);
+        let sid2 = int_field(&resp, "session");
+        let resp = c.send(&format!(
+            r#"{{"op":"query","session":{sid2},"sql":"select count(*) from Sales"}}"#
+        ));
+        check("draining shed", &resp, "\"code\":\"shutting_down\"");
+        let report = server.shutdown(std::time::Duration::from_millis(args.drain_ms));
+        if !report.is_clean() {
+            eprintln!("mdjd self-test FAILED: drain not clean: {report:?}");
+            std::process::exit(1);
+        }
+        println!("ok: graceful drain clean ({report:?})");
         println!("mdjd self-test passed");
     }
 }

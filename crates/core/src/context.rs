@@ -538,6 +538,20 @@ impl ExecContext {
         }
     }
 
+    /// Fault-injection hook at a planner site (parse/compile/optimize):
+    /// true = the SQL layer must fail the site with a typed error. Always
+    /// compiled — callers in `mdj-sql`/`mdj-algebra` need no feature gate of
+    /// their own; without the `fault-injection` feature this is a constant
+    /// `false` the optimizer removes.
+    #[inline]
+    pub fn fault_should_fail_planner(&self) -> bool {
+        #[cfg(feature = "fault-injection")]
+        if let Some(f) = &self.query.fault {
+            return f.should_fail_planner();
+        }
+        false
+    }
+
     pub(crate) fn record_scan(&self, tuples: u64) {
         if let Some(s) = &self.query.stats {
             s.record_scan();

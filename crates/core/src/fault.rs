@@ -16,7 +16,13 @@
 //!   layer's typed-error and RAII-cleanup contract);
 //! * **spill read corruptions** — a run file is corrupted (byte flip or
 //!   truncation, alternating) just before it is read back, so the reader's
-//!   checksum validation must catch it.
+//!   checksum validation must catch it;
+//! * **planner failures** — a parse/compile/optimize site fails with a
+//!   typed SQL error before any execution starts (exercising the server's
+//!   error path for queries that never reach the engine);
+//! * **server accept/read/write failures** — the TCP front end drops an
+//!   accepted connection, treats a read as failed, or skips a response
+//!   write, so clients see exactly what a flaky network produces.
 //!
 //! *Which* site hits inject is a pure function of the seed and a global site
 //! counter, so a single-threaded run is exactly reproducible; under threads
@@ -50,13 +56,23 @@ pub struct FaultInjector {
     slow_for: Duration,
     remaining_spill_write_failures: AtomicU64,
     remaining_spill_corruptions: AtomicU64,
+    remaining_planner_failures: AtomicU64,
+    remaining_server_accept_failures: AtomicU64,
+    remaining_server_read_failures: AtomicU64,
+    remaining_server_write_failures: AtomicU64,
     morsel_hits: AtomicU64,
     charge_hits: AtomicU64,
     spill_write_hits: AtomicU64,
     spill_read_hits: AtomicU64,
+    planner_hits: AtomicU64,
+    server_accept_hits: AtomicU64,
+    server_read_hits: AtomicU64,
+    server_write_hits: AtomicU64,
     injected_panics: AtomicU64,
     injected_spill_write_failures: AtomicU64,
     injected_spill_corruptions: AtomicU64,
+    injected_planner_failures: AtomicU64,
+    injected_server_faults: AtomicU64,
 }
 
 impl FaultInjector {
@@ -71,13 +87,23 @@ impl FaultInjector {
             slow_for: Duration::from_millis(5),
             remaining_spill_write_failures: AtomicU64::new(0),
             remaining_spill_corruptions: AtomicU64::new(0),
+            remaining_planner_failures: AtomicU64::new(0),
+            remaining_server_accept_failures: AtomicU64::new(0),
+            remaining_server_read_failures: AtomicU64::new(0),
+            remaining_server_write_failures: AtomicU64::new(0),
             morsel_hits: AtomicU64::new(0),
             charge_hits: AtomicU64::new(0),
             spill_write_hits: AtomicU64::new(0),
             spill_read_hits: AtomicU64::new(0),
+            planner_hits: AtomicU64::new(0),
+            server_accept_hits: AtomicU64::new(0),
+            server_read_hits: AtomicU64::new(0),
+            server_write_hits: AtomicU64::new(0),
             injected_panics: AtomicU64::new(0),
             injected_spill_write_failures: AtomicU64::new(0),
             injected_spill_corruptions: AtomicU64::new(0),
+            injected_planner_failures: AtomicU64::new(0),
+            injected_server_faults: AtomicU64::new(0),
         }
     }
 
@@ -121,6 +147,36 @@ impl FaultInjector {
         self
     }
 
+    /// Arm `n` injected planner failures (parse/compile/optimize sites).
+    pub fn planner_failures(self, n: u64) -> Self {
+        self.remaining_planner_failures.store(n, Ordering::Relaxed);
+        self
+    }
+
+    /// Arm `n` injected accept failures in the server front end (the
+    /// accepted connection is dropped before it is served).
+    pub fn server_accept_failures(self, n: u64) -> Self {
+        self.remaining_server_accept_failures
+            .store(n, Ordering::Relaxed);
+        self
+    }
+
+    /// Arm `n` injected read failures in the server front end (a request
+    /// read is treated as a connection error).
+    pub fn server_read_failures(self, n: u64) -> Self {
+        self.remaining_server_read_failures
+            .store(n, Ordering::Relaxed);
+        self
+    }
+
+    /// Arm `n` injected write failures in the server front end (a response
+    /// write is skipped as if the peer closed mid-write).
+    pub fn server_write_failures(self, n: u64) -> Self {
+        self.remaining_server_write_failures
+            .store(n, Ordering::Relaxed);
+        self
+    }
+
     /// Number of panics actually injected so far.
     pub fn panics_injected(&self) -> u64 {
         self.injected_panics.load(Ordering::Relaxed)
@@ -134,6 +190,16 @@ impl FaultInjector {
     /// Number of spill read corruptions actually injected so far.
     pub fn spill_corruptions_injected(&self) -> u64 {
         self.injected_spill_corruptions.load(Ordering::Relaxed)
+    }
+
+    /// Number of planner failures actually injected so far.
+    pub fn planner_failures_injected(&self) -> u64 {
+        self.injected_planner_failures.load(Ordering::Relaxed)
+    }
+
+    /// Number of server accept/read/write faults actually injected so far.
+    pub fn server_faults_injected(&self) -> u64 {
+        self.injected_server_faults.load(Ordering::Relaxed)
     }
 
     /// Atomically consume one unit of `budget` if any remain.
@@ -176,6 +242,57 @@ impl FaultInjector {
         if inject {
             self.injected_spill_write_failures
                 .fetch_add(1, Ordering::Relaxed);
+        }
+        inject
+    }
+
+    /// Called at a planner site (parse, compile, or optimize); true = fail
+    /// the site with a typed SQL error. Public: the SQL layer consults the
+    /// injector through [`ExecContext`](crate::ExecContext) without a
+    /// feature gate of its own.
+    pub fn should_fail_planner(&self) -> bool {
+        let hit = self.planner_hits.fetch_add(1, Ordering::Relaxed);
+        let inject = mix(self.seed.rotate_left(7), hit).is_multiple_of(self.period)
+            && Self::take(&self.remaining_planner_failures);
+        if inject {
+            self.injected_planner_failures
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        inject
+    }
+
+    /// Called after the server accepts a connection; true = drop it
+    /// unserved, as if the peer vanished between accept and first read.
+    pub fn should_fail_server_accept(&self) -> bool {
+        let hit = self.server_accept_hits.fetch_add(1, Ordering::Relaxed);
+        let inject = mix(self.seed.rotate_left(11), hit).is_multiple_of(self.period)
+            && Self::take(&self.remaining_server_accept_failures);
+        if inject {
+            self.injected_server_faults.fetch_add(1, Ordering::Relaxed);
+        }
+        inject
+    }
+
+    /// Called per request read in the server; true = treat the read as a
+    /// connection error and close.
+    pub fn should_fail_server_read(&self) -> bool {
+        let hit = self.server_read_hits.fetch_add(1, Ordering::Relaxed);
+        let inject = mix(self.seed.rotate_left(19), hit).is_multiple_of(self.period)
+            && Self::take(&self.remaining_server_read_failures);
+        if inject {
+            self.injected_server_faults.fetch_add(1, Ordering::Relaxed);
+        }
+        inject
+    }
+
+    /// Called per response write in the server; true = skip the write, as
+    /// if the peer closed mid-response.
+    pub fn should_fail_server_write(&self) -> bool {
+        let hit = self.server_write_hits.fetch_add(1, Ordering::Relaxed);
+        let inject = mix(self.seed.rotate_left(23), hit).is_multiple_of(self.period)
+            && Self::take(&self.remaining_server_write_failures);
+        if inject {
+            self.injected_server_faults.fetch_add(1, Ordering::Relaxed);
         }
         inject
     }
@@ -245,6 +362,47 @@ mod tests {
         assert!(!(0..100).any(|_| f.should_fail_charge()));
         assert!(!(0..100).any(|_| f.should_fail_spill_write()));
         assert!(!(0..100).any(|_| f.should_corrupt_spill_read()));
+        assert!(!(0..100).any(|_| f.should_fail_planner()));
+        assert!(!(0..100).any(|_| f.should_fail_server_accept()));
+        assert!(!(0..100).any(|_| f.should_fail_server_read()));
+        assert!(!(0..100).any(|_| f.should_fail_server_write()));
+    }
+
+    #[test]
+    fn planner_and_server_budgets_are_bounded_and_counted() {
+        let f = FaultInjector::new(5)
+            .period(1)
+            .planner_failures(2)
+            .server_accept_failures(1)
+            .server_read_failures(2)
+            .server_write_failures(3);
+        assert_eq!((0..10).filter(|_| f.should_fail_planner()).count(), 2);
+        assert_eq!((0..10).filter(|_| f.should_fail_server_accept()).count(), 1);
+        assert_eq!((0..10).filter(|_| f.should_fail_server_read()).count(), 2);
+        assert_eq!((0..10).filter(|_| f.should_fail_server_write()).count(), 3);
+        assert_eq!(f.planner_failures_injected(), 2);
+        assert_eq!(f.server_faults_injected(), 6);
+    }
+
+    #[test]
+    fn planner_and_server_sites_use_distinct_streams() {
+        let f = FaultInjector::new(777)
+            .period(2)
+            .planner_failures(u64::MAX)
+            .server_accept_failures(u64::MAX)
+            .server_read_failures(u64::MAX)
+            .server_write_failures(u64::MAX);
+        let planner: Vec<bool> = (0..64).map(|_| f.should_fail_planner()).collect();
+        let accepts: Vec<bool> = (0..64).map(|_| f.should_fail_server_accept()).collect();
+        let reads: Vec<bool> = (0..64).map(|_| f.should_fail_server_read()).collect();
+        let writes: Vec<bool> = (0..64).map(|_| f.should_fail_server_write()).collect();
+        assert_ne!(planner, accepts);
+        assert_ne!(accepts, reads);
+        assert_ne!(reads, writes);
+        // Deterministic per seed: a fresh injector reproduces the pattern.
+        let g = FaultInjector::new(777).period(2).planner_failures(u64::MAX);
+        let planner2: Vec<bool> = (0..64).map(|_| g.should_fail_planner()).collect();
+        assert_eq!(planner, planner2);
     }
 
     #[test]

@@ -96,6 +96,7 @@ pub use generalized::Block;
 pub use governor::{CancelToken, MemoryPool, MemoryTracker, PoolGrant};
 pub use mdjoin::output_schema;
 pub use morsel::{choose_side, MorselSide};
+pub use spill_exec::recover_spill_dir;
 
 /// Curated re-exports: everything a typical MD-join program needs.
 ///

@@ -37,6 +37,22 @@ use mdj_storage::{read_run, Relation, Row, RunFile, RunWriter, Schema, StorageEr
 use std::hash::{Hash, Hasher};
 use std::path::Path;
 
+/// Startup crash-recovery sweep over an engine's spill directory: remove
+/// `MDJS` run files orphaned by a crashed process (see
+/// [`mdj_storage::sweep_orphans`]). Resolves the directory the same way the
+/// spill executor does — the configured `spill_dir`, falling back to the
+/// system temp directory — so a restart cleans up exactly where a crashed
+/// predecessor spilled.
+pub fn recover_spill_dir(
+    engine: &crate::context::EngineConfig,
+) -> Result<mdj_storage::SweepReport> {
+    let dir = engine
+        .spill_dir()
+        .cloned()
+        .unwrap_or_else(std::env::temp_dir);
+    mdj_storage::sweep_orphans(&dir).map_err(CoreError::from)
+}
+
 /// Number of hash-partition key columns θ yields over `B`'s schema, or
 /// `None` when θ has no usable equality bindings (spilling impossible; the
 /// cost model then prices rescan only).

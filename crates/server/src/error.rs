@@ -18,6 +18,19 @@ pub enum ServerError {
     Sql(SqlError),
     /// Governor / admission failure (shedding, cancellation, budgets).
     Core(CoreError),
+    /// A request line exceeded the connection's frame-size limit. The line
+    /// was discarded without buffering it whole; the connection closes.
+    FrameTooLarge { limit: usize },
+    /// The connection produced no complete request within the read timeout.
+    IdleTimeout,
+    /// The server is at its concurrent-connection limit; this connection
+    /// was shed before any request was read.
+    ServerBusy { limit: usize },
+    /// The server is draining for shutdown and accepts no new work.
+    ShuttingDown,
+    /// Transport-level failure (bind, accept, read, or write). Message-only
+    /// so the error stays `Clone + PartialEq`.
+    Io(String),
 }
 
 impl ServerError {
@@ -37,13 +50,18 @@ impl ServerError {
             },
             ServerError::Sql(SqlError::Agg(_)) => "execution_error",
             ServerError::Core(c) => core_code(c),
+            ServerError::FrameTooLarge { .. } => "frame_too_large",
+            ServerError::IdleTimeout => "idle_timeout",
+            ServerError::ServerBusy { .. } => "server_busy",
+            ServerError::ShuttingDown => "shutting_down",
+            ServerError::Io(_) => "io_error",
         }
     }
 
-    /// True when the request was *shed* by admission control: the query
-    /// never ran and the client may retry later.
+    /// True when the request was *shed* by admission or connection control:
+    /// the query never ran and the client may retry later.
     pub fn is_shed(&self) -> bool {
-        matches!(self.code(), "pool_exhausted" | "queue_full")
+        matches!(self.code(), "pool_exhausted" | "queue_full" | "server_busy")
     }
 }
 
@@ -74,6 +92,15 @@ impl fmt::Display for ServerError {
             ServerError::UnknownStatement(id) => write!(f, "unknown statement {id}"),
             ServerError::Sql(e) => write!(f, "{e}"),
             ServerError::Core(e) => write!(f, "{e}"),
+            ServerError::FrameTooLarge { limit } => {
+                write!(f, "request frame exceeds the {limit}-byte limit")
+            }
+            ServerError::IdleTimeout => write!(f, "connection idle past the read timeout"),
+            ServerError::ServerBusy { limit } => {
+                write!(f, "server at its {limit}-connection limit; retry later")
+            }
+            ServerError::ShuttingDown => write!(f, "server is shutting down"),
+            ServerError::Io(m) => write!(f, "i/o error: {m}"),
         }
     }
 }
@@ -112,6 +139,22 @@ mod tests {
         assert_eq!(queue.code(), "queue_full");
         assert!(queue.is_shed());
         assert!(!ServerError::Core(CoreError::Cancelled).is_shed());
+        let busy = ServerError::ServerBusy { limit: 4 };
+        assert_eq!(busy.code(), "server_busy");
+        assert!(busy.is_shed());
+    }
+
+    #[test]
+    fn connection_governor_codes_are_stable() {
+        assert_eq!(
+            ServerError::FrameTooLarge { limit: 1024 }.code(),
+            "frame_too_large"
+        );
+        assert_eq!(ServerError::IdleTimeout.code(), "idle_timeout");
+        assert_eq!(ServerError::ShuttingDown.code(), "shutting_down");
+        assert_eq!(ServerError::Io("broken pipe".into()).code(), "io_error");
+        assert!(!ServerError::ShuttingDown.is_shed());
+        assert!(!ServerError::FrameTooLarge { limit: 1 }.is_shed());
     }
 
     #[test]

@@ -123,12 +123,19 @@ fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Deepest object/array nesting `parse` accepts. The parser recurses, so
+/// without a bound a hostile `[[[[...` payload overflows the stack and
+/// aborts the whole process; with it, the payload is a parse error like
+/// any other. 64 is far beyond anything the wire protocol produces.
+pub const MAX_DEPTH: usize = 64;
+
 /// Parse one JSON document; trailing content is an error.
 pub fn parse(input: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         input,
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -143,6 +150,7 @@ struct Parser<'a> {
     bytes: &'a [u8],
     input: &'a str,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -176,11 +184,32 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting exceeds the depth limit of {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn value(&mut self) -> Result<Json, String> {
         self.skip_ws();
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => {
+                self.enter()?;
+                let v = self.object();
+                self.depth -= 1;
+                v
+            }
+            Some(b'[') => {
+                self.enter()?;
+                let v = self.array();
+                self.depth -= 1;
+                v
+            }
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') if self.eat_lit("true") => Ok(Json::Bool(true)),
             Some(b'f') if self.eat_lit("false") => Ok(Json::Bool(false)),
@@ -358,6 +387,21 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse(r#"{"a":1} extra"#).is_err());
         assert!(parse("'single'").is_err());
+    }
+
+    #[test]
+    fn depth_limit_is_enforced_not_overflowed() {
+        // One past the limit fails cleanly...
+        let deep = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.contains("depth"), "{err}");
+        // ...and the limit itself still parses.
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+        // Mixed nesting counts both container kinds toward the limit.
+        let mixed = r#"{"a":["#.repeat(MAX_DEPTH / 2 + 1);
+        let err = parse(&mixed).unwrap_err();
+        assert!(err.contains("depth"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Connection-level resource limits: concurrency cap, frame-size bound,
+//! and per-socket read/idle timeouts.
+//!
+//! The unbounded `BufReader::lines` loop of the first server release let a
+//! hostile client stream an endless line into a growing `String` — an OOM a
+//! socket away. [`BoundedLineReader`] replaces it: it buffers at most
+//! `max_frame_bytes` (+ one read chunk) per pending line and reports an
+//! oversized frame as a typed [`Frame::TooLarge`] outcome instead of
+//! allocating through it. Read timeouts installed via
+//! `TcpStream::set_read_timeout` surface as [`Frame::TimedOut`], so a
+//! stalled or half-open peer is shed with a stable error code rather than
+//! pinning its thread forever.
+
+use std::io::Read;
+use std::time::Duration;
+
+/// Per-connection policy threaded from [`Server`](crate::Server) into every
+/// connection thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnLimits {
+    /// Maximum concurrently served connections; the excess is shed with
+    /// `server_busy` before any request is read.
+    pub max_conns: usize,
+    /// Maximum bytes in one request line; longer frames close the
+    /// connection with `frame_too_large`.
+    pub max_frame_bytes: usize,
+    /// Maximum time a connection may sit without delivering a complete
+    /// request before it is shed with `idle_timeout` (`None` = wait
+    /// forever, the historical behaviour).
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ConnLimits {
+    fn default() -> Self {
+        ConnLimits {
+            max_conns: 64,
+            max_frame_bytes: 1 << 20,
+            read_timeout: None,
+        }
+    }
+}
+
+/// One read outcome of a [`BoundedLineReader`]: either a complete request
+/// line or the typed reason the connection must close.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line (newline stripped, `\r\n` tolerated).
+    Line(String),
+    /// The pending line grew past `max_frame_bytes` without a newline.
+    TooLarge,
+    /// The pending line is complete but not valid UTF-8.
+    NotUtf8,
+    /// Peer closed the connection cleanly.
+    Eof,
+    /// The socket's read timeout expired with no complete request.
+    TimedOut,
+    /// Hard transport failure.
+    Io(String),
+}
+
+/// A line reader with a hard cap on buffered bytes per line.
+#[derive(Debug)]
+pub struct BoundedLineReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already scanned for a newline (avoids rescans while a
+    /// long line accumulates).
+    scanned: usize,
+    max: usize,
+    eof: bool,
+}
+
+impl<R: Read> BoundedLineReader<R> {
+    pub fn new(inner: R, max_frame_bytes: usize) -> Self {
+        BoundedLineReader {
+            inner,
+            buf: Vec::new(),
+            scanned: 0,
+            max: max_frame_bytes,
+            eof: false,
+        }
+    }
+
+    fn take_line(&mut self, end: usize, consumed: usize) -> Frame {
+        let rest = self.buf.split_off(consumed);
+        let mut line = std::mem::replace(&mut self.buf, rest);
+        self.scanned = 0;
+        line.truncate(end);
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        match String::from_utf8(line) {
+            Ok(s) => Frame::Line(s),
+            Err(_) => Frame::NotUtf8,
+        }
+    }
+
+    /// Block until one complete line (or a typed close reason) is
+    /// available. After anything but [`Frame::Line`], the connection should
+    /// be closed; the reader makes no attempt to resynchronize.
+    pub fn next_frame(&mut self) -> Frame {
+        loop {
+            if let Some(off) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let idx = self.scanned + off;
+                // The newline can land in the same read chunk that crosses
+                // the cap; a complete line is still subject to it.
+                if idx > self.max {
+                    return Frame::TooLarge;
+                }
+                return self.take_line(idx, idx + 1);
+            }
+            self.scanned = self.buf.len();
+            if self.buf.len() > self.max {
+                return Frame::TooLarge;
+            }
+            if self.eof {
+                if self.buf.is_empty() {
+                    return Frame::Eof;
+                }
+                // Trailing unterminated data: serve it as a final line.
+                let end = self.buf.len();
+                return self.take_line(end, end);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Frame::TimedOut
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Frame::Io(e.to_string()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frames(input: &[u8], max: usize) -> Vec<Frame> {
+        let mut r = BoundedLineReader::new(Cursor::new(input.to_vec()), max);
+        let mut out = Vec::new();
+        loop {
+            let f = r.next_frame();
+            let done = !matches!(f, Frame::Line(_));
+            out.push(f);
+            if done {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn splits_lines_and_strips_crlf() {
+        let got = frames(b"one\r\ntwo\nthree", 64);
+        assert_eq!(
+            got,
+            vec![
+                Frame::Line("one".into()),
+                Frame::Line("two".into()),
+                Frame::Line("three".into()),
+                Frame::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_buffering_it() {
+        let mut input = vec![b'x'; 64 << 10];
+        input.push(b'\n');
+        let got = frames(&input, 1024);
+        assert_eq!(got, vec![Frame::TooLarge]);
+    }
+
+    #[test]
+    fn line_at_exactly_the_limit_passes() {
+        let mut input = vec![b'x'; 1024];
+        input.push(b'\n');
+        let got = frames(&input, 1024);
+        assert_eq!(got.len(), 2);
+        assert!(matches!(&got[0], Frame::Line(s) if s.len() == 1024));
+    }
+
+    #[test]
+    fn one_byte_past_the_limit_is_rejected_even_with_its_newline_buffered() {
+        // The terminating newline arrives in the same chunk that crosses
+        // the cap, so the newline scan sees a complete — oversized — line.
+        let mut input = vec![b'x'; 1025];
+        input.push(b'\n');
+        assert_eq!(frames(&input, 1024), vec![Frame::TooLarge]);
+    }
+
+    #[test]
+    fn invalid_utf8_is_typed() {
+        let got = frames(b"ok\n\xff\xfe\n", 64);
+        assert_eq!(got, vec![Frame::Line("ok".into()), Frame::NotUtf8]);
+    }
+
+    #[test]
+    fn empty_input_is_eof() {
+        assert_eq!(frames(b"", 64), vec![Frame::Eof]);
+    }
+
+    /// A reader that yields one line and then behaves like an expired
+    /// `set_read_timeout` socket.
+    struct Stall {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for Stall {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            let n = buf.len().min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn stalled_reader_reports_timeout() {
+        let mut r = BoundedLineReader::new(
+            Stall {
+                data: b"hello\n".to_vec(),
+                pos: 0,
+            },
+            64,
+        );
+        assert_eq!(r.next_frame(), Frame::Line("hello".into()));
+        assert_eq!(r.next_frame(), Frame::TimedOut);
+    }
+}

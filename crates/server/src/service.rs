@@ -18,14 +18,15 @@
 
 use crate::admission::AdmissionController;
 use crate::error::ServerError;
+use crate::shutdown::{DrainReport, ShutdownController};
 use mdj_core::governor::{CancelToken, MemoryPool};
 use mdj_core::{EngineConfig, ExecContext, QueryCtx};
 use mdj_sql::{PreparedStatement, SqlEngine};
-use mdj_storage::{ScanStats, StatsSnapshot, Value};
+use mdj_storage::{ScanStats, StatsSnapshot, SweepReport, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Service-level policy: pool size, admission bounds, default limits.
 #[derive(Debug, Clone)]
@@ -89,6 +90,16 @@ pub struct QueryService {
     config: ServiceConfig,
     sessions: Mutex<HashMap<u64, Session>>,
     next_session: AtomicU64,
+    /// Cancel tokens of *every* in-flight query (tagged or not), keyed by a
+    /// monotone query id. This is what a drain cancels; the per-session tag
+    /// map remains the client-facing `cancel` surface.
+    running: Mutex<HashMap<u64, CancelToken>>,
+    next_query: AtomicU64,
+    shutdown: ShutdownController,
+    /// What the startup crash-recovery sweep of the spill dir found.
+    recovery: SweepReport,
+    #[cfg(feature = "fault-injection")]
+    fault: Mutex<Option<Arc<mdj_core::FaultInjector>>>,
 }
 
 impl QueryService {
@@ -100,12 +111,25 @@ impl QueryService {
             config.admission_wait,
             config.max_waiters,
         );
+        // Crash recovery: a SIGKILLed predecessor skipped its RAII spill
+        // cleanup; sweep its orphaned run files before serving anyone. A
+        // sweep failure (e.g. an unreadable dir) must not block boot.
+        let recovery = mdj_core::recover_spill_dir(&engine).unwrap_or_else(|e| {
+            eprintln!("mdjd: spill recovery sweep failed: {e}");
+            SweepReport::default()
+        });
         QueryService {
             engine,
             admission,
             config,
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
+            running: Mutex::new(HashMap::new()),
+            next_query: AtomicU64::new(1),
+            shutdown: ShutdownController::new(),
+            recovery,
+            #[cfg(feature = "fault-injection")]
+            fault: Mutex::new(None),
         }
     }
 
@@ -115,6 +139,119 @@ impl QueryService {
 
     pub fn pool(&self) -> &Arc<MemoryPool> {
         self.admission.pool()
+    }
+
+    /// The shared shutdown state (also observed by the TCP front end).
+    pub fn shutdown(&self) -> &ShutdownController {
+        &self.shutdown
+    }
+
+    /// What the startup crash-recovery sweep found in the spill directory.
+    pub fn recovery_report(&self) -> SweepReport {
+        self.recovery
+    }
+
+    /// Number of queries executing right now (tagged or not).
+    pub fn running_query_count(&self) -> usize {
+        self.lock_running().len()
+    }
+
+    /// Cancel every in-flight query; returns how many tokens were flipped.
+    pub fn cancel_all_running(&self) -> usize {
+        let running = self.lock_running();
+        for token in running.values() {
+            token.cancel();
+        }
+        running.len()
+    }
+
+    /// Graceful drain: stop admitting queries, wait for in-flight work up
+    /// to `deadline`, cancel stragglers, and wait (bounded) for the memory
+    /// pool to return to zero. Idempotent; safe to call from any thread.
+    pub fn drain(&self, deadline: Duration) -> DrainReport {
+        const POLL: Duration = Duration::from_millis(5);
+        /// Bound on the post-cancel unwind and pool-drain waits: generous
+        /// next to any governor poll interval, far from a CI hang.
+        const GRACE: Duration = Duration::from_secs(10);
+
+        self.shutdown.request();
+        let in_flight_at_request = self.running_query_count();
+        let start = Instant::now();
+        while self.running_query_count() > 0 && start.elapsed() < deadline {
+            std::thread::sleep(POLL);
+        }
+        let drained_in_time = self.running_query_count() == 0;
+        let cancelled = if drained_in_time {
+            0
+        } else {
+            self.cancel_all_running()
+        };
+        // Cancelled queries still need to unwind to their next governor
+        // poll and release their grants; bound the wait so a wedged query
+        // cannot hang shutdown.
+        let grace = Instant::now();
+        while self.running_query_count() > 0 && grace.elapsed() < GRACE {
+            std::thread::sleep(POLL);
+        }
+        let pool_wait = Instant::now();
+        while (self.pool().reserved() > 0 || self.pool().waiters() > 0)
+            && pool_wait.elapsed() < GRACE
+        {
+            std::thread::sleep(POLL);
+        }
+        DrainReport {
+            in_flight_at_request,
+            cancelled,
+            drained_in_time,
+            pool_reserved: self.pool().reserved(),
+            pool_waiters: self.pool().waiters(),
+            sessions: self.session_count(),
+        }
+    }
+
+    /// Arm (or disarm) a deterministic fault injector consulted by every
+    /// subsequent query and by the TCP front end's accept/read/write sites.
+    #[cfg(feature = "fault-injection")]
+    pub fn set_fault_injector(&self, fault: Option<Arc<mdj_core::FaultInjector>>) {
+        *self
+            .fault
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = fault;
+    }
+
+    #[cfg(feature = "fault-injection")]
+    fn fault_injector(&self) -> Option<Arc<mdj_core::FaultInjector>> {
+        self.fault
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Fault hook for the acceptor (constant false without the feature).
+    pub(crate) fn fault_server_accept(&self) -> bool {
+        #[cfg(feature = "fault-injection")]
+        if let Some(f) = self.fault_injector() {
+            return f.should_fail_server_accept();
+        }
+        false
+    }
+
+    /// Fault hook per request read (constant false without the feature).
+    pub(crate) fn fault_server_read(&self) -> bool {
+        #[cfg(feature = "fault-injection")]
+        if let Some(f) = self.fault_injector() {
+            return f.should_fail_server_read();
+        }
+        false
+    }
+
+    /// Fault hook per response write (constant false without the feature).
+    pub(crate) fn fault_server_write(&self) -> bool {
+        #[cfg(feature = "fault-injection")]
+        if let Some(f) = self.fault_injector() {
+            return f.should_fail_server_write();
+        }
+        false
     }
 
     /// Open a session; returns its id.
@@ -230,6 +367,12 @@ impl QueryService {
         opts: ExecOptions,
         body: impl FnOnce(&SqlEngine) -> mdj_sql::Result<mdj_storage::Relation>,
     ) -> Result<QueryOutcome, ServerError> {
+        // 0. A draining server admits nothing: shed before touching the
+        //    pool so the drain's pool-at-zero invariant cannot regress.
+        if self.shutdown.is_requested() {
+            return Err(ServerError::ShuttingDown);
+        }
+
         // 1. Admission: reserve the whole budget, or shed with a typed error.
         let tracker = self.admission.admit(opts.budget)?;
 
@@ -244,8 +387,23 @@ impl QueryService {
         if let Some(d) = opts.deadline.or(self.config.default_deadline) {
             qctx = qctx.with_deadline(d);
         }
+        #[cfg(feature = "fault-injection")]
+        if let Some(f) = self.fault_injector() {
+            qctx = qctx.with_fault_injector(f);
+        }
 
-        // 3. Register the token for mid-flight cancellation, if tagged.
+        // 3a. Register the token in the service-wide in-flight registry so
+        //     a drain can cancel it even when the client sent no tag. The
+        //     guard deregisters on every exit path, panic included.
+        let query_id = self.next_query.fetch_add(1, Ordering::Relaxed);
+        self.lock_running().insert(query_id, token.clone());
+        let _running = RunningGuard {
+            service: self,
+            query_id,
+        };
+
+        // 3b. Register the token for client-driven mid-flight cancellation,
+        //     if tagged.
         let tag = opts.tag.clone();
         if let Some(t) = &tag {
             let mut sessions = self.lock_sessions();
@@ -261,7 +419,7 @@ impl QueryService {
         let engine = SqlEngine::with_context(self.engine.catalog().clone(), ctx);
         let result = body(&engine);
 
-        // 5. Unregister the token no matter how execution ended.
+        // 5. Unregister the tag no matter how execution ended.
         if let Some(t) = &tag {
             if let Some(s) = self.lock_sessions().get_mut(&session) {
                 s.running.remove(t);
@@ -280,6 +438,25 @@ impl QueryService {
         self.sessions
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock_running(&self) -> std::sync::MutexGuard<'_, HashMap<u64, CancelToken>> {
+        self.running
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Deregisters an in-flight query from the service-wide registry on every
+/// exit path (success, typed error, or panic).
+struct RunningGuard<'a> {
+    service: &'a QueryService,
+    query_id: u64,
+}
+
+impl Drop for RunningGuard<'_> {
+    fn drop(&mut self) {
+        self.service.lock_running().remove(&self.query_id);
     }
 }
 
@@ -389,6 +566,65 @@ mod tests {
         // Identical queries see identical — not accumulating — counters.
         assert_eq!(a.stats.tuples_scanned, b.stats.tuples_scanned);
         assert_eq!(a.stats.updates, b.stats.updates);
+    }
+
+    #[test]
+    fn draining_service_sheds_new_queries_and_reports_clean() {
+        let svc = service(ServiceConfig::default());
+        let sid = svc.open_session();
+        let report = svc.drain(Duration::from_millis(100));
+        assert!(report.drained_in_time);
+        assert!(report.is_clean());
+        assert_eq!(report.in_flight_at_request, 0);
+        let err = svc
+            .query(sid, "select count(*) from Sales", ExecOptions::default())
+            .unwrap_err();
+        assert_eq!(err.code(), "shutting_down");
+        assert_eq!(svc.pool().reserved(), 0);
+    }
+
+    #[test]
+    fn drain_cancels_stragglers_past_the_deadline() {
+        let svc = Arc::new(service(ServiceConfig {
+            default_deadline: None,
+            ..ServiceConfig::default()
+        }));
+        let sid = svc.open_session();
+        let bg = {
+            let svc = svc.clone();
+            std::thread::spawn(move || {
+                // A cube over the cross of three columns: long enough to
+                // still be running when the drain lands.
+                svc.query(
+                    sid,
+                    "select cust, month, sum(sale) from Sales analyze by cube(cust, month)",
+                    ExecOptions::default(),
+                )
+            })
+        };
+        // Wait for the query to actually be in flight.
+        for _ in 0..500 {
+            if svc.running_query_count() > 0 || bg.is_finished() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let report = svc.drain(Duration::from_millis(0));
+        let outcome = bg.join().unwrap();
+        if report.in_flight_at_request > 0 && !report.drained_in_time {
+            assert!(report.cancelled >= 1, "{report:?}");
+            assert_eq!(outcome.unwrap_err().code(), "cancelled");
+        }
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(svc.running_query_count(), 0);
+    }
+
+    #[test]
+    fn recovery_report_is_exposed() {
+        let svc = service(ServiceConfig::default());
+        // The default engine spills to the system temp dir; the sweep ran
+        // and found nothing of ours to remove (live files are kept).
+        let _ = svc.recovery_report();
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! {"op":"close","session":1}
 //! {"op":"ping"}
 //! {"op":"stats"}
+//! {"op":"shutdown"}
 //! ```
 //!
 //! Responses always carry `ok`. Success: `{"ok":true,...}` with op-specific
@@ -35,13 +36,20 @@ use std::time::Duration;
 pub fn handle_line(service: &QueryService, line: &str) -> String {
     match dispatch(service, line) {
         Ok(json) => json.encode(),
-        Err(e) => Json::obj(vec![
-            ("ok", Json::Bool(false)),
-            ("code", Json::Str(e.code().into())),
-            ("error", Json::Str(e.to_string())),
-        ])
-        .encode(),
+        Err(e) => error_line(&e),
     }
+}
+
+/// Encode one failure response line (without trailing newline). Also used
+/// by the connection governor for errors raised outside `dispatch` —
+/// shedding, frame, and timeout failures.
+pub fn error_line(e: &ServerError) -> String {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("code", Json::Str(e.code().into())),
+        ("error", Json::Str(e.to_string())),
+    ])
+    .encode()
 }
 
 fn dispatch(service: &QueryService, line: &str) -> Result<Json, ServerError> {
@@ -54,12 +62,35 @@ fn dispatch(service: &QueryService, line: &str) -> Result<Json, ServerError> {
         "ping" => Ok(Json::obj(vec![("ok", Json::Bool(true))])),
         "stats" => {
             let pool = service.pool();
+            let recovery = service.recovery_report();
             Ok(Json::obj(vec![
                 ("ok", Json::Bool(true)),
                 ("sessions", Json::Int(service.session_count() as i64)),
                 ("pool_capacity", Json::Int(pool.capacity() as i64)),
                 ("pool_reserved", Json::Int(pool.reserved() as i64)),
                 ("pool_waiters", Json::Int(pool.waiters() as i64)),
+                (
+                    "running_queries",
+                    Json::Int(service.running_query_count() as i64),
+                ),
+                ("draining", Json::Bool(service.shutdown().is_requested())),
+                ("recovered_spill_files", Json::Int(recovery.removed as i64)),
+                (
+                    "recovered_spill_bytes",
+                    Json::Int(recovery.bytes_removed as i64),
+                ),
+            ]))
+        }
+        "shutdown" => {
+            // Flip the drain flag and acknowledge; the owner of the
+            // `Server` handle (mdjd's signal loop) observes the flag and
+            // performs the actual drain + exit. The wire op cannot block on
+            // the drain itself: this connection's thread is part of what is
+            // being drained.
+            service.shutdown().request();
+            Ok(Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("draining", Json::Bool(true)),
             ]))
         }
         "open" => {
@@ -302,5 +333,28 @@ mod tests {
         assert_eq!(parse(&resp).unwrap().get("ok"), Some(&Json::Bool(true)));
         let resp = handle_line(&svc, r#"{"op":"stats"}"#);
         assert_eq!(ok_field(&resp, "pool_reserved"), Json::Int(0));
+        assert_eq!(ok_field(&resp, "running_queries"), Json::Int(0));
+        assert_eq!(ok_field(&resp, "draining"), Json::Bool(false));
+        assert_eq!(ok_field(&resp, "recovered_spill_files"), Json::Int(0));
+    }
+
+    #[test]
+    fn shutdown_op_flips_the_drain_flag_and_sheds_new_queries() {
+        let svc = service();
+        let resp = handle_line(&svc, r#"{"op":"open"}"#);
+        let sid = ok_field(&resp, "session").as_int().unwrap();
+        let resp = handle_line(&svc, r#"{"op":"shutdown"}"#);
+        assert_eq!(ok_field(&resp, "draining"), Json::Bool(true));
+        let resp = handle_line(&svc, r#"{"op":"stats"}"#);
+        assert_eq!(ok_field(&resp, "draining"), Json::Bool(true));
+        // New queries are shed with a stable code while draining.
+        let resp = handle_line(
+            &svc,
+            &format!(r#"{{"op":"query","session":{sid},"sql":"select count(*) from Sales"}}"#),
+        );
+        assert_eq!(
+            parse(&resp).unwrap().get("code").and_then(Json::as_str),
+            Some("shutting_down")
+        );
     }
 }

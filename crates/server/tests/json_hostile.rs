@@ -1,0 +1,191 @@
+//! Hostile-payload fuzz for the wire JSON layer.
+//!
+//! A public listener's parser sees attacker-controlled bytes before any
+//! other code does, so the contract here is strict: any byte string either
+//! parses or returns `Err` — it never panics, never overflows the stack,
+//! and when driven through `handle_line` always produces a well-formed
+//! response with a stable `code`. All generators are seeded (SplitMix64),
+//! so a failure reproduces exactly.
+
+use mdj_core::EngineConfig;
+use mdj_server::json::{parse, Json, MAX_DEPTH};
+use mdj_server::wire::handle_line;
+use mdj_server::{QueryService, ServiceConfig};
+use mdj_storage::{DataType, Relation, Row, Schema, Value};
+
+const KNOWN_CODES: &[&str] = &[
+    "bad_request",
+    "unknown_session",
+    "unknown_statement",
+    "lex_error",
+    "parse_error",
+    "compile_error",
+    "bind_error",
+    "execution_error",
+    "cancelled",
+    "deadline_exceeded",
+    "budget_exceeded",
+    "pool_exhausted",
+    "queue_full",
+    "frame_too_large",
+    "idle_timeout",
+    "server_busy",
+    "shutting_down",
+    "io_error",
+];
+
+fn service() -> QueryService {
+    let schema = Schema::from_pairs(&[("cust", DataType::Int), ("sale", DataType::Float)]);
+    let rel = Relation::from_rows(
+        schema,
+        vec![
+            Row::from_values(vec![Value::Int(1), Value::Float(10.0)]),
+            Row::from_values(vec![Value::Int(2), Value::Float(30.0)]),
+        ],
+    );
+    let engine = EngineConfig::new().register_table("Sales", rel).build();
+    QueryService::new(engine, ServiceConfig::default())
+}
+
+/// The invariant every hostile line must satisfy: the response is parseable
+/// JSON carrying `ok`, and failures carry a code from the stable set.
+fn assert_well_formed_response(svc: &QueryService, line: &str) {
+    let resp = handle_line(svc, line);
+    let json = parse(&resp).unwrap_or_else(|e| panic!("unparseable response `{resp}`: {e}"));
+    match json.get("ok") {
+        Some(Json::Bool(true)) => {}
+        Some(Json::Bool(false)) => {
+            let code = json
+                .get("code")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("failure without code: {resp}"));
+            assert!(
+                KNOWN_CODES.contains(&code),
+                "unknown code `{code}` for `{line}`"
+            );
+        }
+        other => panic!("response without boolean ok ({other:?}): {resp}"),
+    }
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+#[test]
+fn truncated_requests_never_panic() {
+    let svc = service();
+    let seeds = [
+        r#"{"op":"query","session":1,"sql":"select cust, sum(sale) from Sales group by cust"}"#,
+        r#"{"op":"execute","session":1,"stmt":1,"args":[1,2.5,"x",null,true],"deadline_ms":50}"#,
+        r#"{"op":"open","nested":{"a":[1,{"b":"\u0041\n"}]}}"#,
+    ];
+    for full in seeds {
+        for cut in 0..=full.len() {
+            if !full.is_char_boundary(cut) {
+                continue;
+            }
+            let line = &full[..cut];
+            let _ = parse(line); // must not panic
+            if !line.trim().is_empty() {
+                assert_well_formed_response(&svc, line);
+            }
+        }
+    }
+}
+
+#[test]
+fn deep_nesting_is_an_error_not_a_stack_overflow() {
+    // Orders of magnitude past the limit: would abort the process if the
+    // parser actually recursed that deep.
+    for open in ["[", "{\"k\":[", "[[{\"a\":"] {
+        let bomb = open.repeat(20_000 / open.len());
+        let err = parse(&bomb).unwrap_err();
+        assert!(err.contains("depth"), "{err}");
+    }
+    let exact = "[".repeat(MAX_DEPTH) + "1" + &"]".repeat(MAX_DEPTH);
+    assert!(parse(&exact).is_ok());
+    let svc = service();
+    let bomb_line = format!(r#"{{"op":"query","session":1,"sql":{}"#, "[".repeat(50_000));
+    assert_well_formed_response(&svc, &bomb_line);
+}
+
+#[test]
+fn malformed_escapes_and_control_chars_are_typed_errors() {
+    let svc = service();
+    let cases: &[&str] = &[
+        "{\"op\":\"ping\",\"x\":\"\\ud800\"}",     // lone surrogate
+        "{\"op\":\"ping\",\"x\":\"\\u12\"}",       // truncated \u escape
+        "{\"op\":\"ping\",\"x\":\"\\q\"}",         // unknown escape
+        "{\"op\":\"ping\",\"x\":\"unterminated",   // unterminated string
+        "{\"op\":\"ping\",\"x\":\"\u{1}\u{1f}\"}", // raw control chars
+        "{\"op\":\u{7}\"ping\"}",                  // control char between tokens
+        "{\"op\":\"ping\"}\u{0}",                  // trailing NUL
+        "\u{feff}{\"op\":\"ping\"}",               // BOM prefix
+        "{\"op\":\"ping\",\"n\":1e999999}",        // overflow exponent
+        "{\"op\":\"ping\",\"n\":-}",               // bare minus
+        "{\"op\":\"ping\",\"n\":00000000000000000000000000009}", // i64 overflow
+    ];
+    for line in cases {
+        let _ = parse(line); // must not panic either way
+        assert_well_formed_response(&svc, line);
+    }
+}
+
+#[test]
+fn seeded_byte_fuzz_never_panics_and_codes_stay_stable() {
+    let svc = service();
+    let mut rng = SplitMix64(0x5eed_f00d_0000_0007);
+    let template =
+        r#"{"op":"query","session":1,"sql":"select cust from Sales","tag":"t","budget":4096}"#;
+
+    // Pure random byte soup (lossy-decoded so it is a &str like the
+    // connection layer guarantees by the time JSON sees it).
+    for _ in 0..400 {
+        let len = rng.below(160);
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next() & 0xff) as u8).collect();
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse(&line);
+        if !line.trim().is_empty() {
+            assert_well_formed_response(&svc, &line);
+        }
+    }
+
+    // Structured mutations of a valid request: flips, deletions, splices.
+    for _ in 0..400 {
+        let mut bytes = template.as_bytes().to_vec();
+        for _ in 0..=rng.below(4) {
+            match rng.below(3) {
+                0 => {
+                    let i = rng.below(bytes.len());
+                    bytes[i] = (rng.next() & 0x7f) as u8;
+                }
+                1 => {
+                    let i = rng.below(bytes.len());
+                    bytes.remove(i);
+                }
+                _ => {
+                    let i = rng.below(bytes.len());
+                    bytes.insert(i, b"{}[],:\"\\x0"[rng.below(10)]);
+                }
+            }
+        }
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse(&line);
+        if !line.trim().is_empty() {
+            assert_well_formed_response(&svc, &line);
+        }
+    }
+}

@@ -40,7 +40,25 @@ impl SqlEngine {
     }
 
     fn compile_ast(&self, q: &Query) -> Result<CompiledQuery> {
+        if self.ctx.fault_should_fail_planner() {
+            return Err(crate::error::SqlError::Compile(
+                "injected fault: compile".into(),
+            ));
+        }
         compile(q, &self.catalog, self.ctx.registry())
+    }
+
+    /// Injected planner fault at the parse site: fails with a typed parse
+    /// error before the lexer runs. Constant-false without an armed
+    /// fault injector.
+    fn fault_parse(&self) -> Result<()> {
+        if self.ctx.fault_should_fail_planner() {
+            return Err(crate::error::SqlError::Parse {
+                near: "<fault-injection>".into(),
+                message: "injected fault: parse".into(),
+            });
+        }
+        Ok(())
     }
 
     /// Parse `sql` (which may contain positional `?` placeholders) into a
@@ -53,6 +71,7 @@ impl SqlEngine {
 
     /// Bind `params` to a prepared statement and run it end to end.
     pub fn execute_prepared(&self, stmt: &PreparedStatement, params: &[Value]) -> Result<Relation> {
+        self.fault_parse()?;
         let q = stmt.bind(params)?;
         self.run_query(&q)
     }
@@ -69,6 +88,7 @@ impl SqlEngine {
     /// chains when every aggregate is distributive) instead of the generic
     /// wildcard-θ plan.
     pub fn query(&self, sql: &str) -> Result<Relation> {
+        self.fault_parse()?;
         let q = parse(sql)?;
         self.run_query(&q)
     }
@@ -92,6 +112,14 @@ impl SqlEngine {
                     .map_err(mdj_algebra::AlgebraError::from)?
             };
             return self.present(out, &compiled);
+        }
+        if self.ctx.fault_should_fail_planner() {
+            return Err(
+                mdj_algebra::AlgebraError::Core(mdj_core::CoreError::Internal(
+                    "injected fault: optimize".into(),
+                ))
+                .into(),
+            );
         }
         let optimized = optimize(compiled.plan.clone(), &self.catalog, self.ctx.registry())?;
         self.finish(optimized, &compiled)

@@ -32,7 +32,7 @@ pub use index::{HashIndex, SortedIndex};
 pub use relation::Relation;
 pub use row::Row;
 pub use schema::{DataType, Field, Schema};
-pub use spill::{read_run, write_run, RunFile, RunWriter};
+pub use spill::{read_run, sweep_orphans, write_run, RunFile, RunWriter, SweepReport};
 pub use stats::{ScanStats, StatsSnapshot, WorkerStats};
 pub use value::cmp_int_float;
 pub use value::Value;

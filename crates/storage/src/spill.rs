@@ -127,6 +127,18 @@ impl RunFile {
     pub fn rows(&self) -> u64 {
         self.rows
     }
+
+    /// Delete the run file now instead of waiting for drop. Idempotent: a
+    /// file that is already gone (deleted by an earlier `cleanup`, or swept
+    /// by a recovering process) is not an error — only a real I/O failure
+    /// (e.g. permissions) is reported.
+    pub fn cleanup(&self) -> Result<()> {
+        match fs::remove_file(&self.path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err(&self.path, &e)),
+        }
+    }
 }
 
 impl Drop for RunFile {
@@ -264,6 +276,93 @@ impl Drop for RunWriter {
             let _ = fs::remove_file(p);
         }
     }
+}
+
+/// What a crash-recovery sweep of a spill directory found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepReport {
+    /// Orphaned run files removed (their owning process is dead).
+    pub removed: u64,
+    /// Total size in bytes of the removed files.
+    pub bytes_removed: u64,
+    /// Run files kept because their owning process is (or may be) alive.
+    pub kept: u64,
+}
+
+/// The pid encoded in a run-file name (`mdj-spill-{pid}-{seq}-{hint}.run`),
+/// or `None` for files that are not run files of this format.
+fn run_file_pid(name: &str) -> Option<u32> {
+    let rest = name.strip_prefix("mdj-spill-")?;
+    if !name.ends_with(".run") {
+        return None;
+    }
+    rest.split('-').next()?.parse().ok()
+}
+
+/// Whether `pid` names a live process. Only a definitive "no such process"
+/// counts as dead; permission errors mean the process exists under another
+/// user, and non-unix targets conservatively report everything alive (a
+/// foreign orphan is never worth deleting a live process's spill by
+/// mistake).
+#[cfg(unix)]
+fn pid_is_live(pid: u32) -> bool {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    let Ok(pid) = i32::try_from(pid) else {
+        return true;
+    };
+    if unsafe { kill(pid, 0) } == 0 {
+        return true;
+    }
+    const ESRCH: i32 = 3;
+    std::io::Error::last_os_error().raw_os_error() != Some(ESRCH)
+}
+
+#[cfg(not(unix))]
+fn pid_is_live(_pid: u32) -> bool {
+    true
+}
+
+/// Crash-recovery sweep: scan `dir` for `MDJS` run files orphaned by a
+/// crashed process and remove them.
+///
+/// RAII cleanup ([`RunFile`]/[`RunWriter`] drop) handles every in-process
+/// failure path, but a SIGKILL or power loss skips destructors; this sweep
+/// is the restart-time complement. Files belonging to the *current* process
+/// or to any live pid are kept. A missing directory is an empty sweep, and
+/// a file that vanishes mid-sweep (another recovering process got there
+/// first) is simply not counted.
+pub fn sweep_orphans(dir: &Path) -> Result<SweepReport> {
+    let mut report = SweepReport::default();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+        Err(e) => return Err(io_err(dir, &e)),
+    };
+    let me = std::process::id();
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, &e))?;
+        let name = entry.file_name();
+        let Some(pid) = name.to_str().and_then(run_file_pid) else {
+            continue;
+        };
+        if pid == me || pid_is_live(pid) {
+            report.kept += 1;
+            continue;
+        }
+        let path = entry.path();
+        let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+        match fs::remove_file(&path) {
+            Ok(()) => {
+                report.removed += 1;
+                report.bytes_removed += bytes;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err(&path, &e)),
+        }
+    }
+    Ok(report)
 }
 
 /// Spill a whole relation into one run file under `dir`.
@@ -554,6 +653,66 @@ mod tests {
         assert!(matches!(err, StorageError::ArityMismatch { .. }));
         drop(w);
         let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn cleanup_is_idempotent() {
+        let dir = tmp_dir("cleanup");
+        let run = write_run(&dir, "i", &gnarly()).unwrap();
+        let path = run.path().to_path_buf();
+        run.cleanup().unwrap();
+        assert!(!path.exists());
+        // Second explicit cleanup and the eventual Drop must both tolerate
+        // the already-deleted file.
+        run.cleanup().unwrap();
+        drop(run);
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn sweep_of_missing_dir_is_empty() {
+        let report = sweep_orphans(Path::new("/nonexistent/mdj-sweep-test")).unwrap();
+        assert_eq!(report, SweepReport::default());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn sweep_removes_dead_pid_files_and_keeps_live_ones() {
+        let dir = tmp_dir("sweep");
+        // A live run file owned by this process.
+        let live = write_run(&dir, "live", &gnarly()).unwrap();
+        // A planted orphan from a "crashed" process: pid far beyond any
+        // plausible live pid (kernel pid_max is well below this).
+        let orphan = dir.join("mdj-spill-999999999-0-crashed.run");
+        fs::write(&orphan, b"MDJS leftover bytes").unwrap();
+        // A foreign file that is not a run file must be untouched.
+        let foreign = dir.join("notes.txt");
+        fs::write(&foreign, b"keep me").unwrap();
+
+        let report = sweep_orphans(&dir).unwrap();
+        assert_eq!(report.removed, 1, "{report:?}");
+        assert_eq!(report.bytes_removed, 19);
+        assert_eq!(report.kept, 1);
+        assert!(!orphan.exists());
+        assert!(live.path().exists());
+        assert!(foreign.exists());
+
+        // Sweeping again finds nothing new to remove.
+        let again = sweep_orphans(&dir).unwrap();
+        assert_eq!(again.removed, 0);
+        assert_eq!(again.kept, 1);
+
+        fs::remove_file(&foreign).unwrap();
+        drop(live);
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn run_file_names_parse_back_to_pids() {
+        assert_eq!(run_file_pid("mdj-spill-1234-7-part.run"), Some(1234));
+        assert_eq!(run_file_pid("mdj-spill-1234-7-part.tmp"), None);
+        assert_eq!(run_file_pid("other-1234-7.run"), None);
+        assert_eq!(run_file_pid("mdj-spill-x-7.run"), None);
     }
 
     #[test]
