@@ -9,6 +9,29 @@
 //! split, same NULL handling, same `BadInput` errors, same finalize — so the
 //! vectorized executor's output is row-identical to the scalar one.
 //!
+//! # Loop shape
+//!
+//! The batch entry points ([`KernelState::update_ints`] /
+//! [`KernelState::update_floats`]) are *chunked and branch-free*: the
+//! selection is walked in fixed [`CHUNK`]-slot strides, each stride gathered
+//! into a stack buffer with NULLs substituted arithmetically (no data-
+//! dependent branches), and the stride then reduced. Reductions that are
+//! reassociative (`i64` wrapping sums, counts, min/max) go through
+//! [`reduce`], which autovectorizes and — with the `simd` cargo feature on
+//! `x86_64` — dispatches to AVX2 intrinsics behind a runtime
+//! `is_x86_feature_detected!` check with a scalar fallback.
+//!
+//! # Accumulation-order guarantee
+//!
+//! `f64` sums are **not** reassociated: the masked stride is folded
+//! sequentially in selection order, so float accumulation order — and hence
+//! every output bit — is identical to the per-value path. Masking a NULL slot
+//! to `+0.0` is bit-safe: the accumulator starts at `+0.0` and can never
+//! become `-0.0` (`x + 0.0` only yields `-0.0` when both operands are
+//! `-0.0`), and quiet-NaN payloads survive `+ 0.0`. Min/max reductions over
+//! `total_cmp` (and over `i64`) are tie-free — equal keys are bit-identical —
+//! so any reduction order, including SIMD, finalizes the same bits.
+//!
 //! Coverage is declared by the aggregate itself via
 //! [`Aggregate::kernel`](crate::Aggregate::kernel): the builtins override it,
 //! everything else (holistic, user-defined) returns `None` and keeps the
@@ -18,10 +41,229 @@
 use crate::error::{AggError, Result};
 use mdj_storage::Value;
 
+/// Fixed gather-stride width for the batch update loops. Small enough to
+/// live on the stack, large enough that the gather and reduction phases
+/// amortize loop overhead and vectorize cleanly.
+pub const CHUNK: usize = 64;
+
 fn bad_input(function: &str, v: &Value) -> AggError {
     AggError::BadInput {
         function: function.to_string(),
         got: v.type_name().to_string(),
+    }
+}
+
+/// Gather one selection stride of an `i64` column into `buf`, substituting
+/// `null_sub` for SQL-NULL slots with arithmetic masking (branch-free).
+/// Returns the number of non-NULL slots gathered.
+#[inline]
+fn gather_ints(
+    vals: &[i64],
+    nulls: &[bool],
+    sel: &[u32],
+    null_sub: i64,
+    buf: &mut [i64; CHUNK],
+) -> u64 {
+    let mut kept = 0u64;
+    for (slot, &i) in buf.iter_mut().zip(sel) {
+        let i = i as usize;
+        let keep = !nulls[i] as i64; // 0 or 1, no branch
+        let mask = keep.wrapping_neg(); // 0 or all-ones
+        *slot = (vals[i] & mask) | (null_sub & !mask);
+        kept += keep as u64;
+    }
+    kept
+}
+
+/// Gather one selection stride of an `f64` column as raw bits, masking
+/// SQL-NULL slots to `null_sub` (branch-free). Returns the non-NULL count.
+#[inline]
+fn gather_float_bits(
+    vals: &[f64],
+    nulls: &[bool],
+    sel: &[u32],
+    null_sub: u64,
+    buf: &mut [u64; CHUNK],
+) -> u64 {
+    let mut kept = 0u64;
+    for (slot, &i) in buf.iter_mut().zip(sel) {
+        let i = i as usize;
+        let keep = !nulls[i] as u64;
+        let mask = keep.wrapping_neg();
+        *slot = (vals[i].to_bits() & mask) | (null_sub & !mask);
+        kept += keep;
+    }
+    kept
+}
+
+/// Monotone key: `a.total_cmp(&b)` agrees with `u64` order of
+/// `f64_total_key(a.to_bits())` vs `f64_total_key(b.to_bits())`. Equal keys
+/// are bit-identical floats, so min/max over keys is tie-free.
+#[inline(always)]
+fn f64_total_key(bits: u64) -> u64 {
+    bits ^ ((((bits as i64) >> 63) as u64) | 0x8000_0000_0000_0000)
+}
+
+/// Inverse of [`f64_total_key`].
+#[inline(always)]
+fn f64_from_total_key(key: u64) -> f64 {
+    let m = ((key as i64) >> 63) as u64; // all-ones iff original sign bit was 0
+    f64::from_bits(key ^ ((m & 0x8000_0000_0000_0000) | !m))
+}
+
+/// Reassociative stride reductions. Scalar bodies are plain folds that
+/// autovectorize; with the `simd` feature on `x86_64` they dispatch to AVX2
+/// behind a runtime CPU check (scalar fallback otherwise). All callers rely
+/// only on the *result*, which is order-independent for these operations.
+pub mod reduce {
+    /// Wrapping sum of `i64` lanes (order-free by modular arithmetic).
+    pub fn sum_i64(v: &[i64]) -> i64 {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support verified at runtime on this CPU.
+            return unsafe { x86::sum_i64(v) };
+        }
+        v.iter().fold(0i64, |a, &x| a.wrapping_add(x))
+    }
+
+    /// Maximum `i64` lane, folding from the identity `i64::MIN`.
+    pub fn max_i64(v: &[i64]) -> i64 {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support verified at runtime on this CPU.
+            return unsafe { x86::max_i64(v) };
+        }
+        v.iter().fold(i64::MIN, |a, &x| a.max(x))
+    }
+
+    /// Minimum `i64` lane, folding from the identity `i64::MAX`.
+    pub fn min_i64(v: &[i64]) -> i64 {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support verified at runtime on this CPU.
+            return unsafe { x86::min_i64(v) };
+        }
+        v.iter().fold(i64::MAX, |a, &x| a.min(x))
+    }
+
+    /// Maximum `u64` lane, folding from the identity `0`.
+    pub fn max_u64(v: &[u64]) -> u64 {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support verified at runtime on this CPU.
+            return unsafe { x86::max_u64(v) };
+        }
+        v.iter().fold(0u64, |a, &x| a.max(x))
+    }
+
+    /// Minimum `u64` lane, folding from the identity `u64::MAX`.
+    pub fn min_u64(v: &[u64]) -> u64 {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support verified at runtime on this CPU.
+            return unsafe { x86::min_u64(v) };
+        }
+        v.iter().fold(u64::MAX, |a, &x| a.min(x))
+    }
+
+    /// AVX2 lane reductions. AVX2 has no 64-bit min/max instruction, so
+    /// min/max are built from `cmpgt_epi64` + byte blends; unsigned compares
+    /// bias both operands by `i64::MIN` first. Every function handles the
+    /// `chunks_exact` remainder with the scalar fold.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    mod x86 {
+        use core::arch::x86_64::*;
+
+        #[inline]
+        fn lanes(acc: __m256i) -> [i64; 4] {
+            let mut out = [0i64; 4];
+            // SAFETY: `out` is 32 writable bytes; storeu is unaligned-safe.
+            unsafe { _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, acc) };
+            out
+        }
+
+        #[inline]
+        fn load(c: &[i64]) -> __m256i {
+            debug_assert_eq!(c.len(), 4);
+            // SAFETY: `c` spans 4 readable i64s; loadu is unaligned-safe.
+            unsafe { _mm256_loadu_si256(c.as_ptr() as *const __m256i) }
+        }
+
+        #[target_feature(enable = "avx2")]
+        pub fn sum_i64(v: &[i64]) -> i64 {
+            let mut acc = _mm256_setzero_si256();
+            let mut chunks = v.chunks_exact(4);
+            for c in chunks.by_ref() {
+                acc = _mm256_add_epi64(acc, load(c));
+            }
+            let l = lanes(acc);
+            let head = l[0]
+                .wrapping_add(l[1])
+                .wrapping_add(l[2])
+                .wrapping_add(l[3]);
+            chunks
+                .remainder()
+                .iter()
+                .fold(head, |a, &x| a.wrapping_add(x))
+        }
+
+        #[target_feature(enable = "avx2")]
+        fn fold_minmax(v: &[i64], identity: i64, bias: i64, want_max: bool) -> i64 {
+            let biasv = _mm256_set1_epi64x(bias);
+            let mut acc = _mm256_set1_epi64x(identity);
+            let mut chunks = v.chunks_exact(4);
+            for c in chunks.by_ref() {
+                let x = load(c);
+                // Signed compare in the biased domain covers both i64
+                // (bias = 0) and u64 (bias = i64::MIN) orderings.
+                let xb = _mm256_xor_si256(x, biasv);
+                let accb = _mm256_xor_si256(acc, biasv);
+                let take = if want_max {
+                    _mm256_cmpgt_epi64(xb, accb)
+                } else {
+                    _mm256_cmpgt_epi64(accb, xb)
+                };
+                acc = _mm256_blendv_epi8(acc, x, take);
+            }
+            let l = lanes(acc);
+            let better = |a: i64, b: i64| {
+                let (ab, bb) = (a ^ bias, b ^ bias);
+                if want_max == (ab > bb) && ab != bb {
+                    a
+                } else {
+                    b
+                }
+            };
+            let head = better(l[0], better(l[1], better(l[2], l[3])));
+            chunks.remainder().iter().fold(head, |a, &x| better(x, a))
+        }
+
+        #[target_feature(enable = "avx2")]
+        pub fn max_i64(v: &[i64]) -> i64 {
+            fold_minmax(v, i64::MIN, 0, true)
+        }
+
+        #[target_feature(enable = "avx2")]
+        pub fn min_i64(v: &[i64]) -> i64 {
+            fold_minmax(v, i64::MAX, 0, false)
+        }
+
+        #[target_feature(enable = "avx2")]
+        pub fn max_u64(v: &[u64]) -> u64 {
+            fold_minmax(bytemuck(v), 0u64 as i64, i64::MIN, true) as u64
+        }
+
+        #[target_feature(enable = "avx2")]
+        pub fn min_u64(v: &[u64]) -> u64 {
+            fold_minmax(bytemuck(v), u64::MAX as i64, i64::MIN, false) as u64
+        }
+
+        #[inline]
+        fn bytemuck(v: &[u64]) -> &[i64] {
+            // SAFETY: u64 and i64 have identical size/alignment; the biased
+            // compare in `fold_minmax` reinterprets the bits anyway.
+            unsafe { core::slice::from_raw_parts(v.as_ptr() as *const i64, v.len()) }
+        }
     }
 }
 
@@ -101,47 +343,55 @@ impl KernelState {
                 if *star {
                     *n += sel.len() as i64;
                 } else {
-                    *n += sel.iter().filter(|&&i| !nulls[i as usize]).count() as i64;
+                    *n += sel.iter().map(|&i| !nulls[i as usize] as i64).sum::<i64>();
                 }
             }
             KernelState::Sum { int_sum, seen, .. } => {
-                for &i in sel {
-                    let i = i as usize;
-                    if !nulls[i] {
-                        *int_sum = int_sum.wrapping_add(vals[i]);
-                        *seen += 1;
-                    }
+                let mut buf = [0i64; CHUNK];
+                for stride in sel.chunks(CHUNK) {
+                    let kept = gather_ints(vals, nulls, stride, 0, &mut buf);
+                    *int_sum = int_sum.wrapping_add(reduce::sum_i64(&buf[..stride.len()]));
+                    *seen += kept;
                 }
             }
             KernelState::Avg { sum, n } => {
-                for &i in sel {
-                    let i = i as usize;
-                    if !nulls[i] {
-                        *sum += vals[i] as f64;
-                        *n += 1;
+                // Sequential masked fold: float accumulation order must stay
+                // identical to the per-value path (see module docs).
+                let mut buf = [0u64; CHUNK];
+                for stride in sel.chunks(CHUNK) {
+                    let mut kept = 0u64;
+                    for (slot, &i) in buf.iter_mut().zip(stride) {
+                        let i = i as usize;
+                        let keep = !nulls[i] as u64;
+                        *slot = (vals[i] as f64).to_bits() & keep.wrapping_neg();
+                        kept += keep;
                     }
+                    for &bits in &buf[..stride.len()] {
+                        *sum += f64::from_bits(bits);
+                    }
+                    *n += kept;
                 }
             }
             KernelState::MinMax { is_max, best } => {
-                // Sequential fold with the builtin's strict comparison (keep
-                // the first of equals), restricted to i64 — identical to
-                // feeding the run value-by-value.
+                // NULL slots are substituted with the reduction identity, so
+                // the tie-free min/max over the stride is exact.
+                let sub = if *is_max { i64::MIN } else { i64::MAX };
+                let mut buf = [0i64; CHUNK];
                 let mut ext: Option<i64> = None;
-                for &i in sel {
-                    let i = i as usize;
-                    if nulls[i] {
+                for stride in sel.chunks(CHUNK) {
+                    let kept = gather_ints(vals, nulls, stride, sub, &mut buf);
+                    if kept == 0 {
                         continue;
                     }
-                    let v = vals[i];
+                    let run = if *is_max {
+                        reduce::max_i64(&buf[..stride.len()])
+                    } else {
+                        reduce::min_i64(&buf[..stride.len()])
+                    };
                     ext = Some(match ext {
-                        None => v,
-                        Some(cur) => {
-                            if (*is_max && v > cur) || (!*is_max && v < cur) {
-                                v
-                            } else {
-                                cur
-                            }
-                        }
+                        None => run,
+                        Some(cur) if *is_max => cur.max(run),
+                        Some(cur) => cur.min(run),
                     });
                 }
                 if let Some(v) = ext {
@@ -158,7 +408,7 @@ impl KernelState {
                 if *star {
                     *n += sel.len() as i64;
                 } else {
-                    *n += sel.iter().filter(|&&i| !nulls[i as usize]).count() as i64;
+                    *n += sel.iter().map(|&i| !nulls[i as usize] as i64).sum::<i64>();
                 }
             }
             KernelState::Sum {
@@ -167,46 +417,61 @@ impl KernelState {
                 seen,
                 ..
             } => {
-                for &i in sel {
-                    let i = i as usize;
-                    if !nulls[i] {
-                        *float_sum += vals[i];
-                        *any_float = true;
-                        *seen += 1;
+                // Gather (vectorizes) then sequential masked fold (preserves
+                // float accumulation order bit-for-bit; +0.0 padding is
+                // bit-safe per the module docs).
+                let mut buf = [0u64; CHUNK];
+                for stride in sel.chunks(CHUNK) {
+                    let kept = gather_float_bits(vals, nulls, stride, 0, &mut buf);
+                    for &bits in &buf[..stride.len()] {
+                        *float_sum += f64::from_bits(bits);
                     }
+                    *any_float |= kept > 0;
+                    *seen += kept;
                 }
             }
             KernelState::Avg { sum, n } => {
-                for &i in sel {
-                    let i = i as usize;
-                    if !nulls[i] {
-                        *sum += vals[i];
-                        *n += 1;
+                let mut buf = [0u64; CHUNK];
+                for stride in sel.chunks(CHUNK) {
+                    let kept = gather_float_bits(vals, nulls, stride, 0, &mut buf);
+                    for &bits in &buf[..stride.len()] {
+                        *sum += f64::from_bits(bits);
                     }
+                    *n += kept;
                 }
             }
             KernelState::MinMax { is_max, best } => {
-                let mut ext: Option<f64> = None;
-                for &i in sel {
-                    let i = i as usize;
-                    if nulls[i] {
+                // total_cmp order ⇔ unsigned order of the monotone key, and
+                // equal keys are bit-identical floats, so the reduction is
+                // tie-free and any order (incl. SIMD) yields the same bits.
+                let sub = if *is_max { 0u64 } else { u64::MAX };
+                let mut buf = [0u64; CHUNK];
+                let mut ext: Option<u64> = None;
+                for stride in sel.chunks(CHUNK) {
+                    let mut kept = 0u64;
+                    for (slot, &i) in buf.iter_mut().zip(stride) {
+                        let i = i as usize;
+                        let keep = !nulls[i] as u64;
+                        let mask = keep.wrapping_neg();
+                        *slot = (f64_total_key(vals[i].to_bits()) & mask) | (sub & !mask);
+                        kept += keep;
+                    }
+                    if kept == 0 {
                         continue;
                     }
-                    let v = vals[i];
+                    let run = if *is_max {
+                        reduce::max_u64(&buf[..stride.len()])
+                    } else {
+                        reduce::min_u64(&buf[..stride.len()])
+                    };
                     ext = Some(match ext {
-                        None => v,
-                        Some(cur) => {
-                            let ord = v.total_cmp(&cur);
-                            if (*is_max && ord.is_gt()) || (!*is_max && ord.is_lt()) {
-                                v
-                            } else {
-                                cur
-                            }
-                        }
+                        None => run,
+                        Some(cur) if *is_max => cur.max(run),
+                        Some(cur) => cur.min(run),
                     });
                 }
-                if let Some(v) = ext {
-                    Self::minmax_consider(best, *is_max, Value::Float(v));
+                if let Some(key) = ext {
+                    Self::minmax_consider(best, *is_max, Value::Float(f64_from_total_key(key)));
                 }
             }
         }
@@ -418,6 +683,125 @@ mod tests {
             }
             assert_eq!(whole.finalize(), split.finalize());
         }
+    }
+
+    #[test]
+    fn long_null_heavy_selections_match_per_value_path() {
+        // Cross the CHUNK boundary with NULL-heavy, extreme-valued data so the
+        // masked gather / identity-substitution machinery is exercised on
+        // every stride shape (full, partial, all-NULL).
+        let n = 3 * CHUNK + 17;
+        let ivals: Vec<i64> = (0..n)
+            .map(|i| match i % 5 {
+                0 => i64::MIN,
+                1 => i64::MAX,
+                2 => -(i as i64),
+                _ => i as i64 * 31,
+            })
+            .collect();
+        let fvals: Vec<f64> = (0..n)
+            .map(|i| match i % 7 {
+                0 => f64::NAN,
+                1 => -0.0,
+                2 => f64::NEG_INFINITY,
+                3 => f64::INFINITY,
+                _ => (i as f64) * -0.75,
+            })
+            .collect();
+        let nulls: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let sel: Vec<u32> = (0..n as u32).collect();
+        for (agg, kind) in builtins_and_kernels() {
+            let mut boxed_i = agg.init();
+            let mut boxed_f = agg.init();
+            for i in 0..n {
+                let (vi, vf) = if nulls[i] {
+                    (Value::Null, Value::Null)
+                } else {
+                    (Value::Int(ivals[i]), Value::Float(fvals[i]))
+                };
+                boxed_i.update(&vi).unwrap();
+                boxed_f.update(&vf).unwrap();
+            }
+            let mut ki = kind.init();
+            ki.update_ints(&ivals, &nulls, &sel);
+            assert_eq!(boxed_i.finalize(), ki.finalize(), "ints {}", agg.name());
+            let mut kf = kind.init();
+            kf.update_floats(&fvals, &nulls, &sel);
+            let (a, b) = (boxed_f.finalize(), kf.finalize());
+            match (&a, &b) {
+                // NaN != NaN under PartialEq; require bit identity instead.
+                (Value::Float(x), Value::Float(y)) => {
+                    assert_eq!(x.to_bits(), y.to_bits(), "floats {}", agg.name())
+                }
+                _ => assert_eq!(a, b, "floats {}", agg.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn all_null_selection_leaves_state_untouched() {
+        let vals = vec![7i64; CHUNK + 3];
+        let nulls = vec![true; CHUNK + 3];
+        let sel: Vec<u32> = (0..vals.len() as u32).collect();
+        for (_, kind) in builtins_and_kernels() {
+            let mut k = kind.init();
+            k.update_ints(&vals, &nulls, &sel);
+            let expected = match kind {
+                // count(*) counts NULLs too.
+                KernelKind::Count { star: true } => Value::Int(sel.len() as i64),
+                KernelKind::Count { star: false } => Value::Int(0),
+                _ => Value::Null,
+            };
+            assert_eq!(k.finalize(), expected);
+        }
+    }
+
+    #[test]
+    fn total_key_is_monotone_and_invertible() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -1.5,
+            -0.0,
+            0.0,
+            1.5,
+            f64::INFINITY,
+            f64::NAN,
+            -f64::NAN,
+            f64::MIN_POSITIVE,
+            -f64::MIN_POSITIVE,
+        ];
+        for &a in &samples {
+            assert_eq!(
+                f64_from_total_key(f64_total_key(a.to_bits())).to_bits(),
+                a.to_bits()
+            );
+            for &b in &samples {
+                let ord = a.total_cmp(&b);
+                let key_ord = f64_total_key(a.to_bits()).cmp(&f64_total_key(b.to_bits()));
+                assert_eq!(ord, key_ord, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_match_scalar_folds() {
+        // With `--features simd` on AVX2 hardware this pins the intrinsic
+        // path against the scalar fold; without it, it pins the fold itself.
+        let iv: Vec<i64> = (0..219i64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15u64 as i64))
+            .collect();
+        let uv: Vec<u64> = iv.iter().map(|&x| x as u64).collect();
+        assert_eq!(
+            reduce::sum_i64(&iv),
+            iv.iter().fold(0i64, |a, &x| a.wrapping_add(x))
+        );
+        assert_eq!(reduce::max_i64(&iv), iv.iter().copied().max().unwrap());
+        assert_eq!(reduce::min_i64(&iv), iv.iter().copied().min().unwrap());
+        assert_eq!(reduce::max_u64(&uv), uv.iter().copied().max().unwrap());
+        assert_eq!(reduce::min_u64(&uv), uv.iter().copied().min().unwrap());
+        assert_eq!(reduce::sum_i64(&[]), 0);
+        assert_eq!(reduce::max_i64(&[]), i64::MIN);
+        assert_eq!(reduce::min_u64(&[]), u64::MAX);
     }
 
     #[test]

@@ -27,6 +27,23 @@ pub fn explain_with_stats(plan: &Plan, stats: &StatsSnapshot) -> String {
             "-- vectorized: batches={} fallbacks={}",
             stats.batches, stats.batch_fallbacks
         );
+        if stats.fallback_reasons_active() {
+            let _ = writeln!(
+                out,
+                "-- fallback reasons: theta={} prefilter={} key={} agg={}",
+                stats.fallback_theta,
+                stats.fallback_prefilter,
+                stats.fallback_key,
+                stats.fallback_agg
+            );
+        }
+    }
+    if stats.gen_sets > 0 {
+        let _ = writeln!(
+            out,
+            "-- generalized: sets={} scalar_sets={}",
+            stats.gen_sets, stats.gen_set_fallbacks
+        );
     }
     if stats.auto_decisions > 0 {
         let _ = writeln!(
@@ -207,6 +224,12 @@ mod tests {
             degradations: 0,
             batches: 0,
             batch_fallbacks: 0,
+            fallback_theta: 0,
+            fallback_prefilter: 0,
+            fallback_key: 0,
+            fallback_agg: 0,
+            gen_sets: 0,
+            gen_set_fallbacks: 0,
             bytes_spilled: 0,
             spill_partitions: 0,
             spill_read_bytes: 0,
@@ -247,6 +270,22 @@ mod tests {
         };
         let s2 = explain_with_stats(&plan, &batched);
         assert!(s2.contains("-- vectorized: batches=7 fallbacks=2"));
+        // Reasons and generalized sets are silent until attributed...
+        assert!(!s2.contains("fallback reasons:"));
+        assert!(!s2.contains("generalized:"));
+        // ...and rendered once counted.
+        let attributed = StatsSnapshot {
+            batches: 7,
+            batch_fallbacks: 2,
+            fallback_prefilter: 2,
+            fallback_agg: 5,
+            gen_sets: 3,
+            gen_set_fallbacks: 1,
+            ..snap.clone()
+        };
+        let sr = explain_with_stats(&plan, &attributed);
+        assert!(sr.contains("-- fallback reasons: theta=0 prefilter=2 key=0 agg=5"));
+        assert!(sr.contains("-- generalized: sets=3 scalar_sets=1"));
         // The Auto coverage decision is silent until one is recorded...
         assert!(!s2.contains("auto:"));
         let auto = StatsSnapshot {

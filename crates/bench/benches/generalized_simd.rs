@@ -1,0 +1,111 @@
+//! Kernel reductions and the fused generalized MD-join.
+//!
+//! Two groups:
+//!
+//! * `kernels`: the chunked `mdj_agg::kernels` update loops over synthetic
+//!   selections — build with `--features simd` to measure the AVX2 reduction
+//!   paths against the branch-free scalar loops (the binary prints the same
+//!   bench names either way, so the two builds diff directly).
+//! * `generalized`: a k-set pivot evaluated as k sequential vectorized
+//!   MD-joins vs the fused single-scan executor sharing one chunk
+//!   transposition per batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdj_agg::{AggSpec, KernelKind};
+use mdj_bench::bench_sales;
+use mdj_core::{Block, ExecContext, ExecStrategy, MdJoin};
+use mdj_expr::builder::*;
+
+fn kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generalized_simd/kernels");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    const N: usize = 1 << 16;
+    let ints: Vec<i64> = (0..N as i64).map(|i| i.wrapping_mul(0x9E37)).collect();
+    let floats: Vec<f64> = (0..N).map(|i| (i as f64) * 0.25 - 1000.0).collect();
+    let nulls: Vec<bool> = (0..N).map(|i| i % 11 == 0).collect();
+    let sel: Vec<u32> = (0..N as u32).filter(|i| i % 3 != 0).collect();
+    for kind in [
+        KernelKind::Sum,
+        KernelKind::Min,
+        KernelKind::Max,
+        KernelKind::Count { star: false },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("ints", format!("{kind:?}")),
+            &kind,
+            |bch, kind| {
+                bch.iter(|| {
+                    let mut state = kind.init();
+                    state.update_ints(&ints, &nulls, &sel);
+                    state.finalize()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("floats", format!("{kind:?}")),
+            &kind,
+            |bch, kind| {
+                bch.iter(|| {
+                    let mut state = kind.init();
+                    state.update_floats(&floats, &nulls, &sel);
+                    state.finalize()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn generalized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generalized_simd/fused");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let r = bench_sales(40_000, 1_000);
+    let b = r.distinct_on(&["cust"]).unwrap();
+    let ctx = ExecContext::new();
+    let block = |m: i64| {
+        Block::new(
+            and(
+                eq(col_r("cust"), col_b("cust")),
+                eq(col_r("month"), lit(m + 1)),
+            ),
+            vec![
+                AggSpec::on_column("sum", "sale").with_alias(format!("sum_{m}")),
+                AggSpec::on_column("count", "sale").with_alias(format!("cnt_{m}")),
+            ],
+        )
+    };
+    for k in [2usize, 4, 8] {
+        let blocks: Vec<Block> = (0..k as i64).map(block).collect();
+        group.bench_with_input(BenchmarkId::new("sequential", k), &blocks, |bch, blocks| {
+            bch.iter(|| {
+                // k single vectorized MD-joins, one R scan each.
+                for blk in blocks {
+                    std::hint::black_box(
+                        MdJoin::new(&b, &r)
+                            .aggs(&blk.aggs)
+                            .theta(blk.theta.clone())
+                            .strategy(ExecStrategy::Vectorized)
+                            .threads(1)
+                            .run(&ctx)
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fused", k), &blocks, |bch, blocks| {
+            bch.iter(|| {
+                let mut join = MdJoin::new(&b, &r).strategy(ExecStrategy::Vectorized);
+                join = join.blocks(blocks.iter().cloned());
+                join.run(&ctx).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kernels, generalized);
+criterion_main!(benches);

@@ -31,7 +31,7 @@
 use crate::context::ExecContext;
 use crate::cost::{self, DegradeMode};
 use crate::error::{CoreError, Result};
-use crate::generalized::{multi, Block};
+use crate::generalized::{multi, multi_vectorized, Block};
 use crate::governor::{self, CancelToken, MemoryTracker};
 use crate::mdjoin::md_join_serial;
 use crate::morsel::{md_join_morsel, md_join_morsel_opts, MorselSide};
@@ -252,14 +252,40 @@ impl<'a> MdJoin<'a> {
         let mut blocks = self.effective_blocks()?;
         if blocks.len() > 1 {
             // Generalized multi-θ evaluation is single-scan by construction;
-            // only the serial plan implements it.
-            if !matches!(self.strategy, ExecStrategy::Auto | ExecStrategy::Serial) {
-                return Err(CoreError::BadConfig(format!(
+            // the serial interpreter and the fused batch executor implement
+            // it (parallel strategies do not).
+            return match self.strategy {
+                ExecStrategy::Serial => multi(self.b, self.r, &blocks, ctx),
+                ExecStrategy::Vectorized => multi_vectorized(self.b, self.r, &blocks, ctx),
+                ExecStrategy::Auto => {
+                    // Combined coverage across all condition sets: the fused
+                    // executor shares one chunk transposition per batch, so
+                    // it is chosen on the same covered-majority rule as the
+                    // single-join path, summed over the sets.
+                    let mut cov = crate::vectorized::BatchCoverage {
+                        covered: 0,
+                        total: 0,
+                        hash: false,
+                    };
+                    for blk in &blocks {
+                        let c = batch_coverage(self.b, &blk.theta, &blk.aggs, ctx);
+                        cov.covered += c.covered;
+                        cov.total += c.total;
+                        cov.hash |= c.hash;
+                    }
+                    let fused = cov.choose_vectorized();
+                    ctx.record_auto_decision(cov.permille(), fused);
+                    if fused {
+                        multi_vectorized(self.b, self.r, &blocks, ctx)
+                    } else {
+                        multi(self.b, self.r, &blocks, ctx)
+                    }
+                }
+                _ => Err(CoreError::BadConfig(format!(
                     "strategy {:?} does not support multi-block (generalized) MD-joins",
                     self.strategy
-                )));
-            }
-            return multi(self.b, self.r, &blocks, ctx);
+                ))),
+            };
         }
         let Block { theta, aggs } = blocks
             .pop()
@@ -540,6 +566,46 @@ mod tests {
             .unwrap();
         assert_eq!(out.schema().names(), vec!["cust", "sum_ny", "sum_nj"]);
         assert_eq!(out.len(), b.len());
+    }
+
+    #[test]
+    fn multi_block_vectorized_and_auto_run_fused() {
+        use mdj_storage::ScanStats;
+        let s = sales(200);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let block = |state: &str| {
+            (
+                and(
+                    eq(col_b("cust"), col_r("cust")),
+                    eq(col_r("state"), lit(state)),
+                ),
+                vec![AggSpec::on_column("sum", "sale")
+                    .with_alias(format!("sum_{}", state.to_lowercase()))],
+            )
+        };
+        let run = |strategy: ExecStrategy, stats: Arc<ScanStats>| {
+            let (t1, l1) = block("NY");
+            let (t2, l2) = block("NJ");
+            let ctx = ExecContext::new().with_morsel_size(64).with_stats(stats);
+            MdJoin::new(&b, &s)
+                .theta(t1)
+                .aggs(&l1)
+                .block(t2, l2)
+                .strategy(strategy)
+                .run(&ctx)
+                .unwrap()
+        };
+        let serial = run(ExecStrategy::Serial, Arc::new(ScanStats::new()));
+        for strategy in [ExecStrategy::Vectorized, ExecStrategy::Auto] {
+            let stats = Arc::new(ScanStats::new());
+            let out = run(strategy, stats.clone());
+            assert_eq!(serial.rows(), out.rows(), "{strategy:?}");
+            // Both route to the fused executor: per-set counters move and
+            // no set fell back for this fully covered pivot.
+            assert_eq!(stats.gen_sets(), 2, "{strategy:?}");
+            assert_eq!(stats.gen_set_fallbacks(), 0, "{strategy:?}");
+            assert_eq!(stats.scans(), 1, "{strategy:?}");
+        }
     }
 
     #[test]

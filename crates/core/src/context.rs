@@ -589,6 +589,18 @@ impl ExecContext {
         }
     }
 
+    pub(crate) fn record_fallback_reason(&self, reason: mdj_storage::FallbackReason) {
+        if let Some(s) = &self.query.stats {
+            s.record_fallback_reason(reason);
+        }
+    }
+
+    pub(crate) fn record_gen_set(&self, scalar: bool) {
+        if let Some(s) = &self.query.stats {
+            s.record_gen_set(scalar);
+        }
+    }
+
     pub(crate) fn record_auto_decision(&self, coverage_permille: u64, batched: bool) {
         if let Some(s) = &self.query.stats {
             s.record_auto_decision(coverage_permille, batched);

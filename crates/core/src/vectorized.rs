@@ -35,16 +35,18 @@ use crate::probe::{canon_key, ProbePlan};
 use mdj_agg::{AggSpec, AggState, KernelState};
 use mdj_expr::eval::BoundExpr;
 use mdj_expr::vectorized::{
-    batchable_shape, bind_base, collect_detail_cols, eval_batch, BatchVals,
+    batchable_bound_shape, batchable_shape, bind_base, collect_detail_cols, eval_batch, BatchVals,
 };
 use mdj_expr::{Expr, Side};
-use mdj_storage::{Column, ColumnarChunk, HashIndex, KeyBuildHasher, Relation, Row, Schema, Value};
+use mdj_storage::{
+    Column, ColumnarChunk, FallbackReason, HashIndex, KeyBuildHasher, Relation, Row, Schema, Value,
+};
 use std::collections::HashMap;
 
 /// Largest batch the executor will form. Batches index tuples with `u32`
 /// selection vectors; anything near this is already far past the size where
 /// batching helps.
-const MAX_BATCH: usize = u32::MAX as usize;
+pub(crate) const MAX_BATCH: usize = u32::MAX as usize;
 
 /// Single-`i64`-key probe map. Uses the same [`KeyBuildHasher`] as the §4.5
 /// [`HashIndex`] it is derived from, so the two bucket structures can never
@@ -67,11 +69,13 @@ type IntMap<V> = HashMap<i64, V, KeyBuildHasher>;
 ///   evaluated batch-at-a-time over the chunk when that base row has enough
 ///   candidates to amortize the whole-chunk pass.
 ///
-/// Batches whose key expressions have no vectorized form (and all nested-loop
-/// plans) delegate per row to [`ProbePlan::matches`]. Probe accounting is
-/// identical to the scalar path in every mode: prefiltered-out and NULL-key
-/// tuples record zero probes, hash probes record the bucket length,
-/// nested-loop probes record `|B|`.
+/// Nested-loop plans whose θ shape batches are evaluated vectorized too: θ is
+/// bound to every base row up front ([`bind_base`]) and each bound form runs
+/// once per chunk. Batches whose key expressions have no vectorized form (and
+/// nested-loop θ shapes that don't batch) delegate per row to
+/// [`ProbePlan::matches`]. Probe accounting is identical to the scalar path
+/// in every mode: prefiltered-out and NULL-key tuples record zero probes,
+/// hash probes record the bucket length, nested-loop probes record `|B|`.
 pub(crate) struct BatchProbe<'a> {
     plan: &'a ProbePlan,
     b: &'a Relation,
@@ -79,6 +83,10 @@ pub(crate) struct BatchProbe<'a> {
     /// because index keys are canonicalized (integral floats are already
     /// `Int`), so an `Int` probe key can only ever match an `Int` bucket.
     fast_int: Option<IntMap<Vec<usize>>>,
+    /// For nested-loop plans whose θ shape batches: θ bound to each base row
+    /// once, reused by every batch. `None` for hash plans and for θ shapes
+    /// with no batch form.
+    nl_bound: Option<Vec<BoundExpr>>,
 }
 
 impl<'a> BatchProbe<'a> {
@@ -99,19 +107,38 @@ impl<'a> BatchProbe<'a> {
             }
             _ => None,
         };
-        BatchProbe { plan, b, fast_int }
+        let nl_bound = match plan {
+            ProbePlan::NestedLoop { theta, .. } if batchable_bound_shape(theta) => {
+                Some(b.iter().map(|row| bind_base(theta, row.values())).collect())
+            }
+            _ => None,
+        };
+        BatchProbe {
+            plan,
+            b,
+            fast_int,
+            nl_bound,
+        }
     }
 
     /// Mark the detail columns batches must materialize for this plan: the
-    /// prefilter's, the probe-key expressions', and the hash residual's
-    /// (batch residual evaluation reads the residual's detail columns from
-    /// the chunk). Nested-loop θ evaluates scalar against the row form and
-    /// needs no columns.
+    /// prefilter's, the probe-key expressions', the hash residual's (batch
+    /// residual evaluation reads the residual's detail columns from the
+    /// chunk), and — when the nested-loop θ shape batches — θ's own detail
+    /// columns. An expression whose *shape* can never batch
+    /// ([`batchable_bound_shape`]) marks nothing: its evaluation is bound for
+    /// the scalar interpreter over row storage, so transposing its columns
+    /// would be pure dead weight discarded every batch.
     pub(crate) fn collect_needed(&self, needed: &mut [bool]) {
         match self.plan {
-            ProbePlan::NestedLoop { prefilter, .. } => {
+            ProbePlan::NestedLoop { prefilter, theta } => {
                 if let Some(p) = prefilter {
-                    collect_detail_cols(p, needed);
+                    if batchable_bound_shape(p) {
+                        collect_detail_cols(p, needed);
+                    }
+                }
+                if self.nl_bound.is_some() {
+                    collect_detail_cols(theta, needed);
                 }
             }
             ProbePlan::Hash {
@@ -120,14 +147,22 @@ impl<'a> BatchProbe<'a> {
                 residual,
                 ..
             } => {
-                for e in key_exprs {
-                    collect_detail_cols(e, needed);
+                // One unbatchable key sends every batch to the scalar
+                // delegate, so the other keys' columns would go unread too.
+                if key_exprs.iter().all(batchable_bound_shape) {
+                    for e in key_exprs {
+                        collect_detail_cols(e, needed);
+                    }
                 }
                 if let Some(p) = prefilter {
-                    collect_detail_cols(p, needed);
+                    if batchable_bound_shape(p) {
+                        collect_detail_cols(p, needed);
+                    }
                 }
                 if let Some(res) = residual {
-                    collect_detail_cols(res, needed);
+                    if batchable_bound_shape(res) {
+                        collect_detail_cols(res, needed);
+                    }
                 }
             }
         }
@@ -160,6 +195,7 @@ impl<'a> BatchProbe<'a> {
             Some(p) => match eval_batch(p, chunk) {
                 Some(bv) => Some(bv.to_selection(n)),
                 None => {
+                    ctx.record_fallback_reason(FallbackReason::Prefilter);
                     fell_back = true;
                     None
                 }
@@ -210,9 +246,78 @@ impl<'a> BatchProbe<'a> {
                 }
                 return Ok(fell_back);
             }
+            ctx.record_fallback_reason(FallbackReason::Key);
+            fell_back = true;
+        } else if let Some(bound) = &self.nl_bound {
+            // Vectorized nested loop: θ was bound to each base row up front,
+            // so one whole-chunk evaluation per base row replaces
+            // |chunk| × |B| interpreted tree walks. Verdicts land in a
+            // per-tuple bitset over B so pairs still come out tuple-major
+            // with each tuple's matches contiguous (the batched morsel
+            // executor's slot logic relies on that) and in base-row order
+            // per tuple — row-identical to the scalar nested loop, including
+            // f64 accumulation order.
+            let mut survive = vec![false; n];
+            let mut n_survive = 0u64;
+            for (i, slot) in survive.iter_mut().enumerate() {
+                if !selected(i) {
+                    continue;
+                }
+                if sel.is_none() {
+                    if let Some(p) = prefilter {
+                        if !p.eval_bool(&[], rows[start + i].values())? {
+                            continue;
+                        }
+                    }
+                }
+                *slot = true;
+                n_survive += 1;
+            }
+            let stride = self.b.len().div_ceil(64).max(1);
+            let mut bits = vec![0u64; n * stride];
+            let mut vectorized = true;
+            for (bi, be) in bound.iter().enumerate() {
+                let Some(bv) = eval_batch(be, chunk) else {
+                    // One base row's inlined literals broke the batch form
+                    // (e.g. a string bound into an arithmetic slot): the
+                    // whole batch delegates, keeping probe accounting and
+                    // pair order scalar-identical.
+                    vectorized = false;
+                    break;
+                };
+                let verdict = bv.to_selection(n);
+                let word = bi / 64;
+                let mask = 1u64 << (bi % 64);
+                for i in 0..n {
+                    bits[i * stride + word] |=
+                        mask & ((verdict[i] & survive[i]) as u64).wrapping_neg();
+                }
+            }
+            if vectorized {
+                // Every surviving tuple examines all of B — exactly the
+                // scalar nested loop's accounting; prefiltered-out tuples
+                // record zero probes.
+                ctx.record_probes(n_survive * self.b.len() as u64);
+                for i in 0..n {
+                    if !survive[i] {
+                        continue;
+                    }
+                    for (w, &word) in bits[i * stride..(i + 1) * stride].iter().enumerate() {
+                        let mut word = word;
+                        while word != 0 {
+                            let bit = word.trailing_zeros() as usize;
+                            pairs.push((i as u32, w * 64 + bit));
+                            word &= word - 1;
+                        }
+                    }
+                }
+                return Ok(fell_back);
+            }
+            ctx.record_fallback_reason(FallbackReason::Theta);
             fell_back = true;
         } else {
-            // Nested loop: θ references the base side, inherently scalar.
+            // Nested loop whose θ shape has no batch form: inherently scalar.
+            ctx.record_fallback_reason(FallbackReason::Theta);
             fell_back = true;
         }
 
@@ -460,9 +565,27 @@ impl KeyCol {
 
 /// Per-aggregate state column: a typed kernel column when the aggregate has
 /// a kernel form, the boxed scalar states otherwise.
-enum ColStates {
+pub(crate) enum ColStates {
     Kernel(Vec<KernelState>),
     Boxed(Vec<Box<dyn AggState>>),
+}
+
+impl ColStates {
+    /// One state column over `b_len` base rows for `ba`.
+    pub(crate) fn init(ba: &BoundAgg, b_len: usize) -> ColStates {
+        match ba.agg.kernel() {
+            Some(kind) => ColStates::Kernel((0..b_len).map(|_| kind.init()).collect()),
+            None => ColStates::Boxed((0..b_len).map(|_| ba.agg.init()).collect()),
+        }
+    }
+
+    /// Finalized output value for base row `bi`.
+    pub(crate) fn finalize(&self, bi: usize) -> Value {
+        match self {
+            ColStates::Kernel(states) => states[bi].finalize(),
+            ColStates::Boxed(states) => states[bi].finalize(),
+        }
+    }
 }
 
 /// Evaluate `MD(B, R, l, θ)` with batched, vectorized execution. Output is
@@ -484,19 +607,18 @@ pub(crate) fn md_join_vectorized(
 
     let mut cols: Vec<ColStates> = bound
         .iter()
-        .map(|ba| match ba.agg.kernel() {
-            Some(kind) => ColStates::Kernel((0..b.len()).map(|_| kind.init()).collect()),
-            None => ColStates::Boxed(b.iter().map(|_| ba.agg.init()).collect()),
-        })
+        .map(|ba| ColStates::init(ba, b.len()))
         .collect();
     let mut meter = GrowthMeter::new(ctx);
     let metered = metered_flags(&bound, &meter);
 
-    // Materialize only the columns the probe and the aggregates read.
+    // Materialize only the columns the probe and the aggregates read. Boxed
+    // (kernel-less) aggregates replay the scalar per-value protocol straight
+    // from row storage, so their input columns don't need transposition.
     let mut needed = vec![false; r.schema().fields().len()];
     probe.collect_needed(&mut needed);
-    for ba in &bound {
-        if let Some(c) = ba.input_col {
+    for (j, ba) in bound.iter().enumerate() {
+        if let (ColStates::Kernel(_), Some(c)) = (&cols[j], ba.input_col) {
             needed[c] = true;
         }
     }
@@ -505,14 +627,7 @@ pub(crate) fn md_join_vectorized(
     let rows = r.rows();
     let batch_rows = ctx.morsel_size().clamp(1, MAX_BATCH);
     let mut pairs: Vec<(u32, usize)> = Vec::new();
-    // Batch-local grouping of matched tuples per base row, in tuple order
-    // (so f64 accumulation order matches the serial evaluator exactly). The
-    // scoreboard is direct-mapped over B — no hashing per pair — and only the
-    // slots a batch touched are reset; group buffers are recycled across
-    // batches.
-    let mut groups: Vec<(usize, Vec<u32>)> = Vec::new();
-    let mut n_groups = 0usize;
-    let mut group_of: Vec<usize> = vec![usize::MAX; b.len()];
+    let mut board = Scoreboard::new(b.len());
     let mut start = 0usize;
     while start < rows.len() {
         ctx.check_interrupt()?;
@@ -530,36 +645,18 @@ pub(crate) fn md_join_vectorized(
         }
         ctx.record_updates((pairs.len() * bound.len()) as u64);
 
-        for (bi, _) in &groups[..n_groups] {
-            group_of[*bi] = usize::MAX;
-        }
-        n_groups = 0;
-        for &(i, bi) in &pairs {
-            let mut g = group_of[bi];
-            if g == usize::MAX {
-                g = n_groups;
-                group_of[bi] = g;
-                if n_groups == groups.len() {
-                    groups.push((bi, Vec::new()));
-                } else {
-                    groups[n_groups].0 = bi;
-                    groups[n_groups].1.clear();
-                }
-                n_groups += 1;
-            }
-            groups[g].1.push(i);
-        }
-
+        let groups = board.group(&pairs);
         for (j, ba) in bound.iter().enumerate() {
             apply_batch(
                 &mut cols[j],
                 ba,
-                &groups[..n_groups],
+                groups,
                 &chunk,
                 rows,
                 start,
                 metered[j],
                 &mut meter,
+                ctx,
             )?;
         }
         start += len;
@@ -570,13 +667,57 @@ pub(crate) fn md_join_vectorized(
     let mut out = Relation::empty(Schema::new(fields));
     for (bi, row) in b.iter().enumerate() {
         let mut vals = row.values().to_vec();
-        vals.extend(cols.iter().map(|col| match col {
-            ColStates::Kernel(states) => states[bi].finalize(),
-            ColStates::Boxed(states) => states[bi].finalize(),
-        }));
+        vals.extend(cols.iter().map(|col| col.finalize(bi)));
         out.push_unchecked(Row::new(vals));
     }
     Ok(out)
+}
+
+/// Batch-local grouping of matched `(tuple, base row)` pairs per base row, in
+/// tuple order (so f64 accumulation order matches the serial evaluator
+/// exactly). The scoreboard is direct-mapped over `B` — no hashing per pair —
+/// and only the slots a batch touched are reset; group buffers are recycled
+/// across batches (and, in the fused generalized executor, across condition
+/// sets within a batch).
+pub(crate) struct Scoreboard {
+    groups: Vec<(usize, Vec<u32>)>,
+    n_groups: usize,
+    group_of: Vec<usize>,
+}
+
+impl Scoreboard {
+    pub(crate) fn new(b_len: usize) -> Self {
+        Scoreboard {
+            groups: Vec::new(),
+            n_groups: 0,
+            group_of: vec![usize::MAX; b_len],
+        }
+    }
+
+    /// Group one batch's pairs per base row; the returned slice lives until
+    /// the next call.
+    pub(crate) fn group(&mut self, pairs: &[(u32, usize)]) -> &[(usize, Vec<u32>)] {
+        for (bi, _) in &self.groups[..self.n_groups] {
+            self.group_of[*bi] = usize::MAX;
+        }
+        self.n_groups = 0;
+        for &(i, bi) in pairs {
+            let mut g = self.group_of[bi];
+            if g == usize::MAX {
+                g = self.n_groups;
+                self.group_of[bi] = g;
+                if self.n_groups == self.groups.len() {
+                    self.groups.push((bi, Vec::new()));
+                } else {
+                    self.groups[self.n_groups].0 = bi;
+                    self.groups[self.n_groups].1.clear();
+                }
+                self.n_groups += 1;
+            }
+            self.groups[g].1.push(i);
+        }
+        &self.groups[..self.n_groups]
+    }
 }
 
 /// Apply one batch's matched tuples to one aggregate column. Kernel columns
@@ -584,7 +725,7 @@ pub(crate) fn md_join_vectorized(
 /// columns replay the scalar per-value protocol (including growth metering
 /// for holistic states under a budget).
 #[allow(clippy::too_many_arguments)]
-fn apply_batch(
+pub(crate) fn apply_batch(
     col: &mut ColStates,
     ba: &BoundAgg,
     groups: &[(usize, Vec<u32>)],
@@ -593,6 +734,7 @@ fn apply_batch(
     start: usize,
     metered: bool,
     meter: &mut GrowthMeter,
+    ctx: &ExecContext,
 ) -> Result<()> {
     match col {
         ColStates::Kernel(states) => match ba.input_col {
@@ -615,6 +757,7 @@ fn apply_batch(
                 // Strings, mixed-typed, or unmaterialized columns: replay
                 // the exact scalar update protocol value by value.
                 _ => {
+                    ctx.record_fallback_reason(FallbackReason::Agg);
                     for (bi, idxs) in groups {
                         for &i in idxs {
                             states[*bi].update_value(&rows[start + i as usize][c])?;
@@ -624,6 +767,8 @@ fn apply_batch(
             },
         },
         ColStates::Boxed(states) => {
+            // Kernel-less (e.g. holistic) aggregates never batch.
+            ctx.record_fallback_reason(FallbackReason::Agg);
             for (bi, idxs) in groups {
                 for &i in idxs {
                     let v = match ba.input_col {
@@ -905,6 +1050,88 @@ mod tests {
         );
         md_join_vectorized(&b, &s, &specs(), &theta, &ctx).unwrap();
         assert_eq!(stats.batch_fallbacks(), stats.batches());
+    }
+
+    #[test]
+    fn nested_loop_theta_vectorizes_without_fallback() {
+        // A batchable non-equi θ runs the vectorized nested loop: no batch
+        // falls back, and probe accounting (|B| per surviving tuple) is
+        // identical to the scalar nested loop.
+        let s = sales(300);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let theta = le(col_b("cust"), col_r("qty"));
+        let serial_stats = Arc::new(ScanStats::new());
+        let sctx = ExecContext::new().with_stats(serial_stats.clone());
+        let serial = md_join_serial(&b, &s, &specs(), &theta, &sctx).unwrap();
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ExecContext::new()
+            .with_morsel_size(64)
+            .with_stats(stats.clone());
+        let vector = md_join_vectorized(&b, &s, &specs(), &theta, &ctx).unwrap();
+        assert_eq!(serial.rows(), vector.rows());
+        assert_eq!(stats.batches(), 300u64.div_ceil(64));
+        assert_eq!(stats.batch_fallbacks(), 0);
+        assert_eq!(stats.fallback_theta(), 0);
+        assert_eq!(serial_stats.probes(), stats.probes());
+        // With a prefilter attached, prefiltered-out tuples record zero
+        // probes in both paths.
+        let theta = and(
+            le(col_b("cust"), col_r("qty")),
+            eq(col_r("state"), lit("NY")),
+        );
+        let serial_stats = Arc::new(ScanStats::new());
+        let sctx = ExecContext::new().with_stats(serial_stats.clone());
+        let serial = md_join_serial(&b, &s, &specs(), &theta, &sctx).unwrap();
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ExecContext::new()
+            .with_morsel_size(64)
+            .with_stats(stats.clone());
+        let vector = md_join_vectorized(&b, &s, &specs(), &theta, &ctx).unwrap();
+        assert_eq!(serial.rows(), vector.rows());
+        assert_eq!(stats.batch_fallbacks(), 0);
+        assert_eq!(serial_stats.probes(), stats.probes());
+    }
+
+    #[test]
+    fn fallback_reasons_attributed_per_site() {
+        let s = sales(300);
+        let b = s.distinct_on(&["cust"]).unwrap();
+        let run = |theta: &mdj_expr::Expr, l: &[AggSpec]| {
+            let stats = Arc::new(ScanStats::new());
+            let ctx = ExecContext::new()
+                .with_morsel_size(64)
+                .with_stats(stats.clone());
+            md_join_vectorized(&b, &s, l, theta, &ctx).unwrap();
+            stats
+        };
+        let batches = 300u64.div_ceil(64);
+        // Div in the prefilter: every batch charges the prefilter.
+        let stats = run(
+            &and(
+                eq(col_b("cust"), col_r("cust")),
+                gt(div(col_r("sale"), lit(2i64)), lit(0i64)),
+            ),
+            &specs(),
+        );
+        assert_eq!(stats.fallback_prefilter(), batches);
+        assert_eq!(stats.fallback_key(), 0);
+        assert_eq!(stats.fallback_theta(), 0);
+        // Div in the probe-key expression: every batch charges the key.
+        let stats = run(&eq(col_b("cust"), div(col_r("cust"), lit(1i64))), &specs());
+        assert_eq!(stats.fallback_key(), batches);
+        assert_eq!(stats.fallback_prefilter(), 0);
+        // Div inside a nested-loop θ: no batch form, every batch charges θ.
+        let stats = run(&le(col_b("cust"), div(col_r("qty"), lit(2i64))), &specs());
+        assert_eq!(stats.fallback_theta(), batches);
+        assert_eq!(stats.batch_fallbacks(), batches);
+        // A kernel-less aggregate charges the aggregate on every batch that
+        // applies updates, without making the batch itself a fallback.
+        let stats = run(
+            &eq(col_b("cust"), col_r("cust")),
+            &[AggSpec::on_column("median", "sale")],
+        );
+        assert_eq!(stats.fallback_agg(), batches);
+        assert_eq!(stats.batch_fallbacks(), 0);
     }
 
     #[test]

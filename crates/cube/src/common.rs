@@ -7,9 +7,14 @@ use mdj_core::{ExecContext, ExecStrategy, MdJoin, Result};
 use mdj_expr::Expr;
 use mdj_storage::{DataType, Field, Relation, Row, Schema, Value};
 
-/// One serial MD-join via the [`MdJoin`] builder. The cube algorithms
-/// schedule their own evaluation order (and any parallelism) across cuboids,
-/// so each per-cuboid join stays single-threaded.
+/// One single-threaded MD-join via the [`MdJoin`] builder. The cube
+/// algorithms schedule their own evaluation order (and any parallelism)
+/// across cuboids, so each per-cuboid join stays single-threaded — but it
+/// runs the *vectorized* evaluator (`threads(1)` pins it to one core): a
+/// cuboid's θ is pure equality over the kept dimensions, which the batch
+/// layer covers end to end, and shapes it cannot cover (e.g. the naive
+/// cube-match θ with `ALL` wildcards) fall back per batch with output
+/// identical to the serial interpreter by construction.
 pub(crate) fn serial_md_join(
     b: &Relation,
     r: &Relation,
@@ -20,7 +25,8 @@ pub(crate) fn serial_md_join(
     MdJoin::new(b, r)
         .aggs(l)
         .theta(theta.clone())
-        .strategy(ExecStrategy::Serial)
+        .strategy(ExecStrategy::Vectorized)
+        .threads(1)
         .run(ctx)
 }
 

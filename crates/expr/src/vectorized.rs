@@ -138,6 +138,23 @@ pub fn batchable_shape(expr: &Expr) -> bool {
     }
 }
 
+/// [`batchable_shape`] for already-bound expressions. Executors use this to
+/// decide which detail columns a chunk must materialize: an expression whose
+/// shape can never batch would only ever see those columns discarded, so its
+/// columns are not worth transposing. (Binding cannot change the operator
+/// shape, only replace columns with literals, so the two predicates agree.)
+pub fn batchable_bound_shape(expr: &BoundExpr) -> bool {
+    match expr {
+        BoundExpr::BCol(_) | BoundExpr::RCol(_) | BoundExpr::Lit(_) => true,
+        BoundExpr::Binary { op, lhs, rhs } => {
+            !matches!(op, BinOp::Div | BinOp::Mod)
+                && batchable_bound_shape(lhs)
+                && batchable_bound_shape(rhs)
+        }
+        BoundExpr::Not(e) => batchable_bound_shape(e),
+    }
+}
+
 /// Evaluate `expr` over every row of `chunk`. Returns `None` when the
 /// expression shape (or the batch's column data) has no vectorized form that
 /// is exactly equivalent to the scalar interpreter; the caller then falls
@@ -232,16 +249,65 @@ fn truthy(v: &Value) -> bool {
     matches!(v, Value::Bool(true))
 }
 
-fn cmp_test(op: BinOp, ord: Ordering) -> bool {
-    match op {
-        BinOp::Eq => ord == Ordering::Equal,
-        BinOp::Ne => ord != Ordering::Equal,
-        BinOp::Lt => ord == Ordering::Less,
-        BinOp::Le => ord != Ordering::Greater,
-        BinOp::Gt => ord == Ordering::Greater,
-        BinOp::Ge => ord != Ordering::Less,
-        _ => unreachable!("cmp_test on non-comparison"),
-    }
+/// Dispatch a comparison operator ONCE per batch: each arm binds `$t` to a
+/// distinct monomorphizing closure over [`Ordering`], so the per-row loops in
+/// the body inline a fixed test with no operator branch left inside the loop
+/// — the shape LLVM autovectorizes. (The old code matched on `op` per
+/// element, which blocked vectorization of every comparison loop.)
+macro_rules! dispatch_cmp {
+    ($op:expr, |$t:ident| $body:expr) => {
+        match $op {
+            BinOp::Eq => {
+                let $t = |o: Ordering| o == Ordering::Equal;
+                $body
+            }
+            BinOp::Ne => {
+                let $t = |o: Ordering| o != Ordering::Equal;
+                $body
+            }
+            BinOp::Lt => {
+                let $t = |o: Ordering| o == Ordering::Less;
+                $body
+            }
+            BinOp::Le => {
+                let $t = |o: Ordering| o != Ordering::Greater;
+                $body
+            }
+            BinOp::Gt => {
+                let $t = |o: Ordering| o == Ordering::Greater;
+                $body
+            }
+            BinOp::Ge => {
+                let $t = |o: Ordering| o != Ordering::Less;
+                $body
+            }
+            _ => unreachable!("comparison dispatch on non-comparison"),
+        }
+    };
+}
+
+/// Same trick for `Add`/`Sub`/`Mul`: bind monomorphized int/float operators
+/// once per batch instead of matching on `op` inside every element closure.
+macro_rules! dispatch_arith {
+    ($op:expr, |$i:ident, $f:ident| $body:expr) => {
+        match $op {
+            BinOp::Add => {
+                let $i = |a: i64, b: i64| a.wrapping_add(b);
+                let $f = |a: f64, b: f64| a + b;
+                $body
+            }
+            BinOp::Sub => {
+                let $i = |a: i64, b: i64| a.wrapping_sub(b);
+                let $f = |a: f64, b: f64| a - b;
+                $body
+            }
+            _ => {
+                let $i = |a: i64, b: i64| a.wrapping_mul(b);
+                let $f = |a: f64, b: f64| a * b;
+                $body
+            }
+        }
+    };
 }
 
 /// Mirror of the comparison's argument order: `a OP b` ⇔ `b FLIP(OP) a`.
@@ -257,7 +323,7 @@ fn flip(op: BinOp) -> BinOp {
 
 fn compare_batch(op: BinOp, l: BatchVals, r: BatchVals, n: usize) -> Option<BatchVals> {
     use BatchVals::*;
-    match (l, r) {
+    dispatch_cmp!(op, |t| match (l, r) {
         (Const(a), Const(b)) => Some(Const(compare(op, &a, &b))),
         // Normalize const-on-the-left to const-on-the-right.
         (Const(a), other) => compare_batch(flip(op), other, Const(a), n),
@@ -265,12 +331,12 @@ fn compare_batch(op: BinOp, l: BatchVals, r: BatchVals, n: usize) -> Option<Batc
             Value::Int(k) => vals
                 .iter()
                 .zip(&nulls)
-                .map(|(v, &null)| !null && cmp_test(op, v.cmp(k)))
+                .map(|(v, &null)| !null & t(v.cmp(k)))
                 .collect(),
             Value::Float(f) => vals
                 .iter()
                 .zip(&nulls)
-                .map(|(v, &null)| !null && cmp_test(op, cmp_int_float(*v, *f)))
+                .map(|(v, &null)| !null & t(cmp_int_float(*v, *f)))
                 .collect(),
             // NULL literal: always false. Incomparable non-null literal:
             // Ne is true for non-null rows, everything else false.
@@ -282,12 +348,12 @@ fn compare_batch(op: BinOp, l: BatchVals, r: BatchVals, n: usize) -> Option<Batc
             Value::Int(k) => vals
                 .iter()
                 .zip(&nulls)
-                .map(|(v, &null)| !null && cmp_test(op, cmp_int_float(*k, *v).reverse()))
+                .map(|(v, &null)| !null & t(cmp_int_float(*k, *v).reverse()))
                 .collect(),
             Value::Float(f) => vals
                 .iter()
                 .zip(&nulls)
-                .map(|(v, &null)| !null && cmp_test(op, v.total_cmp(f)))
+                .map(|(v, &null)| !null & t(v.total_cmp(f)))
                 .collect(),
             Value::Null => vec![false; n],
             _ if op == BinOp::Ne => nulls.iter().map(|&null| !null).collect(),
@@ -297,14 +363,12 @@ fn compare_batch(op: BinOp, l: BatchVals, r: BatchVals, n: usize) -> Option<Batc
             Value::Str(s) => {
                 // One comparison per distinct dictionary entry, then a table
                 // lookup per row.
-                let verdicts: Vec<bool> = dict
-                    .iter()
-                    .map(|d| cmp_test(op, d.as_ref().cmp(s.as_ref())))
-                    .collect();
+                let verdicts: Vec<bool> =
+                    dict.iter().map(|d| t(d.as_ref().cmp(s.as_ref()))).collect();
                 codes
                     .iter()
                     .zip(&nulls)
-                    .map(|(&code, &null)| !null && verdicts[code as usize])
+                    .map(|(&code, &null)| !null & verdicts[code as usize])
                     .collect()
             }
             Value::Null => vec![false; n],
@@ -315,50 +379,38 @@ fn compare_batch(op: BinOp, l: BatchVals, r: BatchVals, n: usize) -> Option<Batc
             a.iter()
                 .zip(&b)
                 .zip(an.iter().zip(&bn))
-                .map(|((x, y), (&xn, &yn))| !xn && !yn && cmp_test(op, x.cmp(y)))
+                .map(|((x, y), (&xn, &yn))| !xn & !yn & t(x.cmp(y)))
                 .collect(),
         )),
         (Floats { vals: a, nulls: an }, Floats { vals: b, nulls: bn }) => Some(Bools(
             a.iter()
                 .zip(&b)
                 .zip(an.iter().zip(&bn))
-                .map(|((x, y), (&xn, &yn))| !xn && !yn && cmp_test(op, x.total_cmp(y)))
+                .map(|((x, y), (&xn, &yn))| !xn & !yn & t(x.total_cmp(y)))
                 .collect(),
         )),
         (Ints { vals: a, nulls: an }, Floats { vals: b, nulls: bn }) => Some(Bools(
             a.iter()
                 .zip(&b)
                 .zip(an.iter().zip(&bn))
-                .map(|((x, y), (&xn, &yn))| !xn && !yn && cmp_test(op, cmp_int_float(*x, *y)))
+                .map(|((x, y), (&xn, &yn))| !xn & !yn & t(cmp_int_float(*x, *y)))
                 .collect(),
         )),
         (Floats { vals: a, nulls: an }, Ints { vals: b, nulls: bn }) => Some(Bools(
             a.iter()
                 .zip(&b)
                 .zip(an.iter().zip(&bn))
-                .map(|((x, y), (&xn, &yn))| {
-                    !xn && !yn && cmp_test(op, cmp_int_float(*y, *x).reverse())
-                })
+                .map(|((x, y), (&xn, &yn))| !xn & !yn & t(cmp_int_float(*y, *x).reverse()))
                 .collect(),
         )),
         // Str×Str (two detail columns), Bool batches, etc.: scalar fallback.
         _ => None,
-    }
+    })
 }
 
 fn arith_batch(op: BinOp, l: BatchVals, r: BatchVals, n: usize) -> Option<BatchVals> {
     use BatchVals::*;
-    let int_op = |a: i64, b: i64| match op {
-        BinOp::Add => a.wrapping_add(b),
-        BinOp::Sub => a.wrapping_sub(b),
-        _ => a.wrapping_mul(b),
-    };
-    let float_op = |a: f64, b: f64| match op {
-        BinOp::Add => a + b,
-        BinOp::Sub => a - b,
-        _ => a * b,
-    };
-    match (l, r) {
+    dispatch_arith!(op, |int_op, float_op| match (l, r) {
         (Const(a), Const(b)) => arith(op, &a, &b).ok().map(Const),
         (Ints { vals, nulls }, Const(c)) | (Const(c), Ints { vals, nulls })
             if matches!(op, BinOp::Add | BinOp::Mul) || matches!(c, Value::Null) =>
@@ -462,7 +514,7 @@ fn arith_batch(op: BinOp, l: BatchVals, r: BatchVals, n: usize) -> Option<BatchV
         // interpreter raises them (or short-circuits around them) exactly as
         // before.
         _ => None,
-    }
+    })
 }
 
 #[cfg(test)]

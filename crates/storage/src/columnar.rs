@@ -113,74 +113,78 @@ impl ColumnarChunk {
 }
 
 fn build_column(range: &[Row], c: usize) -> Column {
-    #[derive(PartialEq, Clone, Copy)]
-    enum Kind {
-        Unknown,
-        Int,
-        Float,
-        Str,
-    }
-    let mut kind = Kind::Unknown;
-    for row in range {
-        let next = match &row[c] {
-            Value::Null => continue,
-            Value::Int(_) => Kind::Int,
-            Value::Float(_) => Kind::Float,
-            Value::Str(_) => Kind::Str,
-            Value::Bool(_) | Value::All => return Column::Fallback,
-        };
-        if kind == Kind::Unknown {
-            kind = next;
-        } else if kind != next {
-            return Column::Fallback;
-        }
-    }
-    let n = range.len();
-    match kind {
+    // Single-pass speculative transposition: the first non-NULL value picks
+    // the typed representation, the fill then runs straight through the range
+    // and abandons to `Fallback` on the first conflicting value. (The old
+    // code made a full type-sniffing pass before a second fill pass; the
+    // common all-one-type batch now walks the row-major data exactly once.)
+    let first = range.iter().find_map(|row| match &row[c] {
+        Value::Null => None,
+        other => Some(other),
+    });
+    match first {
         // All-NULL ranges get a typed (but fully null) Int column so numeric
         // kernels still apply; NULL semantics are carried by the bitmap.
-        Kind::Unknown | Kind::Int => {
-            let mut vals = vec![0i64; n];
-            let mut nulls = vec![false; n];
-            for (i, row) in range.iter().enumerate() {
-                match &row[c] {
-                    Value::Int(v) => vals[i] = *v,
-                    _ => nulls[i] = true,
-                }
-            }
-            Column::Int { vals, nulls }
-        }
-        Kind::Float => {
-            let mut vals = vec![0f64; n];
-            let mut nulls = vec![false; n];
-            for (i, row) in range.iter().enumerate() {
-                match &row[c] {
-                    Value::Float(v) => vals[i] = *v,
-                    _ => nulls[i] = true,
-                }
-            }
-            Column::Float { vals, nulls }
-        }
-        Kind::Str => {
-            let mut codes = vec![0u32; n];
-            let mut nulls = vec![false; n];
-            let mut dict: Vec<Arc<str>> = Vec::new();
-            let mut lookup: HashMap<Arc<str>, u32> = HashMap::new();
-            for (i, row) in range.iter().enumerate() {
-                match &row[c] {
-                    Value::Str(s) => {
-                        let code = *lookup.entry(s.clone()).or_insert_with(|| {
-                            dict.push(s.clone());
-                            (dict.len() - 1) as u32
-                        });
-                        codes[i] = code;
-                    }
-                    _ => nulls[i] = true,
-                }
-            }
-            Column::Str { codes, dict, nulls }
+        None => Column::Int {
+            vals: vec![0; range.len()],
+            nulls: vec![true; range.len()],
+        },
+        Some(Value::Int(_)) => fill_ints(range, c),
+        Some(Value::Float(_)) => fill_floats(range, c),
+        Some(Value::Str(_)) => fill_strs(range, c),
+        // Booleans and `ALL` have no faithful typed representation.
+        Some(_) => Column::Fallback,
+    }
+}
+
+fn fill_ints(range: &[Row], c: usize) -> Column {
+    let n = range.len();
+    let mut vals = vec![0i64; n];
+    let mut nulls = vec![false; n];
+    for (i, row) in range.iter().enumerate() {
+        match &row[c] {
+            Value::Int(v) => vals[i] = *v,
+            Value::Null => nulls[i] = true,
+            _ => return Column::Fallback,
         }
     }
+    Column::Int { vals, nulls }
+}
+
+fn fill_floats(range: &[Row], c: usize) -> Column {
+    let n = range.len();
+    let mut vals = vec![0f64; n];
+    let mut nulls = vec![false; n];
+    for (i, row) in range.iter().enumerate() {
+        match &row[c] {
+            Value::Float(v) => vals[i] = *v,
+            Value::Null => nulls[i] = true,
+            _ => return Column::Fallback,
+        }
+    }
+    Column::Float { vals, nulls }
+}
+
+fn fill_strs(range: &[Row], c: usize) -> Column {
+    let n = range.len();
+    let mut codes = vec![0u32; n];
+    let mut nulls = vec![false; n];
+    let mut dict: Vec<Arc<str>> = Vec::new();
+    let mut lookup: HashMap<Arc<str>, u32> = HashMap::new();
+    for (i, row) in range.iter().enumerate() {
+        match &row[c] {
+            Value::Str(s) => {
+                let code = *lookup.entry(s.clone()).or_insert_with(|| {
+                    dict.push(s.clone());
+                    (dict.len() - 1) as u32
+                });
+                codes[i] = code;
+            }
+            Value::Null => nulls[i] = true,
+            _ => return Column::Fallback,
+        }
+    }
+    Column::Str { codes, dict, nulls }
 }
 
 #[cfg(test)]

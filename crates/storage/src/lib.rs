@@ -33,6 +33,6 @@ pub use relation::Relation;
 pub use row::Row;
 pub use schema::{DataType, Field, Schema};
 pub use spill::{read_run, sweep_orphans, write_run, RunFile, RunWriter, SweepReport};
-pub use stats::{ScanStats, StatsSnapshot, WorkerStats};
+pub use stats::{FallbackReason, ScanStats, StatsSnapshot, WorkerStats};
 pub use value::cmp_int_float;
 pub use value::Value;

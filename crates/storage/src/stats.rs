@@ -79,6 +79,22 @@ pub struct ScanStats {
     /// Batches (or batch sub-steps) that fell back to the scalar interpreter
     /// because the expression shape or column data had no typed kernel.
     batch_fallbacks: AtomicU64,
+    /// Per-reason breakdown of batch fallbacks: θ shape with no batch form.
+    fallback_theta: AtomicU64,
+    /// Per-reason breakdown: prefilter expression with no batch form.
+    fallback_prefilter: AtomicU64,
+    /// Per-reason breakdown: probe-key expression unevaluable on this chunk's
+    /// columns (untyped column, non-batchable shape).
+    fallback_key: AtomicU64,
+    /// Per-reason breakdown: aggregate input column with no typed kernel
+    /// representation (mixed types, booleans, `ALL`).
+    fallback_agg: AtomicU64,
+    /// Condition/aggregate sets executed by the fused generalized (Theorem
+    /// 4.3) batch executor.
+    gen_sets: AtomicU64,
+    /// Of those, sets delegated wholly to the scalar tuple-at-a-time path
+    /// (per-set fallback; the other sets in the same scan stay batched).
+    gen_set_fallbacks: AtomicU64,
     /// Bytes written to spill run files by spill-degradation.
     bytes_spilled: AtomicU64,
     /// Spill partitions (run files) written.
@@ -140,6 +156,29 @@ impl ScanStats {
 
     pub fn record_batch_fallback(&self) {
         self.batch_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Attribute one batch fallback to a diagnosable cause. Independent of
+    /// [`Self::record_batch_fallback`] (which stays one-per-batch): a single
+    /// batch can hit several causes, each recorded once.
+    pub fn record_fallback_reason(&self, reason: FallbackReason) {
+        let counter = match reason {
+            FallbackReason::Theta => &self.fallback_theta,
+            FallbackReason::Prefilter => &self.fallback_prefilter,
+            FallbackReason::Key => &self.fallback_key,
+            FallbackReason::Agg => &self.fallback_agg,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one condition/aggregate set handled by the fused generalized
+    /// executor; `scalar` marks a per-set fallback to the tuple-at-a-time
+    /// path.
+    pub fn record_gen_set(&self, scalar: bool) {
+        self.gen_sets.fetch_add(1, Ordering::Relaxed);
+        if scalar {
+            self.gen_set_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Record one spill partition written: `n` bytes landed in a run file.
@@ -213,6 +252,30 @@ impl ScanStats {
         self.batch_fallbacks.load(Ordering::Relaxed)
     }
 
+    pub fn fallback_theta(&self) -> u64 {
+        self.fallback_theta.load(Ordering::Relaxed)
+    }
+
+    pub fn fallback_prefilter(&self) -> u64 {
+        self.fallback_prefilter.load(Ordering::Relaxed)
+    }
+
+    pub fn fallback_key(&self) -> u64 {
+        self.fallback_key.load(Ordering::Relaxed)
+    }
+
+    pub fn fallback_agg(&self) -> u64 {
+        self.fallback_agg.load(Ordering::Relaxed)
+    }
+
+    pub fn gen_sets(&self) -> u64 {
+        self.gen_sets.load(Ordering::Relaxed)
+    }
+
+    pub fn gen_set_fallbacks(&self) -> u64 {
+        self.gen_set_fallbacks.load(Ordering::Relaxed)
+    }
+
     pub fn bytes_spilled(&self) -> u64 {
         self.bytes_spilled.load(Ordering::Relaxed)
     }
@@ -257,6 +320,12 @@ impl ScanStats {
         self.degradations.store(0, Ordering::Relaxed);
         self.batches.store(0, Ordering::Relaxed);
         self.batch_fallbacks.store(0, Ordering::Relaxed);
+        self.fallback_theta.store(0, Ordering::Relaxed);
+        self.fallback_prefilter.store(0, Ordering::Relaxed);
+        self.fallback_key.store(0, Ordering::Relaxed);
+        self.fallback_agg.store(0, Ordering::Relaxed);
+        self.gen_sets.store(0, Ordering::Relaxed);
+        self.gen_set_fallbacks.store(0, Ordering::Relaxed);
         self.bytes_spilled.store(0, Ordering::Relaxed);
         self.spill_partitions.store(0, Ordering::Relaxed);
         self.spill_read_bytes.store(0, Ordering::Relaxed);
@@ -282,6 +351,12 @@ impl ScanStats {
             degradations: self.degradations(),
             batches: self.batches(),
             batch_fallbacks: self.batch_fallbacks(),
+            fallback_theta: self.fallback_theta(),
+            fallback_prefilter: self.fallback_prefilter(),
+            fallback_key: self.fallback_key(),
+            fallback_agg: self.fallback_agg(),
+            gen_sets: self.gen_sets(),
+            gen_set_fallbacks: self.gen_set_fallbacks(),
             bytes_spilled: self.bytes_spilled(),
             spill_partitions: self.spill_partitions(),
             spill_read_bytes: self.spill_read_bytes(),
@@ -291,6 +366,23 @@ impl ScanStats {
             workers: self.workers(),
         }
     }
+}
+
+/// Why a vectorized batch (or one of its sub-steps) had to delegate to the
+/// scalar interpreter. Recorded per batch per cause so coverage gaps are
+/// diagnosable from `EXPLAIN ANALYZE` instead of showing up as an opaque
+/// fallback count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FallbackReason {
+    /// θ (or its bound-per-base-row form) has no batch evaluation.
+    Theta,
+    /// The Theorem 4.2 prefilter has no batch evaluation.
+    Prefilter,
+    /// A hash-probe key expression could not evaluate over this chunk's
+    /// columns (untyped column, non-batchable shape).
+    Key,
+    /// An aggregate input column had no typed kernel representation.
+    Agg,
 }
 
 /// A point-in-time copy of [`ScanStats`].
@@ -313,6 +405,18 @@ pub struct StatsSnapshot {
     pub batches: u64,
     /// Batches that fell back to the scalar interpreter for some sub-step.
     pub batch_fallbacks: u64,
+    /// Fallbacks caused by an un-batchable θ shape.
+    pub fallback_theta: u64,
+    /// Fallbacks caused by an un-batchable prefilter.
+    pub fallback_prefilter: u64,
+    /// Fallbacks caused by an unevaluable probe-key expression.
+    pub fallback_key: u64,
+    /// Fallbacks caused by an untyped aggregate input column.
+    pub fallback_agg: u64,
+    /// Condition/aggregate sets executed by the fused generalized executor.
+    pub gen_sets: u64,
+    /// Of those, sets delegated wholly to the scalar path.
+    pub gen_set_fallbacks: u64,
     /// Bytes written to spill run files (0 when nothing spilled).
     pub bytes_spilled: u64,
     /// Spill partitions (run files) written.
@@ -344,6 +448,14 @@ impl StatsSnapshot {
     pub fn spill_active(&self) -> bool {
         self.bytes_spilled > 0 || self.spill_partitions > 0 || self.spill_read_bytes > 0
     }
+
+    /// True if any batch fallback has an attributed cause.
+    pub fn fallback_reasons_active(&self) -> bool {
+        self.fallback_theta > 0
+            || self.fallback_prefilter > 0
+            || self.fallback_key > 0
+            || self.fallback_agg > 0
+    }
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -358,6 +470,23 @@ impl std::fmt::Display for StatsSnapshot {
                 f,
                 "\n  vectorized: batches={} fallbacks={}",
                 self.batches, self.batch_fallbacks
+            )?;
+            if self.fallback_reasons_active() {
+                write!(
+                    f,
+                    "\n  fallback reasons: theta={} prefilter={} key={} agg={}",
+                    self.fallback_theta,
+                    self.fallback_prefilter,
+                    self.fallback_key,
+                    self.fallback_agg
+                )?;
+            }
+        }
+        if self.gen_sets > 0 {
+            write!(
+                f,
+                "\n  generalized: sets={} scalar_sets={}",
+                self.gen_sets, self.gen_set_fallbacks
             )?;
         }
         if self.auto_decisions > 0 {
@@ -450,6 +579,48 @@ mod tests {
         assert!(snap
             .to_string()
             .contains("vectorized: batches=2 fallbacks=1"));
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn fallback_reasons_accumulate_and_display() {
+        let s = ScanStats::new();
+        s.record_batch();
+        s.record_batch_fallback();
+        // No attributed cause yet: the breakdown line stays hidden.
+        assert!(!s.snapshot().to_string().contains("fallback reasons:"));
+        s.record_fallback_reason(FallbackReason::Theta);
+        s.record_fallback_reason(FallbackReason::Theta);
+        s.record_fallback_reason(FallbackReason::Prefilter);
+        s.record_fallback_reason(FallbackReason::Key);
+        s.record_fallback_reason(FallbackReason::Agg);
+        let snap = s.snapshot();
+        assert_eq!(snap.fallback_theta, 2);
+        assert_eq!(snap.fallback_prefilter, 1);
+        assert_eq!(snap.fallback_key, 1);
+        assert_eq!(snap.fallback_agg, 1);
+        assert!(snap.fallback_reasons_active());
+        assert!(snap
+            .to_string()
+            .contains("fallback reasons: theta=2 prefilter=1 key=1 agg=1"));
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn generalized_set_counters_accumulate_and_display() {
+        let s = ScanStats::new();
+        assert!(!s.snapshot().to_string().contains("generalized:"));
+        s.record_gen_set(false);
+        s.record_gen_set(false);
+        s.record_gen_set(true);
+        let snap = s.snapshot();
+        assert_eq!(snap.gen_sets, 3);
+        assert_eq!(snap.gen_set_fallbacks, 1);
+        assert!(snap
+            .to_string()
+            .contains("generalized: sets=3 scalar_sets=1"));
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }

@@ -1,0 +1,285 @@
+//! Property tests for the fused generalized MD-join: the batch k-θ executor
+//! (`ExecStrategy::Vectorized` with `.blocks(..)`) must be *row-identical* —
+//! down to `f64` bit patterns — to both the serial Theorem 4.3 single-scan
+//! loop and a sequence of k independent single MD-joins, across NULL-heavy
+//! mixed-type data, condition sets the batch layer covers (equality, hashed
+//! prefilters, vectorized non-equi nested loops) and sets it cannot (Div/Mod
+//! shapes that delegate per batch), for batch sizes 1/7/4096. Work accounting
+//! (one shared scan, per-block probes and updates) must match the serial
+//! generalized run exactly. Building with `--features simd` only swaps the
+//! kernel reduction internals, so the same sweep pins the intrinsic paths.
+
+use mdj_core::prelude::*;
+use mdj_expr::builder::div;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Detail rows over small domains with NULL-heavy nullable columns:
+/// `(k Int, m Int, v Int?, f Float?, s Str)`. Mirrors the single-block
+/// vectorized sweep so regressions localize to the fused layer.
+fn detail_strategy() -> impl Strategy<Value = Relation> {
+    // The low third of each nullable column's domain maps to NULL.
+    let row = (0i64..6, 0i64..5, -75i64..50, -16i64..8, 0u8..3);
+    proptest::collection::vec(row, 0..60).prop_map(|rows| {
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("m", DataType::Int),
+            ("v", DataType::Int),
+            ("f", DataType::Float),
+            ("s", DataType::Str),
+        ]);
+        Relation::from_rows(
+            schema,
+            rows.into_iter()
+                .map(|(k, m, v, f, s)| {
+                    Row::new(vec![
+                        Value::Int(k),
+                        Value::Int(m),
+                        if v < -50 { Value::Null } else { Value::Int(v) },
+                        if f < -8 {
+                            Value::Null
+                        } else {
+                            Value::Float(f as f64 * 0.5)
+                        },
+                        Value::str(["NY", "NJ", "CA"][s as usize]),
+                    ])
+                })
+                .collect(),
+        )
+    })
+}
+
+/// Base rows over a wider key domain than the detail side, so some base rows
+/// always have an empty `Rel(t)` in every condition set.
+fn base_strategy() -> impl Strategy<Value = Relation> {
+    proptest::collection::btree_set((0i64..8, 0i64..6, 0u8..4), 0..12).prop_map(|keys| {
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("m", DataType::Int),
+            ("s", DataType::Str),
+        ]);
+        Relation::from_rows(
+            schema,
+            keys.into_iter()
+                .map(|(k, m, s)| {
+                    Row::new(vec![
+                        Value::Int(k),
+                        Value::Int(m),
+                        Value::str(["NY", "NJ", "CA", "TX"][s as usize]),
+                    ])
+                })
+                .collect(),
+        )
+    })
+}
+
+/// θ shapes for one condition set. Indexes 0..=5 are batch-covered (hash
+/// keys, vectorized prefilters, the vectorized non-equi nested loop); 6..=7
+/// contain `Div`, which the batch layer refuses by shape and delegates to
+/// the scalar interpreter per batch.
+fn theta_pool(which: u8) -> Expr {
+    match which {
+        0 => eq(col_b("k"), col_r("k")),
+        1 => and(eq(col_b("k"), col_r("k")), eq(col_r("s"), lit("NY"))),
+        2 => and(eq(col_b("s"), col_r("s")), gt(col_r("v"), lit(0i64))),
+        3 => le(col_b("k"), col_r("m")),
+        4 => and(le(col_b("k"), col_r("m")), ge(col_r("f"), col_b("m"))),
+        5 => Expr::always_true(),
+        6 => and(
+            eq(col_b("k"), col_r("k")),
+            gt(div(col_r("v"), lit(2i64)), lit(3i64)),
+        ),
+        _ => le(col_b("k"), div(col_r("v"), lit(2i64))),
+    }
+}
+
+/// Aggregates for block `i`, aliased so the k blocks' output columns never
+/// collide: typed Int/Float kernels, the scalar string path, and a holistic
+/// median exercising the kernel-less (per-batch `fallback_agg`) path.
+fn block_aggs(i: usize) -> Vec<AggSpec> {
+    vec![
+        AggSpec::count_star().with_alias(format!("n_{i}")),
+        AggSpec::on_column("sum", "v").with_alias(format!("sum_v_{i}")),
+        AggSpec::on_column("avg", "f").with_alias(format!("avg_f_{i}")),
+        AggSpec::on_column("min", "s").with_alias(format!("min_s_{i}")),
+        AggSpec::on_column("median", "v").with_alias(format!("med_v_{i}")),
+    ]
+}
+
+fn blocks_strategy() -> impl Strategy<Value = Vec<Block>> {
+    proptest::collection::vec(0u8..8, 1..4).prop_map(|shapes| {
+        shapes
+            .into_iter()
+            .enumerate()
+            .map(|(i, which)| Block::new(theta_pool(which), block_aggs(i)))
+            .collect()
+    })
+}
+
+/// Row equality down to `f64` bit patterns: `Value::Float` cells must carry
+/// the *same bits*, not merely compare `==` — the fused executor promises the
+/// serial accumulation order, so even rounding must agree.
+fn assert_rows_bit_identical(
+    expected: &Relation,
+    got: &Relation,
+    ctx: &str,
+) -> std::result::Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(expected.len(), got.len(), "row count ({})", ctx);
+    for (i, (er, gr)) in expected.iter().zip(got.iter()).enumerate() {
+        prop_assert_eq!(
+            er.values().len(),
+            gr.values().len(),
+            "row {} width ({})",
+            i,
+            ctx
+        );
+        for (j, (ev, gv)) in er.values().iter().zip(gr.values().iter()).enumerate() {
+            match (ev, gv) {
+                (Value::Float(a), Value::Float(b)) => {
+                    prop_assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "row {} col {} float bits ({})",
+                        i,
+                        j,
+                        ctx
+                    );
+                }
+                _ => prop_assert_eq!(ev, gv, "row {} col {} ({})", i, j, ctx),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_blocks(
+    b: &Relation,
+    r: &Relation,
+    blocks: &[Block],
+    strategy: ExecStrategy,
+    batch: usize,
+    stats: Arc<ScanStats>,
+) -> Relation {
+    MdJoin::new(b, r)
+        .blocks(blocks.iter().cloned())
+        .strategy(strategy)
+        .threads(1)
+        .run(&ExecContext::new().with_morsel_size(batch).with_stats(stats))
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The fused batch executor reproduces the serial generalized run
+    /// bit-for-bit at every batch size, with identical scan/tuple/probe/
+    /// update accounting and one shared scan of R, and every condition set
+    /// accounted in `gen_sets`.
+    #[test]
+    fn fused_equals_serial_generalized(
+        b in base_strategy(),
+        r in detail_strategy(),
+        blocks in blocks_strategy(),
+    ) {
+        let serial_stats = Arc::new(ScanStats::new());
+        let expected = run_blocks(&b, &r, &blocks, ExecStrategy::Serial, 64, serial_stats.clone());
+        for batch in [1usize, 7, 4096] {
+            let stats = Arc::new(ScanStats::new());
+            let got = run_blocks(&b, &r, &blocks, ExecStrategy::Vectorized, batch, stats.clone());
+            assert_rows_bit_identical(&expected, &got, &format!("batch={batch}"))?;
+            prop_assert_eq!(serial_stats.scans(), stats.scans());
+            prop_assert_eq!(serial_stats.tuples_scanned(), stats.tuples_scanned());
+            prop_assert_eq!(serial_stats.probes(), stats.probes());
+            prop_assert_eq!(serial_stats.updates(), stats.updates());
+            // A single-set `.blocks()` call routes through the ordinary
+            // single-join executor, which does not tally `gen_sets`.
+            if blocks.len() > 1 {
+                prop_assert_eq!(stats.gen_sets(), blocks.len() as u64);
+                prop_assert!(stats.gen_set_fallbacks() <= stats.gen_sets());
+            } else {
+                prop_assert_eq!(stats.gen_sets(), 0);
+            }
+            if !r.is_empty() && !b.is_empty() {
+                prop_assert!(stats.batches() > 0, "batch={}", batch);
+            }
+        }
+    }
+
+    /// The fused run equals k independent single MD-joins: block i's
+    /// aggregate columns in the generalized output match the standalone
+    /// serial MD-join over (θᵢ, lᵢ) bit-for-bit.
+    #[test]
+    fn fused_equals_sequential_single_joins(
+        b in base_strategy(),
+        r in detail_strategy(),
+        blocks in blocks_strategy(),
+    ) {
+        let fused = run_blocks(
+            &b, &r, &blocks, ExecStrategy::Vectorized, 7, Arc::new(ScanStats::new()),
+        );
+        let mut col = b.schema().len();
+        for (bi, blk) in blocks.iter().enumerate() {
+            let single = MdJoin::new(&b, &r)
+                .aggs(&blk.aggs)
+                .theta(blk.theta.clone())
+                .strategy(ExecStrategy::Serial)
+                .run(&ExecContext::new())
+                .unwrap();
+            prop_assert_eq!(single.len(), fused.len());
+            for (i, (sr, fr)) in single.iter().zip(fused.iter()).enumerate() {
+                for (j, sv) in sr.values()[b.schema().len()..].iter().enumerate() {
+                    let fv = &fr[col + j];
+                    match (sv, fv) {
+                        (Value::Float(a), Value::Float(x)) => prop_assert_eq!(
+                            a.to_bits(), x.to_bits(),
+                            "block {} row {} agg {} float bits", bi, i, j
+                        ),
+                        _ => prop_assert_eq!(sv, fv, "block {} row {} agg {}", bi, i, j),
+                    }
+                }
+            }
+            col += blk.aggs.len();
+        }
+    }
+
+    /// `Auto` over multi-block queries (summed per-block coverage) always
+    /// reproduces the serial answer, whichever executor it picks.
+    #[test]
+    fn auto_generalized_preserves_the_answer(
+        b in base_strategy(),
+        r in detail_strategy(),
+        blocks in blocks_strategy(),
+    ) {
+        let expected = run_blocks(&b, &r, &blocks, ExecStrategy::Serial, 64, Arc::new(ScanStats::new()));
+        let got = run_blocks(&b, &r, &blocks, ExecStrategy::Auto, 16, Arc::new(ScanStats::new()));
+        assert_rows_bit_identical(&expected, &got, "auto")?;
+    }
+
+    /// A condition set the batch layer cannot cover (Div in θ) delegates
+    /// *only itself*: covered sets in the same query still run batched with
+    /// zero fallbacks, and the uncovered set is tallied in
+    /// `gen_set_fallbacks` while the answer stays bit-identical.
+    #[test]
+    fn uncovered_set_delegates_only_itself(
+        b in base_strategy(),
+        r in detail_strategy(),
+        covered_shape in 0u8..6,
+    ) {
+        let blocks = vec![
+            Block::new(theta_pool(covered_shape), block_aggs(0)),
+            Block::new(theta_pool(7), block_aggs(1)),
+        ];
+        let expected = run_blocks(&b, &r, &blocks, ExecStrategy::Serial, 64, Arc::new(ScanStats::new()));
+        let stats = Arc::new(ScanStats::new());
+        let got = run_blocks(&b, &r, &blocks, ExecStrategy::Vectorized, 7, stats.clone());
+        assert_rows_bit_identical(&expected, &got, "mixed coverage")?;
+        prop_assert_eq!(stats.gen_sets(), 2);
+        if !r.is_empty() {
+            // `batches` tallies per (chunk × set): the covered set's share
+            // never falls back, the Div set's share always does.
+            prop_assert_eq!(stats.gen_set_fallbacks(), 1);
+            prop_assert_eq!(stats.batch_fallbacks() * 2, stats.batches());
+            prop_assert_eq!(stats.fallback_theta(), stats.batch_fallbacks());
+        }
+    }
+}
