@@ -13,6 +13,14 @@ fn bad_input(function: &str, v: &Value) -> AggError {
     }
 }
 
+/// Checked `i64` accumulation shared by `sum`/`count` updates and merges:
+/// overflow is a typed error, never a wrap (release) or panic (debug), so the
+/// scalar interpreter agrees with the chunked kernels on extreme inputs.
+#[inline]
+pub(crate) fn checked_acc(function: &'static str, acc: i64, v: i64) -> Result<i64> {
+    acc.checked_add(v).ok_or(AggError::Overflow { function })
+}
+
 // ---------------------------------------------------------------- count
 
 /// `count(*)` (counts every matching tuple) or `count(col)` (counts non-NULL
@@ -32,14 +40,14 @@ pub struct CountState {
 impl AggState for CountState {
     fn update(&mut self, v: &Value) -> Result<()> {
         if self.star || !v.is_null() {
-            self.n += 1;
+            self.n = checked_acc("count", self.n, 1)?;
         }
         Ok(())
     }
 
     fn merge(&mut self, other: &dyn AggState) -> Result<()> {
         let o = downcast_state::<CountState>(other, "CountState")?;
-        self.n += o.n;
+        self.n = checked_acc("count", self.n, o.n)?;
         Ok(())
     }
 
@@ -106,7 +114,7 @@ impl AggState for SumState {
         match v {
             Value::Null => Ok(()),
             Value::Int(i) => {
-                self.int_sum = self.int_sum.wrapping_add(*i);
+                self.int_sum = checked_acc("sum", self.int_sum, *i)?;
                 self.seen += 1;
                 Ok(())
             }
@@ -122,7 +130,7 @@ impl AggState for SumState {
 
     fn merge(&mut self, other: &dyn AggState) -> Result<()> {
         let o = downcast_state::<SumState>(other, "SumState")?;
-        self.int_sum = self.int_sum.wrapping_add(o.int_sum);
+        self.int_sum = checked_acc("sum", self.int_sum, o.int_sum)?;
         self.float_sum += o.float_sum;
         self.any_float |= o.any_float;
         self.seen += o.seen;

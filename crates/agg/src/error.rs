@@ -19,6 +19,10 @@ pub enum AggError {
     /// Roll-up adaptation requested for a non-distributive aggregate
     /// (Theorem 4.5 covers distributive aggregates only).
     NotRollupable(String),
+    /// `i64` accumulation overflowed (`sum`/`count`). Raised identically by
+    /// the scalar interpreter and the chunked/SIMD kernels so the two paths
+    /// cannot diverge on extreme inputs (wrap vs debug-panic).
+    Overflow { function: &'static str },
 }
 
 impl fmt::Display for AggError {
@@ -36,6 +40,9 @@ impl fmt::Display for AggError {
                 f,
                 "aggregate `{name}` is not distributive; Theorem 4.5 roll-up does not apply"
             ),
+            AggError::Overflow { function } => {
+                write!(f, "aggregate `{function}` overflowed 64-bit integer range")
+            }
         }
     }
 }

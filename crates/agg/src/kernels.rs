@@ -38,6 +38,7 @@
 //! `AggState` fallback. Detection is per *instance*, not per name, so a UDAF
 //! registered under the name `"sum"` is never mistaken for the builtin.
 
+use crate::builtins::checked_acc;
 use crate::error::{AggError, Result};
 use mdj_storage::Value;
 
@@ -337,20 +338,49 @@ impl KernelState {
     /// Fold a selection of an `i64` column: `sel` indexes into `vals`/`nulls`
     /// (parallel slices), `nulls[i]` true meaning the slot is SQL NULL. One
     /// call covers a whole (base-row, column) run.
-    pub fn update_ints(&mut self, vals: &[i64], nulls: &[bool], sel: &[u32]) {
+    ///
+    /// `sum`/`count` report `i64` overflow as [`AggError::Overflow`], at
+    /// exactly the value where the scalar interpreter's checked accumulation
+    /// would: strides that provably cannot overflow any prefix take the
+    /// branch-free reassociated reduction, everything else falls back to a
+    /// sequential checked fold in selection order.
+    pub fn update_ints(&mut self, vals: &[i64], nulls: &[bool], sel: &[u32]) -> Result<()> {
         match self {
             KernelState::Count { star, n } => {
-                if *star {
-                    *n += sel.len() as i64;
+                let add = if *star {
+                    sel.len() as i64
                 } else {
-                    *n += sel.iter().map(|&i| !nulls[i as usize] as i64).sum::<i64>();
-                }
+                    sel.iter().map(|&i| !nulls[i as usize] as i64).sum::<i64>()
+                };
+                *n = checked_acc("count", *n, add)?;
             }
             KernelState::Sum { int_sum, seen, .. } => {
                 let mut buf = [0i64; CHUNK];
                 for stride in sel.chunks(CHUNK) {
                     let kept = gather_ints(vals, nulls, stride, 0, &mut buf);
-                    *int_sum = int_sum.wrapping_add(reduce::sum_i64(&buf[..stride.len()]));
+                    let lanes = &buf[..stride.len()];
+                    // O(1) headroom guard: every prefix sum of the stride is
+                    // bounded by len·max|lane|, so if the accumulator ± that
+                    // span stays in range, no accumulation order can
+                    // overflow and the reassociated (SIMD) wrapping
+                    // reduction is exact.
+                    let big = reduce::max_i64(lanes)
+                        .unsigned_abs()
+                        .max(reduce::min_i64(lanes).unsigned_abs());
+                    let span = lanes.len() as i128 * big as i128;
+                    let acc = *int_sum as i128;
+                    if acc - span >= i64::MIN as i128 && acc + span <= i64::MAX as i128 {
+                        *int_sum = int_sum.wrapping_add(reduce::sum_i64(lanes));
+                    } else {
+                        // Checked fold in selection order: errors on the
+                        // same prefix the per-value path would (e.g.
+                        // [MAX, 1, -2] must fail despite an in-range total).
+                        let mut acc = *int_sum;
+                        for &x in lanes {
+                            acc = checked_acc("sum", acc, x)?;
+                        }
+                        *int_sum = acc;
+                    }
                     *seen += kept;
                 }
             }
@@ -399,17 +429,19 @@ impl KernelState {
                 }
             }
         }
+        Ok(())
     }
 
     /// Fold a selection of an `f64` column (see [`Self::update_ints`]).
-    pub fn update_floats(&mut self, vals: &[f64], nulls: &[bool], sel: &[u32]) {
+    pub fn update_floats(&mut self, vals: &[f64], nulls: &[bool], sel: &[u32]) -> Result<()> {
         match self {
             KernelState::Count { star, n } => {
-                if *star {
-                    *n += sel.len() as i64;
+                let add = if *star {
+                    sel.len() as i64
                 } else {
-                    *n += sel.iter().map(|&i| !nulls[i as usize] as i64).sum::<i64>();
-                }
+                    sel.iter().map(|&i| !nulls[i as usize] as i64).sum::<i64>()
+                };
+                *n = checked_acc("count", *n, add)?;
             }
             KernelState::Sum {
                 float_sum,
@@ -475,13 +507,16 @@ impl KernelState {
                 }
             }
         }
+        Ok(())
     }
 
     /// Count a run of `n` matching tuples for `count(*)` (no column input).
-    pub fn update_star(&mut self, count: u64) {
+    pub fn update_star(&mut self, count: u64) -> Result<()> {
         if let KernelState::Count { n, .. } = self {
-            *n += count as i64;
+            let add = i64::try_from(count).map_err(|_| AggError::Overflow { function: "count" })?;
+            *n = checked_acc("count", *n, add)?;
         }
+        Ok(())
     }
 
     /// Scalar fallback: fold one [`Value`], exactly like the builtin
@@ -491,7 +526,7 @@ impl KernelState {
         match self {
             KernelState::Count { star, n } => {
                 if *star || !v.is_null() {
-                    *n += 1;
+                    *n = checked_acc("count", *n, 1)?;
                 }
                 Ok(())
             }
@@ -503,7 +538,7 @@ impl KernelState {
             } => match v {
                 Value::Null => Ok(()),
                 Value::Int(i) => {
-                    *int_sum = int_sum.wrapping_add(*i);
+                    *int_sum = checked_acc("sum", *int_sum, *i)?;
                     *seen += 1;
                     Ok(())
                 }
@@ -629,20 +664,39 @@ mod tests {
         }
     }
 
+    /// Fold ints through the scalar path, stopping at the first error (the
+    /// executor aborts there too).
+    fn scalar_fold(agg: &dyn Aggregate, vals: &[i64], nulls: &[bool]) -> Result<Value> {
+        let mut boxed = agg.init();
+        for (&v, &is_null) in vals.iter().zip(nulls) {
+            let v = if is_null { Value::Null } else { Value::Int(v) };
+            boxed.update(&v)?;
+        }
+        Ok(boxed.finalize())
+    }
+
     #[test]
     fn update_ints_matches_per_value_path() {
+        // `i64::MAX` makes the sum overflow mid-scan: both paths must agree
+        // on the typed error, and on the bits for every other aggregate.
         let vals: Vec<i64> = vec![3, 0, -5, i64::MAX, 3, 9];
         let nulls = vec![false, true, false, false, false, true];
         let sel: Vec<u32> = (0..vals.len() as u32).collect();
         for (agg, kind) in builtins_and_kernels() {
-            let mut boxed = agg.init();
-            for (&v, &is_null) in vals.iter().zip(&nulls) {
-                let v = if is_null { Value::Null } else { Value::Int(v) };
-                boxed.update(&v).unwrap();
-            }
+            let scalar = scalar_fold(agg.as_ref(), &vals, &nulls);
             let mut kernel = kind.init();
-            kernel.update_ints(&vals, &nulls, &sel);
-            assert_eq!(boxed.finalize(), kernel.finalize(), "{}", agg.name());
+            let batched = kernel
+                .update_ints(&vals, &nulls, &sel)
+                .map(|()| kernel.finalize());
+            assert_eq!(scalar, batched, "{}", agg.name());
+        }
+        // Same walk with the extreme pulled back in range: value parity.
+        let safe: Vec<i64> = vec![3, 0, -5, i64::MAX / 2, 3, 9];
+        for (agg, kind) in builtins_and_kernels() {
+            let scalar = scalar_fold(agg.as_ref(), &safe, &nulls).unwrap();
+            let mut kernel = kind.init();
+            kernel.update_ints(&safe, &nulls, &sel).unwrap();
+            assert_eq!(scalar, kernel.finalize(), "{}", agg.name());
         }
     }
 
@@ -662,7 +716,7 @@ mod tests {
                 boxed.update(&v).unwrap();
             }
             let mut kernel = kind.init();
-            kernel.update_floats(&vals, &nulls, &sel);
+            kernel.update_floats(&vals, &nulls, &sel).unwrap();
             // Bit-identical, including NaN / signed-zero handling.
             assert_eq!(boxed.finalize(), kernel.finalize(), "{}", agg.name());
         }
@@ -676,10 +730,10 @@ mod tests {
         let sel: Vec<u32> = (0..100).collect();
         for (_, kind) in builtins_and_kernels() {
             let mut whole = kind.init();
-            whole.update_ints(&vals, &nulls, &sel);
+            whole.update_ints(&vals, &nulls, &sel).unwrap();
             let mut split = kind.init();
             for chunk in sel.chunks(7) {
-                split.update_ints(&vals, &nulls, chunk);
+                split.update_ints(&vals, &nulls, chunk).unwrap();
             }
             assert_eq!(whole.finalize(), split.finalize());
         }
@@ -711,22 +765,23 @@ mod tests {
         let nulls: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
         let sel: Vec<u32> = (0..n as u32).collect();
         for (agg, kind) in builtins_and_kernels() {
-            let mut boxed_i = agg.init();
+            // The extreme int walk overflows `sum` mid-scan: compare verdicts
+            // (typed error included), not just values.
+            let scalar_i = scalar_fold(agg.as_ref(), &ivals, &nulls);
+            let mut ki = kind.init();
+            let kernel_i = ki.update_ints(&ivals, &nulls, &sel).map(|()| ki.finalize());
+            assert_eq!(scalar_i, kernel_i, "ints {}", agg.name());
             let mut boxed_f = agg.init();
             for i in 0..n {
-                let (vi, vf) = if nulls[i] {
-                    (Value::Null, Value::Null)
+                let vf = if nulls[i] {
+                    Value::Null
                 } else {
-                    (Value::Int(ivals[i]), Value::Float(fvals[i]))
+                    Value::Float(fvals[i])
                 };
-                boxed_i.update(&vi).unwrap();
                 boxed_f.update(&vf).unwrap();
             }
-            let mut ki = kind.init();
-            ki.update_ints(&ivals, &nulls, &sel);
-            assert_eq!(boxed_i.finalize(), ki.finalize(), "ints {}", agg.name());
             let mut kf = kind.init();
-            kf.update_floats(&fvals, &nulls, &sel);
+            kf.update_floats(&fvals, &nulls, &sel).unwrap();
             let (a, b) = (boxed_f.finalize(), kf.finalize());
             match (&a, &b) {
                 // NaN != NaN under PartialEq; require bit identity instead.
@@ -745,7 +800,7 @@ mod tests {
         let sel: Vec<u32> = (0..vals.len() as u32).collect();
         for (_, kind) in builtins_and_kernels() {
             let mut k = kind.init();
-            k.update_ints(&vals, &nulls, &sel);
+            k.update_ints(&vals, &nulls, &sel).unwrap();
             let expected = match kind {
                 // count(*) counts NULLs too.
                 KernelKind::Count { star: true } => Value::Int(sel.len() as i64),

@@ -1,0 +1,142 @@
+//! Overflow-unification properties: the scalar interpreter (`AggState`) and
+//! the chunked/SIMD kernels (`KernelState`) must agree *exactly* on `i64`
+//! overflow — same typed error on the same inputs, same bits when no prefix
+//! overflows. Before this suite the kernels wrapped silently where the
+//! scalar path would have panicked in debug builds.
+
+use mdj_agg::builtins::{Count, Sum};
+use mdj_agg::kernels::{KernelKind, CHUNK};
+use mdj_agg::{AggError, Aggregate};
+use mdj_storage::Value;
+use proptest::prelude::*;
+
+/// Fold `vals` through the scalar builtin, stopping at the first error.
+fn scalar_sum(vals: &[Option<i64>]) -> Result<Value, AggError> {
+    let mut s = Sum.init();
+    for v in vals {
+        let v = v.map_or(Value::Null, Value::Int);
+        s.update(&v)?;
+    }
+    Ok(s.finalize())
+}
+
+/// Fold the same values through the chunked kernel in one batch call.
+fn kernel_sum(vals: &[Option<i64>]) -> Result<Value, AggError> {
+    let ints: Vec<i64> = vals.iter().map(|v| v.unwrap_or(0)).collect();
+    let nulls: Vec<bool> = vals.iter().map(Option::is_none).collect();
+    let sel: Vec<u32> = (0..vals.len() as u32).collect();
+    let mut k = KernelKind::Sum.init();
+    k.update_ints(&ints, &nulls, &sel)?;
+    Ok(k.finalize())
+}
+
+/// Values biased hard toward the overflow boundary: ±i64::MAX, ±(i64::MAX-1),
+/// halves of the range, small offsets, and NULLs.
+fn edge_value() -> impl Strategy<Value = Option<i64>> {
+    prop_oneof![
+        3 => prop_oneof![
+            Just(i64::MAX),
+            Just(i64::MIN),
+            Just(i64::MAX - 1),
+            Just(i64::MIN + 1),
+            Just(i64::MAX / 2),
+            Just(i64::MIN / 2),
+        ].prop_map(Some),
+        2 => (-16i64..=16).prop_map(Some),
+        1 => Just(None),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Serial and chunked sum agree on verdict (overflow error vs success)
+    /// and, on success, on the exact finalized bits.
+    #[test]
+    fn sum_overflow_verdict_and_bits_match(vals in proptest::collection::vec(edge_value(), 0..(2 * CHUNK))) {
+        let a = scalar_sum(&vals);
+        let b = kernel_sum(&vals);
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(AggError::Overflow { function: fa }), Err(AggError::Overflow { function: fb })) => {
+                prop_assert_eq!(fa, fb);
+            }
+            (a, b) => prop_assert!(false, "verdicts diverged: scalar={a:?} kernel={b:?}"),
+        }
+    }
+
+    /// Splitting the selection into arbitrary batch boundaries never changes
+    /// the verdict or the bits (the guard's fast/checked split is invisible).
+    #[test]
+    fn sum_batch_splits_are_invisible(
+        vals in proptest::collection::vec(edge_value(), 1..(2 * CHUNK)),
+        split in 1usize..(2 * CHUNK),
+    ) {
+        let ints: Vec<i64> = vals.iter().map(|v| v.unwrap_or(0)).collect();
+        let nulls: Vec<bool> = vals.iter().map(Option::is_none).collect();
+        let sel: Vec<u32> = (0..vals.len() as u32).collect();
+        let mut whole = KernelKind::Sum.init();
+        let whole_res = whole.update_ints(&ints, &nulls, &sel);
+        let mut split_state = KernelKind::Sum.init();
+        let mut split_res = Ok(());
+        for chunk in sel.chunks(split.min(sel.len())) {
+            split_res = split_state.update_ints(&ints, &nulls, chunk);
+            if split_res.is_err() {
+                break;
+            }
+        }
+        prop_assert_eq!(whole_res.is_err(), split_res.is_err());
+        if whole_res.is_ok() {
+            prop_assert_eq!(whole.finalize(), split_state.finalize());
+        }
+    }
+}
+
+#[test]
+fn prefix_overflow_errors_even_when_total_is_in_range() {
+    // [MAX, 1, -2] sums to MAX-1 but the prefix MAX+1 overflows: both paths
+    // must reject it identically.
+    let vals = vec![Some(i64::MAX), Some(1), Some(-2)];
+    assert!(matches!(
+        scalar_sum(&vals),
+        Err(AggError::Overflow { function: "sum" })
+    ));
+    assert!(matches!(
+        kernel_sum(&vals),
+        Err(AggError::Overflow { function: "sum" })
+    ));
+}
+
+#[test]
+fn extreme_but_safe_walk_is_exact_on_both_paths() {
+    // Prefixes touch MAX and 0 without ever leaving the range.
+    let vals = vec![Some(i64::MAX), Some(-i64::MAX), Some(i64::MAX - 5), Some(5)];
+    assert_eq!(scalar_sum(&vals).unwrap(), Value::Int(i64::MAX));
+    assert_eq!(kernel_sum(&vals).unwrap(), Value::Int(i64::MAX));
+}
+
+#[test]
+fn count_overflow_is_typed() {
+    // Drive the kernel accumulator to the boundary directly: i64::MAX - 2
+    // matched tuples, then 3 more overflows.
+    let mut k = KernelKind::Count { star: true }.init();
+    k.update_star(i64::MAX as u64 - 2).unwrap();
+    assert!(matches!(
+        k.update_star(3),
+        Err(AggError::Overflow { function: "count" })
+    ));
+    // u64 run counts beyond i64 range are rejected up front.
+    let mut k2 = KernelKind::Count { star: true }.init();
+    assert!(matches!(
+        k2.update_star(u64::MAX),
+        Err(AggError::Overflow { function: "count" })
+    ));
+    assert_eq!(
+        AggError::Overflow { function: "count" }.to_string(),
+        "aggregate `count` overflowed 64-bit integer range"
+    );
+    // The ordinary path still counts (Count stays importable and typed).
+    let mut c = Count { star: true }.init();
+    c.update(&Value::Null).unwrap();
+    assert_eq!(c.finalize(), Value::Int(1));
+}

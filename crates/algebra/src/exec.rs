@@ -84,6 +84,9 @@ pub fn execute(plan: &Plan, catalog: &Catalog, ctx: &ExecContext) -> Result<Rela
             aggs,
             theta,
         } => {
+            if let Some(out) = try_cached_cuboid(base, detail, aggs, theta, catalog, ctx)? {
+                return Ok(out);
+            }
             let b = execute(base, catalog, ctx)?;
             let r = execute(detail, catalog, ctx)?;
             Ok(MdJoin::new(&b, &r)
@@ -154,6 +157,75 @@ pub fn execute(plan: &Plan, catalog: &Catalog, ctx: &ExecContext) -> Result<Rela
                 .map(|row| Row::new(row.key(&keep_idx)))
                 .collect();
             Ok(Relation::from_rows(schema, rows))
+        }
+    }
+}
+
+/// The cuboid-cache fast path for the canonical group-by shape
+/// `MD(γ_dims(T), T, l, θ_dims)`: exact repeats are answered from the cached
+/// result, coarser queries roll up from a finer cached cuboid (Theorem 4.5),
+/// and misses execute once and become resident. Returns `None` (fall through
+/// to ordinary execution) when no cache is configured or the plan is not in
+/// canonical form.
+fn try_cached_cuboid(
+    base: &Plan,
+    detail: &Plan,
+    aggs: &[mdj_agg::AggSpec],
+    theta: &mdj_expr::Expr,
+    catalog: &Catalog,
+    ctx: &ExecContext,
+) -> Result<Option<Relation>> {
+    use mdj_core::cache::{cuboid_theta, CacheAnswer, CuboidRequest};
+    let Some(cache) = ctx.cuboid_cache() else {
+        return Ok(None);
+    };
+    let (
+        Plan::Table(detail_name),
+        Plan::Base {
+            input,
+            shape: crate::plan::BaseShape::GroupBy(dims),
+        },
+    ) = (detail, base)
+    else {
+        return Ok(None);
+    };
+    let Plan::Table(base_name) = input.as_ref() else {
+        return Ok(None);
+    };
+    if base_name != detail_name || *theta != cuboid_theta(dims) {
+        return Ok(None);
+    }
+    // Resolve the *shared* Arc so the cache's pointer-identity validity test
+    // sees the same allocation on every repeat of the query.
+    let detail_rel = catalog.get(detail_name)?;
+    let req = CuboidRequest::new(detail_name.clone(), dims.clone(), aggs.to_vec());
+    match cache.lookup(&req, &detail_rel, ctx)? {
+        CacheAnswer::Exact(rel) => {
+            if let Some(stats) = ctx.stats() {
+                stats.record_cache_hit();
+            }
+            Ok(Some(rel.as_ref().clone()))
+        }
+        CacheAnswer::Rollup(rel) => {
+            if let Some(stats) = ctx.stats() {
+                stats.record_cache_rollup_hit();
+            }
+            Ok(Some(rel.as_ref().clone()))
+        }
+        CacheAnswer::Miss => {
+            if let Some(stats) = ctx.stats() {
+                stats.record_cache_miss();
+            }
+            let dim_refs: Vec<&str> = dims.iter().map(String::as_str).collect();
+            let b = basevalues::group_by(&detail_rel, &dim_refs)?;
+            let out = MdJoin::new(&b, &detail_rel)
+                .aggs(aggs)
+                .theta(theta.clone())
+                .strategy(ExecStrategy::Serial)
+                .run(ctx)?;
+            let shared = std::sync::Arc::new(out);
+            cache.insert(&req, &detail_rel, shared.clone());
+            Ok(Some(shared.as_ref().clone()))
         }
     }
 }
@@ -324,6 +396,68 @@ mod tests {
         assert!(serial.same_multiset(&par));
         // The morsel executor reported per-worker counters.
         assert_eq!(stats.workers().len(), 2);
+    }
+
+    #[test]
+    fn cuboid_cache_serves_repeats_and_rollups() {
+        use mdj_core::EngineConfig;
+        use mdj_storage::ScanStats;
+        use std::sync::Arc;
+        let cat = catalog();
+        let engine = EngineConfig::new().with_cuboid_cache(1 << 20).build();
+        let stats = Arc::new(ScanStats::new());
+        let ctx = mdj_core::ExecContext::from_parts(
+            engine,
+            mdj_core::QueryCtx::new().with_stats(stats.clone()),
+        );
+        let fine = Plan::table("Sales")
+            .group_by_base(&["cust", "month"])
+            .md_join(
+                Plan::table("Sales"),
+                vec![AggSpec::on_column("sum", "sale"), AggSpec::count_star()],
+                and(
+                    eq(col_b("cust"), col_r("cust")),
+                    eq(col_b("month"), col_r("month")),
+                ),
+            );
+        let cold = execute(&fine, &cat, &ctx).unwrap();
+        assert_eq!(stats.cache_misses(), 1);
+        let warm = execute(&fine, &cat, &ctx).unwrap();
+        assert_eq!(stats.cache_hits(), 1);
+        assert_eq!(cold.rows(), warm.rows());
+        // A coarser query rolls up from the cached finer cuboid.
+        let coarse = Plan::table("Sales").group_by_base(&["cust"]).md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::on_column("sum", "sale"), AggSpec::count_star()],
+            eq(col_b("cust"), col_r("cust")),
+        );
+        let rolled = execute(&coarse, &cat, &ctx).unwrap();
+        assert_eq!(stats.cache_rollup_hits(), 1);
+        let direct = execute(&coarse, &cat, &mdj_core::ExecContext::new()).unwrap();
+        assert!(direct.same_multiset(&rolled));
+        // Non-canonical θ (extra predicate) bypasses the cache entirely.
+        let filtered = Plan::table("Sales").group_by_base(&["cust"]).md_join(
+            Plan::table("Sales"),
+            vec![AggSpec::count_star()],
+            and(
+                eq(col_b("cust"), col_r("cust")),
+                eq(col_r("state"), lit("NY")),
+            ),
+        );
+        let (h, rh, m) = (
+            stats.cache_hits(),
+            stats.cache_rollup_hits(),
+            stats.cache_misses(),
+        );
+        execute(&filtered, &cat, &ctx).unwrap();
+        assert_eq!(
+            (
+                stats.cache_hits(),
+                stats.cache_rollup_hits(),
+                stats.cache_misses()
+            ),
+            (h, rh, m)
+        );
     }
 
     #[test]

@@ -71,6 +71,17 @@ pub fn explain_with_stats(plan: &Plan, stats: &StatsSnapshot) -> String {
             stats.spill_partitions, stats.bytes_spilled, stats.spill_read_bytes
         );
     }
+    if stats.cache_active() {
+        let _ = writeln!(
+            out,
+            "-- cache: hits={} rollup_hits={} misses={} invalidations={} ingest_batches={}",
+            stats.cache_hits,
+            stats.cache_rollup_hits,
+            stats.cache_misses,
+            stats.cache_invalidations,
+            stats.ingest_batches
+        );
+    }
     for w in &stats.workers {
         let _ = writeln!(out, "--   {w}");
     }
@@ -236,6 +247,11 @@ mod tests {
             auto_decisions: 0,
             auto_coverage_permille: 0,
             auto_batched: false,
+            cache_hits: 0,
+            cache_rollup_hits: 0,
+            cache_misses: 0,
+            cache_invalidations: 0,
+            ingest_batches: 0,
             workers: vec![
                 WorkerStats {
                     worker: 0,
@@ -325,5 +341,20 @@ mod tests {
         };
         let s = explain_with_stats(&plan, &spilled);
         assert!(s.contains("-- spill: partitions=4 bytes_spilled=8192 read_bytes=8192"));
+        // Cache counters are silent while the cache never engaged...
+        assert!(!s.contains("cache:"));
+        // ...and rendered once any cache or ingest activity is counted.
+        let cached = StatsSnapshot {
+            cache_hits: 3,
+            cache_rollup_hits: 1,
+            cache_misses: 2,
+            cache_invalidations: 4,
+            ingest_batches: 5,
+            ..spilled
+        };
+        let s = explain_with_stats(&plan, &cached);
+        assert!(
+            s.contains("-- cache: hits=3 rollup_hits=1 misses=2 invalidations=4 ingest_batches=5")
+        );
     }
 }

@@ -22,10 +22,15 @@
 //!                   shed with `idle_timeout` (default 60000; 0 = none)
 //!   --drain MS      graceful-shutdown drain deadline: in-flight queries
 //!                   get this long before being cancelled (default 5000)
+//!   --cache MIB     cuboid result cache budget in MiB; repeated canonical
+//!                   group-by MD-joins are answered from memory, coarser
+//!                   ones roll up from finer cached cuboids, and `ingest`
+//!                   batches maintain distributive entries incrementally
+//!                   (default 64; 0 = disabled)
 //!   --self-test     boot on an ephemeral port, run a scripted smoke
 //!                   session (ping/open/prepare/execute/cancel/shed/
-//!                   oversized-frame/crash-recovery/shutdown) against the
-//!                   real socket, and exit nonzero on failure
+//!                   oversized-frame/crash-recovery/ingest/cache/shutdown)
+//!                   against the real socket, and exit nonzero on failure
 //! ```
 //!
 //! On startup the engine sweeps its spill directory for orphaned run files
@@ -56,6 +61,7 @@ struct Args {
     max_conns: usize,
     read_timeout_ms: u64,
     drain_ms: u64,
+    cache_mib: usize,
     self_test: bool,
 }
 
@@ -72,6 +78,7 @@ impl Default for Args {
             max_conns: 64,
             read_timeout_ms: 60_000,
             drain_ms: 5_000,
+            cache_mib: 64,
             self_test: false,
         }
     }
@@ -110,9 +117,10 @@ fn parse_args() -> Args {
             "--max-conns" => args.max_conns = numeric("--max-conns") as usize,
             "--read-timeout" => args.read_timeout_ms = numeric("--read-timeout"),
             "--drain" => args.drain_ms = numeric("--drain"),
+            "--cache" => args.cache_mib = numeric("--cache") as usize,
             "--self-test" => args.self_test = true,
             "--help" | "-h" => {
-                println!("usage: mdjd [--port N] [--rows N] [--pool BYTES] [--budget BYTES] [--queue N] [--wait MS] [--deadline MS] [--max-conns N] [--read-timeout MS] [--drain MS] [--self-test]");
+                println!("usage: mdjd [--port N] [--rows N] [--pool BYTES] [--budget BYTES] [--queue N] [--wait MS] [--deadline MS] [--max-conns N] [--read-timeout MS] [--drain MS] [--cache MIB] [--self-test]");
                 std::process::exit(0);
             }
             other => die(&format!("unknown flag `{other}` (try --help)")),
@@ -130,10 +138,14 @@ fn build_service(args: &Args) -> Arc<QueryService> {
     let sales = mdj_datagen::sales(&mdj_datagen::SalesConfig::default().with_rows(args.rows));
     let payments =
         mdj_datagen::payments(&mdj_datagen::PaymentsConfig::default().with_rows(args.rows));
-    let engine = EngineConfig::new()
+    let mut engine = EngineConfig::new()
         .register_table("Sales", sales)
-        .register_table("Payments", payments)
-        .build();
+        .register_table("Payments", payments);
+    // `--cache 0` disables the cuboid cache entirely.
+    if args.cache_mib > 0 {
+        engine = engine.with_cuboid_cache(args.cache_mib << 20);
+    }
+    let engine = engine.build();
     let config = ServiceConfig {
         pool_bytes: args.pool,
         default_budget: args.budget,
@@ -434,6 +446,41 @@ mod self_test {
             eprintln!("mdjd self-test FAILED: pool not drained");
             std::process::exit(1);
         }
+
+        // Cuboid cache smoke: a canonical group-by MD-join repeated on a
+        // fresh session — the repeat must be a cache hit, and an ingested
+        // batch must be folded into the resident entry (Algorithm 3.1)
+        // rather than invalidating it.
+        let resp = c.send(r#"{"op":"open"}"#);
+        let sid3 = int_field(&resp, "session");
+        let cube_q = format!(
+            r#"{{"op":"query","session":{sid3},"sql":"select cust, sum(sale), count(*) from Sales group by cust"}}"#
+        );
+        check("cache cold query", &c.send(&cube_q), "\"ok\":true");
+        check("cache warm query", &c.send(&cube_q), "\"ok\":true");
+        let resp = c.send(r#"{"op":"stats"}"#);
+        if int_field(&resp, "cache_hits") < 1 || int_field(&resp, "cache_entries") < 1 {
+            eprintln!("mdjd self-test FAILED: warm repeat did not hit the cuboid cache: {resp}");
+            std::process::exit(1);
+        }
+        println!("ok: cuboid cache hit on warm repeat");
+        let resp = c.send(&format!(
+            r#"{{"op":"ingest","session":{sid3},"table":"Sales","rows":[[1,1,1,1,2024,"NY",5.0],[1,2,2,1,2024,"NY",7.0]]}}"#
+        ));
+        check("ingest maintains cache", &resp, "\"cache_maintained\":1");
+        check("ingest rows", &resp, "\"rows\":2");
+        check("warm after ingest", &c.send(&cube_q), "\"ok\":true");
+        let resp = c.send(r#"{"op":"stats"}"#);
+        if int_field(&resp, "ingest_batches") < 1 || int_field(&resp, "cache_hits") < 2 {
+            eprintln!("mdjd self-test FAILED: maintained entry did not serve post-ingest: {resp}");
+            std::process::exit(1);
+        }
+        println!("ok: ingest maintained the cached cuboid");
+        check(
+            "close cache session",
+            &c.send(&format!(r#"{{"op":"close","session":{sid3}}}"#)),
+            "\"ok\":true",
+        );
 
         // Graceful shutdown: the wire op flips the drain flag, new queries
         // are shed with `shutting_down`, and the drain verifies the pool.

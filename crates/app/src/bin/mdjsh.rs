@@ -149,7 +149,7 @@ fn meta_command(meta: &str, engine: &mut SqlEngine, timeout: &mut Option<Duratio
         },
         Some("tables") => {
             for name in engine.catalog.names() {
-                let rel = engine.catalog.get(name).expect("listed name resolves");
+                let rel = engine.catalog.get(&name).expect("listed name resolves");
                 println!("  {name}  ({} rows) {}", rel.len(), rel.schema());
             }
         }

@@ -38,7 +38,7 @@ fn kernels(c: &mut Criterion) {
             |bch, kind| {
                 bch.iter(|| {
                     let mut state = kind.init();
-                    state.update_ints(&ints, &nulls, &sel);
+                    state.update_ints(&ints, &nulls, &sel).unwrap();
                     state.finalize()
                 })
             },
@@ -49,7 +49,7 @@ fn kernels(c: &mut Criterion) {
             |bch, kind| {
                 bch.iter(|| {
                     let mut state = kind.init();
-                    state.update_floats(&floats, &nulls, &sel);
+                    state.update_floats(&floats, &nulls, &sel).unwrap();
                     state.finalize()
                 })
             },

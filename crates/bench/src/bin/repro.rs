@@ -17,20 +17,24 @@
 //! With `--json <path>` the run also emits a machine-readable baseline: one
 //! entry per experiment with its wall time, plus per-variant entries carrying
 //! the machine-independent work counters (scans / tuples / probes / updates /
-//! batches, and the spill counters) for the vectorized-vs-scalar ablation
-//! (E11) and the degradation ablation (E12). Baselines are sparse: `--check`
-//! compares each entry pair over the counters both sides carry, so baselines
-//! committed before a counter existed (`BENCH_0.json`, `BENCH_1.json`) keep
-//! gating theirs while `BENCH_2.json` also gates the spill counters. CI's
-//! perf-smoke job uploads a fresh baseline per run so counter regressions
-//! show up as a diff, not a flaky threshold.
+//! batches, the spill counters, and the cuboid-cache/ingest counters) for
+//! the vectorized-vs-scalar ablation (E11), the degradation ablation (E12),
+//! and the cache replay (E13). Baselines are sparse in one direction only:
+//! a baseline committed before a counter existed (`BENCH_0.json`,
+//! `BENCH_1.json`) gates just the counters it carries, while `BENCH_2.json`
+//! adds the spill counters and `BENCH_4.json` the cache counters — but every
+//! counter and entry a baseline *does* carry must still be present in the
+//! new run, and a disappearing one fails with an explicit missing-counter
+//! diff (a vanished gate is itself a regression). CI's perf-smoke job
+//! uploads a fresh baseline per run so counter regressions show up as a
+//! diff, not a flaky threshold.
 
 use mdj_agg::{AggSpec, Registry};
 use mdj_algebra::rules::{coalesce::detail_scan_count, coalesce_chains};
 use mdj_algebra::{execute, Plan};
 use mdj_bench::{bench_payments, bench_sales, bench_sales_zipf, tristate_blocks};
-use mdj_core::basevalues::{cube, cube_match_theta};
-use mdj_core::{Block, ExecContext, ExecStrategy, MdJoin, ProbeStrategy};
+use mdj_core::basevalues::{cube, cube_match_theta, cuboid_theta};
+use mdj_core::{Block, EngineConfig, ExecContext, ExecStrategy, MdJoin, ProbeStrategy, QueryCtx};
 use mdj_cube::naive::{cube_per_cuboid, cube_via_wildcard_theta};
 use mdj_cube::partitioned::cube_partitioned;
 use mdj_cube::pipesort::{build_pipelines, cube_pipesort, sort_count};
@@ -38,7 +42,7 @@ use mdj_cube::rollup_chain::cube_rollup_chain;
 use mdj_cube::CubeSpec;
 use mdj_expr::builder::*;
 use mdj_expr::Expr;
-use mdj_storage::{Catalog, Relation, ScanStats, SortedIndex, Value};
+use mdj_storage::{Catalog, DataType, Relation, Row, ScanStats, Schema, SortedIndex, Value};
 use std::ops::Bound;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -111,6 +115,11 @@ struct JsonCounters {
     fallback_agg: u64,
     gen_sets: u64,
     gen_set_fallbacks: u64,
+    cache_hits: u64,
+    cache_rollup_hits: u64,
+    cache_misses: u64,
+    cache_invalidations: u64,
+    ingest_batches: u64,
 }
 
 static JSON_ENTRIES: std::sync::Mutex<Vec<JsonEntry>> = std::sync::Mutex::new(Vec::new());
@@ -143,6 +152,11 @@ fn record_counters(name: impl Into<String>, wall: Duration, stats: &ScanStats) {
             fallback_agg: stats.fallback_agg(),
             gen_sets: stats.gen_sets(),
             gen_set_fallbacks: stats.gen_set_fallbacks(),
+            cache_hits: stats.cache_hits(),
+            cache_rollup_hits: stats.cache_rollup_hits(),
+            cache_misses: stats.cache_misses(),
+            cache_invalidations: stats.cache_invalidations(),
+            ingest_batches: stats.ingest_batches(),
         }),
     });
 }
@@ -187,7 +201,10 @@ fn write_json(path: &str, quick: bool) -> std::io::Result<()> {
                  \"spill_partitions\": {}, \"spill_read_bytes\": {}, \
                  \"fallback_theta\": {}, \"fallback_prefilter\": {}, \
                  \"fallback_key\": {}, \"fallback_agg\": {}, \
-                 \"gen_sets\": {}, \"gen_set_fallbacks\": {}",
+                 \"gen_sets\": {}, \"gen_set_fallbacks\": {}, \
+                 \"cache_hits\": {}, \"cache_rollup_hits\": {}, \
+                 \"cache_misses\": {}, \"cache_invalidations\": {}, \
+                 \"ingest_batches\": {}",
                 c.scans,
                 c.tuples,
                 c.probes,
@@ -202,7 +219,12 @@ fn write_json(path: &str, quick: bool) -> std::io::Result<()> {
                 c.fallback_key,
                 c.fallback_agg,
                 c.gen_sets,
-                c.gen_set_fallbacks
+                c.gen_set_fallbacks,
+                c.cache_hits,
+                c.cache_rollup_hits,
+                c.cache_misses,
+                c.cache_invalidations,
+                c.ingest_batches
             ));
         }
         s.push_str(if i + 1 == entries.len() {
@@ -218,10 +240,12 @@ fn write_json(path: &str, quick: bool) -> std::io::Result<()> {
 /// The machine-independent work counters a baseline entry *may* carry, in
 /// the order they appear in the JSON. Wall time is deliberately not here: it
 /// is machine-dependent and never gates CI. Entries are sparse — a baseline
-/// written before a counter existed simply omits it, and `--check` compares
-/// over the per-entry key intersection, so growing this list never
-/// invalidates committed baselines.
-const CHECK_COUNTERS: [&str; 15] = [
+/// written before a counter existed simply omits it and gates only the
+/// counters it has, so growing this list never invalidates committed
+/// baselines. The reverse is NOT tolerated: every counter (and every entry)
+/// a baseline carries must still be present in the new run — a counter that
+/// disappears is a lost gate, not a clean pass (see [`compare_entries`]).
+const CHECK_COUNTERS: [&str; 20] = [
     "scans",
     "tuples",
     "probes",
@@ -237,6 +261,11 @@ const CHECK_COUNTERS: [&str; 15] = [
     "fallback_agg",
     "gen_sets",
     "gen_set_fallbacks",
+    "cache_hits",
+    "cache_rollup_hits",
+    "cache_misses",
+    "cache_invalidations",
+    "ingest_batches",
 ];
 
 /// One parsed baseline entry (`--check` mode): the counters it carries, as
@@ -319,27 +348,38 @@ fn parse_baseline(text: &str) -> Vec<CheckEntry> {
     out
 }
 
-/// Diff two parsed baselines over their common entry names, comparing each
-/// pair over the *intersection* of the counters both sides carry — so a
-/// baseline committed before a counter existed keeps gating the counters it
-/// has. Any counter that *grew* is a regression: the counters are exact and
+/// Diff two parsed baselines. A baseline may carry *fewer* counters than the
+/// new run (it was committed before those counters existed) and it gates
+/// only the counters it has; entries that exist only in the new run are new
+/// coverage and pass freely. The other direction is a failure, not a skip:
+/// an entry or counter the baseline carries but the new run lacks means a
+/// gate silently disappeared — exactly the regression `--check` exists to
+/// catch — so it is reported with an explicit missing-counter diff. Any
+/// shared counter that *grew* is a regression: the counters are exact and
 /// deterministic, so more probes/updates/spilled-bytes means the engine is
 /// doing more work (or falling back) on a shape it used to cover.
 fn compare_entries(new: &[CheckEntry], baseline: &[CheckEntry]) -> Vec<String> {
     let mut regressions = Vec::new();
     for base in baseline {
         let Some(cur) = new.iter().find(|e| e.name == base.name) else {
+            regressions.push(format!(
+                "{}: entry missing from the new run ({} baseline counters no longer gated)",
+                base.name,
+                base.counters.len()
+            ));
             continue;
         };
         for &(i, base_v) in &base.counters {
-            let Some(&(_, cur_v)) = cur.counters.iter().find(|(j, _)| *j == i) else {
-                continue;
-            };
-            if cur_v > base_v {
-                regressions.push(format!(
+            match cur.counters.iter().find(|(j, _)| *j == i) {
+                None => regressions.push(format!(
+                    "{}: {} missing from the new run (baseline gates it at {})",
+                    base.name, CHECK_COUNTERS[i], base_v
+                )),
+                Some(&(_, cur_v)) if cur_v > base_v => regressions.push(format!(
                     "{}: {} regressed {} -> {}",
                     base.name, CHECK_COUNTERS[i], base_v, cur_v
-                ));
+                )),
+                Some(_) => {}
             }
         }
     }
@@ -439,7 +479,7 @@ fn main() {
     println!("# MD-join reproduction — experiment tables");
     println!("\n(quick = {quick}; sizes scale with the flag — shapes are invariant)");
     type Experiment = (&'static str, fn(usize));
-    let experiments: [Experiment; 12] = [
+    let experiments: [Experiment; 13] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -452,6 +492,7 @@ fn main() {
         ("e10", e10),
         ("e11", e11),
         ("e12", e12),
+        ("e13", e13),
     ];
     for (name, f) in experiments {
         if only.as_deref().is_some_and(|o| o != name) {
@@ -1504,6 +1545,186 @@ fn e12(scale: usize) {
     let _ = std::fs::remove_dir(&spill_dir);
 }
 
+/// `bench_sales` with the measure re-typed to integer cents. Theorem 4.5
+/// roll-up re-associates the sum, which is bit-transparent on `Int` but not
+/// on `Float` — so E13's cached-vs-direct equivalences can assert exact
+/// equality instead of a tolerance.
+fn int_cents_sales(rows: usize, customers: usize) -> Relation {
+    let src = bench_sales(rows, customers);
+    let schema = Schema::from_pairs(&[
+        ("cust", DataType::Int),
+        ("prod", DataType::Int),
+        ("day", DataType::Int),
+        ("month", DataType::Int),
+        ("year", DataType::Int),
+        ("state", DataType::Str),
+        ("cents", DataType::Int),
+    ]);
+    let rows = src
+        .iter()
+        .map(|row| {
+            let mut vals = row.0.clone();
+            let last = vals.len() - 1;
+            if let Value::Float(f) = vals[last] {
+                vals[last] = Value::Int((f * 100.0).round() as i64);
+            }
+            Row::new(vals)
+        })
+        .collect();
+    Relation::from_rows(schema, rows)
+}
+
+fn e13(scale: usize) {
+    let sales = int_cents_sales(40_000 * scale, 1_000);
+    let engine = EngineConfig::new()
+        .register_table("Sales", sales)
+        .with_cuboid_cache(64 << 20)
+        .build();
+    let cat = engine.catalog();
+    header(
+        "E13 — dashboard replay over the cuboid cache: a repeated fine query is \
+         served from cache, a coarser query rolls up from the cached finer \
+         cuboid (Theorem 4.5), and an appended batch is folded into the \
+         resident cuboid in place (Algorithm 3.1) so the refreshed answer \
+         never rescans R",
+        &[
+            "step",
+            "time (ms)",
+            "rows",
+            "hits",
+            "rollup hits",
+            "misses",
+            "ingest batches",
+        ],
+    );
+    let l = vec![AggSpec::on_column("sum", "cents"), AggSpec::count_star()];
+    let fine = Plan::table("Sales")
+        .group_by_base(&["cust", "month"])
+        .md_join(
+            Plan::table("Sales"),
+            l.clone(),
+            cuboid_theta(&["cust", "month"]),
+        );
+    let coarse = Plan::table("Sales").group_by_base(&["cust"]).md_join(
+        Plan::table("Sales"),
+        l.clone(),
+        cuboid_theta(&["cust"]),
+    );
+    let ctx_with = |stats: &Arc<ScanStats>| {
+        ExecContext::from_parts(engine.clone(), QueryCtx::new().with_stats(stats.clone()))
+    };
+    let step = |label: &str, slug: &str, t: Duration, out: &Relation, stats: &Arc<ScanStats>| {
+        println!(
+            "| {label} | {} | {} | {} | {} | {} | {} |",
+            ms(t),
+            out.len(),
+            stats.cache_hits(),
+            stats.cache_rollup_hits(),
+            stats.cache_misses(),
+            stats.ingest_batches()
+        );
+        record_counters(format!("e13/{slug}"), t, stats);
+    };
+
+    // Cold: computes the (cust, month) cuboid and caches it.
+    let s_cold = Arc::new(ScanStats::new());
+    let t0 = Instant::now();
+    let cold = execute(&fine, cat, &ctx_with(&s_cold)).unwrap();
+    let t_cold = t0.elapsed();
+    assert_eq!(s_cold.cache_misses(), 1, "E13 cold run must miss");
+    step("cold (computes + caches)", "cold", t_cold, &cold, &s_cold);
+
+    // Warm: the identical query is answered from the cache — bit-identical
+    // to both the cold answer and an uncached execution, and ≥10× faster
+    // than the cold computation even at --quick sizes.
+    let s_warm = Arc::new(ScanStats::new());
+    let warm_ctx = ctx_with(&s_warm);
+    let (t_warm, warm) = time(|| execute(&fine, cat, &warm_ctx).unwrap());
+    assert!(s_warm.cache_hits() >= 1, "E13 warm run must hit");
+    assert!(warm.same_multiset(&cold), "E13 warm != cold");
+    let direct = execute(&fine, cat, &ExecContext::new()).unwrap();
+    assert!(warm.same_multiset(&direct), "E13 cached != uncached");
+    assert!(
+        t_warm * 10 <= t_cold,
+        "E13 warm re-answer not 10x faster: cold {t_cold:?}, warm {t_warm:?}"
+    );
+    step("warm repeat (cache hit)", "warm", t_warm, &warm, &s_warm);
+
+    // Roll-up: the coarser (cust) cuboid is adapted from the cached finer
+    // one — sum stays sum, count re-aggregates as sum — without touching R.
+    let s_roll = Arc::new(ScanStats::new());
+    let t0 = Instant::now();
+    let rolled = execute(&coarse, cat, &ctx_with(&s_roll)).unwrap();
+    let t_roll = t0.elapsed();
+    assert_eq!(
+        s_roll.cache_rollup_hits(),
+        1,
+        "E13 coarse query must roll up"
+    );
+    let direct_coarse = execute(&coarse, cat, &ExecContext::new()).unwrap();
+    assert!(
+        rolled.same_multiset(&direct_coarse),
+        "E13 roll-up != direct"
+    );
+    step(
+        "coarser (Thm 4.5 roll-up)",
+        "rollup",
+        t_roll,
+        &rolled,
+        &s_roll,
+    );
+
+    // Ingest + refresh: the appended batch is folded into the resident
+    // cuboid in place (sum/count are distributive, so nothing is dropped),
+    // and the refreshed answer — served from the maintained entry — is
+    // identical to recomputing over the grown relation from scratch.
+    let s_fresh = Arc::new(ScanStats::new());
+    let fresh_ctx = ctx_with(&s_fresh);
+    let batch: Vec<Row> = (0..64)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i % 7),
+                Value::Int(i % 11),
+                Value::Int(i % 28 + 1),
+                Value::Int(i % 12 + 1),
+                Value::Int(2024),
+                Value::str("NY"),
+                Value::Int(100 + i),
+            ])
+        })
+        .collect();
+    let t0 = Instant::now();
+    let report = fresh_ctx.ingest("Sales", batch).unwrap();
+    let refreshed = execute(&fine, cat, &fresh_ctx).unwrap();
+    let t_refresh = t0.elapsed();
+    assert_eq!(report.rows, 64);
+    assert_eq!(
+        report.cache_invalidated, 0,
+        "E13 sum/count entries must be maintained, not dropped"
+    );
+    assert!(
+        report.cache_maintained >= 1,
+        "E13 ingest must maintain the cuboid"
+    );
+    assert!(
+        s_fresh.cache_hits() >= 1,
+        "E13 refresh must be served from cache"
+    );
+    assert_eq!(s_fresh.ingest_batches(), 1);
+    let rescan = execute(&fine, cat, &ExecContext::new()).unwrap();
+    assert!(
+        refreshed.same_multiset(&rescan),
+        "E13 maintained cuboid != recompute"
+    );
+    step(
+        "ingest 64 rows + refresh (maintained)",
+        "refresh",
+        t_refresh,
+        &refreshed,
+        &s_fresh,
+    );
+}
+
 fn e10_chain(k: usize, dependent: bool) -> Plan {
     let mut plan = Plan::table("Sales").group_by_base(&["cust"]);
     for i in 0..k {
@@ -1613,12 +1834,100 @@ mod tests {
         let regressions = compare_entries(&worse, &base);
         assert_eq!(regressions.len(), 1);
         assert!(regressions[0].contains("batch_fallbacks regressed 0 -> 3"));
-        // Entries present only in one file are ignored.
+        // Entries present only in the new run are new coverage and pass...
+        let extra = vec![
+            CheckEntry::dense(
+                "e11/equality/vectorized",
+                [1, 40000, 40000, 200000, 10, 0, 0, 0, 0],
+            ),
+            CheckEntry::dense("e11/new-shape/vectorized", [9, 9, 9, 9, 9, 9, 9, 9, 9]),
+        ];
+        assert!(compare_entries(&extra, &base).is_empty());
+        // ...but a baseline entry that disappeared from the new run is a
+        // lost gate and fails loudly, not a silent skip.
         let disjoint = vec![CheckEntry::dense(
             "e11/new-shape/vectorized",
             [9, 9, 9, 9, 9, 9, 9, 9, 9],
         )];
-        assert!(compare_entries(&disjoint, &base).is_empty());
+        let missing = compare_entries(&disjoint, &base);
+        assert_eq!(missing.len(), 1);
+        assert!(
+            missing[0].contains("e11/equality/vectorized: entry missing from the new run"),
+            "{missing:?}"
+        );
+    }
+
+    #[test]
+    fn check_flags_disappearing_counters_with_an_explicit_diff() {
+        // The baseline gates nine counters; the new run dropped two of them
+        // (e.g. a refactor stopped emitting the spill counters). The old
+        // intersection gate would have passed this silently — it must fail,
+        // naming each vanished counter and the value it used to gate.
+        let base = vec![CheckEntry::dense(
+            "e12/spill",
+            [2, 100, 100, 100, 0, 0, 65536, 4, 65536],
+        )];
+        let shrunk = vec![CheckEntry {
+            name: "e12/spill".into(),
+            counters: [2u64, 100, 100, 100, 0, 0, 65536]
+                .into_iter()
+                .enumerate()
+                .collect(),
+        }];
+        let regressions = compare_entries(&shrunk, &base);
+        assert_eq!(regressions.len(), 2, "{regressions:?}");
+        assert!(regressions[0]
+            .contains("spill_partitions missing from the new run (baseline gates it at 4)"));
+        assert!(regressions[1]
+            .contains("spill_read_bytes missing from the new run (baseline gates it at 65536)"));
+        // A new run carrying a superset of the baseline's counters stays
+        // clean: sparseness is tolerated in the old-baseline direction only.
+        let superset = vec![CheckEntry {
+            name: "e12/spill".into(),
+            counters: vec![
+                (0, 2),
+                (1, 100),
+                (2, 100),
+                (3, 100),
+                (4, 0),
+                (5, 0),
+                (6, 65536),
+                (7, 4),
+                (8, 65536),
+                (15, 3),
+                (19, 1),
+            ],
+        }];
+        assert!(compare_entries(&superset, &base).is_empty());
+    }
+
+    #[test]
+    fn check_parses_and_gates_the_cache_counters() {
+        // An E13-era entry carries the cuboid-cache and ingest counters...
+        let line = "    {\"name\": \"e13/warm\", \"wall_ms\": 0.050, \
+                    \"scans\": 0, \"tuples\": 0, \"probes\": 0, \"updates\": 0, \
+                    \"batches\": 0, \"batch_fallbacks\": 0, \"bytes_spilled\": 0, \
+                    \"spill_partitions\": 0, \"spill_read_bytes\": 0, \"fallback_theta\": 0, \
+                    \"fallback_prefilter\": 0, \"fallback_key\": 0, \"fallback_agg\": 0, \
+                    \"gen_sets\": 0, \"gen_set_fallbacks\": 0, \"cache_hits\": 3, \
+                    \"cache_rollup_hits\": 0, \"cache_misses\": 0, \
+                    \"cache_invalidations\": 0, \"ingest_batches\": 0},";
+        let entries = parse_baseline(line);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].counters.len(), 20);
+        assert!(entries[0].counters.contains(&(15, 3)));
+        // ...and a warm query newly falling out of the cache (hits stay, but
+        // misses grow) fails the gate.
+        let with = |misses: u64| {
+            vec![CheckEntry {
+                name: "e13/warm".into(),
+                counters: vec![(15, 3), (17, misses)],
+            }]
+        };
+        assert!(compare_entries(&with(0), &with(0)).is_empty());
+        let regressions = compare_entries(&with(1), &with(0));
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("cache_misses regressed 0 -> 1"));
     }
 
     #[test]

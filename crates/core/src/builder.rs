@@ -206,6 +206,18 @@ impl<'a> MdJoin<'a> {
                 "MD-join needs a θ-condition (or at least one block)".into(),
             ));
         }
+        // Two aggregates resolving to the same output column would silently
+        // shadow each other in the result schema: reject up front, across
+        // the whole block list (all blocks share one output row).
+        let mut seen = std::collections::HashSet::new();
+        for block in &blocks {
+            for spec in &block.aggs {
+                let name = spec.output_name();
+                if !seen.insert(name.clone()) {
+                    return Err(CoreError::DuplicateColumn(name));
+                }
+            }
+        }
         Ok(blocks)
     }
 

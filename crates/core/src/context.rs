@@ -14,10 +14,11 @@
 //! explicit `set_*` mutators shells need). This keeps the public surface
 //! stable while the internals move between the two halves.
 
+use crate::cache::CuboidCache;
 use crate::error::{CoreError, Result};
 use crate::governor::{CancelToken, MemoryTracker};
 use mdj_agg::Registry;
-use mdj_storage::{Catalog, ScanStats};
+use mdj_storage::{Catalog, Row, ScanStats};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -84,6 +85,21 @@ pub struct EngineConfig {
     spill: SpillPolicy,
     spill_dir: Option<PathBuf>,
     catalog: Catalog,
+    cuboid_cache: Option<Arc<CuboidCache>>,
+}
+
+/// What [`EngineConfig::ingest`] did: the catalog grew, and resident cuboids
+/// were folded forward or dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Rows appended in this batch.
+    pub rows: usize,
+    /// Table version after the append (1 = first registration).
+    pub version: u64,
+    /// Cached cuboids dropped because they could not be maintained.
+    pub cache_invalidated: u64,
+    /// Cached cuboids incrementally maintained per Algorithm 3.1.
+    pub cache_maintained: u64,
 }
 
 impl Default for EngineConfig {
@@ -97,6 +113,7 @@ impl Default for EngineConfig {
             spill: SpillPolicy::default(),
             spill_dir: None,
             catalog: Catalog::new(),
+            cuboid_cache: None,
         }
     }
 }
@@ -161,6 +178,16 @@ impl EngineConfig {
         self
     }
 
+    /// Enable the cuboid result cache with a byte budget for finalized
+    /// results (see [`crate::cache`]). Repeated canonical group-by MD-joins
+    /// are answered from memory; coarser ones roll up from finer cached
+    /// cuboids (Theorem 4.5); ingest maintains distributive entries
+    /// incrementally (Algorithm 3.1).
+    pub fn with_cuboid_cache(mut self, budget_bytes: usize) -> Self {
+        self.cuboid_cache = Some(Arc::new(CuboidCache::new(budget_bytes)));
+        self
+    }
+
     /// Finish building: wrap in the `Arc` that sessions share.
     pub fn build(self) -> Arc<Self> {
         Arc::new(self)
@@ -199,6 +226,34 @@ impl EngineConfig {
 
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// The cuboid result cache, if enabled.
+    pub fn cuboid_cache(&self) -> Option<&Arc<CuboidCache>> {
+        self.cuboid_cache.as_ref()
+    }
+
+    /// Append `rows` to catalog table `table` (Algorithm 3.1 maintenance
+    /// path). The batch is validated against the schema atomically — on any
+    /// bad row nothing is appended — then folded into the resident cuboid
+    /// cache: distributive entries are maintained in place, the rest are
+    /// invalidated. In-flight queries keep reading the pre-append relation
+    /// (copy-on-write at relation granularity).
+    pub fn ingest(&self, table: &str, rows: Vec<Row>) -> Result<IngestReport> {
+        let outcome = self.catalog.ingest(table, rows)?;
+        let (cache_invalidated, cache_maintained) = match &self.cuboid_cache {
+            Some(cache) => {
+                let r = cache.on_ingest(&outcome, &self.registry);
+                (r.invalidated, r.maintained)
+            }
+            None => (0, 0),
+        };
+        Ok(IngestReport {
+            rows: outcome.appended.len(),
+            version: outcome.version,
+            cache_invalidated,
+            cache_maintained,
+        })
     }
 }
 
@@ -443,6 +498,23 @@ impl ExecContext {
 
     pub fn registry(&self) -> &Registry {
         &self.engine.registry
+    }
+
+    /// The engine's cuboid result cache, if enabled.
+    pub fn cuboid_cache(&self) -> Option<&Arc<CuboidCache>> {
+        self.engine.cuboid_cache.as_ref()
+    }
+
+    /// Ingest through this context's engine (see [`EngineConfig::ingest`]),
+    /// recording the batch and any cache invalidations on the context's
+    /// [`ScanStats`] so they surface in EXPLAIN ANALYZE and stats snapshots.
+    pub fn ingest(&self, table: &str, rows: Vec<Row>) -> Result<IngestReport> {
+        let report = self.engine.ingest(table, rows)?;
+        if let Some(stats) = self.stats() {
+            stats.record_ingest_batch();
+            stats.record_cache_invalidations(report.cache_invalidated);
+        }
+        Ok(report)
     }
 
     pub fn strategy(&self) -> ProbeStrategy {

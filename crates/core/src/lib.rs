@@ -69,6 +69,7 @@
 
 pub mod basevalues;
 pub mod builder;
+pub mod cache;
 pub mod context;
 pub mod cost;
 pub mod error;
@@ -85,9 +86,10 @@ mod spill_exec;
 pub mod vectorized;
 
 pub use builder::{ExecStrategy, MdJoin};
+pub use cache::{CacheAnswer, CacheIngestReport, CacheMetricsSnapshot, CuboidCache, CuboidRequest};
 pub use context::{
-    EngineConfig, ExecContext, ProbeStrategy, QueryCtx, SpillPolicy, DEFAULT_MORSEL_RETRIES,
-    DEFAULT_MORSEL_SIZE,
+    EngineConfig, ExecContext, IngestReport, ProbeStrategy, QueryCtx, SpillPolicy,
+    DEFAULT_MORSEL_RETRIES, DEFAULT_MORSEL_SIZE,
 };
 pub use error::{CoreError, Result};
 #[cfg(feature = "fault-injection")]

@@ -740,18 +740,18 @@ pub(crate) fn apply_batch(
         ColStates::Kernel(states) => match ba.input_col {
             None => {
                 for (bi, idxs) in groups {
-                    states[*bi].update_star(idxs.len() as u64);
+                    states[*bi].update_star(idxs.len() as u64)?;
                 }
             }
             Some(c) => match chunk.column(c) {
                 Column::Int { vals, nulls } => {
                     for (bi, idxs) in groups {
-                        states[*bi].update_ints(vals, nulls, idxs);
+                        states[*bi].update_ints(vals, nulls, idxs)?;
                     }
                 }
                 Column::Float { vals, nulls } => {
                     for (bi, idxs) in groups {
-                        states[*bi].update_floats(vals, nulls, idxs);
+                        states[*bi].update_floats(vals, nulls, idxs)?;
                     }
                 }
                 // Strings, mixed-typed, or unmaterialized columns: replay

@@ -43,6 +43,7 @@ impl ServerError {
             ServerError::Sql(SqlError::Lex { .. }) => "lex_error",
             ServerError::Sql(SqlError::Parse { .. }) => "parse_error",
             ServerError::Sql(SqlError::Compile(_)) => "compile_error",
+            ServerError::Sql(SqlError::DuplicateAlias(_)) => "compile_error",
             ServerError::Sql(SqlError::Bind(_)) => "bind_error",
             ServerError::Sql(SqlError::Algebra(e)) => match core_of(e) {
                 Some(c) => core_code(c),

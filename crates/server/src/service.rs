@@ -20,9 +20,9 @@ use crate::admission::AdmissionController;
 use crate::error::ServerError;
 use crate::shutdown::{DrainReport, ShutdownController};
 use mdj_core::governor::{CancelToken, MemoryPool};
-use mdj_core::{EngineConfig, ExecContext, QueryCtx};
+use mdj_core::{EngineConfig, ExecContext, IngestReport, QueryCtx};
 use mdj_sql::{PreparedStatement, SqlEngine};
-use mdj_storage::{ScanStats, StatsSnapshot, SweepReport, Value};
+use mdj_storage::{Row, ScanStats, StatsSnapshot, SweepReport, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -98,6 +98,10 @@ pub struct QueryService {
     shutdown: ShutdownController,
     /// What the startup crash-recovery sweep of the spill dir found.
     recovery: SweepReport,
+    /// Lifetime ingest totals for the `stats` surface (per-batch figures
+    /// travel in each `ingest` response).
+    ingest_batches: AtomicU64,
+    ingest_rows: AtomicU64,
     #[cfg(feature = "fault-injection")]
     fault: Mutex<Option<Arc<mdj_core::FaultInjector>>>,
 }
@@ -105,6 +109,11 @@ pub struct QueryService {
 impl QueryService {
     pub fn new(engine: Arc<EngineConfig>, config: ServiceConfig) -> Self {
         let pool = Arc::new(MemoryPool::new(config.pool_bytes));
+        // Cached cuboid bytes compete with query admission for the same
+        // pool, so a hot cache cannot starve queries invisibly.
+        if let Some(cache) = engine.cuboid_cache() {
+            cache.attach_pool(pool.clone());
+        }
         let admission = AdmissionController::new(
             pool,
             config.default_budget,
@@ -128,6 +137,8 @@ impl QueryService {
             next_query: AtomicU64::new(1),
             shutdown: ShutdownController::new(),
             recovery,
+            ingest_batches: AtomicU64::new(0),
+            ingest_rows: AtomicU64::new(0),
             #[cfg(feature = "fault-injection")]
             fault: Mutex::new(None),
         }
@@ -192,6 +203,11 @@ impl QueryService {
         let grace = Instant::now();
         while self.running_query_count() > 0 && grace.elapsed() < GRACE {
             std::thread::sleep(POLL);
+        }
+        // Resident cuboid-cache entries hold pool grants by design; a drain
+        // must hand those bytes back or the pool can never reach zero.
+        if let Some(cache) = self.engine.cuboid_cache() {
+            cache.clear();
         }
         let pool_wait = Instant::now();
         while (self.pool().reserved() > 0 || self.pool().waiters() > 0)
@@ -340,6 +356,37 @@ impl QueryService {
             return Err(ServerError::UnknownSession(session));
         }
         self.run(session, opts, |engine| engine.query(sql))
+    }
+
+    /// Append a validated batch of rows to a catalog table (Algorithm 3.1
+    /// maintenance path). Cached cuboids over the table are incrementally
+    /// maintained where distributive and dropped otherwise; in-flight
+    /// queries keep reading the pre-append relation.
+    pub fn ingest(
+        &self,
+        session: u64,
+        table: &str,
+        rows: Vec<Row>,
+    ) -> Result<IngestReport, ServerError> {
+        if self.shutdown.is_requested() {
+            return Err(ServerError::ShuttingDown);
+        }
+        if !self.lock_sessions().contains_key(&session) {
+            return Err(ServerError::UnknownSession(session));
+        }
+        let report = self.engine.ingest(table, rows)?;
+        self.ingest_batches.fetch_add(1, Ordering::Relaxed);
+        self.ingest_rows
+            .fetch_add(report.rows as u64, Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// Lifetime `(batches, rows)` ingested through this service.
+    pub fn ingest_totals(&self) -> (u64, u64) {
+        (
+            self.ingest_batches.load(Ordering::Relaxed),
+            self.ingest_rows.load(Ordering::Relaxed),
+        )
     }
 
     /// Cancel the running query tagged `tag` in `session`. Returns whether

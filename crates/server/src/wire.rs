@@ -8,6 +8,7 @@
 //! {"op":"prepare","session":1,"sql":"select cust, sum(sale) from Sales where month = ? group by cust"}
 //! {"op":"execute","session":1,"stmt":1,"args":[2],"tag":"q1","budget":1048576,"deadline_ms":5000}
 //! {"op":"query","session":1,"sql":"select count(*) from Sales"}
+//! {"op":"ingest","session":1,"table":"Sales","rows":[[1,2,"NY",9.5]]}
 //! {"op":"cancel","session":1,"tag":"q1"}
 //! {"op":"deallocate","session":1,"stmt":1}
 //! {"op":"close","session":1}
@@ -63,7 +64,8 @@ fn dispatch(service: &QueryService, line: &str) -> Result<Json, ServerError> {
         "stats" => {
             let pool = service.pool();
             let recovery = service.recovery_report();
-            Ok(Json::obj(vec![
+            let (ingest_batches, ingest_rows) = service.ingest_totals();
+            let mut fields = vec![
                 ("ok", Json::Bool(true)),
                 ("sessions", Json::Int(service.session_count() as i64)),
                 ("pool_capacity", Json::Int(pool.capacity() as i64)),
@@ -78,6 +80,50 @@ fn dispatch(service: &QueryService, line: &str) -> Result<Json, ServerError> {
                 (
                     "recovered_spill_bytes",
                     Json::Int(recovery.bytes_removed as i64),
+                ),
+                ("ingest_batches", Json::Int(ingest_batches as i64)),
+                ("ingest_rows", Json::Int(ingest_rows as i64)),
+            ];
+            if let Some(cache) = service.engine().cuboid_cache() {
+                let m = cache.metrics();
+                fields.push(("cache_hits", Json::Int(m.hits as i64)));
+                fields.push(("cache_rollup_hits", Json::Int(m.rollup_hits as i64)));
+                fields.push(("cache_misses", Json::Int(m.misses as i64)));
+                fields.push(("cache_invalidations", Json::Int(m.invalidations as i64)));
+                fields.push(("cache_entries", Json::Int(m.entries as i64)));
+                fields.push(("cache_bytes", Json::Int(m.bytes as i64)));
+                fields.push(("cache_budget_bytes", Json::Int(m.budget_bytes as i64)));
+            }
+            Ok(Json::obj(fields))
+        }
+        "ingest" => {
+            let table = str_field(&req, "table")?;
+            let rows_json = req
+                .get("rows")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| ServerError::BadRequest("missing array `rows`".into()))?;
+            let mut rows = Vec::with_capacity(rows_json.len());
+            for row in rows_json {
+                let vals = row
+                    .as_arr()
+                    .ok_or_else(|| ServerError::BadRequest("each row must be an array".into()))?
+                    .iter()
+                    .map(json_to_value)
+                    .collect::<Result<Vec<Value>, _>>()?;
+                rows.push(mdj_storage::Row::new(vals));
+            }
+            let report = service.ingest(session_of(&req)?, table, rows)?;
+            Ok(Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("rows", Json::Int(report.rows as i64)),
+                ("version", Json::Int(report.version as i64)),
+                (
+                    "cache_maintained",
+                    Json::Int(report.cache_maintained as i64),
+                ),
+                (
+                    "cache_invalidated",
+                    Json::Int(report.cache_invalidated as i64),
                 ),
             ]))
         }
@@ -336,6 +382,59 @@ mod tests {
         assert_eq!(ok_field(&resp, "running_queries"), Json::Int(0));
         assert_eq!(ok_field(&resp, "draining"), Json::Bool(false));
         assert_eq!(ok_field(&resp, "recovered_spill_files"), Json::Int(0));
+    }
+
+    #[test]
+    fn ingest_op_appends_rows_and_reports_cache_effects() {
+        let schema = Schema::from_pairs(&[("cust", DataType::Int), ("sale", DataType::Int)]);
+        let rel = Relation::from_rows(
+            schema,
+            vec![
+                Row::from_values(vec![Value::Int(1), Value::Int(10)]),
+                Row::from_values(vec![Value::Int(2), Value::Int(30)]),
+            ],
+        );
+        let engine = EngineConfig::new()
+            .register_table("Sales", rel)
+            .with_cuboid_cache(1 << 20)
+            .build();
+        let svc = QueryService::new(engine, crate::ServiceConfig::default());
+        let resp = handle_line(&svc, r#"{"op":"open"}"#);
+        let sid = ok_field(&resp, "session").as_int().unwrap();
+        // Warm the cache with a canonical group-by cuboid.
+        let q = format!(
+            r#"{{"op":"query","session":{sid},"sql":"select cust, sum(sale) from Sales group by cust"}}"#
+        );
+        handle_line(&svc, &q);
+        // Ingest: the sum/group-by entry is distributive → maintained.
+        let resp = handle_line(
+            &svc,
+            &format!(r#"{{"op":"ingest","session":{sid},"table":"Sales","rows":[[1,5],[3,7]]}}"#),
+        );
+        assert_eq!(ok_field(&resp, "rows"), Json::Int(2));
+        assert_eq!(ok_field(&resp, "version"), Json::Int(2));
+        assert_eq!(ok_field(&resp, "cache_maintained"), Json::Int(1));
+        assert_eq!(ok_field(&resp, "cache_invalidated"), Json::Int(0));
+        // The maintained entry answers for the grown table.
+        let resp = handle_line(&svc, &q);
+        let rows = ok_field(&resp, "rows");
+        let arr = rows.as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert!(arr.contains(&Json::Arr(vec![Json::Int(1), Json::Int(15)])));
+        assert!(arr.contains(&Json::Arr(vec![Json::Int(3), Json::Int(7)])));
+        // Stats surface the cache and ingest figures.
+        let resp = handle_line(&svc, r#"{"op":"stats"}"#);
+        assert_eq!(ok_field(&resp, "ingest_batches"), Json::Int(1));
+        assert_eq!(ok_field(&resp, "ingest_rows"), Json::Int(2));
+        assert_eq!(ok_field(&resp, "cache_hits"), Json::Int(1));
+        assert_eq!(ok_field(&resp, "cache_entries"), Json::Int(1));
+        // A bad batch is rejected atomically with a typed code.
+        let resp = handle_line(
+            &svc,
+            &format!(r#"{{"op":"ingest","session":{sid},"table":"Sales","rows":[["oops"]]}}"#),
+        );
+        let json = parse(&resp).unwrap();
+        assert_eq!(json.get("ok"), Some(&Json::Bool(false)));
     }
 
     #[test]

@@ -276,6 +276,7 @@ fn compile_global(q: &Query, src: Plan) -> Result<CompiledQuery> {
             }
         }
     }
+    reject_duplicate_outputs(&output_cols)?;
     let one_row = Relation::from_rows(Schema::new(vec![]), vec![Row::new(vec![])]);
     let plan = Plan::inline(one_row).md_join(src, aggs, Expr::always_true());
     let having = q.having.as_ref().map(resolve_having).transpose()?;
@@ -288,6 +289,20 @@ fn compile_global(q: &Query, src: Plan) -> Result<CompiledQuery> {
         limit: q.limit,
         fast_cube: None,
     })
+}
+
+/// Two select items resolving to the same output column would silently
+/// shadow each other (the `demanded` dedup keys on output name, so
+/// `sum(sale) as x, count(*) as x` would even drop the second aggregate):
+/// reject with the typed error instead.
+fn reject_duplicate_outputs(output_cols: &[String]) -> Result<()> {
+    let mut seen = std::collections::HashSet::new();
+    for name in output_cols {
+        if !seen.insert(name.as_str()) {
+            return Err(SqlError::DuplicateAlias(name.clone()));
+        }
+    }
+    Ok(())
 }
 
 /// ORDER BY keys must name select-list output columns.
@@ -347,6 +362,8 @@ fn compile_group_by(
             }
         }
     }
+
+    reject_duplicate_outputs(&output_cols)?;
 
     // Pass 2: resolve each variable's θ in declaration order; resolution may
     // demand additional aggregates (from earlier scopes only).
@@ -518,6 +535,7 @@ fn compile_analyze_by(
             "ANALYZE BY requires at least one aggregate in the select list".into(),
         ));
     }
+    reject_duplicate_outputs(&output_cols)?;
     let fast_shape = match shape {
         Shape::Cube => Some(mdj_cube::sets::SetShape::Cube),
         Shape::Rollup => Some(mdj_cube::sets::SetShape::Rollup),
@@ -579,6 +597,42 @@ mod tests {
     fn compile_str(s: &str) -> Result<CompiledQuery> {
         let q = parse(s)?;
         compile(&q, &Catalog::new(), &Registry::standard())
+    }
+
+    #[test]
+    fn duplicate_output_aliases_are_rejected() {
+        // Explicit AS collision.
+        let err =
+            compile_str("select cust, sum(sale) as x, count(*) as x from Sales group by cust")
+                .unwrap_err();
+        assert!(
+            matches!(err, SqlError::DuplicateAlias(ref n) if n == "x"),
+            "{err}"
+        );
+        // Implicit collision: the same aggregate twice.
+        let err =
+            compile_str("select cust, sum(sale), sum(sale) from Sales group by cust").unwrap_err();
+        assert!(matches!(err, SqlError::DuplicateAlias(ref n) if n == "sum_sale"));
+        // Aggregate alias shadowing a grouping column.
+        let err =
+            compile_str("select cust, count(*) as cust from Sales group by cust").unwrap_err();
+        assert!(matches!(err, SqlError::DuplicateAlias(ref n) if n == "cust"));
+        // Global and ANALYZE BY paths reject too.
+        assert!(matches!(
+            compile_str("select sum(sale) as t, count(*) as t from Sales"),
+            Err(SqlError::DuplicateAlias(_))
+        ));
+        assert!(matches!(
+            compile_str(
+                "select cust, sum(sale) as t, min(sale) as t from Sales analyze by cube(cust)"
+            ),
+            Err(SqlError::DuplicateAlias(_))
+        ));
+        // Distinct aliases for the same aggregate stay legal.
+        assert!(compile_str(
+            "select cust, sum(sale) as a, sum(sale) as b from Sales group by cust"
+        )
+        .is_ok());
     }
 
     #[test]

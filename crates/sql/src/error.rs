@@ -19,6 +19,9 @@ pub enum SqlError {
     },
     /// Semantic error during compilation (unknown column/variable/etc.).
     Compile(String),
+    /// Two select-list items resolve to the same output column name; the
+    /// later one would silently shadow the earlier in the result schema.
+    DuplicateAlias(String),
     /// Parameter-binding error: wrong arity, or a `?` placeholder reached
     /// execution unbound.
     Bind(String),
@@ -37,6 +40,12 @@ impl fmt::Display for SqlError {
                 write!(f, "parse error near `{near}`: {message}")
             }
             SqlError::Compile(m) => write!(f, "compile error: {m}"),
+            SqlError::DuplicateAlias(name) => {
+                write!(
+                    f,
+                    "compile error: duplicate output column `{name}` in select list"
+                )
+            }
             SqlError::Bind(m) => write!(f, "bind error: {m}"),
             SqlError::Algebra(e) => write!(f, "{e}"),
             SqlError::Agg(e) => write!(f, "{e}"),
@@ -52,7 +61,7 @@ impl std::error::Error for SqlError {
             SqlError::Algebra(e) => Some(e),
             SqlError::Agg(e) => Some(e),
             SqlError::Lex { .. } | SqlError::Parse { .. } | SqlError::Compile(_) => None,
-            SqlError::Bind(_) => None,
+            SqlError::DuplicateAlias(_) | SqlError::Bind(_) => None,
         }
     }
 }

@@ -24,7 +24,7 @@ pub mod spill;
 pub mod stats;
 pub mod value;
 
-pub use catalog::Catalog;
+pub use catalog::{Catalog, IngestOutcome};
 pub use columnar::{Column, ColumnarChunk};
 pub use error::{Result, StorageError};
 pub use hash::{KeyBuildHasher, KeyHasher};
@@ -33,6 +33,8 @@ pub use relation::Relation;
 pub use row::Row;
 pub use schema::{DataType, Field, Schema};
 pub use spill::{read_run, sweep_orphans, write_run, RunFile, RunWriter, SweepReport};
-pub use stats::{FallbackReason, ScanStats, StatsSnapshot, WorkerStats};
+pub use stats::{
+    ColumnStats, FallbackReason, NdvSketch, ScanStats, StatsSnapshot, TableStats, WorkerStats,
+};
 pub use value::cmp_int_float;
 pub use value::Value;

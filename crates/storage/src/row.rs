@@ -32,6 +32,11 @@ impl Row {
         &self.0
     }
 
+    /// Mutable access to the values (string interning on the ingest path).
+    pub fn values_mut(&mut self) -> &mut [Value] {
+        &mut self.0
+    }
+
     pub fn into_values(self) -> Vec<Value> {
         self.0
     }

@@ -108,6 +108,17 @@ pub struct ScanStats {
     auto_coverage_permille: AtomicU64,
     /// Whether the most recent `Auto` decision chose the vectorized plan.
     auto_batched: AtomicU64,
+    /// Queries answered verbatim from a materialized cuboid-cache entry.
+    cache_hits: AtomicU64,
+    /// Queries answered by Theorem 4.5 roll-up from a *finer* cached cuboid.
+    cache_rollup_hits: AtomicU64,
+    /// Cacheable queries that found no usable entry and executed from scratch.
+    cache_misses: AtomicU64,
+    /// Cache entries dropped because an ingest batch could not maintain them
+    /// incrementally (non-distributive aggregates, or a stale source).
+    cache_invalidations: AtomicU64,
+    /// Ingest batches folded into a table (and into live cache entries).
+    ingest_batches: AtomicU64,
     /// Per-worker morsel accounting, appended once per worker per parallel
     /// run (guarded by a mutex: workers report once at exit, not per tuple).
     workers: Mutex<Vec<WorkerStats>>,
@@ -200,6 +211,26 @@ impl ScanStats {
         self.auto_coverage_permille
             .store(coverage_permille, Ordering::Relaxed);
         self.auto_batched.store(batched as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_cache_rollup_hit(&self) {
+        self.cache_rollup_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_cache_invalidations(&self, n: u64) {
+        self.cache_invalidations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_ingest_batch(&self) {
+        self.ingest_batches.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Append one worker's morsel accounting (called once per worker at the
@@ -300,6 +331,26 @@ impl ScanStats {
         self.auto_batched.load(Ordering::Relaxed) != 0
     }
 
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    pub fn cache_rollup_hits(&self) -> u64 {
+        self.cache_rollup_hits.load(Ordering::Relaxed)
+    }
+
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    pub fn cache_invalidations(&self) -> u64 {
+        self.cache_invalidations.load(Ordering::Relaxed)
+    }
+
+    pub fn ingest_batches(&self) -> u64 {
+        self.ingest_batches.load(Ordering::Relaxed)
+    }
+
     /// Per-worker morsel accounting recorded so far.
     pub fn workers(&self) -> Vec<WorkerStats> {
         self.workers
@@ -332,6 +383,11 @@ impl ScanStats {
         self.auto_decisions.store(0, Ordering::Relaxed);
         self.auto_coverage_permille.store(0, Ordering::Relaxed);
         self.auto_batched.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_rollup_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.cache_invalidations.store(0, Ordering::Relaxed);
+        self.ingest_batches.store(0, Ordering::Relaxed);
         self.workers
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -363,6 +419,11 @@ impl ScanStats {
             auto_decisions: self.auto_decisions(),
             auto_coverage_permille: self.auto_coverage_permille(),
             auto_batched: self.auto_batched(),
+            cache_hits: self.cache_hits(),
+            cache_rollup_hits: self.cache_rollup_hits(),
+            cache_misses: self.cache_misses(),
+            cache_invalidations: self.cache_invalidations(),
+            ingest_batches: self.ingest_batches(),
             workers: self.workers(),
         }
     }
@@ -430,6 +491,16 @@ pub struct StatsSnapshot {
     pub auto_coverage_permille: u64,
     /// Whether the most recent `Auto` decision chose the vectorized plan.
     pub auto_batched: bool,
+    /// Queries answered verbatim from a materialized cuboid-cache entry.
+    pub cache_hits: u64,
+    /// Queries answered by Theorem 4.5 roll-up from a finer cached cuboid.
+    pub cache_rollup_hits: u64,
+    /// Cacheable queries that executed from scratch (no usable entry).
+    pub cache_misses: u64,
+    /// Cache entries dropped by ingest instead of maintained incrementally.
+    pub cache_invalidations: u64,
+    /// Ingest batches folded into a table.
+    pub ingest_batches: u64,
     /// Per-worker morsel/steal/merge counters from parallel runs (empty for
     /// serial evaluation).
     pub workers: Vec<WorkerStats>,
@@ -455,6 +526,15 @@ impl StatsSnapshot {
             || self.fallback_prefilter > 0
             || self.fallback_key > 0
             || self.fallback_agg > 0
+    }
+
+    /// True if the cuboid cache or the ingest path touched this query.
+    pub fn cache_active(&self) -> bool {
+        self.cache_hits > 0
+            || self.cache_rollup_hits > 0
+            || self.cache_misses > 0
+            || self.cache_invalidations > 0
+            || self.ingest_batches > 0
     }
 }
 
@@ -515,10 +595,252 @@ impl std::fmt::Display for StatsSnapshot {
                 self.spill_partitions, self.bytes_spilled, self.spill_read_bytes
             )?;
         }
+        if self.cache_active() {
+            write!(
+                f,
+                "\n  cache: hits={} rollup_hits={} misses={} invalidations={} ingest_batches={}",
+                self.cache_hits,
+                self.cache_rollup_hits,
+                self.cache_misses,
+                self.cache_invalidations,
+                self.ingest_batches
+            )?;
+        }
         for w in &self.workers {
             write!(f, "\n  {w}")?;
         }
         Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table statistics (catalog-resident min/max/NDV)
+// ---------------------------------------------------------------------------
+
+/// Bits in a [`NdvSketch`] bitmap: 4096 bits = 512 bytes per column. Linear
+/// counting stays within a few percent up to ~NDV ≈ m·ln m ≈ 34k distinct
+/// values per column, plenty for the cost model's selectivity guesses.
+const NDV_SKETCH_BITS: usize = 4096;
+
+/// A linear-counting NDV sketch (Whang et al.): hash each value into a fixed
+/// bitmap and estimate distinct count from the fraction of bits still zero.
+/// Unlike a `HashSet`, folding an ingest batch in never reallocates, and two
+/// sketches over disjoint row sets merge by OR — exactly the shape the
+/// incremental ingest path needs.
+#[derive(Clone, PartialEq, Eq)]
+pub struct NdvSketch {
+    bits: [u64; NDV_SKETCH_BITS / 64],
+}
+
+impl Default for NdvSketch {
+    fn default() -> Self {
+        NdvSketch {
+            bits: [0u64; NDV_SKETCH_BITS / 64],
+        }
+    }
+}
+
+impl std::fmt::Debug for NdvSketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NdvSketch(~{})", self.estimate())
+    }
+}
+
+impl NdvSketch {
+    /// FNV-1a over a type tag plus the value's canonical bytes, so `Int(1)`
+    /// and `Float(1.0)` count as distinct values (they compare unequal as
+    /// group keys too).
+    fn hash_value(v: &crate::value::Value) -> u64 {
+        use crate::value::Value;
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        match v {
+            Value::Null => eat(0),
+            Value::All => eat(1),
+            Value::Int(i) => {
+                eat(2);
+                i.to_le_bytes().into_iter().for_each(&mut eat);
+            }
+            Value::Float(x) => {
+                eat(3);
+                x.to_bits().to_le_bytes().into_iter().for_each(&mut eat);
+            }
+            Value::Str(s) => {
+                eat(4);
+                s.as_bytes().iter().copied().for_each(&mut eat);
+            }
+            Value::Bool(b) => {
+                eat(5);
+                eat(*b as u8);
+            }
+        }
+        h
+    }
+
+    /// Record one value.
+    pub fn insert(&mut self, v: &crate::value::Value) {
+        let bit = (Self::hash_value(v) % NDV_SKETCH_BITS as u64) as usize;
+        self.bits[bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    /// Linear-counting estimate of the number of distinct values recorded.
+    pub fn estimate(&self) -> u64 {
+        let m = NDV_SKETCH_BITS as f64;
+        let zeros = self
+            .bits
+            .iter()
+            .map(|w| w.count_zeros() as u64)
+            .sum::<u64>() as f64;
+        if zeros == 0.0 {
+            // Saturated: every bit set. Report the sketch's credible ceiling.
+            return (m * m.ln()).round() as u64;
+        }
+        (m * (m / zeros).ln()).round() as u64
+    }
+}
+
+/// Per-column statistics: value bounds, null count, and an NDV estimate.
+/// String columns additionally carry the table's string dictionary, which
+/// doubles as an exact NDV count and as the intern pool the ingest path grows
+/// so appended rows share `Arc<str>` allocations with resident rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Column name (unqualified, as in the table schema).
+    pub name: String,
+    /// Smallest non-NULL, non-ALL value seen (`Value`'s total order).
+    pub min: Option<crate::value::Value>,
+    /// Largest non-NULL, non-ALL value seen.
+    pub max: Option<crate::value::Value>,
+    /// Number of SQL NULLs in the column.
+    pub null_count: u64,
+    /// Distinct strings, for `Str` columns (exact NDV + intern pool).
+    dict: Option<std::collections::HashSet<std::sync::Arc<str>>>,
+    sketch: NdvSketch,
+}
+
+impl ColumnStats {
+    fn new(name: &str, dtype: crate::schema::DataType) -> Self {
+        ColumnStats {
+            name: name.to_string(),
+            min: None,
+            max: None,
+            null_count: 0,
+            dict: matches!(dtype, crate::schema::DataType::Str)
+                .then(std::collections::HashSet::new),
+            sketch: NdvSketch::default(),
+        }
+    }
+
+    /// Fold one value into the column's bounds, null count, and NDV state.
+    /// For dictionary columns the value is first interned: if an equal string
+    /// is already resident its `Arc` replaces the incoming one, otherwise the
+    /// dictionary grows.
+    fn fold(&mut self, v: &mut crate::value::Value) {
+        use crate::value::Value;
+        if let (Some(dict), Value::Str(s)) = (self.dict.as_mut(), &mut *v) {
+            match dict.get(s.as_ref()) {
+                Some(resident) => *s = resident.clone(),
+                None => {
+                    dict.insert(s.clone());
+                }
+            }
+        }
+        if v.is_null() {
+            self.null_count += 1;
+            return;
+        }
+        if v.is_all() {
+            return;
+        }
+        let v = &*v;
+        self.sketch.insert(v);
+        match &self.min {
+            Some(m) if v >= m => {}
+            _ => self.min = Some(v.clone()),
+        }
+        match &self.max {
+            Some(m) if v <= m => {}
+            _ => self.max = Some(v.clone()),
+        }
+    }
+
+    /// Estimated number of distinct non-NULL values (exact for `Str` columns,
+    /// linear-counting estimate otherwise).
+    pub fn ndv(&self) -> u64 {
+        match &self.dict {
+            Some(d) => d.len() as u64,
+            None => self.sketch.estimate(),
+        }
+    }
+
+    /// Number of distinct strings resident in the dictionary (`Str` columns).
+    pub fn dict_len(&self) -> Option<usize> {
+        self.dict.as_ref().map(|d| d.len())
+    }
+}
+
+/// Catalog-resident statistics for one table: row count plus per-column
+/// [`ColumnStats`]. Computed in one pass at `register` time and *folded
+/// forward* on every ingest batch — never recomputed from scratch — so the
+/// cost model reads bounds/NDV that are exactly as fresh as the data.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableStats {
+    rows: u64,
+    columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// One-pass statistics over a relation (used at catalog registration).
+    pub fn compute(rel: &crate::relation::Relation) -> Self {
+        let mut s = TableStats {
+            rows: 0,
+            columns: rel
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| ColumnStats::new(&f.name, f.dtype))
+                .collect(),
+        };
+        // Folding borrows values mutably only to intern strings; stats
+        // computation never changes what a value *is*.
+        let mut rows: Vec<crate::row::Row> = rel.rows().to_vec();
+        s.fold_rows(&mut rows);
+        s
+    }
+
+    /// Fold an ingest batch into the statistics, interning string values
+    /// against the dictionary in place (the caller appends the same rows to
+    /// the relation afterwards, so resident and incoming strings share
+    /// allocations).
+    pub fn fold_rows(&mut self, rows: &mut [crate::row::Row]) {
+        for row in rows.iter_mut() {
+            self.rows += 1;
+            for (i, col) in self.columns.iter_mut().enumerate() {
+                if let Some(v) = row.values_mut().get_mut(i) {
+                    col.fold(v);
+                }
+            }
+        }
+    }
+
+    /// Total rows folded into these statistics.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Per-column statistics, in schema order.
+    pub fn columns(&self) -> &[ColumnStats] {
+        &self.columns
+    }
+
+    /// Statistics for the named column.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.iter().find(|c| c.name == name)
     }
 }
 
@@ -660,6 +982,34 @@ mod tests {
         assert!(snap
             .to_string()
             .contains("spill: partitions=2 bytes_spilled=1024 read_bytes=1024"));
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn cache_counters_accumulate_and_display() {
+        let s = ScanStats::new();
+        assert!(!s.snapshot().cache_active());
+        assert!(!s.snapshot().to_string().contains("cache:"));
+        s.record_cache_hit();
+        s.record_cache_hit();
+        s.record_cache_rollup_hit();
+        s.record_cache_miss();
+        s.record_cache_invalidations(3);
+        s.record_ingest_batch();
+        let snap = s.snapshot();
+        assert!(snap.cache_active());
+        // Cache activity alone is neither governor nor spill activity.
+        assert!(!snap.governor_active());
+        assert!(!snap.spill_active());
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.cache_rollup_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.cache_invalidations, 3);
+        assert_eq!(snap.ingest_batches, 1);
+        assert!(snap
+            .to_string()
+            .contains("cache: hits=2 rollup_hits=1 misses=1 invalidations=3 ingest_batches=1"));
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }
