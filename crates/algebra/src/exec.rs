@@ -87,6 +87,18 @@ pub fn execute(plan: &Plan, catalog: &Catalog, ctx: &ExecContext) -> Result<Rela
             if let Some(out) = try_cached_cuboid(base, detail, aggs, theta, catalog, ctx)? {
                 return Ok(out);
             }
+            if let Some(out) = try_paged_md_join(
+                base,
+                detail,
+                aggs,
+                theta,
+                ExecStrategy::Serial,
+                None,
+                catalog,
+                ctx,
+            )? {
+                return Ok(out);
+            }
             let b = execute(base, catalog, ctx)?;
             let r = execute(detail, catalog, ctx)?;
             Ok(MdJoin::new(&b, &r)
@@ -115,14 +127,27 @@ pub fn execute(plan: &Plan, catalog: &Catalog, ctx: &ExecContext) -> Result<Rela
                 aggs,
                 theta,
             } => {
+                let threads = if *threads > 0 { Some(*threads) } else { None };
+                if let Some(out) = try_paged_md_join(
+                    base,
+                    detail,
+                    aggs,
+                    theta,
+                    ExecStrategy::Morsel,
+                    threads,
+                    catalog,
+                    ctx,
+                )? {
+                    return Ok(out);
+                }
                 let b = execute(base, catalog, ctx)?;
                 let r = execute(detail, catalog, ctx)?;
                 let mut join = MdJoin::new(&b, &r)
                     .aggs(aggs)
                     .theta(theta.clone())
                     .strategy(ExecStrategy::Morsel);
-                if *threads > 0 {
-                    join = join.threads(*threads);
+                if let Some(t) = threads {
+                    join = join.threads(t);
                 }
                 Ok(join.run(ctx)?)
             }
@@ -159,6 +184,60 @@ pub fn execute(plan: &Plan, catalog: &Catalog, ctx: &ExecContext) -> Result<Rela
             Ok(Relation::from_rows(schema, rows))
         }
     }
+}
+
+/// The disk-resident fast path: when the MD-join's detail input is a
+/// catalog table backed by a page store (and the engine has a buffer pool
+/// attached), evaluate with [`mdj_core::paged_md_join`] instead of handing
+/// the executor the resident relation. Theorem 4.2's prefilter then becomes
+/// clustered-key page pruning — skipped pages are never read — and the
+/// query's `ScanStats` pick up `pages_read` / `bytes_read`.
+///
+/// A detail-side σ directly under the MD-join participates too:
+/// `MD(B, σ_p(R), l, θ) = MD(B, R, l, θ ∧ p)` (the range over `b` is
+/// `{r | p(r) ∧ θ(b, r)}` either way), and folding `p` into θ is exactly
+/// what lets a key predicate prune pages instead of filtering rows after
+/// a full read.
+#[allow(clippy::too_many_arguments)]
+fn try_paged_md_join(
+    base: &Plan,
+    detail: &Plan,
+    aggs: &[mdj_agg::AggSpec],
+    theta: &mdj_expr::Expr,
+    strategy: ExecStrategy,
+    threads: Option<usize>,
+    catalog: &Catalog,
+    ctx: &ExecContext,
+) -> Result<Option<Relation>> {
+    let Some(pool) = ctx.buffer_pool() else {
+        return Ok(None);
+    };
+    // Unwrap an optional detail-side σ; base-side predicates (Observation
+    // 4.1 base inputs) cannot be folded into θ, so those fall through.
+    let (table_plan, folded_theta) = match detail {
+        Plan::Select { input, pred } if !pred.uses_side(mdj_expr::Side::Base) => (
+            input.as_ref(),
+            mdj_expr::builder::and(theta.clone(), pred.clone()),
+        ),
+        other => (other, theta.clone()),
+    };
+    let Plan::Table(name) = table_plan else {
+        return Ok(None);
+    };
+    let Some(paged) = catalog.paged(name) else {
+        return Ok(None);
+    };
+    let b = execute(base, catalog, ctx)?;
+    let scan = mdj_core::PagedScan::new(paged, pool);
+    Ok(Some(mdj_core::paged_md_join(
+        &b,
+        &scan,
+        aggs,
+        &folded_theta,
+        strategy,
+        threads,
+        ctx,
+    )?))
 }
 
 /// The cuboid-cache fast path for the canonical group-by shape
@@ -458,6 +537,75 @@ mod tests {
             ),
             (h, rh, m)
         );
+    }
+
+    #[test]
+    fn paged_detail_runs_from_disk_and_prunes_with_theta() {
+        use mdj_core::{EngineConfig, PagedScan, QueryCtx};
+        use mdj_storage::{BufferPool, PagedStore, ScanStats};
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!("mdj-algebra-paged-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut cat = Catalog::new();
+        let schema = Schema::from_pairs(&[
+            ("cust", DataType::Int),
+            ("month", DataType::Int),
+            ("sale", DataType::Float),
+        ]);
+        let rel = Relation::from_rows(
+            schema,
+            (0..240)
+                .map(|i: i64| {
+                    Row::from_values(vec![
+                        Value::Int(i % 5),
+                        Value::Int(1 + i % 12),
+                        Value::Float(i as f64 * 0.5),
+                    ])
+                })
+                .collect(),
+        );
+        cat.register("Sales", rel.clone());
+        let rel = std::sync::Arc::new(rel);
+        let (store, _) = PagedStore::open(&dir).unwrap();
+        let table = store.create_table("Sales", &rel, "month", 256).unwrap();
+        // Re-register in clustered order so the in-memory reference scans
+        // rows exactly as the page store serves them.
+        let clustered = table.read_all(None).unwrap();
+        cat.register("Sales", clustered);
+        cat.attach_paged("Sales", table.clone()).unwrap();
+        let engine = EngineConfig::new().build();
+        engine.attach_buffer_pool(BufferPool::new(64 * 1024));
+        let plan = Plan::table("Sales").group_by_base(&["cust"]).md_join(
+            Plan::table("Sales").select(ge(col_r("month"), lit(2i64))),
+            vec![AggSpec::on_column("sum", "sale")],
+            eq(col_b("cust"), col_r("cust")),
+        );
+        let stats = Arc::new(ScanStats::new());
+        let ctx = mdj_core::ExecContext::from_parts(
+            engine.clone(),
+            QueryCtx::new().with_stats(stats.clone()),
+        );
+        let paged_out = execute(&plan, &cat, &ctx).unwrap();
+        assert!(stats.pages_read() > 0, "detail must stream from disk");
+        // The σ on the clustered key pruned at least one page: fewer pages
+        // than the table holds were ever read.
+        assert!(
+            (stats.pages_read() as usize) < table.page_count(),
+            "{} pages read of {}",
+            stats.pages_read(),
+            table.page_count()
+        );
+        // Identical rows to the pure in-memory path (no buffer pool → the
+        // paged fast path never engages).
+        let plain =
+            mdj_core::ExecContext::from_parts(EngineConfig::new().build(), QueryCtx::default());
+        let mem_out = execute(&plan, &cat, &plain).unwrap();
+        assert_eq!(mem_out.rows(), paged_out.rows());
+        // Materialized pruning is sound for strategies that delegate.
+        let scan = PagedScan::new(table, engine.buffer_pool().unwrap());
+        assert_eq!(scan.materialize(&ctx).unwrap().len(), rel.len());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

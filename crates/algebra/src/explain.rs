@@ -82,6 +82,13 @@ pub fn explain_with_stats(plan: &Plan, stats: &StatsSnapshot) -> String {
             stats.ingest_batches
         );
     }
+    if stats.paged_active() {
+        let _ = writeln!(
+            out,
+            "-- paged: pages_read={} bytes_read={} pool_evictions={}",
+            stats.pages_read, stats.bytes_read, stats.pool_evictions
+        );
+    }
     for w in &stats.workers {
         let _ = writeln!(out, "--   {w}");
     }
@@ -252,6 +259,9 @@ mod tests {
             cache_misses: 0,
             cache_invalidations: 0,
             ingest_batches: 0,
+            bytes_read: 0,
+            pages_read: 0,
+            pool_evictions: 0,
             workers: vec![
                 WorkerStats {
                     worker: 0,
@@ -356,5 +366,16 @@ mod tests {
         assert!(
             s.contains("-- cache: hits=3 rollup_hits=1 misses=2 invalidations=4 ingest_batches=5")
         );
+        // Paged-store counters are silent for in-memory runs...
+        assert!(!s.contains("paged:"));
+        // ...and rendered once a disk-resident scan happened.
+        let paged = StatsSnapshot {
+            pages_read: 9,
+            bytes_read: 2304,
+            pool_evictions: 3,
+            ..cached
+        };
+        let s = explain_with_stats(&plan, &paged);
+        assert!(s.contains("-- paged: pages_read=9 bytes_read=2304 pool_evictions=3"));
     }
 }

@@ -22,7 +22,8 @@
 //! and the cache replay (E13). Baselines are sparse in one direction only:
 //! a baseline committed before a counter existed (`BENCH_0.json`,
 //! `BENCH_1.json`) gates just the counters it carries, while `BENCH_2.json`
-//! adds the spill counters and `BENCH_4.json` the cache counters — but every
+//! adds the spill counters, `BENCH_4.json` the cache counters, and
+//! `BENCH_5.json` the paged-I/O counters (E14) — but every
 //! counter and entry a baseline *does* carry must still be present in the
 //! new run, and a disappearing one fails with an explicit missing-counter
 //! diff (a vanished gate is itself a regression). CI's perf-smoke job
@@ -120,6 +121,9 @@ struct JsonCounters {
     cache_misses: u64,
     cache_invalidations: u64,
     ingest_batches: u64,
+    bytes_read: u64,
+    pages_read: u64,
+    pool_evictions: u64,
 }
 
 static JSON_ENTRIES: std::sync::Mutex<Vec<JsonEntry>> = std::sync::Mutex::new(Vec::new());
@@ -157,6 +161,9 @@ fn record_counters(name: impl Into<String>, wall: Duration, stats: &ScanStats) {
             cache_misses: stats.cache_misses(),
             cache_invalidations: stats.cache_invalidations(),
             ingest_batches: stats.ingest_batches(),
+            bytes_read: stats.bytes_read(),
+            pages_read: stats.pages_read(),
+            pool_evictions: stats.pool_evictions(),
         }),
     });
 }
@@ -204,7 +211,8 @@ fn write_json(path: &str, quick: bool) -> std::io::Result<()> {
                  \"gen_sets\": {}, \"gen_set_fallbacks\": {}, \
                  \"cache_hits\": {}, \"cache_rollup_hits\": {}, \
                  \"cache_misses\": {}, \"cache_invalidations\": {}, \
-                 \"ingest_batches\": {}",
+                 \"ingest_batches\": {}, \"bytes_read\": {}, \
+                 \"pages_read\": {}, \"pool_evictions\": {}",
                 c.scans,
                 c.tuples,
                 c.probes,
@@ -224,7 +232,10 @@ fn write_json(path: &str, quick: bool) -> std::io::Result<()> {
                 c.cache_rollup_hits,
                 c.cache_misses,
                 c.cache_invalidations,
-                c.ingest_batches
+                c.ingest_batches,
+                c.bytes_read,
+                c.pages_read,
+                c.pool_evictions
             ));
         }
         s.push_str(if i + 1 == entries.len() {
@@ -245,7 +256,7 @@ fn write_json(path: &str, quick: bool) -> std::io::Result<()> {
 /// baselines. The reverse is NOT tolerated: every counter (and every entry)
 /// a baseline carries must still be present in the new run — a counter that
 /// disappears is a lost gate, not a clean pass (see [`compare_entries`]).
-const CHECK_COUNTERS: [&str; 20] = [
+const CHECK_COUNTERS: [&str; 23] = [
     "scans",
     "tuples",
     "probes",
@@ -266,6 +277,9 @@ const CHECK_COUNTERS: [&str; 20] = [
     "cache_misses",
     "cache_invalidations",
     "ingest_batches",
+    "bytes_read",
+    "pages_read",
+    "pool_evictions",
 ];
 
 /// One parsed baseline entry (`--check` mode): the counters it carries, as
@@ -479,7 +493,7 @@ fn main() {
     println!("# MD-join reproduction — experiment tables");
     println!("\n(quick = {quick}; sizes scale with the flag — shapes are invariant)");
     type Experiment = (&'static str, fn(usize));
-    let experiments: [Experiment; 13] = [
+    let experiments: [Experiment; 14] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -493,6 +507,7 @@ fn main() {
         ("e11", e11),
         ("e12", e12),
         ("e13", e13),
+        ("e14", e14),
     ];
     for (name, f) in experiments {
         if only.as_deref().is_some_and(|o| o != name) {
@@ -1725,6 +1740,168 @@ fn e13(scale: usize) {
     );
 }
 
+fn e14(scale: usize) {
+    use mdj_core::{paged_md_join, PagedScan};
+    use mdj_storage::{BufferPool, PagedStore};
+    // E8's workload, made disk-resident: the detail relation is written
+    // through the pager clustered on `month` and every run re-reads it page
+    // by page through a buffer pool holding at most a quarter of the table,
+    // so the I/O counters — not just wall time — are part of the table.
+    let r = bench_sales(10_000 * scale, 5_000);
+    let b_full = r.distinct_on(&["cust", "month"]).unwrap();
+    let b = Relation::from_rows(
+        b_full.schema().clone(),
+        b_full.rows().iter().take(1024).cloned().collect(),
+    );
+    let l = [AggSpec::on_column("sum", "sale")];
+    let theta = and(
+        eq(col_b("cust"), col_r("cust")),
+        eq(col_b("month"), col_r("month")),
+    );
+    let dir = std::env::temp_dir().join(format!("mdj-repro-e14-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("E14 scratch dir");
+    let (store, _) = PagedStore::open(&dir).expect("E14 paged store");
+    let table = store
+        .create_table("Sales", &r, "month", 4096)
+        .expect("E14 table");
+    let pool = BufferPool::new(table.data_len() / 4);
+    assert!(
+        pool.budget() >= 4096 && pool.budget() * 4 <= table.data_len(),
+        "E14 pool must be at most a quarter of the table"
+    );
+    let scan = PagedScan::new(table.clone(), pool.clone());
+    // In-memory reference over the clustered row order: every paged variant
+    // below must reproduce it bit-for-bit.
+    let clustered = scan
+        .materialize(&ExecContext::new())
+        .expect("E14 materialize");
+    pool.clear();
+    let reference = md_join(&b, &clustered, &l, &theta, &ExecContext::new()).unwrap();
+    header(
+        "E14 — disk-resident ablation of E1/E8: the same MD-join over pages \
+         instead of memory, pool = table/4 (Theorem 4.2 range pushdown prunes \
+         whole pages via the manifest min/max, before any I/O)",
+        &[
+            "plan",
+            "time (ms)",
+            "pages read",
+            "of",
+            "bytes read",
+            "evictions",
+            "rows",
+        ],
+    );
+    // Single-shot timings: repeating a run would serve pages from the pool
+    // and make the I/O counters depend on the repetition count.
+    // `slug: None` keeps a variant out of the JSON baseline: the morsel
+    // run's `pool_evictions` depends on worker interleaving (±1 run to
+    // run), so only the deterministic single-threaded variants are gated.
+    let run = |label: &str,
+               slug: Option<&str>,
+               strategy: ExecStrategy,
+               threads: Option<usize>,
+               theta: &Expr,
+               expect_rows: Option<&Relation>| {
+        pool.clear();
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ExecContext::new()
+            .with_morsel_size(1024)
+            .with_stats(stats.clone());
+        let t0 = Instant::now();
+        let out = paged_md_join(&b, &scan, &l, theta, strategy, threads, &ctx).unwrap();
+        let t = t0.elapsed();
+        if let Some(expected) = expect_rows {
+            // Parallel strategies may re-associate float sums, so compare
+            // values with a relative epsilon (the fuzz suite proves strict
+            // bit-identity separately, over dyadic inputs).
+            assert_eq!(expected.len(), out.len(), "E14 {label}: row count");
+            for (want, got) in expected.rows().iter().zip(out.rows()) {
+                for (a, b) in want.values().iter().zip(got.values()) {
+                    match (a, b) {
+                        (Value::Float(x), Value::Float(y)) => assert!(
+                            (x - y).abs() <= 1e-9 * x.abs().max(1.0),
+                            "E14 {label}: {x} vs {y}"
+                        ),
+                        _ => assert_eq!(a, b, "E14 {label}"),
+                    }
+                }
+            }
+        }
+        println!(
+            "| {label} | {} | {} | {} | {} | {} | {} |",
+            ms(t),
+            stats.pages_read(),
+            table.page_count(),
+            stats.bytes_read(),
+            stats.pool_evictions(),
+            out.len()
+        );
+        if let Some(slug) = slug {
+            record_counters(format!("e14/{slug}"), t, &stats);
+        }
+        stats
+    };
+    let full = run(
+        "full scan, serial",
+        Some("full/serial"),
+        ExecStrategy::Serial,
+        Some(1),
+        &theta,
+        Some(&reference),
+    );
+    assert_eq!(
+        full.pages_read() as usize,
+        table.page_count(),
+        "E14 serial full scan reads every page exactly once"
+    );
+    assert_eq!(full.bytes_read(), table.data_len(), "E14 full-scan bytes");
+    assert!(
+        full.pool_evictions() > 0,
+        "E14 quarter-size pool must evict"
+    );
+    run(
+        "full scan, vectorized",
+        Some("full/vectorized"),
+        ExecStrategy::Vectorized,
+        Some(1),
+        &theta,
+        Some(&reference),
+    );
+    run(
+        "full scan, morsel ×4",
+        None,
+        ExecStrategy::Morsel,
+        Some(4),
+        &theta,
+        Some(&reference),
+    );
+    // Theorem 4.2: a detail-only range on the clustered key is folded into
+    // the scan and prunes pages from the manifest min/max without reading
+    // them. The answer equals the in-memory join with the same θ.
+    let theta_pruned = and(
+        theta.clone(),
+        and(ge(col_r("month"), lit(4i64)), le(col_r("month"), lit(6i64))),
+    );
+    let pruned_ref = md_join(&b, &clustered, &l, &theta_pruned, &ExecContext::new()).unwrap();
+    let pruned = run(
+        "month ∈ [4,6], serial (Thm 4.2 page pruning)",
+        Some("pruned/serial"),
+        ExecStrategy::Serial,
+        Some(1),
+        &theta_pruned,
+        Some(&pruned_ref),
+    );
+    assert!(
+        pruned.pages_read() < full.pages_read(),
+        "E14 pushdown must cut pages_read: {} vs {}",
+        pruned.pages_read(),
+        full.pages_read()
+    );
+    assert!(pruned.pages_read() > 0, "E14 three months of pages remain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn e10_chain(k: usize, dependent: bool) -> Plan {
     let mut plan = Plan::table("Sales").group_by_base(&["cust"]);
     for i in 0..k {
@@ -1928,6 +2105,44 @@ mod tests {
         let regressions = compare_entries(&with(1), &with(0));
         assert_eq!(regressions.len(), 1);
         assert!(regressions[0].contains("cache_misses regressed 0 -> 1"));
+    }
+
+    #[test]
+    fn check_parses_and_gates_the_paged_counters() {
+        // An E14-era entry carries the paged-I/O counters at the tail...
+        let line = "    {\"name\": \"e14/pruned/serial\", \"wall_ms\": 0.050, \
+                    \"scans\": 1, \"tuples\": 0, \"probes\": 0, \"updates\": 0, \
+                    \"batches\": 0, \"batch_fallbacks\": 0, \"bytes_spilled\": 0, \
+                    \"spill_partitions\": 0, \"spill_read_bytes\": 0, \"fallback_theta\": 0, \
+                    \"fallback_prefilter\": 0, \"fallback_key\": 0, \"fallback_agg\": 0, \
+                    \"gen_sets\": 0, \"gen_set_fallbacks\": 0, \"cache_hits\": 0, \
+                    \"cache_rollup_hits\": 0, \"cache_misses\": 0, \
+                    \"cache_invalidations\": 0, \"ingest_batches\": 0, \
+                    \"bytes_read\": 40960, \"pages_read\": 10, \"pool_evictions\": 6},";
+        let entries = parse_baseline(line);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].counters.len(), 23);
+        assert!(entries[0].counters.contains(&(20, 40960)));
+        assert!(entries[0].counters.contains(&(21, 10)));
+        assert!(entries[0].counters.contains(&(22, 6)));
+        // ...and a pruned scan newly touching extra pages fails the gate:
+        // losing the Theorem 4.2 pushdown is an I/O regression even when the
+        // answer (and every in-memory counter) stays the same.
+        let with = |pages: u64| {
+            vec![CheckEntry {
+                name: "e14/pruned/serial".into(),
+                counters: vec![(20, pages * 4096), (21, pages), (22, 6)],
+            }]
+        };
+        assert!(compare_entries(&with(10), &with(10)).is_empty());
+        let regressions = compare_entries(&with(12), &with(10));
+        assert_eq!(regressions.len(), 2);
+        assert!(regressions
+            .iter()
+            .any(|r| r.contains("pages_read regressed 10 -> 12")));
+        assert!(regressions
+            .iter()
+            .any(|r| r.contains("bytes_read regressed 40960 -> 49152")));
     }
 
     #[test]

@@ -86,6 +86,10 @@ pub struct EngineConfig {
     spill_dir: Option<PathBuf>,
     catalog: Catalog,
     cuboid_cache: Option<Arc<CuboidCache>>,
+    /// Shared buffer pool for paged catalog tables. Interior-mutable (like
+    /// the catalog's paged handles) so a daemon can attach it after the
+    /// config is built and `Arc`-shared; cloning the config shares the slot.
+    buffer_pool: Arc<std::sync::Mutex<Option<Arc<mdj_storage::BufferPool>>>>,
 }
 
 /// What [`EngineConfig::ingest`] did: the catalog grew, and resident cuboids
@@ -114,6 +118,7 @@ impl Default for EngineConfig {
             spill_dir: None,
             catalog: Catalog::new(),
             cuboid_cache: None,
+            buffer_pool: Arc::new(std::sync::Mutex::new(None)),
         }
     }
 }
@@ -231,6 +236,26 @@ impl EngineConfig {
     /// The cuboid result cache, if enabled.
     pub fn cuboid_cache(&self) -> Option<&Arc<CuboidCache>> {
         self.cuboid_cache.as_ref()
+    }
+
+    /// Attach the buffer pool that paged catalog tables are read through.
+    /// Takes `&self` (interior mutability) so it can be called after
+    /// [`build`](Self::build) — the daemon constructs the pool once its
+    /// shared [`MemoryPool`](crate::governor::MemoryPool) exists, charging
+    /// resident pages and query state to one budget.
+    pub fn attach_buffer_pool(&self, pool: Arc<mdj_storage::BufferPool>) {
+        *self
+            .buffer_pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(pool);
+    }
+
+    /// The shared buffer pool for paged tables, if one is attached.
+    pub fn buffer_pool(&self) -> Option<Arc<mdj_storage::BufferPool>> {
+        self.buffer_pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Append `rows` to catalog table `table` (Algorithm 3.1 maintenance
@@ -503,6 +528,11 @@ impl ExecContext {
     /// The engine's cuboid result cache, if enabled.
     pub fn cuboid_cache(&self) -> Option<&Arc<CuboidCache>> {
         self.engine.cuboid_cache.as_ref()
+    }
+
+    /// The engine's shared buffer pool for paged tables, if attached.
+    pub fn buffer_pool(&self) -> Option<Arc<mdj_storage::BufferPool>> {
+        self.engine.buffer_pool()
     }
 
     /// Ingest through this context's engine (see [`EngineConfig::ingest`]),

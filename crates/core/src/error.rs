@@ -151,7 +151,20 @@ impl std::error::Error for CoreError {
 
 impl From<mdj_storage::StorageError> for CoreError {
     fn from(e: mdj_storage::StorageError) -> Self {
-        CoreError::Storage(e)
+        match e {
+            // A buffer-pool starvation is the same governor condition as an
+            // admission-control shed: keep it retryable, not a storage fault.
+            mdj_storage::StorageError::PoolExhausted {
+                needed,
+                available,
+                capacity,
+            } => CoreError::PoolExhausted {
+                needed,
+                available,
+                capacity,
+            },
+            other => CoreError::Storage(other),
+        }
     }
 }
 
@@ -240,5 +253,25 @@ mod tests {
         assert!(!io.is_governor());
         let other: CoreError = mdj_storage::StorageError::UnknownRelation("T".into()).into();
         assert!(!other.is_spill());
+    }
+
+    #[test]
+    fn buffer_pool_exhaustion_maps_to_the_governor_variant() {
+        let e: CoreError = mdj_storage::StorageError::PoolExhausted {
+            needed: 512,
+            available: 128,
+            capacity: 4096,
+        }
+        .into();
+        assert_eq!(
+            e,
+            CoreError::PoolExhausted {
+                needed: 512,
+                available: 128,
+                capacity: 4096,
+            }
+        );
+        assert!(e.is_governor());
+        assert!(!e.is_spill());
     }
 }

@@ -56,6 +56,8 @@ pub struct FaultInjector {
     slow_for: Duration,
     remaining_spill_write_failures: AtomicU64,
     remaining_spill_corruptions: AtomicU64,
+    remaining_pager_write_failures: AtomicU64,
+    remaining_pager_fsync_failures: AtomicU64,
     remaining_planner_failures: AtomicU64,
     remaining_server_accept_failures: AtomicU64,
     remaining_server_read_failures: AtomicU64,
@@ -64,6 +66,8 @@ pub struct FaultInjector {
     charge_hits: AtomicU64,
     spill_write_hits: AtomicU64,
     spill_read_hits: AtomicU64,
+    pager_write_hits: AtomicU64,
+    pager_fsync_hits: AtomicU64,
     planner_hits: AtomicU64,
     server_accept_hits: AtomicU64,
     server_read_hits: AtomicU64,
@@ -73,6 +77,7 @@ pub struct FaultInjector {
     injected_spill_corruptions: AtomicU64,
     injected_planner_failures: AtomicU64,
     injected_server_faults: AtomicU64,
+    injected_pager_faults: AtomicU64,
 }
 
 impl FaultInjector {
@@ -87,6 +92,8 @@ impl FaultInjector {
             slow_for: Duration::from_millis(5),
             remaining_spill_write_failures: AtomicU64::new(0),
             remaining_spill_corruptions: AtomicU64::new(0),
+            remaining_pager_write_failures: AtomicU64::new(0),
+            remaining_pager_fsync_failures: AtomicU64::new(0),
             remaining_planner_failures: AtomicU64::new(0),
             remaining_server_accept_failures: AtomicU64::new(0),
             remaining_server_read_failures: AtomicU64::new(0),
@@ -95,6 +102,8 @@ impl FaultInjector {
             charge_hits: AtomicU64::new(0),
             spill_write_hits: AtomicU64::new(0),
             spill_read_hits: AtomicU64::new(0),
+            pager_write_hits: AtomicU64::new(0),
+            pager_fsync_hits: AtomicU64::new(0),
             planner_hits: AtomicU64::new(0),
             server_accept_hits: AtomicU64::new(0),
             server_read_hits: AtomicU64::new(0),
@@ -104,6 +113,7 @@ impl FaultInjector {
             injected_spill_corruptions: AtomicU64::new(0),
             injected_planner_failures: AtomicU64::new(0),
             injected_server_faults: AtomicU64::new(0),
+            injected_pager_faults: AtomicU64::new(0),
         }
     }
 
@@ -144,6 +154,23 @@ impl FaultInjector {
     /// Arm `n` injected spill run-file corruptions on read.
     pub fn spill_read_corruptions(self, n: u64) -> Self {
         self.remaining_spill_corruptions.store(n, Ordering::Relaxed);
+        self
+    }
+
+    /// Arm `n` injected pager page-write failures (torn writes: only half
+    /// of the page bytes reach the data file before the write errors).
+    pub fn pager_write_failures(self, n: u64) -> Self {
+        self.remaining_pager_write_failures
+            .store(n, Ordering::Relaxed);
+        self
+    }
+
+    /// Arm `n` injected pager fsync failures (the durability barrier in a
+    /// manifest checkpoint reports an error after data may have reached the
+    /// kernel but before it is known stable).
+    pub fn pager_fsync_failures(self, n: u64) -> Self {
+        self.remaining_pager_fsync_failures
+            .store(n, Ordering::Relaxed);
         self
     }
 
@@ -200,6 +227,11 @@ impl FaultInjector {
     /// Number of server accept/read/write faults actually injected so far.
     pub fn server_faults_injected(&self) -> u64 {
         self.injected_server_faults.load(Ordering::Relaxed)
+    }
+
+    /// Number of pager write/fsync faults actually injected so far.
+    pub fn pager_faults_injected(&self) -> u64 {
+        self.injected_pager_faults.load(Ordering::Relaxed)
     }
 
     /// Atomically consume one unit of `budget` if any remain.
@@ -297,6 +329,31 @@ impl FaultInjector {
         inject
     }
 
+    /// Called at a pager page-write site; true = tear the write (only a
+    /// prefix of the bytes reaches the data file). Distinct mix stream from
+    /// every other site.
+    pub fn should_fail_pager_write(&self) -> bool {
+        let hit = self.pager_write_hits.fetch_add(1, Ordering::Relaxed);
+        let inject = mix(self.seed.rotate_left(37), hit).is_multiple_of(self.period)
+            && Self::take(&self.remaining_pager_write_failures);
+        if inject {
+            self.injected_pager_faults.fetch_add(1, Ordering::Relaxed);
+        }
+        inject
+    }
+
+    /// Called at a pager fsync site (data file or manifest durability
+    /// barrier); true = report the sync as failed.
+    pub fn should_fail_pager_fsync(&self) -> bool {
+        let hit = self.pager_fsync_hits.fetch_add(1, Ordering::Relaxed);
+        let inject = mix(self.seed.rotate_left(43), hit).is_multiple_of(self.period)
+            && Self::take(&self.remaining_pager_fsync_failures);
+        if inject {
+            self.injected_pager_faults.fetch_add(1, Ordering::Relaxed);
+        }
+        inject
+    }
+
     /// Called before a spill run-file read site; true = corrupt the file
     /// first so the reader's checksum validation must reject it.
     pub(crate) fn should_corrupt_spill_read(&self) -> bool {
@@ -308,6 +365,20 @@ impl FaultInjector {
                 .fetch_add(1, Ordering::Relaxed);
         }
         inject
+    }
+}
+
+/// Let the pager consult the engine's injector directly: an armed
+/// [`FaultInjector`] can be handed to
+/// [`PagedStore::open_with_faults`](mdj_storage::PagedStore::open_with_faults)
+/// as its write/fsync fault source.
+impl mdj_storage::PagerFaults for FaultInjector {
+    fn fail_page_write(&self) -> bool {
+        self.should_fail_pager_write()
+    }
+
+    fn fail_fsync(&self) -> bool {
+        self.should_fail_pager_fsync()
     }
 }
 
@@ -366,6 +437,37 @@ mod tests {
         assert!(!(0..100).any(|_| f.should_fail_server_accept()));
         assert!(!(0..100).any(|_| f.should_fail_server_read()));
         assert!(!(0..100).any(|_| f.should_fail_server_write()));
+        assert!(!(0..100).any(|_| f.should_fail_pager_write()));
+        assert!(!(0..100).any(|_| f.should_fail_pager_fsync()));
+    }
+
+    #[test]
+    fn pager_budgets_are_bounded_counted_and_on_distinct_streams() {
+        let f = FaultInjector::new(13)
+            .period(1)
+            .pager_write_failures(2)
+            .pager_fsync_failures(3);
+        assert_eq!((0..10).filter(|_| f.should_fail_pager_write()).count(), 2);
+        assert_eq!((0..10).filter(|_| f.should_fail_pager_fsync()).count(), 3);
+        assert_eq!(f.pager_faults_injected(), 5);
+        // Same seed, different rotate constants: the two pager sites and the
+        // spill-write site must not be copies of each other.
+        let g = FaultInjector::new(555)
+            .period(2)
+            .spill_write_failures(u64::MAX)
+            .pager_write_failures(u64::MAX)
+            .pager_fsync_failures(u64::MAX);
+        let spills: Vec<bool> = (0..64).map(|_| g.should_fail_spill_write()).collect();
+        let writes: Vec<bool> = (0..64).map(|_| g.should_fail_pager_write()).collect();
+        let syncs: Vec<bool> = (0..64).map(|_| g.should_fail_pager_fsync()).collect();
+        assert_ne!(spills, writes);
+        assert_ne!(writes, syncs);
+        // Deterministic per seed.
+        let h = FaultInjector::new(555)
+            .period(2)
+            .pager_write_failures(u64::MAX);
+        let writes2: Vec<bool> = (0..64).map(|_| h.should_fail_pager_write()).collect();
+        assert_eq!(writes, writes2);
     }
 
     #[test]

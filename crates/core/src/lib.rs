@@ -79,6 +79,7 @@ pub mod generalized;
 pub mod governor;
 pub mod mdjoin;
 pub mod morsel;
+pub mod paged;
 pub mod parallel;
 pub mod partitioned;
 pub mod probe;
@@ -98,6 +99,7 @@ pub use generalized::Block;
 pub use governor::{CancelToken, MemoryPool, MemoryTracker, PoolGrant};
 pub use mdjoin::output_schema;
 pub use morsel::{choose_side, MorselSide};
+pub use paged::{key_bounds_from_theta, paged_md_join, PagedScan, PoolChargeAdapter};
 pub use spill_exec::recover_spill_dir;
 
 /// Curated re-exports: everything a typical MD-join program needs.
@@ -116,6 +118,7 @@ pub mod prelude {
     pub use crate::governor::{CancelToken, MemoryPool, MemoryTracker, PoolGrant};
     pub use crate::mdjoin::output_schema;
     pub use crate::morsel::MorselSide;
+    pub use crate::paged::{paged_md_join, PagedScan, PoolChargeAdapter};
     pub use mdj_agg::{AggInput, AggSpec};
     pub use mdj_expr::builder::{and, col_b, col_r, eq, ge, gt, le, lit, lt, ne, not, or};
     pub use mdj_expr::Expr;

@@ -20,7 +20,7 @@ use crate::admission::AdmissionController;
 use crate::error::ServerError;
 use crate::shutdown::{DrainReport, ShutdownController};
 use mdj_core::governor::{CancelToken, MemoryPool};
-use mdj_core::{EngineConfig, ExecContext, IngestReport, QueryCtx};
+use mdj_core::{CoreError, EngineConfig, ExecContext, IngestReport, QueryCtx};
 use mdj_sql::{PreparedStatement, SqlEngine};
 use mdj_storage::{Row, ScanStats, StatsSnapshot, SweepReport, Value};
 use std::collections::HashMap;
@@ -102,6 +102,15 @@ pub struct QueryService {
     /// travel in each `ingest` response).
     ingest_batches: AtomicU64,
     ingest_rows: AtomicU64,
+    /// Lifetime paged-I/O totals across every query (per-query figures
+    /// travel in each response's `stats` object).
+    paged_bytes_read: AtomicU64,
+    paged_pages_read: AtomicU64,
+    paged_pool_evictions: AtomicU64,
+    /// Durable page store backing the catalog, when the daemon was started
+    /// with `--data`. Ingest batches are appended here *after* the
+    /// in-memory commit so restarts serve the same tables.
+    paged_store: Mutex<Option<Arc<mdj_storage::PagedStore>>>,
     #[cfg(feature = "fault-injection")]
     fault: Mutex<Option<Arc<mdj_core::FaultInjector>>>,
 }
@@ -139,6 +148,10 @@ impl QueryService {
             recovery,
             ingest_batches: AtomicU64::new(0),
             ingest_rows: AtomicU64::new(0),
+            paged_bytes_read: AtomicU64::new(0),
+            paged_pages_read: AtomicU64::new(0),
+            paged_pool_evictions: AtomicU64::new(0),
+            paged_store: Mutex::new(None),
             #[cfg(feature = "fault-injection")]
             fault: Mutex::new(None),
         }
@@ -374,11 +387,62 @@ impl QueryService {
         if !self.lock_sessions().contains_key(&session) {
             return Err(ServerError::UnknownSession(session));
         }
+        // Durable-first when a page store backs this table: if the disk
+        // append fails (ENOSPC, injected fault) the batch is rejected whole
+        // and the in-memory catalog never sees it, so a restart can never
+        // serve *fewer* rows than clients were acknowledged.
+        let store = self.paged_store();
+        let durable = store.as_ref().filter(|s| s.table(table).is_some());
+        let rows = if let Some(s) = &durable {
+            // Validate the whole batch against the live schema *before* the
+            // durable append: disk and memory must reject the same batches,
+            // and the store's append only checks arity, not types.
+            let schema = self
+                .engine
+                .catalog()
+                .get(table)
+                .map_err(CoreError::from)?
+                .schema()
+                .clone();
+            let mut staged = mdj_storage::Relation::empty(schema);
+            for row in rows {
+                staged.push(row).map_err(CoreError::from)?;
+            }
+            let rows = staged.into_rows();
+            s.append(table, &rows).map_err(CoreError::from)?;
+            rows
+        } else {
+            rows
+        };
         let report = self.engine.ingest(table, rows)?;
+        if let Some(s) = &durable {
+            // Re-attach the post-append handle so paged scans see the batch.
+            if let Some(t) = s.table(table) {
+                let _ = self.engine.catalog().attach_paged(table, t);
+            }
+        }
         self.ingest_batches.fetch_add(1, Ordering::Relaxed);
         self.ingest_rows
             .fetch_add(report.rows as u64, Ordering::Relaxed);
         Ok(report)
+    }
+
+    /// Attach the durable page store that backs this service's catalog
+    /// (`mdjd --data`). Ingest batches for tables present in the store are
+    /// appended durably before the in-memory commit.
+    pub fn attach_paged_store(&self, store: Arc<mdj_storage::PagedStore>) {
+        *self
+            .paged_store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(store);
+    }
+
+    /// The attached durable page store, if any.
+    pub fn paged_store(&self) -> Option<Arc<mdj_storage::PagedStore>> {
+        self.paged_store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Lifetime `(batches, rows)` ingested through this service.
@@ -386,6 +450,16 @@ impl QueryService {
         (
             self.ingest_batches.load(Ordering::Relaxed),
             self.ingest_rows.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Lifetime paged-store I/O: `(bytes_read, pages_read, pool_evictions)`
+    /// summed over every query executed by this service.
+    pub fn paged_totals(&self) -> (u64, u64, u64) {
+        (
+            self.paged_bytes_read.load(Ordering::Relaxed),
+            self.paged_pages_read.load(Ordering::Relaxed),
+            self.paged_pool_evictions.load(Ordering::Relaxed),
         )
     }
 
@@ -474,10 +548,17 @@ impl QueryService {
         }
 
         let out = result.map_err(ServerError::from)?;
+        let snapshot = stats.snapshot();
+        self.paged_bytes_read
+            .fetch_add(snapshot.bytes_read, Ordering::Relaxed);
+        self.paged_pages_read
+            .fetch_add(snapshot.pages_read, Ordering::Relaxed);
+        self.paged_pool_evictions
+            .fetch_add(snapshot.pool_evictions, Ordering::Relaxed);
         Ok(QueryOutcome {
             columns: out.schema().names().iter().map(|s| s.to_string()).collect(),
             rows: out.rows().iter().map(|r| r.values().to_vec()).collect(),
-            stats: stats.snapshot(),
+            stats: snapshot,
         })
     }
 

@@ -65,6 +65,7 @@ fn dispatch(service: &QueryService, line: &str) -> Result<Json, ServerError> {
             let pool = service.pool();
             let recovery = service.recovery_report();
             let (ingest_batches, ingest_rows) = service.ingest_totals();
+            let (paged_bytes, paged_pages, paged_evictions) = service.paged_totals();
             let mut fields = vec![
                 ("ok", Json::Bool(true)),
                 ("sessions", Json::Int(service.session_count() as i64)),
@@ -83,6 +84,9 @@ fn dispatch(service: &QueryService, line: &str) -> Result<Json, ServerError> {
                 ),
                 ("ingest_batches", Json::Int(ingest_batches as i64)),
                 ("ingest_rows", Json::Int(ingest_rows as i64)),
+                ("paged_bytes_read", Json::Int(paged_bytes as i64)),
+                ("paged_pages_read", Json::Int(paged_pages as i64)),
+                ("paged_pool_evictions", Json::Int(paged_evictions as i64)),
             ];
             if let Some(cache) = service.engine().cuboid_cache() {
                 let m = cache.metrics();
@@ -284,6 +288,9 @@ fn outcome_json(out: QueryOutcome) -> Json {
         ("updates", Json::Int(out.stats.updates as i64)),
         ("bytes_charged", Json::Int(out.stats.bytes_charged as i64)),
         ("degradations", Json::Int(out.stats.degradations as i64)),
+        ("bytes_read", Json::Int(out.stats.bytes_read as i64)),
+        ("pages_read", Json::Int(out.stats.pages_read as i64)),
+        ("pool_evictions", Json::Int(out.stats.pool_evictions as i64)),
     ]);
     Json::obj(vec![
         ("ok", Json::Bool(true)),
@@ -382,6 +389,28 @@ mod tests {
         assert_eq!(ok_field(&resp, "running_queries"), Json::Int(0));
         assert_eq!(ok_field(&resp, "draining"), Json::Bool(false));
         assert_eq!(ok_field(&resp, "recovered_spill_files"), Json::Int(0));
+        // Paged-store counters are always present; an in-memory-only
+        // service reports zero I/O.
+        assert_eq!(ok_field(&resp, "paged_bytes_read"), Json::Int(0));
+        assert_eq!(ok_field(&resp, "paged_pages_read"), Json::Int(0));
+        assert_eq!(ok_field(&resp, "paged_pool_evictions"), Json::Int(0));
+    }
+
+    #[test]
+    fn query_stats_carry_paged_counters() {
+        let svc = service();
+        let resp = handle_line(&svc, r#"{"op":"open"}"#);
+        let sid = ok_field(&resp, "session").as_int().unwrap();
+        let resp = handle_line(
+            &svc,
+            &format!(r#"{{"op":"query","session":{sid},"sql":"select count(*) from Sales"}}"#),
+        );
+        let stats = ok_field(&resp, "stats");
+        // In-memory tables read no pages, but the fields are on the wire so
+        // clients can observe paged execution without schema changes.
+        assert_eq!(stats.get("bytes_read"), Some(&Json::Int(0)));
+        assert_eq!(stats.get("pages_read"), Some(&Json::Int(0)));
+        assert_eq!(stats.get("pool_evictions"), Some(&Json::Int(0)));
     }
 
     #[test]

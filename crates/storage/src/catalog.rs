@@ -12,6 +12,7 @@
 //! snapshot they started with.
 
 use crate::error::{Result, StorageError};
+use crate::pager::PagedTable;
 use crate::relation::Relation;
 use crate::row::Row;
 use crate::stats::TableStats;
@@ -23,6 +24,10 @@ struct TableEntry {
     rel: Arc<Relation>,
     version: u64,
     stats: Arc<TableStats>,
+    /// Disk-resident backing for this table, when it was opened from (or
+    /// persisted to) a paged store. Executors that see this can run
+    /// Theorem 4.2 scans as page-range reads instead of slice scans.
+    paged: Option<Arc<PagedTable>>,
 }
 
 /// The result of one [`Catalog::ingest`] batch: the relation snapshots before
@@ -95,8 +100,27 @@ impl Catalog {
                 rel: relation,
                 version,
                 stats,
+                paged: None,
             },
         );
+    }
+
+    /// Attach a disk-resident [`PagedTable`] as the backing store of an
+    /// already-registered table. The in-memory snapshot remains the source
+    /// of truth for row order; the paged handle lets executors stream the
+    /// same rows from disk and lets ingest persist appends.
+    pub fn attach_paged(&self, name: &str, paged: Arc<PagedTable>) -> Result<()> {
+        let mut tables = self.write();
+        let entry = tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))?;
+        entry.paged = Some(paged);
+        Ok(())
+    }
+
+    /// The disk-resident backing of `name`, if attached.
+    pub fn paged(&self, name: &str) -> Option<Arc<PagedTable>> {
+        self.read().get(name).and_then(|e| e.paged.clone())
     }
 
     /// Fold a batch of new rows into `name` (Algorithm 3.1's append path).

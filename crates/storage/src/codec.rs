@@ -1,0 +1,247 @@
+//! Shared binary codec for the disk-resident formats (`spill` run files and
+//! `pager` pages/manifests).
+//!
+//! Both formats encode values as `tag u8 + payload` (floats as raw bit
+//! patterns so round trips are bit-identical), schemas as
+//! `field_count u32; per field: name_len u32, UTF-8 name, dtype tag u8`, and
+//! integrity as a trailing FNV-1a64 checksum over every prior byte. Keeping
+//! the codec in one place guarantees the spill and pager layers can never
+//! drift apart on the encoding of a `Value`.
+
+use crate::error::{Result, StorageError};
+use crate::schema::{DataType, Field, Schema};
+use crate::value::Value;
+use std::path::Path;
+
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+pub(crate) fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+pub(crate) fn dtype_tag(d: DataType) -> u8 {
+    match d {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Str => 2,
+        DataType::Bool => 3,
+        DataType::Any => 4,
+    }
+}
+
+pub(crate) fn tag_dtype(t: u8) -> Option<DataType> {
+    Some(match t {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Str,
+        3 => DataType::Bool,
+        4 => DataType::Any,
+        _ => return None,
+    })
+}
+
+/// Append one value as `tag + payload`:
+/// `0 Null | 1 All | 2 Int i64 LE | 3 Float f64-bits u64 LE |
+///  4 Str u32 len + UTF-8 | 5 Bool u8`.
+pub(crate) fn encode_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::All => buf.push(1),
+        Value::Int(i) => {
+            buf.push(2);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(x) => {
+            buf.push(3);
+            buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(4);
+            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            buf.extend_from_slice(s.as_bytes());
+        }
+        Value::Bool(b) => {
+            buf.push(5);
+            buf.push(*b as u8);
+        }
+    }
+}
+
+/// Append a schema: field count then `(name_len, name, dtype tag)` triples.
+pub(crate) fn encode_schema(buf: &mut Vec<u8>, schema: &Schema) {
+    buf.extend_from_slice(&(schema.len() as u32).to_le_bytes());
+    for f in schema.fields() {
+        buf.extend_from_slice(&(f.name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(f.name.as_bytes());
+        buf.push(dtype_tag(f.dtype));
+    }
+}
+
+/// Which corruption error a [`Cursor`] raises on a malformed read.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CorruptKind {
+    Spill,
+    Page,
+}
+
+/// Byte cursor over a fully read buffer; every short read is corruption.
+pub(crate) struct Cursor<'a> {
+    pub(crate) data: &'a [u8],
+    pub(crate) pos: usize,
+    path: &'a Path,
+    kind: CorruptKind,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(data: &'a [u8], path: &'a Path, kind: CorruptKind) -> Self {
+        Cursor {
+            data,
+            pos: 0,
+            path,
+            kind,
+        }
+    }
+
+    pub(crate) fn corrupt(&self, detail: impl Into<String>) -> StorageError {
+        let path = self.path.display().to_string();
+        let detail = detail.into();
+        match self.kind {
+            CorruptKind::Spill => StorageError::SpillCorrupt { path, detail },
+            CorruptKind::Page => StorageError::PageCorrupt { path, detail },
+        }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| self.corrupt("length overflow"))?;
+        if end > self.data.len() {
+            return Err(self.corrupt(format!(
+                "truncated: wanted {n} bytes at offset {}",
+                self.pos
+            )));
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Decode one tagged value.
+    pub(crate) fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::All,
+            2 => Value::Int(i64::from_le_bytes(self.take(8)?.try_into().unwrap())),
+            3 => Value::Float(f64::from_bits(u64::from_le_bytes(
+                self.take(8)?.try_into().unwrap(),
+            ))),
+            4 => {
+                let len = self.u32()? as usize;
+                let bytes = self.take(len)?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| self.corrupt("string value is not UTF-8"))?;
+                Value::str(s)
+            }
+            5 => Value::Bool(self.u8()? != 0),
+            t => return Err(self.corrupt(format!("bad value tag {t}"))),
+        })
+    }
+
+    /// Decode a schema written by [`encode_schema`].
+    pub(crate) fn schema(&mut self) -> Result<Schema> {
+        let n_fields = self.u32()? as usize;
+        let mut fields = Vec::with_capacity(n_fields.min(1024));
+        for _ in 0..n_fields {
+            let name_len = self.u32()? as usize;
+            let bytes = self.take(name_len)?;
+            let name = std::str::from_utf8(bytes)
+                .map_err(|_| self.corrupt("field name is not UTF-8"))?
+                .to_string();
+            let tag = self.u8()?;
+            let dtype = tag_dtype(tag).ok_or_else(|| self.corrupt("bad dtype tag"))?;
+            fields.push(Field::new(name, dtype));
+        }
+        Ok(Schema::new(fields))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip_is_bit_identical() {
+        let vals = vec![
+            Value::Null,
+            Value::All,
+            Value::Int(i64::MIN),
+            Value::Float(f64::NAN),
+            Value::Float(-0.0),
+            Value::str("naïve — ünïcödé"),
+            Value::Bool(true),
+        ];
+        let mut buf = Vec::new();
+        for v in &vals {
+            encode_value(&mut buf, v);
+        }
+        let path = Path::new("codec-test");
+        let mut c = Cursor::new(&buf, path, CorruptKind::Page);
+        for v in &vals {
+            let back = c.value().unwrap();
+            match (v, &back) {
+                (Value::Float(a), Value::Float(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                _ => assert_eq!(v, &back),
+            }
+        }
+        assert_eq!(c.pos, buf.len());
+    }
+
+    #[test]
+    fn schema_round_trips() {
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("x", DataType::Float),
+            ("s", DataType::Str),
+            ("b", DataType::Bool),
+            ("a", DataType::Any),
+        ]);
+        let mut buf = Vec::new();
+        encode_schema(&mut buf, &schema);
+        let path = Path::new("codec-test");
+        let mut c = Cursor::new(&buf, path, CorruptKind::Spill);
+        assert_eq!(c.schema().unwrap(), schema);
+    }
+
+    #[test]
+    fn short_reads_surface_the_right_corruption_kind() {
+        let path = Path::new("codec-test");
+        let mut page = Cursor::new(&[2u8, 0, 0], path, CorruptKind::Page);
+        assert!(matches!(
+            page.value(),
+            Err(StorageError::PageCorrupt { .. })
+        ));
+        let mut spill = Cursor::new(&[2u8, 0, 0], path, CorruptKind::Spill);
+        assert!(matches!(
+            spill.value(),
+            Err(StorageError::SpillCorrupt { .. })
+        ));
+    }
+}

@@ -33,6 +33,22 @@ pub enum StorageError {
     /// A spill run file failed validation on read: bad magic, unsupported
     /// version, checksum mismatch, or a truncated/garbled payload.
     SpillCorrupt { path: String, detail: String },
+    /// A paged table store file (page data or manifest) could not be written
+    /// or read.
+    PagerIo { path: String, detail: String },
+    /// A page or manifest failed validation on read: bad magic, unsupported
+    /// version, checksum mismatch, or a truncated/garbled payload. Torn
+    /// writes from a crashed checkpoint surface here.
+    PageCorrupt { path: String, detail: String },
+    /// The buffer pool could not admit a page: every resident frame is
+    /// pinned (or the shared memory pool is out of budget), so eviction
+    /// cannot make room. Mirrors the governor's admission failure so callers
+    /// can shed load instead of panicking.
+    PoolExhausted {
+        needed: u64,
+        available: u64,
+        capacity: u64,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -64,6 +80,20 @@ impl fmt::Display for StorageError {
             StorageError::SpillCorrupt { path, detail } => {
                 write!(f, "corrupt spill run file `{path}`: {detail}")
             }
+            StorageError::PagerIo { path, detail } => {
+                write!(f, "pager I/O error on `{path}`: {detail}")
+            }
+            StorageError::PageCorrupt { path, detail } => {
+                write!(f, "corrupt page store file `{path}`: {detail}")
+            }
+            StorageError::PoolExhausted {
+                needed,
+                available,
+                capacity,
+            } => write!(
+                f,
+                "buffer pool exhausted: needed {needed} bytes, {available} available of {capacity}"
+            ),
         }
     }
 }

@@ -11,11 +11,13 @@
 //! per tuple), which this substrate measures directly via [`stats::ScanStats`].
 
 pub mod catalog;
+mod codec;
 pub mod columnar;
 pub mod csv;
 pub mod error;
 pub mod hash;
 pub mod index;
+pub mod pager;
 pub mod partition;
 pub mod relation;
 pub mod row;
@@ -29,6 +31,10 @@ pub use columnar::{Column, ColumnarChunk};
 pub use error::{Result, StorageError};
 pub use hash::{KeyBuildHasher, KeyHasher};
 pub use index::{HashIndex, SortedIndex};
+pub use pager::{
+    BufferPool, KeyBounds, PageMeta, PagedStore, PagedTable, PagerBootReport, PagerFaults,
+    PinnedPage, PoolChargeFailed, PoolChargeHook,
+};
 pub use relation::Relation;
 pub use row::Row;
 pub use schema::{DataType, Field, Schema};

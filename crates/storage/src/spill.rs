@@ -30,11 +30,11 @@
 //! in turn deletes the file when *it* drops. Every failure path therefore
 //! leaves no file behind: cleanup is RAII, not convention.
 
+use crate::codec::{self, CorruptKind, Cursor};
 use crate::error::{Result, StorageError};
 use crate::relation::Relation;
 use crate::row::Row;
-use crate::schema::{DataType, Field, Schema};
-use crate::value::Value;
+use crate::schema::Schema;
 use std::fs;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -44,38 +44,6 @@ use std::sync::atomic::{AtomicU64, Ordering};
 const MAGIC: [u8; 4] = *b"MDJS";
 /// Current run-file format version.
 pub const FORMAT_VERSION: u32 = 1;
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
-
-fn dtype_tag(d: DataType) -> u8 {
-    match d {
-        DataType::Int => 0,
-        DataType::Float => 1,
-        DataType::Str => 2,
-        DataType::Bool => 3,
-        DataType::Any => 4,
-    }
-}
-
-fn tag_dtype(t: u8) -> Option<DataType> {
-    Some(match t {
-        0 => DataType::Int,
-        1 => DataType::Float,
-        2 => DataType::Str,
-        3 => DataType::Bool,
-        4 => DataType::Any,
-        _ => return None,
-    })
-}
 
 /// Monotone suffix so concurrent writers in one process never collide.
 static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -175,21 +143,18 @@ impl RunWriter {
             arity: schema.len(),
             rows: 0,
             bytes: 0,
-            hash: FNV_OFFSET,
+            hash: codec::FNV_OFFSET,
         };
         w.emit(&MAGIC)?;
         w.emit(&FORMAT_VERSION.to_le_bytes())?;
-        w.emit(&(schema.len() as u32).to_le_bytes())?;
-        for f in schema.fields() {
-            w.emit(&(f.name.len() as u32).to_le_bytes())?;
-            w.emit(f.name.as_bytes())?;
-            w.emit(&[dtype_tag(f.dtype)])?;
-        }
+        let mut buf = Vec::new();
+        codec::encode_schema(&mut buf, schema);
+        w.emit(&buf)?;
         Ok(w)
     }
 
     fn emit(&mut self, bytes: &[u8]) -> Result<()> {
-        self.hash = fnv1a(self.hash, bytes);
+        self.hash = codec::fnv1a(self.hash, bytes);
         self.bytes += bytes.len() as u64;
         let path = self.path.clone().unwrap_or_default();
         self.file.write_all(bytes).map_err(|e| io_err(&path, &e))
@@ -205,27 +170,7 @@ impl RunWriter {
         }
         let mut buf: Vec<u8> = Vec::with_capacity(16 * self.arity);
         for v in row.values() {
-            match v {
-                Value::Null => buf.push(0),
-                Value::All => buf.push(1),
-                Value::Int(i) => {
-                    buf.push(2);
-                    buf.extend_from_slice(&i.to_le_bytes());
-                }
-                Value::Float(x) => {
-                    buf.push(3);
-                    buf.extend_from_slice(&x.to_bits().to_le_bytes());
-                }
-                Value::Str(s) => {
-                    buf.push(4);
-                    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
-                    buf.extend_from_slice(s.as_bytes());
-                }
-                Value::Bool(b) => {
-                    buf.push(5);
-                    buf.push(*b as u8);
-                }
-            }
+            codec::encode_value(&mut buf, v);
         }
         self.emit(&buf)?;
         self.rows += 1;
@@ -374,43 +319,6 @@ pub fn write_run(dir: &Path, hint: &str, rel: &Relation) -> Result<RunFile> {
     w.finish()
 }
 
-/// Byte cursor over a fully read run file; every short read is corruption.
-struct Cursor<'a> {
-    data: &'a [u8],
-    pos: usize,
-    path: &'a Path,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .ok_or_else(|| corrupt(self.path, "length overflow"))?;
-        if end > self.data.len() {
-            return Err(corrupt(
-                self.path,
-                format!("truncated: wanted {n} bytes at offset {}", self.pos),
-            ));
-        }
-        let s = &self.data[self.pos..end];
-        self.pos = end;
-        Ok(s)
-    }
-
-    fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-}
-
 /// Read a run file back into a relation, verifying the checksum first.
 /// Returns the relation and the number of bytes read from disk.
 pub fn read_run(path: &Path) -> Result<(Relation, u64)> {
@@ -425,7 +333,7 @@ pub fn read_run(path: &Path) -> Result<(Relation, u64)> {
     // row count) fails here, so the parser below only ever sees good bytes.
     let (payload, trailer) = data.split_at(data.len() - 8);
     let stored = u64::from_le_bytes(trailer.try_into().unwrap());
-    let actual = fnv1a(FNV_OFFSET, payload);
+    let actual = codec::fnv1a(codec::FNV_OFFSET, payload);
     if stored != actual {
         return Err(corrupt(
             path,
@@ -433,11 +341,7 @@ pub fn read_run(path: &Path) -> Result<(Relation, u64)> {
         ));
     }
 
-    let mut c = Cursor {
-        data: payload,
-        pos: 0,
-        path,
-    };
+    let mut c = Cursor::new(payload, path, CorruptKind::Spill);
     if c.take(4)? != MAGIC {
         return Err(corrupt(path, "bad magic"));
     }
@@ -445,21 +349,8 @@ pub fn read_run(path: &Path) -> Result<(Relation, u64)> {
     if version != FORMAT_VERSION {
         return Err(corrupt(path, format!("unsupported version {version}")));
     }
-    let n_fields = c.u32()? as usize;
-    let mut fields = Vec::with_capacity(n_fields);
-    for _ in 0..n_fields {
-        let name_len = c.u32()? as usize;
-        let name = std::str::from_utf8(c.take(name_len)?)
-            .map_err(|_| corrupt(path, "field name is not UTF-8"))?
-            .to_string();
-        let dtype = c
-            .u8()
-            .ok()
-            .and_then(tag_dtype)
-            .ok_or_else(|| corrupt(path, "bad dtype tag"))?;
-        fields.push(Field::new(name, dtype));
-    }
-    let schema = Schema::new(fields);
+    let schema = c.schema()?;
+    let n_fields = schema.len();
 
     // Rows occupy everything up to the 8-byte row count at the payload's end.
     let rows_end = payload.len() - 8;
@@ -467,23 +358,7 @@ pub fn read_run(path: &Path) -> Result<(Relation, u64)> {
     while c.pos < rows_end {
         let mut vals = Vec::with_capacity(n_fields);
         for _ in 0..n_fields {
-            let v = match c.u8()? {
-                0 => Value::Null,
-                1 => Value::All,
-                2 => Value::Int(i64::from_le_bytes(c.take(8)?.try_into().unwrap())),
-                3 => Value::Float(f64::from_bits(u64::from_le_bytes(
-                    c.take(8)?.try_into().unwrap(),
-                ))),
-                4 => {
-                    let len = c.u32()? as usize;
-                    let s = std::str::from_utf8(c.take(len)?)
-                        .map_err(|_| corrupt(path, "string value is not UTF-8"))?;
-                    Value::str(s)
-                }
-                5 => Value::Bool(c.u8()? != 0),
-                t => return Err(corrupt(path, format!("bad value tag {t}"))),
-            };
-            vals.push(v);
+            vals.push(c.value()?);
         }
         rows.push(Row::new(vals));
     }
@@ -507,6 +382,8 @@ pub fn read_run(path: &Path) -> Result<(Relation, u64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schema::DataType;
+    use crate::value::Value;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("mdj-spill-unit-{}-{}", std::process::id(), tag));

@@ -119,6 +119,14 @@ pub struct ScanStats {
     cache_invalidations: AtomicU64,
     /// Ingest batches folded into a table (and into live cache entries).
     ingest_batches: AtomicU64,
+    /// Bytes read from paged-table data files (buffer-pool misses and
+    /// direct page reads). The disk-resident complement of `bytes_spilled`.
+    bytes_read: AtomicU64,
+    /// Pages read from paged-table data files (buffer-pool misses count
+    /// once per miss; hits are free).
+    pages_read: AtomicU64,
+    /// Frames evicted from the buffer pool to admit new pages.
+    pool_evictions: AtomicU64,
     /// Per-worker morsel accounting, appended once per worker per parallel
     /// run (guarded by a mutex: workers report once at exit, not per tuple).
     workers: Mutex<Vec<WorkerStats>>,
@@ -231,6 +239,16 @@ impl ScanStats {
 
     pub fn record_ingest_batch(&self) {
         self.ingest_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one page read from a paged table's data file (`n` bytes).
+    pub fn record_page_read(&self, n: u64) {
+        self.pages_read.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_pool_eviction(&self) {
+        self.pool_evictions.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Append one worker's morsel accounting (called once per worker at the
@@ -351,6 +369,18 @@ impl ScanStats {
         self.ingest_batches.load(Ordering::Relaxed)
     }
 
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    pub fn pages_read(&self) -> u64 {
+        self.pages_read.load(Ordering::Relaxed)
+    }
+
+    pub fn pool_evictions(&self) -> u64 {
+        self.pool_evictions.load(Ordering::Relaxed)
+    }
+
     /// Per-worker morsel accounting recorded so far.
     pub fn workers(&self) -> Vec<WorkerStats> {
         self.workers
@@ -388,6 +418,9 @@ impl ScanStats {
         self.cache_misses.store(0, Ordering::Relaxed);
         self.cache_invalidations.store(0, Ordering::Relaxed);
         self.ingest_batches.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.pages_read.store(0, Ordering::Relaxed);
+        self.pool_evictions.store(0, Ordering::Relaxed);
         self.workers
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -424,6 +457,9 @@ impl ScanStats {
             cache_misses: self.cache_misses(),
             cache_invalidations: self.cache_invalidations(),
             ingest_batches: self.ingest_batches(),
+            bytes_read: self.bytes_read(),
+            pages_read: self.pages_read(),
+            pool_evictions: self.pool_evictions(),
             workers: self.workers(),
         }
     }
@@ -501,6 +537,12 @@ pub struct StatsSnapshot {
     pub cache_invalidations: u64,
     /// Ingest batches folded into a table.
     pub ingest_batches: u64,
+    /// Bytes read from paged-table data files.
+    pub bytes_read: u64,
+    /// Pages read from paged-table data files (buffer-pool misses).
+    pub pages_read: u64,
+    /// Buffer-pool frames evicted to admit new pages.
+    pub pool_evictions: u64,
     /// Per-worker morsel/steal/merge counters from parallel runs (empty for
     /// serial evaluation).
     pub workers: Vec<WorkerStats>,
@@ -535,6 +577,11 @@ impl StatsSnapshot {
             || self.cache_misses > 0
             || self.cache_invalidations > 0
             || self.ingest_batches > 0
+    }
+
+    /// True if the run touched the paged table store (disk-resident scans).
+    pub fn paged_active(&self) -> bool {
+        self.bytes_read > 0 || self.pages_read > 0 || self.pool_evictions > 0
     }
 }
 
@@ -604,6 +651,13 @@ impl std::fmt::Display for StatsSnapshot {
                 self.cache_misses,
                 self.cache_invalidations,
                 self.ingest_batches
+            )?;
+        }
+        if self.paged_active() {
+            write!(
+                f,
+                "\n  paged: pages_read={} bytes_read={} pool_evictions={}",
+                self.pages_read, self.bytes_read, self.pool_evictions
             )?;
         }
         for w in &self.workers {

@@ -15,8 +15,9 @@
 use mdj_agg::{AggInput, AggState, Registry};
 use mdj_core::prelude::*;
 use mdj_expr::builder::add;
-use mdj_storage::Field;
+use mdj_storage::{BufferPool, Field, PagedStore};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Definition 3.1, executed as literally as possible: for every `b ∈ B`,
@@ -312,6 +313,175 @@ proptest! {
             }
         }
         let _ = std::fs::remove_dir(&spill_dir);
+    }
+}
+
+/// Unique on-disk scratch directory for one paged fuzz case, removed on
+/// drop so the sweep leaves nothing behind even under `--test-threads`.
+struct CaseDir(std::path::PathBuf);
+
+impl CaseDir {
+    fn new(tag: &str) -> CaseDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "mdj-diff-paged-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).unwrap();
+        CaseDir(path)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for CaseDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Every execution strategy the paged executor accepts, including the
+/// materialize-and-delegate fallbacks.
+const PAGED_STRATEGIES: [ExecStrategy; 9] = [
+    ExecStrategy::Auto,
+    ExecStrategy::Serial,
+    ExecStrategy::Partitioned { partitions: 3 },
+    ExecStrategy::ChunkBase,
+    ExecStrategy::ChunkDetail,
+    ExecStrategy::Morsel,
+    ExecStrategy::MorselBase,
+    ExecStrategy::MorselDetail,
+    ExecStrategy::Vectorized,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Disk-resident sweep: the same generated inputs, written through the
+    /// pager as a table clustered on `k` and re-read page by page through a
+    /// buffer pool holding at most four frames, must be *bit-identical*
+    /// (`f64::to_bits`, not ε-close) to the Definition 3.1 reference over
+    /// the clustered row order — for every execution strategy, at every
+    /// page size from 256 B to 4 KiB. After each strategy the pool is
+    /// drained to zero bytes: nothing may stay pinned past its query.
+    #[test]
+    fn paged_backends_are_bit_identical_to_the_reference(
+        b in base_strategy(),
+        r in detail_strategy(),
+        theta in theta_strategy(),
+        specs in agg_list_strategy(),
+        page_pick in 0usize..5,
+    ) {
+        let page_bytes = [256u64, 512, 1024, 2048, 4096][page_pick];
+        let dir = CaseDir::new("sweep");
+        let (store, boot) = PagedStore::open(dir.path()).unwrap();
+        prop_assert!(!boot.recovered_anything(), "fresh dir must not recover");
+        let table = store.create_table("R", &r, "k", page_bytes).unwrap();
+        // Room for a frame per worker plus LRU slack, but small enough that
+        // multi-page tables thrash: eviction churn is part of the property.
+        let pool = BufferPool::new(4 * page_bytes);
+        let scan = PagedScan::new(table.clone(), pool.clone());
+        // The pager re-sorts by the clustered key; the reference must see
+        // the same tuple order for floating-point bit-identity.
+        let clustered = scan.materialize(&ExecContext::new()).unwrap();
+        prop_assert_eq!(clustered.len(), r.len(), "no row lost to paging");
+        let expected =
+            reference_md_join(&b, &clustered, &specs, &theta, &Registry::standard());
+        pool.clear();
+        for strategy in PAGED_STRATEGIES {
+            let stats = Arc::new(ScanStats::new());
+            let ctx = ExecContext::new()
+                .with_morsel_size(16)
+                .with_stats(stats.clone());
+            let out = match paged_md_join(&b, &scan, &specs, &theta, strategy, Some(2), &ctx) {
+                Ok(out) => out,
+                Err(e) => {
+                    return Err(proptest::test_runner::TestCaseError::Fail(format!(
+                        "{strategy:?} over {page_bytes} B pages: {e}"
+                    )))
+                }
+            };
+            prop_assert_eq!(expected.schema(), out.schema(), "{:?}", strategy);
+            prop_assert_eq!(expected.len(), out.len(), "{:?}", strategy);
+            for (want, got) in expected.rows().iter().zip(out.rows()) {
+                for (x, y) in want.values().iter().zip(got.values()) {
+                    match (x, y) {
+                        (Value::Float(f), Value::Float(g)) => prop_assert_eq!(
+                            f.to_bits(),
+                            g.to_bits(),
+                            "{:?} @ {} B pages: {} vs {}",
+                            strategy,
+                            page_bytes,
+                            f,
+                            g
+                        ),
+                        _ => prop_assert_eq!(x, y, "{:?} @ {} B pages", strategy, page_bytes),
+                    }
+                }
+            }
+            // Residency respects the byte budget while running…
+            prop_assert!(pool.resident_bytes() <= pool.budget());
+            // …and the pool drains completely once the query is done: any
+            // leaked pin would survive clear() and show up here.
+            pool.clear();
+            prop_assert_eq!(pool.resident_bytes(), 0, "{:?} leaked a pin", strategy);
+        }
+    }
+}
+
+/// Deterministic thrash check guarding the property above: with a pool far
+/// smaller than the table, every strategy still answers bit-identically
+/// while the pool visibly evicts (so the sweep is exercising real paging,
+/// not a table that quietly fits in memory).
+#[test]
+fn paged_pool_thrash_evicts_and_still_matches() {
+    let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Float)]);
+    let rel = Relation::from_rows(
+        schema,
+        (0..4000i64)
+            .map(|i| Row::new(vec![Value::Int(i % 50), Value::Float(i as f64 * 0.5)]))
+            .collect(),
+    );
+    let dir = CaseDir::new("thrash");
+    let (store, _) = PagedStore::open(dir.path()).unwrap();
+    let table = store.create_table("R", &rel, "k", 256).unwrap();
+    assert!(table.page_count() > 8, "table must span many pages");
+    let pool = BufferPool::new(1024);
+    assert!(
+        pool.budget() < table.data_len(),
+        "pool must be smaller than the table"
+    );
+    let scan = PagedScan::new(table.clone(), pool.clone());
+    let clustered = scan.materialize(&ExecContext::new()).unwrap();
+    pool.clear();
+    let b = rel.distinct_on(&["k"]).unwrap();
+    let theta = eq(col_b("k"), col_r("k"));
+    let specs = [AggSpec::on_column("sum", "v"), AggSpec::count_star()];
+    let expected = MdJoin::new(&b, &clustered)
+        .aggs(&specs)
+        .theta(theta.clone())
+        .strategy(ExecStrategy::Serial)
+        .run(&ExecContext::new())
+        .unwrap();
+    for strategy in PAGED_STRATEGIES {
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ExecContext::new()
+            .with_morsel_size(64)
+            .with_stats(stats.clone());
+        let out = paged_md_join(&b, &scan, &specs, &theta, strategy, Some(2), &ctx).unwrap();
+        assert_eq!(expected.rows(), out.rows(), "{strategy:?}");
+        assert!(
+            stats.pages_read() as usize >= table.page_count(),
+            "{strategy:?}"
+        );
+        assert!(stats.bytes_read() >= table.data_len(), "{strategy:?}");
+        assert!(stats.pool_evictions() > 0, "{strategy:?} never evicted");
+        assert!(pool.resident_bytes() <= pool.budget());
+        pool.clear();
+        assert_eq!(pool.resident_bytes(), 0, "{strategy:?} leaked a pin");
     }
 }
 

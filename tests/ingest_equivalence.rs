@@ -292,4 +292,31 @@ proptest! {
         .unwrap();
         prop_assert!(bit_identical(&rolled, &direct));
     }
+
+    /// A rolled-up cuboid becomes resident in its own right: the first
+    /// coarse query pays the Theorem 4.5 join once (rollup hit), the repeat
+    /// is an *exact* hit — no second roll-up — and the answers stay
+    /// bit-identical.
+    #[test]
+    fn rolled_up_cuboids_become_resident(
+        rows in rows_strategy(),
+    ) {
+        let engine = EngineConfig::new()
+            .register_table("Sales", Relation::from_rows(sales_schema(), rows))
+            .with_cuboid_cache(1 << 20)
+            .build();
+        let aggs = vec![AggSpec::on_column("sum", "qty"), AggSpec::count_star()];
+        let fine = cuboid_plan(&["cust", "month"], aggs.clone());
+        let coarse = cuboid_plan(&["cust"], aggs);
+        let stats = Arc::new(ScanStats::new());
+        let ctx = ctx_for(&engine, &stats);
+        execute(&fine, engine.catalog(), &ctx).unwrap(); // resident finer cuboid
+        let warm = execute(&coarse, engine.catalog(), &ctx).unwrap();
+        prop_assert_eq!(stats.cache_rollup_hits(), 1);
+        prop_assert_eq!(stats.cache_hits(), 0);
+        let warm_again = execute(&coarse, engine.catalog(), &ctx).unwrap();
+        prop_assert_eq!(stats.cache_rollup_hits(), 1); // no second roll-up
+        prop_assert_eq!(stats.cache_hits(), 1);        // served exactly
+        prop_assert!(bit_identical(&warm, &warm_again));
+    }
 }

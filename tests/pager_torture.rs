@@ -1,0 +1,341 @@
+//! Buffer-pool torture: property-generated interleavings of pin / unpin /
+//! ingest / drain against a deliberately starved byte budget, checked step
+//! by step against an exact shadow model of the pool's contract — strict
+//! LRU eviction of unpinned frames, pinned frames never evicted, residency
+//! never above budget, hit/miss/eviction counters exact, and
+//! `PoolExhausted` as the *only* admissible failure. Page payloads are
+//! verified against a shadow of the table on every pin and once more at the
+//! end through `read_all`, so a checksum or pagination bug cannot hide
+//! behind the pool.
+
+use mdj_storage::{
+    BufferPool, DataType, PagedStore, PagedTable, PinnedPage, Relation, Row, Schema, StorageError,
+    Value,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const PAGE_BYTES: u64 = 128;
+const POOL_BUDGET: u64 = 512;
+/// Cap on simultaneously held pins: high enough that pinned bytes alone can
+/// exceed the budget (forcing `PoolExhausted`), low enough to keep most
+/// steps admissible.
+const MAX_HELD: usize = 6;
+
+struct CaseDir(PathBuf);
+
+impl CaseDir {
+    fn new(tag: &str) -> CaseDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "mdj-pager-torture-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).unwrap();
+        CaseDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for CaseDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One generated step of the torture schedule.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Fetch page `seed % page_count`, holding the pin (up to `MAX_HELD`).
+    Pin(u16),
+    /// Drop held pin `seed % held.len()`.
+    Unpin(u16),
+    /// Append `1 + seed % 17` fresh rows through the store.
+    Ingest(u16),
+    /// `BufferPool::clear()` — every unpinned frame must vanish.
+    Drain,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<u16>().prop_map(Op::Pin),
+        2 => any::<u16>().prop_map(Op::Unpin),
+        1 => any::<u16>().prop_map(Op::Ingest),
+        1 => Just(Op::Drain),
+    ]
+}
+
+/// Exact replica of the pool's documented admission algorithm, advanced in
+/// lockstep with the real pool. Ticks are unique per fetch, so strict-LRU
+/// victim choice is deterministic and the comparison is sound.
+#[derive(Default)]
+struct ModelFrame {
+    page: usize,
+    bytes: u64,
+    tick: u64,
+    pins: u32,
+}
+
+#[derive(Default)]
+struct ModelPool {
+    frames: Vec<ModelFrame>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ModelPool {
+    fn resident(&self) -> u64 {
+        self.frames.iter().map(|f| f.bytes).sum()
+    }
+
+    /// `Ok(())` when the real fetch must succeed; `Err(())` when it must
+    /// fail with `PoolExhausted`. Mirrors the real pool exactly, including
+    /// the evictions performed *before* a failed admission.
+    fn fetch(&mut self, page: usize, bytes: u64) -> Result<(), ()> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(f) = self.frames.iter_mut().find(|f| f.page == page) {
+            f.pins += 1;
+            f.tick = tick;
+            self.hits += 1;
+            return Ok(());
+        }
+        while self.resident() + bytes > POOL_BUDGET {
+            let victim = self
+                .frames
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.pins == 0)
+                .min_by_key(|(_, f)| f.tick)
+                .map(|(i, _)| i);
+            let Some(i) = victim else { break };
+            self.frames.remove(i);
+            self.evictions += 1;
+        }
+        if self.resident() + bytes > POOL_BUDGET {
+            return Err(());
+        }
+        self.misses += 1;
+        self.frames.push(ModelFrame {
+            page,
+            bytes,
+            tick,
+            pins: 1,
+        });
+        Ok(())
+    }
+
+    fn unpin(&mut self, page: usize) {
+        let f = self
+            .frames
+            .iter_mut()
+            .find(|f| f.page == page)
+            .expect("unpinning a page the model does not hold");
+        f.pins = f.pins.saturating_sub(1);
+    }
+
+    fn clear(&mut self) {
+        self.frames.retain(|f| f.pins > 0);
+    }
+}
+
+/// Expected rows of page `page_no`: pages partition the shadow row list in
+/// page order, so the slice is found by summing earlier pages' row counts.
+fn expected_page_rows<'a>(table: &PagedTable, shadow: &'a [Row], page_no: usize) -> &'a [Row] {
+    let metas = table.page_metas();
+    let start: usize = metas[..page_no].iter().map(|m| m.rows as usize).sum();
+    let len = metas[page_no].rows as usize;
+    &shadow[start..start + len]
+}
+
+fn fresh_store() -> (CaseDir, Arc<PagedStore>, Arc<PagedTable>, Vec<Row>) {
+    let dir = CaseDir::new("model");
+    let (store, boot) = PagedStore::open(dir.path()).unwrap();
+    assert!(!boot.recovered_anything());
+    let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]);
+    // Keys deliberately out of order: create_table must cluster them.
+    let rel = Relation::from_rows(
+        schema,
+        (0..120i64)
+            .map(|i| Row::new(vec![Value::Int((i * 7) % 40), Value::Int(i)]))
+            .collect(),
+    );
+    let table = store.create_table("T", &rel, "k", PAGE_BYTES).unwrap();
+    // Shadow of the on-disk row order: stable sort by the clustered key,
+    // then every ingested batch in arrival order.
+    let mut shadow: Vec<Row> = rel.rows().to_vec();
+    shadow.sort_by_key(|r| match r[0] {
+        Value::Int(k) => k,
+        _ => unreachable!("key column is Int"),
+    });
+    (dir, store, table, shadow)
+}
+
+/// Cross-check every externally observable pool fact against the model.
+fn check_pool(
+    pool: &Arc<BufferPool>,
+    table: &PagedTable,
+    model: &ModelPool,
+    step: usize,
+) -> Result<(), TestCaseError> {
+    prop_assert!(
+        pool.resident_bytes() <= POOL_BUDGET,
+        "step {step}: residency above budget"
+    );
+    prop_assert_eq!(pool.resident_bytes(), model.resident(), "step {}", step);
+    prop_assert_eq!(pool.resident_frames(), model.frames.len(), "step {}", step);
+    prop_assert_eq!(pool.hits(), model.hits, "step {}", step);
+    prop_assert_eq!(pool.misses(), model.misses, "step {}", step);
+    prop_assert_eq!(pool.evictions(), model.evictions, "step {}", step);
+    for f in &model.frames {
+        prop_assert!(
+            pool.is_resident(table, f.page),
+            "step {step}: page {} should be resident",
+            f.page
+        );
+        prop_assert_eq!(
+            pool.pin_count(table, f.page),
+            Some(f.pins),
+            "step {} page {}",
+            step,
+            f.page
+        );
+        if f.pins > 0 {
+            // The headline invariant: a pinned frame survives any amount of
+            // eviction pressure and any drain.
+            prop_assert!(pool.is_resident(table, f.page), "pinned page evicted");
+        }
+    }
+    prop_assert_eq!(
+        pool.pinned_total(),
+        model.frames.iter().map(|f| f.pins as u64).sum::<u64>(),
+        "step {}",
+        step
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random pin/unpin/ingest/drain schedules under a starved budget: the
+    /// real pool agrees with the shadow model at every step, every pinned
+    /// payload matches the shadow table bytes, and the only error the pool
+    /// ever surfaces is `PoolExhausted`.
+    #[test]
+    fn pool_matches_the_shadow_model_under_torture(
+        ops in proptest::collection::vec(op_strategy(), 1..160),
+    ) {
+        let (_dir, store, table, mut shadow) = fresh_store();
+        let pool = BufferPool::new(POOL_BUDGET);
+        let mut model = ModelPool::default();
+        let mut held: Vec<(usize, PinnedPage)> = Vec::new();
+        let mut next_val = 1_000i64;
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Pin(seed) => {
+                    if held.len() >= MAX_HELD {
+                        continue;
+                    }
+                    let page_no = seed as usize % table.page_count();
+                    let bytes = table.page_meta(page_no).unwrap().len as u64;
+                    let want = model.fetch(page_no, bytes);
+                    match pool.fetch(&table, page_no, None) {
+                        Ok(pin) => {
+                            prop_assert!(want.is_ok(), "step {}: model predicted exhaustion", step);
+                            // Checksums were verified on the miss path; the
+                            // decoded payload must be the shadow slice.
+                            prop_assert_eq!(
+                                &*pin,
+                                expected_page_rows(&table, &shadow, page_no),
+                                "step {} page {}", step, page_no
+                            );
+                            held.push((page_no, pin));
+                        }
+                        Err(StorageError::PoolExhausted { needed, available, capacity }) => {
+                            prop_assert!(want.is_err(), "step {}: model predicted admission", step);
+                            prop_assert_eq!(needed, bytes);
+                            prop_assert_eq!(capacity, POOL_BUDGET);
+                            prop_assert!(available < needed);
+                        }
+                        Err(other) => {
+                            return Err(TestCaseError::Fail(format!(
+                                "step {step}: only PoolExhausted is admissible, got {other}"
+                            )));
+                        }
+                    }
+                }
+                Op::Unpin(seed) => {
+                    if held.is_empty() {
+                        continue;
+                    }
+                    let idx = seed as usize % held.len();
+                    let (page_no, pin) = held.swap_remove(idx);
+                    drop(pin);
+                    model.unpin(page_no);
+                }
+                Op::Ingest(seed) => {
+                    let n = 1 + seed as usize % 17;
+                    let rows: Vec<Row> = (0..n)
+                        .map(|_| {
+                            next_val += 1;
+                            Row::new(vec![Value::Int(next_val % 40), Value::Int(next_val)])
+                        })
+                        .collect();
+                    // `append` reports sealed *pages*; at least one per batch.
+                    let pages_appended = store.append("T", &rows).unwrap();
+                    prop_assert!(pages_appended >= 1, "step {}", step);
+                    shadow.extend(rows);
+                }
+                Op::Drain => {
+                    pool.clear();
+                    model.clear();
+                }
+            }
+            check_pool(&pool, &table, &model, step)?;
+        }
+        // Nothing was lost or reordered on disk across the whole schedule.
+        let all = table.read_all(None).unwrap();
+        prop_assert_eq!(all.rows(), &shadow[..]);
+        prop_assert_eq!(table.row_count() as usize, shadow.len());
+        // Full drain: releasing every pin and clearing empties the pool.
+        held.clear();
+        pool.clear();
+        prop_assert_eq!(pool.resident_bytes(), 0);
+        prop_assert_eq!(pool.resident_frames(), 0);
+        prop_assert_eq!(pool.pinned_total(), 0);
+    }
+}
+
+/// A flipped byte anywhere in a page makes its checksum fail: the pool must
+/// surface `PageCorrupt` (never wrong rows) and must not admit the frame.
+#[test]
+fn corrupted_page_is_rejected_not_served() {
+    let (dir, _store, table, _shadow) = fresh_store();
+    let meta = table.page_meta(1).unwrap();
+    let path = dir.path().join("T.pages");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let victim = meta.offset as usize + meta.len as usize / 2;
+    bytes[victim] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    let pool = BufferPool::new(POOL_BUDGET);
+    let err = pool.fetch(&table, 1, None);
+    assert!(
+        matches!(err, Err(StorageError::PageCorrupt { .. })),
+        "expected PageCorrupt, got {err:?}"
+    );
+    assert!(!pool.is_resident(&table, 1), "corrupt frame admitted");
+    assert_eq!(pool.resident_bytes(), 0);
+    // Undamaged pages on the same table still verify and serve.
+    let ok = pool.fetch(&table, 0, None).unwrap();
+    assert!(!ok.is_empty());
+}
